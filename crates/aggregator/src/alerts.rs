@@ -1,0 +1,283 @@
+//! Alerts and the new-neighbor anomaly detector.
+//!
+//! The Mazu system "raises alerts about potential security violations"
+//! at group granularity (Section 2). Beyond explicit policy violations,
+//! the most valuable signal role grouping enables is *deviation from
+//! role*: a host opening connections to a group its own group has never
+//! talked to. [`NewNeighborDetector`] implements that check against a
+//! baseline grouping and its connection sets.
+
+use crate::policy::PolicyVerdict;
+use flow::{ConnectionSets, FlowRecord, HostAddr};
+use roleclass::{GroupId, Grouping};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Alert severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: new but structurally plausible behavior.
+    Info,
+    /// Suspicious: behavior outside the host's role history.
+    Warning,
+    /// Policy violation or clearly hostile pattern.
+    Critical,
+}
+
+/// What an alert is about.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// A configured policy was violated.
+    PolicyViolation(PolicyVerdict),
+    /// A host contacted a group its group never communicated with in
+    /// the baseline window.
+    NewGroupNeighbor {
+        /// The deviating host.
+        host: HostAddr,
+        /// Its group.
+        host_group: GroupId,
+        /// The group it newly contacted.
+        peer_group: GroupId,
+        /// The triggering flow.
+        flow: FlowRecord,
+    },
+    /// A host appeared that no baseline group contains.
+    UnknownHost {
+        /// The unknown host.
+        host: HostAddr,
+        /// The triggering flow.
+        flow: FlowRecord,
+    },
+    /// One host touched an improbable number of distinct hosts —
+    /// the scanner pattern BigCompany was investigating (Section 6.1).
+    FanoutSpike {
+        /// The scanning host.
+        host: HostAddr,
+        /// Distinct peers contacted in the window.
+        peers: usize,
+        /// The detection threshold.
+        threshold: usize,
+    },
+}
+
+/// A full alert.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Severity class.
+    pub severity: Severity,
+    /// The specifics.
+    pub kind: AlertKind,
+}
+
+/// Detects flows that step outside the baseline role structure.
+pub struct NewNeighborDetector {
+    baseline_grouping: Grouping,
+    /// Group pairs that communicated in the baseline (unordered, as
+    /// (min, max)).
+    known_pairs: BTreeSet<(GroupId, GroupId)>,
+    /// Fan-out threshold for the scanner heuristic.
+    pub fanout_threshold: usize,
+}
+
+impl NewNeighborDetector {
+    /// Builds a detector from a baseline run.
+    pub fn new(grouping: Grouping, connsets: &ConnectionSets, fanout_threshold: usize) -> Self {
+        let mut known_pairs = BTreeSet::new();
+        for (a, b) in connsets.edges() {
+            if let (Some(ga), Some(gb)) = (grouping.group_of(a), grouping.group_of(b)) {
+                let key = if ga < gb { (ga, gb) } else { (gb, ga) };
+                known_pairs.insert(key);
+            }
+        }
+        NewNeighborDetector {
+            baseline_grouping: grouping,
+            known_pairs,
+            fanout_threshold,
+        }
+    }
+
+    /// Number of distinct baseline group pairs.
+    pub fn known_pair_count(&self) -> usize {
+        self.known_pairs.len()
+    }
+
+    /// Checks one flow against the baseline structure.
+    pub fn check_flow(&self, flow: &FlowRecord) -> Vec<Alert> {
+        let mut out = Vec::new();
+        let sg = self.baseline_grouping.group_of(flow.src);
+        let dg = self.baseline_grouping.group_of(flow.dst);
+        match (sg, dg) {
+            (Some(sg), Some(dg)) => {
+                let key = if sg < dg { (sg, dg) } else { (dg, sg) };
+                if sg != dg && !self.known_pairs.contains(&key) {
+                    out.push(Alert {
+                        severity: Severity::Warning,
+                        kind: AlertKind::NewGroupNeighbor {
+                            host: flow.src,
+                            host_group: sg,
+                            peer_group: dg,
+                            flow: *flow,
+                        },
+                    });
+                }
+            }
+            (None, _) => out.push(Alert {
+                severity: Severity::Info,
+                kind: AlertKind::UnknownHost {
+                    host: flow.src,
+                    flow: *flow,
+                },
+            }),
+            (_, None) => out.push(Alert {
+                severity: Severity::Info,
+                kind: AlertKind::UnknownHost {
+                    host: flow.dst,
+                    flow: *flow,
+                },
+            }),
+        }
+        out
+    }
+
+    /// Checks a window of flows: per-flow structure checks plus the
+    /// fan-out (scanner) heuristic over the whole window.
+    pub fn check_window(&self, flows: &[FlowRecord]) -> Vec<Alert> {
+        let mut out: Vec<Alert> = flows.iter().flat_map(|f| self.check_flow(f)).collect();
+        // Scanner heuristic: count distinct peers per source host.
+        let mut peers: std::collections::BTreeMap<HostAddr, BTreeSet<HostAddr>> =
+            std::collections::BTreeMap::new();
+        for f in flows {
+            peers.entry(f.src).or_default().insert(f.dst);
+        }
+        for (host, set) in peers {
+            if set.len() >= self.fanout_threshold {
+                out.push(Alert {
+                    severity: Severity::Critical,
+                    kind: AlertKind::FanoutSpike {
+                        host,
+                        peers: set.len(),
+                        threshold: self.fanout_threshold,
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roleclass::Group;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    /// Baseline: eng {11,12} talks to mail {1}; sales-db {3} talks to
+    /// sales {21}.
+    fn detector() -> NewNeighborDetector {
+        let grouping = Grouping::new(vec![
+            Group {
+                id: GroupId(1),
+                k: 2,
+                members: vec![h(11), h(12)],
+            },
+            Group {
+                id: GroupId(2),
+                k: 1,
+                members: vec![h(1)],
+            },
+            Group {
+                id: GroupId(3),
+                k: 1,
+                members: vec![h(3)],
+            },
+            Group {
+                id: GroupId(4),
+                k: 1,
+                members: vec![h(21)],
+            },
+        ]);
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(11), h(1));
+        cs.add_pair(h(12), h(1));
+        cs.add_pair(h(21), h(3));
+        NewNeighborDetector::new(grouping, &cs, 100)
+    }
+
+    #[test]
+    fn known_structure_is_quiet() {
+        let d = detector();
+        assert_eq!(d.known_pair_count(), 2);
+        let ok = FlowRecord::pair(h(11), h(1));
+        assert!(d.check_flow(&ok).is_empty());
+    }
+
+    #[test]
+    fn new_group_pair_raises_warning() {
+        let d = detector();
+        // The paper's canonical alarm: eng host contacts the sales DB.
+        let bad = FlowRecord::pair(h(11), h(3));
+        let alerts = d.check_flow(&bad);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].severity, Severity::Warning);
+        match &alerts[0].kind {
+            AlertKind::NewGroupNeighbor {
+                host,
+                host_group,
+                peer_group,
+                ..
+            } => {
+                assert_eq!(*host, h(11));
+                assert_eq!(*host_group, GroupId(1));
+                assert_eq!(*peer_group, GroupId(3));
+            }
+            other => panic!("unexpected alert {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intra_group_flows_never_alert() {
+        let d = detector();
+        let intra = FlowRecord::pair(h(11), h(12));
+        assert!(d.check_flow(&intra).is_empty());
+    }
+
+    #[test]
+    fn unknown_hosts_are_flagged_info() {
+        let d = detector();
+        let f = FlowRecord::pair(h(99), h(1));
+        let alerts = d.check_flow(&f);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].severity, Severity::Info);
+        assert!(matches!(alerts[0].kind, AlertKind::UnknownHost { host, .. } if host == h(99)));
+    }
+
+    #[test]
+    fn fanout_spike_detected() {
+        let mut d = detector();
+        d.fanout_threshold = 5;
+        let flows: Vec<FlowRecord> =
+            (100..106).map(|x| FlowRecord::pair(h(11), h(x))).collect();
+        let alerts = d.check_window(&flows);
+        let spike = alerts
+            .iter()
+            .find(|a| matches!(a.kind, AlertKind::FanoutSpike { .. }))
+            .expect("fanout alert expected");
+        assert_eq!(spike.severity, Severity::Critical);
+        match spike.kind {
+            AlertKind::FanoutSpike { host, peers, .. } => {
+                assert_eq!(host, h(11));
+                assert_eq!(peers, 6);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Critical);
+    }
+}

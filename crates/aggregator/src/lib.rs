@@ -1,0 +1,36 @@
+//! The probe/aggregator monitoring system around the algorithms.
+//!
+//! Section 2 of the paper: probes watch links and forward address
+//! tuples; a central aggregator periodically runs the role
+//! classification algorithms, lets administrators label groups and
+//! attach group-level policies, monitors communication against those
+//! policies, and raises alerts — all at group granularity so a human can
+//! keep up. This crate is that system:
+//!
+//! * [`probe`] — probes that replay flow records into the aggregator
+//!   (the workspace stand-in for link-attached capture devices).
+//! * [`pipeline`] — the aggregator: windowed ingestion, periodic
+//!   classification runs, correlation-linked run history.
+//! * [`labels`] — persistent role labels attached to (correlated) group
+//!   ids.
+//! * [`policy`] — group-level communication policies and their
+//!   evaluation over observed flows.
+//! * [`alerts`] — alert types plus the new-neighbor anomaly detector
+//!   ("if a host in the engineering group were to suddenly start opening
+//!   connections to the SalesDatabase server, it might be a cause for
+//!   alarm").
+
+pub mod alerts;
+pub mod labels;
+pub mod pipeline;
+pub mod policy;
+pub mod profile;
+pub mod report;
+pub mod probe;
+
+pub use alerts::{Alert, AlertKind, NewNeighborDetector, Severity};
+pub use labels::LabelStore;
+pub use pipeline::{Aggregator, AggregatorConfig, RunRecord};
+pub use policy::{Policy, PolicyEngine, PolicyVerdict, Selector};
+pub use profile::ProfileBuilder;
+pub use probe::{Probe, ReplayProbe};

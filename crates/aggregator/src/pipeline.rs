@@ -1,0 +1,392 @@
+//! The aggregator: windowed ingestion and periodic classification.
+//!
+//! The aggregator pulls flow records from its probes, accumulates one
+//! observation window (the paper profiles "data gathered over a day"),
+//! runs the role classification algorithm, correlates the result with
+//! the previous run so group ids stay stable, and appends the run to its
+//! history. Shared state is lock-protected so a UI or policy engine can
+//! inspect history while ingestion continues.
+
+use crate::probe::Probe;
+use flow::{ConnectionSets, ConnsetBuilder, FlowRecord, TimeWindow};
+use parking_lot::RwLock;
+use roleclass::{apply_correlation, classify, correlate, Correlation, Grouping, Params};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Aggregator configuration.
+#[derive(Clone, Debug)]
+pub struct AggregatorConfig {
+    /// Observation window length per classification run.
+    pub window_ms: u64,
+    /// Time of the first window's start.
+    pub origin_ms: u64,
+    /// Algorithm parameters.
+    pub params: Params,
+    /// Minimum flow count per pair (noise filter) applied when building
+    /// connection sets.
+    pub min_flows: u64,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> Self {
+        AggregatorConfig {
+            window_ms: 86_400_000, // one day, like the paper's traces
+            origin_ms: 0,
+            params: Params::default(),
+            min_flows: 1,
+        }
+    }
+}
+
+/// One completed classification run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The window the run covered.
+    pub window: TimeWindow,
+    /// Connection sets observed in the window.
+    pub connsets: ConnectionSets,
+    /// The grouping, with ids already correlated to the previous run.
+    pub grouping: Grouping,
+    /// Correlation against the previous run (`None` for the first run).
+    pub correlation: Option<Correlation>,
+}
+
+/// The aggregator.
+pub struct Aggregator {
+    config: AggregatorConfig,
+    probes: Vec<Box<dyn Probe + Send>>,
+    history: Arc<RwLock<Vec<RunRecord>>>,
+    next_window_start: u64,
+}
+
+impl Aggregator {
+    /// Creates an aggregator with no probes.
+    pub fn new(config: AggregatorConfig) -> Self {
+        let next = config.origin_ms;
+        Aggregator {
+            config,
+            probes: Vec::new(),
+            history: Arc::new(RwLock::new(Vec::new())),
+            next_window_start: next,
+        }
+    }
+
+    /// Attaches a probe.
+    pub fn attach(&mut self, probe: Box<dyn Probe + Send>) {
+        self.probes.push(probe);
+    }
+
+    /// Number of attached probes.
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Shared handle to the run history (cheap to clone; read-locked on
+    /// access).
+    pub fn history(&self) -> Arc<RwLock<Vec<RunRecord>>> {
+        Arc::clone(&self.history)
+    }
+
+    /// The latest grouping, if any run has completed.
+    pub fn current_grouping(&self) -> Option<Grouping> {
+        self.history.read().last().map(|r| r.grouping.clone())
+    }
+
+    /// Returns `true` while any probe still has data at or beyond the
+    /// next window.
+    pub fn has_pending_data(&self) -> bool {
+        let next = self.next_window_start;
+        self.probes
+            .iter()
+            .any(|p| p.horizon_ms().is_none_or(|h| h > next))
+    }
+
+    /// Runs one classification cycle over the next window: polls every
+    /// probe, builds connection sets, classifies, correlates with the
+    /// previous run, and records the result.
+    ///
+    /// Returns the completed [`RunRecord`] (also appended to history).
+    pub fn run_cycle(&mut self) -> RunRecord {
+        let window = TimeWindow::new(
+            self.next_window_start,
+            self.next_window_start + self.config.window_ms,
+        );
+        self.next_window_start = window.end_ms;
+
+        let mut records: Vec<FlowRecord> = Vec::new();
+        for p in &mut self.probes {
+            records.extend(p.poll(window.start_ms, window.end_ms));
+        }
+        let mut builder = ConnsetBuilder::new().min_flows(self.config.min_flows);
+        builder.add_records(records.iter());
+        let connsets = builder.build();
+
+        let classification = classify(&connsets, &self.config.params);
+        let (grouping, correlation) = {
+            let history = self.history.read();
+            match history.last() {
+                None => (classification.grouping, None),
+                Some(prev) => {
+                    let corr = correlate(
+                        &prev.connsets,
+                        &prev.grouping,
+                        &connsets,
+                        &classification.grouping,
+                        &self.config.params,
+                    );
+                    let renamed = apply_correlation(&corr, &classification.grouping);
+                    (renamed, Some(corr))
+                }
+            }
+        };
+
+        let record = RunRecord {
+            window,
+            connsets,
+            grouping,
+            correlation,
+        };
+        self.history.write().push(record.clone());
+        record
+    }
+
+    /// Runs cycles until no probe has pending data; returns the number
+    /// of cycles executed.
+    pub fn drain(&mut self) -> usize {
+        let mut cycles = 0;
+        while self.has_pending_data() {
+            self.run_cycle();
+            cycles += 1;
+        }
+        cycles
+    }
+
+    /// The group-membership history of one host across all completed
+    /// runs — the signal the paper's monitoring system consults when
+    /// "deciding whether a host's behavior matches the expected policy
+    /// setting, partly based on the history of the host's group
+    /// membership" (Section 2). `None` entries are windows where the
+    /// host was not observed.
+    pub fn host_timeline(&self, h: flow::HostAddr) -> Vec<(TimeWindow, Option<roleclass::GroupId>)> {
+        self.history
+            .read()
+            .iter()
+            .map(|run| (run.window, run.grouping.group_of(h)))
+            .collect()
+    }
+
+    /// Fraction of observed windows in which `h` kept the group id of
+    /// its previous observation, in `[0, 1]`; `None` with fewer than two
+    /// observations. A low score means the host's role is drifting —
+    /// grounds for scrutiny under group-history-based policies.
+    pub fn membership_stability(&self, h: flow::HostAddr) -> Option<f64> {
+        let observed: Vec<roleclass::GroupId> = self
+            .host_timeline(h)
+            .into_iter()
+            .filter_map(|(_, g)| g)
+            .collect();
+        if observed.len() < 2 {
+            return None;
+        }
+        let stable = observed.windows(2).filter(|w| w[0] == w[1]).count();
+        Some(stable as f64 / (observed.len() - 1) as f64)
+    }
+
+    /// Serializes the entire run history as JSON, so an operator can
+    /// archive or inspect past partitionings.
+    pub fn export_history(&self) -> String {
+        serde_json::to_string_pretty(&*self.history.read()).expect("history serializes")
+    }
+
+    /// Restores run history from JSON produced by
+    /// [`Aggregator::export_history`], replacing the current history.
+    /// The next window resumes after the last imported one.
+    pub fn import_history(&mut self, json: &str) -> Result<usize, serde_json::Error> {
+        let runs: Vec<RunRecord> = serde_json::from_str(json)?;
+        if let Some(last) = runs.last() {
+            self.next_window_start = last.window.end_ms;
+        }
+        let n = runs.len();
+        *self.history.write() = runs;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ReplayProbe;
+    use flow::HostAddr;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    /// Builds a day of identical-structure flows for two client pods.
+    fn day_trace(day: u64, db_host: u32) -> Vec<FlowRecord> {
+        let base = day * 1000;
+        let mut out = Vec::new();
+        let mut push = |a: u32, b: u32, off: u64| {
+            let mut f = FlowRecord::pair(h(a), h(b));
+            f.start_ms = base + off;
+            out.push(f);
+        };
+        for (i, s) in [11, 12, 13].into_iter().enumerate() {
+            push(s, 1, i as u64);
+            push(s, 2, 10 + i as u64);
+            push(s, db_host, 20 + i as u64);
+        }
+        for (i, e) in [21, 22, 23].into_iter().enumerate() {
+            push(e, 1, 30 + i as u64);
+            push(e, 2, 40 + i as u64);
+            push(e, 4, 50 + i as u64);
+        }
+        out
+    }
+
+    fn config() -> AggregatorConfig {
+        AggregatorConfig {
+            window_ms: 1000,
+            origin_ms: 0,
+            // Keep formation-phase groups: more structure to correlate.
+            params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+            min_flows: 1,
+        }
+    }
+
+    #[test]
+    fn single_cycle_produces_grouping() {
+        let mut agg = Aggregator::new(config());
+        agg.attach(Box::new(ReplayProbe::new("p0", day_trace(0, 3))));
+        assert_eq!(agg.probe_count(), 1);
+        assert!(agg.has_pending_data());
+        let run = agg.run_cycle();
+        assert_eq!(run.window, TimeWindow::new(0, 1000));
+        assert_eq!(run.grouping.host_count(), 10);
+        assert!(run.correlation.is_none());
+        assert!(agg.current_grouping().is_some());
+    }
+
+    #[test]
+    fn stable_network_keeps_ids_across_cycles() {
+        let mut agg = Aggregator::new(config());
+        let trace: Vec<FlowRecord> = day_trace(0, 3)
+            .into_iter()
+            .chain(day_trace(1, 3))
+            .collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        let first = agg.run_cycle();
+        let second = agg.run_cycle();
+        assert!(second.correlation.is_some());
+        // Identical structure: every group id survives.
+        assert_eq!(
+            first.grouping.group_of(h(11)),
+            second.grouping.group_of(h(11))
+        );
+        assert_eq!(
+            first.grouping.group_of(h(1)),
+            second.grouping.group_of(h(1))
+        );
+        assert_eq!(
+            first.grouping.group_count(),
+            second.grouping.group_count()
+        );
+    }
+
+    #[test]
+    fn drain_runs_until_horizon() {
+        let mut agg = Aggregator::new(config());
+        let trace: Vec<FlowRecord> = (0..3).flat_map(|d| day_trace(d, 3)).collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        let cycles = agg.drain();
+        assert_eq!(cycles, 3);
+        assert!(!agg.has_pending_data());
+        assert_eq!(agg.history().read().len(), 3);
+    }
+
+    #[test]
+    fn multiple_probes_merge_views() {
+        // Each probe sees one pod; the aggregator sees both.
+        let mut agg = Aggregator::new(config());
+        let (pod_a, pod_b): (Vec<FlowRecord>, Vec<FlowRecord>) = day_trace(0, 3)
+            .into_iter()
+            .partition(|r| r.src.0 < 20 && r.dst.0 < 20);
+        agg.attach(Box::new(ReplayProbe::new("probe-a", pod_a)));
+        agg.attach(Box::new(ReplayProbe::new("probe-b", pod_b)));
+        let run = agg.run_cycle();
+        assert_eq!(run.grouping.host_count(), 10);
+    }
+
+    #[test]
+    fn host_timeline_and_stability() {
+        let mut agg = Aggregator::new(config());
+        let trace: Vec<FlowRecord> = (0..3).flat_map(|d| day_trace(d, 3)).collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        agg.drain();
+        let tl = agg.host_timeline(h(11));
+        assert_eq!(tl.len(), 3);
+        assert!(tl.iter().all(|(_, g)| g.is_some()));
+        // Stable network: perfect stability.
+        assert_eq!(agg.membership_stability(h(11)), Some(1.0));
+        // Unknown host: observed nowhere.
+        let tl99 = agg.host_timeline(h(99));
+        assert!(tl99.iter().all(|(_, g)| g.is_none()));
+        assert_eq!(agg.membership_stability(h(99)), None);
+    }
+
+    #[test]
+    fn history_export_import_round_trip() {
+        let mut agg = Aggregator::new(config());
+        let trace: Vec<FlowRecord> = day_trace(0, 3)
+            .into_iter()
+            .chain(day_trace(1, 3))
+            .collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace.clone())));
+        agg.drain();
+        let json = agg.export_history();
+
+        // A fresh aggregator resumes from the imported history: the same
+        // group ids survive into the next cycle.
+        let mut agg2 = Aggregator::new(config());
+        let day2: Vec<FlowRecord> = day_trace(2, 3);
+        agg2.attach(Box::new(ReplayProbe::new("p0", day2)));
+        assert_eq!(agg2.import_history(&json).unwrap(), 2);
+        let run3 = agg2.run_cycle();
+        assert_eq!(run3.window.start_ms, 2000);
+        assert!(run3.correlation.is_some());
+        let prev = agg.current_grouping().unwrap();
+        assert_eq!(
+            prev.group_of(h(11)),
+            run3.grouping.group_of(h(11)),
+            "imported history must anchor correlation"
+        );
+    }
+
+    #[test]
+    fn min_flows_filters_noise() {
+        let mut cfg = config();
+        cfg.min_flows = 2;
+        let mut agg = Aggregator::new(cfg);
+        // One stray flow: should be filtered, leaving the pair isolated.
+        let mut stray = FlowRecord::pair(h(77), h(78));
+        stray.start_ms = 5;
+        let mut trace = day_trace(0, 3);
+        trace.push(stray);
+        // Double every legitimate flow so it clears the filter.
+        let doubled: Vec<FlowRecord> = trace
+            .iter()
+            .flat_map(|r| {
+                if r.src == h(77) {
+                    vec![*r]
+                } else {
+                    vec![*r, *r]
+                }
+            })
+            .collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", doubled)));
+        let run = agg.run_cycle();
+        assert!(!run.connsets.connected(h(77), h(78)));
+        assert!(run.connsets.connected(h(11), h(1)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Human-readable run reports.
+//!
+//! The paper's system presents everything "on the level of groups
+//! (instead of individual hosts)" so "a network manager is able to
+//! understand and process the changes and alerts more easily"
+//! (Section 2). This module renders a [`RunRecord`] — and the changes
+//! since the previous run — as the text summary such a manager would
+//! read.
+
+use crate::labels::LabelStore;
+use crate::pipeline::RunRecord;
+use roleclass::diff_groupings;
+use std::fmt::Write as _;
+
+/// Renders a one-run summary: window, population, groups (largest
+/// first) with labels where assigned.
+pub fn render_run(run: &RunRecord, labels: &LabelStore) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run over [{} ms, {} ms): {} hosts, {} connections -> {} groups",
+        run.window.start_ms,
+        run.window.end_ms,
+        run.connsets.host_count(),
+        run.connsets.connection_count(),
+        run.grouping.group_count()
+    );
+    for g in run.grouping.largest(usize::MAX) {
+        let label = labels
+            .get(g.id)
+            .map(|l| format!(" \"{l}\""))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  group {:>4}{label}  K={:<3} {:>5} host(s)",
+            g.id.to_string(),
+            g.k,
+            g.len()
+        );
+    }
+    if let Some(corr) = &run.correlation {
+        let _ = writeln!(
+            out,
+            "correlation: {} matched, {} new, {} vanished, {} hosts arrived, {} left",
+            corr.id_map.len(),
+            corr.new_groups.len(),
+            corr.vanished_groups.len(),
+            corr.added_hosts.len(),
+            corr.removed_hosts.len()
+        );
+    }
+    out
+}
+
+/// Renders the changes between two runs (whose groupings must already be
+/// id-correlated, which [`crate::Aggregator`] guarantees).
+pub fn render_changes(prev: &RunRecord, curr: &RunRecord) -> String {
+    let d = diff_groupings(&prev.grouping, &curr.grouping);
+    d.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Aggregator, AggregatorConfig};
+    use crate::probe::ReplayProbe;
+    use flow::{FlowRecord, HostAddr};
+    use roleclass::Params;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    fn run_once() -> RunRecord {
+        let mut flows = Vec::new();
+        for c in [11u32, 12, 13] {
+            for s in [1u32, 2] {
+                let mut f = FlowRecord::pair(h(c), h(s));
+                f.start_ms = 10;
+                flows.push(f);
+            }
+        }
+        let mut agg = Aggregator::new(AggregatorConfig {
+            window_ms: 1000,
+            origin_ms: 0,
+            params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+            min_flows: 1,
+        });
+        agg.attach(Box::new(ReplayProbe::new("p", flows)));
+        agg.run_cycle()
+    }
+
+    #[test]
+    fn run_report_mentions_groups_and_labels() {
+        let run = run_once();
+        let mut labels = LabelStore::new();
+        let gid = run.grouping.group_of(h(11)).unwrap();
+        labels.set(gid, "clients");
+        let text = render_run(&run, &labels);
+        assert!(text.contains("5 hosts"));
+        assert!(text.contains("\"clients\""));
+        assert!(text.contains("-> 2 groups"));
+    }
+
+    #[test]
+    fn changes_report_between_identical_runs_is_empty() {
+        let a = run_once();
+        let text = render_changes(&a, &a);
+        assert!(text.contains("no changes"));
+    }
+}

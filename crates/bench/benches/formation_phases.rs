@@ -1,0 +1,52 @@
+//! Criterion bench: the algorithm's phases in isolation — formation,
+//! merging, and correlation — on the Mazu scenario. Shows where the
+//! time goes (the paper only reports end-to-end numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roleclass::{classify, correlate, form_groups, merge_groups, Params};
+use synthnet::{churn, scenarios};
+
+fn bench_formation(c: &mut Criterion) {
+    let net = scenarios::mazu(42);
+    let params = Params::default();
+    c.bench_function("formation_mazu", |b| {
+        b.iter(|| form_groups(&net.connsets, &params))
+    });
+}
+
+fn bench_merging(c: &mut Criterion) {
+    let net = scenarios::mazu(42);
+    let params = Params::default();
+    c.bench_function("merging_mazu", |b| {
+        b.iter_batched(
+            || form_groups(&net.connsets, &params),
+            |formation| merge_groups(&net.connsets, formation, &params),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let params = Params::default();
+    let before = scenarios::mazu(42);
+    let g_before = classify(&before.connsets, &params).grouping;
+    let mut after = before.clone();
+    let unix_mail = before.host("unix_mail");
+    let exchange = before.host("ms_exchange");
+    churn::swap_hosts(&mut after, unix_mail, exchange);
+    let g_after = classify(&after.connsets, &params).grouping;
+    c.bench_function("correlate_mazu_swap", |b| {
+        b.iter(|| {
+            correlate(
+                &before.connsets,
+                &g_before,
+                &after.connsets,
+                &g_after,
+                &params,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_formation, bench_merging, bench_correlation);
+criterion_main!(benches);

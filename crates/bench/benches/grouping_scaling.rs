@@ -1,0 +1,47 @@
+//! Criterion bench: run time of the full classification vs network size
+//! (the Table 2 scaling claim, measured rigorously at small scale).
+//!
+//! The paper claims run time "grows quadratically with the number of
+//! hosts". We time `classify` on a parametric department network at
+//! doubling sizes; the Criterion report exposes the growth curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roleclass::{classify, Params};
+use synthnet::{ConnRule, Fanout, NetworkModel, RoleSpec};
+
+/// A department-structured network with ~n hosts.
+fn department_network(n: usize) -> flow::ConnectionSets {
+    let mut m = NetworkModel::new();
+    let core = m.role(RoleSpec::servers("core", 4));
+    let dept_size = 46; // 43 workstations + 3 servers
+    let depts = (n / dept_size).max(1);
+    for d in 0..depts {
+        let ws = m.role(RoleSpec::clients(&format!("d{d}_ws"), 43));
+        let srv = m.role(RoleSpec::servers(&format!("d{d}_srv"), 3));
+        m.rule(ConnRule::new(ws, srv, Fanout::All));
+        m.rule(ConnRule::new(ws, core, Fanout::Exactly(2)));
+    }
+    m.generate(7).connsets
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_scaling");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1000, 2000] {
+        let cs = department_network(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cs, |b, cs| {
+            b.iter(|| classify(cs, &Params::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mazu_end_to_end(c: &mut Criterion) {
+    let net = synthnet::scenarios::mazu(42);
+    c.bench_function("classify_mazu_110", |b| {
+        b.iter(|| classify(&net.connsets, &Params::default()))
+    });
+}
+
+criterion_group!(benches, bench_scaling, bench_mazu_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: the substrate hot paths — biconnected components,
+//! common-neighbor counting, and the wire-format parsers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flow::{netflow, pcap};
+use netgraph::{biconnected_components, common_neighbor_min_weights, NodeId, SimpleGraph, WGraph};
+use synthnet::{scenarios, trace};
+
+/// Connectivity graph of the Mazu scenario as a WGraph.
+fn mazu_graph() -> WGraph {
+    let net = scenarios::mazu(42);
+    let mut g = WGraph::new();
+    let mut ids = std::collections::BTreeMap::new();
+    for h in net.connsets.hosts() {
+        ids.insert(h, g.add_node());
+    }
+    for (a, b) in net.connsets.edges() {
+        g.add_edge(ids[&a], ids[&b], 1);
+    }
+    g
+}
+
+fn bench_bcc(c: &mut Criterion) {
+    // A 2000-node graph of chained triangles: 1000 BCCs.
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for i in 0..1000u32 {
+        let base = i * 2;
+        edges.push((NodeId(base), NodeId(base + 1)));
+        edges.push((NodeId(base + 1), NodeId(base + 2)));
+        edges.push((NodeId(base), NodeId(base + 2)));
+    }
+    let g = SimpleGraph::from_edges([], edges);
+    c.bench_function("bcc_chained_triangles_2k", |b| {
+        b.iter(|| biconnected_components(&g))
+    });
+}
+
+fn bench_common_neighbors(c: &mut Criterion) {
+    let g = mazu_graph();
+    c.bench_function("common_neighbor_min_weights_mazu", |b| {
+        b.iter(|| common_neighbor_min_weights(&g, |_| true))
+    });
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let net = scenarios::figure1(10, 10);
+    let records = trace::expand(&net.connsets, trace::TraceOptions::default(), 3);
+    let nf_bytes = netflow::write_stream(&records, 0);
+    let pcap_bytes = pcap::write_file(&records);
+    c.bench_function("netflow_v5_parse", |b| {
+        b.iter(|| netflow::parse_stream(&nf_bytes).expect("valid stream"))
+    });
+    c.bench_function("pcap_parse", |b| {
+        b.iter(|| pcap::parse_file(&pcap_bytes).expect("valid capture"))
+    });
+}
+
+criterion_group!(benches, bench_bcc, bench_common_neighbors, bench_parsers);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Experiment `abl_alpha_beta` — Section 6.3's internal constants.
+//!
+//! The paper fixes α = 0.6 (bootstrap) and β = 0.5 (connection
+//! requirement) and claims the defaults "work well on at least two
+//! rather different networks". This ablation sweeps both constants on
+//! the Mazu scenario and reports group counts and Rand statistics, plus
+//! an ablation of the two SIMILARITY normalizations (DESIGN.md §5).
+
+use bench::{banner, render_table};
+use cluster::metrics;
+use roleclass::{classify, Params, SimilarityVariant};
+use synthnet::scenarios;
+
+fn main() {
+    banner("abl_alpha_beta", "§6.3 internal constants (α, β) + similarity variant");
+    let net = scenarios::mazu(42);
+    let truth = net.truth.partition();
+
+    println!("alpha sweep (bootstrap constant; beta = 0.5):");
+    let mut rows = Vec::new();
+    for alpha in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let params = Params::default().with_alpha(alpha);
+        let c = classify(&net.connsets, &params);
+        let r = metrics::rand_statistic(&truth, &c.grouping.as_partition());
+        rows.push(vec![
+            format!("{alpha:.1}"),
+            c.grouping.group_count().to_string(),
+            format!("{r:.4}"),
+        ]);
+    }
+    println!("{}", render_table(&["alpha", "groups", "Rand"], &rows));
+
+    println!("beta sweep (connection requirement; alpha = 0.6):");
+    let mut rows = Vec::new();
+    for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let params = Params::default().with_beta(beta);
+        let c = classify(&net.connsets, &params);
+        let r = metrics::rand_statistic(&truth, &c.grouping.as_partition());
+        rows.push(vec![
+            format!("{beta:.2}"),
+            c.grouping.group_count().to_string(),
+            format!("{r:.4}"),
+        ]);
+    }
+    println!("{}", render_table(&["beta", "groups", "Rand"], &rows));
+
+    println!("similarity-variant ablation (DESIGN.md §5 note 2):");
+    let mut rows = Vec::new();
+    for (name, variant) in [
+        ("normalized", SimilarityVariant::Normalized),
+        ("literal", SimilarityVariant::Literal),
+    ] {
+        let mut params = Params::default();
+        params.similarity = variant;
+        let c = classify(&net.connsets, &params);
+        let r = metrics::rand_statistic(&truth, &c.grouping.as_partition());
+        rows.push(vec![
+            name.to_string(),
+            c.grouping.group_count().to_string(),
+            format!("{r:.4}"),
+        ]);
+    }
+    println!("{}", render_table(&["variant", "groups", "Rand"], &rows));
+    println!("paper defaults: alpha = 0.6, beta = 0.5");
+}

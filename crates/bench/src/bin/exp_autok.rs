@@ -1,0 +1,49 @@
+//! Experiment `abl_autok` — automatic `K^hi` selection (the paper's
+//! §6.4 future-work item, implemented in `roleclass::autotune`).
+//!
+//! Compares the grouping quality of the paper's fixed default
+//! (`K^hi = 7`) against the two automatic selectors, on the Mazu and
+//! BigCompany scenarios. Pass `--quick` for Mazu only.
+
+use bench::{banner, quick_mode, render_table};
+use cluster::metrics;
+use roleclass::{auto_k_hi_kcore, auto_k_hi_otsu, classify, Params};
+use synthnet::scenarios;
+
+fn main() {
+    banner("abl_autok", "§6.4 future work: automatic K^hi selection");
+    let mut nets = vec![("mazu", scenarios::mazu(42))];
+    if !quick_mode() {
+        nets.push(("big_company", scenarios::big_company(1)));
+    }
+
+    for (name, net) in nets {
+        let truth = net.truth.partition();
+        let otsu = auto_k_hi_otsu(&net.connsets);
+        let kcore = auto_k_hi_kcore(&net.connsets, 0.5);
+        println!(
+            "{name}: otsu K^hi = {otsu}, k-core-knee K^hi = {kcore}, paper default = 7"
+        );
+
+        let mut rows = Vec::new();
+        for (label, k_hi) in [
+            ("default(7)", 7u32),
+            ("otsu", otsu.max(1)),
+            ("k-core", kcore.max(1)),
+        ] {
+            let c = classify(&net.connsets, &Params::default().with_k_hi(k_hi));
+            let part = c.grouping.as_partition();
+            rows.push(vec![
+                label.to_string(),
+                k_hi.to_string(),
+                c.grouping.group_count().to_string(),
+                format!("{:.4}", metrics::rand_statistic(&truth, &part)),
+                format!("{:.4}", metrics::adjusted_rand_index(&truth, &part)),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["selector", "K^hi", "groups", "Rand", "ARI"], &rows)
+        );
+    }
+}

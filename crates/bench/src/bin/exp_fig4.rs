@@ -1,0 +1,79 @@
+//! Experiment `fig4_mazu` — reproduces Figure 4 and the Section 6.1
+//! Rand-statistic numbers for the Mazu network.
+//!
+//! Classifies the 110-host Mazu scenario with the paper's default
+//! thresholds, prints every group Figure 4-style (members by true role,
+//! `K_G`, per-neighbor average connection counts), and computes the pair
+//! counts (SS/SD/DS/DD) and Rand statistic against the ground-truth
+//! partitioning (the paper reports SS=452, SD=710, DS=133, DD=3856,
+//! R=0.8363 against the administrator's partitioning).
+
+use bench::{banner, render_table};
+use cluster::metrics;
+use roleclass::{classify, Params};
+use std::collections::BTreeMap;
+use synthnet::scenarios;
+
+fn main() {
+    banner("fig4_mazu", "Figure 4 (Mazu grouping) + §6.1 Rand statistic");
+    let net = scenarios::mazu(42);
+    let c = classify(&net.connsets, &Params::default());
+
+    println!(
+        "mazu: {} hosts -> {} groups (paper: 110 hosts -> 25 groups)\n",
+        net.host_count(),
+        c.grouping.group_count()
+    );
+
+    for nb in &c.neighborhoods {
+        let group = c.grouping.group(nb.id).expect("group exists");
+        let mut roles: BTreeMap<&str, usize> = BTreeMap::new();
+        for &m in &group.members {
+            *roles.entry(net.truth.role_of(m).unwrap_or("?")).or_default() += 1;
+        }
+        let role_list: Vec<String> = roles
+            .iter()
+            .map(|(r, n)| format!("{r} x{n}"))
+            .collect();
+        println!(
+            "group {} (K={})  {} members: {}",
+            nb.id,
+            nb.k,
+            nb.size,
+            role_list.join(", ")
+        );
+        for &(peer, avg) in nb.neighbors.iter().take(5) {
+            println!("    comm with group {peer}: avg {avg:.1} connections");
+        }
+    }
+
+    let truth = net.truth.partition();
+    let ours = c.grouping.as_partition();
+    let pc = metrics::pair_counts(&truth, &ours);
+    println!();
+    let rows = vec![
+        vec![
+            "this run".to_string(),
+            pc.ss.to_string(),
+            pc.sd.to_string(),
+            pc.ds.to_string(),
+            pc.dd.to_string(),
+            format!("{:.4}", pc.rand()),
+        ],
+        vec![
+            "paper".to_string(),
+            "452".to_string(),
+            "710".to_string(),
+            "133".to_string(),
+            "3856".to_string(),
+            "0.8363".to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["source", "SS", "SD", "DS", "DD", "Rand R"], &rows)
+    );
+    println!("adjusted Rand: {:.4}", metrics::adjusted_rand_index(&truth, &ours));
+    println!("purity:        {:.4}", metrics::purity(&truth, &ours));
+    println!("NMI:           {:.4}", metrics::nmi(&truth, &ours));
+}

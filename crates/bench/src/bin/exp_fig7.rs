@@ -1,0 +1,69 @@
+//! Experiment `fig7_khi` — reproduces Figure 7: number of groups vs the
+//! `K^hi` threshold, for Mazu and BigCompany.
+//!
+//! `K^hi = 0` makes every merge clear the strict `S^hi`; a large `K^hi`
+//! lets everything merge at `S^lo`. The paper's claim: the curve
+//! flattens at a small network-specific value (Mazu stabilizes for
+//! `K^hi >= 4`, BigCompany for `K^hi >= 3`), so choosing `K^hi` is easy.
+//! Pass `--quick` to sweep Mazu only.
+
+use bench::{banner, quick_mode, render_table};
+use roleclass::{classify, Params};
+use synthnet::scenarios;
+
+fn sweep(name: &str, net: &synthnet::SyntheticNetwork) -> Vec<(u32, usize)> {
+    let mut out = Vec::new();
+    for k_hi in 0..=12u32 {
+        let params = Params::default().with_k_hi(k_hi);
+        let c = classify(&net.connsets, &params);
+        out.push((k_hi, c.grouping.group_count()));
+        eprintln!("[{name}] K^hi = {k_hi:>2}: {} groups", c.grouping.group_count());
+    }
+    out
+}
+
+fn main() {
+    banner("fig7_khi", "Figure 7 (number of groups vs K^hi)");
+    let mazu = scenarios::mazu(42);
+    let mazu_series = sweep("mazu", &mazu);
+    let bigco_series = if quick_mode() {
+        None
+    } else {
+        Some(sweep("big_company", &scenarios::big_company(1)))
+    };
+
+    let mut rows = Vec::new();
+    for (i, &(k_hi, mazu_groups)) in mazu_series.iter().enumerate() {
+        let big = bigco_series
+            .as_ref()
+            .map(|s| s[i].1.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        rows.push(vec![k_hi.to_string(), mazu_groups.to_string(), big]);
+    }
+    println!(
+        "{}",
+        render_table(&["K^hi", "Mazu groups", "BigCompany groups"], &rows)
+    );
+
+    // Where does each curve stabilize?
+    let stabilization = |series: &[(u32, usize)]| -> u32 {
+        let last = series.last().expect("non-empty sweep").1;
+        series
+            .iter()
+            .rev()
+            .take_while(|&&(_, g)| g == last)
+            .last()
+            .map(|&(k, _)| k)
+            .unwrap_or(0)
+    };
+    println!(
+        "mazu stabilizes at K^hi = {} (paper: >= 4)",
+        stabilization(&mazu_series)
+    );
+    if let Some(s) = &bigco_series {
+        println!(
+            "big_company stabilizes at K^hi = {} (paper: >= 3)",
+            stabilization(s)
+        );
+    }
+}

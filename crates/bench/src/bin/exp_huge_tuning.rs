@@ -1,0 +1,34 @@
+//! Experiment `huge_tuning` — HugeCompany (49 041 hosts) group quality
+//! under the default `K^hi = 7` vs the automatic Otsu selector.
+//!
+//! Reproduces the tuning observation documented in DESIGN.md §5 note 9
+//! and the Table 2 note of EXPERIMENTS.md: at this scale the default
+//! `K^hi` strands coincidental-overlap pair groups behind the strict
+//! `S^hi` gate, while a degree-distribution-derived threshold lets the
+//! merging phase consolidate them. Expect ~10 minutes per configuration
+//! on a single core.
+
+use cluster::metrics;
+use roleclass::{auto_k_hi_otsu, classify, Params};
+use std::collections::BTreeMap;
+use synthnet::scenarios;
+
+fn main() {
+    let net = scenarios::huge_company(1);
+    let truth = net.truth.partition();
+    let otsu = auto_k_hi_otsu(&net.connsets);
+    println!("otsu K^hi = {otsu} (default 7)");
+    for (label, k_hi) in [("default(7)", 7u32), ("auto-otsu", otsu.max(1))] {
+        let (c, secs) = bench::timed(|| classify(&net.connsets, &Params::default().with_k_hi(k_hi)));
+        let mut by_size: BTreeMap<usize, usize> = BTreeMap::new();
+        for g in c.grouping.groups() {
+            *by_size.entry(g.len()).or_default() += 1;
+        }
+        let rand = metrics::rand_statistic(&truth, &c.grouping.as_partition());
+        println!(
+            "{label}: {} groups in {secs:.0}s, Rand {rand:.4}, sizes<=3: {}",
+            c.grouping.group_count(),
+            by_size.iter().filter(|&(&s, _)| s <= 3).map(|(_, &n)| n).sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Experiment `tab2_summary` — reproduces Table 2: hosts, groups and run
+//! time for the three evaluation networks.
+//!
+//! The paper's Table 2 (2 GHz Xeon, 4 GB):
+//!
+//! | Network     | Hosts  | Groups | Run time (s) |
+//! |-------------|--------|--------|--------------|
+//! | Mazu        | 110    | 25     | 0.069        |
+//! | BigCompany  | 3638   | 137    | 63           |
+//! | HugeCompany | 49041  | 1374   | 2101         |
+//!
+//! Absolute times differ with hardware; the claims under test are the
+//! one-to-two-orders-of-magnitude host→group reduction and the roughly
+//! quadratic growth of run time with host count. Pass `--quick` to skip
+//! the HugeCompany row.
+
+use bench::{banner, quick_mode, render_table, timed};
+use roleclass::{classify, Params};
+use synthnet::scenarios;
+
+fn main() {
+    banner("tab2_summary", "Table 2 (summarized grouping results)");
+    let params = Params::default();
+    let mut rows = Vec::new();
+    let mut measured: Vec<(usize, f64)> = Vec::new();
+
+    let nets: Vec<(&str, synthnet::SyntheticNetwork, &str, &str)> = if quick_mode() {
+        vec![
+            ("Mazu", scenarios::mazu(42), "25", "0.069"),
+            ("BigCompany", scenarios::big_company(1), "137", "63"),
+        ]
+    } else {
+        vec![
+            ("Mazu", scenarios::mazu(42), "25", "0.069"),
+            ("BigCompany", scenarios::big_company(1), "137", "63"),
+            ("HugeCompany", scenarios::huge_company(1), "1374", "2101"),
+        ]
+    };
+
+    for (name, net, paper_groups, paper_secs) in nets {
+        let hosts = net.host_count();
+        let (c, secs) = timed(|| classify(&net.connsets, &params));
+        measured.push((hosts, secs));
+        rows.push(vec![
+            name.to_string(),
+            hosts.to_string(),
+            c.grouping.group_count().to_string(),
+            format!("{secs:.3}"),
+            paper_groups.to_string(),
+            paper_secs.to_string(),
+        ]);
+        eprintln!("[done] {name}: {hosts} hosts in {secs:.3}s");
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Network",
+                "Hosts",
+                "Groups",
+                "Run time(s)",
+                "Paper groups",
+                "Paper time(s)"
+            ],
+            &rows
+        )
+    );
+
+    if measured.len() >= 2 {
+        println!("scaling exponents (paper claims ~quadratic, i.e. ~2):");
+        for w in measured.windows(2) {
+            let (n1, t1) = w[0];
+            let (n2, t2) = w[1];
+            if t1 > 0.0 && t2 > 0.0 {
+                let exp = (t2 / t1).ln() / (n2 as f64 / n1 as f64).ln();
+                println!("  {n1} -> {n2} hosts: time^{exp:.2}");
+            }
+        }
+    }
+}

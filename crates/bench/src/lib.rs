@@ -1,0 +1,96 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each paper table/figure has a binary in `src/bin/` (see DESIGN.md §4
+//! for the index). This library holds the common pieces: plain-text
+//! table/series rendering, wall-clock timing, and quick-mode handling so
+//! integration tests can run the experiments at reduced scale.
+
+use std::time::Instant;
+
+/// Renders a fixed-width text table with a header row.
+///
+/// Column widths adapt to content; numeric alignment is the caller's
+/// business (pre-format the cells).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs `f`, returning its result and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Returns `true` when the experiment should run at reduced scale
+/// (`--quick` argument or `EXP_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("EXP_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, paper_artifact: &str) {
+    println!("=== {id} — reproduces {paper_artifact} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["Network", "Hosts"],
+            &[
+                vec!["Mazu".into(), "110".into()],
+                vec!["BigCompany".into(), "3638".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Network"));
+        assert!(lines[3].starts_with("BigCompany"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, secs) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

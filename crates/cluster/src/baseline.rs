@@ -1,0 +1,125 @@
+//! Similarity-threshold connected-components baseline.
+//!
+//! The simplest conceivable grouping that "respects similarity": draw an
+//! edge between every host pair sharing at least `min_common` neighbors
+//! (the paper's Equation 1 similarity) and call each connected component
+//! a group. It corresponds to running the formation phase with
+//! single-linkage components instead of biconnected components — exactly
+//! the structure the paper rejects because one promiscuous host chains
+//! unrelated roles together. The benchmarks quantify that failure.
+
+use flow::{ConnectionSets, HostAddr};
+use netgraph::{connected_components, SimpleGraph};
+use netgraph::NodeId;
+use std::collections::BTreeMap;
+
+/// Configuration for the threshold-components baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct SimilarityComponentsConfig {
+    /// Minimum shared-neighbor count for an edge.
+    pub min_common: usize,
+}
+
+impl Default for SimilarityComponentsConfig {
+    fn default() -> Self {
+        SimilarityComponentsConfig { min_common: 2 }
+    }
+}
+
+/// Groups hosts into connected components of the thresholded similarity
+/// graph. Hosts with no qualifying pair become singletons.
+pub fn similarity_components(
+    cs: &ConnectionSets,
+    config: &SimilarityComponentsConfig,
+) -> Vec<Vec<HostAddr>> {
+    let hosts: Vec<HostAddr> = cs.hosts().collect();
+    let index: BTreeMap<HostAddr, u32> = hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (h, i as u32))
+        .collect();
+    let mut edges = Vec::new();
+    for i in 0..hosts.len() {
+        for j in (i + 1)..hosts.len() {
+            if cs.similarity(hosts[i], hosts[j]) >= config.min_common.max(1) {
+                edges.push((NodeId(index[&hosts[i]]), NodeId(index[&hosts[j]])));
+            }
+        }
+    }
+    let g = SimpleGraph::from_edges(
+        hosts.iter().map(|h| NodeId(index[h])),
+        edges,
+    );
+    connected_components(&g)
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|n| hosts[n.index()]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    #[test]
+    fn groups_shared_habit_clients() {
+        let mut cs = ConnectionSets::new();
+        for c in [11, 12, 13] {
+            cs.add_pair(h(c), h(1));
+            cs.add_pair(h(c), h(2));
+        }
+        let groups = similarity_components(&cs, &SimilarityComponentsConfig::default());
+        let clients = groups
+            .iter()
+            .find(|g| g.contains(&h(11)))
+            .expect("clients grouped");
+        assert_eq!(clients.len(), 3);
+    }
+
+    #[test]
+    fn singletons_preserved() {
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(2));
+        cs.add_host(h(9));
+        let groups = similarity_components(&cs, &SimilarityComponentsConfig::default());
+        assert_eq!(groups.len(), 3); // no pair shares >= 2 neighbors
+    }
+
+    #[test]
+    fn chaining_failure_mode() {
+        // A bridge host that talks to both pods' servers chains the two
+        // client populations into one component — the failure the BCC
+        // approach avoids (a single node is not biconnected to both
+        // sides).
+        let mut cs = ConnectionSets::new();
+        for c in [11, 12] {
+            cs.add_pair(h(c), h(1));
+            cs.add_pair(h(c), h(2));
+        }
+        for c in [21, 22] {
+            cs.add_pair(h(c), h(3));
+            cs.add_pair(h(c), h(4));
+        }
+        // The promiscuous host talks to everything.
+        for s in [1, 2, 3, 4] {
+            cs.add_pair(h(99), h(s));
+        }
+        let groups = similarity_components(&cs, &SimilarityComponentsConfig { min_common: 2 });
+        let blob = groups.iter().find(|g| g.contains(&h(11))).unwrap();
+        assert!(
+            blob.contains(&h(21)),
+            "baseline should exhibit the chaining failure"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(
+            similarity_components(&ConnectionSets::new(), &SimilarityComponentsConfig::default())
+                .is_empty()
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Hierarchical agglomerative clustering over connection sets.
+//!
+//! The traditional clustering technique the paper positions itself
+//! against (Section 7): represent each host by its neighbor set, merge
+//! the closest pair of clusters until the best distance exceeds a
+//! threshold. Distance is Jaccard distance between (unioned) neighbor
+//! sets, which sidesteps the paper's observation that Euclidean
+//! embeddings of connection patterns are meaningless — making this the
+//! *strong* version of the baseline.
+
+use flow::{ConnectionSets, HostAddr};
+
+/// Inter-cluster distance definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// HAC configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HacConfig {
+    /// Linkage criterion.
+    pub linkage: Linkage,
+    /// Stop merging once the best available distance exceeds this
+    /// (Jaccard distance, `0.0` identical neighbor sets, `1.0` disjoint).
+    pub max_distance: f64,
+}
+
+impl Default for HacConfig {
+    fn default() -> Self {
+        HacConfig {
+            linkage: Linkage::Average,
+            max_distance: 0.6,
+        }
+    }
+}
+
+/// Jaccard distance between two hosts' neighbor sets.
+fn jaccard_distance(cs: &ConnectionSets, a: HostAddr, b: HostAddr) -> f64 {
+    let (Some(ca), Some(cb)) = (cs.neighbors(a), cs.neighbors(b)) else {
+        return 1.0;
+    };
+    if ca.is_empty() && cb.is_empty() {
+        return 0.0;
+    }
+    let inter = ca.intersection(cb).count() as f64;
+    let union = ca.union(cb).count() as f64;
+    1.0 - inter / union
+}
+
+/// Runs hierarchical agglomerative clustering over the hosts of `cs`.
+///
+/// `O(n³)` in the worst case (it is a baseline, not a product); fine for
+/// the thousands-of-hosts networks of the evaluation.
+pub fn hac_cluster(cs: &ConnectionSets, config: &HacConfig) -> Vec<Vec<HostAddr>> {
+    let hosts: Vec<HostAddr> = cs.hosts().collect();
+    let n = hosts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Pairwise host distances, computed once.
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = jaccard_distance(cs, hosts[i], hosts[j]);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    // Active clusters as index sets.
+    let mut clusters: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let linkage_dist = |a: &[usize], b: &[usize], dist: &Vec<Vec<f64>>| -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for &x in a {
+            for &y in b {
+                let d = dist[x][y];
+                min = min.min(d);
+                max = max.max(d);
+                sum += d;
+                cnt += 1;
+            }
+        }
+        match config.linkage {
+            Linkage::Single => min,
+            Linkage::Complete => max,
+            Linkage::Average => sum / cnt as f64,
+        }
+    };
+    loop {
+        let mut best: Option<(f64, usize, usize)> = None;
+        let live: Vec<usize> = (0..clusters.len())
+            .filter(|&i| clusters[i].is_some())
+            .collect();
+        for (ai, &a) in live.iter().enumerate() {
+            for &b in &live[ai + 1..] {
+                let d = linkage_dist(
+                    clusters[a].as_ref().expect("live cluster"),
+                    clusters[b].as_ref().expect("live cluster"),
+                    &dist,
+                );
+                if best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, a, b));
+                }
+            }
+        }
+        match best {
+            Some((d, a, b)) if d <= config.max_distance => {
+                let mb = clusters[b].take().expect("live cluster");
+                clusters[a].as_mut().expect("live cluster").extend(mb);
+            }
+            _ => break,
+        }
+    }
+    clusters
+        .into_iter()
+        .flatten()
+        .map(|set| {
+            let mut members: Vec<HostAddr> = set.into_iter().map(|i| hosts[i]).collect();
+            members.sort_unstable();
+            members
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    /// Two client pods with disjoint server sets.
+    fn two_pods() -> ConnectionSets {
+        let mut cs = ConnectionSets::new();
+        for c in [11, 12, 13] {
+            cs.add_pair(h(c), h(1));
+            cs.add_pair(h(c), h(2));
+        }
+        for c in [21, 22, 23] {
+            cs.add_pair(h(c), h(3));
+            cs.add_pair(h(c), h(4));
+        }
+        cs
+    }
+
+    fn find_cluster(clusters: &[Vec<HostAddr>], member: HostAddr) -> &Vec<HostAddr> {
+        clusters
+            .iter()
+            .find(|c| c.contains(&member))
+            .expect("host must be clustered")
+    }
+
+    #[test]
+    fn identical_habit_clients_cluster_together() {
+        let cs = two_pods();
+        let clusters = hac_cluster(&cs, &HacConfig::default());
+        let c1 = find_cluster(&clusters, h(11));
+        assert!(c1.contains(&h(12)) && c1.contains(&h(13)));
+        let c2 = find_cluster(&clusters, h(21));
+        assert!(c2.contains(&h(22)));
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_only_identical_sets_together() {
+        let cs = two_pods();
+        let cfg = HacConfig {
+            max_distance: 0.0,
+            ..HacConfig::default()
+        };
+        let clusters = hac_cluster(&cs, &cfg);
+        // Clients with identical sets merge at distance 0; servers have
+        // identical sets too ({11,12,13} each).
+        let c1 = find_cluster(&clusters, h(11));
+        assert_eq!(c1.len(), 3);
+        let s1 = find_cluster(&clusters, h(1));
+        assert!(s1.contains(&h(2)));
+    }
+
+    #[test]
+    fn linkages_agree_on_clean_structure() {
+        let cs = two_pods();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let cfg = HacConfig {
+                linkage,
+                max_distance: 0.5,
+            };
+            let clusters = hac_cluster(&cs, &cfg);
+            let c1 = find_cluster(&clusters, h(11));
+            assert_eq!(c1.len(), 3, "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(hac_cluster(&ConnectionSets::new(), &HacConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn covers_every_host_exactly_once() {
+        let cs = two_pods();
+        let clusters = hac_cluster(&cs, &HacConfig::default());
+        let mut all: Vec<HostAddr> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let hosts: Vec<HostAddr> = cs.hosts().collect();
+        assert_eq!(all, hosts);
+    }
+
+    #[test]
+    fn hac_fails_where_group_nodes_succeed() {
+        // The paper's motivating hard case (Section 4): lab machines
+        // that each talk to a *different* dedicated server share no
+        // neighbors at all. Plain neighbor-set clustering cannot group
+        // them (distance 1.0 pairwise).
+        let mut cs = ConnectionSets::new();
+        for i in 0..4u32 {
+            cs.add_pair(h(100 + i), h(200 + i)); // lab_i -> its own server
+        }
+        let cfg = HacConfig {
+            max_distance: 0.9,
+            ..HacConfig::default()
+        };
+        let clusters = hac_cluster(&cs, &cfg);
+        let lab = find_cluster(&clusters, h(100));
+        assert_eq!(lab.len(), 1, "HAC must not group disjoint-neighbor hosts");
+    }
+}

@@ -1,0 +1,25 @@
+//! Clustering baselines and cluster-validation metrics.
+//!
+//! Two jobs:
+//!
+//! * [`metrics`] — the validation machinery of Section 6.1: pair counts
+//!   (`SS`, `SD`, `DS`, `DD`), the Rand statistic the paper reports
+//!   (`R = 0.8363` on Mazu), plus the adjusted Rand index, Jaccard
+//!   index, purity, F-measure and normalized mutual information from the
+//!   cluster-validation literature the paper cites (\[16\], \[12\]).
+//! * [`hac`] and [`baseline`] — the traditional clustering approaches the
+//!   paper argues against (Section 7): hierarchical agglomerative
+//!   clustering over neighbor-set distance, and a simple
+//!   connected-component threshold baseline. They exist so the
+//!   benchmarks can show *why* the BCC-based grouping algorithm earns
+//!   its keep.
+
+pub mod baseline;
+pub mod hac;
+pub mod lpa;
+pub mod metrics;
+
+pub use baseline::{similarity_components, SimilarityComponentsConfig};
+pub use hac::{hac_cluster, HacConfig, Linkage};
+pub use lpa::{lpa_cluster, LpaConfig};
+pub use metrics::{adjusted_rand_index, f_measure, jaccard_index, nmi, pair_counts, purity, rand_statistic, PairCounts};

@@ -1,0 +1,192 @@
+//! Label-propagation community detection baseline.
+//!
+//! A modern graph-community baseline (Raghavan et al. 2007) to
+//! complement the HAC and threshold-components baselines: every host
+//! starts with its own label and repeatedly adopts the most common label
+//! among its *connectivity-graph* neighbors. It finds communities of
+//! densely interconnected hosts — which is precisely the wrong notion
+//! for role classification (clients of the same servers rarely talk to
+//! each other), and the benchmarks show it: LPA lumps each server with
+//! its clients instead of grouping like with like.
+
+use flow::{ConnectionSets, HostAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Configuration for label propagation.
+#[derive(Clone, Copy, Debug)]
+pub struct LpaConfig {
+    /// Maximum sweeps before giving up on convergence.
+    pub max_iters: usize,
+    /// Seed for tie-breaking and visit order.
+    pub seed: u64,
+}
+
+impl Default for LpaConfig {
+    fn default() -> Self {
+        LpaConfig {
+            max_iters: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs label propagation over the connectivity graph of `cs`.
+///
+/// Returns the detected communities as sorted member vectors. Isolated
+/// hosts come back as singletons.
+pub fn lpa_cluster(cs: &ConnectionSets, config: &LpaConfig) -> Vec<Vec<HostAddr>> {
+    let hosts: Vec<HostAddr> = cs.hosts().collect();
+    let n = hosts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let index: BTreeMap<HostAddr, usize> = hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (h, i))
+        .collect();
+    let neighbors: Vec<Vec<usize>> = hosts
+        .iter()
+        .map(|&h| {
+            cs.neighbors(h)
+                .map(|s| s.iter().map(|n| index[n]).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let mut label: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.max_iters {
+        // Shuffle the visit order each sweep (asynchronous updates).
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut changed = false;
+        for &v in &order {
+            if neighbors[v].is_empty() {
+                continue;
+            }
+            let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+            for &u in &neighbors[v] {
+                *counts.entry(label[u]).or_insert(0) += 1;
+            }
+            let best_count = *counts.values().max().expect("non-empty neighbor set");
+            let candidates: Vec<usize> = counts
+                .into_iter()
+                .filter(|&(_, c)| c == best_count)
+                .map(|(l, _)| l)
+                .collect();
+            let new = if candidates.contains(&label[v]) {
+                label[v] // sticky: keep the current label on ties
+            } else {
+                candidates[rng.gen_range(0..candidates.len())]
+            };
+            if new != label[v] {
+                label[v] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut groups: BTreeMap<usize, Vec<HostAddr>> = BTreeMap::new();
+    for (i, &l) in label.iter().enumerate() {
+        groups.entry(l).or_default().push(hosts[i]);
+    }
+    groups
+        .into_values()
+        .map(|mut v| {
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    #[test]
+    fn two_cliques_found() {
+        let mut cs = ConnectionSets::new();
+        for (lo, hi) in [(0u32, 4u32), (10, 14)] {
+            for a in lo..hi {
+                for b in (a + 1)..=hi {
+                    cs.add_pair(h(a), h(b));
+                }
+            }
+        }
+        // One weak bridge.
+        cs.add_pair(h(0), h(10));
+        let groups = lpa_cluster(&cs, &LpaConfig::default());
+        let find = |m: u32| groups.iter().position(|g| g.contains(&h(m))).unwrap();
+        assert_eq!(find(0), find(4));
+        assert_eq!(find(10), find(14));
+        assert_ne!(find(0), find(10));
+    }
+
+    #[test]
+    fn lumps_servers_with_their_clients() {
+        // The failure mode vs role classification: a star's hub and
+        // spokes share one community, instead of the hub being a
+        // "server" role and the spokes a "client" role.
+        let mut cs = ConnectionSets::new();
+        for c in 1..=5u32 {
+            cs.add_pair(h(0), h(c));
+        }
+        let groups = lpa_cluster(&cs, &LpaConfig::default());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 6);
+    }
+
+    #[test]
+    fn isolated_hosts_are_singletons() {
+        let mut cs = ConnectionSets::new();
+        cs.add_host(h(1));
+        cs.add_host(h(2));
+        let groups = lpa_cluster(&cs, &LpaConfig::default());
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut cs = ConnectionSets::new();
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                if (a + b) % 3 != 0 {
+                    cs.add_pair(h(a), h(b));
+                }
+            }
+        }
+        let g1 = lpa_cluster(&cs, &LpaConfig::default());
+        let g2 = lpa_cluster(&cs, &LpaConfig::default());
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn covers_all_hosts() {
+        let mut cs = ConnectionSets::new();
+        for c in 1..=5u32 {
+            cs.add_pair(h(0), h(c));
+        }
+        cs.add_host(h(99));
+        let groups = lpa_cluster(&cs, &LpaConfig::default());
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(covered, cs.host_count());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(lpa_cluster(&ConnectionSets::new(), &LpaConfig::default()).is_empty());
+    }
+}

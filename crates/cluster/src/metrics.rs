@@ -1,0 +1,338 @@
+//! Cluster-validation metrics over host partitionings.
+//!
+//! All metrics compare a candidate partitioning `P` against a reference
+//! `P*` (the paper's administrator-provided ideal). Partitionings are
+//! slices of member vectors; hosts present in only one partitioning are
+//! ignored, mirroring how the paper restricted its Rand computation to
+//! hosts with known roles.
+
+use flow::HostAddr;
+use std::collections::BTreeMap;
+
+/// The four pair-membership counts of Section 6.1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Same group in both partitionings.
+    pub ss: u64,
+    /// Same in the reference, different in the candidate.
+    pub sd: u64,
+    /// Different in the reference, same in the candidate.
+    pub ds: u64,
+    /// Different in both.
+    pub dd: u64,
+}
+
+impl PairCounts {
+    /// Total pairs compared.
+    pub fn total(&self) -> u64 {
+        self.ss + self.sd + self.ds + self.dd
+    }
+
+    /// The Rand statistic `R = (SS + DD) / total`, in `[0, 1]`.
+    pub fn rand(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 1.0;
+        }
+        (self.ss + self.dd) as f64 / t as f64
+    }
+
+    /// The Jaccard index `SS / (SS + SD + DS)`.
+    pub fn jaccard(&self) -> f64 {
+        let d = self.ss + self.sd + self.ds;
+        if d == 0 {
+            return 1.0;
+        }
+        self.ss as f64 / d as f64
+    }
+}
+
+fn label_map(p: &[Vec<HostAddr>]) -> BTreeMap<HostAddr, usize> {
+    let mut m = BTreeMap::new();
+    for (i, group) in p.iter().enumerate() {
+        for &h in group {
+            m.insert(h, i);
+        }
+    }
+    m
+}
+
+/// Computes the pair counts between `reference` (`P*`) and `candidate`
+/// (`P`), over the hosts both label.
+///
+/// Runs in `O(n²)` over hosts — the same order as the algorithms being
+/// validated — via the shared label maps.
+pub fn pair_counts(reference: &[Vec<HostAddr>], candidate: &[Vec<HostAddr>]) -> PairCounts {
+    let r = label_map(reference);
+    let c = label_map(candidate);
+    let hosts: Vec<HostAddr> = r.keys().filter(|h| c.contains_key(h)).copied().collect();
+    let mut out = PairCounts::default();
+    for i in 0..hosts.len() {
+        for j in (i + 1)..hosts.len() {
+            let same_r = r[&hosts[i]] == r[&hosts[j]];
+            let same_c = c[&hosts[i]] == c[&hosts[j]];
+            match (same_r, same_c) {
+                (true, true) => out.ss += 1,
+                (true, false) => out.sd += 1,
+                (false, true) => out.ds += 1,
+                (false, false) => out.dd += 1,
+            }
+        }
+    }
+    out
+}
+
+/// The Rand statistic of Section 6.1.
+pub fn rand_statistic(reference: &[Vec<HostAddr>], candidate: &[Vec<HostAddr>]) -> f64 {
+    pair_counts(reference, candidate).rand()
+}
+
+/// The Jaccard index over pair agreements.
+pub fn jaccard_index(reference: &[Vec<HostAddr>], candidate: &[Vec<HostAddr>]) -> f64 {
+    pair_counts(reference, candidate).jaccard()
+}
+
+/// Contingency table over the common hosts.
+fn contingency(
+    reference: &[Vec<HostAddr>],
+    candidate: &[Vec<HostAddr>],
+) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>, u64) {
+    let r = label_map(reference);
+    let c = label_map(candidate);
+    let mut table = vec![vec![0u64; candidate.len()]; reference.len()];
+    let mut rsum = vec![0u64; reference.len()];
+    let mut csum = vec![0u64; candidate.len()];
+    let mut n = 0u64;
+    for (h, &ri) in &r {
+        if let Some(&ci) = c.get(h) {
+            table[ri][ci] += 1;
+            rsum[ri] += 1;
+            csum[ci] += 1;
+            n += 1;
+        }
+    }
+    (table, rsum, csum, n)
+}
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// The adjusted Rand index (Hubert & Arabie 1985 — reference \[16\] of the
+/// paper): the Rand statistic corrected for chance, 1.0 for identical
+/// partitionings, ~0.0 for independent ones.
+pub fn adjusted_rand_index(reference: &[Vec<HostAddr>], candidate: &[Vec<HostAddr>]) -> f64 {
+    let (table, rsum, csum, n) = contingency(reference, candidate);
+    if n < 2 {
+        return 1.0;
+    }
+    let sum_ij: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&x| choose2(x))
+        .sum();
+    let sum_r: f64 = rsum.iter().map(|&x| choose2(x)).sum();
+    let sum_c: f64 = csum.iter().map(|&x| choose2(x)).sum();
+    let expected = sum_r * sum_c / choose2(n);
+    let max = (sum_r + sum_c) / 2.0;
+    if (max - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max - expected)
+}
+
+/// Purity: the fraction of hosts whose candidate group's dominant
+/// reference label matches their own.
+pub fn purity(reference: &[Vec<HostAddr>], candidate: &[Vec<HostAddr>]) -> f64 {
+    let (table, _rsum, _csum, n) = contingency(reference, candidate);
+    if n == 0 {
+        return 1.0;
+    }
+    let mut correct = 0u64;
+    for ci in 0..table.first().map_or(0, Vec::len) {
+        correct += table.iter().map(|row| row[ci]).max().unwrap_or(0);
+    }
+    correct as f64 / n as f64
+}
+
+/// Pairwise F-measure: harmonic mean of pair precision
+/// `SS / (SS + DS)` and pair recall `SS / (SS + SD)`.
+pub fn f_measure(reference: &[Vec<HostAddr>], candidate: &[Vec<HostAddr>]) -> f64 {
+    let pc = pair_counts(reference, candidate);
+    let p = if pc.ss + pc.ds == 0 {
+        1.0
+    } else {
+        pc.ss as f64 / (pc.ss + pc.ds) as f64
+    };
+    let r = if pc.ss + pc.sd == 0 {
+        1.0
+    } else {
+        pc.ss as f64 / (pc.ss + pc.sd) as f64
+    };
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Normalized mutual information (arithmetic normalization), in `[0, 1]`.
+pub fn nmi(reference: &[Vec<HostAddr>], candidate: &[Vec<HostAddr>]) -> f64 {
+    let (table, rsum, csum, n) = contingency(reference, candidate);
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for (ri, row) in table.iter().enumerate() {
+        for (ci, &x) in row.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let pxy = x as f64 / nf;
+            let px = rsum[ri] as f64 / nf;
+            let py = csum[ci] as f64 / nf;
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+    let hx: f64 = rsum
+        .iter()
+        .filter(|&&x| x > 0)
+        .map(|&x| {
+            let p = x as f64 / nf;
+            -p * p.ln()
+        })
+        .sum();
+    let hy: f64 = csum
+        .iter()
+        .filter(|&&x| x > 0)
+        .map(|&x| {
+            let p = x as f64 / nf;
+            -p * p.ln()
+        })
+        .sum();
+    if hx + hy == 0.0 {
+        return 1.0;
+    }
+    (2.0 * mi / (hx + hy)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    fn part(spec: &[&[u32]]) -> Vec<Vec<HostAddr>> {
+        spec.iter()
+            .map(|g| g.iter().map(|&x| h(x)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn identical_partitions_score_perfectly() {
+        let p = part(&[&[1, 2, 3], &[4, 5]]);
+        assert_eq!(rand_statistic(&p, &p), 1.0);
+        assert_eq!(jaccard_index(&p, &p), 1.0);
+        assert!((adjusted_rand_index(&p, &p) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&p, &p), 1.0);
+        assert!((f_measure(&p, &p) - 1.0).abs() < 1e-12);
+        assert!((nmi(&p, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_counts_by_hand() {
+        // Reference {1,2},{3}; candidate {1},{2,3}.
+        // Pairs: (1,2): S in ref, D in cand -> SD.
+        //        (1,3): D, D -> DD.  (2,3): D, S -> DS.
+        let r = part(&[&[1, 2], &[3]]);
+        let c = part(&[&[1], &[2, 3]]);
+        let pc = pair_counts(&r, &c);
+        assert_eq!(
+            pc,
+            PairCounts {
+                ss: 0,
+                sd: 1,
+                ds: 1,
+                dd: 1
+            }
+        );
+        assert!((pc.rand() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pc.jaccard(), 0.0);
+    }
+
+    #[test]
+    fn all_singletons_vs_one_blob() {
+        let r = part(&[&[1], &[2], &[3], &[4]]);
+        let c = part(&[&[1, 2, 3, 4]]);
+        let pc = pair_counts(&r, &c);
+        assert_eq!(pc.ss, 0);
+        assert_eq!(pc.ds, 6);
+        assert_eq!(pc.rand(), 0.0);
+        // ARI of a trivial clustering is ~0 (chance level) by convention.
+        let ari = adjusted_rand_index(&r, &c);
+        assert!(ari.abs() < 1e-9, "ari = {ari}");
+    }
+
+    #[test]
+    fn hosts_missing_from_one_side_are_ignored() {
+        let r = part(&[&[1, 2], &[3]]);
+        let c = part(&[&[1, 2]]);
+        let pc = pair_counts(&r, &c);
+        assert_eq!(pc.total(), 1);
+        assert_eq!(pc.ss, 1);
+    }
+
+    #[test]
+    fn rand_is_symmetric_in_ss_dd() {
+        let r = part(&[&[1, 2, 3], &[4, 5, 6]]);
+        let c = part(&[&[1, 2], &[3, 4], &[5, 6]]);
+        let ab = rand_statistic(&r, &c);
+        let ba = rand_statistic(&c, &r);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_counts_dominant_labels() {
+        let r = part(&[&[1, 2, 3], &[4, 5]]);
+        let c = part(&[&[1, 2, 4], &[3, 5]]);
+        // Cluster {1,2,4}: dominant ref label covers 2; cluster {3,5}:
+        // 1 from each label -> max 1. Purity = 3/5.
+        assert!((purity(&r, &c) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partitions() {
+        let e: Vec<Vec<HostAddr>> = vec![];
+        assert_eq!(rand_statistic(&e, &e), 1.0);
+        assert_eq!(purity(&e, &e), 1.0);
+        assert!((nmi(&e, &e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_of_independent_split() {
+        // Reference splits {1..4} as {1,2},{3,4}; candidate as {1,3},{2,4}:
+        // completely uninformative -> NMI 0.
+        let r = part(&[&[1, 2], &[3, 4]]);
+        let c = part(&[&[1, 3], &[2, 4]]);
+        assert!(nmi(&r, &c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f_measure_precision_recall_asymmetry() {
+        // Candidate over-merges: recall perfect, precision low.
+        let r = part(&[&[1, 2], &[3, 4]]);
+        let c = part(&[&[1, 2, 3, 4]]);
+        let pc = pair_counts(&r, &c);
+        assert_eq!(pc.ss, 2);
+        assert_eq!(pc.sd, 0);
+        assert_eq!(pc.ds, 4);
+        let f = f_measure(&r, &c);
+        let precision: f64 = 2.0 / 6.0;
+        let recall = 1.0;
+        let expect = 2.0 * precision * recall / (precision + recall);
+        assert!((f - expect).abs() < 1e-12);
+    }
+}

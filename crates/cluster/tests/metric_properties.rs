@@ -1,0 +1,94 @@
+//! Property-based tests of the cluster-validation metrics.
+
+use cluster::metrics::{
+    adjusted_rand_index, f_measure, jaccard_index, nmi, pair_counts, purity, rand_statistic,
+};
+use flow::HostAddr;
+use proptest::prelude::*;
+
+/// Strategy: a random partitioning of hosts `0..n` described by a label
+/// vector.
+fn arb_partition(n: usize, max_labels: usize) -> impl Strategy<Value = Vec<Vec<HostAddr>>> {
+    prop::collection::vec(0..max_labels, n).prop_map(|labels| {
+        let mut groups: std::collections::BTreeMap<usize, Vec<HostAddr>> = Default::default();
+        for (i, &l) in labels.iter().enumerate() {
+            groups.entry(l).or_default().push(HostAddr(i as u32));
+        }
+        groups.into_values().collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every metric is bounded and perfect on identical inputs.
+    #[test]
+    fn metrics_bounded_and_reflexive(p in arb_partition(24, 5)) {
+        prop_assert_eq!(rand_statistic(&p, &p), 1.0);
+        prop_assert!((adjusted_rand_index(&p, &p) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(purity(&p, &p), 1.0);
+        prop_assert!((nmi(&p, &p) - 1.0).abs() < 1e-9);
+        prop_assert!((f_measure(&p, &p) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(jaccard_index(&p, &p), 1.0);
+    }
+
+    /// Pairwise metrics are symmetric in their arguments.
+    #[test]
+    fn pair_metrics_symmetric(a in arb_partition(20, 4), b in arb_partition(20, 4)) {
+        prop_assert!((rand_statistic(&a, &b) - rand_statistic(&b, &a)).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-9);
+        prop_assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-9);
+        // Swapping arguments transposes SD and DS.
+        let pc = pair_counts(&a, &b);
+        let qc = pair_counts(&b, &a);
+        prop_assert_eq!(pc.ss, qc.ss);
+        prop_assert_eq!(pc.dd, qc.dd);
+        prop_assert_eq!(pc.sd, qc.ds);
+        prop_assert_eq!(pc.ds, qc.sd);
+    }
+
+    /// All metrics stay in [0, 1] on arbitrary pairs (ARI may dip
+    /// slightly below 0 by definition; bound it loosely).
+    #[test]
+    fn metrics_in_range(a in arb_partition(20, 5), b in arb_partition(20, 5)) {
+        for v in [
+            rand_statistic(&a, &b),
+            purity(&a, &b),
+            nmi(&a, &b),
+            f_measure(&a, &b),
+            jaccard_index(&a, &b),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+        }
+        let ari = adjusted_rand_index(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&ari), "ari {ari} out of range");
+    }
+
+    /// Pair counts total n·(n-1)/2 over the common hosts.
+    #[test]
+    fn pair_counts_total(a in arb_partition(18, 4), b in arb_partition(18, 4)) {
+        let pc = pair_counts(&a, &b);
+        prop_assert_eq!(pc.total(), 18 * 17 / 2);
+    }
+
+    /// A refinement of the reference has perfect purity and pair
+    /// precision (DS = 0).
+    #[test]
+    fn refinements_have_no_ds(p in arb_partition(20, 3)) {
+        // Split every group of p in half to build a strict refinement.
+        let refined: Vec<Vec<HostAddr>> = p
+            .iter()
+            .flat_map(|g| {
+                let mid = g.len().div_ceil(2);
+                let (a, b) = g.split_at(mid);
+                [a.to_vec(), b.to_vec()]
+                    .into_iter()
+                    .filter(|v| !v.is_empty())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let pc = pair_counts(&p, &refined);
+        prop_assert_eq!(pc.ds, 0);
+        prop_assert_eq!(purity(&p, &refined), 1.0);
+    }
+}

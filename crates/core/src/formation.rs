@@ -1,0 +1,527 @@
+//! Group formation (Section 4.1): iterated k-neighborhood BCCs.
+//!
+//! Starting from the connectivity graph, the algorithm sweeps a
+//! similarity level `k` from `k_max` (the largest connection-set size)
+//! down to 1. At each level it builds the *k-neighborhood graph* — an
+//! edge between every pair of ungrouped hosts sharing at least `k`
+//! common neighbors — extracts its biconnected components, and contracts
+//! each component into a *group node* labeled `(ID, K_G = k)`. Group
+//! nodes leave the candidate pool but keep acting as (weighted) shared
+//! neighbors, which is what lets hosts with disjoint concrete neighbor
+//! sets group once their servers have collapsed into common group nodes.
+//! A bootstrap rule (step 2e) turns an ungrouped host `h` into a
+//! singleton group as soon as `k < α·|C(h)|`, i.e., when no remaining
+//! partner could ever match a meaningful fraction of its connections.
+//!
+//! The sweep is implemented with *level jumping*: after a level
+//! stabilizes, `k` drops directly to the next level at which anything can
+//! happen (the maximum surviving common-neighbor weight, or the largest
+//! pending bootstrap trigger). This preserves the sequential semantics —
+//! nothing can form at skipped levels by construction — while keeping
+//! the number of expensive neighborhood recomputations proportional to
+//! the number of *productive* levels.
+
+use crate::group::{Group, GroupId, Grouping};
+use crate::params::{Params, TieBreak};
+use flow::{ConnectionSets, HostAddr};
+use netgraph::{
+    biconnected_components, common_neighbor_min_weights, CommonNeighborEdge, NodeId, SimpleGraph,
+    WGraph,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Why a formation-phase group came into being.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormationKind {
+    /// The group is a biconnected component of the k-neighborhood graph.
+    Bcc,
+    /// The bootstrap rule (step 2e) promoted a lone host.
+    Bootstrap,
+    /// The sweep ended with the host still ungrouped (isolated hosts and
+    /// other leftovers at `k = 0`).
+    Leftover,
+}
+
+/// One event of the formation trace — the raw material for the paper's
+/// Figure 2 walk-through.
+#[derive(Clone, Debug)]
+pub struct FormationEvent {
+    /// The level `k` at which the group formed (0 for leftovers).
+    pub k: u32,
+    /// How it formed.
+    pub kind: FormationKind,
+    /// The member hosts.
+    pub members: Vec<HostAddr>,
+}
+
+/// A group produced by the formation phase, before merging.
+#[derive(Clone, Debug)]
+pub struct ProtoGroup {
+    /// Member hosts, sorted.
+    pub members: Vec<HostAddr>,
+    /// The `K_G` label.
+    pub k: u32,
+}
+
+/// Output of the formation phase.
+pub struct FormationResult {
+    /// The groups, in creation order (index = provisional group number).
+    pub groups: Vec<ProtoGroup>,
+    /// The fully contracted connectivity graph: exactly one node per
+    /// group, edge weights = number of host-pair connections between the
+    /// two groups (`CP`).
+    pub graph: WGraph,
+    /// Node in [`FormationResult::graph`] for each group (same indexing
+    /// as [`FormationResult::groups`]).
+    pub node_of_group: Vec<NodeId>,
+    /// The formation trace.
+    pub trace: Vec<FormationEvent>,
+}
+
+impl FormationResult {
+    /// Renders the result as a [`Grouping`] with sequential ids, mostly
+    /// for callers that skip the merging phase.
+    pub fn to_grouping(&self) -> Grouping {
+        Grouping::new(
+            self.groups
+                .iter()
+                .enumerate()
+                .map(|(i, pg)| Group {
+                    id: GroupId(i as u32),
+                    k: pg.k,
+                    members: pg.members.clone(),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Internal sweep state.
+struct State {
+    g: WGraph,
+    /// Host represented by each node; `None` for group nodes.
+    host_of_node: Vec<Option<HostAddr>>,
+    /// Group index represented by each node, for group nodes.
+    group_of_node: HashMap<NodeId, usize>,
+    groups: Vec<ProtoGroup>,
+    node_of_group: Vec<NodeId>,
+    trace: Vec<FormationEvent>,
+    orig_degree: BTreeMap<HostAddr, usize>,
+}
+
+impl State {
+    fn is_host(&self, n: NodeId) -> bool {
+        self.host_of_node
+            .get(n.index())
+            .is_some_and(Option::is_some)
+    }
+
+    fn host(&self, n: NodeId) -> HostAddr {
+        self.host_of_node[n.index()].expect("node is not a host node")
+    }
+
+    /// Contracts `nodes` (host nodes) into a fresh group node.
+    fn form_group(&mut self, nodes: &[NodeId], k: u32, kind: FormationKind) {
+        let mut members: Vec<HostAddr> = nodes.iter().map(|&n| self.host(n)).collect();
+        members.sort_unstable();
+        let (gnode, _internal) = self.g.contract(nodes);
+        while self.host_of_node.len() < self.g.id_bound() {
+            self.host_of_node.push(None);
+        }
+        let idx = self.groups.len();
+        self.group_of_node.insert(gnode, idx);
+        self.groups.push(ProtoGroup {
+            members: members.clone(),
+            k,
+        });
+        self.node_of_group.push(gnode);
+        self.trace.push(FormationEvent { k, kind, members });
+    }
+
+    fn ungrouped_hosts(&self) -> Vec<NodeId> {
+        self.g.nodes().filter(|&n| self.is_host(n)).collect()
+    }
+}
+
+/// Largest integer `k ≥ 1` satisfying `k < α·deg`, or `None`.
+fn bootstrap_trigger(alpha: f64, deg: usize) -> Option<u32> {
+    let t = alpha * deg as f64;
+    if t <= 1.0 {
+        return None;
+    }
+    let k = if t.fract() == 0.0 { t - 1.0 } else { t.floor() };
+    if k >= 1.0 {
+        Some(k as u32)
+    } else {
+        None
+    }
+}
+
+/// Orders BCC candidate node sets for assignment: larger first, then the
+/// configured tie-break.
+fn order_bccs(mut bccs: Vec<Vec<NodeId>>, tie_break: TieBreak) -> Vec<Vec<NodeId>> {
+    match tie_break {
+        TieBreak::Deterministic => {
+            bccs.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+        }
+        TieBreak::Seeded(seed) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Shuffle then stable-sort by size: equal-size components end
+            // up in seeded-random order.
+            for i in (1..bccs.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                bccs.swap(i, j);
+            }
+            bccs.sort_by(|a, b| b.len().cmp(&a.len()));
+        }
+    }
+    bccs
+}
+
+/// Runs the group formation phase over `cs`.
+///
+/// The returned partition is total: every host of `cs` (including
+/// isolated ones) lands in exactly one group.
+///
+/// # Panics
+///
+/// Panics if `params` fail validation.
+pub fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
+    params.validate().expect("invalid parameters");
+
+    // Build the initial conn-graph: one node per host, unit edge weights
+    // (one "connection" per communicating host pair).
+    let mut g = WGraph::with_capacity(cs.host_count());
+    let mut node_of_host: BTreeMap<HostAddr, NodeId> = BTreeMap::new();
+    let mut host_of_node: Vec<Option<HostAddr>> = Vec::with_capacity(cs.host_count());
+    for h in cs.hosts() {
+        let n = g.add_node();
+        node_of_host.insert(h, n);
+        host_of_node.push(Some(h));
+    }
+    for (a, b) in cs.edges() {
+        g.add_edge(node_of_host[&a], node_of_host[&b], 1);
+    }
+    let orig_degree: BTreeMap<HostAddr, usize> = cs
+        .hosts()
+        .map(|h| (h, cs.degree(h).unwrap_or(0)))
+        .collect();
+
+    let mut st = State {
+        g,
+        host_of_node,
+        group_of_node: HashMap::new(),
+        groups: Vec::new(),
+        node_of_group: Vec::new(),
+        trace: Vec::new(),
+        orig_degree,
+    };
+
+    let kmax = cs.max_degree();
+    let mut k = kmax as u32;
+
+    while k >= 1 && !st.ungrouped_hosts().is_empty() {
+        // Inner fixpoint at this level: contraction can only *raise*
+        // common-neighbor weights (group nodes aggregate edges), so new
+        // k-edges may appear after each round of group formation.
+        let mut last_edges: Vec<CommonNeighborEdge>;
+        loop {
+            last_edges = common_neighbor_min_weights(&st.g, |n| st.is_host(n));
+            let strong: Vec<(NodeId, NodeId)> = last_edges
+                .iter()
+                .filter(|e| e.count >= k)
+                .map(|e| (e.a, e.b))
+                .collect();
+            if strong.is_empty() {
+                break;
+            }
+            let sg = SimpleGraph::from_edges([], strong);
+            let bccs: Vec<Vec<NodeId>> = biconnected_components(&sg)
+                .into_iter()
+                .map(|b| b.nodes)
+                .collect();
+            // A node on several BCCs joins the largest (Section 4.1);
+            // we realize that by assigning greedily, biggest first.
+            let ordered = order_bccs(bccs, params.tie_break);
+            let mut assigned: HashSet<NodeId> = HashSet::new();
+            let mut formed = false;
+            for bcc in ordered {
+                let avail: Vec<NodeId> = bcc
+                    .into_iter()
+                    .filter(|n| !assigned.contains(n))
+                    .collect();
+                if avail.len() >= 2 {
+                    assigned.extend(avail.iter().copied());
+                    st.form_group(&avail, k, FormationKind::Bcc);
+                    formed = true;
+                }
+            }
+            if !formed {
+                break;
+            }
+        }
+
+        // Bootstrap (step 2e): hosts whose connection count dwarfs the
+        // current level can no longer find strong partners.
+        let lonely: Vec<NodeId> = st
+            .ungrouped_hosts()
+            .into_iter()
+            .filter(|&n| (k as f64) < params.alpha * st.orig_degree[&st.host(n)] as f64)
+            .collect();
+        for n in lonely {
+            st.form_group(&[n], k, FormationKind::Bootstrap);
+        }
+
+        // Jump to the next productive level: the strongest surviving
+        // pair weight, or the largest pending bootstrap trigger below k.
+        let w_next = last_edges
+            .iter()
+            .filter(|e| st.g.contains_node(e.a) && st.g.contains_node(e.b))
+            .filter(|e| st.is_host(e.a) && st.is_host(e.b))
+            .map(|e| e.count.min(k.saturating_sub(1)))
+            .max()
+            .unwrap_or(0);
+        let b_next = st
+            .ungrouped_hosts()
+            .iter()
+            .filter_map(|&n| bootstrap_trigger(params.alpha, st.orig_degree[&st.host(n)]))
+            .map(|t| t.min(k.saturating_sub(1)))
+            .max()
+            .unwrap_or(0);
+        let next = w_next.max(b_next);
+        if next == 0 {
+            break;
+        }
+        k = next;
+    }
+
+    // Whatever survives the sweep (isolated hosts, pairs with no common
+    // neighbors at all) becomes singleton groups at k = 0.
+    for n in st.ungrouped_hosts() {
+        st.form_group(&[n], 0, FormationKind::Leftover);
+    }
+
+    FormationResult {
+        groups: st.groups,
+        graph: st.g,
+        node_of_group: st.node_of_group,
+        trace: st.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    /// The Figure 1 network with M = N = 3:
+    /// mail = 1, web = 2, salesdb = 3, srcctl = 4,
+    /// sales = 11, 12, 13, eng = 21, 22, 23.
+    fn figure1() -> ConnectionSets {
+        let mut cs = ConnectionSets::new();
+        for s in [11, 12, 13] {
+            cs.add_pair(h(s), h(1));
+            cs.add_pair(h(s), h(2));
+            cs.add_pair(h(s), h(3));
+        }
+        for e in [21, 22, 23] {
+            cs.add_pair(h(e), h(1));
+            cs.add_pair(h(e), h(2));
+            cs.add_pair(h(e), h(4));
+        }
+        cs
+    }
+
+    fn members_sets(r: &FormationResult) -> Vec<Vec<HostAddr>> {
+        let mut v: Vec<Vec<HostAddr>> = r.groups.iter().map(|g| g.members.clone()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn figure2_walkthrough() {
+        let r = form_groups(&figure1(), &Params::default());
+        // Five groups: {mail, web}, sales triangle, eng triangle, and the
+        // two database singletons.
+        assert_eq!(r.groups.len(), 5);
+        let sets = members_sets(&r);
+        assert!(sets.contains(&vec![h(1), h(2)]));
+        assert!(sets.contains(&vec![h(3)]));
+        assert!(sets.contains(&vec![h(4)]));
+        assert!(sets.contains(&vec![h(11), h(12), h(13)]));
+        assert!(sets.contains(&vec![h(21), h(22), h(23)]));
+    }
+
+    #[test]
+    fn figure2_k_levels() {
+        let r = form_groups(&figure1(), &Params::default());
+        let find = |m: &[HostAddr]| {
+            r.trace
+                .iter()
+                .find(|e| e.members == m)
+                .expect("group missing from trace")
+        };
+        // {Mail, Web} forms at k = M + N = 6.
+        let mw = find(&[h(1), h(2)]);
+        assert_eq!(mw.k, 6);
+        assert_eq!(mw.kind, FormationKind::Bcc);
+        // Client triangles form at k = 3 (two servers as one group node,
+        // counted with weight 2, plus the role-specific database).
+        let sales = find(&[h(11), h(12), h(13)]);
+        assert_eq!(sales.k, 3);
+        assert_eq!(sales.kind, FormationKind::Bcc);
+        // Databases bootstrap at k = 1 < 0.6 × 3.
+        let db = find(&[h(3)]);
+        assert_eq!(db.k, 1);
+        assert_eq!(db.kind, FormationKind::Bootstrap);
+    }
+
+    #[test]
+    fn contracted_graph_has_one_node_per_group() {
+        let r = form_groups(&figure1(), &Params::default());
+        assert_eq!(r.graph.node_count(), r.groups.len());
+        assert_eq!(r.node_of_group.len(), r.groups.len());
+        // CP between the client groups and the server group is 6 each.
+        let mw_idx = r
+            .groups
+            .iter()
+            .position(|g| g.members == vec![h(1), h(2)])
+            .unwrap();
+        let sales_idx = r
+            .groups
+            .iter()
+            .position(|g| g.members == vec![h(11), h(12), h(13)])
+            .unwrap();
+        let w = r
+            .graph
+            .edge_weight(r.node_of_group[mw_idx], r.node_of_group[sales_idx]);
+        assert_eq!(w, Some(6));
+    }
+
+    #[test]
+    fn partition_is_total_and_disjoint() {
+        let cs = figure1();
+        let r = form_groups(&cs, &Params::default());
+        let mut seen = std::collections::BTreeSet::new();
+        for g in &r.groups {
+            for &m in &g.members {
+                assert!(seen.insert(m), "host {m} in two groups");
+            }
+        }
+        assert_eq!(seen.len(), cs.host_count());
+    }
+
+    #[test]
+    fn isolated_hosts_become_leftover_singletons() {
+        let mut cs = figure1();
+        cs.add_host(h(99));
+        let r = form_groups(&cs, &Params::default());
+        let ev = r
+            .trace
+            .iter()
+            .find(|e| e.members == vec![h(99)])
+            .expect("isolated host must appear in trace");
+        assert_eq!(ev.kind, FormationKind::Leftover);
+        assert_eq!(ev.k, 0);
+    }
+
+    #[test]
+    fn single_pair_forms_two_node_group() {
+        // Two hosts that only talk to the same two servers: the pair
+        // shares 2 common neighbors and forms a 2-node group (the paper
+        // explicitly allows this).
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(10));
+        cs.add_pair(h(1), h(11));
+        cs.add_pair(h(2), h(10));
+        cs.add_pair(h(2), h(11));
+        let r = form_groups(&cs, &Params::default());
+        let sets = members_sets(&r);
+        assert!(sets.contains(&vec![h(1), h(2)]));
+        // Servers 10 and 11 also share two common neighbors (1 and 2).
+        assert!(sets.contains(&vec![h(10), h(11)]));
+    }
+
+    #[test]
+    fn empty_input_produces_empty_result() {
+        let cs = ConnectionSets::new();
+        let r = form_groups(&cs, &Params::default());
+        assert!(r.groups.is_empty());
+        assert!(r.trace.is_empty());
+        assert!(r.to_grouping().is_empty());
+    }
+
+    #[test]
+    fn bootstrap_trigger_math() {
+        // α·deg = 1.8 -> largest k < 1.8 is 1.
+        assert_eq!(bootstrap_trigger(0.6, 3), Some(1));
+        // α·deg = 3.0 (integer) -> k = 2.
+        assert_eq!(bootstrap_trigger(0.6, 5), Some(2));
+        // α·deg = 0.6 -> no k ≥ 1 possible.
+        assert_eq!(bootstrap_trigger(0.6, 1), None);
+        // Degree 0 never bootstraps.
+        assert_eq!(bootstrap_trigger(0.6, 0), None);
+    }
+
+    #[test]
+    fn alpha_zero_never_bootstraps() {
+        let mut p = Params::default();
+        p.alpha = 0.0;
+        let r = form_groups(&figure1(), &p);
+        assert!(r
+            .trace
+            .iter()
+            .all(|e| e.kind != FormationKind::Bootstrap));
+        // The databases end up as leftovers instead.
+        let db = r.trace.iter().find(|e| e.members == vec![h(3)]).unwrap();
+        assert_eq!(db.kind, FormationKind::Leftover);
+    }
+
+    #[test]
+    fn seeded_tie_break_is_reproducible() {
+        let mut p = Params::default();
+        p.tie_break = TieBreak::Seeded(123);
+        let a = form_groups(&figure1(), &p);
+        let b = form_groups(&figure1(), &p);
+        assert_eq!(members_sets(&a), members_sets(&b));
+    }
+
+    #[test]
+    fn hub_spokes_group_at_k1() {
+        // A scanner touching 50 idle hosts: all spokes share exactly the
+        // hub, so they coalesce into one group at k = 1 — the paper's
+        // BigCompany "idle" group (Table 1).
+        let mut cs = ConnectionSets::new();
+        for i in 1..=50 {
+            cs.add_pair(h(0), h(i));
+        }
+        let r = form_groups(&cs, &Params::default());
+        let spokes: Vec<HostAddr> = (1..=50).map(h).collect();
+        let idle = r
+            .groups
+            .iter()
+            .find(|g| g.members.len() == 50)
+            .expect("idle group must form");
+        assert_eq!(idle.members, spokes);
+        assert_eq!(idle.k, 1);
+        // The hub bootstraps (its 50 connections dwarf every level).
+        let hub_ev = r.trace.iter().find(|e| e.members == vec![h(0)]).unwrap();
+        assert_eq!(hub_ev.kind, FormationKind::Bootstrap);
+    }
+
+    #[test]
+    fn to_grouping_assigns_sequential_ids() {
+        let r = form_groups(&figure1(), &Params::default());
+        let g = r.to_grouping();
+        assert_eq!(g.group_count(), 5);
+        assert_eq!(g.host_count(), 10);
+        for (i, grp) in g.groups().iter().enumerate() {
+            assert_eq!(grp.id, GroupId(i as u32));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Role classification of hosts from connection patterns.
+//!
+//! A from-scratch implementation of the two algorithms of *"Role
+//! Classification of Hosts within Enterprise Networks Based on Connection
+//! Patterns"* (Tan, Poletto, Guttag, Kaashoek — USENIX ATC 2003):
+//!
+//! * the **grouping algorithm** ([`classify()`][classify::classify]) — partitions a network's
+//!   hosts into role groups from nothing but their connection sets, in
+//!   two phases: BCC-based [`formation`] over the k-neighborhood graph,
+//!   then similarity-gated [`merging`];
+//! * the **correlation algorithm** ([`correlate()`][correlate::correlate]) — matches the group
+//!   ids of two runs taken at different times so that stable logical
+//!   roles keep stable ids through host arrivals, removals, role swaps,
+//!   and server replacement.
+//!
+//! Supporting modules: [`params`] (all tunables, with the paper's
+//! defaults), [`group`] (partition types), [`diff`] (partition change
+//! reports, the paper's property 4), and [`services`] (the
+//! port/protocol-aware refinement sketched in the paper's Sections 2
+//! and 8).
+//!
+//! # Quick start
+//!
+//! ```
+//! use flow::ConnectionSets;
+//! use roleclass::{classify, Params};
+//!
+//! // Two workstations that talk to the same two servers...
+//! let mut cs = ConnectionSets::new();
+//! for ws in [10u32, 11] {
+//!     for srv in [1u32, 2] {
+//!         cs.add_pair(flow::HostAddr(ws), flow::HostAddr(srv));
+//!     }
+//! }
+//! let result = classify(&cs, &Params::default());
+//! // ...end up in the same role group.
+//! assert_eq!(
+//!     result.grouping.group_of(flow::HostAddr(10)),
+//!     result.grouping.group_of(flow::HostAddr(11)),
+//! );
+//! ```
+
+pub mod autotune;
+pub mod classify;
+pub mod correlate;
+pub mod diff;
+pub mod formation;
+pub mod group;
+pub mod merging;
+pub mod model;
+pub mod params;
+pub mod services;
+
+pub use autotune::{auto_k_hi_kcore, auto_k_hi_otsu, auto_params};
+pub use classify::{classify, Classification, GroupNeighborhood};
+pub use correlate::{apply_correlation, correlate, Correlation};
+pub use diff::{diff_groupings, GroupingDiff};
+pub use formation::{form_groups, FormationEvent, FormationKind, FormationResult};
+pub use group::{Group, GroupId, Grouping};
+pub use merging::{merge_groups, MergeEvent, MergeOutcome};
+pub use model::{avg_similarity, avg_similarity_violations, s_min_violations, similarity};
+pub use params::{ParamError, Params, SimilarityVariant, TieBreak};

@@ -1,0 +1,545 @@
+//! Group merging (Section 4.2): similarity-gated agglomeration.
+//!
+//! The formation phase deliberately over-partitions; this phase merges
+//! groups whose *group-level* connection patterns are similar. Two
+//! requirements gate every merge (Figure 3):
+//!
+//! * **Connection requirement** — the average per-member connection
+//!   counts of the two groups are within β of each other, keeping
+//!   heavily-connected groups away from lightly-connected ones.
+//! * **Similarity requirement** — the group similarity (0–100) clears
+//!   `S^hi` when either group formed at `K_G ≥ K^hi`, else `S^lo`.
+//!   High-`K_G` groups formed from strong evidence; merging them can
+//!   cascade into undesirable merges (the paper's Mail/Web vs.
+//!   SalesDatabase example), hence the stricter threshold.
+//!
+//! Eligible pairs merge greedily, highest similarity first, until no
+//! pair qualifies. The merged group's `K` becomes the minimum connection
+//! count over its members.
+
+use crate::formation::FormationResult;
+use crate::group::{Group, GroupId, Grouping};
+use crate::params::{Params, SimilarityVariant};
+use flow::{ConnectionSets, HostAddr};
+use netgraph::{NodeId, WGraph};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+/// Total order over non-negative similarities via the IEEE-754 bit
+/// trick (monotone for non-negative floats), for heap keying.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct OrdSim(u64);
+
+impl OrdSim {
+    fn new(sim: f64) -> Self {
+        debug_assert!(sim >= 0.0, "similarities are non-negative");
+        OrdSim(sim.to_bits())
+    }
+}
+
+/// Mutable per-group bookkeeping during merging.
+#[derive(Clone, Debug)]
+struct GroupInfo {
+    members: Vec<HostAddr>,
+    /// `K_G` — formation level, or after a merge the minimum member
+    /// connection count.
+    k: u32,
+    /// Sum of original connection-set sizes over members.
+    sum_deg: u64,
+    /// Minimum original connection-set size over members.
+    min_deg: u32,
+}
+
+impl GroupInfo {
+    fn avg_conns(&self) -> f64 {
+        if self.members.is_empty() {
+            0.0
+        } else {
+            self.sum_deg as f64 / self.members.len() as f64
+        }
+    }
+}
+
+/// One merge performed by the algorithm, for tracing and ablation.
+#[derive(Clone, Debug)]
+pub struct MergeEvent {
+    /// Members of the first group at merge time.
+    pub left: Vec<HostAddr>,
+    /// Members of the second group at merge time.
+    pub right: Vec<HostAddr>,
+    /// The similarity that justified the merge.
+    pub similarity: f64,
+}
+
+/// Final outcome of formation + merging.
+pub struct MergeOutcome {
+    /// The final partitioning, ids assigned sequentially by descending
+    /// group size (purely cosmetic; correlation renames them anyway).
+    pub grouping: Grouping,
+    /// Merge trace in execution order.
+    pub merges: Vec<MergeEvent>,
+    /// The final contracted group graph (node per final group; edge
+    /// weights are inter-group connection counts `CP`).
+    pub graph: WGraph,
+    /// Graph node per final group, aligned with
+    /// [`MergeOutcome::grouping`] group order.
+    pub node_of_group: Vec<NodeId>,
+}
+
+/// Computes the Figure 3 `SIMILARITY(G1, G2)` on the current group graph.
+///
+/// Returns a value in `[0, 100]`. See [`SimilarityVariant`] for the two
+/// normalizations.
+fn similarity(
+    g: &WGraph,
+    info: &HashMap<NodeId, GroupInfo>,
+    variant: SimilarityVariant,
+    x: NodeId,
+    y: NodeId,
+) -> f64 {
+    let tx = g.weighted_degree(x) as f64;
+    let ty = g.weighted_degree(y) as f64;
+    if tx == 0.0 || ty == 0.0 {
+        return 0.0;
+    }
+    // Merge the sorted adjacency lists to find common neighbors.
+    let mut ix = g.neighbors(x).peekable();
+    let mut iy = g.neighbors(y).peekable();
+    let mut acc = 0.0f64;
+    let (nx, ny) = (g.degree(x) as f64, g.degree(y) as f64);
+    while let (Some(&(a, wa)), Some(&(b, wb))) = (ix.peek(), iy.peek()) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => {
+                ix.next();
+            }
+            std::cmp::Ordering::Greater => {
+                iy.next();
+            }
+            std::cmp::Ordering::Equal => {
+                if a != x && a != y {
+                    let (wa, wb) = (wa as f64, wb as f64);
+                    acc += match variant {
+                        SimilarityVariant::Normalized => (wa / tx).min(wb / ty),
+                        SimilarityVariant::Literal => (wa / nx).min(wb / ny),
+                    };
+                }
+                ix.next();
+                iy.next();
+            }
+        }
+    }
+    let sim = match variant {
+        SimilarityVariant::Normalized => 100.0 * acc,
+        SimilarityVariant::Literal => {
+            let cx = tx / info[&x].members.len() as f64;
+            let cy = ty / info[&y].members.len() as f64;
+            50.0 * (acc / cx + acc / cy)
+        }
+    };
+    sim.clamp(0.0, 100.0)
+}
+
+/// `MEETCONNECTIONREQ`: average member connection counts within β.
+fn meets_connection_req(beta: f64, a1: f64, a2: f64) -> bool {
+    let hi = a1.max(a2);
+    if hi == 0.0 {
+        return true;
+    }
+    (a1 - a2).abs() <= beta * hi
+}
+
+/// `MEETSIMILARITYREQ`: the `K^hi`-gated threshold test.
+fn meets_similarity_req(params: &Params, k1: u32, k2: u32, sim: f64) -> bool {
+    let kmax = k1.max(k2);
+    if kmax >= params.k_hi {
+        sim >= params.s_hi
+    } else {
+        sim >= params.s_lo
+    }
+}
+
+fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Enumerates candidate pairs touching `x`: every node sharing at least
+/// one neighbor with `x` (only such pairs can have non-zero similarity).
+fn candidates_of(g: &WGraph, x: NodeId) -> BTreeSet<(NodeId, NodeId)> {
+    let mut out = BTreeSet::new();
+    for (via, _) in g.neighbors(x) {
+        for (y, _) in g.neighbors(via) {
+            if y != x {
+                out.insert(pair_key(x, y));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the merging phase on a formation result.
+///
+/// `cs` must be the same connection sets the formation ran on (original
+/// per-host connection counts feed the connection requirement and merged
+/// `K` values).
+pub fn merge_groups(cs: &ConnectionSets, formation: FormationResult, params: &Params) -> MergeOutcome {
+    params.validate().expect("invalid parameters");
+    let mut g = formation.graph;
+    let mut info: HashMap<NodeId, GroupInfo> = HashMap::new();
+    for (idx, pg) in formation.groups.iter().enumerate() {
+        let degs: Vec<u32> = pg
+            .members
+            .iter()
+            .map(|h| cs.degree(*h).unwrap_or(0) as u32)
+            .collect();
+        info.insert(
+            formation.node_of_group[idx],
+            GroupInfo {
+                members: pg.members.clone(),
+                k: pg.k,
+                sum_deg: degs.iter().map(|&d| d as u64).sum(),
+                min_deg: degs.iter().copied().min().unwrap_or(0),
+            },
+        );
+    }
+
+    // All candidate similarities, computed once and then maintained
+    // incrementally: a merge only perturbs pairs involving the merged
+    // node or its neighbors. Selection runs through a lazy max-heap —
+    // entries are invalidated by value mismatch against `sims` (the
+    // source of truth) rather than removed, keeping each merge near
+    // O(affected · log). Ties break toward the smallest node pair, the
+    // same order a full ascending scan would produce.
+    let mut sims: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+    let mut heap: BinaryHeap<(OrdSim, Reverse<(NodeId, NodeId)>)> = BinaryHeap::new();
+    let all_nodes: Vec<NodeId> = g.nodes().collect();
+    for &x in &all_nodes {
+        for pair in candidates_of(&g, x) {
+            if !sims.contains_key(&pair) {
+                let s = similarity(&g, &info, params.similarity, pair.0, pair.1);
+                sims.insert(pair, s);
+                if s > 0.0 {
+                    heap.push((OrdSim::new(s), Reverse(pair)));
+                }
+            }
+        }
+    }
+
+    let mut merges = Vec::new();
+    loop {
+        // Pop until a live, current, eligible pair surfaces. Discarding
+        // ineligible entries is sound: for a surviving pair with an
+        // unchanged similarity, both eligibility inputs (average member
+        // connections and the K labels) are immutable — any change
+        // replaces a node id and thus invalidates by liveness.
+        let mut best: Option<((NodeId, NodeId), f64)> = None;
+        while let Some((osim, Reverse((a, b)))) = heap.pop() {
+            if !g.contains_node(a) || !g.contains_node(b) {
+                continue;
+            }
+            let Some(&current) = sims.get(&(a, b)) else { continue };
+            if OrdSim::new(current) != osim {
+                continue; // stale entry; a fresher one is in the heap
+            }
+            if current <= 0.0 {
+                continue;
+            }
+            let (ia, ib) = (&info[&a], &info[&b]);
+            if !meets_connection_req(params.beta, ia.avg_conns(), ib.avg_conns()) {
+                continue;
+            }
+            if !meets_similarity_req(params, ia.k, ib.k, current) {
+                continue;
+            }
+            best = Some(((a, b), current));
+            break;
+        }
+        let Some(((a, b), sim)) = best else { break };
+
+        let ia = info.remove(&a).expect("merge endpoint alive");
+        let ib = info.remove(&b).expect("merge endpoint alive");
+        merges.push(MergeEvent {
+            left: ia.members.clone(),
+            right: ib.members.clone(),
+            similarity: sim,
+        });
+        let (m, _internal) = g.contract(&[a, b]);
+        let mut members = ia.members;
+        members.extend(ib.members);
+        members.sort_unstable();
+        // "The K value of a newly merged group is set to the minimum
+        // number of connections a host in the group has."
+        let min_deg = ia.min_deg.min(ib.min_deg);
+        info.insert(
+            m,
+            GroupInfo {
+                members,
+                k: min_deg,
+                sum_deg: ia.sum_deg + ib.sum_deg,
+                min_deg,
+            },
+        );
+
+        // Drop stale entries and recompute everything that can have
+        // changed: pairs touching the merged node or any of its
+        // neighbors (whose adjacency, and under the literal variant
+        // neighbor counts, changed). Heap entries for dropped or changed
+        // pairs die lazily on pop.
+        sims.retain(|&(x, y), _| x != a && x != b && y != a && y != b);
+        let mut dirty_nodes: BTreeSet<NodeId> = g.neighbors(m).map(|(n, _)| n).collect();
+        dirty_nodes.insert(m);
+        let mut dirty_pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for &x in &dirty_nodes {
+            dirty_pairs.extend(candidates_of(&g, x));
+        }
+        for pair in dirty_pairs {
+            let s = similarity(&g, &info, params.similarity, pair.0, pair.1);
+            let changed = sims.get(&pair) != Some(&s);
+            sims.insert(pair, s);
+            if s > 0.0 && changed {
+                heap.push((OrdSim::new(s), Reverse(pair)));
+            }
+        }
+    }
+
+    // Assemble the final grouping: ids by descending size then members.
+    let mut final_nodes: Vec<NodeId> = g.nodes().collect();
+    final_nodes.sort_by(|&x, &y| {
+        info[&y]
+            .members
+            .len()
+            .cmp(&info[&x].members.len())
+            .then_with(|| info[&x].members.cmp(&info[&y].members))
+    });
+    let mut groups = Vec::with_capacity(final_nodes.len());
+    let mut node_of_group = Vec::with_capacity(final_nodes.len());
+    for (i, &n) in final_nodes.iter().enumerate() {
+        let gi = &info[&n];
+        groups.push(Group {
+            id: GroupId(i as u32),
+            k: gi.k,
+            members: gi.members.clone(),
+        });
+        node_of_group.push(n);
+    }
+    MergeOutcome {
+        grouping: Grouping::new(groups),
+        merges,
+        graph: g,
+        node_of_group,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formation::form_groups;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    /// Figure 1 network, M = N = 3 (see formation tests for the layout).
+    fn figure1() -> ConnectionSets {
+        let mut cs = ConnectionSets::new();
+        for s in [11, 12, 13] {
+            cs.add_pair(h(s), h(1));
+            cs.add_pair(h(s), h(2));
+            cs.add_pair(h(s), h(3));
+        }
+        for e in [21, 22, 23] {
+            cs.add_pair(h(e), h(1));
+            cs.add_pair(h(e), h(2));
+            cs.add_pair(h(e), h(4));
+        }
+        cs
+    }
+
+    fn run(cs: &ConnectionSets, params: &Params) -> MergeOutcome {
+        merge_groups(cs, form_groups(cs, params), params)
+    }
+
+    #[test]
+    fn connection_requirement_math() {
+        assert!(meets_connection_req(0.5, 4.0, 4.0));
+        assert!(meets_connection_req(0.5, 4.0, 2.0)); // diff 2 <= 0.5*4
+        assert!(!meets_connection_req(0.5, 10.0, 4.0)); // diff 6 > 5
+        assert!(meets_connection_req(0.5, 0.0, 0.0));
+        assert!(!meets_connection_req(0.0, 3.0, 2.0));
+    }
+
+    #[test]
+    fn similarity_requirement_gating() {
+        let p = Params::default(); // s_hi=80, s_lo=55, k_hi=7
+        assert!(meets_similarity_req(&p, 3, 2, 60.0)); // low K -> s_lo
+        assert!(!meets_similarity_req(&p, 3, 2, 50.0));
+        assert!(meets_similarity_req(&p, 9, 2, 85.0)); // high K -> s_hi
+        assert!(!meets_similarity_req(&p, 9, 2, 60.0)); // 60 < s_hi
+    }
+
+    #[test]
+    fn figure1_collapses_to_two_groups_at_default_slo() {
+        // Section 6.4: "If S^lo is too low, Mail, Web, SalesDatabase, and
+        // SourceRevisionControl will all be placed in one group, whereas
+        // all sales and engineering machines will be placed in another."
+        // On the toy network the default S^lo = 55 sits on that side of
+        // the knee.
+        let out = run(&figure1(), &Params::default());
+        assert_eq!(out.grouping.group_count(), 2);
+        let sizes = out.grouping.sizes_desc();
+        assert_eq!(sizes, vec![6, 4]); // 6 clients, 4 servers
+        let servers = out
+            .grouping
+            .groups()
+            .iter()
+            .find(|g| g.len() == 4)
+            .unwrap();
+        assert_eq!(servers.members, vec![h(1), h(2), h(3), h(4)]);
+    }
+
+    #[test]
+    fn figure1_keeps_five_groups_at_high_slo() {
+        // On the other side of the knee the formation-phase structure
+        // survives verbatim.
+        let p = Params::default().with_s_lo(90.0).with_s_hi(95.0);
+        let out = run(&figure1(), &p);
+        assert_eq!(out.grouping.group_count(), 5);
+        assert!(out.merges.is_empty());
+    }
+
+    #[test]
+    fn slo_sweep_is_monotone_on_figure1() {
+        let mut last = 0;
+        for s_lo in [0.0, 20.0, 40.0, 55.0, 70.0, 90.0, 99.0] {
+            let p = Params::default().with_s_lo(s_lo).with_s_hi(99.5);
+            let out = run(&figure1(), &p);
+            assert!(
+                out.grouping.group_count() >= last,
+                "group count decreased at s_lo={s_lo}"
+            );
+            last = out.grouping.group_count();
+        }
+    }
+
+    #[test]
+    fn connection_requirement_blocks_mismatched_merges() {
+        // Two hub-and-spoke stars that share spokes: the hubs have very
+        // different connection counts from the spokes, and beta = 0
+        // forbids merging anything whose averages differ at all.
+        let cs = figure1();
+        let p = Params::default().with_beta(0.0).with_s_lo(1.0).with_s_hi(99.0);
+        let out = run(&cs, &p);
+        // Sales (3 conns each) and eng (3 conns each) can still merge,
+        // but the 6-connection servers cannot merge with 3-connection
+        // databases.
+        for ev in &out.merges {
+            let avg = |ms: &Vec<HostAddr>| {
+                ms.iter().map(|&m| cs.degree(m).unwrap()).sum::<usize>() as f64 / ms.len() as f64
+            };
+            assert_eq!(avg(&ev.left), avg(&ev.right));
+        }
+    }
+
+    #[test]
+    fn merged_k_is_min_member_connections() {
+        let out = run(&figure1(), &Params::default());
+        let servers = out
+            .grouping
+            .groups()
+            .iter()
+            .find(|g| g.contains(h(1)))
+            .unwrap();
+        // Server group contains the 3-connection databases: K = 3.
+        assert_eq!(servers.k, 3);
+    }
+
+    #[test]
+    fn partition_stays_total_after_merging() {
+        let cs = figure1();
+        let out = run(&cs, &Params::default());
+        assert_eq!(out.grouping.host_count(), cs.host_count());
+        assert_eq!(out.graph.node_count(), out.grouping.group_count());
+        assert_eq!(out.node_of_group.len(), out.grouping.group_count());
+    }
+
+    #[test]
+    fn merge_trace_matches_group_count_delta() {
+        let cs = figure1();
+        let formation = form_groups(&cs, &Params::default());
+        let before = formation.groups.len();
+        let out = merge_groups(&cs, formation, &Params::default());
+        assert_eq!(
+            before - out.merges.len(),
+            out.grouping.group_count()
+        );
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let cs = figure1();
+        let formation = form_groups(&cs, &Params::default());
+        let g = &formation.graph;
+        let mut info = HashMap::new();
+        for (idx, pg) in formation.groups.iter().enumerate() {
+            let degs: Vec<u32> = pg
+                .members
+                .iter()
+                .map(|h| cs.degree(*h).unwrap_or(0) as u32)
+                .collect();
+            info.insert(
+                formation.node_of_group[idx],
+                GroupInfo {
+                    members: pg.members.clone(),
+                    k: pg.k,
+                    sum_deg: degs.iter().map(|&d| d as u64).sum(),
+                    min_deg: degs.iter().copied().min().unwrap_or(0),
+                },
+            );
+        }
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        for variant in [SimilarityVariant::Normalized, SimilarityVariant::Literal] {
+            for &x in &nodes {
+                for &y in &nodes {
+                    if x == y {
+                        continue;
+                    }
+                    let sxy = similarity(g, &info, variant, x, y);
+                    let syx = similarity(g, &info, variant, y, x);
+                    assert!((sxy - syx).abs() < 1e-9, "asymmetric similarity");
+                    assert!((0.0..=100.0).contains(&sxy));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn literal_variant_also_runs_to_completion() {
+        let mut p = Params::default();
+        p.similarity = SimilarityVariant::Literal;
+        let out = run(&figure1(), &p);
+        assert_eq!(out.grouping.host_count(), 10);
+        assert!(out.grouping.group_count() >= 2);
+    }
+
+    #[test]
+    fn disconnected_components_never_merge() {
+        // Two disjoint client-server stars: no common neighbors across
+        // components, hence zero similarity, hence no merge even at
+        // S^lo = 0-ish.
+        let mut cs = ConnectionSets::new();
+        for c in [11, 12, 13] {
+            cs.add_pair(h(c), h(1));
+        }
+        for c in [21, 22, 23] {
+            cs.add_pair(h(c), h(2));
+        }
+        let p = Params::default().with_s_lo(0.0).with_s_hi(0.5);
+        let out = run(&cs, &p);
+        let left = out.grouping.group_of(h(11));
+        let right = out.grouping.group_of(h(21));
+        assert_ne!(left, right);
+    }
+}

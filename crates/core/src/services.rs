@@ -1,0 +1,235 @@
+//! Service-aware grouping refinement — the paper's sketched extension.
+//!
+//! Sections 2 and 8: "one could consider incorporating services (such as
+//! TCP or UDP port information) or protocols into the definition of a
+//! connection, so that a web server would not be grouped with a mail
+//! server." This module implements that refinement as a *post-pass*: a
+//! per-host service profile is built from flow records, and any group
+//! whose members expose sufficiently dissimilar service sets is split.
+//! The refinement is optional and off the default pipeline, matching the
+//! paper's treatment of it as future work.
+
+use crate::group::{Group, GroupId, Grouping};
+use flow::{FlowRecord, HostAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which well-known services each host *serves* (listens on).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfiles {
+    ports: BTreeMap<HostAddr, BTreeSet<u16>>,
+}
+
+/// Ports above this are treated as ephemeral client ports and ignored.
+pub const EPHEMERAL_START: u16 = 1024;
+
+impl ServiceProfiles {
+    /// Builds profiles from flow records: the destination of a flow to a
+    /// well-known port is serving that port.
+    pub fn from_flows<'a>(records: impl IntoIterator<Item = &'a FlowRecord>) -> Self {
+        let mut ports: BTreeMap<HostAddr, BTreeSet<u16>> = BTreeMap::new();
+        for r in records {
+            if r.dst_port != 0 && r.dst_port < EPHEMERAL_START {
+                ports.entry(r.dst).or_default().insert(r.dst_port);
+            }
+            if r.src_port != 0 && r.src_port < EPHEMERAL_START {
+                ports.entry(r.src).or_default().insert(r.src_port);
+            }
+        }
+        ServiceProfiles { ports }
+    }
+
+    /// The service ports of `h` (empty if none observed).
+    pub fn services(&self, h: HostAddr) -> &BTreeSet<u16> {
+        static EMPTY: BTreeSet<u16> = BTreeSet::new();
+        self.ports.get(&h).unwrap_or(&EMPTY)
+    }
+
+    /// Number of hosts with at least one service.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Returns `true` when no services were observed at all.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// Jaccard similarity of two hosts' service sets, in `[0, 1]`.
+    /// Hosts with no services are fully similar to each other.
+    pub fn jaccard(&self, a: HostAddr, b: HostAddr) -> f64 {
+        let (sa, sb) = (self.services(a), self.services(b));
+        if sa.is_empty() && sb.is_empty() {
+            return 1.0;
+        }
+        let inter = sa.intersection(sb).count() as f64;
+        let union = sa.union(sb).count() as f64;
+        inter / union
+    }
+}
+
+/// Splits every group of `grouping` into service-coherent subgroups.
+///
+/// Members whose pairwise service Jaccard similarity is at least
+/// `min_jaccard` stay together (single-linkage closure); others separate.
+/// Split-off groups receive fresh ids above the current maximum. With
+/// `min_jaccard = 0.0` the grouping is returned unchanged.
+pub fn split_by_services(
+    grouping: &Grouping,
+    profiles: &ServiceProfiles,
+    min_jaccard: f64,
+) -> Grouping {
+    let mut next_id = grouping.groups().iter().map(|g| g.id.0).max().map_or(0, |m| m + 1);
+    let mut out: Vec<Group> = Vec::new();
+    for g in grouping.groups() {
+        let n = g.members.len();
+        if n <= 1 || min_jaccard <= 0.0 {
+            out.push(g.clone());
+            continue;
+        }
+        // Single-linkage clustering over the service-similarity graph.
+        let mut uf = netgraph::UnionFind::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if profiles.jaccard(g.members[i], g.members[j]) >= min_jaccard {
+                    uf.union(i, j);
+                }
+            }
+        }
+        let sets = uf.sets();
+        if sets.len() == 1 {
+            out.push(g.clone());
+            continue;
+        }
+        // The largest fragment keeps the original id.
+        let mut sets = sets;
+        sets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        for (rank, set) in sets.into_iter().enumerate() {
+            let id = if rank == 0 {
+                g.id
+            } else {
+                let id = GroupId(next_id);
+                next_id += 1;
+                id
+            };
+            out.push(Group {
+                id,
+                k: g.k,
+                members: set.into_iter().map(|i| g.members[i]).collect(),
+            });
+        }
+    }
+    Grouping::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow::Proto;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    fn flow_to(dst: u32, port: u16) -> FlowRecord {
+        let mut f = FlowRecord::pair(h(1000), h(dst));
+        f.proto = Proto::Tcp;
+        f.src_port = 50_000;
+        f.dst_port = port;
+        f
+    }
+
+    #[test]
+    fn profiles_capture_served_ports() {
+        let flows = vec![flow_to(1, 80), flow_to(1, 443), flow_to(2, 25)];
+        let p = ServiceProfiles::from_flows(&flows);
+        assert_eq!(
+            p.services(h(1)).iter().copied().collect::<Vec<_>>(),
+            vec![80, 443]
+        );
+        assert_eq!(p.services(h(2)).len(), 1);
+        assert!(p.services(h(3)).is_empty());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn ephemeral_ports_ignored() {
+        let mut f = FlowRecord::pair(h(1), h(2));
+        f.src_port = 50_000;
+        f.dst_port = 49_152;
+        let p = ServiceProfiles::from_flows(&[f]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn jaccard_math() {
+        let flows = vec![flow_to(1, 80), flow_to(1, 25), flow_to(2, 80), flow_to(3, 25)];
+        let p = ServiceProfiles::from_flows(&flows);
+        assert!((p.jaccard(h(1), h(2)) - 0.5).abs() < 1e-12);
+        assert_eq!(p.jaccard(h(2), h(3)), 0.0);
+        assert_eq!(p.jaccard(h(7), h(8)), 1.0); // both serviceless
+    }
+
+    #[test]
+    fn splits_web_from_mail() {
+        // The paper's motivating example: a web server and a mail server
+        // grouped together get separated by the service refinement.
+        let grouping = Grouping::new(vec![Group {
+            id: GroupId(0),
+            k: 6,
+            members: vec![h(1), h(2)],
+        }]);
+        let flows = vec![flow_to(1, 80), flow_to(2, 25)];
+        let p = ServiceProfiles::from_flows(&flows);
+        let refined = split_by_services(&grouping, &p, 0.5);
+        assert_eq!(refined.group_count(), 2);
+        assert_ne!(refined.group_of(h(1)), refined.group_of(h(2)));
+        // The original id survives on one fragment.
+        assert!(refined.group(GroupId(0)).is_some());
+    }
+
+    #[test]
+    fn coherent_groups_stay_whole() {
+        let grouping = Grouping::new(vec![Group {
+            id: GroupId(0),
+            k: 3,
+            members: vec![h(1), h(2), h(3)],
+        }]);
+        let flows = vec![flow_to(1, 80), flow_to(2, 80), flow_to(3, 80)];
+        let p = ServiceProfiles::from_flows(&flows);
+        let refined = split_by_services(&grouping, &p, 0.9);
+        assert_eq!(refined.group_count(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_is_identity() {
+        let grouping = Grouping::new(vec![Group {
+            id: GroupId(0),
+            k: 1,
+            members: vec![h(1), h(2)],
+        }]);
+        let p = ServiceProfiles::default();
+        let refined = split_by_services(&grouping, &p, 0.0);
+        assert_eq!(&refined, &grouping);
+    }
+
+    #[test]
+    fn single_linkage_transitivity() {
+        // 1 ~ 2 (share 80), 2 ~ 3 (share 25): all stay together even
+        // though 1 and 3 share nothing directly.
+        let grouping = Grouping::new(vec![Group {
+            id: GroupId(0),
+            k: 2,
+            members: vec![h(1), h(2), h(3)],
+        }]);
+        let flows = vec![
+            flow_to(1, 80),
+            flow_to(2, 80),
+            flow_to(2, 25),
+            flow_to(3, 25),
+        ];
+        let p = ServiceProfiles::from_flows(&flows);
+        let refined = split_by_services(&grouping, &p, 0.4);
+        assert_eq!(refined.group_count(), 1);
+    }
+}

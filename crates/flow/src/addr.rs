@@ -1,0 +1,231 @@
+//! IPv4 host addressing.
+
+use crate::error::FlowError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::str::FromStr;
+
+/// An IPv4 host address.
+///
+/// The paper keys hosts by IP address (with the caveat that DHCP churn
+/// needs an external identity service, Section 5.1); we follow suit and
+/// treat [`HostAddr`] as the opaque, unique host identifier throughout
+/// the workspace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HostAddr(pub u32);
+
+// Serialized as a dotted-quad string so it can key JSON maps and stays
+// readable in persisted snapshots.
+impl Serialize for HostAddr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for HostAddr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+impl HostAddr {
+    /// Builds an address from dotted-quad octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        HostAddr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Raw 32-bit value (network order interpretation).
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl std::fmt::Debug for HostAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for HostAddr {
+    type Err = FlowError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts
+                .next()
+                .ok_or_else(|| FlowError::BadAddress(s.to_string()))?;
+            *slot = part
+                .parse::<u8>()
+                .map_err(|_| FlowError::BadAddress(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(FlowError::BadAddress(s.to_string()));
+        }
+        Ok(HostAddr::from_octets(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// An IPv4 CIDR prefix, used to scope analysis to the enterprise's own
+/// address space (probes see external traffic too; the grouping algorithm is
+/// defined over the intranet's host set `I`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cidr {
+    /// Network address (host bits already zeroed).
+    pub network: HostAddr,
+    /// Prefix length, 0..=32.
+    pub prefix_len: u8,
+}
+
+impl Cidr {
+    /// Builds a CIDR block; host bits of `network` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > 32`.
+    pub fn new(network: HostAddr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length must be at most 32");
+        Cidr {
+            network: HostAddr(network.0 & Self::mask(prefix_len)),
+            prefix_len,
+        }
+    }
+
+    const fn mask(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    /// Returns `true` if `addr` lies inside this block.
+    pub fn contains(&self, addr: HostAddr) -> bool {
+        (addr.0 & Self::mask(self.prefix_len)) == self.network.0
+    }
+
+    /// Number of addresses in the block.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+}
+
+impl std::fmt::Display for Cidr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.network, self.prefix_len)
+    }
+}
+
+impl std::fmt::Debug for Cidr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = FlowError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (net, len) = s
+            .split_once('/')
+            .ok_or_else(|| FlowError::BadAddress(s.to_string()))?;
+        let network: HostAddr = net.parse()?;
+        let prefix_len: u8 = len
+            .parse()
+            .map_err(|_| FlowError::BadAddress(s.to_string()))?;
+        if prefix_len > 32 {
+            return Err(FlowError::BadAddress(s.to_string()));
+        }
+        Ok(Cidr::new(network, prefix_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octets_round_trip() {
+        let a = HostAddr::from_octets(10, 0, 1, 18);
+        assert_eq!(a.octets(), [10, 0, 1, 18]);
+        assert_eq!(a.to_string(), "10.0.1.18");
+    }
+
+    #[test]
+    fn parse_valid_address() {
+        let a: HostAddr = "192.168.1.1".parse().unwrap();
+        assert_eq!(a, HostAddr::from_octets(192, 168, 1, 1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<HostAddr>().is_err());
+        assert!("1.2.3".parse::<HostAddr>().is_err());
+        assert!("1.2.3.4.5".parse::<HostAddr>().is_err());
+        assert!("1.2.3.256".parse::<HostAddr>().is_err());
+        assert!("a.b.c.d".parse::<HostAddr>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let lo: HostAddr = "10.0.0.1".parse().unwrap();
+        let hi: HostAddr = "10.0.1.0".parse().unwrap();
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn cidr_contains() {
+        let block: Cidr = "10.0.0.0/8".parse().unwrap();
+        assert!(block.contains("10.255.1.2".parse().unwrap()));
+        assert!(!block.contains("11.0.0.1".parse().unwrap()));
+        assert_eq!(block.size(), 1 << 24);
+    }
+
+    #[test]
+    fn cidr_masks_host_bits() {
+        let block = Cidr::new(HostAddr::from_octets(10, 0, 1, 77), 24);
+        assert_eq!(block.network, HostAddr::from_octets(10, 0, 1, 0));
+        assert_eq!(block.to_string(), "10.0.1.0/24");
+    }
+
+    #[test]
+    fn cidr_zero_prefix_contains_all() {
+        let block = Cidr::new(HostAddr(0), 0);
+        assert!(block.contains(HostAddr(u32::MAX)));
+        assert!(block.contains(HostAddr(0)));
+    }
+
+    #[test]
+    fn cidr_slash_32_is_single_host() {
+        let addr: HostAddr = "10.0.0.5".parse().unwrap();
+        let block = Cidr::new(addr, 32);
+        assert!(block.contains(addr));
+        assert!(!block.contains(HostAddr(addr.0 + 1)));
+        assert_eq!(block.size(), 1);
+    }
+
+    #[test]
+    fn cidr_parse_rejects_bad_prefix() {
+        assert!("10.0.0.0/33".parse::<Cidr>().is_err());
+        assert!("10.0.0.0".parse::<Cidr>().is_err());
+        assert!("10.0.0.0/x".parse::<Cidr>().is_err());
+    }
+}

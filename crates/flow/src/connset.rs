@@ -1,0 +1,585 @@
+//! Connection sets: the per-host neighbor sets the algorithms consume.
+//!
+//! Section 3.1 of the paper: "A connection is a pair consisting of a
+//! source host address and a destination host address. The connection set
+//! of a host, `C(h)`, is the set `{a | a ∈ I and there is a connection
+//! between h and a}`." Connections are undirected ("almost all
+//! communication between hosts in the intranets is bidirectional",
+//! Section 4.1), so flows in either direction contribute the same pair.
+
+use crate::addr::{Cidr, HostAddr};
+use crate::record::FlowRecord;
+use crate::window::TimeWindow;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Traffic totals for one undirected host pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairStats {
+    /// Number of flow records observed between the pair.
+    pub flows: u64,
+    /// Total packets.
+    pub packets: u64,
+    /// Total bytes.
+    pub bytes: u64,
+}
+
+/// The connection sets of a host population.
+///
+/// Stores, for every host of the analyzed network, the set of hosts it
+/// communicated with, plus per-pair traffic totals. This is the *only*
+/// input the grouping algorithm needs; everything else in the pipeline
+/// exists to produce one of these.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionSets {
+    sets: BTreeMap<HostAddr, BTreeSet<HostAddr>>,
+    #[serde(with = "pair_map")]
+    pairs: BTreeMap<(HostAddr, HostAddr), PairStats>,
+    /// Flow-initiation counts per host (flows where the host was the
+    /// source). Section 4.1 of the paper notes that "directionality may
+    /// be used to improve the quality of the grouping results"; this is
+    /// the raw material — kept separate from the undirected connection
+    /// sets the core algorithm consumes.
+    #[serde(default)]
+    initiated: BTreeMap<HostAddr, u64>,
+    /// Flow-acceptance counts per host (flows where the host was the
+    /// destination).
+    #[serde(default)]
+    accepted: BTreeMap<HostAddr, u64>,
+}
+
+/// Serde adapter: tuple-keyed maps are not representable in JSON, so the
+/// pair map round-trips as a vector of `(a, b, stats)` entries.
+mod pair_map {
+    use super::{BTreeMap, HostAddr, PairStats};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(HostAddr, HostAddr), PairStats>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(HostAddr, HostAddr, PairStats)> =
+            map.iter().map(|(&(a, b), &v)| (a, b, v)).collect();
+        entries.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<BTreeMap<(HostAddr, HostAddr), PairStats>, D::Error> {
+        let entries: Vec<(HostAddr, HostAddr, PairStats)> = Vec::deserialize(d)?;
+        Ok(entries.into_iter().map(|(a, b, v)| ((a, b), v)).collect())
+    }
+}
+
+impl ConnectionSets {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures `h` is present (with a possibly empty neighbor set).
+    ///
+    /// Isolated hosts are legitimate members of `I`: the paper's idle
+    /// hosts have tiny connection sets, and a host can appear in a trace
+    /// only as a scanner's victim.
+    pub fn add_host(&mut self, h: HostAddr) {
+        self.sets.entry(h).or_default();
+    }
+
+    /// Records an undirected connection between `a` and `b`, accumulating
+    /// `stats` onto the pair. Self-pairs are ignored.
+    pub fn add_connection(&mut self, a: HostAddr, b: HostAddr, stats: PairStats) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.sets.entry(lo).or_default().insert(hi);
+        self.sets.entry(hi).or_default().insert(lo);
+        let e = self.pairs.entry((lo, hi)).or_default();
+        e.flows += stats.flows;
+        e.packets += stats.packets;
+        e.bytes += stats.bytes;
+    }
+
+    /// Records a plain connection with unit flow stats.
+    pub fn add_pair(&mut self, a: HostAddr, b: HostAddr) {
+        self.add_connection(
+            a,
+            b,
+            PairStats {
+                flows: 1,
+                packets: 1,
+                bytes: 64,
+            },
+        );
+    }
+
+    /// Number of hosts (`|I|`).
+    pub fn host_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of undirected connections (host pairs).
+    pub fn connection_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if no hosts are present.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Returns `true` if `h` is a known host.
+    pub fn contains(&self, h: HostAddr) -> bool {
+        self.sets.contains_key(&h)
+    }
+
+    /// Iterates over all hosts in address order.
+    pub fn hosts(&self) -> impl Iterator<Item = HostAddr> + '_ {
+        self.sets.keys().copied()
+    }
+
+    /// The connection set `C(h)`, or `None` if `h` is unknown.
+    pub fn neighbors(&self, h: HostAddr) -> Option<&BTreeSet<HostAddr>> {
+        self.sets.get(&h)
+    }
+
+    /// `|C(h)|`, or `None` if `h` is unknown.
+    pub fn degree(&self, h: HostAddr) -> Option<usize> {
+        self.sets.get(&h).map(BTreeSet::len)
+    }
+
+    /// Returns `true` if `a` and `b` are connected.
+    pub fn connected(&self, a: HostAddr, b: HostAddr) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.pairs.contains_key(&(lo, hi))
+    }
+
+    /// Traffic totals between `a` and `b`, if connected.
+    pub fn pair_stats(&self, a: HostAddr, b: HostAddr) -> Option<PairStats> {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.pairs.get(&(lo, hi)).copied()
+    }
+
+    /// Iterates over all undirected pairs with their stats, in order.
+    pub fn pairs(&self) -> impl Iterator<Item = ((HostAddr, HostAddr), PairStats)> + '_ {
+        self.pairs.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Collects the undirected edge list.
+    pub fn edges(&self) -> Vec<(HostAddr, HostAddr)> {
+        self.pairs.keys().copied().collect()
+    }
+
+    /// The number of common neighbors `|C(a) ∩ C(b)|` — the paper's
+    /// host-level `similarity` (Equation 1). Returns 0 if either host is
+    /// unknown.
+    pub fn similarity(&self, a: HostAddr, b: HostAddr) -> usize {
+        match (self.sets.get(&a), self.sets.get(&b)) {
+            (Some(ca), Some(cb)) => ca.intersection(cb).count(),
+            _ => 0,
+        }
+    }
+
+    /// Removes host `h` and all its connections. Returns `true` if the
+    /// host existed.
+    pub fn remove_host(&mut self, h: HostAddr) -> bool {
+        let Some(nbrs) = self.sets.remove(&h) else {
+            return false;
+        };
+        for n in nbrs {
+            if let Some(set) = self.sets.get_mut(&n) {
+                set.remove(&h);
+            }
+            let (lo, hi) = if h < n { (h, n) } else { (n, h) };
+            self.pairs.remove(&(lo, hi));
+        }
+        true
+    }
+
+    /// Restricts the host population to `keep`, dropping all other hosts
+    /// and their connections. Used by the correlation algorithm to strip
+    /// arrivals/departures before comparing snapshots (Section 5.2).
+    pub fn retain_hosts(&mut self, keep: &BTreeSet<HostAddr>) {
+        let to_remove: Vec<HostAddr> = self
+            .sets
+            .keys()
+            .copied()
+            .filter(|h| !keep.contains(h))
+            .collect();
+        for h in to_remove {
+            self.remove_host(h);
+        }
+    }
+
+    /// Hosts present here but not in `other`.
+    pub fn hosts_not_in(&self, other: &ConnectionSets) -> BTreeSet<HostAddr> {
+        self.hosts().filter(|h| !other.contains(*h)).collect()
+    }
+
+    /// Maximum connection-set size over all hosts (`k_max` of the
+    /// formation algorithm), or 0 when empty.
+    pub fn max_degree(&self) -> usize {
+        self.sets.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Records directional flow counts for a host (used by
+    /// [`crate::ConnsetBuilder`]; available for callers constructing
+    /// connection sets by hand).
+    pub fn add_direction_counts(&mut self, h: HostAddr, initiated: u64, accepted: u64) {
+        if initiated > 0 {
+            *self.initiated.entry(h).or_insert(0) += initiated;
+        }
+        if accepted > 0 {
+            *self.accepted.entry(h).or_insert(0) += accepted;
+        }
+    }
+
+    /// Number of flows this host initiated (was the source of).
+    pub fn initiated_flows(&self, h: HostAddr) -> u64 {
+        self.initiated.get(&h).copied().unwrap_or(0)
+    }
+
+    /// Number of flows this host accepted (was the destination of).
+    pub fn accepted_flows(&self, h: HostAddr) -> u64 {
+        self.accepted.get(&h).copied().unwrap_or(0)
+    }
+
+    /// Fraction of this host's flows that it *accepted*, in `[0, 1]` —
+    /// a server-likeness score (servers accept, clients initiate).
+    /// Returns `None` when no directional data was recorded for `h`.
+    pub fn server_ratio(&self, h: HostAddr) -> Option<f64> {
+        let i = self.initiated_flows(h);
+        let a = self.accepted_flows(h);
+        if i + a == 0 {
+            None
+        } else {
+            Some(a as f64 / (i + a) as f64)
+        }
+    }
+}
+
+/// Builder turning a stream of [`FlowRecord`]s into [`ConnectionSets`],
+/// with the scoping and noise filters a real deployment needs.
+#[derive(Clone, Debug, Default)]
+pub struct ConnsetBuilder {
+    scope: Vec<Cidr>,
+    window: Option<TimeWindow>,
+    min_flows: u64,
+    min_packets: u64,
+    staging: BTreeMap<(HostAddr, HostAddr), PairStats>,
+    seen_hosts: BTreeSet<HostAddr>,
+    /// Per-host `(initiated, accepted)` flow counts.
+    direction: BTreeMap<HostAddr, (u64, u64)>,
+}
+
+impl ConnsetBuilder {
+    /// Creates a builder with no filters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts the analyzed host set `I` to addresses inside any of the
+    /// given CIDR blocks. Flows with an out-of-scope endpoint are
+    /// dropped entirely; an empty scope list accepts everything.
+    pub fn scope(mut self, blocks: impl IntoIterator<Item = Cidr>) -> Self {
+        self.scope.extend(blocks);
+        self
+    }
+
+    /// Only accepts flows whose start time falls inside `window`.
+    pub fn window(mut self, window: TimeWindow) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Requires at least `n` flow records between a pair before it counts
+    /// as a connection. Filters one-off noise (e.g., stray scans) out of
+    /// long observation windows, per the paper's "transient changes"
+    /// property (Section 1, property 3).
+    pub fn min_flows(mut self, n: u64) -> Self {
+        self.min_flows = n;
+        self
+    }
+
+    /// Requires at least `n` packets between a pair before it counts as a
+    /// connection.
+    pub fn min_packets(mut self, n: u64) -> Self {
+        self.min_packets = n;
+        self
+    }
+
+    fn in_scope(&self, h: HostAddr) -> bool {
+        self.scope.is_empty() || self.scope.iter().any(|c| c.contains(h))
+    }
+
+    /// Feeds one flow record.
+    pub fn add_record(&mut self, r: &FlowRecord) {
+        if r.src == r.dst {
+            return;
+        }
+        if let Some(w) = self.window {
+            if !w.contains(r.start_ms) {
+                return;
+            }
+        }
+        if !self.in_scope(r.src) || !self.in_scope(r.dst) {
+            return;
+        }
+        self.seen_hosts.insert(r.src);
+        self.seen_hosts.insert(r.dst);
+        // Infer the conversation's initiator. A probe on a link sees
+        // both directions of a conversation as separate flows, so raw
+        // src/dst alone would average out to nothing; the classic
+        // well-known-port heuristic recovers the true client/server
+        // orientation whenever exactly one side uses a service port.
+        let (initiator, acceptor) = if r.dst_port != 0 && r.dst_port < 1024 && r.src_port >= 1024
+        {
+            (r.src, r.dst)
+        } else if r.src_port != 0 && r.src_port < 1024 && r.dst_port >= 1024 {
+            // Reply direction of a client/server conversation.
+            (r.dst, r.src)
+        } else {
+            (r.src, r.dst)
+        };
+        self.direction.entry(initiator).or_default().0 += 1;
+        self.direction.entry(acceptor).or_default().1 += 1;
+        let key = r.undirected_pair();
+        let e = self.staging.entry(key).or_default();
+        e.flows += 1;
+        e.packets += r.packets as u64;
+        e.bytes += r.bytes;
+    }
+
+    /// Feeds many flow records.
+    pub fn add_records<'a>(&mut self, records: impl IntoIterator<Item = &'a FlowRecord>) {
+        for r in records {
+            self.add_record(r);
+        }
+    }
+
+    /// Finalizes into [`ConnectionSets`], applying the noise thresholds.
+    ///
+    /// Hosts observed only on filtered-out pairs are still part of the
+    /// population (with empty connection sets).
+    pub fn build(self) -> ConnectionSets {
+        let mut out = ConnectionSets::new();
+        for h in &self.seen_hosts {
+            out.add_host(*h);
+        }
+        for ((a, b), stats) in self.staging {
+            if stats.flows >= self.min_flows && stats.packets >= self.min_packets {
+                out.add_connection(a, b, stats);
+            }
+        }
+        for (h, (initiated, accepted)) in self.direction {
+            out.add_direction_counts(h, initiated, accepted);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    #[test]
+    fn add_pair_is_symmetric() {
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(2));
+        assert!(cs.connected(h(1), h(2)));
+        assert!(cs.connected(h(2), h(1)));
+        assert_eq!(cs.degree(h(1)), Some(1));
+        assert_eq!(cs.degree(h(2)), Some(1));
+        assert_eq!(cs.host_count(), 2);
+        assert_eq!(cs.connection_count(), 1);
+    }
+
+    #[test]
+    fn self_pairs_ignored() {
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(1));
+        assert_eq!(cs.connection_count(), 0);
+        assert_eq!(cs.host_count(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(2));
+        cs.add_pair(h(2), h(1));
+        let s = cs.pair_stats(h(1), h(2)).unwrap();
+        assert_eq!(s.flows, 2);
+    }
+
+    #[test]
+    fn similarity_counts_common_neighbors() {
+        let mut cs = ConnectionSets::new();
+        // 1 and 2 both talk to 10 and 11; 2 also talks to 12.
+        for n in [10, 11] {
+            cs.add_pair(h(1), h(n));
+            cs.add_pair(h(2), h(n));
+        }
+        cs.add_pair(h(2), h(12));
+        assert_eq!(cs.similarity(h(1), h(2)), 2);
+        assert_eq!(cs.similarity(h(1), h(99)), 0);
+    }
+
+    #[test]
+    fn remove_host_cleans_pairs() {
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(2));
+        cs.add_pair(h(1), h(3));
+        assert!(cs.remove_host(h(1)));
+        assert!(!cs.remove_host(h(1)));
+        assert!(!cs.contains(h(1)));
+        assert_eq!(cs.connection_count(), 0);
+        assert_eq!(cs.degree(h(2)), Some(0));
+    }
+
+    #[test]
+    fn retain_hosts_strips_everything_else() {
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(2));
+        cs.add_pair(h(2), h(3));
+        let keep: BTreeSet<_> = [h(2), h(3)].into_iter().collect();
+        cs.retain_hosts(&keep);
+        assert_eq!(cs.host_count(), 2);
+        assert!(cs.connected(h(2), h(3)));
+        assert!(!cs.contains(h(1)));
+    }
+
+    #[test]
+    fn hosts_not_in_diff() {
+        let mut a = ConnectionSets::new();
+        a.add_pair(h(1), h(2));
+        let mut b = ConnectionSets::new();
+        b.add_pair(h(2), h(3));
+        assert_eq!(a.hosts_not_in(&b), [h(1)].into_iter().collect());
+        assert_eq!(b.hosts_not_in(&a), [h(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn builder_scope_filters_foreign_flows() {
+        let scope: Cidr = "10.0.0.0/8".parse().unwrap();
+        let mut b = ConnsetBuilder::new().scope([scope]);
+        let inside = FlowRecord::pair("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap());
+        let cross = FlowRecord::pair("10.0.0.1".parse().unwrap(), "8.8.8.8".parse().unwrap());
+        b.add_record(&inside);
+        b.add_record(&cross);
+        let cs = b.build();
+        assert_eq!(cs.host_count(), 2);
+        assert_eq!(cs.connection_count(), 1);
+    }
+
+    #[test]
+    fn builder_min_flows_filters_noise_but_keeps_hosts() {
+        let mut b = ConnsetBuilder::new().min_flows(2);
+        let f = FlowRecord::pair(h(1), h(2));
+        b.add_record(&f);
+        let g = FlowRecord::pair(h(3), h(4));
+        b.add_record(&g);
+        b.add_record(&g);
+        let cs = b.build();
+        assert!(!cs.connected(h(1), h(2)));
+        assert!(cs.connected(h(3), h(4)));
+        // Hosts 1 and 2 stay in the population with empty sets.
+        assert_eq!(cs.degree(h(1)), Some(0));
+        assert_eq!(cs.host_count(), 4);
+    }
+
+    #[test]
+    fn builder_window_filters_by_start_time() {
+        let mut b = ConnsetBuilder::new().window(TimeWindow::new(100, 200));
+        let mut early = FlowRecord::pair(h(1), h(2));
+        early.start_ms = 50;
+        let mut inside = FlowRecord::pair(h(3), h(4));
+        inside.start_ms = 150;
+        b.add_record(&early);
+        b.add_record(&inside);
+        let cs = b.build();
+        assert!(!cs.contains(h(1)));
+        assert!(cs.connected(h(3), h(4)));
+    }
+
+    #[test]
+    fn builder_folds_directions() {
+        let mut b = ConnsetBuilder::new();
+        let f = FlowRecord::pair(h(1), h(2));
+        b.add_record(&f);
+        b.add_record(&f.reversed());
+        let cs = b.build();
+        assert_eq!(cs.connection_count(), 1);
+        assert_eq!(cs.pair_stats(h(1), h(2)).unwrap().flows, 2);
+    }
+
+    #[test]
+    fn max_degree_is_kmax() {
+        let mut cs = ConnectionSets::new();
+        for n in 2..7 {
+            cs.add_pair(h(1), h(n));
+        }
+        cs.add_pair(h(2), h(3));
+        assert_eq!(cs.max_degree(), 5);
+        assert_eq!(ConnectionSets::new().max_degree(), 0);
+    }
+
+    #[test]
+    fn direction_counts_track_initiation() {
+        let mut b = ConnsetBuilder::new();
+        let client = h(1);
+        let server = h(2);
+        // Client opens three flows to the server; server never initiates.
+        for _ in 0..3 {
+            b.add_record(&FlowRecord::pair(client, server));
+        }
+        let cs = b.build();
+        assert_eq!(cs.initiated_flows(client), 3);
+        assert_eq!(cs.accepted_flows(client), 0);
+        assert_eq!(cs.initiated_flows(server), 0);
+        assert_eq!(cs.accepted_flows(server), 3);
+        assert_eq!(cs.server_ratio(server), Some(1.0));
+        assert_eq!(cs.server_ratio(client), Some(0.0));
+        assert_eq!(cs.server_ratio(h(99)), None);
+    }
+
+    #[test]
+    fn reply_flows_attribute_to_the_true_initiator() {
+        let mut b = ConnsetBuilder::new();
+        let mut req = FlowRecord::pair(h(1), h(2));
+        req.src_port = 51_000;
+        req.dst_port = 80;
+        b.add_record(&req);
+        // The observed reply: server back to client.
+        b.add_record(&req.reversed());
+        let cs = b.build();
+        assert_eq!(cs.initiated_flows(h(1)), 2);
+        assert_eq!(cs.accepted_flows(h(2)), 2);
+        assert_eq!(cs.server_ratio(h(2)), Some(1.0));
+    }
+
+    #[test]
+    fn direction_counts_survive_serde() {
+        let mut b = ConnsetBuilder::new();
+        b.add_record(&FlowRecord::pair(h(1), h(2)));
+        let cs = b.build();
+        let json = serde_json::to_string(&cs).unwrap();
+        let back: ConnectionSets = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.initiated_flows(h(1)), 1);
+        assert_eq!(back.accepted_flows(h(2)), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(2));
+        cs.add_pair(h(2), h(3));
+        let json = serde_json::to_string(&cs).unwrap();
+        let back: ConnectionSets = serde_json::from_str(&json).unwrap();
+        assert_eq!(cs, back);
+    }
+}

@@ -1,0 +1,160 @@
+//! RMON2 matrix-group table dumps.
+//!
+//! RMON (RFC 2021) is the first summary source the paper names
+//! (Section 7, \[28\]). An RMON2 probe's *alMatrix*/*nlMatrix* tables
+//! record, per source/destination address pair, packet and octet
+//! counters. This module parses the textual table dumps produced by
+//! `snmpwalk`-style tooling (and by this module's own writer):
+//!
+//! ```text
+//! # nlMatrixSDEntry: src dst pkts octets
+//! nlMatrixSD 10.0.0.7 10.0.0.1 421 61432
+//! nlMatrixSD 10.0.0.1 10.0.0.7 398 1403321
+//! ```
+//!
+//! Each row becomes one [`FlowRecord`] with packet/byte counters; port
+//! information is not part of the matrix group, so ports are zero (the
+//! role classification algorithm does not need them).
+
+use crate::error::FlowError;
+use crate::record::{FlowRecord, Proto};
+use std::fmt::Write as _;
+
+/// Row prefix used by the writer and required (case-insensitively) by
+/// the parser.
+pub const ROW_PREFIX: &str = "nlMatrixSD";
+
+/// Parses an RMON matrix table dump into flow records.
+///
+/// Empty lines and `#` comments are skipped. Rows must have the shape
+/// `nlMatrixSD <src> <dst> <pkts> <octets>`.
+pub fn parse(text: &str) -> Result<Vec<FlowRecord>, FlowError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let bad = |detail: String| FlowError::BadLine {
+            line: line_no,
+            detail,
+        };
+        if fields.len() != 5 || !fields[0].eq_ignore_ascii_case(ROW_PREFIX) {
+            return Err(bad(format!(
+                "expected `{ROW_PREFIX} src dst pkts octets`, got {line:?}"
+            )));
+        }
+        let src = fields[1]
+            .parse()
+            .map_err(|_| bad(format!("bad source address {:?}", fields[1])))?;
+        let dst = fields[2]
+            .parse()
+            .map_err(|_| bad(format!("bad destination address {:?}", fields[2])))?;
+        let packets: u32 = fields[3]
+            .parse()
+            .map_err(|_| bad(format!("bad packet count {:?}", fields[3])))?;
+        let bytes: u64 = fields[4]
+            .parse()
+            .map_err(|_| bad(format!("bad octet count {:?}", fields[4])))?;
+        out.push(FlowRecord {
+            src,
+            dst,
+            proto: Proto::Other(0), // the matrix group is protocol-blind
+            src_port: 0,
+            dst_port: 0,
+            packets,
+            bytes,
+            start_ms: 0,
+            end_ms: 0,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders flow records as an RMON matrix dump. Only endpoints and
+/// counters survive (by design of the format); output round-trips
+/// through [`parse`] up to that loss.
+pub fn render(records: &[FlowRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("# nlMatrixSDEntry: src dst pkts octets\n");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{ROW_PREFIX} {} {} {} {}",
+            r.src, r.dst, r.packets, r.bytes
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::HostAddr;
+
+    #[test]
+    fn parses_canonical_rows() {
+        let text = "\
+# comment
+nlMatrixSD 10.0.0.7 10.0.0.1 421 61432
+
+nlmatrixsd 10.0.0.1 10.0.0.7 398 1403321
+";
+        let rows = parse(text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].src, "10.0.0.7".parse::<HostAddr>().unwrap());
+        assert_eq!(rows[0].packets, 421);
+        assert_eq!(rows[1].bytes, 1_403_321);
+    }
+
+    #[test]
+    fn round_trip_endpoints_and_counters() {
+        let mut r = FlowRecord::pair("10.1.1.1".parse().unwrap(), "10.2.2.2".parse().unwrap());
+        r.packets = 7;
+        r.bytes = 900;
+        let text = render(&[r]);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].src, r.src);
+        assert_eq!(back[0].dst, r.dst);
+        assert_eq!(back[0].packets, 7);
+        assert_eq!(back[0].bytes, 900);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse("nlMatrixSD 10.0.0.1 10.0.0.2 5\n").is_err()); // missing octets
+        assert!(parse("bogus 10.0.0.1 10.0.0.2 5 5\n").is_err()); // wrong prefix
+        assert!(parse("nlMatrixSD x 10.0.0.2 5 5\n").is_err()); // bad address
+        match parse("nlMatrixSD 10.0.0.1 10.0.0.2 a 5\n") {
+            Err(FlowError::BadLine { line: 1, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feeds_connection_sets() {
+        use crate::connset::ConnsetBuilder;
+        let text = render(&[
+            FlowRecord::pair("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()),
+            FlowRecord::pair("10.0.0.2".parse().unwrap(), "10.0.0.1".parse().unwrap()),
+        ]);
+        let rows = parse(&text).unwrap();
+        let mut b = ConnsetBuilder::new();
+        b.add_records(rows.iter());
+        let cs = b.build();
+        assert_eq!(cs.connection_count(), 1);
+        assert_eq!(cs.pair_stats(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap()
+        ).unwrap().flows, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("# nothing\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Whitespace/CSV text log format for flow traces.
+//!
+//! The workspace's human-readable interchange format. Each non-empty,
+//! non-comment line is one flow record:
+//!
+//! ```text
+//! # src dst [proto sport dport packets bytes start_ms end_ms]
+//! 10.0.0.1 10.0.0.7
+//! 10.0.0.2 10.0.0.7 tcp 1037 25 12 4096 1000 1400
+//! ```
+//!
+//! Only the two addresses are required; missing fields take the
+//! [`FlowRecord::pair`] defaults. Commas are accepted interchangeably
+//! with whitespace so exported CSVs load unchanged.
+
+use crate::error::FlowError;
+use crate::record::{FlowRecord, Proto};
+use std::fmt::Write as _;
+
+/// Parses a text log into flow records.
+///
+/// Lines that are empty or start with `#` are skipped. Any malformed line
+/// aborts parsing with [`FlowError::BadLine`] carrying its 1-based number.
+pub fn parse(text: &str) -> Result<Vec<FlowRecord>, FlowError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|f| !f.is_empty())
+            .collect();
+        if fields.len() < 2 {
+            return Err(FlowError::BadLine {
+                line: line_no,
+                detail: "expected at least `src dst`".to_string(),
+            });
+        }
+        let bad = |detail: String| FlowError::BadLine {
+            line: line_no,
+            detail,
+        };
+        let src = fields[0]
+            .parse()
+            .map_err(|_| bad(format!("bad source address {:?}", fields[0])))?;
+        let dst = fields[1]
+            .parse()
+            .map_err(|_| bad(format!("bad destination address {:?}", fields[1])))?;
+        let mut rec = FlowRecord::pair(src, dst);
+        if fields.len() > 2 {
+            if fields.len() != 9 {
+                return Err(bad(format!(
+                    "expected 2 or 9 fields, got {}",
+                    fields.len()
+                )));
+            }
+            rec.proto = fields[2]
+                .parse::<Proto>()
+                .map_err(|_| bad(format!("bad protocol {:?}", fields[2])))?;
+            rec.src_port = fields[3]
+                .parse()
+                .map_err(|_| bad(format!("bad source port {:?}", fields[3])))?;
+            rec.dst_port = fields[4]
+                .parse()
+                .map_err(|_| bad(format!("bad destination port {:?}", fields[4])))?;
+            rec.packets = fields[5]
+                .parse()
+                .map_err(|_| bad(format!("bad packet count {:?}", fields[5])))?;
+            rec.bytes = fields[6]
+                .parse()
+                .map_err(|_| bad(format!("bad byte count {:?}", fields[6])))?;
+            rec.start_ms = fields[7]
+                .parse()
+                .map_err(|_| bad(format!("bad start time {:?}", fields[7])))?;
+            rec.end_ms = fields[8]
+                .parse()
+                .map_err(|_| bad(format!("bad end time {:?}", fields[8])))?;
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Renders flow records in the full 9-field text format, with a header
+/// comment. The output round-trips through [`parse`].
+pub fn render(records: &[FlowRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("# src dst proto sport dport packets bytes start_ms end_ms\n");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {} {} {}",
+            r.src, r.dst, r.proto, r.src_port, r.dst_port, r.packets, r.bytes, r.start_ms, r.end_ms
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::HostAddr;
+
+    #[test]
+    fn parses_minimal_lines() {
+        let recs = parse("10.0.0.1 10.0.0.2\n\n# comment\n10.0.0.3,10.0.0.4\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].src, "10.0.0.1".parse::<HostAddr>().unwrap());
+        assert_eq!(recs[1].dst, "10.0.0.4".parse::<HostAddr>().unwrap());
+    }
+
+    #[test]
+    fn parses_full_lines() {
+        let recs =
+            parse("10.0.0.1 10.0.0.2 udp 53 1024 7 512 100 200\n").unwrap();
+        assert_eq!(recs[0].proto, Proto::Udp);
+        assert_eq!(recs[0].src_port, 53);
+        assert_eq!(recs[0].bytes, 512);
+        assert_eq!(recs[0].end_ms, 200);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut r = FlowRecord::pair(
+            "10.1.2.3".parse().unwrap(),
+            "10.4.5.6".parse().unwrap(),
+        );
+        r.proto = Proto::Other(89);
+        r.src_port = 9;
+        r.packets = 100;
+        r.start_ms = 5;
+        r.end_ms = 6;
+        let text = render(&[r]);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, vec![r]);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("10.0.0.1 10.0.0.2\nbogus-line\n").unwrap_err();
+        match err {
+            FlowError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_partial_field_counts() {
+        assert!(parse("10.0.0.1 10.0.0.2 tcp 1 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_addresses() {
+        assert!(parse("10.0.0.1 not-an-ip\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("# just a comment\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Time windows over flow streams.
+//!
+//! The paper deals "with transient changes in connection patterns by
+//! analyzing the profiled data over long periods" (Section 1) and re-runs
+//! the grouping algorithm periodically; this module supplies the window
+//! arithmetic for both.
+
+use crate::record::FlowRecord;
+use serde::{Deserialize, Serialize};
+
+/// A half-open time interval `[start_ms, end_ms)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Inclusive start, milliseconds.
+    pub start_ms: u64,
+    /// Exclusive end, milliseconds.
+    pub end_ms: u64,
+}
+
+impl TimeWindow {
+    /// Builds a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_ms < start_ms`.
+    pub fn new(start_ms: u64, end_ms: u64) -> Self {
+        assert!(end_ms >= start_ms, "window end precedes start");
+        TimeWindow { start_ms, end_ms }
+    }
+
+    /// Window length in milliseconds.
+    pub fn len_ms(&self) -> u64 {
+        self.end_ms - self.start_ms
+    }
+
+    /// Returns `true` if the timestamp is inside the window.
+    pub fn contains(&self, t_ms: u64) -> bool {
+        t_ms >= self.start_ms && t_ms < self.end_ms
+    }
+
+    /// The window immediately after this one, with the same length.
+    pub fn next(&self) -> TimeWindow {
+        TimeWindow {
+            start_ms: self.end_ms,
+            end_ms: self.end_ms + self.len_ms(),
+        }
+    }
+}
+
+/// Upper bound on the number of windows [`WindowedFlows::bucket`] will
+/// materialize (interior gaps are allocated as empty vectors).
+pub const MAX_WINDOWS: u64 = 16_000_000;
+
+/// Splits a flow stream into consecutive fixed-length windows, keyed by
+/// flow start time.
+#[derive(Clone, Debug)]
+pub struct WindowedFlows {
+    /// The windows, in time order.
+    pub windows: Vec<(TimeWindow, Vec<FlowRecord>)>,
+}
+
+impl WindowedFlows {
+    /// Buckets `records` into consecutive windows of `window_ms`
+    /// milliseconds starting at `origin_ms`. Records before the origin
+    /// are dropped; empty leading/trailing windows are not materialized,
+    /// but interior gaps are (with empty vectors), so window indices map
+    /// linearly to time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ms == 0`, or if the record span requires more
+    /// than [`MAX_WINDOWS`] buckets (a corrupt or hostile trace whose
+    /// timestamps span millennia would otherwise force an unbounded
+    /// allocation).
+    pub fn bucket(records: &[FlowRecord], origin_ms: u64, window_ms: u64) -> Self {
+        assert!(window_ms > 0, "window length must be positive");
+        let mut max_idx: Option<u64> = None;
+        for r in records {
+            if r.start_ms >= origin_ms {
+                let idx = (r.start_ms - origin_ms) / window_ms;
+                max_idx = Some(max_idx.map_or(idx, |m: u64| m.max(idx)));
+            }
+        }
+        let Some(max_idx) = max_idx else {
+            return WindowedFlows { windows: Vec::new() };
+        };
+        assert!(
+            max_idx < MAX_WINDOWS,
+            "record span requires {} windows (limit {MAX_WINDOWS}); \
+             timestamps are likely corrupt",
+            max_idx + 1
+        );
+        let mut buckets: Vec<Vec<FlowRecord>> = vec![Vec::new(); (max_idx + 1) as usize];
+        for r in records {
+            if r.start_ms >= origin_ms {
+                let idx = ((r.start_ms - origin_ms) / window_ms) as usize;
+                buckets[idx].push(*r);
+            }
+        }
+        let windows = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let start = origin_ms + i as u64 * window_ms;
+                (TimeWindow::new(start, start + window_ms), v)
+            })
+            .collect();
+        WindowedFlows { windows }
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Returns `true` if no records fell into any window.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::HostAddr;
+
+    fn rec(t: u64) -> FlowRecord {
+        let mut f = FlowRecord::pair(HostAddr(1), HostAddr(2));
+        f.start_ms = t;
+        f
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let w = TimeWindow::new(10, 20);
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(!w.contains(9));
+        assert_eq!(w.len_ms(), 10);
+    }
+
+    #[test]
+    fn next_window_abuts() {
+        let w = TimeWindow::new(0, 100);
+        assert_eq!(w.next(), TimeWindow::new(100, 200));
+    }
+
+    #[test]
+    #[should_panic(expected = "window end precedes start")]
+    fn inverted_window_panics() {
+        TimeWindow::new(5, 4);
+    }
+
+    #[test]
+    fn bucketing_fills_gaps() {
+        let records = vec![rec(5), rec(250), rec(15)];
+        let w = WindowedFlows::bucket(&records, 0, 100);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.windows[0].1.len(), 2);
+        assert!(w.windows[1].1.is_empty());
+        assert_eq!(w.windows[2].1.len(), 1);
+        assert_eq!(w.windows[2].0, TimeWindow::new(200, 300));
+    }
+
+    #[test]
+    fn records_before_origin_dropped() {
+        let records = vec![rec(5), rec(105)];
+        let w = WindowedFlows::bucket(&records, 100, 100);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.windows[0].1.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let w = WindowedFlows::bucket(&[], 0, 100);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamps are likely corrupt")]
+    fn absurd_time_span_rejected() {
+        // A far-future timestamp with a 1 ms window would demand 2^64
+        // buckets; the guard refuses instead of allocating.
+        WindowedFlows::bucket(&[rec(u64::MAX - 1)], 0, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the flow substrate.
+
+use flow::{Anonymizer, Cidr, ConnsetBuilder, FlowRecord, HostAddr, Proto, WindowedFlows};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = HostAddr> {
+    any::<u32>().prop_map(HostAddr)
+}
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (arb_addr(), arb_addr(), 0u64..100_000).prop_map(|(src, dst, t)| {
+        let mut f = FlowRecord::pair(src, dst);
+        f.start_ms = t;
+        f.end_ms = t + 10;
+        f
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Address strings round-trip.
+    #[test]
+    fn addr_display_parse_round_trip(a in arb_addr()) {
+        let s = a.to_string();
+        let back: HostAddr = s.parse().expect("display output parses");
+        prop_assert_eq!(a, back);
+    }
+
+    /// CIDR membership is equivalent to prefix equality.
+    #[test]
+    fn cidr_contains_matches_prefix(a in arb_addr(), b in arb_addr(), len in 0u8..=32) {
+        let block = Cidr::new(a, len);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        prop_assert_eq!(block.contains(b), (a.0 & mask) == (b.0 & mask));
+    }
+
+    /// Anonymization is injective and structure-preserving.
+    #[test]
+    fn anonymizer_is_injective(records in prop::collection::vec(arb_record(), 0..60)) {
+        let mut anon = Anonymizer::new(Cidr::new(HostAddr::from_octets(10, 0, 0, 0), 8));
+        let mut mapping = std::collections::BTreeMap::new();
+        let mut reverse = std::collections::BTreeMap::new();
+        for r in &records {
+            let m = anon.map_record(r).expect("/8 cannot exhaust here");
+            for (real, pseudo) in [(r.src, m.src), (r.dst, m.dst)] {
+                if let Some(&prev) = mapping.get(&real) {
+                    prop_assert_eq!(prev, pseudo, "mapping must be a function");
+                }
+                mapping.insert(real, pseudo);
+                if let Some(&prev_real) = reverse.get(&pseudo) {
+                    prop_assert_eq!(prev_real, real, "mapping must be injective");
+                }
+                reverse.insert(pseudo, real);
+            }
+        }
+    }
+
+    /// Anonymized connection sets are isomorphic to the originals.
+    #[test]
+    fn anonymization_preserves_structure(records in prop::collection::vec(arb_record(), 0..60)) {
+        let mut anon = Anonymizer::new(Cidr::new(HostAddr::from_octets(10, 0, 0, 0), 8));
+        let mapped: Vec<FlowRecord> = records
+            .iter()
+            .map(|r| anon.map_record(r).expect("no exhaustion"))
+            .collect();
+        let mut b1 = ConnsetBuilder::new();
+        b1.add_records(records.iter());
+        let cs1 = b1.build();
+        let mut b2 = ConnsetBuilder::new();
+        b2.add_records(mapped.iter());
+        let cs2 = b2.build();
+        prop_assert_eq!(cs1.host_count(), cs2.host_count());
+        prop_assert_eq!(cs1.connection_count(), cs2.connection_count());
+        // Degree multisets are identical.
+        let mut d1: Vec<usize> = cs1.hosts().map(|h| cs1.degree(h).unwrap()).collect();
+        let mut d2: Vec<usize> = cs2.hosts().map(|h| cs2.degree(h).unwrap()).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// Windowing places every in-range record in exactly one window,
+    /// and that window contains its start time.
+    #[test]
+    fn windowing_is_a_partition_of_time(
+        records in prop::collection::vec(arb_record(), 0..80),
+        origin in 0u64..1000,
+        window in 1u64..10_000,
+    ) {
+        let w = WindowedFlows::bucket(&records, origin, window);
+        let bucketed: usize = w.windows.iter().map(|(_, v)| v.len()).sum();
+        let in_range = records.iter().filter(|r| r.start_ms >= origin).count();
+        prop_assert_eq!(bucketed, in_range);
+        for (tw, recs) in &w.windows {
+            for r in recs {
+                prop_assert!(tw.contains(r.start_ms));
+            }
+        }
+        // Windows tile time contiguously.
+        for pair in w.windows.windows(2) {
+            prop_assert_eq!(pair[0].0.end_ms, pair[1].0.start_ms);
+        }
+    }
+
+    /// Connection-set similarity is symmetric and bounded by min degree.
+    #[test]
+    fn similarity_symmetry_and_bound(records in prop::collection::vec(arb_record(), 0..60)) {
+        let mut b = ConnsetBuilder::new();
+        b.add_records(records.iter());
+        let cs = b.build();
+        let hosts: Vec<HostAddr> = cs.hosts().take(12).collect();
+        for &a in &hosts {
+            for &bb in &hosts {
+                let s1 = cs.similarity(a, bb);
+                let s2 = cs.similarity(bb, a);
+                prop_assert_eq!(s1, s2);
+                let bound = cs.degree(a).unwrap_or(0).min(cs.degree(bb).unwrap_or(0));
+                prop_assert!(s1 <= bound);
+            }
+        }
+    }
+
+    /// Proto conversion is a bijection on the u8 space.
+    #[test]
+    fn proto_u8_round_trip(p in any::<u8>()) {
+        prop_assert_eq!(Proto::from_ip_proto(p).ip_proto(), p);
+    }
+}

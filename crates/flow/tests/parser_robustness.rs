@@ -1,0 +1,75 @@
+//! Robustness fuzzing: the wire-format parsers must never panic, no
+//! matter what bytes arrive — probes face hostile networks.
+
+use flow::{netflow, pcap, rmon, textlog};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn netflow_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = netflow::parse_packet(&bytes);
+        let _ = netflow::parse_stream(&bytes);
+    }
+
+    #[test]
+    fn pcap_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = pcap::parse_file(&bytes);
+    }
+
+    /// Corrupting a single byte of a valid NetFlow stream yields either a
+    /// clean parse or a clean error — never a panic.
+    #[test]
+    fn netflow_single_byte_corruption(
+        n_records in 1usize..40,
+        pos_seed in any::<usize>(),
+        value in any::<u8>(),
+    ) {
+        let records: Vec<flow::FlowRecord> = (0..n_records)
+            .map(|i| flow::FlowRecord::pair(flow::HostAddr(i as u32), flow::HostAddr(1000)))
+            .collect();
+        let mut bytes = netflow::write_stream(&records, 0);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = value;
+        let _ = netflow::parse_stream(&bytes);
+    }
+
+    /// Same for pcap.
+    #[test]
+    fn pcap_single_byte_corruption(
+        n_records in 1usize..40,
+        pos_seed in any::<usize>(),
+        value in any::<u8>(),
+    ) {
+        let records: Vec<flow::FlowRecord> = (0..n_records)
+            .map(|i| {
+                let mut f = flow::FlowRecord::pair(flow::HostAddr(i as u32), flow::HostAddr(7));
+                f.src_port = 1024;
+                f.dst_port = 80;
+                f
+            })
+            .collect();
+        let mut bytes = pcap::write_file(&records);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = value;
+        let _ = pcap::parse_file(&bytes);
+    }
+
+    #[test]
+    fn text_parsers_never_panic(text in "\\PC*") {
+        let _ = textlog::parse(&text);
+        let _ = rmon::parse(&text);
+    }
+
+    /// Truncating a valid stream at any point never panics.
+    #[test]
+    fn netflow_truncation(n_records in 1usize..20, cut_seed in any::<usize>()) {
+        let records: Vec<flow::FlowRecord> = (0..n_records)
+            .map(|i| flow::FlowRecord::pair(flow::HostAddr(i as u32), flow::HostAddr(9)))
+            .collect();
+        let bytes = netflow::write_stream(&records, 0);
+        let cut = cut_seed % (bytes.len() + 1);
+        let _ = netflow::parse_stream(&bytes[..cut]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Common-neighbor counting — the *neighborhood graph* of the paper.
+//!
+//! Given the connectivity graph, the grouping algorithm needs, for every
+//! pair of hosts, the number of neighbors the two hosts share
+//! (`similarity(h1, h2) = |C(h1) ∩ C(h2)|`, Section 3.1). Enumerating all
+//! `|V|²` pairs is wasteful on sparse enterprise graphs, so this module
+//! instead walks *two-paths*: every shared neighbor `v` of a pair
+//! `(u, w)` contributes exactly one two-path `u — v — w`, so counting
+//! pairs of neighbors of each `v` yields the full common-neighbor
+//! multiset in `Σ_v deg(v)²/2` time.
+
+use crate::id::NodeId;
+use crate::wgraph::WGraph;
+use std::collections::HashMap;
+
+/// One weighted edge of the neighborhood graph: endpoints `a < b` share
+/// `count` common neighbors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommonNeighborEdge {
+    /// Smaller endpoint.
+    pub a: NodeId,
+    /// Larger endpoint.
+    pub b: NodeId,
+    /// Number of common neighbors (`|C(a) ∩ C(b)|`).
+    pub count: u32,
+}
+
+#[inline]
+fn key(a: NodeId, b: NodeId) -> u64 {
+    debug_assert!(a < b);
+    ((a.0 as u64) << 32) | b.0 as u64
+}
+
+#[inline]
+fn unkey(k: u64) -> (NodeId, NodeId) {
+    (NodeId((k >> 32) as u32), NodeId(k as u32))
+}
+
+/// Computes the common-neighbor count for every node pair of `g` that
+/// shares at least one neighbor.
+///
+/// Equivalent to [`common_neighbor_counts_filtered`] with an
+/// accept-everything endpoint filter.
+pub fn common_neighbor_counts(g: &WGraph) -> Vec<CommonNeighborEdge> {
+    common_neighbor_counts_filtered(g, |_| true)
+}
+
+/// Computes common-neighbor counts between pairs of *eligible endpoint*
+/// nodes.
+///
+/// All nodes of `g` act as potential shared neighbors ("via" nodes), but
+/// only pairs where both endpoints satisfy `endpoint_ok` are reported.
+/// The grouping algorithm uses this to exclude already-formed group nodes
+/// from the k-neighborhood graph while still letting them *count* as
+/// common neighbors (Section 4.1, step 2b).
+pub fn common_neighbor_counts_filtered<F>(g: &WGraph, endpoint_ok: F) -> Vec<CommonNeighborEdge>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let mut eligible: Vec<NodeId> = Vec::new();
+    for via in g.nodes() {
+        eligible.clear();
+        eligible.extend(
+            g.neighbors(via)
+                .map(|(n, _)| n)
+                .filter(|&n| endpoint_ok(n)),
+        );
+        for i in 0..eligible.len() {
+            for j in (i + 1)..eligible.len() {
+                // Neighbor lists are sorted, so eligible[i] < eligible[j].
+                *counts.entry(key(eligible[i], eligible[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<CommonNeighborEdge> = counts
+        .into_iter()
+        .map(|(k, count)| {
+            let (a, b) = unkey(k);
+            CommonNeighborEdge { a, b, count }
+        })
+        .collect();
+    out.sort_unstable_by_key(|e| (e.a, e.b));
+    out
+}
+
+/// Sort-based variant of [`common_neighbor_counts_filtered`] for large
+/// graphs.
+///
+/// Materializes every two-path endpoint pair as a packed `u64`, sorts,
+/// and run-length encodes. Compared to the hash-map variant this trades
+/// peak memory `8 × Σ deg(v)²/2` bytes for much better constants and no
+/// per-entry overhead, which wins decisively on the hub-heavy graphs
+/// enterprise networks produce (a 1600-spoke scanner alone contributes
+/// 1.3 M pairs).
+pub fn common_neighbor_counts_sorted<F>(g: &WGraph, endpoint_ok: F) -> Vec<CommonNeighborEdge>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let mut keys: Vec<u64> = Vec::new();
+    let mut eligible: Vec<NodeId> = Vec::new();
+    for via in g.nodes() {
+        eligible.clear();
+        eligible.extend(
+            g.neighbors(via)
+                .map(|(n, _)| n)
+                .filter(|&n| endpoint_ok(n)),
+        );
+        for i in 0..eligible.len() {
+            for j in (i + 1)..eligible.len() {
+                keys.push(key(eligible[i], eligible[j]));
+            }
+        }
+    }
+    keys.sort_unstable();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < keys.len() {
+        let k = keys[i];
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == k {
+            j += 1;
+        }
+        let (a, b) = unkey(k);
+        out.push(CommonNeighborEdge {
+            a,
+            b,
+            count: (j - i) as u32,
+        });
+        i = j;
+    }
+    out
+}
+
+/// Weighted common-neighbor counting: the shared-neighbor contribution
+/// of a via node `v` to the pair `(u, w)` is `min(weight(u,v), weight(w,v))`
+/// instead of 1.
+///
+/// This is the semantics the grouping algorithm needs once biconnected
+/// components have been contracted into group nodes: a group node that
+/// stands for two servers, reached by `weight = 2` edges from two hosts,
+/// must count as *two* shared neighbors — exactly how Figure 2 of the
+/// paper has the sales hosts sharing three common neighbors (SalesDB
+/// plus the two-server {Mail, Web} group) at `k = 3`. For plain
+/// unit-weight host edges this reduces to [`common_neighbor_counts_sorted`].
+///
+/// Sort-based; peak memory is `12 × Σ deg(v)²/2` bytes. Per-pair sums
+/// saturate at `u32::MAX`.
+pub fn common_neighbor_min_weights<F>(g: &WGraph, endpoint_ok: F) -> Vec<CommonNeighborEdge>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let mut entries: Vec<(u64, u32)> = Vec::new();
+    let mut eligible: Vec<(NodeId, u64)> = Vec::new();
+    for via in g.nodes() {
+        eligible.clear();
+        eligible.extend(g.neighbors(via).filter(|&(n, _)| endpoint_ok(n)));
+        for i in 0..eligible.len() {
+            for j in (i + 1)..eligible.len() {
+                let (a, wa) = eligible[i];
+                let (b, wb) = eligible[j];
+                let w = wa.min(wb).min(u32::MAX as u64) as u32;
+                entries.push((key(a, b), w));
+            }
+        }
+    }
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < entries.len() {
+        let k = entries[i].0;
+        let mut sum: u32 = 0;
+        let mut j = i;
+        while j < entries.len() && entries[j].0 == k {
+            sum = sum.saturating_add(entries[j].1);
+            j += 1;
+        }
+        let (a, b) = unkey(k);
+        out.push(CommonNeighborEdge { a, b, count: sum });
+        i = j;
+    }
+    out
+}
+
+/// Computes `|C(a) ∩ C(b)|` for a single pair by merging sorted neighbor
+/// lists. `O(deg(a) + deg(b))`.
+///
+/// # Panics
+///
+/// Panics if either node is not live in `g`.
+pub fn common_neighbors_of_pair(g: &WGraph, a: NodeId, b: NodeId) -> u32 {
+    let mut ia = g.neighbors(a).map(|(n, _)| n).peekable();
+    let mut ib = g.neighbors(b).map(|(n, _)| n).peekable();
+    let mut count = 0;
+    while let (Some(&x), Some(&y)) = (ia.peek(), ib.peek()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                ia.next();
+            }
+            std::cmp::Ordering::Greater => {
+                ib.next();
+            }
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                ia.next();
+                ib.next();
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_plus_pair() -> (WGraph, Vec<NodeId>) {
+        // Hub 0 connected to 1, 2, 3; extra edge 1-2.
+        let mut g = WGraph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node()).collect();
+        g.add_edge(ids[0], ids[1], 1);
+        g.add_edge(ids[0], ids[2], 1);
+        g.add_edge(ids[0], ids[3], 1);
+        g.add_edge(ids[1], ids[2], 1);
+        (g, ids)
+    }
+
+    #[test]
+    fn counts_shared_hub() {
+        let (g, ids) = star_plus_pair();
+        let edges = common_neighbor_counts(&g);
+        // Pairs sharing hub 0: (1,2), (1,3), (2,3); pair (0,1) shares 2;
+        // pair (0,2) shares 1.
+        let get = |a: usize, b: usize| {
+            edges
+                .iter()
+                .find(|e| e.a == ids[a.min(b)] && e.b == ids[a.max(b)])
+                .map(|e| e.count)
+        };
+        assert_eq!(get(1, 2), Some(1));
+        assert_eq!(get(1, 3), Some(1));
+        assert_eq!(get(2, 3), Some(1));
+        assert_eq!(get(0, 1), Some(1)); // via 2
+        assert_eq!(get(0, 2), Some(1)); // via 1
+        assert_eq!(get(0, 3), None); // no shared neighbor
+    }
+
+    #[test]
+    fn filter_excludes_endpoints_but_keeps_via() {
+        let (g, ids) = star_plus_pair();
+        // Exclude node 0 as an endpoint: it still serves as the shared
+        // neighbor for (1,2), (1,3), (2,3).
+        let edges = common_neighbor_counts_filtered(&g, |n| n != ids[0]);
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|e| e.a != ids[0] && e.b != ids[0]));
+    }
+
+    #[test]
+    fn pairwise_matches_bulk() {
+        let (g, ids) = star_plus_pair();
+        for e in common_neighbor_counts(&g) {
+            assert_eq!(common_neighbors_of_pair(&g, e.a, e.b), e.count);
+        }
+        assert_eq!(common_neighbors_of_pair(&g, ids[0], ids[3]), 0);
+    }
+
+    #[test]
+    fn clients_of_two_servers_count_both() {
+        // Two servers (0, 1), three clients each connected to both.
+        let mut g = WGraph::new();
+        let s0 = g.add_node();
+        let s1 = g.add_node();
+        let clients: Vec<_> = (0..3).map(|_| g.add_node()).collect();
+        for &c in &clients {
+            g.add_edge(c, s0, 1);
+            g.add_edge(c, s1, 1);
+        }
+        let edges = common_neighbor_counts(&g);
+        // Client pairs share both servers; the server pair shares all
+        // three clients.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let e = edges
+                    .iter()
+                    .find(|e| e.a == clients[i] && e.b == clients[j])
+                    .expect("client pair present");
+                assert_eq!(e.count, 2);
+            }
+        }
+        let servers = edges
+            .iter()
+            .find(|e| e.a == s0 && e.b == s1)
+            .expect("server pair present");
+        assert_eq!(servers.count, 3);
+    }
+
+    #[test]
+    fn min_weights_reduce_to_counts_on_unit_graphs() {
+        let (g, _) = star_plus_pair();
+        let a = common_neighbor_counts(&g);
+        let b = common_neighbor_min_weights(&g, |_| true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_weights_respect_edge_weights() {
+        // Two hosts u, w each connected to via v: u with weight 2, w with
+        // weight 3 -> contribution min(2, 3) = 2.
+        let mut g = WGraph::new();
+        let u = g.add_node();
+        let w = g.add_node();
+        let v = g.add_node();
+        g.add_edge(u, v, 2);
+        g.add_edge(w, v, 3);
+        let edges = common_neighbor_min_weights(&g, |_| true);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].a, u);
+        assert_eq!(edges[0].b, w);
+        assert_eq!(edges[0].count, 2);
+    }
+
+    #[test]
+    fn sorted_variant_matches_hashmap_variant() {
+        let (g, ids) = star_plus_pair();
+        let a = common_neighbor_counts_filtered(&g, |n| n != ids[3]);
+        let b = common_neighbor_counts_sorted(&g, |n| n != ids[3]);
+        assert_eq!(a, b);
+        let a = common_neighbor_counts(&g);
+        let b = common_neighbor_counts_sorted(&g, |_| true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_edges() {
+        let g = WGraph::new();
+        assert!(common_neighbor_counts(&g).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique() {
+        let (g, _) = star_plus_pair();
+        let edges = common_neighbor_counts(&g);
+        for w in edges.windows(2) {
+            assert!((w[0].a, w[0].b) < (w[1].a, w[1].b));
+        }
+    }
+}

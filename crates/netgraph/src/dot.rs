@@ -1,0 +1,116 @@
+//! Graphviz DOT export.
+//!
+//! The paper (Section 7) positions visualization as complementary to role
+//! grouping; this module provides the hook: any [`WGraph`] or
+//! [`SimpleGraph`] can be dumped as DOT, with caller-supplied node labels
+//! (e.g., group ids and role names) for rendering with external tools.
+
+use crate::id::NodeId;
+use crate::simple::SimpleGraph;
+use crate::wgraph::WGraph;
+use std::fmt::Write as _;
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders `g` as an undirected Graphviz DOT document.
+///
+/// `label` is invoked once per node; returning `None` falls back to the
+/// node id. Edge weights become `label` attributes when greater than 1.
+pub fn wgraph_to_dot<F>(g: &WGraph, name: &str, mut label: F) -> String
+where
+    F: FnMut(NodeId) -> Option<String>,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", escape(name));
+    for n in g.nodes() {
+        match label(n) {
+            Some(l) => {
+                let _ = writeln!(out, "  {} [label=\"{}\"];", n.0, escape(&l));
+            }
+            None => {
+                let _ = writeln!(out, "  {};", n.0);
+            }
+        }
+    }
+    for a in g.nodes() {
+        for (b, w) in g.neighbors(a) {
+            if a < b {
+                if w > 1 {
+                    let _ = writeln!(out, "  {} -- {} [label=\"{}\"];", a.0, b.0, w);
+                } else {
+                    let _ = writeln!(out, "  {} -- {};", a.0, b.0);
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a [`SimpleGraph`] as an undirected Graphviz DOT document.
+pub fn simple_to_dot<F>(g: &SimpleGraph, name: &str, mut label: F) -> String
+where
+    F: FnMut(NodeId) -> Option<String>,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", escape(name));
+    for n in g.nodes() {
+        match label(n) {
+            Some(l) => {
+                let _ = writeln!(out, "  {} [label=\"{}\"];", n.0, escape(&l));
+            }
+            None => {
+                let _ = writeln!(out, "  {};", n.0);
+            }
+        }
+    }
+    for (a, b) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", a.0, b.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_edges_and_labels() {
+        let mut g = WGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 3);
+        let dot = wgraph_to_dot(&g, "test", |n| {
+            if n == a {
+                Some("mail \"server\"".to_string())
+            } else {
+                None
+            }
+        });
+        assert!(dot.starts_with("graph \"test\" {"));
+        assert!(dot.contains("0 [label=\"mail \\\"server\\\"\"];"));
+        assert!(dot.contains("0 -- 1 [label=\"3\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn simple_graph_export() {
+        let g = SimpleGraph::from_edges([], [(NodeId(1), NodeId(2))]);
+        let dot = simple_to_dot(&g, "s", |_| None);
+        assert!(dot.contains("1 -- 2;"));
+    }
+
+    #[test]
+    fn unit_weight_edges_have_no_label() {
+        let mut g = WGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 1);
+        let dot = wgraph_to_dot(&g, "w", |_| None);
+        assert!(dot.contains("0 -- 1;"));
+        assert!(!dot.contains("label=\"1\""));
+    }
+}

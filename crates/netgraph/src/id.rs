@@ -1,0 +1,72 @@
+//! Stable node identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// A stable identifier for a node within one graph.
+///
+/// Ids are dense `u32` indices handed out by [`crate::WGraph::add_node`]
+/// and never reused, so they stay valid across node removals and
+/// contractions of *other* nodes. A [`NodeId`] is only meaningful for the
+/// graph that created it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index of this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a [`NodeId`] from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId(3)), "3");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32 range")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

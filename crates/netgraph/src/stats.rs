@@ -1,0 +1,154 @@
+//! Degree and clustering statistics for reporting.
+
+use crate::simple::SimpleGraph;
+use crate::wgraph::WGraph;
+
+/// Summary statistics of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree (0 for an empty graph).
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics over the live nodes of `g`.
+    pub fn of(g: &WGraph) -> Self {
+        let mut degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+        Self::from_degrees(&mut degrees)
+    }
+
+    /// Computes degree statistics of a [`SimpleGraph`].
+    pub fn of_simple(g: &SimpleGraph) -> Self {
+        let mut degrees: Vec<usize> = (0..g.node_count()).map(|p| g.degree_at(p)).collect();
+        Self::from_degrees(&mut degrees)
+    }
+
+    fn from_degrees(degrees: &mut [usize]) -> Self {
+        if degrees.is_empty() {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0.0,
+            };
+        }
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let sum: usize = degrees.iter().sum();
+        let median = if n % 2 == 1 {
+            degrees[n / 2] as f64
+        } else {
+            (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
+        };
+        DegreeStats {
+            min: degrees[0],
+            max: degrees[n - 1],
+            mean: sum as f64 / n as f64,
+            median,
+        }
+    }
+}
+
+/// Histogram of node degrees: `histogram[d]` is the number of nodes with
+/// degree `d`.
+pub fn degree_histogram(g: &WGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for n in g.nodes() {
+        hist[g.degree(n)] += 1;
+    }
+    hist
+}
+
+/// Global clustering coefficient: `3 × triangles / connected triples`.
+///
+/// Returns 0.0 for graphs with no connected triple.
+pub fn clustering_coefficient(g: &SimpleGraph) -> f64 {
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    for u in 0..g.node_count() {
+        let row = g.neighbor_positions(u);
+        let d = row.len();
+        triples += d * d.saturating_sub(1) / 2;
+        for (i, &a) in row.iter().enumerate() {
+            for &b in &row[i + 1..] {
+                // Sorted-row membership test.
+                if g.neighbor_positions(a as usize).binary_search(&b).is_ok() {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner, i.e., three times.
+        triangles as f64 / triples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn degree_stats_of_star() {
+        let mut g = WGraph::new();
+        let hub = g.add_node();
+        for _ in 0..4 {
+            let leaf = g.add_node();
+            g.add_edge(hub, leaf, 1);
+        }
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.median, 1.0);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let g = WGraph::new();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, median: 0.0 });
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let mut g = WGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let _iso = g.add_node();
+        g.add_edge(a, b, 1);
+        assert_eq!(degree_histogram(&g), vec![1, 2]);
+    }
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = SimpleGraph::from_edges([], [(n(1), n(2)), (n(2), n(3)), (n(1), n(3))]);
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = SimpleGraph::from_edges([], [(n(1), n(2)), (n(2), n(3))]);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn median_of_even_count_is_midpoint() {
+        let mut degrees = vec![1, 3, 5, 7];
+        let s = DegreeStats::from_degrees(&mut degrees);
+        assert_eq!(s.median, 4.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Breadth-first and depth-first traversal helpers.
+
+use crate::id::NodeId;
+use crate::simple::SimpleGraph;
+use std::collections::VecDeque;
+
+/// Returns the nodes reachable from `start` in BFS order.
+///
+/// Returns an empty vector if `start` is not a node of `g`.
+pub fn bfs_order(g: &SimpleGraph, start: NodeId) -> Vec<NodeId> {
+    let Some(s) = g.position(start) else {
+        return Vec::new();
+    };
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    let mut order = Vec::new();
+    seen[s] = true;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        order.push(g.id_at(u));
+        for &v in g.neighbor_positions(u) {
+            let v = v as usize;
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Returns the nodes reachable from `start` in (iterative, preorder) DFS
+/// order. Neighbors are visited in increasing-id order.
+///
+/// Returns an empty vector if `start` is not a node of `g`.
+pub fn dfs_order(g: &SimpleGraph, start: NodeId) -> Vec<NodeId> {
+    let Some(s) = g.position(start) else {
+        return Vec::new();
+    };
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![s];
+    let mut order = Vec::new();
+    while let Some(u) = stack.pop() {
+        if seen[u] {
+            continue;
+        }
+        seen[u] = true;
+        order.push(g.id_at(u));
+        // Push in reverse so the smallest-id neighbor is visited first.
+        for &v in g.neighbor_positions(u).iter().rev() {
+            if !seen[v as usize] {
+                stack.push(v as usize);
+            }
+        }
+    }
+    order
+}
+
+/// Computes hop distances from `start` to every reachable node.
+///
+/// Unreachable nodes (and all nodes, if `start` is absent) are omitted.
+pub fn bfs_distances(g: &SimpleGraph, start: NodeId) -> Vec<(NodeId, usize)> {
+    let Some(s) = g.position(start) else {
+        return Vec::new();
+    };
+    const UNSEEN: usize = usize::MAX;
+    let mut dist = vec![UNSEEN; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[s] = 0;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbor_positions(u) {
+            let v = v as usize;
+            if dist[v] == UNSEEN {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist.into_iter()
+        .enumerate()
+        .filter(|&(_, d)| d != UNSEEN)
+        .map(|(p, d)| (g.id_at(p), d))
+        .collect()
+}
+
+/// Computes the eccentricity-style longest shortest path (diameter) of the
+/// component containing `start` via double BFS. This is exact on trees and
+/// a lower bound otherwise; it is intended for reporting, not proofs.
+pub fn approx_diameter(g: &SimpleGraph, start: NodeId) -> usize {
+    let first = bfs_distances(g, start);
+    let Some(&(far, _)) = first.iter().max_by_key(|&&(_, d)| d) else {
+        return 0;
+    };
+    bfs_distances(g, far)
+        .into_iter()
+        .map(|(_, d)| d)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn path4() -> SimpleGraph {
+        SimpleGraph::from_edges([], [(n(1), n(2)), (n(2), n(3)), (n(3), n(4))])
+    }
+
+    #[test]
+    fn bfs_visits_level_by_level() {
+        let g = SimpleGraph::from_edges(
+            [],
+            [(n(1), n(2)), (n(1), n(3)), (n(2), n(4)), (n(3), n(4))],
+        );
+        assert_eq!(bfs_order(&g, n(1)), vec![n(1), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn dfs_goes_deep_first() {
+        let g = SimpleGraph::from_edges(
+            [],
+            [(n(1), n(2)), (n(1), n(3)), (n(2), n(4))],
+        );
+        assert_eq!(dfs_order(&g, n(1)), vec![n(1), n(2), n(4), n(3)]);
+    }
+
+    #[test]
+    fn distances_count_hops() {
+        let g = path4();
+        let mut d = bfs_distances(&g, n(1));
+        d.sort();
+        assert_eq!(d, vec![(n(1), 0), (n(2), 1), (n(3), 2), (n(4), 3)]);
+    }
+
+    #[test]
+    fn missing_start_yields_empty() {
+        let g = path4();
+        assert!(bfs_order(&g, n(99)).is_empty());
+        assert!(dfs_order(&g, n(99)).is_empty());
+        assert!(bfs_distances(&g, n(99)).is_empty());
+    }
+
+    #[test]
+    fn unreachable_nodes_omitted() {
+        let g = SimpleGraph::from_edges([], [(n(1), n(2)), (n(5), n(6))]);
+        let d = bfs_distances(&g, n(1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn diameter_of_path_is_length() {
+        let g = path4();
+        assert_eq!(approx_diameter(&g, n(2)), 3);
+    }
+}

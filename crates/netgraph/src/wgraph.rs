@@ -1,0 +1,449 @@
+//! Mutable weighted undirected graph with stable ids and contraction.
+
+use crate::id::NodeId;
+use crate::simple::SimpleGraph;
+
+/// Adjacency for one live node: neighbor ids with edge weights, kept
+/// sorted by neighbor id so lookups are `O(log deg)`.
+#[derive(Clone, Debug, Default)]
+struct Adjacency {
+    nbrs: Vec<(NodeId, u64)>,
+}
+
+impl Adjacency {
+    #[inline]
+    fn position(&self, n: NodeId) -> Result<usize, usize> {
+        self.nbrs.binary_search_by_key(&n, |&(id, _)| id)
+    }
+}
+
+/// A mutable, weighted, undirected graph.
+///
+/// Node ids are dense indices that are never reused, so removing or
+/// contracting nodes does not invalidate ids of surviving nodes. Edge
+/// weights are additive: [`WGraph::add_edge`] accumulates onto an
+/// existing edge, which is how connection *counts* between contracted
+/// group nodes are maintained by the role-classification pipeline.
+///
+/// Self-loops are rejected; parallel edges are represented by weight.
+#[derive(Clone, Debug, Default)]
+pub struct WGraph {
+    nodes: Vec<Option<Adjacency>>,
+    live_nodes: usize,
+    edges: usize,
+}
+
+impl WGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        WGraph {
+            nodes: Vec::with_capacity(n),
+            live_nodes: 0,
+            edges: 0,
+        }
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Some(Adjacency::default()));
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Adds `n` new isolated nodes and returns the id of the first one;
+    /// the ids are consecutive.
+    pub fn add_nodes(&mut self, n: usize) -> NodeId {
+        let first = NodeId::from_index(self.nodes.len());
+        for _ in 0..n {
+            self.add_node();
+        }
+        first
+    }
+
+    /// Returns `true` if `n` is a live node of this graph.
+    #[inline]
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.get(n.index()).is_some_and(Option::is_some)
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of edges (each undirected edge counted once).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Returns `true` if the graph has no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.live_nodes == 0
+    }
+
+    /// One past the largest id ever allocated (including removed nodes).
+    #[inline]
+    pub fn id_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over the ids of all live nodes in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|_| NodeId::from_index(i)))
+    }
+
+    #[inline]
+    fn adj(&self, n: NodeId) -> &Adjacency {
+        self.nodes[n.index()]
+            .as_ref()
+            .expect("node id refers to a removed or unknown node")
+    }
+
+    #[inline]
+    fn adj_mut(&mut self, n: NodeId) -> &mut Adjacency {
+        self.nodes[n.index()]
+            .as_mut()
+            .expect("node id refers to a removed or unknown node")
+    }
+
+    /// Adds `weight` to the undirected edge `(a, b)`, creating it if
+    /// absent. Returns the new total weight of the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a live node, if `a == b`
+    /// (self-loops are not representable), or if `weight == 0`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: u64) -> u64 {
+        assert!(a != b, "self-loops are not supported");
+        assert!(weight > 0, "edge weight must be positive");
+        assert!(self.contains_node(a) && self.contains_node(b));
+        let total = {
+            let adj = self.adj_mut(a);
+            match adj.position(b) {
+                Ok(i) => {
+                    adj.nbrs[i].1 += weight;
+                    adj.nbrs[i].1
+                }
+                Err(i) => {
+                    adj.nbrs.insert(i, (b, weight));
+                    self.edges += 1;
+                    weight
+                }
+            }
+        };
+        let adj = self.adj_mut(b);
+        match adj.position(a) {
+            Ok(i) => adj.nbrs[i].1 = total,
+            Err(i) => adj.nbrs.insert(i, (a, total)),
+        }
+        total
+    }
+
+    /// Returns the weight of edge `(a, b)`, or `None` if absent.
+    pub fn edge_weight(&self, a: NodeId, b: NodeId) -> Option<u64> {
+        if !self.contains_node(a) || !self.contains_node(b) {
+            return None;
+        }
+        self.adj(a).position(b).ok().map(|i| self.adj(a).nbrs[i].1)
+    }
+
+    /// Returns `true` if the edge `(a, b)` exists.
+    pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edge_weight(a, b).is_some()
+    }
+
+    /// Removes the edge `(a, b)` and returns its weight, or `None` if it
+    /// did not exist.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Option<u64> {
+        if !self.contains_node(a) || !self.contains_node(b) {
+            return None;
+        }
+        let w = {
+            let adj = self.adj_mut(a);
+            match adj.position(b) {
+                Ok(i) => adj.nbrs.remove(i).1,
+                Err(_) => return None,
+            }
+        };
+        let adj = self.adj_mut(b);
+        if let Ok(i) = adj.position(a) {
+            adj.nbrs.remove(i);
+        }
+        self.edges -= 1;
+        Some(w)
+    }
+
+    /// Iterates over the neighbors of `n` with edge weights, in
+    /// increasing neighbor-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a live node.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.adj(n).nbrs.iter().copied()
+    }
+
+    /// Degree (number of distinct neighbors) of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a live node.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj(n).nbrs.len()
+    }
+
+    /// Sum of edge weights incident to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a live node.
+    pub fn weighted_degree(&self, n: NodeId) -> u64 {
+        self.adj(n).nbrs.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Largest degree over live nodes, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|a| a.as_ref().map(|a| a.nbrs.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Removes node `n` and all incident edges; returns its former
+    /// neighbor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a live node.
+    pub fn remove_node(&mut self, n: NodeId) -> Vec<(NodeId, u64)> {
+        let adj = self.nodes[n.index()]
+            .take()
+            .expect("node id refers to a removed or unknown node");
+        for &(m, _) in &adj.nbrs {
+            let madj = self.nodes[m.index()]
+                .as_mut()
+                .expect("neighbor of a live node must be live");
+            if let Ok(i) = madj.position(n) {
+                madj.nbrs.remove(i);
+            }
+        }
+        self.edges -= adj.nbrs.len();
+        self.live_nodes -= 1;
+        adj.nbrs
+    }
+
+    /// Contracts the node set `members` into one fresh node and returns
+    /// `(new_id, internal_weight)`.
+    ///
+    /// The new node inherits one edge per outside neighbor of any member,
+    /// with weight equal to the sum of member→neighbor weights. Edges
+    /// internal to `members` disappear; their total weight is returned as
+    /// `internal_weight` so callers can keep intra-group connection
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, contains duplicates, or names a
+    /// non-live node.
+    pub fn contract(&mut self, members: &[NodeId]) -> (NodeId, u64) {
+        assert!(!members.is_empty(), "cannot contract an empty node set");
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate members in contraction");
+
+        let in_set = |n: NodeId| sorted.binary_search(&n).is_ok();
+        let mut outside: Vec<(NodeId, u64)> = Vec::new();
+        let mut internal = 0u64;
+        for &m in &sorted {
+            for (nbr, w) in self.remove_node(m) {
+                if in_set(nbr) {
+                    // Each internal edge is seen once: removing `m` also
+                    // detaches it from the not-yet-removed other endpoint.
+                    internal += w;
+                } else {
+                    outside.push((nbr, w));
+                }
+            }
+        }
+        let new = self.add_node();
+        for (nbr, w) in outside {
+            self.add_edge(new, nbr, w);
+        }
+        (new, internal)
+    }
+
+    /// Snapshots the current topology as a [`SimpleGraph`], ignoring
+    /// weights. Node ids are preserved.
+    pub fn to_simple(&self) -> SimpleGraph {
+        let mut edges = Vec::with_capacity(self.edges);
+        for n in self.nodes() {
+            for (m, _) in self.neighbors(n) {
+                if n < m {
+                    edges.push((n, m));
+                }
+            }
+        }
+        SimpleGraph::from_edges(self.nodes(), edges)
+    }
+
+    /// Total weight over all edges.
+    pub fn total_weight(&self) -> u64 {
+        let twice: u64 = self
+            .nodes()
+            .map(|n| self.neighbors(n).map(|(_, w)| w).sum::<u64>())
+            .sum();
+        twice / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> (WGraph, Vec<NodeId>) {
+        let mut g = WGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node()).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1);
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let (g, ids) = path(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.contains_edge(ids[0], ids[1]));
+        assert!(g.contains_edge(ids[1], ids[0]));
+        assert!(!g.contains_edge(ids[0], ids[2]));
+        assert_eq!(g.degree(ids[1]), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn edge_weights_accumulate_symmetrically() {
+        let mut g = WGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!(g.add_edge(a, b, 2), 2);
+        assert_eq!(g.add_edge(b, a, 3), 5);
+        assert_eq!(g.edge_weight(a, b), Some(5));
+        assert_eq!(g.edge_weight(b, a), Some(5));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_weight(), 5);
+    }
+
+    #[test]
+    fn remove_edge_round_trip() {
+        let (mut g, ids) = path(3);
+        assert_eq!(g.remove_edge(ids[0], ids[1]), Some(1));
+        assert_eq!(g.remove_edge(ids[0], ids[1]), None);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.contains_edge(ids[1], ids[0]));
+    }
+
+    #[test]
+    fn remove_node_detaches_neighbors() {
+        let (mut g, ids) = path(3);
+        let nbrs = g.remove_node(ids[1]);
+        assert_eq!(nbrs.len(), 2);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.contains_node(ids[1]));
+        assert_eq!(g.degree(ids[0]), 0);
+        // Surviving ids are still valid and new nodes get fresh ids.
+        let n = g.add_node();
+        assert_ne!(n, ids[1]);
+    }
+
+    #[test]
+    fn contract_merges_edges_and_reports_internal_weight() {
+        // Triangle a-b-c plus spokes a-x (w=2) and b-x (w=3).
+        let mut g = WGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let x = g.add_node();
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 4);
+        g.add_edge(a, c, 2);
+        g.add_edge(a, x, 2);
+        g.add_edge(b, x, 3);
+
+        let (grp, internal) = g.contract(&[a, b, c]);
+        assert_eq!(internal, 1 + 4 + 2);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_weight(grp, x), Some(5));
+        assert_eq!(g.degree(grp), 1);
+        assert!(!g.contains_node(a));
+    }
+
+    #[test]
+    fn contract_singleton_keeps_edges() {
+        let (mut g, ids) = path(3);
+        let (grp, internal) = g.contract(&[ids[1]]);
+        assert_eq!(internal, 0);
+        assert_eq!(g.edge_weight(grp, ids[0]), Some(1));
+        assert_eq!(g.edge_weight(grp, ids[2]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = WGraph::new();
+        let a = g.add_node();
+        g.add_edge(a, a, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate members")]
+    fn contract_rejects_duplicates() {
+        let (mut g, ids) = path(2);
+        g.contract(&[ids[0], ids[0]]);
+    }
+
+    #[test]
+    fn to_simple_preserves_topology() {
+        let (g, ids) = path(4);
+        let s = g.to_simple();
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.edge_count(), 3);
+        assert!(s.contains_edge(ids[0], ids[1]));
+        assert!(!s.contains_edge(ids[0], ids[3]));
+    }
+
+    #[test]
+    fn nodes_iterator_skips_removed() {
+        let (mut g, ids) = path(3);
+        g.remove_node(ids[0]);
+        let live: Vec<_> = g.nodes().collect();
+        assert_eq!(live, vec![ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn weighted_degree_sums_incident_weights() {
+        let mut g = WGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b, 2);
+        g.add_edge(a, c, 3);
+        assert_eq!(g.weighted_degree(a), 5);
+        assert_eq!(g.weighted_degree(b), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the graph substrate's invariants.
+
+use netgraph::{
+    articulation_points, biconnected_components, bridges, common_neighbor_counts_filtered,
+    common_neighbor_counts_sorted, common_neighbor_min_weights, connected_components, NodeId,
+    SimpleGraph, UnionFind, WGraph,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected edge list over up to `n` nodes.
+fn arb_edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+        .prop_map(|v| v.into_iter().filter(|(a, b)| a != b).collect())
+}
+
+fn simple(edges: &[(u32, u32)]) -> SimpleGraph {
+    SimpleGraph::from_edges([], edges.iter().map(|&(a, b)| (NodeId(a), NodeId(b))))
+}
+
+fn weighted(edges: &[(u32, u32)], n: u32) -> WGraph {
+    let mut g = WGraph::new();
+    for _ in 0..n {
+        g.add_node();
+    }
+    for &(a, b) in edges {
+        g.add_edge(NodeId(a), NodeId(b), 1);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every edge of the graph lies in exactly one biconnected component.
+    #[test]
+    fn bcc_edges_partition_the_edge_set(edges in arb_edges(30, 80)) {
+        let g = simple(&edges);
+        let bccs = biconnected_components(&g);
+        let total: usize = bccs.iter().map(|b| b.edge_count).sum();
+        prop_assert_eq!(total, g.edge_count());
+        // Every BCC has at least one edge and therefore >= 2 nodes.
+        for b in &bccs {
+            prop_assert!(b.edge_count >= 1);
+            prop_assert!(b.len() >= 2);
+        }
+    }
+
+    /// Nodes shared between two BCCs are exactly the articulation points
+    /// (for nodes in at least one BCC).
+    #[test]
+    fn bcc_overlap_nodes_are_articulation_points(edges in arb_edges(25, 60)) {
+        let g = simple(&edges);
+        let bccs = biconnected_components(&g);
+        let cuts: std::collections::BTreeSet<NodeId> =
+            articulation_points(&g).into_iter().collect();
+        let mut seen = std::collections::BTreeMap::new();
+        for (i, b) in bccs.iter().enumerate() {
+            for &n in &b.nodes {
+                seen.entry(n).or_insert_with(Vec::new).push(i);
+            }
+        }
+        for (n, memberships) in seen {
+            prop_assert_eq!(
+                memberships.len() > 1,
+                cuts.contains(&n),
+                "node {:?} in {} BCCs, cut = {}",
+                n,
+                memberships.len(),
+                cuts.contains(&n)
+            );
+        }
+    }
+
+    /// Removing a bridge increases the number of connected components.
+    #[test]
+    fn bridges_disconnect(edges in arb_edges(20, 40)) {
+        let g = simple(&edges);
+        let before = connected_components(&g).len();
+        for (a, b) in bridges(&g) {
+            let reduced: Vec<(u32, u32)> = edges
+                .iter()
+                .copied()
+                .filter(|&(x, y)| {
+                    let e = (NodeId(x.min(y)), NodeId(x.max(y)));
+                    e != (a, b)
+                })
+                .collect();
+            // Keep the node set identical by listing all original nodes.
+            let g2 = SimpleGraph::from_edges(
+                g.nodes(),
+                reduced.iter().map(|&(x, y)| (NodeId(x), NodeId(y))),
+            );
+            let after = connected_components(&g2).len();
+            prop_assert_eq!(after, before + 1, "removing bridge {:?}-{:?}", a, b);
+        }
+    }
+
+    /// The three common-neighbor implementations agree.
+    #[test]
+    fn counting_implementations_agree(edges in arb_edges(25, 60)) {
+        // Dedup so repeated input edges do not accumulate weight — the
+        // min-weight variant is only equal to the plain count on
+        // unit-weight graphs.
+        let mut dedup: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let g = weighted(&dedup, 25);
+        let a = common_neighbor_counts_filtered(&g, |_| true);
+        let b = common_neighbor_counts_sorted(&g, |_| true);
+        prop_assert_eq!(&a, &b);
+        let c = common_neighbor_min_weights(&g, |_| true);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// Union-find components equal graph components.
+    #[test]
+    fn union_find_matches_components(edges in arb_edges(30, 60)) {
+        let g = simple(&edges);
+        let comps = connected_components(&g);
+        let ids: Vec<NodeId> = g.nodes().collect();
+        let pos = |n: NodeId| ids.binary_search(&n).expect("node exists");
+        let mut uf = UnionFind::new(ids.len());
+        for &(a, b) in &edges {
+            uf.union(pos(NodeId(a)), pos(NodeId(b)));
+        }
+        prop_assert_eq!(comps.len(), uf.set_count());
+        for comp in &comps {
+            for w in comp.windows(2) {
+                prop_assert!(uf.same(pos(w[0]), pos(w[1])));
+            }
+        }
+    }
+
+    /// Contraction conserves total edge weight (external + internal).
+    #[test]
+    fn contraction_conserves_weight(
+        edges in arb_edges(15, 40),
+        pick in prop::collection::btree_set(0u32..15, 1..6),
+    ) {
+        let mut g = weighted(&edges, 15);
+        let before = g.total_weight();
+        let members: Vec<NodeId> = pick.into_iter().map(NodeId).collect();
+        let (_, internal) = g.contract(&members);
+        prop_assert_eq!(g.total_weight() + internal, before);
+    }
+
+    /// Degrees sum to twice the edge count.
+    #[test]
+    fn handshake_lemma(edges in arb_edges(30, 80)) {
+        let g = simple(&edges);
+        let degree_sum: usize = (0..g.node_count()).map(|p| g.degree_at(p)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+}

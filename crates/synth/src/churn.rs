@@ -1,0 +1,280 @@
+//! Connection-pattern churn operators.
+//!
+//! Section 5 motivates the correlation algorithm with specific kinds of
+//! change: host arrivals, removals, role changes, and servers being
+//! replaced or split for load sharing. Figure 5 exercises four concrete
+//! changes on the Mazu network. These operators apply exactly those
+//! changes to a [`SyntheticNetwork`], keeping the ground truth in sync so
+//! correlation results can be validated.
+
+use crate::model::SyntheticNetwork;
+use flow::{ConnectionSets, HostAddr};
+
+/// Swaps the connection patterns (and hence observed roles) of two hosts
+/// — the paper's "Sales-1 and Eng-1 switch roles" / "swapped the roles of
+/// unix_mail and ms_exchange by switching their IP addresses" scenario.
+///
+/// Ground-truth labels travel with the *behavior*: after the swap, `a`
+/// plays `b`'s old role and vice versa.
+///
+/// # Panics
+///
+/// Panics if either host is unknown.
+pub fn swap_hosts(net: &mut SyntheticNetwork, a: HostAddr, b: HostAddr) {
+    assert!(net.connsets.contains(a) && net.connsets.contains(b));
+    swap_in_connsets(&mut net.connsets, a, b);
+    let role_a = net.truth.remove(a);
+    let role_b = net.truth.remove(b);
+    if let Some(r) = role_b {
+        net.truth.assign(a, &r);
+    }
+    if let Some(r) = role_a {
+        net.truth.assign(b, &r);
+    }
+    for hosts in net.hosts_by_role.values_mut() {
+        for h in hosts.iter_mut() {
+            if *h == a {
+                *h = b;
+            } else if *h == b {
+                *h = a;
+            }
+        }
+    }
+}
+
+fn swap_in_connsets(cs: &mut ConnectionSets, a: HostAddr, b: HostAddr) {
+    let nbrs_a: Vec<HostAddr> = cs.neighbors(a).map(|s| s.iter().copied().collect()).unwrap_or_default();
+    let nbrs_b: Vec<HostAddr> = cs.neighbors(b).map(|s| s.iter().copied().collect()).unwrap_or_default();
+    // The mutual edge (if any) must be re-added exactly once — it is
+    // visible from both endpoints' neighbor lists.
+    let mutual = cs.pair_stats(a, b);
+    let stats_a: Vec<_> = nbrs_a
+        .iter()
+        .filter(|&&n| n != b)
+        .map(|&n| (n, cs.pair_stats(a, n).unwrap_or_default()))
+        .collect();
+    let stats_b: Vec<_> = nbrs_b
+        .iter()
+        .filter(|&&n| n != a)
+        .map(|&n| (n, cs.pair_stats(b, n).unwrap_or_default()))
+        .collect();
+    cs.remove_host(a);
+    cs.remove_host(b);
+    cs.add_host(a);
+    cs.add_host(b);
+    for (n, s) in stats_a {
+        cs.add_connection(b, n, s);
+    }
+    for (n, s) in stats_b {
+        cs.add_connection(a, n, s);
+    }
+    if let Some(s) = mutual {
+        cs.add_connection(a, b, s);
+    }
+}
+
+/// Replaces `old` with a brand-new host `new` that inherits `old`'s
+/// connections — the "replaced the old NT server with a new server"
+/// scenario.
+///
+/// # Panics
+///
+/// Panics if `old` is unknown or `new` already exists.
+pub fn replace_host(net: &mut SyntheticNetwork, old: HostAddr, new: HostAddr) {
+    assert!(net.connsets.contains(old), "old host unknown");
+    assert!(!net.connsets.contains(new), "new host already present");
+    let nbrs: Vec<(HostAddr, _)> = net
+        .connsets
+        .neighbors(old)
+        .map(|s| {
+            s.iter()
+                .map(|&n| (n, net.connsets.pair_stats(old, n).unwrap_or_default()))
+                .collect()
+        })
+        .unwrap_or_default();
+    net.connsets.remove_host(old);
+    net.connsets.add_host(new);
+    for (n, s) in nbrs {
+        net.connsets.add_connection(new, n, s);
+    }
+    if let Some(role) = net.truth.remove(old) {
+        net.truth.assign(new, &role);
+        if let Some(hosts) = net.hosts_by_role.get_mut(&role) {
+            for h in hosts.iter_mut() {
+                if *h == old {
+                    *h = new;
+                }
+            }
+        }
+    }
+}
+
+/// Removes a host entirely — the "removed an old admin machine" scenario.
+///
+/// Returns `true` if the host existed.
+pub fn remove_host(net: &mut SyntheticNetwork, h: HostAddr) -> bool {
+    let existed = net.connsets.remove_host(h);
+    if let Some(role) = net.truth.remove(h) {
+        if let Some(hosts) = net.hosts_by_role.get_mut(&role) {
+            hosts.retain(|&x| x != h);
+        }
+    }
+    existed
+}
+
+/// Adds a new host that copies the connection habits of `template` — the
+/// "brought in a new eng machine" scenario.
+///
+/// # Panics
+///
+/// Panics if `template` is unknown or `new` already exists.
+pub fn add_host_like(net: &mut SyntheticNetwork, template: HostAddr, new: HostAddr) {
+    assert!(net.connsets.contains(template), "template host unknown");
+    assert!(!net.connsets.contains(new), "new host already present");
+    let nbrs: Vec<HostAddr> = net
+        .connsets
+        .neighbors(template)
+        .map(|s| s.iter().copied().collect())
+        .unwrap_or_default();
+    net.connsets.add_host(new);
+    for n in nbrs {
+        if n != new {
+            net.connsets.add_pair(new, n);
+        }
+    }
+    if let Some(role) = net.truth.role_of(template).map(str::to_string) {
+        net.truth.assign(new, &role);
+        if let Some(hosts) = net.hosts_by_role.get_mut(&role) {
+            hosts.push(new);
+        }
+    }
+}
+
+/// Splits a server into two load-sharing replicas — Section 5.1's "an
+/// existing server machine may be replaced by two new machines that do
+/// load sharing among client machines". Neighbors of `old` are dealt
+/// alternately to `new1` and `new2`.
+///
+/// # Panics
+///
+/// Panics if `old` is unknown or either replica already exists.
+pub fn split_server(
+    net: &mut SyntheticNetwork,
+    old: HostAddr,
+    new1: HostAddr,
+    new2: HostAddr,
+) {
+    assert!(net.connsets.contains(old), "old host unknown");
+    assert!(
+        !net.connsets.contains(new1) && !net.connsets.contains(new2),
+        "replica already present"
+    );
+    assert!(new1 != new2, "replicas must differ");
+    let nbrs: Vec<HostAddr> = net
+        .connsets
+        .neighbors(old)
+        .map(|s| s.iter().copied().collect())
+        .unwrap_or_default();
+    net.connsets.remove_host(old);
+    net.connsets.add_host(new1);
+    net.connsets.add_host(new2);
+    for (i, n) in nbrs.into_iter().enumerate() {
+        let target = if i % 2 == 0 { new1 } else { new2 };
+        net.connsets.add_pair(target, n);
+    }
+    if let Some(role) = net.truth.remove(old) {
+        net.truth.assign(new1, &role);
+        net.truth.assign(new2, &role);
+        if let Some(hosts) = net.hosts_by_role.get_mut(&role) {
+            hosts.retain(|&x| x != old);
+            hosts.push(new1);
+            hosts.push(new2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::figure1;
+
+    #[test]
+    fn swap_exchanges_connection_sets() {
+        let mut net = figure1(3, 3);
+        let mail = net.host("mail");
+        let db = net.host("sales_db");
+        let mail_deg = net.connsets.degree(mail).unwrap();
+        let db_deg = net.connsets.degree(db).unwrap();
+        swap_hosts(&mut net, mail, db);
+        assert_eq!(net.connsets.degree(mail), Some(db_deg));
+        assert_eq!(net.connsets.degree(db), Some(mail_deg));
+        // Ground truth followed the behavior.
+        assert_eq!(net.truth.role_of(mail), Some("sales_db"));
+        assert_eq!(net.truth.role_of(db), Some("mail"));
+    }
+
+    #[test]
+    fn swap_preserves_edge_between_the_two() {
+        let mut net = figure1(2, 2);
+        let s = net.role_hosts("sales")[0];
+        let mail = net.host("mail");
+        assert!(net.connsets.connected(s, mail));
+        swap_hosts(&mut net, s, mail);
+        // They were neighbors before, they stay neighbors after.
+        assert!(net.connsets.connected(s, mail));
+    }
+
+    #[test]
+    fn replace_transfers_connections() {
+        let mut net = figure1(3, 3);
+        let web = net.host("web");
+        let deg = net.connsets.degree(web).unwrap();
+        let new = HostAddr::from_octets(10, 9, 9, 9);
+        replace_host(&mut net, web, new);
+        assert!(!net.connsets.contains(web));
+        assert_eq!(net.connsets.degree(new), Some(deg));
+        assert_eq!(net.truth.role_of(new), Some("web"));
+        assert_eq!(net.host("web"), new);
+    }
+
+    #[test]
+    fn remove_host_shrinks_population() {
+        let mut net = figure1(3, 3);
+        let victim = net.role_hosts("sales")[0];
+        assert!(remove_host(&mut net, victim));
+        assert!(!remove_host(&mut net, victim));
+        assert_eq!(net.host_count(), 9);
+        assert_eq!(net.role_hosts("sales").len(), 2);
+    }
+
+    #[test]
+    fn add_host_like_copies_habits() {
+        let mut net = figure1(3, 3);
+        let template = net.role_hosts("eng")[0];
+        let new = HostAddr::from_octets(10, 9, 9, 1);
+        add_host_like(&mut net, template, new);
+        assert_eq!(
+            net.connsets.degree(new),
+            net.connsets.degree(template)
+        );
+        assert_eq!(net.truth.role_of(new), Some("eng"));
+        assert_eq!(net.host_count(), 11);
+    }
+
+    #[test]
+    fn split_server_deals_neighbors() {
+        let mut net = figure1(4, 4);
+        let mail = net.host("mail");
+        let deg = net.connsets.degree(mail).unwrap();
+        let r1 = HostAddr::from_octets(10, 9, 0, 1);
+        let r2 = HostAddr::from_octets(10, 9, 0, 2);
+        split_server(&mut net, mail, r1, r2);
+        assert!(!net.connsets.contains(mail));
+        let d1 = net.connsets.degree(r1).unwrap();
+        let d2 = net.connsets.degree(r2).unwrap();
+        assert_eq!(d1 + d2, deg);
+        assert!(d1.abs_diff(d2) <= 1);
+        assert_eq!(net.truth.role_of(r1), Some("mail"));
+        assert_eq!(net.truth.role_of(r2), Some("mail"));
+    }
+}

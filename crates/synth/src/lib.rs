@@ -1,0 +1,27 @@
+//! Synthetic enterprise networks with ground-truth roles.
+//!
+//! The paper evaluates on proprietary traces from two corporate networks
+//! (*Mazu*, 110 hosts; *BigCompany*, 3638 hosts) plus a 49 041-host
+//! *HugeCompany* for run-time scaling. Those traces are not available, so
+//! this crate generates networks with the same *structure*: hosts are
+//! assigned logical roles, and connection habits are drawn from per-role
+//! rules (which servers a role talks to, with what participation and
+//! fan-out). Because the generator knows every host's true role, it also
+//! emits the ideal partitioning `P*` the paper obtained from network
+//! administrators, enabling Rand-statistic validation (Section 6.1).
+//!
+//! * [`model`] — the role/rule network model and the seeded generator.
+//! * [`scenarios`] — the paper's networks: [`scenarios::figure1`],
+//!   [`scenarios::mazu`], [`scenarios::big_company`],
+//!   [`scenarios::huge_company`].
+//! * [`churn`] — the connection-pattern changes of Section 5/Figure 5:
+//!   role swaps, host replacement, arrivals, removals, server splits.
+//! * [`trace`] — expansion of a generated network into flow records for
+//!   exercising the ingestion pipeline end to end.
+
+pub mod churn;
+pub mod model;
+pub mod scenarios;
+pub mod trace;
+
+pub use model::{ConnRule, Fanout, GroundTruth, NetworkModel, RoleSpec, SyntheticNetwork};

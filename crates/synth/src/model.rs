@@ -1,0 +1,428 @@
+//! Role-based network model and seeded generator.
+
+use flow::{ConnectionSets, HostAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Index of a role within a [`NetworkModel`].
+pub type RoleId = usize;
+
+/// One logical role: a named population of hosts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoleSpec {
+    /// Role name (e.g. `"eng"`, `"unix_mail"`). Names are the ground-truth
+    /// labels used to build the ideal partitioning.
+    pub name: String,
+    /// Number of hosts playing this role.
+    pub count: usize,
+    /// Whether this role is server-like; used only for reporting.
+    pub is_server: bool,
+}
+
+impl RoleSpec {
+    /// Builds a client-side role.
+    pub fn clients(name: &str, count: usize) -> Self {
+        RoleSpec {
+            name: name.to_string(),
+            count,
+            is_server: false,
+        }
+    }
+
+    /// Builds a server-side role.
+    pub fn servers(name: &str, count: usize) -> Self {
+        RoleSpec {
+            name: name.to_string(),
+            count,
+            is_server: true,
+        }
+    }
+}
+
+/// How many distinct target hosts each participating source host picks.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum Fanout {
+    /// Connect to every host of the target role.
+    All,
+    /// Connect to exactly `n` distinct hosts (capped at the role size).
+    Exactly(usize),
+    /// Connect to a uniformly drawn number of hosts in `[lo, hi]`.
+    Range(usize, usize),
+    /// Connect to each target host independently with this probability.
+    Bernoulli(f64),
+}
+
+/// One connection-habit rule: members of `from` open connections to
+/// members of `to`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConnRule {
+    /// Source role.
+    pub from: RoleId,
+    /// Target role (may equal `from` for intra-role chatter).
+    pub to: RoleId,
+    /// Fraction of `from` hosts that follow this rule at all.
+    pub participation: f64,
+    /// Fan-out of each participating host.
+    pub fanout: Fanout,
+}
+
+impl ConnRule {
+    /// Builds a rule with full participation.
+    pub fn new(from: RoleId, to: RoleId, fanout: Fanout) -> Self {
+        ConnRule {
+            from,
+            to,
+            participation: 1.0,
+            fanout,
+        }
+    }
+
+    /// Sets the participation fraction.
+    pub fn participation(mut self, p: f64) -> Self {
+        self.participation = p;
+        self
+    }
+}
+
+/// A complete generative network model.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// The roles, indexed by [`RoleId`].
+    pub roles: Vec<RoleSpec>,
+    /// The connection-habit rules.
+    pub rules: Vec<ConnRule>,
+    /// First address to allocate; hosts get consecutive addresses.
+    pub base_addr: HostAddr,
+}
+
+/// The generator's ground truth: every host's true role.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    role_of: BTreeMap<HostAddr, String>,
+}
+
+impl GroundTruth {
+    /// The true role of `h`, if known.
+    pub fn role_of(&self, h: HostAddr) -> Option<&str> {
+        self.role_of.get(&h).map(String::as_str)
+    }
+
+    /// Records `h` as playing `role`.
+    pub fn assign(&mut self, h: HostAddr, role: &str) {
+        self.role_of.insert(h, role.to_string());
+    }
+
+    /// Removes a host from the ground truth; returns its former role.
+    pub fn remove(&mut self, h: HostAddr) -> Option<String> {
+        self.role_of.remove(&h)
+    }
+
+    /// Number of hosts with known roles.
+    pub fn len(&self) -> usize {
+        self.role_of.len()
+    }
+
+    /// Returns `true` when no roles are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.role_of.is_empty()
+    }
+
+    /// The ideal partitioning `P*`: hosts grouped by true role, ordered
+    /// by role name.
+    pub fn partition(&self) -> Vec<Vec<HostAddr>> {
+        let mut by_role: BTreeMap<&str, Vec<HostAddr>> = BTreeMap::new();
+        for (&h, role) in &self.role_of {
+            by_role.entry(role).or_default().push(h);
+        }
+        by_role.into_values().collect()
+    }
+
+    /// Iterates over `(host, role)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (HostAddr, &str)> + '_ {
+        self.role_of.iter().map(|(&h, r)| (h, r.as_str()))
+    }
+}
+
+/// A generated network: connection sets plus ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyntheticNetwork {
+    /// The observable input to the grouping algorithm.
+    pub connsets: ConnectionSets,
+    /// The hidden ideal partitioning.
+    pub truth: GroundTruth,
+    /// Host addresses by role name, in allocation order.
+    pub hosts_by_role: BTreeMap<String, Vec<HostAddr>>,
+}
+
+impl SyntheticNetwork {
+    /// Total number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.connsets.host_count()
+    }
+
+    /// All hosts of one role (empty slice if the role is unknown).
+    pub fn role_hosts(&self, role: &str) -> &[HostAddr] {
+        self.hosts_by_role
+            .get(role)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The first host of a role — convenient for singleton server roles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the role does not exist or is empty.
+    pub fn host(&self, role: &str) -> HostAddr {
+        self.role_hosts(role)[0]
+    }
+}
+
+impl NetworkModel {
+    /// Creates an empty model allocating addresses from `10.0.0.1`.
+    pub fn new() -> Self {
+        NetworkModel {
+            roles: Vec::new(),
+            rules: Vec::new(),
+            base_addr: HostAddr::from_octets(10, 0, 0, 1),
+        }
+    }
+
+    /// Adds a role and returns its id.
+    pub fn role(&mut self, spec: RoleSpec) -> RoleId {
+        self.roles.push(spec);
+        self.roles.len() - 1
+    }
+
+    /// Adds a rule.
+    pub fn rule(&mut self, rule: ConnRule) -> &mut Self {
+        assert!(rule.from < self.roles.len(), "rule.from out of range");
+        assert!(rule.to < self.roles.len(), "rule.to out of range");
+        self.rules.push(rule);
+        self
+    }
+
+    /// Total host count across roles.
+    pub fn host_count(&self) -> usize {
+        self.roles.iter().map(|r| r.count).sum()
+    }
+
+    /// Generates a network deterministically from `seed`.
+    ///
+    /// Every host of every role is materialized (so even isolated hosts
+    /// are part of the population), then each rule is expanded with the
+    /// seeded RNG.
+    pub fn generate(&self, seed: u64) -> SyntheticNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut connsets = ConnectionSets::new();
+        let mut truth = GroundTruth::default();
+        let mut hosts_by_role: BTreeMap<String, Vec<HostAddr>> = BTreeMap::new();
+        let mut role_hosts: Vec<Vec<HostAddr>> = Vec::with_capacity(self.roles.len());
+
+        let mut next = self.base_addr.as_u32();
+        for spec in &self.roles {
+            let mut hosts = Vec::with_capacity(spec.count);
+            for _ in 0..spec.count {
+                let h = HostAddr(next);
+                next += 1;
+                connsets.add_host(h);
+                truth.assign(h, &spec.name);
+                hosts.push(h);
+            }
+            hosts_by_role
+                .entry(spec.name.clone())
+                .or_default()
+                .extend(hosts.iter().copied());
+            role_hosts.push(hosts);
+        }
+
+        for rule in &self.rules {
+            let sources = role_hosts[rule.from].clone();
+            let targets = &role_hosts[rule.to];
+            for &src in &sources {
+                if rule.participation < 1.0 && rng.gen::<f64>() >= rule.participation {
+                    continue;
+                }
+                match rule.fanout {
+                    Fanout::All => {
+                        for &dst in targets {
+                            if dst != src {
+                                connsets.add_pair(src, dst);
+                            }
+                        }
+                    }
+                    Fanout::Bernoulli(p) => {
+                        for &dst in targets {
+                            if dst != src && rng.gen::<f64>() < p {
+                                connsets.add_pair(src, dst);
+                            }
+                        }
+                    }
+                    Fanout::Exactly(n) => {
+                        for dst in sample_excluding(&mut rng, targets, src, n) {
+                            connsets.add_pair(src, dst);
+                        }
+                    }
+                    Fanout::Range(lo, hi) => {
+                        let n = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                        for dst in sample_excluding(&mut rng, targets, src, n) {
+                            connsets.add_pair(src, dst);
+                        }
+                    }
+                }
+            }
+        }
+
+        SyntheticNetwork {
+            connsets,
+            truth,
+            hosts_by_role,
+        }
+    }
+}
+
+/// Samples up to `n` distinct targets, never returning `exclude`.
+fn sample_excluding(
+    rng: &mut StdRng,
+    targets: &[HostAddr],
+    exclude: HostAddr,
+    n: usize,
+) -> Vec<HostAddr> {
+    let pool: Vec<HostAddr> = targets.iter().copied().filter(|&t| t != exclude).collect();
+    let n = n.min(pool.len());
+    // Partial Fisher–Yates over an index vector.
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    for i in 0..n {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx[..n].iter().map(|&i| pool[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_role_model() -> NetworkModel {
+        let mut m = NetworkModel::new();
+        let clients = m.role(RoleSpec::clients("client", 10));
+        let servers = m.role(RoleSpec::servers("server", 2));
+        m.rule(ConnRule::new(clients, servers, Fanout::All));
+        m
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = two_role_model();
+        let a = m.generate(7);
+        let b = m.generate(7);
+        assert_eq!(a.connsets, b.connsets);
+    }
+
+    #[test]
+    fn different_seeds_differ_for_random_rules() {
+        let mut m = NetworkModel::new();
+        let c = m.role(RoleSpec::clients("c", 30));
+        let s = m.role(RoleSpec::servers("s", 10));
+        m.rule(ConnRule::new(c, s, Fanout::Exactly(3)));
+        let a = m.generate(1);
+        let b = m.generate(2);
+        assert_ne!(a.connsets, b.connsets);
+    }
+
+    #[test]
+    fn all_fanout_connects_everyone() {
+        let net = two_role_model().generate(0);
+        let servers = net.role_hosts("server");
+        for &c in net.role_hosts("client") {
+            assert_eq!(net.connsets.degree(c), Some(2));
+            for &s in servers {
+                assert!(net.connsets.connected(c, s));
+            }
+        }
+        assert_eq!(net.host_count(), 12);
+    }
+
+    #[test]
+    fn exactly_fanout_capped_at_pool() {
+        let mut m = NetworkModel::new();
+        let c = m.role(RoleSpec::clients("c", 3));
+        let s = m.role(RoleSpec::servers("s", 2));
+        m.rule(ConnRule::new(c, s, Fanout::Exactly(10)));
+        let net = m.generate(0);
+        for &h in net.role_hosts("c") {
+            assert_eq!(net.connsets.degree(h), Some(2));
+        }
+    }
+
+    #[test]
+    fn participation_zero_yields_isolated_hosts() {
+        let mut m = NetworkModel::new();
+        let c = m.role(RoleSpec::clients("c", 5));
+        let s = m.role(RoleSpec::servers("s", 1));
+        m.rule(ConnRule::new(c, s, Fanout::All).participation(0.0));
+        let net = m.generate(0);
+        assert_eq!(net.host_count(), 6);
+        assert_eq!(net.connsets.connection_count(), 0);
+    }
+
+    #[test]
+    fn intra_role_rules_skip_self() {
+        let mut m = NetworkModel::new();
+        let c = m.role(RoleSpec::clients("c", 4));
+        m.rule(ConnRule::new(c, c, Fanout::All));
+        let net = m.generate(0);
+        for &h in net.role_hosts("c") {
+            assert_eq!(net.connsets.degree(h), Some(3));
+        }
+    }
+
+    #[test]
+    fn ground_truth_partition_groups_by_role() {
+        let net = two_role_model().generate(0);
+        let parts = net.truth.partition();
+        assert_eq!(parts.len(), 2);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&10) && sizes.contains(&2));
+        assert_eq!(net.truth.role_of(net.host("server")), Some("server"));
+    }
+
+    #[test]
+    fn bernoulli_zero_and_one() {
+        let mut m = NetworkModel::new();
+        let c = m.role(RoleSpec::clients("c", 5));
+        let s0 = m.role(RoleSpec::servers("s0", 3));
+        let s1 = m.role(RoleSpec::servers("s1", 3));
+        m.rule(ConnRule::new(c, s0, Fanout::Bernoulli(0.0)));
+        m.rule(ConnRule::new(c, s1, Fanout::Bernoulli(1.0)));
+        let net = m.generate(0);
+        for &h in net.role_hosts("c") {
+            assert_eq!(net.connsets.degree(h), Some(3));
+        }
+    }
+
+    #[test]
+    fn range_fanout_within_bounds() {
+        let mut m = NetworkModel::new();
+        let c = m.role(RoleSpec::clients("c", 50));
+        let s = m.role(RoleSpec::servers("s", 20));
+        m.rule(ConnRule::new(c, s, Fanout::Range(2, 5)));
+        let net = m.generate(3);
+        for &h in net.role_hosts("c") {
+            let d = net.connsets.degree(h).unwrap();
+            assert!((2..=5).contains(&d), "degree {d} outside [2,5]");
+        }
+    }
+
+    #[test]
+    fn addresses_are_consecutive_from_base() {
+        let net = two_role_model().generate(0);
+        let hosts: Vec<HostAddr> = net.connsets.hosts().collect();
+        assert_eq!(hosts[0], HostAddr::from_octets(10, 0, 0, 1));
+        for w in hosts.windows(2) {
+            assert_eq!(w[1].as_u32(), w[0].as_u32() + 1);
+        }
+    }
+}

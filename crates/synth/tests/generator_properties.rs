@@ -1,0 +1,139 @@
+//! Property-based tests of the synthetic network generator and the
+//! churn operators.
+
+use flow::HostAddr;
+use proptest::prelude::*;
+use synthnet::{churn, ConnRule, Fanout, NetworkModel, RoleSpec, SyntheticNetwork};
+
+/// Strategy: a random small role/rule model.
+fn arb_model() -> impl Strategy<Value = NetworkModel> {
+    (
+        prop::collection::vec(1usize..8, 2..5), // role sizes
+        prop::collection::vec(
+            (0usize..4, 0usize..4, 0u8..4, 0.0f64..=1.0),
+            1..8,
+        ), // rules: from, to, fanout-kind, participation
+    )
+        .prop_map(|(sizes, rules)| {
+            let mut m = NetworkModel::new();
+            let ids: Vec<usize> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| m.role(RoleSpec::clients(&format!("r{i}"), n)))
+                .collect();
+            for (from, to, kind, part) in rules {
+                let from = ids[from % ids.len()];
+                let to = ids[to % ids.len()];
+                let fanout = match kind {
+                    0 => Fanout::All,
+                    1 => Fanout::Exactly(2),
+                    2 => Fanout::Range(1, 3),
+                    _ => Fanout::Bernoulli(0.5),
+                };
+                m.rule(ConnRule::new(from, to, fanout).participation(part));
+            }
+            m
+        })
+}
+
+fn invariants(net: &SyntheticNetwork) {
+    // Every host has a ground-truth role and appears exactly once in
+    // hosts_by_role.
+    assert_eq!(net.truth.len(), net.host_count());
+    let listed: usize = net.hosts_by_role.values().map(Vec::len).sum();
+    assert_eq!(listed, net.host_count());
+    for (h, role) in net.truth.iter() {
+        assert!(net.role_hosts(role).contains(&h));
+        assert!(net.connsets.contains(h));
+    }
+    // Connection sets are symmetric and self-loop-free.
+    for h in net.connsets.hosts() {
+        let nbrs = net.connsets.neighbors(h).expect("host exists");
+        assert!(!nbrs.contains(&h));
+        for &n in nbrs {
+            assert!(net
+                .connsets
+                .neighbors(n)
+                .expect("neighbor exists")
+                .contains(&h));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generation_invariants(model in arb_model(), seed in any::<u64>()) {
+        let net = model.generate(seed);
+        prop_assert_eq!(net.host_count(), model.host_count());
+        invariants(&net);
+    }
+
+    #[test]
+    fn generation_is_deterministic(model in arb_model(), seed in any::<u64>()) {
+        let a = model.generate(seed);
+        let b = model.generate(seed);
+        prop_assert_eq!(a.connsets, b.connsets);
+    }
+
+    #[test]
+    fn churn_preserves_invariants(model in arb_model(), seed in any::<u64>()) {
+        let mut net = model.generate(seed);
+        if net.host_count() < 4 {
+            return Ok(());
+        }
+        let hosts: Vec<HostAddr> = net.connsets.hosts().collect();
+        // Swap two hosts.
+        churn::swap_hosts(&mut net, hosts[0], hosts[1]);
+        invariants(&net);
+        // Replace one with a fresh address.
+        let fresh = HostAddr(0xFFFF_0001);
+        churn::replace_host(&mut net, hosts[2], fresh);
+        invariants(&net);
+        // Clone one.
+        churn::add_host_like(&mut net, fresh, HostAddr(0xFFFF_0002));
+        invariants(&net);
+        // Remove one.
+        churn::remove_host(&mut net, hosts[3]);
+        invariants(&net);
+    }
+
+    #[test]
+    fn swap_is_an_involution(model in arb_model(), seed in any::<u64>()) {
+        let net = model.generate(seed);
+        if net.host_count() < 2 {
+            return Ok(());
+        }
+        let hosts: Vec<HostAddr> = net.connsets.hosts().collect();
+        let mut swapped = net.clone();
+        churn::swap_hosts(&mut swapped, hosts[0], hosts[1]);
+        churn::swap_hosts(&mut swapped, hosts[0], hosts[1]);
+        prop_assert_eq!(&swapped.connsets, &net.connsets);
+    }
+
+    #[test]
+    fn split_server_partitions_neighbors(model in arb_model(), seed in any::<u64>()) {
+        let net = model.generate(seed);
+        // Pick the highest-degree host as the server to split.
+        let Some(server) = net
+            .connsets
+            .hosts()
+            .max_by_key(|&h| net.connsets.degree(h).unwrap_or(0))
+        else {
+            return Ok(());
+        };
+        let deg = net.connsets.degree(server).unwrap_or(0);
+        if deg == 0 {
+            return Ok(());
+        }
+        let mut split = net.clone();
+        let (r1, r2) = (HostAddr(0xFFFF_0010), HostAddr(0xFFFF_0011));
+        churn::split_server(&mut split, server, r1, r2);
+        let d1 = split.connsets.degree(r1).unwrap_or(0);
+        let d2 = split.connsets.degree(r2).unwrap_or(0);
+        prop_assert_eq!(d1 + d2, deg);
+        prop_assert!(d1.abs_diff(d2) <= 1);
+        invariants(&split);
+    }
+}

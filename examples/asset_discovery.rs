@@ -1,0 +1,85 @@
+//! Asset discovery: expose the logical structure of an unknown network.
+//!
+//! The role-classification use case practitioners reach for first: point
+//! the algorithm at a day of flows from a network you did not build and
+//! get back its logical structure — server tiers, client populations,
+//! the odd scanner — at a granularity a human can review.
+//!
+//! Run with: `cargo run --release --example asset_discovery`
+
+use role_classification::cluster::metrics;
+use role_classification::roleclass::{classify, Params};
+use role_classification::synthnet::scenarios;
+use std::collections::BTreeMap;
+
+fn main() {
+    // Stand-in for "a day of traffic from the unknown network": the
+    // BigCompany-like scenario. In production this would come from
+    // NetFlow or pcap via the `flow` crate parsers.
+    let net = scenarios::big_company(7);
+    println!(
+        "discovering structure of a {}-host network...",
+        net.host_count()
+    );
+
+    let result = classify(&net.connsets, &Params::default());
+    println!(
+        "-> {} role groups (a {}x reduction in objects to review)\n",
+        result.grouping.group_count(),
+        net.host_count() / result.grouping.group_count().max(1)
+    );
+
+    println!("largest discovered groups:");
+    for g in result.grouping.largest(8) {
+        // In real life an admin labels these; here we peek at the ground
+        // truth to show the discovery is right.
+        let mut roles: BTreeMap<&str, usize> = BTreeMap::new();
+        for &m in &g.members {
+            *roles.entry(net.truth.role_of(m).unwrap_or("?")).or_default() += 1;
+        }
+        let dominant = roles
+            .iter()
+            .max_by_key(|&(_, n)| *n)
+            .map(|(r, _)| *r)
+            .unwrap_or("?");
+        println!(
+            "  group {:>4}  {:>5} hosts  (actually: {})",
+            g.id.to_string(),
+            g.len(),
+            dominant
+        );
+    }
+
+    // The scanner anomaly the paper found at BigCompany: one host whose
+    // connection count dwarfs its group's.
+    let scanner = net.host("scanner");
+    let deg = net.connsets.degree(scanner).unwrap_or(0);
+    println!(
+        "\nanomaly: host {} touches {} machines ({}% of the network) — \
+         the paper's BigCompany scan host",
+        scanner,
+        deg,
+        100 * deg / net.host_count()
+    );
+
+    // Directionality (the paper's §4.1 aside): flow-initiation ratios
+    // separate server-like from client-like groups when direction data
+    // is available. The synthetic connection sets here carry no flow
+    // directions, so derive them from a fabricated trace.
+    use role_classification::flow::ConnsetBuilder;
+    use role_classification::synthnet::trace;
+    let flows = trace::expand(&net.connsets, trace::TraceOptions::default(), 3);
+    let mut builder = ConnsetBuilder::new();
+    builder.add_records(flows.iter());
+    let directed = builder.build();
+    let phones = net.role_hosts("ip_phones");
+    let call_mgr = net.role_hosts("call_mgr")[0];
+    println!(
+        "\ndirectionality check: call manager server_ratio {:.2}, a phone {:.2}",
+        directed.server_ratio(call_mgr).unwrap_or(0.5),
+        directed.server_ratio(phones[0]).unwrap_or(0.5),
+    );
+
+    let rand = metrics::rand_statistic(&net.truth.partition(), &result.grouping.as_partition());
+    println!("\nagreement with ground-truth roles (Rand statistic): {rand:.4}");
+}

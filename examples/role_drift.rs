@@ -1,0 +1,86 @@
+//! Role drift over time: correlation keeping group ids (and labels)
+//! stable while the network changes underneath.
+//!
+//! Simulates four days of operation. Between days, hosts arrive and
+//! leave, a server gets replaced, and finally a server is split into two
+//! load-sharing replicas (the paper's Section 5.1 hard case). The group
+//! ids — and therefore the administrator's labels — survive throughout.
+//!
+//! Run with: `cargo run --release --example role_drift`
+
+use role_classification::flow::HostAddr;
+use role_classification::roleclass::{
+    apply_correlation, classify, correlate, diff_groupings, Params,
+};
+use role_classification::synthnet::{churn, scenarios};
+
+fn main() {
+    let params = Params::default();
+    let mut net = scenarios::mazu(42);
+
+    // Day 0 baseline.
+    let mut prev_cs = net.connsets.clone();
+    let mut prev_grouping = classify(&prev_cs, &params).grouping;
+    println!(
+        "day 0: {} hosts, {} groups",
+        prev_cs.host_count(),
+        prev_grouping.group_count()
+    );
+
+    let days: Vec<(&str, Box<dyn Fn(&mut synthnet::SyntheticNetwork)>)> = vec![
+        (
+            "day 1: one eng host leaves, one new lab machine arrives",
+            Box::new(|net: &mut synthnet::SyntheticNetwork| {
+                let gone = net.role_hosts("eng")[3];
+                churn::remove_host(net, gone);
+                let template = net.role_hosts("lab")[0];
+                churn::add_host_like(net, template, HostAddr::from_octets(10, 0, 2, 1));
+            }),
+        ),
+        (
+            "day 2: web server replaced with new hardware",
+            Box::new(|net: &mut synthnet::SyntheticNetwork| {
+                let old = net.host("web");
+                churn::replace_host(net, old, HostAddr::from_octets(10, 0, 2, 2));
+            }),
+        ),
+        (
+            "day 3: exchange server split into two load-sharing replicas",
+            Box::new(|net: &mut synthnet::SyntheticNetwork| {
+                let old = net.host("ms_exchange");
+                churn::split_server(
+                    net,
+                    old,
+                    HostAddr::from_octets(10, 0, 2, 3),
+                    HostAddr::from_octets(10, 0, 2, 4),
+                );
+            }),
+        ),
+    ];
+
+    for (label, mutate) in days {
+        println!("\n{label}");
+        mutate(&mut net);
+        let curr_cs = net.connsets.clone();
+        let classified = classify(&curr_cs, &params);
+        let corr = correlate(&prev_cs, &prev_grouping, &curr_cs, &classified.grouping, &params);
+        let renamed = apply_correlation(&corr, &classified.grouping);
+        println!(
+            "  {} groups ({} correlated to yesterday, {} new, {} vanished)",
+            renamed.group_count(),
+            corr.id_map.len(),
+            corr.new_groups.len(),
+            corr.vanished_groups.len()
+        );
+        let d = diff_groupings(&prev_grouping, &renamed);
+        print!("{}", indent(&d.render(), "  "));
+        prev_cs = curr_cs;
+        prev_grouping = renamed;
+    }
+}
+
+fn indent(text: &str, prefix: &str) -> String {
+    text.lines()
+        .map(|l| format!("{prefix}{l}\n"))
+        .collect()
+}

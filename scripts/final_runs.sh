@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Final artifact generation: refresh every experiment output, then the
+# canonical test and bench logs at the repo root.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+{
+    for exp in fig2 fig4 table1 fig5 ablation baselines seeds transients fig6 fig7; do
+        cargo run --release -q -p bench --bin "exp_$exp" 2>/dev/null
+        echo
+    done
+    cargo run --release -q -p bench --bin exp_autok 2>/dev/null
+    echo
+    cargo run --release -q -p bench --bin exp_table2 -- --quick 2>/dev/null
+} | tee experiment_outputs.txt
+
+cargo test --workspace 2>&1 | tee test_output.txt | tail -5
+cargo bench --workspace 2>&1 | tee bench_output.txt | tail -5
+echo "FINAL RUNS COMPLETE"

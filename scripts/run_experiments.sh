@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure reproduction (DESIGN.md §4).
+# Usage: scripts/run_experiments.sh [--full]
+#   default: quick mode (Mazu-scale sweeps, no 49k-host row)
+#   --full:  everything, including HugeCompany (tens of minutes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK="--quick"
+if [[ "${1:-}" == "--full" ]]; then
+    QUICK=""
+fi
+
+for exp in fig2 fig4 table1 fig5 ablation baselines seeds transients; do
+    cargo run --release -q -p bench --bin "exp_$exp"
+    echo
+done
+for exp in table2 fig6 fig7 autok; do
+    # shellcheck disable=SC2086
+    cargo run --release -q -p bench --bin "exp_$exp" -- $QUICK
+    echo
+done

@@ -1,0 +1,19 @@
+//! `rcctl`: role classification of hosts from connection patterns.
+//!
+//! See `rcctl help` or [`role_classification::cli`] for the interface.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match role_classification::cli::run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}", e.message);
+            ExitCode::from(e.code as u8)
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The `rcctl` command-line interface.
+//!
+//! A thin, dependency-free front end over the workspace: classify a flow
+//! trace into role groups, correlate a new trace against a saved
+//! snapshot, diff snapshots, and inspect traces. All logic lives here
+//! (the binary is a two-liner) so integration tests can drive the exact
+//! code paths users run.
+//!
+//! ```text
+//! rcctl info      --input flows.txt
+//! rcctl classify  --input flows.txt --snapshot today.json --dot groups.dot
+//! rcctl correlate --prev today.json --input tomorrow.txt --snapshot tomorrow.json
+//! rcctl diff      --prev today.json --curr tomorrow.json
+//! ```
+
+use crate::flow::{netflow, pcap, rmon, textlog, ConnectionSets, ConnsetBuilder, FlowRecord};
+use crate::roleclass::{
+    apply_correlation, auto_k_hi_otsu, classify, correlate, diff_groupings, Grouping, Params,
+};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A saved classification snapshot: what `correlate` needs from the past.
+#[derive(Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The connection sets the grouping was computed from.
+    pub connsets: ConnectionSets,
+    /// The grouping (ids already correlated if this snapshot descends
+    /// from an earlier one).
+    pub grouping: Grouping,
+}
+
+/// CLI error: a message for stderr plus the intended exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+rcctl — role classification of hosts from connection patterns
+
+USAGE:
+  rcctl info      --input <FILE> [--format <FMT>]
+  rcctl classify  --input <FILE> [--format <FMT>] [--snapshot <OUT.json>]
+                  [--dot <OUT.dot>] [--s-lo N] [--s-hi N] [--k-hi N]
+                  [--alpha N] [--beta N] [--auto-k-hi] [--min-flows N]
+  rcctl correlate --prev <SNAP.json> --input <FILE> [--format <FMT>]
+                  [--snapshot <OUT.json>] [same tuning flags as classify]
+  rcctl diff      --prev <SNAP.json> --curr <SNAP.json>
+
+FORMATS (default: by file extension, falling back to text):
+  text     whitespace/CSV flow log        (.txt, .log, .csv)
+  netflow  NetFlow v5 binary export       (.nf, .netflow)
+  pcap     libpcap capture                (.pcap, .cap)
+  rmon     RMON2 matrix table dump        (.rmon)
+";
+
+/// Parsed common options.
+struct Options {
+    input: Option<String>,
+    format: Option<String>,
+    snapshot: Option<String>,
+    dot: Option<String>,
+    prev: Option<String>,
+    curr: Option<String>,
+    min_flows: u64,
+    auto_k_hi: bool,
+    params: Params,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut o = Options {
+        input: None,
+        format: None,
+        snapshot: None,
+        dot: None,
+        prev: None,
+        curr: None,
+        min_flows: 1,
+        auto_k_hi: false,
+        params: Params::default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--input" => o.input = Some(value("--input")?),
+            "--format" => o.format = Some(value("--format")?),
+            "--snapshot" => o.snapshot = Some(value("--snapshot")?),
+            "--dot" => o.dot = Some(value("--dot")?),
+            "--prev" => o.prev = Some(value("--prev")?),
+            "--curr" => o.curr = Some(value("--curr")?),
+            "--auto-k-hi" => o.auto_k_hi = true,
+            "--min-flows" => {
+                o.min_flows = value("--min-flows")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--min-flows expects an integer"))?
+            }
+            "--s-lo" => {
+                o.params.s_lo = value("--s-lo")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--s-lo expects a number"))?
+            }
+            "--s-hi" => {
+                o.params.s_hi = value("--s-hi")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--s-hi expects a number"))?
+            }
+            "--k-hi" => {
+                o.params.k_hi = value("--k-hi")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--k-hi expects an integer"))?
+            }
+            "--alpha" => {
+                o.params.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--alpha expects a number"))?
+            }
+            "--beta" => {
+                o.params.beta = value("--beta")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--beta expects a number"))?
+            }
+            other => return Err(CliError::usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    o.params
+        .validate()
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    Ok(o)
+}
+
+/// Infers the input format from an explicit flag or the file extension.
+fn resolve_format(path: &str, explicit: Option<&str>) -> String {
+    if let Some(f) = explicit {
+        return f.to_string();
+    }
+    match Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "nf" | "netflow" => "netflow".into(),
+        "pcap" | "cap" => "pcap".into(),
+        "rmon" => "rmon".into(),
+        _ => "text".into(),
+    }
+}
+
+/// Loads flow records from a file in the given format.
+fn load_records(path: &str, format: &str) -> Result<Vec<FlowRecord>, CliError> {
+    let fail = |e: &dyn std::fmt::Display| CliError::runtime(format!("{path}: {e}"));
+    match format {
+        "text" => {
+            let text = std::fs::read_to_string(path).map_err(|e| fail(&e))?;
+            textlog::parse(&text).map_err(|e| fail(&e))
+        }
+        "rmon" => {
+            let text = std::fs::read_to_string(path).map_err(|e| fail(&e))?;
+            rmon::parse(&text).map_err(|e| fail(&e))
+        }
+        "netflow" => {
+            let bytes = std::fs::read(path).map_err(|e| fail(&e))?;
+            netflow::parse_stream(&bytes).map_err(|e| fail(&e))
+        }
+        "pcap" => {
+            let bytes = std::fs::read(path).map_err(|e| fail(&e))?;
+            Ok(pcap::parse_file(&bytes).map_err(|e| fail(&e))?.records)
+        }
+        other => Err(CliError::usage(format!(
+            "unknown format {other:?} (expected text|netflow|pcap|rmon)"
+        ))),
+    }
+}
+
+fn load_connsets(o: &Options) -> Result<ConnectionSets, CliError> {
+    let input = o
+        .input
+        .as_deref()
+        .ok_or_else(|| CliError::usage("--input is required"))?;
+    let format = resolve_format(input, o.format.as_deref());
+    let records = load_records(input, &format)?;
+    let mut builder = ConnsetBuilder::new().min_flows(o.min_flows);
+    builder.add_records(records.iter());
+    Ok(builder.build())
+}
+
+fn load_snapshot(path: &str) -> Result<Snapshot, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn save_snapshot(path: &str, snap: &Snapshot) -> Result<(), CliError> {
+    let json = serde_json::to_string_pretty(snap)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    std::fs::write(path, json).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn render_grouping(out: &mut String, grouping: &Grouping) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{} hosts in {} groups:",
+        grouping.host_count(),
+        grouping.group_count()
+    );
+    for g in grouping.largest(usize::MAX) {
+        let preview: Vec<String> = g.members.iter().take(5).map(|m| m.to_string()).collect();
+        let ellipsis = if g.len() > 5 { ", ..." } else { "" };
+        let _ = writeln!(
+            out,
+            "  group {:>4}  K={:<4} {:>5} host(s): {}{}",
+            g.id.to_string(),
+            g.k,
+            g.len(),
+            preview.join(", "),
+            ellipsis
+        );
+    }
+}
+
+/// Runs the CLI. Returns the text to print on stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "info" => {
+            let o = parse_options(rest)?;
+            let cs = load_connsets(&o)?;
+            let mut out = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "hosts:       {}", cs.host_count());
+            let _ = writeln!(out, "connections: {}", cs.connection_count());
+            let _ = writeln!(out, "max degree:  {}", cs.max_degree());
+            let _ = writeln!(out, "suggested K^hi (otsu): {}", auto_k_hi_otsu(&cs));
+            Ok(out)
+        }
+        "classify" => {
+            let mut o = parse_options(rest)?;
+            let cs = load_connsets(&o)?;
+            if o.auto_k_hi {
+                o.params.k_hi = auto_k_hi_otsu(&cs).max(1);
+            }
+            let result = classify(&cs, &o.params);
+            let mut out = String::new();
+            render_grouping(&mut out, &result.grouping);
+            if let Some(dot) = &o.dot {
+                std::fs::write(dot, result.to_dot("role-groups"))
+                    .map_err(|e| CliError::runtime(format!("{dot}: {e}")))?;
+                out.push_str(&format!("wrote {dot}\n"));
+            }
+            if let Some(path) = &o.snapshot {
+                save_snapshot(
+                    path,
+                    &Snapshot {
+                        connsets: cs,
+                        grouping: result.grouping,
+                    },
+                )?;
+                out.push_str(&format!("wrote {path}\n"));
+            }
+            Ok(out)
+        }
+        "correlate" => {
+            let mut o = parse_options(rest)?;
+            let prev_path = o
+                .prev
+                .as_deref()
+                .ok_or_else(|| CliError::usage("--prev is required"))?
+                .to_string();
+            let prev = load_snapshot(&prev_path)?;
+            let cs = load_connsets(&o)?;
+            if o.auto_k_hi {
+                o.params.k_hi = auto_k_hi_otsu(&cs).max(1);
+            }
+            let fresh = classify(&cs, &o.params);
+            let corr = correlate(&prev.connsets, &prev.grouping, &cs, &fresh.grouping, &o.params);
+            let renamed = apply_correlation(&corr, &fresh.grouping);
+            let mut out = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "correlated {} of {} groups ({} new, {} vanished)",
+                corr.id_map.len(),
+                renamed.group_count(),
+                corr.new_groups.len(),
+                corr.vanished_groups.len()
+            );
+            render_grouping(&mut out, &renamed);
+            out.push_str(&diff_groupings(&prev.grouping, &renamed).render());
+            if let Some(path) = &o.snapshot {
+                save_snapshot(
+                    path,
+                    &Snapshot {
+                        connsets: cs,
+                        grouping: renamed,
+                    },
+                )?;
+                out.push_str(&format!("wrote {path}\n"));
+            }
+            Ok(out)
+        }
+        "diff" => {
+            let o = parse_options(rest)?;
+            let prev = load_snapshot(
+                o.prev
+                    .as_deref()
+                    .ok_or_else(|| CliError::usage("--prev is required"))?,
+            )?;
+            let curr = load_snapshot(
+                o.curr
+                    .as_deref()
+                    .ok_or_else(|| CliError::usage("--curr is required"))?,
+            )?;
+            Ok(diff_groupings(&prev.grouping, &curr.grouping).render())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("rcctl"));
+        assert!(out.contains("classify"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn missing_input_is_usage_error() {
+        let err = run(&args(&["classify"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--input"));
+    }
+
+    #[test]
+    fn bad_flag_values_are_usage_errors() {
+        let err = run(&args(&["classify", "--s-lo", "abc"])).unwrap_err();
+        assert!(err.message.contains("--s-lo"));
+        let err = run(&args(&["classify", "--s-lo"])).unwrap_err();
+        assert!(err.message.contains("requires a value"));
+        let err = run(&args(&["classify", "--wat"])).unwrap_err();
+        assert!(err.message.contains("unknown flag"));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        // s_lo above s_hi violates the paper's constraint.
+        let err = run(&args(&["classify", "--s-lo", "90", "--s-hi", "80"])).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn format_resolution() {
+        assert_eq!(resolve_format("a.pcap", None), "pcap");
+        assert_eq!(resolve_format("a.cap", None), "pcap");
+        assert_eq!(resolve_format("a.nf", None), "netflow");
+        assert_eq!(resolve_format("a.rmon", None), "rmon");
+        assert_eq!(resolve_format("a.txt", None), "text");
+        assert_eq!(resolve_format("noext", None), "text");
+        assert_eq!(resolve_format("a.pcap", Some("text")), "text");
+    }
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the role-classification workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! downstream users can depend on a single package. See the individual
+//! crates for detailed documentation:
+//!
+//! * [`roleclass`] — the grouping and correlation algorithms (the paper's
+//!   contribution).
+//! * [`flow`] — flow records, connection sets, and parsers.
+//! * [`netgraph`] — the graph substrate.
+//! * [`synthnet`] — synthetic enterprise networks with ground truth.
+//! * [`cluster`] — baselines and cluster-validation metrics.
+//! * [`aggregator`] — the probe/aggregator monitoring system.
+
+pub mod cli;
+
+pub use aggregator;
+pub use cluster;
+pub use flow;
+pub use netgraph;
+pub use roleclass;
+pub use synthnet;

@@ -1,0 +1,141 @@
+//! Integration tests for the `rcctl` CLI: classify → snapshot →
+//! correlate → diff, over real files in all four input formats.
+
+use role_classification::cli::{run, Snapshot};
+use role_classification::flow::{netflow, pcap, rmon, textlog};
+use role_classification::synthnet::{scenarios, trace};
+use std::path::PathBuf;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcctl-test-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Fabricates Figure-1 flow files in every supported format.
+fn write_inputs(dir: &PathBuf) -> Vec<(String, &'static str)> {
+    let net = scenarios::figure1(3, 3);
+    let records = trace::expand(&net.connsets, trace::TraceOptions::default(), 5);
+    let mut out = Vec::new();
+
+    let text_path = dir.join("flows.txt");
+    std::fs::write(&text_path, textlog::render(&records)).unwrap();
+    out.push((text_path.to_string_lossy().into_owned(), "text"));
+
+    let nf_path = dir.join("flows.nf");
+    std::fs::write(&nf_path, netflow::write_stream(&records, 0)).unwrap();
+    out.push((nf_path.to_string_lossy().into_owned(), "netflow"));
+
+    let pcap_path = dir.join("flows.pcap");
+    std::fs::write(&pcap_path, pcap::write_file(&records)).unwrap();
+    out.push((pcap_path.to_string_lossy().into_owned(), "pcap"));
+
+    let rmon_path = dir.join("flows.rmon");
+    std::fs::write(&rmon_path, rmon::render(&records)).unwrap();
+    out.push((rmon_path.to_string_lossy().into_owned(), "rmon"));
+
+    out
+}
+
+#[test]
+fn info_reports_population() {
+    let dir = workdir("info");
+    let inputs = write_inputs(&dir);
+    let (path, _) = &inputs[0];
+    let out = run(&args(&["info", "--input", path])).unwrap();
+    assert!(out.contains("hosts:       10"));
+    assert!(out.contains("connections: 18"));
+}
+
+#[test]
+fn classify_agrees_across_all_formats() {
+    let dir = workdir("formats");
+    let mut group_counts = Vec::new();
+    for (path, _format) in write_inputs(&dir) {
+        // Extension-based detection: no --format flag passed.
+        let out = run(&args(&[
+            "classify", "--input", &path, "--s-lo", "90", "--s-hi", "95",
+        ]))
+        .unwrap();
+        let line = out.lines().next().unwrap().to_string();
+        group_counts.push(line);
+    }
+    // All four parsers see the same structure.
+    assert!(group_counts.iter().all(|l| l == &group_counts[0]));
+    assert!(group_counts[0].contains("10 hosts in 5 groups"));
+}
+
+#[test]
+fn classify_correlate_diff_workflow() {
+    let dir = workdir("workflow");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let snap1 = dir.join("day1.json").to_string_lossy().into_owned();
+    let snap2 = dir.join("day2.json").to_string_lossy().into_owned();
+    let dot = dir.join("groups.dot").to_string_lossy().into_owned();
+
+    // Day 1: classify and snapshot.
+    let out = run(&args(&[
+        "classify", "--input", flows, "--snapshot", &snap1, "--dot", &dot,
+        "--s-lo", "90", "--s-hi", "95",
+    ]))
+    .unwrap();
+    assert!(out.contains("wrote"));
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.starts_with("graph"));
+    let snapshot: Snapshot =
+        serde_json::from_str(&std::fs::read_to_string(&snap1).unwrap()).unwrap();
+    assert_eq!(snapshot.grouping.host_count(), 10);
+
+    // Day 2: identical traffic correlates 1:1 with day 1.
+    let out = run(&args(&[
+        "correlate", "--prev", &snap1, "--input", flows, "--snapshot", &snap2,
+        "--s-lo", "90", "--s-hi", "95",
+    ]))
+    .unwrap();
+    assert!(out.contains("correlated 5 of 5 groups"));
+    assert!(out.contains("(no changes)"));
+
+    // Diff of the two snapshots is empty.
+    let out = run(&args(&["diff", "--prev", &snap1, "--curr", &snap2])).unwrap();
+    assert!(out.contains("no changes"));
+}
+
+#[test]
+fn auto_k_hi_flag_works() {
+    let dir = workdir("autok");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let out = run(&args(&["classify", "--input", flows, "--auto-k-hi"])).unwrap();
+    assert!(out.contains("groups"));
+}
+
+#[test]
+fn missing_file_is_runtime_error() {
+    let err = run(&args(&["classify", "--input", "/nonexistent/flows.txt"])).unwrap_err();
+    assert_eq!(err.code, 1);
+    assert!(err.message.contains("/nonexistent/flows.txt"));
+}
+
+#[test]
+fn malformed_snapshot_is_runtime_error() {
+    let dir = workdir("badsnap");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{not json").unwrap();
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let err = run(&args(&[
+        "correlate",
+        "--prev",
+        &bad.to_string_lossy(),
+        "--input",
+        flows,
+    ]))
+    .unwrap_err();
+    assert_eq!(err.code, 1);
+}
