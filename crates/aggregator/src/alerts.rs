@@ -7,8 +7,9 @@
 //! talked to. [`NewNeighborDetector`] implements that check against a
 //! baseline grouping and its connection sets.
 
+use crate::pipeline::RunRecord;
 use crate::policy::PolicyVerdict;
-use flow::{ConnectionSets, FlowRecord, HostAddr};
+use flow::{ConnectionSets, FlowRecord, HostAddr, TimeWindow};
 use roleclass::{GroupId, Grouping};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -58,6 +59,17 @@ pub enum AlertKind {
         /// The detection threshold.
         threshold: usize,
     },
+    /// A classification window ran on incomplete input (probe failures
+    /// or quarantines). Group changes observed in such a window are
+    /// likely artifacts of the missing data, not real role churn.
+    DegradedWindow {
+        /// The affected window.
+        window: TimeWindow,
+        /// Probes that delivered data.
+        probes_delivered: usize,
+        /// Probes attached when the window ran.
+        probes_total: usize,
+    },
 }
 
 /// A full alert.
@@ -67,6 +79,26 @@ pub struct Alert {
     pub severity: Severity,
     /// The specifics.
     pub kind: AlertKind,
+}
+
+/// Surfaces a degraded window as a single informational alert, so the
+/// operator learns "this grouping ran on partial input" *instead of*
+/// being flooded with phantom role-churn warnings. Returns `None` for a
+/// healthy run. Callers evaluating group changes should check
+/// [`crate::WindowHealth::degraded`] first and downgrade or suppress
+/// churn-based alerting for such windows.
+pub fn degraded_window_alert(run: &RunRecord) -> Option<Alert> {
+    if !run.health.degraded() {
+        return None;
+    }
+    Some(Alert {
+        severity: Severity::Info,
+        kind: AlertKind::DegradedWindow {
+            window: run.window,
+            probes_delivered: run.health.probes_delivered(),
+            probes_total: run.health.probes_total,
+        },
+    })
 }
 
 /// Detects flows that step outside the baseline role structure.
@@ -258,8 +290,7 @@ mod tests {
     fn fanout_spike_detected() {
         let mut d = detector();
         d.fanout_threshold = 5;
-        let flows: Vec<FlowRecord> =
-            (100..106).map(|x| FlowRecord::pair(h(11), h(x))).collect();
+        let flows: Vec<FlowRecord> = (100..106).map(|x| FlowRecord::pair(h(11), h(x))).collect();
         let alerts = d.check_window(&flows);
         let spike = alerts
             .iter()
@@ -273,6 +304,30 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn degraded_window_produces_single_info_alert() {
+        let mut run = RunRecord {
+            window: flow::TimeWindow::new(0, 1000),
+            connsets: ConnectionSets::new(),
+            grouping: Grouping::new(vec![]),
+            correlation: None,
+            health: Default::default(),
+        };
+        run.health.probes_total = 3;
+        assert!(degraded_window_alert(&run).is_none());
+        run.health.probes_skipped = 1;
+        let a = degraded_window_alert(&run).expect("degraded run alerts");
+        assert_eq!(a.severity, Severity::Info);
+        assert!(matches!(
+            a.kind,
+            AlertKind::DegradedWindow {
+                probes_delivered: 2,
+                probes_total: 3,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Crash-safe persistence for the run history.
+//!
+//! The run history is the anchor for group-id correlation: lose it and
+//! every group gets renumbered on restart, which invalidates labels,
+//! policies, and operator intuition. This module persists it as a
+//! *checkpoint file* with:
+//!
+//! * a **versioned header** (`roleclass-checkpoint v1`) so format drift
+//!   is detected instead of misparsed;
+//! * **atomic writes**: the new checkpoint is written to a temp file and
+//!   renamed over the old one, so a crash mid-write can never leave a
+//!   half-written primary;
+//! * a **backup generation**: the previous checkpoint survives as
+//!   `<path>.bak`, so even external corruption of the primary (disk
+//!   error, truncation) recovers to the last good state;
+//! * **corruption detection**: a truncated or garbage file is reported
+//!   as [`CheckpointError::Corrupt`], never a panic.
+
+use crate::pipeline::RunRecord;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// First header token; anything else is not a checkpoint file.
+const MAGIC: &str = "roleclass-checkpoint";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Why a checkpoint operation failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The file exists but its contents are not a valid checkpoint
+    /// (missing/garbled header, truncated or malformed payload).
+    Corrupt(String),
+    /// The header is valid but the version is one this build can't read.
+    BadVersion(u32),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CheckpointError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Where a recovered history came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The primary checkpoint was intact.
+    Primary,
+    /// The primary was missing or corrupt; the backup was used.
+    Backup,
+    /// Neither file was usable; starting with an empty history.
+    Fresh,
+}
+
+/// Result of [`Checkpointer::load_or_recover`].
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered run history (empty for [`RecoverySource::Fresh`]).
+    pub runs: Vec<RunRecord>,
+    /// Which generation supplied it.
+    pub source: RecoverySource,
+    /// Human-readable notes about anything that went wrong on the way
+    /// (e.g. why the primary was rejected). Empty on a clean load.
+    pub notes: Vec<String>,
+}
+
+/// Writes and reads checkpoint files for a run history.
+#[derive(Clone, Debug)]
+pub struct Checkpointer {
+    path: PathBuf,
+}
+
+impl Checkpointer {
+    /// A checkpointer rooted at `path` (e.g. `state/history.ckpt`).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Checkpointer { path: path.into() }
+    }
+
+    /// The primary checkpoint path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The backup generation's path (`<path>.bak`).
+    pub fn backup_path(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".bak");
+        PathBuf::from(os)
+    }
+
+    fn temp_path(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    }
+
+    /// Atomically persists `runs`:
+    ///
+    /// 1. encode header + payload into `<path>.tmp` and flush it,
+    /// 2. demote the current primary (if any) to `<path>.bak`,
+    /// 3. rename the temp file onto the primary path.
+    ///
+    /// A crash at any point leaves at least one intact generation on
+    /// disk.
+    pub fn save(&self, runs: &[RunRecord]) -> Result<(), CheckpointError> {
+        let payload = serde_json::to_string(&runs.to_vec())
+            .map_err(|e| CheckpointError::Corrupt(format!("encode failed: {e}")))?;
+        let tmp = self.temp_path();
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        {
+            let mut f = fs::File::create(&tmp)?;
+            writeln!(f, "{MAGIC} v{VERSION}")?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all()?;
+        }
+        if self.path.exists() {
+            // Best-effort demotion: the primary becomes the backup.
+            // Losing this rename is tolerable (the temp file is intact);
+            // the subsequent rename is the commit point.
+            let _ = fs::rename(&self.path, self.backup_path());
+        }
+        fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+
+    /// Strictly loads the primary checkpoint. Errors on a missing file,
+    /// a bad header, an unsupported version, or a malformed payload.
+    pub fn load(&self) -> Result<Vec<RunRecord>, CheckpointError> {
+        Self::load_file(&self.path)
+    }
+
+    fn load_file(path: &Path) -> Result<Vec<RunRecord>, CheckpointError> {
+        let text = fs::read_to_string(path)?;
+        let Some((header, payload)) = text.split_once('\n') else {
+            return Err(CheckpointError::Corrupt("missing header line".to_string()));
+        };
+        let Some(version_tag) = header.strip_prefix(MAGIC) else {
+            return Err(CheckpointError::Corrupt(format!(
+                "bad magic in header {header:?}"
+            )));
+        };
+        let version: u32 = version_tag
+            .trim()
+            .strip_prefix('v')
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| {
+                CheckpointError::Corrupt(format!("unparsable version in header {header:?}"))
+            })?;
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        serde_json::from_str(payload)
+            .map_err(|e| CheckpointError::Corrupt(format!("payload rejected: {e}")))
+    }
+
+    /// Loads the best available generation, never failing: primary if
+    /// intact, else backup, else an empty history. Corruption is
+    /// reported in [`Recovery::notes`] rather than as an error, so a
+    /// restarting aggregator always comes up.
+    pub fn load_or_recover(&self) -> Recovery {
+        let mut notes = Vec::new();
+        match Self::load_file(&self.path) {
+            Ok(runs) => {
+                return Recovery {
+                    runs,
+                    source: RecoverySource::Primary,
+                    notes,
+                }
+            }
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                notes.push("primary checkpoint missing".to_string());
+            }
+            Err(e) => notes.push(format!("primary checkpoint unusable: {e}")),
+        }
+        match Self::load_file(&self.backup_path()) {
+            Ok(runs) => Recovery {
+                runs,
+                source: RecoverySource::Backup,
+                notes,
+            },
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                notes.push("backup checkpoint missing".to_string());
+                Recovery {
+                    runs: Vec::new(),
+                    source: RecoverySource::Fresh,
+                    notes,
+                }
+            }
+            Err(e) => {
+                notes.push(format!("backup checkpoint unusable: {e}"));
+                Recovery {
+                    runs: Vec::new(),
+                    source: RecoverySource::Fresh,
+                    notes,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Aggregator, AggregatorConfig, WindowHealth};
+    use crate::probe::ReplayProbe;
+    use flow::{FlowRecord, HostAddr};
+    use roleclass::Params;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("roleclass-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_runs() -> Vec<RunRecord> {
+        let mut agg = Aggregator::new(AggregatorConfig {
+            window_ms: 1000,
+            origin_ms: 0,
+            params: Params::default(),
+            min_flows: 1,
+            ..AggregatorConfig::default()
+        });
+        let mut trace = Vec::new();
+        for d in 0..2u64 {
+            for n in 2..5u32 {
+                let mut f = FlowRecord::pair(HostAddr(1), HostAddr(n));
+                f.start_ms = d * 1000;
+                trace.push(f);
+            }
+        }
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        agg.drain();
+        agg.history().read().clone()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("round");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        let runs = sample_runs();
+        ck.save(&runs).unwrap();
+        let back = ck.load().unwrap();
+        assert_eq!(back.len(), runs.len());
+        assert_eq!(back[0].window, runs[0].window);
+        assert_eq!(
+            back[1].grouping.group_of(HostAddr(1)),
+            runs[1].grouping.group_of(HostAddr(1))
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_save_keeps_backup_generation() {
+        let dir = temp_dir("backup");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        let runs = sample_runs();
+        ck.save(&runs[..1]).unwrap();
+        ck.save(&runs).unwrap();
+        assert!(ck.backup_path().exists());
+        let backup = Checkpointer::load_file(&ck.backup_path()).unwrap();
+        assert_eq!(backup.len(), 1);
+        assert_eq!(ck.load().unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_primary_recovers_from_backup() {
+        let dir = temp_dir("trunc");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        let runs = sample_runs();
+        ck.save(&runs[..1]).unwrap();
+        ck.save(&runs).unwrap();
+        // Simulate a crash/disk fault: chop the primary mid-payload.
+        let text = fs::read_to_string(ck.path()).unwrap();
+        fs::write(ck.path(), &text[..text.len() / 2]).unwrap();
+        assert!(matches!(ck.load(), Err(CheckpointError::Corrupt(_))));
+        let rec = ck.load_or_recover();
+        assert_eq!(rec.source, RecoverySource::Backup);
+        assert_eq!(rec.runs.len(), 1);
+        assert!(!rec.notes.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_and_missing_files_never_panic() {
+        let dir = temp_dir("garbage");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        // Missing: fresh start.
+        let rec = ck.load_or_recover();
+        assert_eq!(rec.source, RecoverySource::Fresh);
+        assert!(rec.runs.is_empty());
+        // Garbage bytes in both generations: still a fresh start.
+        fs::write(ck.path(), b"\x00\xffnot a checkpoint").unwrap();
+        fs::write(ck.backup_path(), b"roleclass-checkpoint v1\n{oops").unwrap();
+        let rec = ck.load_or_recover();
+        assert_eq!(rec.source, RecoverySource::Fresh);
+        assert_eq!(rec.notes.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_version_is_rejected_not_misparsed() {
+        let dir = temp_dir("version");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        fs::write(ck.path(), "roleclass-checkpoint v99\n[]").unwrap();
+        assert!(matches!(ck.load(), Err(CheckpointError::BadVersion(99))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_field_round_trips_through_checkpoint() {
+        let dir = temp_dir("health");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        let mut runs = sample_runs();
+        runs[0].health = WindowHealth {
+            probes_total: 3,
+            probes_failed: 1,
+            probes_skipped: 1,
+            records_accepted: 42,
+            records_dropped: 7,
+            retries: 2,
+            errors: vec!["transient probe failure: timeout".to_string()],
+        };
+        ck.save(&runs).unwrap();
+        let back = ck.load().unwrap();
+        assert!(back[0].health.degraded());
+        assert_eq!(back[0].health.records_dropped, 7);
+        assert_eq!(back[0].health.errors.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

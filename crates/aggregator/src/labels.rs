@@ -65,8 +65,8 @@ impl LabelStore {
     }
 
     /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("label store serializes")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parses from JSON.
@@ -76,7 +76,8 @@ impl LabelStore {
 
     /// Saves to a file.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
     }
 
     /// Loads from a file.
@@ -106,7 +107,7 @@ mod tests {
         let mut s = LabelStore::new();
         s.set(GroupId(1), "eng");
         s.set(GroupId(2), "sales");
-        let back = LabelStore::from_json(&s.to_json()).unwrap();
+        let back = LabelStore::from_json(&s.to_json().unwrap()).unwrap();
         assert_eq!(s, back);
     }
 

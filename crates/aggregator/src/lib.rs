@@ -19,18 +19,26 @@
 //!   ("if a host in the engineering group were to suddenly start opening
 //!   connections to the SalesDatabase server, it might be a cause for
 //!   alarm").
+//! * [`supervisor`] — retry/backoff/quarantine supervision so one
+//!   flapping probe cannot stall or crash a classification cycle.
+//! * [`checkpoint`] — crash-safe, versioned persistence of the run
+//!   history, so correlation (and thus group ids) survives restarts.
 
 pub mod alerts;
+pub mod checkpoint;
 pub mod labels;
 pub mod pipeline;
 pub mod policy;
+pub mod probe;
 pub mod profile;
 pub mod report;
-pub mod probe;
+pub mod supervisor;
 
-pub use alerts::{Alert, AlertKind, NewNeighborDetector, Severity};
+pub use alerts::{degraded_window_alert, Alert, AlertKind, NewNeighborDetector, Severity};
+pub use checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
 pub use labels::LabelStore;
-pub use pipeline::{Aggregator, AggregatorConfig, RunRecord};
+pub use pipeline::{Aggregator, AggregatorConfig, RunRecord, WindowHealth};
 pub use policy::{Policy, PolicyEngine, PolicyVerdict, Selector};
+pub use probe::{Probe, ProbeError, ReplayProbe};
 pub use profile::ProfileBuilder;
-pub use probe::{Probe, ReplayProbe};
+pub use supervisor::{PollOutcome, ProbeHealth, ProbeStats, ProbeSupervisor, SupervisorConfig};

@@ -5,16 +5,55 @@
 //! (including IP address/port tuples) to the aggregator". Here a probe
 //! is anything that can deliver batches of [`FlowRecord`]s in time
 //! order; [`ReplayProbe`] adapts a recorded (or synthesized) trace.
+//!
+//! Real capture devices fail: links flap, export sockets reset, devices
+//! reboot mid-window. [`Probe::poll`] is therefore fallible, and the
+//! error type distinguishes transient conditions (worth retrying) from
+//! fatal ones (the probe is gone). Retry/backoff and health tracking
+//! live in [`crate::supervisor`], not in probe implementations.
 
 use flow::FlowRecord;
+use std::fmt;
+
+/// Why a poll failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProbeError {
+    /// A transient condition — timeout, connection reset, device busy.
+    /// Retrying the same window may succeed.
+    Transient(String),
+    /// The probe is permanently unusable — device decommissioned,
+    /// unrecoverable protocol error. Retrying cannot help.
+    Fatal(String),
+}
+
+impl ProbeError {
+    /// Returns `true` for errors where a retry may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProbeError::Transient(_))
+    }
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::Transient(msg) => write!(f, "transient probe failure: {msg}"),
+            ProbeError::Fatal(msg) => write!(f, "fatal probe failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
 
 /// A source of flow observations.
 pub trait Probe {
     /// Stable name, for attribution in logs and alerts.
     fn name(&self) -> &str;
 
-    /// Delivers all records with `start_ms` in `[from_ms, to_ms)`.
-    fn poll(&mut self, from_ms: u64, to_ms: u64) -> Vec<FlowRecord>;
+    /// Delivers all records with `start_ms` in `[from_ms, to_ms)`, or an
+    /// error if the window could not be (fully) captured. Implementations
+    /// must not return partial data alongside an error — a failed poll
+    /// delivers nothing, so the supervisor can retry the whole window.
+    fn poll(&mut self, from_ms: u64, to_ms: u64) -> Result<Vec<FlowRecord>, ProbeError>;
 
     /// Timestamp one past the last record this probe can ever deliver,
     /// or `None` if unknown/unbounded.
@@ -55,10 +94,10 @@ impl Probe for ReplayProbe {
         &self.name
     }
 
-    fn poll(&mut self, from_ms: u64, to_ms: u64) -> Vec<FlowRecord> {
+    fn poll(&mut self, from_ms: u64, to_ms: u64) -> Result<Vec<FlowRecord>, ProbeError> {
         let lo = self.records.partition_point(|r| r.start_ms < from_ms);
         let hi = self.records.partition_point(|r| r.start_ms < to_ms);
-        self.records[lo..hi].to_vec()
+        Ok(self.records[lo..hi].to_vec())
     }
 
     fn horizon_ms(&self) -> Option<u64> {
@@ -81,7 +120,7 @@ mod tests {
     fn poll_returns_window_slice() {
         let mut p = ReplayProbe::new("p0", vec![rec(300), rec(100), rec(200)]);
         assert_eq!(p.len(), 3);
-        let w = p.poll(100, 250);
+        let w = p.poll(100, 250).unwrap();
         assert_eq!(w.len(), 2);
         assert_eq!(w[0].start_ms, 100);
         assert_eq!(w[1].start_ms, 200);
@@ -90,8 +129,8 @@ mod tests {
     #[test]
     fn poll_is_half_open() {
         let mut p = ReplayProbe::new("p0", vec![rec(100), rec(200)]);
-        assert_eq!(p.poll(100, 200).len(), 1);
-        assert_eq!(p.poll(0, 100).len(), 0);
+        assert_eq!(p.poll(100, 200).unwrap().len(), 1);
+        assert_eq!(p.poll(0, 100).unwrap().len(), 0);
     }
 
     #[test]
@@ -106,7 +145,16 @@ mod tests {
     #[test]
     fn repeated_polls_are_idempotent() {
         let mut p = ReplayProbe::new("p0", vec![rec(100)]);
-        assert_eq!(p.poll(0, 1000).len(), 1);
-        assert_eq!(p.poll(0, 1000).len(), 1);
+        assert_eq!(p.poll(0, 1000).unwrap().len(), 1);
+        assert_eq!(p.poll(0, 1000).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn error_classification() {
+        assert!(ProbeError::Transient("timeout".into()).is_transient());
+        assert!(!ProbeError::Fatal("gone".into()).is_transient());
+        let msg = ProbeError::Transient("socket reset".into()).to_string();
+        assert!(msg.contains("transient"));
+        assert!(msg.contains("socket reset"));
     }
 }

@@ -49,6 +49,20 @@ pub fn render_run(run: &RunRecord, labels: &LabelStore) -> String {
             corr.removed_hosts.len()
         );
     }
+    if run.health.degraded() {
+        let _ = writeln!(
+            out,
+            "NOTE: grouping computed from degraded input — {} of {} probe(s) delivered \
+             ({} failed, {} quarantined); treat group changes with suspicion",
+            run.health.probes_delivered(),
+            run.health.probes_total,
+            run.health.probes_failed,
+            run.health.probes_skipped
+        );
+        for e in &run.health.errors {
+            let _ = writeln!(out, "  probe error: {e}");
+        }
+    }
     out
 }
 
@@ -85,6 +99,7 @@ mod tests {
             origin_ms: 0,
             params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
             min_flows: 1,
+            ..AggregatorConfig::default()
         });
         agg.attach(Box::new(ReplayProbe::new("p", flows)));
         agg.run_cycle()
@@ -107,5 +122,21 @@ mod tests {
         let a = run_once();
         let text = render_changes(&a, &a);
         assert!(text.contains("no changes"));
+    }
+
+    #[test]
+    fn degraded_runs_carry_a_notice() {
+        let mut run = run_once();
+        let labels = LabelStore::new();
+        assert!(!render_run(&run, &labels).contains("degraded"));
+        run.health.probes_total = 2;
+        run.health.probes_failed = 1;
+        run.health
+            .errors
+            .push("p1: transient probe failure: link down".to_string());
+        let text = render_run(&run, &labels);
+        assert!(text.contains("grouping computed from degraded input"));
+        assert!(text.contains("1 of 2 probe(s) delivered"));
+        assert!(text.contains("link down"));
     }
 }

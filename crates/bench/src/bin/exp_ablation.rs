@@ -12,7 +12,10 @@ use roleclass::{classify, Params, SimilarityVariant};
 use synthnet::scenarios;
 
 fn main() {
-    banner("abl_alpha_beta", "§6.3 internal constants (α, β) + similarity variant");
+    banner(
+        "abl_alpha_beta",
+        "§6.3 internal constants (α, β) + similarity variant",
+    );
     let net = scenarios::mazu(42);
     let truth = net.truth.partition();
 
@@ -50,8 +53,10 @@ fn main() {
         ("normalized", SimilarityVariant::Normalized),
         ("literal", SimilarityVariant::Literal),
     ] {
-        let mut params = Params::default();
-        params.similarity = variant;
+        let params = Params {
+            similarity: variant,
+            ..Params::default()
+        };
         let c = classify(&net.connsets, &params);
         let r = metrics::rand_statistic(&truth, &c.grouping.as_partition());
         rows.push(vec![

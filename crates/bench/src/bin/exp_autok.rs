@@ -21,9 +21,7 @@ fn main() {
         let truth = net.truth.partition();
         let otsu = auto_k_hi_otsu(&net.connsets);
         let kcore = auto_k_hi_kcore(&net.connsets, 0.5);
-        println!(
-            "{name}: otsu K^hi = {otsu}, k-core-knee K^hi = {kcore}, paper default = 7"
-        );
+        println!("{name}: otsu K^hi = {otsu}, k-core-knee K^hi = {kcore}, paper default = 7");
 
         let mut rows = Vec::new();
         for (label, k_hi) in [

@@ -9,8 +9,8 @@
 
 use bench::{banner, render_table, timed};
 use cluster::{
-    hac::Linkage, hac_cluster, lpa_cluster, metrics, similarity_components, HacConfig,
-    LpaConfig, SimilarityComponentsConfig,
+    hac::Linkage, hac_cluster, lpa_cluster, metrics, similarity_components, HacConfig, LpaConfig,
+    SimilarityComponentsConfig,
 };
 use roleclass::{classify, Params};
 use synthnet::scenarios;
@@ -34,7 +34,11 @@ fn main() {
     };
 
     let (c, secs) = timed(|| classify(&net.connsets, &Params::default()));
-    score("role-classification (paper)", c.grouping.as_partition(), secs);
+    score(
+        "role-classification (paper)",
+        c.grouping.as_partition(),
+        secs,
+    );
 
     for (name, linkage) in [
         ("hac/single", Linkage::Single),

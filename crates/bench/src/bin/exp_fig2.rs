@@ -26,13 +26,7 @@ fn main() {
         let members: Vec<String> = ev
             .members
             .iter()
-            .map(|&h| {
-                format!(
-                    "{}({})",
-                    net.truth.role_of(h).unwrap_or("?"),
-                    h
-                )
-            })
+            .map(|&h| format!("{}({})", net.truth.role_of(h).unwrap_or("?"), h))
             .collect();
         rows.push(vec![
             ev.k.to_string(),
@@ -43,20 +37,12 @@ fn main() {
     println!("{}", render_table(&["k", "how", "group members"], &rows));
 
     // The shape checks the paper's walk-through makes.
-    let by_kind = |kind: FormationKind| {
-        formation
-            .trace
-            .iter()
-            .filter(|e| e.kind == kind)
-            .count()
-    };
+    let by_kind = |kind: FormationKind| formation.trace.iter().filter(|e| e.kind == kind).count();
     println!("groups formed: {}", formation.groups.len());
     println!("  via BCC:       {}", by_kind(FormationKind::Bcc));
     println!("  via bootstrap: {}", by_kind(FormationKind::Bootstrap));
     println!("  leftover:      {}", by_kind(FormationKind::Leftover));
     println!();
-    println!(
-        "expected (paper): 5 groups — {{Mail,Web}} at k=6, sales and eng cliques at k=3,"
-    );
+    println!("expected (paper): 5 groups — {{Mail,Web}} at k=6, sales and eng cliques at k=3,");
     println!("                  SalesDB and SourceRevisionControl singletons at k=1");
 }

@@ -15,7 +15,10 @@ use std::collections::BTreeMap;
 use synthnet::scenarios;
 
 fn main() {
-    banner("fig4_mazu", "Figure 4 (Mazu grouping) + §6.1 Rand statistic");
+    banner(
+        "fig4_mazu",
+        "Figure 4 (Mazu grouping) + §6.1 Rand statistic",
+    );
     let net = scenarios::mazu(42);
     let c = classify(&net.connsets, &Params::default());
 
@@ -29,12 +32,11 @@ fn main() {
         let group = c.grouping.group(nb.id).expect("group exists");
         let mut roles: BTreeMap<&str, usize> = BTreeMap::new();
         for &m in &group.members {
-            *roles.entry(net.truth.role_of(m).unwrap_or("?")).or_default() += 1;
+            *roles
+                .entry(net.truth.role_of(m).unwrap_or("?"))
+                .or_default() += 1;
         }
-        let role_list: Vec<String> = roles
-            .iter()
-            .map(|(r, n)| format!("{r} x{n}"))
-            .collect();
+        let role_list: Vec<String> = roles.iter().map(|(r, n)| format!("{r} x{n}")).collect();
         println!(
             "group {} (K={})  {} members: {}",
             nb.id,
@@ -73,7 +75,10 @@ fn main() {
         "{}",
         render_table(&["source", "SS", "SD", "DS", "DD", "Rand R"], &rows)
     );
-    println!("adjusted Rand: {:.4}", metrics::adjusted_rand_index(&truth, &ours));
+    println!(
+        "adjusted Rand: {:.4}",
+        metrics::adjusted_rand_index(&truth, &ours)
+    );
     println!("purity:        {:.4}", metrics::purity(&truth, &ours));
     println!("NMI:           {:.4}", metrics::nmi(&truth, &ours));
 }

@@ -25,7 +25,9 @@ fn main() {
     let unix_mail = original.host("unix_mail");
     let ms_exchange = original.host("ms_exchange");
     churn::swap_hosts(&mut changed, unix_mail, ms_exchange);
-    println!("change 1: swapped addresses of unix_mail ({unix_mail}) and ms_exchange ({ms_exchange})");
+    println!(
+        "change 1: swapped addresses of unix_mail ({unix_mail}) and ms_exchange ({ms_exchange})"
+    );
 
     let old_nt = original.host("nt_server");
     let new_nt = HostAddr::from_octets(10, 0, 1, 18);

@@ -11,11 +11,18 @@ use synthnet::scenarios;
 
 fn sweep(name: &str, net: &synthnet::SyntheticNetwork) -> Vec<(f64, usize)> {
     let mut out = Vec::new();
-    for s_lo in [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 55.0, 60.0, 70.0, 80.0, 90.0, 99.0] {
-        let params = Params::default().with_s_lo(s_lo).with_s_hi(99.5_f64.max(s_lo + 0.4));
+    for s_lo in [
+        0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 55.0, 60.0, 70.0, 80.0, 90.0, 99.0,
+    ] {
+        let params = Params::default()
+            .with_s_lo(s_lo)
+            .with_s_hi(99.5_f64.max(s_lo + 0.4));
         let c = classify(&net.connsets, &params);
         out.push((s_lo, c.grouping.group_count()));
-        eprintln!("[{name}] S^lo = {s_lo:>4}: {} groups", c.grouping.group_count());
+        eprintln!(
+            "[{name}] S^lo = {s_lo:>4}: {} groups",
+            c.grouping.group_count()
+        );
     }
     out
 }
@@ -40,11 +47,7 @@ fn main() {
             .as_ref()
             .map(|s| s[i].1.to_string())
             .unwrap_or_else(|| "-".to_string());
-        rows.push(vec![
-            format!("{s_lo}"),
-            mazu_groups.to_string(),
-            big,
-        ]);
+        rows.push(vec![format!("{s_lo}"), mazu_groups.to_string(), big]);
     }
     println!(
         "{}",

@@ -17,7 +17,10 @@ fn sweep(name: &str, net: &synthnet::SyntheticNetwork) -> Vec<(u32, usize)> {
         let params = Params::default().with_k_hi(k_hi);
         let c = classify(&net.connsets, &params);
         out.push((k_hi, c.grouping.group_count()));
-        eprintln!("[{name}] K^hi = {k_hi:>2}: {} groups", c.grouping.group_count());
+        eprintln!(
+            "[{name}] K^hi = {k_hi:>2}: {} groups",
+            c.grouping.group_count()
+        );
     }
     out
 }

@@ -19,7 +19,8 @@ fn main() {
     let otsu = auto_k_hi_otsu(&net.connsets);
     println!("otsu K^hi = {otsu} (default 7)");
     for (label, k_hi) in [("default(7)", 7u32), ("auto-otsu", otsu.max(1))] {
-        let (c, secs) = bench::timed(|| classify(&net.connsets, &Params::default().with_k_hi(k_hi)));
+        let (c, secs) =
+            bench::timed(|| classify(&net.connsets, &Params::default().with_k_hi(k_hi)));
         let mut by_size: BTreeMap<usize, usize> = BTreeMap::new();
         for g in c.grouping.groups() {
             *by_size.entry(g.len()).or_default() += 1;
@@ -28,7 +29,11 @@ fn main() {
         println!(
             "{label}: {} groups in {secs:.0}s, Rand {rand:.4}, sizes<=3: {}",
             c.grouping.group_count(),
-            by_size.iter().filter(|&(&s, _)| s <= 3).map(|(_, &n)| n).sum::<usize>()
+            by_size
+                .iter()
+                .filter(|&(&s, _)| s <= 3)
+                .map(|(_, &n)| n)
+                .sum::<usize>()
         );
     }
 }

@@ -20,8 +20,7 @@ fn main() {
         let net = scenarios::mazu(seed);
         let c = classify(&net.connsets, &Params::default());
         let r = metrics::rand_statistic(&net.truth.partition(), &c.grouping.as_partition());
-        let ari =
-            metrics::adjusted_rand_index(&net.truth.partition(), &c.grouping.as_partition());
+        let ari = metrics::adjusted_rand_index(&net.truth.partition(), &c.grouping.as_partition());
         rows.push(vec![
             seed.to_string(),
             c.grouping.group_count().to_string(),
@@ -31,7 +30,10 @@ fn main() {
         rands.push(r);
         groups.push(c.grouping.group_count());
     }
-    println!("{}", render_table(&["seed", "groups", "Rand", "ARI"], &rows));
+    println!(
+        "{}",
+        render_table(&["seed", "groups", "Rand", "ARI"], &rows)
+    );
 
     let mean: f64 = rands.iter().sum::<f64>() / rands.len() as f64;
     let min = rands.iter().copied().fold(f64::INFINITY, f64::min);

@@ -31,7 +31,9 @@ fn main() {
     for g in c.grouping.largest(5) {
         let mut roles: BTreeMap<&str, usize> = BTreeMap::new();
         for &m in &g.members {
-            *roles.entry(net.truth.role_of(m).unwrap_or("?")).or_default() += 1;
+            *roles
+                .entry(net.truth.role_of(m).unwrap_or("?"))
+                .or_default() += 1;
         }
         let (dominant, count) = roles
             .iter()

@@ -47,7 +47,10 @@ fn rand_of(cs: &ConnectionSets, truth: &[Vec<HostAddr>]) -> (usize, f64) {
 }
 
 fn main() {
-    banner("abl_transients", "§1 property 3 (transient-change robustness)");
+    banner(
+        "abl_transients",
+        "§1 property 3 (transient-change robustness)",
+    );
     let net = scenarios::mazu(42);
     let truth = net.truth.partition();
 

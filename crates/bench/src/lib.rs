@@ -54,7 +54,9 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// (`--quick` argument or `EXP_QUICK=1`).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
-        || std::env::var("EXP_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("EXP_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// Prints the standard experiment banner.

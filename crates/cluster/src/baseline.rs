@@ -9,8 +9,8 @@
 //! unrelated roles together. The benchmarks quantify that failure.
 
 use flow::{ConnectionSets, HostAddr};
-use netgraph::{connected_components, SimpleGraph};
 use netgraph::NodeId;
+use netgraph::{connected_components, SimpleGraph};
 use std::collections::BTreeMap;
 
 /// Configuration for the threshold-components baseline.
@@ -46,10 +46,7 @@ pub fn similarity_components(
             }
         }
     }
-    let g = SimpleGraph::from_edges(
-        hosts.iter().map(|h| NodeId(index[h])),
-        edges,
-    );
+    let g = SimpleGraph::from_edges(hosts.iter().map(|h| NodeId(index[h])), edges);
     connected_components(&g)
         .into_iter()
         .map(|comp| comp.into_iter().map(|n| hosts[n.index()]).collect())
@@ -117,9 +114,10 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        assert!(
-            similarity_components(&ConnectionSets::new(), &SimilarityComponentsConfig::default())
-                .is_empty()
-        );
+        assert!(similarity_components(
+            &ConnectionSets::new(),
+            &SimilarityComponentsConfig::default()
+        )
+        .is_empty());
     }
 }

@@ -22,4 +22,7 @@ pub mod metrics;
 pub use baseline::{similarity_components, SimilarityComponentsConfig};
 pub use hac::{hac_cluster, HacConfig, Linkage};
 pub use lpa::{lpa_cluster, LpaConfig};
-pub use metrics::{adjusted_rand_index, f_measure, jaccard_index, nmi, pair_counts, purity, rand_statistic, PairCounts};
+pub use metrics::{
+    adjusted_rand_index, f_measure, jaccard_index, nmi, pair_counts, purity, rand_statistic,
+    PairCounts,
+};

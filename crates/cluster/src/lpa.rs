@@ -42,11 +42,7 @@ pub fn lpa_cluster(cs: &ConnectionSets, config: &LpaConfig) -> Vec<Vec<HostAddr>
     if n == 0 {
         return Vec::new();
     }
-    let index: BTreeMap<HostAddr, usize> = hosts
-        .iter()
-        .enumerate()
-        .map(|(i, &h)| (h, i))
-        .collect();
+    let index: BTreeMap<HostAddr, usize> = hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
     let neighbors: Vec<Vec<usize>> = hosts
         .iter()
         .map(|&h| {

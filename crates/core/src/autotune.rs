@@ -103,9 +103,10 @@ pub fn auto_k_hi_kcore(cs: &ConnectionSets, frac: f64) -> u32 {
 /// Default parameters with `K^hi` chosen automatically by Otsu's method
 /// over the network's own degree distribution.
 pub fn auto_params(cs: &ConnectionSets) -> Params {
-    let mut p = Params::default();
-    p.k_hi = auto_k_hi_otsu(cs).max(1);
-    p
+    Params {
+        k_hi: auto_k_hi_otsu(cs).max(1),
+        ..Params::default()
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +135,10 @@ mod tests {
         let t = auto_k_hi_otsu(&cs);
         // Clients have degree 3, servers degree 20: the threshold must
         // fall strictly between.
-        assert!(t > 3 && t <= 20, "threshold {t} does not separate 3 from 20");
+        assert!(
+            t > 3 && t <= 20,
+            "threshold {t} does not separate 3 from 20"
+        );
     }
 
     #[test]

@@ -60,11 +60,7 @@ impl Classification {
         for nb in &self.neighborhoods {
             for &(peer, avg) in &nb.neighbors {
                 if nb.id < peer {
-                    let _ = writeln!(
-                        out,
-                        "  g{} -- g{} [label=\"{avg:.1}\"];",
-                        nb.id, peer
-                    );
+                    let _ = writeln!(out, "  g{} -- g{} [label=\"{avg:.1}\"];", nb.id, peer);
                 }
             }
         }
@@ -177,11 +173,7 @@ mod tests {
         let c = classify(&figure1(), &p);
         let sales_id = c.grouping.group_of(h(11)).unwrap();
         let mw_id = c.grouping.group_of(h(1)).unwrap();
-        let nb = c
-            .neighborhoods
-            .iter()
-            .find(|n| n.id == sales_id)
-            .unwrap();
+        let nb = c.neighborhoods.iter().find(|n| n.id == sales_id).unwrap();
         let (_, avg) = nb.neighbors.iter().find(|(g, _)| *g == mw_id).unwrap();
         assert!((avg - 2.0).abs() < 1e-9);
         assert!((nb.avg_conns - 3.0).abs() < 1e-9);

@@ -103,7 +103,9 @@ fn build_views(
         let mut nbr_conns: BTreeMap<HostAddr, u64> = BTreeMap::new();
         let mut deg_sum = 0usize;
         for &m in &members {
-            let Some(nbrs) = cs.neighbors(m) else { continue };
+            let Some(nbrs) = cs.neighbors(m) else {
+                continue;
+            };
             for &n in nbrs {
                 if !common.contains(&n) {
                     continue;
@@ -201,8 +203,8 @@ fn time_varying_similarity(
                 continue;
             };
             let w_prev = prev.nbr_conns[&h];
-            acc += weight
-                * (w_curr as f64 / curr.total as f64).min(w_prev as f64 / prev.total as f64);
+            acc +=
+                weight * (w_curr as f64 / curr.total as f64).min(w_prev as f64 / prev.total as f64);
             unmatched_prev.remove(&h);
         } else {
             unmatched_curr.push(h);
@@ -242,7 +244,9 @@ fn time_varying_similarity(
                 }
             }
         };
-        let Some(((d_p, _), h_p)) = pick else { continue };
+        let Some(((d_p, _), h_p)) = pick else {
+            continue;
+        };
         if !within(t_hi, d_t as f64, d_p as f64) {
             continue;
         }
@@ -282,8 +286,12 @@ fn neighbor_group_similarity(
     }
     let mut acc = 0.0f64;
     for (gid_t, &w_t) in &curr_by_group {
-        let Some(gid_p) = id_map.get(gid_t) else { continue };
-        let Some(&w_p) = prev_by_group.get(gid_p) else { continue };
+        let Some(gid_p) = id_map.get(gid_t) else {
+            continue;
+        };
+        let Some(&w_p) = prev_by_group.get(gid_p) else {
+            continue;
+        };
         acc += (w_t as f64 / curr.total as f64).min(w_p as f64 / prev.total as f64);
     }
     (100.0 * acc).clamp(0.0, 100.0)
@@ -308,10 +316,7 @@ pub fn correlate(
     };
 
     // 1. Restrict both snapshots to the common host population.
-    let common: BTreeSet<HostAddr> = curr_cs
-        .hosts()
-        .filter(|h| prev_cs.contains(*h))
-        .collect();
+    let common: BTreeSet<HostAddr> = curr_cs.hosts().filter(|h| prev_cs.contains(*h)).collect();
     let mut prev_r = prev_cs.clone();
     prev_r.retain_hosts(&common);
     let mut curr_r = curr_cs.clone();
@@ -371,8 +376,7 @@ pub fn correlate(
         curr_taken[ci] = true;
         prev_taken[pi] = true;
         out.id_map.insert(curr_views[ci].id, prev_views[pi].id);
-        out.scores
-            .insert((curr_views[ci].id, prev_views[pi].id), s);
+        out.scores.insert((curr_views[ci].id, prev_views[pi].id), s);
     }
 
     // 4. Step 2: leftover groups correlate through their (already
@@ -403,8 +407,7 @@ pub fn correlate(
         curr_taken[ci] = true;
         prev_taken[pi] = true;
         out.id_map.insert(curr_views[ci].id, prev_views[pi].id);
-        out.scores
-            .insert((curr_views[ci].id, prev_views[pi].id), s);
+        out.scores.insert((curr_views[ci].id, prev_views[pi].id), s);
     }
 
     // 5. Leftovers. (Current groups whose every member is a new host
@@ -438,10 +441,11 @@ pub fn apply_correlation(corr: &Correlation, curr: &Grouping) -> Grouping {
         .map_or(0, |m| m + 1);
     let mut map: BTreeMap<GroupId, GroupId> = corr.id_map.clone();
     for g in curr.groups() {
-        if !map.contains_key(&g.id) {
-            map.insert(g.id, GroupId(next_fresh));
+        map.entry(g.id).or_insert_with(|| {
+            let fresh = GroupId(next_fresh);
             next_fresh += 1;
-        }
+            fresh
+        });
     }
     curr.clone().renumber(&map)
 }
@@ -581,11 +585,12 @@ mod tests {
         // Fresh ids must not collide with any previous id.
         let prev_ids: BTreeSet<GroupId> = gp.groups().iter().map(|g| g.id).collect();
         for gid in &corr.new_groups {
-            let new_id = renamed.group_of(
-                gc.group(*gid).unwrap().members[0],
-            );
+            let new_id = renamed.group_of(gc.group(*gid).unwrap().members[0]);
             assert!(new_id.is_some());
-            assert!(!prev_ids.contains(&new_id.unwrap()) || corr.id_map.values().any(|v| Some(*v) == new_id));
+            assert!(
+                !prev_ids.contains(&new_id.unwrap())
+                    || corr.id_map.values().any(|v| Some(*v) == new_id)
+            );
         }
     }
 

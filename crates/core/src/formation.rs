@@ -174,7 +174,7 @@ fn order_bccs(mut bccs: Vec<Vec<NodeId>>, tie_break: TieBreak) -> Vec<Vec<NodeId
                 let j = rng.gen_range(0..=i);
                 bccs.swap(i, j);
             }
-            bccs.sort_by(|a, b| b.len().cmp(&a.len()));
+            bccs.sort_by_key(|b| std::cmp::Reverse(b.len()));
         }
     }
     bccs
@@ -204,10 +204,8 @@ pub fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
     for (a, b) in cs.edges() {
         g.add_edge(node_of_host[&a], node_of_host[&b], 1);
     }
-    let orig_degree: BTreeMap<HostAddr, usize> = cs
-        .hosts()
-        .map(|h| (h, cs.degree(h).unwrap_or(0)))
-        .collect();
+    let orig_degree: BTreeMap<HostAddr, usize> =
+        cs.hosts().map(|h| (h, cs.degree(h).unwrap_or(0))).collect();
 
     let mut st = State {
         g,
@@ -248,10 +246,8 @@ pub fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
             let mut assigned: HashSet<NodeId> = HashSet::new();
             let mut formed = false;
             for bcc in ordered {
-                let avail: Vec<NodeId> = bcc
-                    .into_iter()
-                    .filter(|n| !assigned.contains(n))
-                    .collect();
+                let avail: Vec<NodeId> =
+                    bcc.into_iter().filter(|n| !assigned.contains(n)).collect();
                 if avail.len() >= 2 {
                     assigned.extend(avail.iter().copied());
                     st.form_group(&avail, k, FormationKind::Bcc);
@@ -470,13 +466,12 @@ mod tests {
 
     #[test]
     fn alpha_zero_never_bootstraps() {
-        let mut p = Params::default();
-        p.alpha = 0.0;
+        let p = Params {
+            alpha: 0.0,
+            ..Params::default()
+        };
         let r = form_groups(&figure1(), &p);
-        assert!(r
-            .trace
-            .iter()
-            .all(|e| e.kind != FormationKind::Bootstrap));
+        assert!(r.trace.iter().all(|e| e.kind != FormationKind::Bootstrap));
         // The databases end up as leftovers instead.
         let db = r.trace.iter().find(|e| e.members == vec![h(3)]).unwrap();
         assert_eq!(db.kind, FormationKind::Leftover);
@@ -484,8 +479,10 @@ mod tests {
 
     #[test]
     fn seeded_tie_break_is_reproducible() {
-        let mut p = Params::default();
-        p.tie_break = TieBreak::Seeded(123);
+        let p = Params {
+            tie_break: TieBreak::Seeded(123),
+            ..Params::default()
+        };
         let a = form_groups(&figure1(), &p);
         let b = form_groups(&figure1(), &p);
         assert_eq!(members_sets(&a), members_sets(&b));

@@ -9,9 +9,7 @@ use std::collections::BTreeMap;
 /// Ids are assigned by the grouping algorithm and rewritten by the
 /// correlation algorithm so that the same logical role keeps the same id
 /// across runs (Section 5).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GroupId(pub u32);
 
 impl std::fmt::Display for GroupId {

@@ -185,7 +185,11 @@ fn candidates_of(g: &WGraph, x: NodeId) -> BTreeSet<(NodeId, NodeId)> {
 /// `cs` must be the same connection sets the formation ran on (original
 /// per-host connection counts feed the connection requirement and merged
 /// `K` values).
-pub fn merge_groups(cs: &ConnectionSets, formation: FormationResult, params: &Params) -> MergeOutcome {
+pub fn merge_groups(
+    cs: &ConnectionSets,
+    formation: FormationResult,
+    params: &Params,
+) -> MergeOutcome {
     params.validate().expect("invalid parameters");
     let mut g = formation.graph;
     let mut info: HashMap<NodeId, GroupInfo> = HashMap::new();
@@ -218,9 +222,9 @@ pub fn merge_groups(cs: &ConnectionSets, formation: FormationResult, params: &Pa
     let all_nodes: Vec<NodeId> = g.nodes().collect();
     for &x in &all_nodes {
         for pair in candidates_of(&g, x) {
-            if !sims.contains_key(&pair) {
+            if let std::collections::btree_map::Entry::Vacant(slot) = sims.entry(pair) {
                 let s = similarity(&g, &info, params.similarity, pair.0, pair.1);
-                sims.insert(pair, s);
+                slot.insert(s);
                 if s > 0.0 {
                     heap.push((OrdSim::new(s), Reverse(pair)));
                 }
@@ -240,7 +244,9 @@ pub fn merge_groups(cs: &ConnectionSets, formation: FormationResult, params: &Pa
             if !g.contains_node(a) || !g.contains_node(b) {
                 continue;
             }
-            let Some(&current) = sims.get(&(a, b)) else { continue };
+            let Some(&current) = sims.get(&(a, b)) else {
+                continue;
+            };
             if OrdSim::new(current) != osim {
                 continue; // stale entry; a fresher one is in the heap
             }
@@ -391,12 +397,7 @@ mod tests {
         assert_eq!(out.grouping.group_count(), 2);
         let sizes = out.grouping.sizes_desc();
         assert_eq!(sizes, vec![6, 4]); // 6 clients, 4 servers
-        let servers = out
-            .grouping
-            .groups()
-            .iter()
-            .find(|g| g.len() == 4)
-            .unwrap();
+        let servers = out.grouping.groups().iter().find(|g| g.len() == 4).unwrap();
         assert_eq!(servers.members, vec![h(1), h(2), h(3), h(4)]);
     }
 
@@ -430,7 +431,10 @@ mod tests {
         // different connection counts from the spokes, and beta = 0
         // forbids merging anything whose averages differ at all.
         let cs = figure1();
-        let p = Params::default().with_beta(0.0).with_s_lo(1.0).with_s_hi(99.0);
+        let p = Params::default()
+            .with_beta(0.0)
+            .with_s_lo(1.0)
+            .with_s_hi(99.0);
         let out = run(&cs, &p);
         // Sales (3 conns each) and eng (3 conns each) can still merge,
         // but the 6-connection servers cannot merge with 3-connection
@@ -471,10 +475,7 @@ mod tests {
         let formation = form_groups(&cs, &Params::default());
         let before = formation.groups.len();
         let out = merge_groups(&cs, formation, &Params::default());
-        assert_eq!(
-            before - out.merges.len(),
-            out.grouping.group_count()
-        );
+        assert_eq!(before - out.merges.len(), out.grouping.group_count());
     }
 
     #[test]
@@ -517,8 +518,10 @@ mod tests {
 
     #[test]
     fn literal_variant_also_runs_to_completion() {
-        let mut p = Params::default();
-        p.similarity = SimilarityVariant::Literal;
+        let p = Params {
+            similarity: SimilarityVariant::Literal,
+            ..Params::default()
+        };
         let out = run(&figure1(), &p);
         assert_eq!(out.grouping.host_count(), 10);
         assert!(out.grouping.group_count() >= 2);

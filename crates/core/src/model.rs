@@ -55,7 +55,10 @@ pub struct RespectViolation {
 /// role-level similarity (Section 4's lab-machine case), and the merging
 /// thresholds stop some beneficial moves. The function reports; callers
 /// decide how much slack is acceptable.
-pub fn avg_similarity_violations(cs: &ConnectionSets, grouping: &Grouping) -> Vec<RespectViolation> {
+pub fn avg_similarity_violations(
+    cs: &ConnectionSets,
+    grouping: &Grouping,
+) -> Vec<RespectViolation> {
     let mut out = Vec::new();
     for g in grouping.groups() {
         for &h in &g.members {
@@ -82,11 +85,7 @@ pub fn avg_similarity_violations(cs: &ConnectionSets, grouping: &Grouping) -> Ve
 /// Checks the `S_min` property (Section 3): every multi-host group's
 /// members all have `avg_similarity ≥ s_min` to their group. Returns the
 /// offending hosts.
-pub fn s_min_violations(
-    cs: &ConnectionSets,
-    grouping: &Grouping,
-    s_min: f64,
-) -> Vec<HostAddr> {
+pub fn s_min_violations(cs: &ConnectionSets, grouping: &Grouping, s_min: f64) -> Vec<HostAddr> {
     let mut out = Vec::new();
     for g in grouping.groups() {
         if g.len() < 2 {

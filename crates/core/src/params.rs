@@ -177,20 +177,57 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_ranges() {
-        assert!(Params { alpha: -0.1, ..Params::default() }.validate().is_err());
-        assert!(Params { alpha: 1.1, ..Params::default() }.validate().is_err());
-        assert!(Params { beta: 2.0, ..Params::default() }.validate().is_err());
-        assert!(Params { t_hi: -1.0, ..Params::default() }.validate().is_err());
-        assert!(Params { s_lo: 90.0, s_hi: 80.0, ..Params::default() }
-            .validate()
-            .is_err());
-        assert!(Params { s_lo: 80.0, s_hi: 80.0, ..Params::default() }
-            .validate()
-            .is_err());
-        assert!(Params { s_hi: 101.0, s_lo: 55.0, ..Params::default() }
-            .validate()
-            .is_err());
-        assert!(Params { alpha: f64::NAN, ..Params::default() }.validate().is_err());
+        assert!(Params {
+            alpha: -0.1,
+            ..Params::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            alpha: 1.1,
+            ..Params::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            beta: 2.0,
+            ..Params::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            t_hi: -1.0,
+            ..Params::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            s_lo: 90.0,
+            s_hi: 80.0,
+            ..Params::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            s_lo: 80.0,
+            s_hi: 80.0,
+            ..Params::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            s_hi: 101.0,
+            s_lo: 55.0,
+            ..Params::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            alpha: f64::NAN,
+            ..Params::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -79,7 +79,12 @@ pub fn split_by_services(
     profiles: &ServiceProfiles,
     min_jaccard: f64,
 ) -> Grouping {
-    let mut next_id = grouping.groups().iter().map(|g| g.id.0).max().map_or(0, |m| m + 1);
+    let mut next_id = grouping
+        .groups()
+        .iter()
+        .map(|g| g.id.0)
+        .max()
+        .map_or(0, |m| m + 1);
     let mut out: Vec<Group> = Vec::new();
     for g in grouping.groups() {
         let n = g.members.len();
@@ -163,7 +168,12 @@ mod tests {
 
     #[test]
     fn jaccard_math() {
-        let flows = vec![flow_to(1, 80), flow_to(1, 25), flow_to(2, 80), flow_to(3, 25)];
+        let flows = vec![
+            flow_to(1, 80),
+            flow_to(1, 25),
+            flow_to(2, 80),
+            flow_to(3, 25),
+        ];
         let p = ServiceProfiles::from_flows(&flows);
         assert!((p.jaccard(h(1), h(2)) - 0.5).abs() < 1e-12);
         assert_eq!(p.jaccard(h(2), h(3)), 0.0);

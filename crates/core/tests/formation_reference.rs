@@ -24,10 +24,8 @@ fn reference_formation(cs: &ConnectionSets, params: &Params) -> Vec<(Vec<HostAdd
     for (a, b) in cs.edges() {
         g.add_edge(node_of_host[&a], node_of_host[&b], 1);
     }
-    let orig_degree: std::collections::BTreeMap<HostAddr, usize> = cs
-        .hosts()
-        .map(|h| (h, cs.degree(h).unwrap_or(0)))
-        .collect();
+    let orig_degree: std::collections::BTreeMap<HostAddr, usize> =
+        cs.hosts().map(|h| (h, cs.degree(h).unwrap_or(0))).collect();
 
     let mut groups: Vec<(Vec<HostAddr>, u32)> = Vec::new();
     let mut grouped_nodes: HashSet<NodeId> = HashSet::new();
@@ -59,10 +57,8 @@ fn reference_formation(cs: &ConnectionSets, params: &Params) -> Vec<(Vec<HostAdd
             let mut assigned: HashSet<NodeId> = HashSet::new();
             let mut formed = false;
             for bcc in bccs {
-                let avail: Vec<NodeId> = bcc
-                    .into_iter()
-                    .filter(|n| !assigned.contains(n))
-                    .collect();
+                let avail: Vec<NodeId> =
+                    bcc.into_iter().filter(|n| !assigned.contains(n)).collect();
                 if avail.len() >= 2 {
                     assigned.extend(avail.iter().copied());
                     let mut members: Vec<HostAddr> = avail
@@ -148,8 +144,10 @@ proptest! {
     /// jump target computation).
     #[test]
     fn jumping_matches_literal_sweep_alpha(cs in arb_connsets(25, 50), alpha in 0.0f64..=1.0) {
-        let mut params = Params::default();
-        params.alpha = alpha;
+        let params = Params {
+            alpha,
+            ..Params::default()
+        };
         let fast = form_groups(&cs, &params);
         let fast_groups: Vec<(Vec<HostAddr>, u32)> = fast
             .groups

@@ -14,10 +14,7 @@ use std::collections::{BTreeSet, HashMap};
 
 /// Naive reference for the merging phase. Mirrors the Figure 3
 /// requirements but recomputes all pair similarities every iteration.
-fn reference_merge(
-    cs: &ConnectionSets,
-    params: &Params,
-) -> BTreeSet<Vec<HostAddr>> {
+fn reference_merge(cs: &ConnectionSets, params: &Params) -> BTreeSet<Vec<HostAddr>> {
     #[derive(Clone)]
     struct Info {
         members: Vec<HostAddr>,
@@ -60,9 +57,7 @@ fn reference_merge(
             }
             if let Some(wy) = ny.get(v) {
                 acc += match params.similarity {
-                    SimilarityVariant::Normalized => {
-                        (*wx as f64 / tx).min(*wy as f64 / ty)
-                    }
+                    SimilarityVariant::Normalized => (*wx as f64 / tx).min(*wy as f64 / ty),
                     SimilarityVariant::Literal => {
                         (*wx as f64 / nx.len() as f64).min(*wy as f64 / ny.len() as f64)
                     }

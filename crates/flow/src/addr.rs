@@ -80,7 +80,9 @@ impl FromStr for HostAddr {
         if parts.next().is_some() {
             return Err(FlowError::BadAddress(s.to_string()));
         }
-        Ok(HostAddr::from_octets(octets[0], octets[1], octets[2], octets[3]))
+        Ok(HostAddr::from_octets(
+            octets[0], octets[1], octets[2], octets[3],
+        ))
     }
 }
 

@@ -333,8 +333,7 @@ impl ConnsetBuilder {
         // src/dst alone would average out to nothing; the classic
         // well-known-port heuristic recovers the true client/server
         // orientation whenever exactly one side uses a service port.
-        let (initiator, acceptor) = if r.dst_port != 0 && r.dst_port < 1024 && r.src_port >= 1024
-        {
+        let (initiator, acceptor) = if r.dst_port != 0 && r.dst_port < 1024 && r.src_port >= 1024 {
             (r.src, r.dst)
         } else if r.src_port != 0 && r.src_port < 1024 && r.dst_port >= 1024 {
             // Reply direction of a client/server conversation.
@@ -363,20 +362,53 @@ impl ConnsetBuilder {
     /// Hosts observed only on filtered-out pairs are still part of the
     /// population (with empty connection sets).
     pub fn build(self) -> ConnectionSets {
+        self.build_with_stats().0
+    }
+
+    /// Like [`ConnsetBuilder::build`], but also reports how much input
+    /// the noise thresholds discarded — the aggregator records this per
+    /// window so a degraded run can be told apart from a quiet one.
+    pub fn build_with_stats(self) -> (ConnectionSets, BuildStats) {
         let mut out = ConnectionSets::new();
+        let mut kept_flows = 0u64;
+        let mut dropped_flows = 0u64;
+        let mut dropped_pairs = 0usize;
         for h in &self.seen_hosts {
             out.add_host(*h);
         }
         for ((a, b), stats) in self.staging {
             if stats.flows >= self.min_flows && stats.packets >= self.min_packets {
+                kept_flows += stats.flows;
                 out.add_connection(a, b, stats);
+            } else {
+                dropped_flows += stats.flows;
+                dropped_pairs += 1;
             }
         }
         for (h, (initiated, accepted)) in self.direction {
             out.add_direction_counts(h, initiated, accepted);
         }
-        out
+        (
+            out,
+            BuildStats {
+                kept_flows,
+                dropped_flows,
+                dropped_pairs,
+            },
+        )
     }
+}
+
+/// What the noise thresholds did while finalizing a build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Flow records that contributed to a surviving connection.
+    pub kept_flows: u64,
+    /// Flow records discarded because their pair fell below
+    /// `min_flows`/`min_packets`.
+    pub dropped_flows: u64,
+    /// Host pairs discarded entirely.
+    pub dropped_pairs: usize,
 }
 
 #[cfg(test)]
@@ -490,6 +522,21 @@ mod tests {
         // Hosts 1 and 2 stay in the population with empty sets.
         assert_eq!(cs.degree(h(1)), Some(0));
         assert_eq!(cs.host_count(), 4);
+    }
+
+    #[test]
+    fn build_with_stats_counts_filtered_input() {
+        let mut b = ConnsetBuilder::new().min_flows(2);
+        let noise = FlowRecord::pair(h(1), h(2));
+        b.add_record(&noise);
+        let real = FlowRecord::pair(h(3), h(4));
+        b.add_record(&real);
+        b.add_record(&real);
+        let (cs, stats) = b.build_with_stats();
+        assert_eq!(cs.connection_count(), 1);
+        assert_eq!(stats.kept_flows, 2);
+        assert_eq!(stats.dropped_flows, 1);
+        assert_eq!(stats.dropped_pairs, 1);
     }
 
     #[test]

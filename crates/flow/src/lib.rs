@@ -34,7 +34,7 @@ pub mod window;
 
 pub use addr::{Cidr, HostAddr};
 pub use anonymize::Anonymizer;
-pub use connset::{ConnectionSets, ConnsetBuilder, PairStats};
+pub use connset::{BuildStats, ConnectionSets, ConnsetBuilder, PairStats};
 pub use error::FlowError;
 pub use record::{FlowRecord, Proto};
 pub use window::{TimeWindow, WindowedFlows};

@@ -234,10 +234,7 @@ mod tests {
     fn round_trip_multi_packet_stream() {
         let records = sample_records(75); // 3 packets: 30 + 30 + 15
         let bytes = write_stream(&records, 10_000);
-        assert_eq!(
-            bytes.len(),
-            3 * HEADER_LEN + 75 * RECORD_LEN
-        );
+        assert_eq!(bytes.len(), 3 * HEADER_LEN + 75 * RECORD_LEN);
         let parsed = parse_stream(&bytes).unwrap();
         assert_eq!(parsed, records);
     }

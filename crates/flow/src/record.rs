@@ -58,9 +58,7 @@ impl std::str::FromStr for Proto {
             "udp" => Ok(Proto::Udp),
             "icmp" => Ok(Proto::Icmp),
             other => {
-                let digits = other
-                    .strip_prefix("proto")
-                    .unwrap_or(other);
+                let digits = other.strip_prefix("proto").unwrap_or(other);
                 digits
                     .parse::<u8>()
                     .map(Proto::from_ip_proto)

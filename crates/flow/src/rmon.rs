@@ -146,10 +146,12 @@ nlmatrixsd 10.0.0.1 10.0.0.7 398 1403321
         b.add_records(rows.iter());
         let cs = b.build();
         assert_eq!(cs.connection_count(), 1);
-        assert_eq!(cs.pair_stats(
-            "10.0.0.1".parse().unwrap(),
-            "10.0.0.2".parse().unwrap()
-        ).unwrap().flows, 2);
+        assert_eq!(
+            cs.pair_stats("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+                .unwrap()
+                .flows,
+            2
+        );
     }
 
     #[test]

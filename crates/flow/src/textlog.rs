@@ -52,10 +52,7 @@ pub fn parse(text: &str) -> Result<Vec<FlowRecord>, FlowError> {
         let mut rec = FlowRecord::pair(src, dst);
         if fields.len() > 2 {
             if fields.len() != 9 {
-                return Err(bad(format!(
-                    "expected 2 or 9 fields, got {}",
-                    fields.len()
-                )));
+                return Err(bad(format!("expected 2 or 9 fields, got {}", fields.len())));
             }
             rec.proto = fields[2]
                 .parse::<Proto>()
@@ -114,8 +111,7 @@ mod tests {
 
     #[test]
     fn parses_full_lines() {
-        let recs =
-            parse("10.0.0.1 10.0.0.2 udp 53 1024 7 512 100 200\n").unwrap();
+        let recs = parse("10.0.0.1 10.0.0.2 udp 53 1024 7 512 100 200\n").unwrap();
         assert_eq!(recs[0].proto, Proto::Udp);
         assert_eq!(recs[0].src_port, 53);
         assert_eq!(recs[0].bytes, 512);
@@ -124,10 +120,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let mut r = FlowRecord::pair(
-            "10.1.2.3".parse().unwrap(),
-            "10.4.5.6".parse().unwrap(),
-        );
+        let mut r = FlowRecord::pair("10.1.2.3".parse().unwrap(), "10.4.5.6".parse().unwrap());
         r.proto = Proto::Other(89);
         r.src_port = 9;
         r.packets = 100;

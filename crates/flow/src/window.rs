@@ -82,7 +82,9 @@ impl WindowedFlows {
             }
         }
         let Some(max_idx) = max_idx else {
-            return WindowedFlows { windows: Vec::new() };
+            return WindowedFlows {
+                windows: Vec::new(),
+            };
         };
         assert!(
             max_idx < MAX_WINDOWS,

@@ -1,21 +1,40 @@
 //! Robustness fuzzing: the wire-format parsers must never panic, no
-//! matter what bytes arrive — probes face hostile networks.
+//! matter what bytes arrive — probes face hostile networks. Beyond not
+//! panicking, every rejection must be a *classified* error: binary
+//! parsers report [`FlowError::Truncated`] (buffer shorter than the
+//! format requires) or [`FlowError::BadFormat`] (a field with an
+//! impossible value), never anything vaguer — the supervisor maps these
+//! onto retry decisions.
 
-use flow::{netflow, pcap, rmon, textlog};
+use flow::{netflow, pcap, rmon, textlog, FlowError};
 use proptest::prelude::*;
+
+/// Binary wire parsers may only fail with the two structural variants.
+fn assert_classified(e: &FlowError) {
+    assert!(
+        matches!(e, FlowError::Truncated { .. } | FlowError::BadFormat { .. }),
+        "wire parser returned an unclassified error: {e}"
+    );
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn netflow_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
-        let _ = netflow::parse_packet(&bytes);
-        let _ = netflow::parse_stream(&bytes);
+        if let Err(e) = netflow::parse_packet(&bytes) {
+            assert_classified(&e);
+        }
+        if let Err(e) = netflow::parse_stream(&bytes) {
+            assert_classified(&e);
+        }
     }
 
     #[test]
     fn pcap_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
-        let _ = pcap::parse_file(&bytes);
+        if let Err(e) = pcap::parse_file(&bytes) {
+            assert_classified(&e);
+        }
     }
 
     /// Corrupting a single byte of a valid NetFlow stream yields either a
@@ -62,7 +81,8 @@ proptest! {
         let _ = rmon::parse(&text);
     }
 
-    /// Truncating a valid stream at any point never panics.
+    /// Truncating a valid stream at any point either parses the intact
+    /// packet prefix or reports `Truncated` — and never panics.
     #[test]
     fn netflow_truncation(n_records in 1usize..20, cut_seed in any::<usize>()) {
         let records: Vec<flow::FlowRecord> = (0..n_records)
@@ -70,6 +90,60 @@ proptest! {
             .collect();
         let bytes = netflow::write_stream(&records, 0);
         let cut = cut_seed % (bytes.len() + 1);
-        let _ = netflow::parse_stream(&bytes[..cut]);
+        match netflow::parse_stream(&bytes[..cut]) {
+            Ok(parsed) => prop_assert!(parsed.len() <= records.len()),
+            Err(e @ FlowError::Truncated { .. }) => {
+                // Truncation must be reported as exactly that.
+                assert_classified(&e);
+            }
+            Err(other) => {
+                prop_assert!(false, "cut of a valid stream gave {other}");
+            }
+        }
+    }
+
+    /// Same contract for pcap: a cut file parses its intact prefix or
+    /// reports `Truncated`, never `BadFormat` (the prefix WAS valid).
+    #[test]
+    fn pcap_truncation(n_records in 1usize..20, cut_seed in any::<usize>()) {
+        let records: Vec<flow::FlowRecord> = (0..n_records)
+            .map(|i| {
+                let mut f = flow::FlowRecord::pair(flow::HostAddr(i as u32), flow::HostAddr(9));
+                f.src_port = 1024;
+                f.dst_port = 80;
+                f
+            })
+            .collect();
+        let bytes = pcap::write_file(&records);
+        // Keep the global header: cutting inside it is the garbage case.
+        let cut = 24 + cut_seed % (bytes.len() - 23);
+        match pcap::parse_file(&bytes[..cut]) {
+            Ok(parsed) => prop_assert!(parsed.records.len() <= records.len()),
+            Err(e) => prop_assert!(
+                matches!(e, FlowError::Truncated { .. }),
+                "cut of a valid pcap gave {e}"
+            ),
+        }
+    }
+
+    /// Garbage with a deliberately wrong leading field is *classified*:
+    /// a bad netflow version / pcap magic is `BadFormat`, not a panic
+    /// and not a successful parse.
+    #[test]
+    fn wrong_headers_are_bad_format(tail in prop::collection::vec(any::<u8>(), 24..512)) {
+        let mut nf = tail.clone();
+        nf[0] = 0; // version hi byte
+        nf[1] = 9; // version 9 != 5
+        prop_assert!(matches!(
+            netflow::parse_packet(&nf),
+            Err(FlowError::BadFormat { .. })
+        ));
+
+        let mut pc = tail.clone();
+        pc[..4].copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        prop_assert!(matches!(
+            pcap::parse_file(&pc),
+            Err(FlowError::BadFormat { .. })
+        ));
     }
 }

@@ -177,10 +177,7 @@ pub fn articulation_points(g: &SimpleGraph) -> Vec<NodeId> {
             is_cut[root] = true;
         }
     }
-    (0..n)
-        .filter(|&p| is_cut[p])
-        .map(|p| g.id_at(p))
-        .collect()
+    (0..n).filter(|&p| is_cut[p]).map(|p| g.id_at(p)).collect()
 }
 
 /// Computes the bridges (cut edges) of `g` as `(a, b)` pairs with `a < b`,
@@ -243,10 +240,7 @@ mod tests {
     #[test]
     fn path_decomposes_into_single_edges() {
         let g = graph(&[(1, 2), (2, 3), (3, 4)]);
-        assert_eq!(
-            sorted_bccs(&g),
-            vec![vec![1, 2], vec![2, 3], vec![3, 4]]
-        );
+        assert_eq!(sorted_bccs(&g), vec![vec![1, 2], vec![2, 3], vec![3, 4]]);
     }
 
     #[test]

@@ -61,11 +61,7 @@ where
     let mut eligible: Vec<NodeId> = Vec::new();
     for via in g.nodes() {
         eligible.clear();
-        eligible.extend(
-            g.neighbors(via)
-                .map(|(n, _)| n)
-                .filter(|&n| endpoint_ok(n)),
-        );
+        eligible.extend(g.neighbors(via).map(|(n, _)| n).filter(|&n| endpoint_ok(n)));
         for i in 0..eligible.len() {
             for j in (i + 1)..eligible.len() {
                 // Neighbor lists are sorted, so eligible[i] < eligible[j].
@@ -101,11 +97,7 @@ where
     let mut eligible: Vec<NodeId> = Vec::new();
     for via in g.nodes() {
         eligible.clear();
-        eligible.extend(
-            g.neighbors(via)
-                .map(|(n, _)| n)
-                .filter(|&n| endpoint_ok(n)),
-        );
+        eligible.extend(g.neighbors(via).map(|(n, _)| n).filter(|&n| endpoint_ok(n)));
         for i in 0..eligible.len() {
             for j in (i + 1)..eligible.len() {
                 keys.push(key(eligible[i], eligible[j]));

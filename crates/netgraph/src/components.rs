@@ -38,10 +38,7 @@ mod tests {
 
     #[test]
     fn splits_into_components() {
-        let g = SimpleGraph::from_edges(
-            [n(9)],
-            [(n(1), n(2)), (n(2), n(3)), (n(5), n(6))],
-        );
+        let g = SimpleGraph::from_edges([n(9)], [(n(1), n(2)), (n(2), n(3)), (n(5), n(6))]);
         let cc = connected_components(&g);
         assert_eq!(
             cc,
@@ -51,10 +48,7 @@ mod tests {
 
     #[test]
     fn largest_component_picks_biggest() {
-        let g = SimpleGraph::from_edges(
-            [],
-            [(n(1), n(2)), (n(2), n(3)), (n(5), n(6))],
-        );
+        let g = SimpleGraph::from_edges([], [(n(1), n(2)), (n(2), n(3)), (n(5), n(6))]);
         assert_eq!(largest_component(&g), vec![n(1), n(2), n(3)]);
     }
 

@@ -201,11 +201,7 @@ mod tests {
                 }
             }
             for v in 0..7u32 {
-                assert_eq!(
-                    alive.contains(&v),
-                    cores[&n(v)] >= k,
-                    "node {v} at k={k}"
-                );
+                assert_eq!(alive.contains(&v), cores[&n(v)] >= k, "node {v} at k={k}");
             }
         }
     }

@@ -38,8 +38,8 @@ pub mod wgraph;
 
 pub use bcc::{articulation_points, biconnected_components, bridges, Bcc};
 pub use common::{
-    common_neighbor_counts, common_neighbor_counts_filtered, common_neighbor_min_weights,
-    common_neighbor_counts_sorted, CommonNeighborEdge,
+    common_neighbor_counts, common_neighbor_counts_filtered, common_neighbor_counts_sorted,
+    common_neighbor_min_weights, CommonNeighborEdge,
 };
 pub use components::{connected_components, largest_component};
 pub use id::NodeId;

@@ -50,10 +50,7 @@ impl SimpleGraph {
 
         let n = ids.len();
         let mut deg = vec![0usize; n];
-        let mut dedup: Vec<(u32, u32)> = edges
-            .iter()
-            .map(|&(a, b)| (pos[&a], pos[&b]))
-            .collect();
+        let mut dedup: Vec<(u32, u32)> = edges.iter().map(|&(a, b)| (pos[&a], pos[&b])).collect();
         dedup.sort_unstable();
         dedup.dedup();
         for &(a, b) in &dedup {
@@ -198,10 +195,7 @@ mod tests {
 
     #[test]
     fn builds_from_edge_list_with_sparse_ids() {
-        let g = SimpleGraph::from_edges(
-            [n(100)],
-            [(n(5), n(9)), (n(9), n(2)), (n(2), n(5))],
-        );
+        let g = SimpleGraph::from_edges([n(100)], [(n(5), n(9)), (n(9), n(2)), (n(2), n(5))]);
         assert_eq!(g.node_count(), 4); // 2, 5, 9 and the isolated 100
         assert_eq!(g.edge_count(), 3);
         assert!(g.contains_edge(n(5), n(9)));
@@ -214,10 +208,7 @@ mod tests {
 
     #[test]
     fn duplicate_and_reversed_edges_collapse() {
-        let g = SimpleGraph::from_edges(
-            [],
-            [(n(1), n(2)), (n(2), n(1)), (n(1), n(2))],
-        );
+        let g = SimpleGraph::from_edges([], [(n(1), n(2)), (n(2), n(1)), (n(1), n(2))]);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.degree(n(1)), Some(1));
     }

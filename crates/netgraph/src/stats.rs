@@ -120,7 +120,15 @@ mod tests {
     fn degree_stats_empty() {
         let g = WGraph::new();
         let s = DegreeStats::of(&g);
-        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, median: 0.0 });
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0.0
+            }
+        );
     }
 
     #[test]

@@ -113,19 +113,14 @@ mod tests {
 
     #[test]
     fn bfs_visits_level_by_level() {
-        let g = SimpleGraph::from_edges(
-            [],
-            [(n(1), n(2)), (n(1), n(3)), (n(2), n(4)), (n(3), n(4))],
-        );
+        let g =
+            SimpleGraph::from_edges([], [(n(1), n(2)), (n(1), n(3)), (n(2), n(4)), (n(3), n(4))]);
         assert_eq!(bfs_order(&g, n(1)), vec![n(1), n(2), n(3), n(4)]);
     }
 
     #[test]
     fn dfs_goes_deep_first() {
-        let g = SimpleGraph::from_edges(
-            [],
-            [(n(1), n(2)), (n(1), n(3)), (n(2), n(4))],
-        );
+        let g = SimpleGraph::from_edges([], [(n(1), n(2)), (n(1), n(3)), (n(2), n(4))]);
         assert_eq!(dfs_order(&g, n(1)), vec![n(1), n(2), n(4), n(3)]);
     }
 

@@ -263,7 +263,11 @@ impl WGraph {
         let mut sorted = members.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), members.len(), "duplicate members in contraction");
+        assert_eq!(
+            sorted.len(),
+            members.len(),
+            "duplicate members in contraction"
+        );
 
         let in_set = |n: NodeId| sorted.binary_search(&n).is_ok();
         let mut outside: Vec<(NodeId, u64)> = Vec::new();

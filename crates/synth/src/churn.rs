@@ -43,8 +43,14 @@ pub fn swap_hosts(net: &mut SyntheticNetwork, a: HostAddr, b: HostAddr) {
 }
 
 fn swap_in_connsets(cs: &mut ConnectionSets, a: HostAddr, b: HostAddr) {
-    let nbrs_a: Vec<HostAddr> = cs.neighbors(a).map(|s| s.iter().copied().collect()).unwrap_or_default();
-    let nbrs_b: Vec<HostAddr> = cs.neighbors(b).map(|s| s.iter().copied().collect()).unwrap_or_default();
+    let nbrs_a: Vec<HostAddr> = cs
+        .neighbors(a)
+        .map(|s| s.iter().copied().collect())
+        .unwrap_or_default();
+    let nbrs_b: Vec<HostAddr> = cs
+        .neighbors(b)
+        .map(|s| s.iter().copied().collect())
+        .unwrap_or_default();
     // The mutual edge (if any) must be re-added exactly once — it is
     // visible from both endpoints' neighbor lists.
     let mutual = cs.pair_stats(a, b);
@@ -158,12 +164,7 @@ pub fn add_host_like(net: &mut SyntheticNetwork, template: HostAddr, new: HostAd
 /// # Panics
 ///
 /// Panics if `old` is unknown or either replica already exists.
-pub fn split_server(
-    net: &mut SyntheticNetwork,
-    old: HostAddr,
-    new1: HostAddr,
-    new2: HostAddr,
-) {
+pub fn split_server(net: &mut SyntheticNetwork, old: HostAddr, new1: HostAddr, new2: HostAddr) {
     assert!(net.connsets.contains(old), "old host unknown");
     assert!(
         !net.connsets.contains(new1) && !net.connsets.contains(new2),
@@ -253,10 +254,7 @@ mod tests {
         let template = net.role_hosts("eng")[0];
         let new = HostAddr::from_octets(10, 9, 9, 1);
         add_host_like(&mut net, template, new);
-        assert_eq!(
-            net.connsets.degree(new),
-            net.connsets.degree(template)
-        );
+        assert_eq!(net.connsets.degree(new), net.connsets.degree(template));
         assert_eq!(net.truth.role_of(new), Some("eng"));
         assert_eq!(net.host_count(), 11);
     }

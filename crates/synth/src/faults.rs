@@ -1,0 +1,303 @@
+//! Deterministic fault injection for the ingestion pipeline.
+//!
+//! Real probes fail in characteristic ways: they time out, silently
+//! drop the tail of a window, double-report flows after an export
+//! retry, or drift off the aggregator's clock. These wrappers inject
+//! exactly those faults around any inner [`Probe`], driven by a seeded
+//! RNG so every chaos run is reproducible bit for bit.
+//!
+//! They are used by the aggregator's chaos integration tests to assert
+//! that supervised ingestion (retry, quarantine, degraded-window
+//! classification) keeps the correlation chain intact under fire.
+
+use aggregator::{Probe, ProbeError};
+use flow::FlowRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A probe that fails polls at a seeded, configurable rate.
+///
+/// Each poll *attempt* independently fails with probability
+/// `fail_prob` (so the supervisor's retries genuinely re-roll). All
+/// failures are [`ProbeError::Transient`]; use
+/// [`FlakyProbe::fatal_after`] to additionally kill the probe for good
+/// after a fixed number of poll attempts.
+pub struct FlakyProbe<P> {
+    inner: P,
+    name: String,
+    rng: StdRng,
+    fail_prob: f64,
+    fatal_after: Option<u64>,
+    attempts: u64,
+}
+
+impl<P: Probe> FlakyProbe<P> {
+    /// Wraps `inner`, failing each poll attempt with `fail_prob`.
+    pub fn new(inner: P, fail_prob: f64, seed: u64) -> Self {
+        let name = format!("flaky({})", inner.name());
+        FlakyProbe {
+            inner,
+            name,
+            rng: StdRng::seed_from_u64(seed),
+            fail_prob: fail_prob.clamp(0.0, 1.0),
+            fatal_after: None,
+            attempts: 0,
+        }
+    }
+
+    /// After `n` poll attempts, every further poll fails fatally —
+    /// simulating a device that flaps for a while and then dies.
+    pub fn fatal_after(mut self, n: u64) -> Self {
+        self.fatal_after = Some(n);
+        self
+    }
+
+    /// Poll attempts made so far (successful or not).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+}
+
+impl<P: Probe> Probe for FlakyProbe<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, from_ms: u64, to_ms: u64) -> Result<Vec<FlowRecord>, ProbeError> {
+        self.attempts += 1;
+        if let Some(n) = self.fatal_after {
+            if self.attempts > n {
+                return Err(ProbeError::Fatal("injected: device died".to_string()));
+            }
+        }
+        if self.rng.gen_bool(self.fail_prob) {
+            return Err(ProbeError::Transient("injected: poll timeout".to_string()));
+        }
+        self.inner.poll(from_ms, to_ms)
+    }
+
+    fn horizon_ms(&self) -> Option<u64> {
+        self.inner.horizon_ms()
+    }
+}
+
+/// A probe that silently drops a seeded fraction of each window's
+/// records — the *undetectable* failure mode (the poll still succeeds),
+/// which is why degraded-window accounting tracks record counts too.
+pub struct TruncatingProbe<P> {
+    inner: P,
+    name: String,
+    rng: StdRng,
+    drop_prob: f64,
+}
+
+impl<P: Probe> TruncatingProbe<P> {
+    /// Wraps `inner`, dropping each delivered record with `drop_prob`.
+    pub fn new(inner: P, drop_prob: f64, seed: u64) -> Self {
+        let name = format!("truncating({})", inner.name());
+        TruncatingProbe {
+            inner,
+            name,
+            rng: StdRng::seed_from_u64(seed),
+            drop_prob: drop_prob.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl<P: Probe> Probe for TruncatingProbe<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, from_ms: u64, to_ms: u64) -> Result<Vec<FlowRecord>, ProbeError> {
+        let records = self.inner.poll(from_ms, to_ms)?;
+        let rng = &mut self.rng;
+        let p = self.drop_prob;
+        Ok(records.into_iter().filter(|_| !rng.gen_bool(p)).collect())
+    }
+
+    fn horizon_ms(&self) -> Option<u64> {
+        self.inner.horizon_ms()
+    }
+}
+
+/// A probe that re-delivers records — an export path that retries after
+/// an ack loss double-reports flows. Connection-set construction must
+/// be tolerant (pair stats inflate, the *set structure* must not).
+pub struct DuplicatingProbe<P> {
+    inner: P,
+    name: String,
+    rng: StdRng,
+    dup_prob: f64,
+}
+
+impl<P: Probe> DuplicatingProbe<P> {
+    /// Wraps `inner`, duplicating each record with `dup_prob`.
+    pub fn new(inner: P, dup_prob: f64, seed: u64) -> Self {
+        let name = format!("duplicating({})", inner.name());
+        DuplicatingProbe {
+            inner,
+            name,
+            rng: StdRng::seed_from_u64(seed),
+            dup_prob: dup_prob.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl<P: Probe> Probe for DuplicatingProbe<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, from_ms: u64, to_ms: u64) -> Result<Vec<FlowRecord>, ProbeError> {
+        let records = self.inner.poll(from_ms, to_ms)?;
+        let mut out = Vec::with_capacity(records.len());
+        for r in records {
+            out.push(r);
+            if self.rng.gen_bool(self.dup_prob) {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    fn horizon_ms(&self) -> Option<u64> {
+        self.inner.horizon_ms()
+    }
+}
+
+/// A probe whose clock runs fast or slow by a fixed offset. When the
+/// aggregator asks for `[from, to)` the probe serves the records whose
+/// *true* time falls `skew_ms` earlier/later, stamped with its skewed
+/// clock — so the records still land inside the requested window, but
+/// every timestamp is wrong by the skew.
+pub struct ClockSkewProbe<P> {
+    inner: P,
+    name: String,
+    skew_ms: i64,
+}
+
+impl<P: Probe> ClockSkewProbe<P> {
+    /// Wraps `inner` with a clock offset of `skew_ms` (positive: the
+    /// probe's clock runs ahead of the aggregator's).
+    pub fn new(inner: P, skew_ms: i64) -> Self {
+        let name = format!("clock-skew({})", inner.name());
+        ClockSkewProbe {
+            inner,
+            name,
+            skew_ms,
+        }
+    }
+
+    fn shift(&self, t: u64) -> u64 {
+        t.saturating_add_signed(self.skew_ms)
+    }
+
+    fn unshift(&self, t: u64) -> u64 {
+        t.saturating_add_signed(-self.skew_ms)
+    }
+}
+
+impl<P: Probe> Probe for ClockSkewProbe<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, from_ms: u64, to_ms: u64) -> Result<Vec<FlowRecord>, ProbeError> {
+        let mut records = self
+            .inner
+            .poll(self.unshift(from_ms), self.unshift(to_ms))?;
+        for r in &mut records {
+            r.start_ms = self.shift(r.start_ms);
+            r.end_ms = self.shift(r.end_ms);
+        }
+        Ok(records)
+    }
+
+    fn horizon_ms(&self) -> Option<u64> {
+        self.inner.horizon_ms().map(|h| self.shift(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggregator::ReplayProbe;
+    use flow::HostAddr;
+
+    fn trace(n: u64) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| {
+                let mut f = FlowRecord::pair(HostAddr(1), HostAddr(2));
+                f.start_ms = i * 10;
+                f.end_ms = i * 10 + 5;
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flaky_probe_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = FlakyProbe::new(ReplayProbe::new("r", trace(10)), 0.5, seed);
+            (0..20)
+                .map(|_| p.poll(0, 1000).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+        // With p=0.5 over 20 polls, both outcomes must appear.
+        let outcomes = run(7);
+        assert!(outcomes.iter().any(|ok| *ok));
+        assert!(outcomes.iter().any(|ok| !ok));
+    }
+
+    #[test]
+    fn flaky_probe_never_fails_at_zero_prob() {
+        let mut p = FlakyProbe::new(ReplayProbe::new("r", trace(4)), 0.0, 1);
+        for _ in 0..10 {
+            assert_eq!(p.poll(0, 1000).unwrap().len(), 4);
+        }
+        assert_eq!(p.attempts(), 10);
+    }
+
+    #[test]
+    fn flaky_probe_turns_fatal_on_schedule() {
+        let mut p = FlakyProbe::new(ReplayProbe::new("r", trace(4)), 0.0, 1).fatal_after(2);
+        assert!(p.poll(0, 1000).is_ok());
+        assert!(p.poll(0, 1000).is_ok());
+        let err = p.poll(0, 1000).unwrap_err();
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn truncating_probe_drops_but_succeeds() {
+        let mut p = TruncatingProbe::new(ReplayProbe::new("r", trace(200)), 0.5, 3);
+        let got = p.poll(0, 10_000).unwrap();
+        assert!(got.len() < 200, "should drop something");
+        assert!(!got.is_empty(), "should keep something");
+    }
+
+    #[test]
+    fn duplicating_probe_only_adds_copies() {
+        let mut p = DuplicatingProbe::new(ReplayProbe::new("r", trace(100)), 0.5, 3);
+        let got = p.poll(0, 10_000).unwrap();
+        assert!(got.len() > 100);
+        // Every record is one of the originals.
+        assert!(got.iter().all(|r| r.start_ms % 10 == 0));
+    }
+
+    #[test]
+    fn clock_skew_shifts_timestamps_not_content() {
+        let mut p = ClockSkewProbe::new(ReplayProbe::new("r", trace(10)), 1000);
+        // The aggregator's window [1000, 2000) maps to true [0, 1000).
+        let got = p.poll(1000, 2000).unwrap();
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|r| r.start_ms >= 1000));
+        assert_eq!(p.horizon_ms(), Some(91 + 1000));
+        let mut back = ClockSkewProbe::new(ReplayProbe::new("r", trace(10)), -50);
+        let got = back.poll(0, 1000).unwrap();
+        // Records whose true time shifted below 0 saturate at 0.
+        assert!(got.iter().all(|r| r.start_ms < 1000));
+    }
+}

@@ -18,10 +18,15 @@
 //!   role swaps, host replacement, arrivals, removals, server splits.
 //! * [`trace`] — expansion of a generated network into flow records for
 //!   exercising the ingestion pipeline end to end.
+//! * [`faults`] — seeded fault-injection probe wrappers (flaky,
+//!   truncating, duplicating, clock-skewed) for chaos-testing the
+//!   aggregator's supervised ingestion.
 
 pub mod churn;
+pub mod faults;
 pub mod model;
 pub mod scenarios;
 pub mod trace;
 
+pub use faults::{ClockSkewProbe, DuplicatingProbe, FlakyProbe, TruncatingProbe};
 pub use model::{ConnRule, Fanout, GroundTruth, NetworkModel, RoleSpec, SyntheticNetwork};

@@ -173,7 +173,11 @@ pub fn big_company(seed: u64) -> SyntheticNetwork {
     // of the network — about 45% of all machines, per Section 6.1.
     m.rule(ConnRule::new(scanner, idle, Fanout::All));
     m.rule(ConnRule::new(scanner, servers, Fanout::Bernoulli(0.3)));
-    m.rule(ConnRule::new(scanner, dhcp_desktops, Fanout::Bernoulli(0.3)));
+    m.rule(ConnRule::new(
+        scanner,
+        dhcp_desktops,
+        Fanout::Bernoulli(0.3),
+    ));
 
     // Windows file sharing: nearly complete bipartite between the two
     // desktop pools, with "little intra-group communication".

@@ -72,7 +72,11 @@ pub fn expand(cs: &ConnectionSets, opts: TraceOptions, seed: u64) -> Vec<FlowRec
             let mut rec = FlowRecord {
                 src: b,
                 dst: a,
-                proto: if service == 53 { Proto::Udp } else { Proto::Tcp },
+                proto: if service == 53 {
+                    Proto::Udp
+                } else {
+                    Proto::Tcp
+                },
                 src_port: client_port,
                 dst_port: service,
                 packets: rng.gen_range(2..200),

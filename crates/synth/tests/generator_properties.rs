@@ -9,10 +9,7 @@ use synthnet::{churn, ConnRule, Fanout, NetworkModel, RoleSpec, SyntheticNetwork
 fn arb_model() -> impl Strategy<Value = NetworkModel> {
     (
         prop::collection::vec(1usize..8, 2..5), // role sizes
-        prop::collection::vec(
-            (0usize..4, 0usize..4, 0u8..4, 0.0f64..=1.0),
-            1..8,
-        ), // rules: from, to, fanout-kind, participation
+        prop::collection::vec((0usize..4, 0usize..4, 0u8..4, 0.0f64..=1.0), 1..8), // rules: from, to, fanout-kind, participation
     )
         .prop_map(|(sizes, rules)| {
             let mut m = NetworkModel::new();

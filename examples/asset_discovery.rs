@@ -35,7 +35,9 @@ fn main() {
         // truth to show the discovery is right.
         let mut roles: BTreeMap<&str, usize> = BTreeMap::new();
         for &m in &g.members {
-            *roles.entry(net.truth.role_of(m).unwrap_or("?")).or_default() += 1;
+            *roles
+                .entry(net.truth.role_of(m).unwrap_or("?"))
+                .or_default() += 1;
         }
         let dominant = roles
             .iter()

@@ -19,14 +19,18 @@ fn main() {
         ..trace::TraceOptions::default()
     };
     let records = trace::expand(&net.connsets, opts, 9);
-    println!("fabricated {} flows for the Figure 1 network", records.len());
+    println!(
+        "fabricated {} flows for the Figure 1 network",
+        records.len()
+    );
 
     // Path A: NetFlow v5 export stream.
     let wire = netflow::write_stream(&records, 1_000_000);
     println!(
         "netflow v5: {} bytes ({} packets)",
         wire.len(),
-        wire.len().div_ceil(netflow::HEADER_LEN + 30 * netflow::RECORD_LEN)
+        wire.len()
+            .div_ceil(netflow::HEADER_LEN + 30 * netflow::RECORD_LEN)
     );
     let from_netflow = netflow::parse_stream(&wire).expect("valid v5 stream");
 
@@ -34,7 +38,11 @@ fn main() {
     let capture = pcap::write_file(&records);
     println!("pcap: {} bytes", capture.len());
     let parsed = pcap::parse_file(&capture).expect("valid capture");
-    println!("pcap parse: {} flows, {} skipped", parsed.records.len(), parsed.skipped);
+    println!(
+        "pcap parse: {} flows, {} skipped",
+        parsed.records.len(),
+        parsed.skipped
+    );
 
     // Both paths must reconstruct the same connection sets.
     let build = |records: &[role_classification::flow::FlowRecord]| {

@@ -8,11 +8,10 @@
 //!
 //! Run with: `cargo run --release --example policy_monitoring`
 
-use role_classification::aggregator::{
-    Aggregator, AggregatorConfig, NewNeighborDetector, Policy, PolicyEngine, ReplayProbe,
-    Selector,
-};
 use role_classification::aggregator::LabelStore;
+use role_classification::aggregator::{
+    Aggregator, AggregatorConfig, NewNeighborDetector, Policy, PolicyEngine, ReplayProbe, Selector,
+};
 use role_classification::flow::FlowRecord;
 use role_classification::roleclass::Params;
 use role_classification::synthnet::{scenarios, trace};
@@ -32,6 +31,7 @@ fn main() {
         origin_ms: 0,
         params: Params::default(),
         min_flows: 1,
+        ..AggregatorConfig::default()
     });
     agg.attach(Box::new(ReplayProbe::new("core-switch", day0)));
     let run = agg.run_cycle();

@@ -14,6 +14,8 @@ use role_classification::roleclass::{
 };
 use role_classification::synthnet::{churn, scenarios};
 
+type DayMutation = Box<dyn Fn(&mut synthnet::SyntheticNetwork)>;
+
 fn main() {
     let params = Params::default();
     let mut net = scenarios::mazu(42);
@@ -27,7 +29,7 @@ fn main() {
         prev_grouping.group_count()
     );
 
-    let days: Vec<(&str, Box<dyn Fn(&mut synthnet::SyntheticNetwork)>)> = vec![
+    let days: Vec<(&str, DayMutation)> = vec![
         (
             "day 1: one eng host leaves, one new lab machine arrives",
             Box::new(|net: &mut synthnet::SyntheticNetwork| {
@@ -63,7 +65,13 @@ fn main() {
         mutate(&mut net);
         let curr_cs = net.connsets.clone();
         let classified = classify(&curr_cs, &params);
-        let corr = correlate(&prev_cs, &prev_grouping, &curr_cs, &classified.grouping, &params);
+        let corr = correlate(
+            &prev_cs,
+            &prev_grouping,
+            &curr_cs,
+            &classified.grouping,
+            &params,
+        );
         let renamed = apply_correlation(&corr, &classified.grouping);
         println!(
             "  {} groups ({} correlated to yesterday, {} new, {} vanished)",
@@ -80,7 +88,5 @@ fn main() {
 }
 
 fn indent(text: &str, prefix: &str) -> String {
-    text.lines()
-        .map(|l| format!("{prefix}{l}\n"))
-        .collect()
+    text.lines().map(|l| format!("{prefix}{l}\n")).collect()
 }

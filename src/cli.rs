@@ -212,14 +212,13 @@ fn load_connsets(o: &Options) -> Result<ConnectionSets, CliError> {
 }
 
 fn load_snapshot(path: &str) -> Result<Snapshot, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
     serde_json::from_str(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
 fn save_snapshot(path: &str, snap: &Snapshot) -> Result<(), CliError> {
-    let json = serde_json::to_string_pretty(snap)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let json = serde_json::to_string_pretty(snap).map_err(|e| CliError::runtime(e.to_string()))?;
     std::fs::write(path, json).map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
@@ -303,7 +302,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 o.params.k_hi = auto_k_hi_otsu(&cs).max(1);
             }
             let fresh = classify(&cs, &o.params);
-            let corr = correlate(&prev.connsets, &prev.grouping, &cs, &fresh.grouping, &o.params);
+            let corr = correlate(
+                &prev.connsets,
+                &prev.grouping,
+                &cs,
+                &fresh.grouping,
+                &o.params,
+            );
             let renamed = apply_correlation(&corr, &fresh.grouping);
             let mut out = String::new();
             use std::fmt::Write as _;

@@ -4,7 +4,7 @@
 use role_classification::cli::{run, Snapshot};
 use role_classification::flow::{netflow, pcap, rmon, textlog};
 use role_classification::synthnet::{scenarios, trace};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn args(list: &[&str]) -> Vec<String> {
     list.iter().map(|s| s.to_string()).collect()
@@ -18,7 +18,7 @@ fn workdir(name: &str) -> PathBuf {
 }
 
 /// Fabricates Figure-1 flow files in every supported format.
-fn write_inputs(dir: &PathBuf) -> Vec<(String, &'static str)> {
+fn write_inputs(dir: &Path) -> Vec<(String, &'static str)> {
     let net = scenarios::figure1(3, 3);
     let records = trace::expand(&net.connsets, trace::TraceOptions::default(), 5);
     let mut out = Vec::new();
@@ -81,8 +81,17 @@ fn classify_correlate_diff_workflow() {
 
     // Day 1: classify and snapshot.
     let out = run(&args(&[
-        "classify", "--input", flows, "--snapshot", &snap1, "--dot", &dot,
-        "--s-lo", "90", "--s-hi", "95",
+        "classify",
+        "--input",
+        flows,
+        "--snapshot",
+        &snap1,
+        "--dot",
+        &dot,
+        "--s-lo",
+        "90",
+        "--s-hi",
+        "95",
     ]))
     .unwrap();
     assert!(out.contains("wrote"));
@@ -94,8 +103,17 @@ fn classify_correlate_diff_workflow() {
 
     // Day 2: identical traffic correlates 1:1 with day 1.
     let out = run(&args(&[
-        "correlate", "--prev", &snap1, "--input", flows, "--snapshot", &snap2,
-        "--s-lo", "90", "--s-hi", "95",
+        "correlate",
+        "--prev",
+        &snap1,
+        "--input",
+        flows,
+        "--snapshot",
+        &snap2,
+        "--s-lo",
+        "90",
+        "--s-hi",
+        "95",
     ]))
     .unwrap();
     assert!(out.contains("correlated 5 of 5 groups"));

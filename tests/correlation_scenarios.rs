@@ -40,13 +40,16 @@ fn figure5_full_scenario() {
     let renamed = apply_correlation(&corr, &after.grouping);
 
     // "Every group in the new results is correlated with an old group."
-    assert!(corr.new_groups.is_empty(), "uncorrelated groups: {:?}", corr.new_groups);
+    assert!(
+        corr.new_groups.is_empty(),
+        "uncorrelated groups: {:?}",
+        corr.new_groups
+    );
     // Old groups may legitimately dissolve when the re-grouping has
     // fewer groups than before; anything beyond that is a correlation
     // failure.
     assert!(
-        corr.vanished_groups.len()
-            <= before.grouping.group_count() - after.grouping.group_count(),
+        corr.vanished_groups.len() <= before.grouping.group_count() - after.grouping.group_count(),
         "vanished: {:?}",
         corr.vanished_groups
     );
@@ -118,7 +121,13 @@ fn no_change_means_empty_diff() {
     let net = scenarios::mazu(7);
     let a = classify(&net.connsets, &params());
     let b = classify(&net.connsets, &params());
-    let corr = correlate(&net.connsets, &a.grouping, &net.connsets, &b.grouping, &params());
+    let corr = correlate(
+        &net.connsets,
+        &a.grouping,
+        &net.connsets,
+        &b.grouping,
+        &params(),
+    );
     let renamed = apply_correlation(&corr, &b.grouping);
     let diff = diff_groupings(&a.grouping, &renamed);
     assert!(diff.is_empty(), "diff:\n{}", diff.render());
@@ -136,11 +145,7 @@ fn heavy_churn_keeps_majority_of_ids() {
     }
     for i in 0..5u8 {
         let template = changed.role_hosts("eng")[i as usize];
-        churn::add_host_like(
-            &mut changed,
-            template,
-            HostAddr::from_octets(10, 0, 4, i),
-        );
+        churn::add_host_like(&mut changed, template, HostAddr::from_octets(10, 0, 4, i));
     }
     let after = classify(&changed.connsets, &params());
     let corr = correlate(

@@ -112,7 +112,11 @@ fn slo_sweep_is_monotone_and_khi_stabilizes() {
     };
     let at8 = count_at(8);
     for k_hi in 9..=14 {
-        assert_eq!(count_at(k_hi), at8, "figure 7 plateau violated at K^hi={k_hi}");
+        assert_eq!(
+            count_at(k_hi),
+            at8,
+            "figure 7 plateau violated at K^hi={k_hi}"
+        );
     }
     // And K^hi = 0 (always strict) yields at least as many groups.
     assert!(count_at(0) >= at8);
@@ -120,9 +124,7 @@ fn slo_sweep_is_monotone_and_khi_stabilizes() {
 
 #[test]
 fn grouping_beats_naive_baselines_on_mazu() {
-    use role_classification::cluster::{
-        similarity_components, SimilarityComponentsConfig,
-    };
+    use role_classification::cluster::{similarity_components, SimilarityComponentsConfig};
     let net = scenarios::mazu(42);
     let truth = net.truth.partition();
     let c = classify(&net.connsets, &Params::default());

@@ -57,6 +57,7 @@ fn aggregator_produces_stable_grouping_over_days() {
         origin_ms: 0,
         params: params(),
         min_flows: 1,
+        ..AggregatorConfig::default()
     });
     agg.attach(Box::new(ReplayProbe::new("p", all)));
     let cycles = agg.drain();

@@ -2,7 +2,9 @@
 //! generated networks and flow records.
 
 use proptest::prelude::*;
-use role_classification::flow::{netflow, pcap, textlog, ConnectionSets, FlowRecord, HostAddr, Proto};
+use role_classification::flow::{
+    netflow, pcap, textlog, ConnectionSets, FlowRecord, HostAddr, Proto,
+};
 use role_classification::roleclass::{classify, correlate, form_groups, Params};
 
 /// Strategy: an arbitrary small connection-set structure.

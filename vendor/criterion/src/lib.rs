@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Runs each benchmark as a short warmup followed by a time-boxed
+//! measurement loop and prints the mean iteration time. No statistics,
+//! plots, or saved baselines — just enough to keep `cargo bench`
+//! meaningful and the bench targets compiling.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Label for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+
+    /// Id with both a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; the stub runs one setup per
+/// measured batch regardless of the variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Each batch is exactly one iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time box fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let deadline = Instant::now() + MEASURE_BOX;
+        // Warmup: one untimed call so lazy initialization and cache
+        // effects land outside the measurement.
+        black_box(routine());
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measures `routine` on fresh input from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + MEASURE_BOX;
+        black_box(routine(setup()));
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+const MEASURE_BOX: Duration = Duration::from_millis(300);
+
+fn report(name: &str, bencher: &Bencher) {
+    if bencher.iters == 0 {
+        println!("{name}: no completed iterations within the time box");
+        return;
+    }
+    let mean = bencher.total / bencher.iters as u32;
+    println!("{name}: mean {mean:?} over {} iterations", bencher.iters);
+}
+
+/// Benchmark registry/driver (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's time box ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.text), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,342 @@
+//! Deserialization half: `Deserialize`, `Deserializer`, `de::Error`.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+use std::hash::Hash;
+
+/// Error trait every deserializer error must implement (mirrors
+/// `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of values (mirrors `serde::Deserializer`); everything
+/// funnels through [`Deserializer::take_value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the value tree to decode from.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// String-message error used by [`ValueDeserializer`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// Deserializer over an owned value tree.
+#[derive(Clone, Debug)]
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.value)
+    }
+}
+
+/// Decodes a `T` from an owned value tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer::new(v))
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+fn type_err<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+/// Extracts an unsigned integer, accepting integer values and — to
+/// support integers used as JSON object keys — numeric strings.
+fn as_u64<E: Error>(v: &Value, expected: &str) -> Result<u64, E> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        Value::F64(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => Ok(*f as u64),
+        Value::Str(s) => s
+            .parse::<u64>()
+            .map_err(|_| E::custom(format!("expected {expected}, got string {s:?}"))),
+        other => Err(type_err(expected, other)),
+    }
+}
+
+fn as_i64<E: Error>(v: &Value, expected: &str) -> Result<i64, E> {
+    match v {
+        Value::I64(n) => Ok(*n),
+        Value::U64(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+        Value::F64(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+            Ok(*f as i64)
+        }
+        Value::Str(s) => s
+            .parse::<i64>()
+            .map_err(|_| E::custom(format!("expected {expected}, got string {s:?}"))),
+        other => Err(type_err(expected, other)),
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = as_u64::<D::Error>(&v, stringify!($t))?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = as_i64::<D::Error>(&v, stringify!($t))?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(type_err("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_err("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_err("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom(format!(
+                "expected single character, got {s:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value::<T>(v).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+// `Option<T>` above consumes the value with a concrete `ValueDeserializer`,
+// so `T` only needs the blanket-lifetime bound; same for the containers
+// below.
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value::<T>(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(type_err("array", &other)),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Ord,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = from_value::<K>(Value::Str(k)).map_err(D::Error::custom)?;
+                    let val = from_value::<V>(v).map_err(D::Error::custom)?;
+                    Ok((key, val))
+                })
+                .collect(),
+            other => Err(type_err("object", &other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Eq + Hash,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = from_value::<K>(Value::Str(k)).map_err(D::Error::custom)?;
+                    let val = from_value::<V>(v).map_err(D::Error::custom)?;
+                    Ok((key, val))
+                })
+                .collect(),
+            other => Err(type_err("object", &other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($n:expr; $($name:ident),+) => {
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                match d.take_value()? {
+                    Value::Seq(items) => {
+                        if items.len() != $n {
+                            return Err(De::Error::custom(format!(
+                                "expected array of {} elements, got {}",
+                                $n,
+                                items.len()
+                            )));
+                        }
+                        let mut it = items.into_iter();
+                        Ok((
+                            $(
+                                from_value::<$name>(it.next().unwrap_or(Value::Null))
+                                    .map_err(De::Error::custom)?,
+                            )+
+                        ))
+                    }
+                    other => Err(type_err("array", &other)),
+                }
+            }
+        }
+    };
+}
+de_tuple!(1; A);
+de_tuple!(2; A, B);
+de_tuple!(3; A, B, C);
+de_tuple!(4; A, B, C, D);
+de_tuple!(5; A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round() {
+        assert_eq!(from_value::<u32>(Value::U64(7)).unwrap(), 7);
+        assert_eq!(from_value::<i32>(Value::I64(-7)).unwrap(), -7);
+        assert_eq!(from_value::<f64>(Value::U64(2)).unwrap(), 2.0);
+        assert_eq!(
+            from_value::<String>(Value::Str("x".into())).unwrap(),
+            "x".to_string()
+        );
+        assert!(from_value::<u8>(Value::U64(300)).is_err());
+        assert!(from_value::<bool>(Value::U64(1)).is_err());
+    }
+
+    #[test]
+    fn numeric_string_keys_parse() {
+        assert_eq!(from_value::<u32>(Value::Str("41".into())).unwrap(), 41);
+        assert!(from_value::<u32>(Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn containers_round() {
+        let v = Value::Seq(vec![Value::U64(1), Value::U64(2)]);
+        assert_eq!(from_value::<Vec<u8>>(v).unwrap(), vec![1, 2]);
+        let m = Value::Map(vec![("5".to_string(), Value::Str("a".into()))]);
+        let map: BTreeMap<u32, String> = from_value(m).unwrap();
+        assert_eq!(map.get(&5).map(String::as_str), Some("a"));
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+        assert_eq!(from_value::<Option<u8>>(Value::U64(3)).unwrap(), Some(3));
+        let t: (u8, String) =
+            from_value(Value::Seq(vec![Value::U64(1), Value::Str("b".into())])).unwrap();
+        assert_eq!(t, (1, "b".to_string()));
+        assert!(from_value::<(u8, u8)>(Value::Seq(vec![Value::U64(1)])).is_err());
+    }
+}

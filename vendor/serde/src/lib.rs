@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the *subset* of the serde 1.x API surface the workspace
+//! actually uses, over a simple owned value tree ([`value::Value`])
+//! instead of serde's zero-copy visitor architecture. The public trait
+//! signatures (`Serialize`, `Deserialize`, `Serializer`, `Deserializer`,
+//! `ser::Error`, `de::Error`) match serde closely enough that all
+//! hand-written impls and `#[derive(Serialize, Deserialize)]` code in
+//! this repository compile unchanged; swapping the real serde back in
+//! requires only a Cargo.toml change.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Items the derive macro expansion needs at stable paths.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::de::{from_value, DeError, ValueDeserializer};
+    pub use crate::ser::{to_value, SerError, ValueSerializer};
+    pub use crate::value::{take_entry, Value};
+}

@@ -1,0 +1,285 @@
+//! Serialization half: `Serialize`, `Serializer`, `ser::Error`.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+
+/// Error trait every serializer error must implement (mirrors
+/// `serde::ser::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format (or value sink) that can consume the data model.
+///
+/// Unlike real serde's 30-method trait, everything funnels through
+/// [`Serializer::serialize_value`]; `collect_str` is kept as a distinct
+/// entry point because hand-written impls in this workspace call it.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a fully-built value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a value via its `Display` representation.
+    fn collect_str<T: Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(value.to_string()))
+    }
+}
+
+/// A type that can describe itself to any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// String-message error used by [`ValueSerializer`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SerError(pub String);
+
+impl Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// Serializer that materializes the value tree itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, SerError> {
+        Ok(v)
+    }
+}
+
+/// Serializes any value into the owned tree. Infallible for every
+/// `Serialize` impl in this workspace (the only error path is a map key
+/// that is neither a string nor an integer, which [`to_value`] reports
+/// by embedding an error marker — see [`map_key`]).
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    match v.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => Value::Str(format!("<serialization error: {e}>")),
+    }
+}
+
+/// Renders a value usable as an object key (strings and integers only,
+/// like `serde_json` map-key semantics).
+pub fn map_key(v: &Value) -> Result<String, SerError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        other => Err(SerError(format!(
+            "map key must be a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_value(Value::U64(v as u64))
+                } else {
+                    s.serialize_value(Value::I64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = map_key(&to_value(k)).map_err(S::Error::custom)?;
+            entries.push((key, to_value(v)));
+        }
+        s.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = map_key(&to_value(k)).map_err(S::Error::custom)?;
+            entries.push((key, to_value(v)));
+        }
+        s.serialize_value(Value::Map(entries))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+    };
+}
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_to_value() {
+        assert_eq!(to_value(&7u32), Value::U64(7));
+        assert_eq!(to_value(&-3i64), Value::I64(-3));
+        assert_eq!(to_value(&true), Value::Bool(true));
+        assert_eq!(to_value(&1.5f64), Value::F64(1.5));
+        assert_eq!(to_value("hi"), Value::Str("hi".to_string()));
+        assert_eq!(to_value(&None::<u8>), Value::Null);
+        assert_eq!(to_value(&Some(1u8)), Value::U64(1));
+    }
+
+    #[test]
+    fn collections_to_value() {
+        assert_eq!(
+            to_value(&vec![1u8, 2]),
+            Value::Seq(vec![Value::U64(1), Value::U64(2)])
+        );
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        assert_eq!(
+            to_value(&m),
+            Value::Map(vec![("3".to_string(), Value::Str("x".to_string()))])
+        );
+        assert_eq!(
+            to_value(&(1u8, "a")),
+            Value::Seq(vec![Value::U64(1), Value::Str("a".to_string())])
+        );
+    }
+
+    #[test]
+    fn non_scalar_map_key_is_rejected() {
+        assert!(map_key(&Value::Seq(vec![])).is_err());
+        assert_eq!(map_key(&Value::U64(9)).unwrap(), "9");
+    }
+}

@@ -1,0 +1,71 @@
+//! The owned value tree all (de)serialization routes through.
+
+/// A JSON-shaped value: the serialization data model of this stand-in.
+///
+/// Unsigned and signed integers are kept apart so `u64` values above
+/// `i64::MAX` survive a round trip losslessly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, preserving insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable name of the value's kind, for error
+    /// messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Removes and returns the first entry named `key` from an object's
+/// entry list (derive-macro helper for struct field extraction).
+pub fn take_entry(entries: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+    let idx = entries.iter().position(|(k, _)| k == key)?;
+    Some(entries.remove(idx).1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_entry_removes_first_match() {
+        let mut m = vec![
+            ("a".to_string(), Value::U64(1)),
+            ("b".to_string(), Value::U64(2)),
+        ];
+        assert_eq!(take_entry(&mut m, "b"), Some(Value::U64(2)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(take_entry(&mut m, "b"), None);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Value::Null.kind(), "null");
+        assert_eq!(Value::U64(1).kind(), "integer");
+        assert_eq!(Value::Seq(vec![]).kind(), "array");
+    }
+}

@@ -1,0 +1,539 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls targeting the vendored
+//! `serde` value model. Since `syn`/`quote` are unavailable offline, the
+//! item is parsed directly from its token stream. Supported shapes —
+//! exactly the ones this workspace uses:
+//!
+//! * structs with named fields (honoring `#[serde(default)]` and
+//!   `#[serde(with = "module")]` field attributes),
+//! * tuple/newtype structs,
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching `serde_json`'s representation).
+//!
+//! Generics, lifetimes, and other serde attributes are intentionally
+//! unsupported and produce a compile-time panic naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: substitute `Default::default()` when absent.
+    default: bool,
+    /// `#[serde(with = "path")]`: route through `path::{serialize,deserialize}`.
+    with: Option<String>,
+}
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple layout with this arity.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// Serde-relevant attributes gathered from one `#[...]` run.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    with: Option<String>,
+}
+
+/// Consumes any leading attributes starting at `i`, folding `serde`
+/// attribute contents into the result.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, SerdeAttrs) {
+    let mut attrs = SerdeAttrs::default();
+    while i + 1 < tokens.len() {
+        let (TokenTree::Punct(p), TokenTree::Group(g)) = (&tokens[i], &tokens[i + 1]) else {
+            break;
+        };
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        parse_serde_attr(&g.stream(), &mut attrs);
+        i += 2;
+    }
+    (i, attrs)
+}
+
+/// Parses the inside of one `#[...]`; folds in `serde(...)` settings.
+fn parse_serde_attr(stream: &TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment or foreign attribute
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                attrs.default = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                let Some(TokenTree::Literal(lit)) = inner.get(j + 2) else {
+                    panic!("serde_derive: expected #[serde(with = \"path\")]");
+                };
+                let raw = lit.to_string();
+                attrs.with = Some(raw.trim_matches('"').to_string());
+                j += 3;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(...)` visibility starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline stand-in");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(&g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Fields::Tuple(count_tuple_fields(&g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Struct(Fields::Unit),
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Parses `name: Type, ...` field lists (types are skipped; only names
+/// and serde attributes matter to the generated code).
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, attrs) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma outside any generic
+        // angle-bracket nesting (grouped tokens are single trees, so
+        // only `<`/`>` depth needs tracking).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            with: attrs.with,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant payload.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let mut count = 0;
+    let mut pending = false;
+    let mut angle = 0i32;
+    for tt in stream.clone() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if pending {
+                    count += 1;
+                    pending = false;
+                }
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _attrs) = skip_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            } else if p.as_char() == '=' {
+                panic!("serde_derive: explicit discriminants are not supported");
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+const VAL: &str = "serde::__private::Value";
+const TO_VALUE: &str = "serde::__private::to_value";
+const FROM_VALUE: &str = "serde::__private::from_value";
+const TAKE_ENTRY: &str = "serde::__private::take_entry";
+const SER_ERR: &str = "<S::Error as serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as serde::de::Error>::custom";
+
+/// `vec![("a".to_string(), to_value(&EXPR.a)), ...]` for named fields;
+/// `access` is the prefix producing each field (e.g. `self.` or a
+/// binding prefix for enum struct variants).
+fn named_entries(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut entries: Vec<(String, ");
+    out.push_str(VAL);
+    out.push_str(")> = Vec::new(); ");
+    for f in fields {
+        let expr = access(&f.name);
+        match &f.with {
+            None => out.push_str(&format!(
+                "entries.push((String::from(\"{n}\"), {TO_VALUE}(&{expr})));",
+                n = f.name
+            )),
+            Some(path) => out.push_str(&format!(
+                "entries.push((String::from(\"{n}\"), \
+                 {path}::serialize(&{expr}, serde::__private::ValueSerializer)\
+                 .map_err({SER_ERR})?));",
+                n = f.name
+            )),
+        }
+    }
+    out.push_str(&format!("{VAL}::Map(entries) }}"));
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries = named_entries(fields, &|f| format!("self.{f}"));
+            format!("serializer.serialize_value({entries})")
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            "serde::ser::Serialize::serialize(&self.0, serializer)".to_string()
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("{TO_VALUE}(&self.{i})")).collect();
+            format!(
+                "serializer.serialize_value({VAL}::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => format!("serializer.serialize_value({VAL}::Null)"),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serializer.serialize_value(\
+                         {VAL}::Str(String::from(\"{vn}\"))),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            format!("{TO_VALUE}(f0)")
+                        } else {
+                            let items: Vec<String> =
+                                binds.iter().map(|b| format!("{TO_VALUE}({b})")).collect();
+                            format!("{VAL}::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serializer.serialize_value(\
+                             {VAL}::Map(vec![(String::from(\"{vn}\"), {payload})])),",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{n}: b_{n}", n = f.name))
+                            .collect();
+                        let entries = named_entries(fields, &|f| format!("b_{f}"));
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => serializer.serialize_value(\
+                             {VAL}::Map(vec![(String::from(\"{vn}\"), {entries})])),",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::ser::Serialize for {name} {{ \
+         fn serialize<S: serde::ser::Serializer>(&self, serializer: S) \
+         -> Result<S::Ok, S::Error> {{ {body} }} }}"
+    )
+}
+
+/// Builds the field initializers of a named-field constructor from a
+/// mutable `entries` vector in scope.
+fn named_inits(type_label: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        let missing = if f.default {
+            "Default::default()".to_string()
+        } else {
+            format!("return Err({DE_ERR}(\"missing field `{n}` in {type_label}\"))")
+        };
+        let decode = match &f.with {
+            None => format!("{FROM_VALUE}(v).map_err({DE_ERR})?"),
+            Some(path) => format!(
+                "{path}::deserialize(serde::__private::ValueDeserializer::new(v))\
+                 .map_err({DE_ERR})?"
+            ),
+        };
+        out.push_str(&format!(
+            "{n}: match {TAKE_ENTRY}(&mut entries, \"{n}\") {{ \
+             Some(v) => {decode}, None => {missing}, }},"
+        ));
+    }
+    out
+}
+
+/// Builds a positional decode of `n` values from an `items` vector in
+/// scope, as comma-separated expressions.
+fn tuple_args(n: usize) -> String {
+    (0..n)
+        .map(|_| {
+            format!(
+                "match it.next() {{ \
+                 Some(v) => {FROM_VALUE}(v).map_err({DE_ERR})?, \
+                 None => return Err({DE_ERR}(\"array too short\")), }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits = named_inits(&format!("struct {name}"), fields);
+            format!(
+                "let mut entries = match deserializer.take_value()? {{ \
+                 {VAL}::Map(m) => m, \
+                 other => return Err({DE_ERR}(format!(\
+                 \"expected object for struct {name}, got {{}}\", other.kind()))), }}; \
+                 let _ = &mut entries; \
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}({FROM_VALUE}(deserializer.take_value()?).map_err({DE_ERR})?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => format!(
+            "let items = match deserializer.take_value()? {{ \
+             {VAL}::Seq(s) => s, \
+             other => return Err({DE_ERR}(format!(\
+             \"expected array for struct {name}, got {{}}\", other.kind()))), }}; \
+             if items.len() != {n} {{ return Err({DE_ERR}(format!(\
+             \"expected {n} elements for struct {name}, got {{}}\", items.len()))); }} \
+             let mut it = items.into_iter(); \
+             Ok({name}({args}))",
+            args = tuple_args(*n)
+        ),
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                        // Tolerate the `{"V": null}` spelling too.
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match payload {{ \
+                             {VAL}::Null => Ok({name}::{vn}), \
+                             other => Err({DE_ERR}(format!(\
+                             \"unexpected payload for unit variant {name}::{vn}: {{}}\", \
+                             other.kind()))), }},"
+                        ));
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(\
+                         {FROM_VALUE}(payload).map_err({DE_ERR})?)),"
+                    )),
+                    Fields::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{ \
+                         let items = match payload {{ \
+                         {VAL}::Seq(s) => s, \
+                         other => return Err({DE_ERR}(format!(\
+                         \"expected array for variant {name}::{vn}, got {{}}\", \
+                         other.kind()))), }}; \
+                         if items.len() != {n} {{ return Err({DE_ERR}(format!(\
+                         \"expected {n} elements for variant {name}::{vn}, got {{}}\", \
+                         items.len()))); }} \
+                         let mut it = items.into_iter(); \
+                         Ok({name}::{vn}({args})) }},",
+                        args = tuple_args(*n)
+                    )),
+                    Fields::Named(fields) => {
+                        let inits = named_inits(&format!("variant {name}::{vn}"), fields);
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                             let mut entries = match payload {{ \
+                             {VAL}::Map(m) => m, \
+                             other => return Err({DE_ERR}(format!(\
+                             \"expected object for variant {name}::{vn}, got {{}}\", \
+                             other.kind()))), }}; \
+                             let _ = &mut entries; \
+                             Ok({name}::{vn} {{ {inits} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match deserializer.take_value()? {{ \
+                 {VAL}::Str(tag) => match tag.as_str() {{ \
+                 {unit_arms} \
+                 other => Err({DE_ERR}(format!(\
+                 \"unknown variant `{{other}}` of enum {name}\"))), }}, \
+                 {VAL}::Map(mut entries) => {{ \
+                 if entries.len() != 1 {{ return Err({DE_ERR}(\
+                 \"expected single-key object for enum {name}\")); }} \
+                 let (tag, payload) = entries.remove(0); \
+                 let _ = &payload; \
+                 match tag.as_str() {{ \
+                 {data_arms} \
+                 other => Err({DE_ERR}(format!(\
+                 \"unknown variant `{{other}}` of enum {name}\"))), }} }}, \
+                 other => Err({DE_ERR}(format!(\
+                 \"expected string or object for enum {name}, got {{}}\", other.kind()))), }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl<'de> serde::de::Deserialize<'de> for {name} {{ \
+         fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) \
+         -> Result<Self, D::Error> {{ {body} }} }}"
+    )
+}
