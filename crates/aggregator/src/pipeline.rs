@@ -19,7 +19,7 @@ use crate::probe::Probe;
 use crate::supervisor::{PollOutcome, ProbeHealth, ProbeStats, ProbeSupervisor, SupervisorConfig};
 use flow::{ConnectionSets, ConnsetBuilder, FlowRecord, TimeWindow};
 use parking_lot::RwLock;
-use roleclass::{apply_correlation, classify, correlate, Correlation, Grouping, Params};
+use roleclass::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -113,6 +113,7 @@ pub struct RunRecord {
 /// The aggregator.
 pub struct Aggregator {
     config: AggregatorConfig,
+    engine: Engine,
     probes: Vec<ProbeSupervisor>,
     history: Arc<RwLock<Vec<RunRecord>>>,
     next_window_start: u64,
@@ -120,14 +121,28 @@ pub struct Aggregator {
 
 impl Aggregator {
     /// Creates an aggregator with no probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.params` fail validation; use
+    /// [`Aggregator::try_new`] when the parameters come from user
+    /// configuration.
     pub fn new(config: AggregatorConfig) -> Self {
+        Self::try_new(config).expect("invalid parameters")
+    }
+
+    /// Creates an aggregator with no probes, rejecting invalid
+    /// [`Params`] instead of panicking later mid-cycle.
+    pub fn try_new(config: AggregatorConfig) -> Result<Self, ParamError> {
+        let engine = Engine::new(config.params)?;
         let next = config.origin_ms;
-        Aggregator {
+        Ok(Aggregator {
             config,
+            engine,
             probes: Vec::new(),
             history: Arc::new(RwLock::new(Vec::new())),
             next_window_start: next,
-        }
+        })
     }
 
     /// Attaches a probe, wrapping it in the configured supervision.
@@ -225,30 +240,17 @@ impl Aggregator {
         health.records_accepted = build_stats.kept_flows;
         health.records_dropped = build_stats.dropped_flows;
 
-        let classification = classify(&connsets, &self.config.params);
-        let (grouping, correlation) = {
-            let history = self.history.read();
-            match history.last() {
-                None => (classification.grouping, None),
-                Some(prev) => {
-                    let corr = correlate(
-                        &prev.connsets,
-                        &prev.grouping,
-                        &connsets,
-                        &classification.grouping,
-                        &self.config.params,
-                    );
-                    let renamed = apply_correlation(&corr, &classification.grouping);
-                    (renamed, Some(corr))
-                }
-            }
-        };
+        // The engine classifies, correlates against its retained
+        // snapshot of the previous window, and keeps the new snapshot
+        // warm for the next cycle ([`adopt_history`] re-anchors it when
+        // history is replaced wholesale).
+        let outcome = self.engine.run_window(&connsets);
 
         let record = RunRecord {
             window,
             connsets,
-            grouping,
-            correlation,
+            grouping: outcome.grouping,
+            correlation: outcome.correlation,
             health,
         };
         self.history.write().push(record.clone());
@@ -315,11 +317,18 @@ impl Aggregator {
     }
 
     /// Replaces the history with `runs`; the next window resumes after
-    /// the last one. Returns the number of adopted runs.
+    /// the last one, and the engine's correlation anchor is re-pointed
+    /// at it so group ids stay stable across the import. Returns the
+    /// number of adopted runs.
     pub fn adopt_history(&mut self, runs: Vec<RunRecord>) -> usize {
         if let Some(last) = runs.last() {
             self.next_window_start = last.window.end_ms;
         }
+        self.engine
+            .set_previous(runs.last().map(|r| EngineSnapshot {
+                connsets: r.connsets.clone(),
+                grouping: r.grouping.clone(),
+            }));
         let n = runs.len();
         *self.history.write() = runs;
         n
@@ -386,6 +395,18 @@ mod tests {
             min_flows: 1,
             supervisor: SupervisorConfig::immediate(),
         }
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_params() {
+        let mut cfg = config();
+        cfg.params = Params {
+            s_lo: 90.0,
+            s_hi: 80.0,
+            ..Params::default()
+        };
+        assert!(Aggregator::try_new(cfg).is_err());
+        assert!(Aggregator::try_new(config()).is_ok());
     }
 
     #[test]

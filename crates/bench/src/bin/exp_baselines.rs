@@ -7,12 +7,12 @@
 //! distance (three linkages), and (iii) a thresholded similarity-graph
 //! connected-components baseline.
 
-use bench::{banner, render_table, timed};
+use bench::{banner, classify_report, render_table, timed};
 use cluster::{
     hac::Linkage, hac_cluster, lpa_cluster, metrics, similarity_components, HacConfig, LpaConfig,
     SimilarityComponentsConfig,
 };
-use roleclass::{classify, Params};
+use roleclass::prelude::*;
 use synthnet::scenarios;
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
         ]);
     };
 
-    let (c, secs) = timed(|| classify(&net.connsets, &Params::default()));
+    let (c, secs) = classify_report("mazu", &net, &Params::default(), "");
     score(
         "role-classification (paper)",
         c.grouping.as_partition(),

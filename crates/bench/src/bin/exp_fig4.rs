@@ -8,9 +8,9 @@
 //! partitioning (the paper reports SS=452, SD=710, DS=133, DD=3856,
 //! R=0.8363 against the administrator's partitioning).
 
-use bench::{banner, render_table};
+use bench::{banner, classify_report, render_table};
 use cluster::metrics;
-use roleclass::{classify, Params};
+use roleclass::prelude::*;
 use std::collections::BTreeMap;
 use synthnet::scenarios;
 
@@ -20,12 +20,11 @@ fn main() {
         "Figure 4 (Mazu grouping) + §6.1 Rand statistic",
     );
     let net = scenarios::mazu(42);
-    let c = classify(&net.connsets, &Params::default());
-
-    println!(
-        "mazu: {} hosts -> {} groups (paper: 110 hosts -> 25 groups)\n",
-        net.host_count(),
-        c.grouping.group_count()
+    let (c, _) = classify_report(
+        "mazu",
+        &net,
+        &Params::default(),
+        "paper: 110 hosts -> 25 groups",
     );
 
     for nb in &c.neighborhoods {

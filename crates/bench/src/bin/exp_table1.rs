@@ -11,20 +11,19 @@
 //! | 1092  | 167     | IP-Phones         |
 //! | 1075  | 156     | StaticIP-Desktops |
 
-use bench::{banner, render_table};
-use roleclass::{classify, Params};
+use bench::{banner, classify_report, render_table};
+use roleclass::prelude::*;
 use std::collections::BTreeMap;
 use synthnet::scenarios;
 
 fn main() {
     banner("tab1_bigco", "Table 1 (five largest BigCompany groups)");
     let net = scenarios::big_company(1);
-    let (c, secs) = bench::timed(|| classify(&net.connsets, &Params::default()));
-    println!(
-        "big_company: {} hosts -> {} groups in {:.1}s (paper: 3638 -> 137 groups)\n",
-        net.host_count(),
-        c.grouping.group_count(),
-        secs
+    let (c, _) = classify_report(
+        "big_company",
+        &net,
+        &Params::default(),
+        "paper: 3638 -> 137 groups",
     );
 
     let mut rows = Vec::new();

@@ -64,6 +64,33 @@ pub fn banner(id: &str, paper_artifact: &str) {
     println!("=== {id} — reproduces {paper_artifact} ===");
 }
 
+/// The classify-and-report opener most experiment binaries start with:
+/// runs the full classification on a synthetic network, prints the
+/// standard `<name>: H hosts -> G groups in S s (note)` line, and
+/// returns the classification plus elapsed seconds.
+///
+/// Replaces the copy-pasted `timed(|| classify(...))` + `println!`
+/// blocks the binaries used to carry individually.
+pub fn classify_report(
+    name: &str,
+    net: &synthnet::SyntheticNetwork,
+    params: &roleclass::Params,
+    paper_note: &str,
+) -> (roleclass::Classification, f64) {
+    let (c, secs) = timed(|| roleclass::classify(&net.connsets, params));
+    let note = if paper_note.is_empty() {
+        String::new()
+    } else {
+        format!(" ({paper_note})")
+    };
+    println!(
+        "{name}: {} hosts -> {} groups in {secs:.3}s{note}\n",
+        net.host_count(),
+        c.grouping.group_count(),
+    );
+    (c, secs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

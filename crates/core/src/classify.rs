@@ -1,9 +1,9 @@
 //! The public entry point: full two-phase role classification.
 
-use crate::formation::{form_groups, FormationEvent};
+use crate::formation::{form_groups_validated, FormationEvent, FormationResult};
 use crate::group::{GroupId, Grouping};
-use crate::merging::{merge_groups, MergeEvent};
-use crate::params::Params;
+use crate::merging::{merge_groups_validated, MergeEvent};
+use crate::params::{ParamError, Params};
 use flow::ConnectionSets;
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +26,7 @@ pub struct GroupNeighborhood {
 }
 
 /// Result of a full classification run.
+#[derive(Clone, Debug)]
 pub struct Classification {
     /// The final partitioning.
     pub grouping: Grouping,
@@ -72,13 +73,40 @@ impl Classification {
 /// Runs the complete role classification algorithm (Section 4): group
 /// formation followed by group merging.
 ///
+/// This is the panicking convenience wrapper around [`try_classify`];
+/// prefer the fallible variant (or [`Engine`](crate::engine::Engine),
+/// which validates once and caches cross-window state) in code whose
+/// parameters come from users or configuration.
+///
 /// # Panics
 ///
 /// Panics if `params` fail [`Params::validate`].
 pub fn classify(cs: &ConnectionSets, params: &Params) -> Classification {
-    let formation = form_groups(cs, params);
+    try_classify(cs, params).expect("invalid parameters")
+}
+
+/// Fallible entry point of the full classification: validates `params`,
+/// then runs formation and merging.
+pub fn try_classify(cs: &ConnectionSets, params: &Params) -> Result<Classification, ParamError> {
+    params.validate()?;
+    Ok(classify_validated(cs, params))
+}
+
+/// Full classification with pre-validated `params`.
+pub(crate) fn classify_validated(cs: &ConnectionSets, params: &Params) -> Classification {
+    finish_classification(cs, form_groups_validated(cs, params), params)
+}
+
+/// Merges a formation result and assembles the [`Classification`]
+/// (merge phase + the Figure 4 neighborhood summaries). Callers must
+/// have validated `params`.
+pub(crate) fn finish_classification(
+    cs: &ConnectionSets,
+    formation: FormationResult,
+    params: &Params,
+) -> Classification {
     let formation_trace = formation.trace.clone();
-    let out = merge_groups(cs, formation, params);
+    let out = merge_groups_validated(cs, formation, params);
 
     let mut neighborhoods = Vec::with_capacity(out.grouping.group_count());
     for (idx, group) in out.grouping.groups().iter().enumerate() {
@@ -177,6 +205,17 @@ mod tests {
         let (_, avg) = nb.neighbors.iter().find(|(g, _)| *g == mw_id).unwrap();
         assert!((avg - 2.0).abs() < 1e-9);
         assert!((nb.avg_conns - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_classify_rejects_invalid_params() {
+        let bad = Params {
+            s_lo: 90.0,
+            s_hi: 80.0,
+            ..Params::default()
+        };
+        assert!(try_classify(&figure1(), &bad).is_err());
+        assert!(try_classify(&figure1(), &Params::default()).is_ok());
     }
 
     #[test]

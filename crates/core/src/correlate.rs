@@ -24,7 +24,7 @@
 //!    accept sufficiently similar pairs.
 
 use crate::group::{GroupId, Grouping};
-use crate::params::Params;
+use crate::params::{ParamError, Params};
 use flow::{ConnectionSets, HostAddr};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -301,6 +301,16 @@ fn neighbor_group_similarity(
 ///
 /// `prev_cs`/`curr_cs` must be the connection sets the respective
 /// groupings were computed from.
+///
+/// This is the panicking convenience wrapper around [`try_correlate`];
+/// prefer the fallible variant (or
+/// [`Engine::run_window`](crate::engine::Engine::run_window), which
+/// validates once and correlates automatically) in code whose
+/// parameters come from users or configuration.
+///
+/// # Panics
+///
+/// Panics if `params` fail validation.
 pub fn correlate(
     prev_cs: &ConnectionSets,
     prev_grouping: &Grouping,
@@ -308,7 +318,37 @@ pub fn correlate(
     curr_grouping: &Grouping,
     params: &Params,
 ) -> Correlation {
-    params.validate().expect("invalid parameters");
+    try_correlate(prev_cs, prev_grouping, curr_cs, curr_grouping, params)
+        .expect("invalid parameters")
+}
+
+/// Fallible entry point of role correlation: validates `params`, then
+/// correlates.
+pub fn try_correlate(
+    prev_cs: &ConnectionSets,
+    prev_grouping: &Grouping,
+    curr_cs: &ConnectionSets,
+    curr_grouping: &Grouping,
+    params: &Params,
+) -> Result<Correlation, ParamError> {
+    params.validate()?;
+    Ok(correlate_validated(
+        prev_cs,
+        prev_grouping,
+        curr_cs,
+        curr_grouping,
+        params,
+    ))
+}
+
+/// Correlation proper. Callers must have validated `params`.
+pub(crate) fn correlate_validated(
+    prev_cs: &ConnectionSets,
+    prev_grouping: &Grouping,
+    curr_cs: &ConnectionSets,
+    curr_grouping: &Grouping,
+    params: &Params,
+) -> Correlation {
     let mut out = Correlation {
         added_hosts: curr_cs.hosts_not_in(prev_cs),
         removed_hosts: prev_cs.hosts_not_in(curr_cs),

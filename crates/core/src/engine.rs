@@ -1,0 +1,315 @@
+//! The reusable classification engine: validate once, stage the phases,
+//! keep warm state across observation windows.
+//!
+//! The free functions ([`classify`](crate::classify::classify),
+//! [`form_groups`](crate::formation::form_groups), …) re-validate
+//! parameters on every call and forget everything between calls. A
+//! long-running pipeline classifying one window per day wants the
+//! opposite shape, which is what [`Engine`] provides:
+//!
+//! * **Fallible construction** — [`Engine::new`] validates [`Params`]
+//!   exactly once and returns `Err(ParamError)` instead of panicking;
+//!   every method past that point is infallible by construction.
+//! * **Staged execution** — [`Engine::form`] runs the kernel-backed
+//!   formation sweep and hands back a [`Formed`] stage whose
+//!   intermediate result can be inspected (the Figure 2 trace) before
+//!   [`Formed::merge`] completes the classification; [`Merged`] then
+//!   exposes correlation against any previous snapshot.
+//! * **Warm cross-window state** — [`Engine::run_window`] classifies a
+//!   window, correlates it against the engine's retained snapshot of the
+//!   previous window so group ids stay stable, and retains the new
+//!   snapshot, exactly the loop the aggregator runs per window.
+//!
+//! ```
+//! use flow::{ConnectionSets, HostAddr};
+//! use roleclass::prelude::*;
+//!
+//! let mut cs = ConnectionSets::new();
+//! for ws in [10u32, 11] {
+//!     for srv in [1u32, 2] {
+//!         cs.add_pair(HostAddr(ws), HostAddr(srv));
+//!     }
+//! }
+//! let mut engine = Engine::new(Params::default()).expect("defaults are valid");
+//! let first = engine.run_window(&cs);
+//! let second = engine.run_window(&cs); // correlated: same ids
+//! assert!(second.correlation.is_some());
+//! assert_eq!(
+//!     first.grouping.group_of(HostAddr(10)),
+//!     second.grouping.group_of(HostAddr(10)),
+//! );
+//! ```
+
+use crate::classify::{classify_validated, finish_classification, Classification};
+use crate::correlate::{apply_correlation, correlate_validated, Correlation};
+use crate::formation::{form_groups_validated, FormationResult};
+use crate::group::Grouping;
+use crate::merging::merge_groups_validated;
+use crate::params::{ParamError, Params};
+use flow::ConnectionSets;
+
+/// What the engine remembers of a completed window: the connection sets
+/// it classified and the (correlated) grouping it produced. This is the
+/// anchor the next window's correlation runs against.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    /// Connection sets of the window.
+    pub connsets: ConnectionSets,
+    /// The grouping, with ids as published (i.e. after correlation).
+    pub grouping: Grouping,
+}
+
+/// One window's outcome from [`Engine::run_window`].
+#[derive(Clone, Debug)]
+pub struct WindowOutcome {
+    /// The full classification (traces, neighborhoods). Its grouping
+    /// carries *raw* ids, as `classify` would assign them.
+    pub classification: Classification,
+    /// The published grouping: raw ids renamed through `correlation` so
+    /// stable roles keep stable ids across windows.
+    pub grouping: Grouping,
+    /// Correlation against the previous window (`None` for the first).
+    pub correlation: Option<Correlation>,
+}
+
+/// A reusable, validated classification engine. See the [module
+/// docs](self) for the design.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    params: Params,
+    prev: Option<EngineSnapshot>,
+}
+
+impl Engine {
+    /// Creates an engine, validating `params` once and for all.
+    pub fn new(params: Params) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(Engine { params, prev: None })
+    }
+
+    /// The validated parameters this engine runs with.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Runs the formation phase over `cs`, returning the staged result.
+    pub fn form<'e>(&'e self, cs: &'e ConnectionSets) -> Formed<'e> {
+        Formed {
+            engine: self,
+            cs,
+            result: form_groups_validated(cs, &self.params),
+        }
+    }
+
+    /// Full two-phase classification of one window, without touching the
+    /// engine's cross-window state. Equivalent to
+    /// [`classify`](crate::classify::classify) minus the re-validation.
+    pub fn classify(&self, cs: &ConnectionSets) -> Classification {
+        classify_validated(cs, &self.params)
+    }
+
+    /// Classifies `cs`, correlates against the previous window's
+    /// snapshot (if any) so group ids stay stable, and retains the new
+    /// snapshot for the next call.
+    pub fn run_window(&mut self, cs: &ConnectionSets) -> WindowOutcome {
+        let classification = self.classify(cs);
+        let (grouping, correlation) = match &self.prev {
+            None => (classification.grouping.clone(), None),
+            Some(prev) => {
+                let corr = correlate_validated(
+                    &prev.connsets,
+                    &prev.grouping,
+                    cs,
+                    &classification.grouping,
+                    &self.params,
+                );
+                (
+                    apply_correlation(&corr, &classification.grouping),
+                    Some(corr),
+                )
+            }
+        };
+        self.prev = Some(EngineSnapshot {
+            connsets: cs.clone(),
+            grouping: grouping.clone(),
+        });
+        WindowOutcome {
+            classification,
+            grouping,
+            correlation,
+        }
+    }
+
+    /// The retained snapshot of the last completed window, if any.
+    pub fn previous(&self) -> Option<&EngineSnapshot> {
+        self.prev.as_ref()
+    }
+
+    /// Replaces the retained snapshot — how a pipeline restored from a
+    /// checkpoint re-anchors correlation on imported history.
+    pub fn set_previous(&mut self, snapshot: Option<EngineSnapshot>) {
+        self.prev = snapshot;
+    }
+
+    /// Drops the retained snapshot; the next [`Engine::run_window`]
+    /// starts a fresh id space.
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// The formation stage: groups are formed, merging has not run. Borrow
+/// the trace for inspection, or [`merge`](Formed::merge) to continue.
+pub struct Formed<'e> {
+    engine: &'e Engine,
+    cs: &'e ConnectionSets,
+    result: FormationResult,
+}
+
+impl<'e> Formed<'e> {
+    /// The formation result (groups, contracted graph, Figure 2 trace).
+    pub fn result(&self) -> &FormationResult {
+        &self.result
+    }
+
+    /// Abandons staging and takes the formation result.
+    pub fn into_result(self) -> FormationResult {
+        self.result
+    }
+
+    /// Runs the merging phase, completing the classification.
+    pub fn merge(self) -> Merged<'e> {
+        Merged {
+            engine: self.engine,
+            cs: self.cs,
+            classification: finish_classification(self.cs, self.result, &self.engine.params),
+        }
+    }
+
+    /// Runs merging but keeps only the [`MergeOutcome`-level] data —
+    /// for callers that need the final contracted graph rather than the
+    /// full classification.
+    ///
+    /// [`MergeOutcome`-level]: crate::merging::MergeOutcome
+    pub fn merge_outcome(self) -> crate::merging::MergeOutcome {
+        merge_groups_validated(self.cs, self.result, &self.engine.params)
+    }
+}
+
+/// The merged stage: a complete classification, plus correlation
+/// against any previous snapshot.
+pub struct Merged<'e> {
+    engine: &'e Engine,
+    cs: &'e ConnectionSets,
+    classification: Classification,
+}
+
+impl Merged<'_> {
+    /// The completed classification.
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// Correlates this window's grouping against an earlier snapshot
+    /// (use [`Engine::run_window`] when the engine should manage the
+    /// snapshot itself).
+    pub fn correlate_with(&self, prev: &EngineSnapshot) -> Correlation {
+        correlate_validated(
+            &prev.connsets,
+            &prev.grouping,
+            self.cs,
+            &self.classification.grouping,
+            &self.engine.params,
+        )
+    }
+
+    /// Takes the completed classification.
+    pub fn finish(self) -> Classification {
+        self.classification
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow::HostAddr;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr(x)
+    }
+
+    fn figure1() -> ConnectionSets {
+        let mut cs = ConnectionSets::new();
+        for s in [11, 12, 13] {
+            cs.add_pair(h(s), h(1));
+            cs.add_pair(h(s), h(2));
+            cs.add_pair(h(s), h(3));
+        }
+        for e in [21, 22, 23] {
+            cs.add_pair(h(e), h(1));
+            cs.add_pair(h(e), h(2));
+            cs.add_pair(h(e), h(4));
+        }
+        cs
+    }
+
+    #[test]
+    fn new_rejects_invalid_params() {
+        let bad = Params {
+            alpha: f64::NAN,
+            ..Params::default()
+        };
+        assert!(Engine::new(bad).is_err());
+        assert!(Engine::new(Params::default()).is_ok());
+    }
+
+    #[test]
+    fn staged_pipeline_matches_free_function() {
+        let cs = figure1();
+        let engine = Engine::new(Params::default()).unwrap();
+        let staged = engine.form(&cs);
+        assert!(!staged.result().trace.is_empty());
+        let c = staged.merge().finish();
+        let legacy = crate::classify::classify(&cs, &Params::default());
+        assert_eq!(c.grouping.groups(), legacy.grouping.groups());
+        assert_eq!(c.formation_trace.len(), legacy.formation_trace.len());
+    }
+
+    #[test]
+    fn run_window_keeps_ids_stable() {
+        let cs = figure1();
+        let mut engine = Engine::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)).unwrap();
+        let first = engine.run_window(&cs);
+        assert!(first.correlation.is_none());
+        let second = engine.run_window(&cs);
+        assert!(second.correlation.is_some());
+        assert_eq!(
+            first.grouping.group_of(h(11)),
+            second.grouping.group_of(h(11))
+        );
+        assert!(engine.previous().is_some());
+        engine.reset();
+        assert!(engine.previous().is_none());
+    }
+
+    #[test]
+    fn staged_correlation_matches_run_window() {
+        let cs = figure1();
+        let params = Params::default().with_s_lo(90.0).with_s_hi(95.0);
+        let mut managed = Engine::new(params).unwrap();
+        let first = managed.run_window(&cs);
+        let auto = managed.run_window(&cs);
+
+        let manual_engine = Engine::new(params).unwrap();
+        let prev = EngineSnapshot {
+            connsets: cs.clone(),
+            grouping: first.grouping.clone(),
+        };
+        let merged = manual_engine.form(&cs).merge();
+        let corr = merged.correlate_with(&prev);
+        assert_eq!(
+            corr.id_map,
+            auto.correlation.expect("second window correlates").id_map
+        );
+    }
+}

@@ -20,13 +20,21 @@
 //! nothing can form at skipped levels by construction — while keeping
 //! the number of expensive neighborhood recomputations proportional to
 //! the number of *productive* levels.
+//!
+//! Since the engine rework, the counts themselves come from a
+//! [`CommonNeighborKernel`]: one parallel full pass when the sweep
+//! starts, then a threshold query per level and a localized patch per
+//! contraction, instead of a full `Σ deg(v)²` recount on every round.
+//! [`form_groups_reference`] preserves the recounting implementation as
+//! the executable specification the kernel path is tested (and
+//! benchmarked) against.
 
 use crate::group::{Group, GroupId, Grouping};
-use crate::params::{Params, TieBreak};
+use crate::params::{ParamError, Params, TieBreak};
 use flow::{ConnectionSets, HostAddr};
 use netgraph::{
-    biconnected_components, common_neighbor_min_weights, CommonNeighborEdge, NodeId, SimpleGraph,
-    WGraph,
+    biconnected_components, common_neighbor_min_weights, CommonNeighborEdge, CommonNeighborKernel,
+    NodeId, SimpleGraph, WGraph,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +109,9 @@ impl FormationResult {
 /// Internal sweep state.
 struct State {
     g: WGraph,
+    /// The incremental count table; `None` in the reference
+    /// implementation, which recounts from the graph instead.
+    kernel: Option<CommonNeighborKernel>,
     /// Host represented by each node; `None` for group nodes.
     host_of_node: Vec<Option<HostAddr>>,
     /// Group index represented by each node, for group nodes.
@@ -112,6 +123,34 @@ struct State {
 }
 
 impl State {
+    /// Builds the initial conn-graph state: one node per host, unit edge
+    /// weights (one "connection" per communicating host pair).
+    fn init(cs: &ConnectionSets) -> State {
+        let mut g = WGraph::with_capacity(cs.host_count());
+        let mut node_of_host: BTreeMap<HostAddr, NodeId> = BTreeMap::new();
+        let mut host_of_node: Vec<Option<HostAddr>> = Vec::with_capacity(cs.host_count());
+        for h in cs.hosts() {
+            let n = g.add_node();
+            node_of_host.insert(h, n);
+            host_of_node.push(Some(h));
+        }
+        for (a, b) in cs.edges() {
+            g.add_edge(node_of_host[&a], node_of_host[&b], 1);
+        }
+        let orig_degree: BTreeMap<HostAddr, usize> =
+            cs.hosts().map(|h| (h, cs.degree(h).unwrap_or(0))).collect();
+        State {
+            g,
+            kernel: None,
+            host_of_node,
+            group_of_node: HashMap::new(),
+            groups: Vec::new(),
+            node_of_group: Vec::new(),
+            trace: Vec::new(),
+            orig_degree,
+        }
+    }
+
     fn is_host(&self, n: NodeId) -> bool {
         self.host_of_node
             .get(n.index())
@@ -122,11 +161,15 @@ impl State {
         self.host_of_node[n.index()].expect("node is not a host node")
     }
 
-    /// Contracts `nodes` (host nodes) into a fresh group node.
+    /// Contracts `nodes` (host nodes) into a fresh group node, through
+    /// the kernel when one is attached so the count table stays exact.
     fn form_group(&mut self, nodes: &[NodeId], k: u32, kind: FormationKind) {
         let mut members: Vec<HostAddr> = nodes.iter().map(|&n| self.host(n)).collect();
         members.sort_unstable();
-        let (gnode, _internal) = self.g.contract(nodes);
+        let (gnode, _internal) = match self.kernel.as_mut() {
+            Some(kernel) => kernel.contract(&mut self.g, nodes),
+            None => self.g.contract(nodes),
+        };
         while self.host_of_node.len() < self.g.id_bound() {
             self.host_of_node.push(None);
         }
@@ -142,6 +185,42 @@ impl State {
 
     fn ungrouped_hosts(&self) -> Vec<NodeId> {
         self.g.nodes().filter(|&n| self.is_host(n)).collect()
+    }
+
+    /// Largest pending bootstrap trigger below `k` over ungrouped hosts.
+    fn bootstrap_next(&self, alpha: f64, k: u32) -> u32 {
+        self.ungrouped_hosts()
+            .iter()
+            .filter_map(|&n| bootstrap_trigger(alpha, self.orig_degree[&self.host(n)]))
+            .map(|t| t.min(k.saturating_sub(1)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Runs the step-2e bootstrap at level `k`.
+    fn bootstrap(&mut self, alpha: f64, k: u32) {
+        let lonely: Vec<NodeId> = self
+            .ungrouped_hosts()
+            .into_iter()
+            .filter(|&n| (k as f64) < alpha * self.orig_degree[&self.host(n)] as f64)
+            .collect();
+        for n in lonely {
+            self.form_group(&[n], k, FormationKind::Bootstrap);
+        }
+    }
+
+    /// Finalizes the sweep: leftovers become `k = 0` singletons and the
+    /// state is rendered as a [`FormationResult`].
+    fn finish(mut self) -> FormationResult {
+        for n in self.ungrouped_hosts() {
+            self.form_group(&[n], 0, FormationKind::Leftover);
+        }
+        FormationResult {
+            groups: self.groups,
+            graph: self.g,
+            node_of_group: self.node_of_group,
+            trace: self.trace,
+        }
     }
 }
 
@@ -180,50 +259,128 @@ fn order_bccs(mut bccs: Vec<Vec<NodeId>>, tie_break: TieBreak) -> Vec<Vec<NodeId
     bccs
 }
 
+/// Extracts the BCCs of the strong-pair graph and contracts each into a
+/// group node, biggest first. Returns `true` if any group formed.
+fn assign_bccs(st: &mut State, strong: Vec<(NodeId, NodeId)>, k: u32, tie_break: TieBreak) -> bool {
+    let sg = SimpleGraph::from_edges([], strong);
+    let bccs: Vec<Vec<NodeId>> = biconnected_components(&sg)
+        .into_iter()
+        .map(|b| b.nodes)
+        .collect();
+    // A node on several BCCs joins the largest (Section 4.1);
+    // we realize that by assigning greedily, biggest first.
+    let ordered = order_bccs(bccs, tie_break);
+    let mut assigned: HashSet<NodeId> = HashSet::new();
+    let mut formed = false;
+    for bcc in ordered {
+        let avail: Vec<NodeId> = bcc.into_iter().filter(|n| !assigned.contains(n)).collect();
+        if avail.len() >= 2 {
+            assigned.extend(avail.iter().copied());
+            st.form_group(&avail, k, FormationKind::Bcc);
+            formed = true;
+        }
+    }
+    formed
+}
+
 /// Runs the group formation phase over `cs`.
 ///
 /// The returned partition is total: every host of `cs` (including
 /// isolated ones) lands in exactly one group.
 ///
+/// This is the panicking convenience wrapper around
+/// [`try_form_groups`]; prefer the fallible variant (or
+/// [`Engine`](crate::engine::Engine), which validates once) in code
+/// whose parameters come from users or configuration.
+///
 /// # Panics
 ///
 /// Panics if `params` fail validation.
 pub fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
-    params.validate().expect("invalid parameters");
+    try_form_groups(cs, params).expect("invalid parameters")
+}
 
-    // Build the initial conn-graph: one node per host, unit edge weights
-    // (one "connection" per communicating host pair).
-    let mut g = WGraph::with_capacity(cs.host_count());
-    let mut node_of_host: BTreeMap<HostAddr, NodeId> = BTreeMap::new();
-    let mut host_of_node: Vec<Option<HostAddr>> = Vec::with_capacity(cs.host_count());
-    for h in cs.hosts() {
-        let n = g.add_node();
-        node_of_host.insert(h, n);
-        host_of_node.push(Some(h));
-    }
-    for (a, b) in cs.edges() {
-        g.add_edge(node_of_host[&a], node_of_host[&b], 1);
-    }
-    let orig_degree: BTreeMap<HostAddr, usize> =
-        cs.hosts().map(|h| (h, cs.degree(h).unwrap_or(0))).collect();
+/// Fallible entry point of the formation phase: validates `params`, then
+/// runs the kernel-backed sweep.
+pub fn try_form_groups(
+    cs: &ConnectionSets,
+    params: &Params,
+) -> Result<FormationResult, ParamError> {
+    params.validate()?;
+    Ok(form_groups_validated(cs, params))
+}
 
-    let mut st = State {
-        g,
-        host_of_node,
-        group_of_node: HashMap::new(),
-        groups: Vec::new(),
-        node_of_group: Vec::new(),
-        trace: Vec::new(),
-        orig_degree,
-    };
+/// The kernel-backed sweep. Callers must have validated `params`.
+pub(crate) fn form_groups_validated(cs: &ConnectionSets, params: &Params) -> FormationResult {
+    let mut st = State::init(cs);
+    // One full parallel counting pass; every level below reads the
+    // cached table, and every contraction patches it in place.
+    st.kernel = Some(CommonNeighborKernel::build(&st.g, |_| true));
 
-    let kmax = cs.max_degree();
-    let mut k = kmax as u32;
-
+    let mut k = cs.max_degree() as u32;
     while k >= 1 && !st.ungrouped_hosts().is_empty() {
         // Inner fixpoint at this level: contraction can only *raise*
         // common-neighbor weights (group nodes aggregate edges), so new
         // k-edges may appear after each round of group formation.
+        loop {
+            let strong: Vec<(NodeId, NodeId)> = st
+                .kernel
+                .as_ref()
+                .expect("kernel attached for the whole sweep")
+                .edges_at_least(k)
+                .into_iter()
+                .map(|e| (e.a, e.b))
+                .collect();
+            if strong.is_empty() {
+                break;
+            }
+            if !assign_bccs(&mut st, strong, k, params.tie_break) {
+                break;
+            }
+        }
+
+        // Bootstrap (step 2e): hosts whose connection count dwarfs the
+        // current level can no longer find strong partners.
+        st.bootstrap(params.alpha, k);
+
+        // Jump to the next productive level: the strongest surviving
+        // pair weight, or the largest pending bootstrap trigger below k.
+        // (Bootstrap contractions are singletons, which preserve every
+        // surviving pair's count, so querying after them matches the
+        // reference implementation's pre-bootstrap snapshot.)
+        let w_next = st
+            .kernel
+            .as_ref()
+            .expect("kernel attached for the whole sweep")
+            .max_count()
+            .min(k.saturating_sub(1));
+        let next = w_next.max(st.bootstrap_next(params.alpha, k));
+        if next == 0 {
+            break;
+        }
+        k = next;
+    }
+    st.finish()
+}
+
+/// The pre-kernel formation implementation: recomputes the full
+/// common-neighbor table on every round of every level.
+///
+/// Kept as the executable specification — `form_groups` must produce
+/// bit-identical output (asserted by the `engine_equivalence` tests and
+/// the `kernel_bench` speedup baseline). Do not use it for real
+/// workloads; it is the `O(rounds · Σ deg²)` path this crate exists to
+/// avoid.
+///
+/// # Panics
+///
+/// Panics if `params` fail validation.
+pub fn form_groups_reference(cs: &ConnectionSets, params: &Params) -> FormationResult {
+    params.validate().expect("invalid parameters");
+    let mut st = State::init(cs);
+
+    let mut k = cs.max_degree() as u32;
+    while k >= 1 && !st.ungrouped_hosts().is_empty() {
         let mut last_edges: Vec<CommonNeighborEdge>;
         loop {
             last_edges = common_neighbor_min_weights(&st.g, |n| st.is_host(n));
@@ -235,43 +392,13 @@ pub fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
             if strong.is_empty() {
                 break;
             }
-            let sg = SimpleGraph::from_edges([], strong);
-            let bccs: Vec<Vec<NodeId>> = biconnected_components(&sg)
-                .into_iter()
-                .map(|b| b.nodes)
-                .collect();
-            // A node on several BCCs joins the largest (Section 4.1);
-            // we realize that by assigning greedily, biggest first.
-            let ordered = order_bccs(bccs, params.tie_break);
-            let mut assigned: HashSet<NodeId> = HashSet::new();
-            let mut formed = false;
-            for bcc in ordered {
-                let avail: Vec<NodeId> =
-                    bcc.into_iter().filter(|n| !assigned.contains(n)).collect();
-                if avail.len() >= 2 {
-                    assigned.extend(avail.iter().copied());
-                    st.form_group(&avail, k, FormationKind::Bcc);
-                    formed = true;
-                }
-            }
-            if !formed {
+            if !assign_bccs(&mut st, strong, k, params.tie_break) {
                 break;
             }
         }
 
-        // Bootstrap (step 2e): hosts whose connection count dwarfs the
-        // current level can no longer find strong partners.
-        let lonely: Vec<NodeId> = st
-            .ungrouped_hosts()
-            .into_iter()
-            .filter(|&n| (k as f64) < params.alpha * st.orig_degree[&st.host(n)] as f64)
-            .collect();
-        for n in lonely {
-            st.form_group(&[n], k, FormationKind::Bootstrap);
-        }
+        st.bootstrap(params.alpha, k);
 
-        // Jump to the next productive level: the strongest surviving
-        // pair weight, or the largest pending bootstrap trigger below k.
         let w_next = last_edges
             .iter()
             .filter(|e| st.g.contains_node(e.a) && st.g.contains_node(e.b))
@@ -279,32 +406,13 @@ pub fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
             .map(|e| e.count.min(k.saturating_sub(1)))
             .max()
             .unwrap_or(0);
-        let b_next = st
-            .ungrouped_hosts()
-            .iter()
-            .filter_map(|&n| bootstrap_trigger(params.alpha, st.orig_degree[&st.host(n)]))
-            .map(|t| t.min(k.saturating_sub(1)))
-            .max()
-            .unwrap_or(0);
-        let next = w_next.max(b_next);
+        let next = w_next.max(st.bootstrap_next(params.alpha, k));
         if next == 0 {
             break;
         }
         k = next;
     }
-
-    // Whatever survives the sweep (isolated hosts, pairs with no common
-    // neighbors at all) becomes singleton groups at k = 0.
-    for n in st.ungrouped_hosts() {
-        st.form_group(&[n], 0, FormationKind::Leftover);
-    }
-
-    FormationResult {
-        groups: st.groups,
-        graph: st.g,
-        node_of_group: st.node_of_group,
-        trace: st.trace,
-    }
+    st.finish()
 }
 
 #[cfg(test)]
@@ -509,6 +617,45 @@ mod tests {
         // The hub bootstraps (its 50 connections dwarf every level).
         let hub_ev = r.trace.iter().find(|e| e.members == vec![h(0)]).unwrap();
         assert_eq!(hub_ev.kind, FormationKind::Bootstrap);
+    }
+
+    fn traces(r: &FormationResult) -> Vec<(u32, FormationKind, Vec<HostAddr>)> {
+        r.trace
+            .iter()
+            .map(|e| (e.k, e.kind, e.members.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn kernel_sweep_matches_reference() {
+        for params in [
+            Params::default(),
+            Params::default().with_alpha(0.0),
+            Params {
+                tie_break: TieBreak::Seeded(7),
+                ..Params::default()
+            },
+        ] {
+            let mut cs = figure1();
+            cs.add_host(h(99)); // leftover path
+            for i in 1..=20 {
+                cs.add_pair(h(50), h(100 + i)); // hub + idle spokes
+            }
+            let fast = form_groups(&cs, &params);
+            let slow = form_groups_reference(&cs, &params);
+            assert_eq!(traces(&fast), traces(&slow));
+            assert_eq!(members_sets(&fast), members_sets(&slow));
+        }
+    }
+
+    #[test]
+    fn try_form_groups_rejects_invalid_params() {
+        let bad = Params {
+            alpha: 2.0,
+            ..Params::default()
+        };
+        assert!(try_form_groups(&figure1(), &bad).is_err());
+        assert!(try_form_groups(&figure1(), &Params::default()).is_ok());
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //!   roles keep stable ids through host arrivals, removals, role swaps,
 //!   and server replacement.
 //!
+//! For long-running pipelines, the [`engine`] module wraps both
+//! algorithms behind a reusable [`Engine`](engine::Engine): parameters
+//! are validated once at construction (every entry point also has a
+//! fallible `try_*` twin returning [`ParamError`]), the phases are
+//! staged (`form → merge → correlate_with`), and cross-window state is
+//! retained so successive windows keep stable group ids.
+//!
 //! Supporting modules: [`params`] (all tunables, with the paper's
 //! defaults), [`group`] (partition types), [`diff`] (partition change
 //! reports, the paper's property 4), and [`services`] (the
@@ -44,6 +51,7 @@ pub mod autotune;
 pub mod classify;
 pub mod correlate;
 pub mod diff;
+pub mod engine;
 pub mod formation;
 pub mod group;
 pub mod merging;
@@ -52,11 +60,34 @@ pub mod params;
 pub mod services;
 
 pub use autotune::{auto_k_hi_kcore, auto_k_hi_otsu, auto_params};
-pub use classify::{classify, Classification, GroupNeighborhood};
-pub use correlate::{apply_correlation, correlate, Correlation};
+pub use classify::{classify, try_classify, Classification, GroupNeighborhood};
+pub use correlate::{apply_correlation, correlate, try_correlate, Correlation};
 pub use diff::{diff_groupings, GroupingDiff};
-pub use formation::{form_groups, FormationEvent, FormationKind, FormationResult};
+pub use engine::{Engine, EngineSnapshot, Formed, Merged, WindowOutcome};
+pub use formation::{
+    form_groups, form_groups_reference, try_form_groups, FormationEvent, FormationKind,
+    FormationResult,
+};
 pub use group::{Group, GroupId, Grouping};
-pub use merging::{merge_groups, MergeEvent, MergeOutcome};
+pub use merging::{merge_groups, try_merge_groups, MergeEvent, MergeOutcome};
 pub use model::{avg_similarity, avg_similarity_violations, s_min_violations, similarity};
 pub use params::{ParamError, Params, SimilarityVariant, TieBreak};
+
+/// One-stop imports for typical pipeline code.
+///
+/// ```
+/// use roleclass::prelude::*;
+/// ```
+///
+/// brings in the [`Engine`] and its stage types, the free classification
+/// functions in both panicking and fallible (`try_*`) form, and the
+/// parameter/result types they exchange.
+pub mod prelude {
+    pub use crate::classify::{classify, try_classify, Classification, GroupNeighborhood};
+    pub use crate::correlate::{apply_correlation, correlate, try_correlate, Correlation};
+    pub use crate::engine::{Engine, EngineSnapshot, Formed, Merged, WindowOutcome};
+    pub use crate::formation::{form_groups, try_form_groups, FormationResult};
+    pub use crate::group::{Group, GroupId, Grouping};
+    pub use crate::merging::{merge_groups, try_merge_groups, MergeOutcome};
+    pub use crate::params::{ParamError, Params, SimilarityVariant, TieBreak};
+}

@@ -19,7 +19,7 @@
 
 use crate::formation::FormationResult;
 use crate::group::{Group, GroupId, Grouping};
-use crate::params::{Params, SimilarityVariant};
+use crate::params::{ParamError, Params, SimilarityVariant};
 use flow::{ConnectionSets, HostAddr};
 use netgraph::{NodeId, WGraph};
 use std::cmp::Reverse;
@@ -185,12 +185,40 @@ fn candidates_of(g: &WGraph, x: NodeId) -> BTreeSet<(NodeId, NodeId)> {
 /// `cs` must be the same connection sets the formation ran on (original
 /// per-host connection counts feed the connection requirement and merged
 /// `K` values).
+///
+/// This is the panicking convenience wrapper around
+/// [`try_merge_groups`]; prefer the fallible variant (or
+/// [`Engine`](crate::engine::Engine), which validates once) in code
+/// whose parameters come from users or configuration.
+///
+/// # Panics
+///
+/// Panics if `params` fail validation.
 pub fn merge_groups(
     cs: &ConnectionSets,
     formation: FormationResult,
     params: &Params,
 ) -> MergeOutcome {
-    params.validate().expect("invalid parameters");
+    try_merge_groups(cs, formation, params).expect("invalid parameters")
+}
+
+/// Fallible entry point of the merging phase: validates `params`, then
+/// merges.
+pub fn try_merge_groups(
+    cs: &ConnectionSets,
+    formation: FormationResult,
+    params: &Params,
+) -> Result<MergeOutcome, ParamError> {
+    params.validate()?;
+    Ok(merge_groups_validated(cs, formation, params))
+}
+
+/// The merging phase proper. Callers must have validated `params`.
+pub(crate) fn merge_groups_validated(
+    cs: &ConnectionSets,
+    formation: FormationResult,
+    params: &Params,
+) -> MergeOutcome {
     let mut g = formation.graph;
     let mut info: HashMap<NodeId, GroupInfo> = HashMap::new();
     for (idx, pg) in formation.groups.iter().enumerate() {
@@ -514,6 +542,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_merge_groups_rejects_invalid_params() {
+        let cs = figure1();
+        let formation = form_groups(&cs, &Params::default());
+        let bad = Params {
+            beta: -1.0,
+            ..Params::default()
+        };
+        assert!(try_merge_groups(&cs, formation, &bad).is_err());
     }
 
     #[test]

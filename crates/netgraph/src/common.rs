@@ -26,23 +26,37 @@ pub struct CommonNeighborEdge {
 }
 
 #[inline]
-fn key(a: NodeId, b: NodeId) -> u64 {
+pub(crate) fn key(a: NodeId, b: NodeId) -> u64 {
     debug_assert!(a < b);
     ((a.0 as u64) << 32) | b.0 as u64
 }
 
 #[inline]
-fn unkey(k: u64) -> (NodeId, NodeId) {
+pub(crate) fn unkey(k: u64) -> (NodeId, NodeId) {
     (NodeId((k >> 32) as u32), NodeId(k as u32))
 }
+
+/// Two-path count above which [`common_neighbor_counts`] switches from
+/// the hash-map accumulator to the sort-based kernel. Past this size the
+/// sort's cache-friendly constants win decisively (see
+/// [`common_neighbor_counts_sorted`]); below it the hash map avoids the
+/// sort's allocation for tiny inputs.
+const SORTED_DISPATCH_THRESHOLD: usize = 1 << 15;
 
 /// Computes the common-neighbor count for every node pair of `g` that
 /// shares at least one neighbor.
 ///
-/// Equivalent to [`common_neighbor_counts_filtered`] with an
-/// accept-everything endpoint filter.
+/// Produces the same output as [`common_neighbor_counts_filtered`] with
+/// an accept-everything endpoint filter, but auto-dispatches to
+/// [`common_neighbor_counts_sorted`] once the two-path work exceeds a
+/// fixed threshold, so legacy callers never hit the hash-map
+/// accumulator's quadratic-constant path on hub-heavy graphs.
 pub fn common_neighbor_counts(g: &WGraph) -> Vec<CommonNeighborEdge> {
-    common_neighbor_counts_filtered(g, |_| true)
+    if g.two_path_work() > SORTED_DISPATCH_THRESHOLD {
+        common_neighbor_counts_sorted(g, |_| true)
+    } else {
+        common_neighbor_counts_filtered(g, |_| true)
+    }
 }
 
 /// Computes common-neighbor counts between pairs of *eligible endpoint*
@@ -320,6 +334,24 @@ mod tests {
         let a = common_neighbor_counts(&g);
         let b = common_neighbor_counts_sorted(&g, |_| true);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dispatch_paths_agree_above_threshold() {
+        // A 300-spoke hub has ~45k two-paths, past the dispatch
+        // threshold: the legacy entry point must route to the sorted
+        // kernel and still produce identical output.
+        let mut g = WGraph::new();
+        let hub = g.add_node();
+        let spokes: Vec<_> = (0..300).map(|_| g.add_node()).collect();
+        for &s in &spokes {
+            g.add_edge(hub, s, 1);
+        }
+        assert!(g.two_path_work() > SORTED_DISPATCH_THRESHOLD);
+        let auto = common_neighbor_counts(&g);
+        let hashed = common_neighbor_counts_filtered(&g, |_| true);
+        assert_eq!(auto, hashed);
+        assert_eq!(auto.len(), 300 * 299 / 2);
     }
 
     #[test]

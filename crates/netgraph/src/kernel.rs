@@ -1,0 +1,844 @@
+//! The common-neighbor kernel: count every pair **once**, serve every
+//! similarity level by thresholding, and patch the counts locally when
+//! the graph contracts.
+//!
+//! The grouping algorithm's inner loop needs, at each level `k`, every
+//! pair of eligible nodes whose weighted common-neighbor count clears
+//! `k`. Recomputing the full count table per level costs
+//! `O(levels · Σ deg(v)²)`; this module instead computes the table once
+//! (in parallel — each worker emits a sorted, aggregated run and the
+//! runs are merged sequentially, no hashing), keeps it in a flat
+//! key-sorted vector with a descending-count rank index so each level
+//! is answered by a binary-searched prefix walk, and exploits a
+//! locality property of contraction to keep the table current through
+//! a small mutation overlay:
+//!
+//! **Invalidation rule.** Contracting a member set `M` into a fresh node
+//! `m` changes the via-contribution of exactly two kinds of nodes: the
+//! members themselves (their two-paths disappear) and `m` (its two-paths
+//! appear). A surviving neighbor `v ∉ M` keeps every edge to every
+//! surviving node, so its contribution `min(w(v,a), w(v,b))` to any
+//! surviving pair is untouched. Pairs with an endpoint in `M` die, which
+//! the kernel realizes by marking those endpoints ineligible and
+//! filtering at query time. The update is therefore
+//! `O(Σ_{v ∈ M} deg(v)² + deg(m)²)` — proportional to the mutated
+//! neighborhoods, not the graph — and contracting a *singleton* is free:
+//! the replacement node inherits the member's edges verbatim, so no
+//! count changes at all.
+//!
+//! Counts are kept as exact `u64` sums of per-via contributions (each
+//! clamped at `u32::MAX`, matching
+//! [`common_neighbor_min_weights`][crate::common_neighbor_min_weights]'s
+//! saturating arithmetic), so subtraction inverts addition exactly and
+//! the incremental table is bit-identical to a from-scratch recount —
+//! regardless of worker count, because integer addition commutes.
+
+use crate::common::{key, unkey, CommonNeighborEdge};
+use crate::id::NodeId;
+use crate::wgraph::WGraph;
+use std::collections::HashMap;
+
+/// Environment variable overriding the kernel's worker-thread count.
+///
+/// Parsed as a positive integer; anything else falls back to
+/// [`std::thread::available_parallelism`].
+pub const THREADS_ENV: &str = "ROLECLASS_THREADS";
+
+/// Upper bound on worker threads — beyond this the merge cost dominates
+/// any conceivable speedup on the per-via pass.
+const MAX_WORKERS: usize = 64;
+
+/// Resolves the worker count: the `ROLECLASS_THREADS` override if set
+/// and valid, else the machine's available parallelism, clamped to
+/// `[1, 64]`.
+pub fn default_worker_count() -> usize {
+    let from_env = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    from_env
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, MAX_WORKERS)
+}
+
+/// A fixed-stride bitset over node ids — the kernel's endpoint
+/// eligibility mask. Membership tests sit on the innermost counting
+/// loops, so this is a plain `Vec<u64>` with no branching beyond the
+/// bounds check.
+#[derive(Clone, Debug, Default)]
+pub struct NodeBitSet {
+    bits: Vec<u64>,
+}
+
+impl NodeBitSet {
+    /// Creates an empty set able to hold ids below `bound`.
+    pub fn with_bound(bound: usize) -> Self {
+        NodeBitSet {
+            bits: vec![0; bound.div_ceil(64)],
+        }
+    }
+
+    /// Ensures ids below `bound` are representable.
+    pub fn grow(&mut self, bound: usize) {
+        let words = bound.div_ceil(64);
+        if words > self.bits.len() {
+            self.bits.resize(words, 0);
+        }
+    }
+
+    /// Inserts `n` (grows as needed).
+    pub fn insert(&mut self, n: NodeId) {
+        self.grow(n.index() + 1);
+        self.bits[n.index() / 64] |= 1u64 << (n.index() % 64);
+    }
+
+    /// Removes `n` if present.
+    pub fn remove(&mut self, n: NodeId) {
+        if let Some(w) = self.bits.get_mut(n.index() / 64) {
+            *w &= !(1u64 << (n.index() % 64));
+        }
+    }
+
+    /// Returns `true` if `n` is in the set.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.bits
+            .get(n.index() / 64)
+            .is_some_and(|w| w & (1u64 << (n.index() % 64)) != 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+/// Immutable CSR snapshot of a [`WGraph`]'s adjacency, indexed by raw
+/// node id (dead ids get empty rows). Built once per kernel build so the
+/// parallel pass reads two flat arrays instead of chasing per-node
+/// `Vec`s.
+struct Csr {
+    offsets: Vec<usize>,
+    nbrs: Vec<NodeId>,
+    weights: Vec<u64>,
+}
+
+impl Csr {
+    fn snapshot(g: &WGraph) -> Csr {
+        let bound = g.id_bound();
+        let mut offsets = Vec::with_capacity(bound + 1);
+        let mut nbrs = Vec::with_capacity(2 * g.edge_count());
+        let mut weights = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for i in 0..bound {
+            let id = NodeId::from_index(i);
+            if g.contains_node(id) {
+                for &(n, w) in g.neighbor_slice(id) {
+                    nbrs.push(n);
+                    weights.push(w);
+                }
+            }
+            offsets.push(nbrs.len());
+        }
+        Csr {
+            offsets,
+            nbrs,
+            weights,
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> (&[NodeId], &[u64]) {
+        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+        (&self.nbrs[lo..hi], &self.weights[lo..hi])
+    }
+
+    fn row_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Splits CSR rows into at most `workers` contiguous chunks of roughly
+/// equal two-path work (`Σ deg²/2` per chunk).
+fn partition_rows(csr: &Csr, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let work_of = |i: usize| {
+        let d = csr.offsets[i + 1] - csr.offsets[i];
+        d * d.saturating_sub(1) / 2
+    };
+    let total: usize = (0..csr.row_count()).map(work_of).sum();
+    let target = total.div_ceil(workers.max(1)).max(1);
+    let mut chunks = Vec::with_capacity(workers);
+    let mut start = 0;
+    let mut acc = 0;
+    for i in 0..csr.row_count() {
+        acc += work_of(i);
+        if acc >= target {
+            chunks.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < csr.row_count() {
+        chunks.push(start..csr.row_count());
+    }
+    chunks
+}
+
+/// Per-via contribution of one shared neighbor, clamped exactly like
+/// [`common_neighbor_min_weights`][crate::common_neighbor_min_weights].
+#[inline]
+fn contribution(wa: u64, wb: u64) -> u64 {
+    wa.min(wb).min(u32::MAX as u64)
+}
+
+/// One worker's pass over a contiguous range of via rows: emit every
+/// eligible two-path endpoint pair, then sort + run-length-aggregate so
+/// the merge touches each distinct key once per worker.
+fn count_chunk(csr: &Csr, eligible: &NodeBitSet, rows: std::ops::Range<usize>) -> Vec<(u64, u64)> {
+    let mut scratch: Vec<(NodeId, u64)> = Vec::new();
+    let mut entries: Vec<(u64, u64)> = Vec::new();
+    for via in rows {
+        let (nbrs, weights) = csr.row(via);
+        scratch.clear();
+        scratch.extend(
+            nbrs.iter()
+                .zip(weights)
+                .filter(|(n, _)| eligible.contains(**n))
+                .map(|(&n, &w)| (n, w)),
+        );
+        for i in 0..scratch.len() {
+            let (a, wa) = scratch[i];
+            for &(b, wb) in &scratch[i + 1..] {
+                // CSR rows are sorted by neighbor id, so a < b.
+                entries.push((key(a, b), contribution(wa, wb)));
+            }
+        }
+    }
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
+    for (k, w) in entries {
+        match out.last_mut() {
+            Some((lk, lw)) if *lk == k => *lw += w,
+            _ => out.push((k, w)),
+        }
+    }
+    out
+}
+
+/// Merges the workers' sorted, per-run-aggregated outputs into one
+/// sorted table, summing contributions of keys that straddle runs.
+/// Purely sequential memory traffic — no hashing — which is what keeps
+/// the build linear-ish in the pair count. `u64` addition commutes, so
+/// the result is identical for any run split.
+fn merge_runs(mut runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
+    runs.retain(|r| !r.is_empty());
+    if runs.len() <= 1 {
+        return runs.pop().unwrap_or_default();
+    }
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+    let mut idx = vec![0usize; runs.len()];
+    loop {
+        let mut min_key = u64::MAX;
+        let mut any = false;
+        for (r, run) in runs.iter().enumerate() {
+            if let Some(&(k, _)) = run.get(idx[r]) {
+                any = true;
+                min_key = min_key.min(k);
+            }
+        }
+        if !any {
+            return out;
+        }
+        let mut sum = 0u64;
+        for (r, run) in runs.iter().enumerate() {
+            if let Some(&(k, w)) = run.get(idx[r]) {
+                if k == min_key {
+                    sum += w;
+                    idx[r] += 1;
+                }
+            }
+        }
+        out.push((min_key, sum));
+    }
+}
+
+/// Builds the descending-count rank index over `base`: a counting sort
+/// by clamped count (ties keep `base`'s ascending key order), falling
+/// back to a comparison sort if the count range dwarfs the table.
+fn rank_of(base: &[(u64, u64)]) -> Vec<u32> {
+    assert!(
+        base.len() <= u32::MAX as usize,
+        "common-neighbor pair table exceeds u32 index range"
+    );
+    let max_c = base.iter().map(|&(_, c)| clamp32(c)).max().unwrap_or(0) as usize;
+    if max_c > (4 * base.len()).max(1 << 20) {
+        let mut rank: Vec<u32> = (0..base.len() as u32).collect();
+        rank.sort_unstable_by_key(|&i| {
+            let (k, c) = base[i as usize];
+            (std::cmp::Reverse(clamp32(c)), k)
+        });
+        return rank;
+    }
+    let mut hist = vec![0usize; max_c + 1];
+    for &(_, c) in base {
+        hist[clamp32(c) as usize] += 1;
+    }
+    // Start offsets for a descending layout: larger counts first.
+    let mut starts = vec![0usize; max_c + 1];
+    let mut acc = 0usize;
+    for c in (0..=max_c).rev() {
+        starts[c] = acc;
+        acc += hist[c];
+    }
+    let mut rank = vec![0u32; base.len()];
+    for (i, &(_, c)) in base.iter().enumerate() {
+        let slot = &mut starts[clamp32(c) as usize];
+        rank[*slot] = i as u32;
+        *slot += 1;
+    }
+    rank
+}
+
+/// The cached, incrementally-maintained common-neighbor count table.
+///
+/// Build it once per connectivity graph with [`CommonNeighborKernel::build`],
+/// query any similarity level with [`edges_at_least`][Self::edges_at_least],
+/// and keep it current through graph contractions with
+/// [`contract`][Self::contract]. Semantics match
+/// [`common_neighbor_min_weights`][crate::common_neighbor_min_weights]:
+/// every live node acts as a potential shared neighbor, only *eligible*
+/// nodes appear as pair endpoints, and a via node's contribution to a
+/// pair is the minimum of the two edge weights.
+#[derive(Clone, Debug)]
+pub struct CommonNeighborKernel {
+    /// The pair table: packed key → exact contribution sum, sorted by
+    /// key. Immutable between compactions — contractions never touch it
+    /// (their deltas land in `overlay`), so it can live in a flat sorted
+    /// vector instead of a hash map, which is what makes the build a
+    /// merge of presorted worker runs rather than tens of millions of
+    /// random-access inserts. May retain entries for retired endpoints;
+    /// queries filter, and compaction rebuilds.
+    base: Vec<(u64, u64)>,
+    /// Rank index: positions into `base` ordered by descending clamped
+    /// count (ties in ascending key order). Lets every threshold query
+    /// binary-search its cutoff and walk only qualifying entries.
+    /// Entries whose key appears in `overlay` are skipped at query time;
+    /// rebuilt together with `base` on compaction.
+    rank: Vec<u32>,
+    /// Current exact counts for the pairs contraction has touched
+    /// (masking `base`; 0 marks a dead pair). Stays small — only
+    /// multi-member contractions mutate counts, and only within the
+    /// contracted neighborhoods.
+    overlay: HashMap<u64, u64>,
+    eligible: NodeBitSet,
+    workers: usize,
+    /// Eligible-endpoint count at the last rebuild; a halving means most
+    /// cached pairs died, which triggers a compaction so scans stay
+    /// proportional to the live table.
+    eligible_watermark: usize,
+}
+
+impl CommonNeighborKernel {
+    /// Builds the full count table for `g`, with endpoint eligibility
+    /// given by `endpoint_ok`, using [`default_worker_count`] threads.
+    pub fn build<F>(g: &WGraph, endpoint_ok: F) -> Self
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        Self::build_with_workers(g, endpoint_ok, default_worker_count())
+    }
+
+    /// [`build`][Self::build] with an explicit worker count (clamped to
+    /// at least 1). The result is identical for every worker count.
+    pub fn build_with_workers<F>(g: &WGraph, endpoint_ok: F, workers: usize) -> Self
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let workers = workers.clamp(1, MAX_WORKERS);
+        let mut eligible = NodeBitSet::with_bound(g.id_bound());
+        for n in g.nodes().filter(|&n| endpoint_ok(n)) {
+            eligible.insert(n);
+        }
+        let csr = Csr::snapshot(g);
+        let chunks = partition_rows(&csr, workers);
+
+        let partials: Vec<Vec<(u64, u64)>> = if chunks.len() <= 1 {
+            chunks
+                .into_iter()
+                .map(|r| count_chunk(&csr, &eligible, r))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|r| scope.spawn(|| count_chunk(&csr, &eligible, r)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("kernel worker panicked"))
+                    .collect()
+            })
+        };
+
+        let base = merge_runs(partials);
+        let rank = rank_of(&base);
+        let eligible_watermark = eligible.len();
+        CommonNeighborKernel {
+            base,
+            rank,
+            overlay: HashMap::new(),
+            eligible,
+            workers,
+            eligible_watermark,
+        }
+    }
+
+    /// The worker count this kernel was built with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Returns `true` if `n` is an eligible pair endpoint.
+    pub fn is_eligible(&self, n: NodeId) -> bool {
+        self.eligible.contains(n)
+    }
+
+    /// Number of eligible endpoints remaining.
+    pub fn eligible_count(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// Current exact count for a packed pair key, overlay first.
+    #[inline]
+    fn current(&self, pk: u64) -> u64 {
+        if let Some(&c) = self.overlay.get(&pk) {
+            return c;
+        }
+        match self.base.binary_search_by_key(&pk, |&(k, _)| k) {
+            Ok(i) => self.base[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// The cached count for the pair `(a, b)` (order-insensitive), or 0
+    /// if either endpoint is ineligible or the pair shares no neighbor.
+    pub fn pair_count(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b || !self.eligible.contains(a) || !self.eligible.contains(b) {
+            return 0;
+        }
+        let k = if a < b { key(a, b) } else { key(b, a) };
+        clamp32(self.current(k))
+    }
+
+    /// All eligible pairs with a positive count, sorted by `(a, b)` —
+    /// the kernel's answer to a full
+    /// [`common_neighbor_min_weights`][crate::common_neighbor_min_weights]
+    /// call.
+    pub fn edges(&self) -> Vec<CommonNeighborEdge> {
+        self.edges_at_least(1)
+    }
+
+    /// The level-`k` view: every eligible pair whose count clears `k`,
+    /// sorted by `(a, b)`. A binary search on the rank index finds the
+    /// cutoff, so only qualifying (plus overlaid) entries are visited;
+    /// nothing is recounted.
+    pub fn edges_at_least(&self, k: u32) -> Vec<CommonNeighborEdge> {
+        let k = k.max(1);
+        let cut = self
+            .rank
+            .partition_point(|&i| clamp32(self.base[i as usize].1) >= k);
+        let mut out: Vec<CommonNeighborEdge> = Vec::new();
+        for &i in &self.rank[..cut] {
+            let (pk, c) = self.base[i as usize];
+            if self.overlay.contains_key(&pk) {
+                continue; // current value handled from the overlay below
+            }
+            let (a, b) = unkey(pk);
+            if self.eligible.contains(a) && self.eligible.contains(b) {
+                out.push(CommonNeighborEdge {
+                    a,
+                    b,
+                    count: clamp32(c),
+                });
+            }
+        }
+        for (&pk, &c) in &self.overlay {
+            let count = clamp32(c);
+            if count < k {
+                continue;
+            }
+            let (a, b) = unkey(pk);
+            if self.eligible.contains(a) && self.eligible.contains(b) {
+                out.push(CommonNeighborEdge { a, b, count });
+            }
+        }
+        out.sort_unstable_by_key(|e| (e.a, e.b));
+        out
+    }
+
+    /// Largest count over eligible pairs, or 0 if none remain — the
+    /// level-jump oracle of the formation sweep. Walks the rank index in
+    /// descending count order and stops at the first live entry.
+    pub fn max_count(&self) -> u32 {
+        if self.eligible.len() < 2 {
+            return 0;
+        }
+        let mut best = 0u32;
+        for (&pk, &c) in &self.overlay {
+            let count = clamp32(c);
+            if count > best {
+                let (a, b) = unkey(pk);
+                if self.eligible.contains(a) && self.eligible.contains(b) {
+                    best = count;
+                }
+            }
+        }
+        for &i in &self.rank {
+            let (pk, c) = self.base[i as usize];
+            let count = clamp32(c);
+            if count <= best {
+                break; // descending order: nothing better follows
+            }
+            if self.overlay.contains_key(&pk) {
+                continue;
+            }
+            let (a, b) = unkey(pk);
+            if self.eligible.contains(a) && self.eligible.contains(b) {
+                best = count;
+                break;
+            }
+        }
+        best
+    }
+
+    /// Contracts `members` of `g` into a fresh node (see
+    /// [`WGraph::contract`]) while keeping the count table exact.
+    ///
+    /// Members stop being eligible endpoints; the replacement node is
+    /// *not* an eligible endpoint (it still contributes as a shared
+    /// neighbor, which is the grouping algorithm's contract for group
+    /// nodes). Returns the contraction result `(new_id, internal_weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`WGraph::contract`].
+    pub fn contract(&mut self, g: &mut WGraph, members: &[NodeId]) -> (NodeId, u64) {
+        // Singleton fast path: the replacement node inherits the
+        // member's edges verbatim, so its via-contribution to every
+        // surviving pair is *identical* to the member's — the count
+        // table does not change at all. Only eligibility moves. This
+        // matters: the bootstrap step contracts high-degree loners one
+        // by one, and the general subtract-then-re-add path would spend
+        // `O(deg²)` per loner cancelling itself out exactly.
+        if let [v] = *members {
+            self.eligible.remove(v);
+            let (m, internal) = g.contract(members);
+            self.eligible.grow(g.id_bound());
+            self.maybe_compact();
+            return (m, internal);
+        }
+
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        let in_members = |n: NodeId| sorted.binary_search(&n).is_ok();
+
+        // Subtract the members' via-contributions to surviving pairs.
+        // Pairs with a member endpoint die wholesale (eligibility flips
+        // below), so only eligible non-member neighbors matter here.
+        let mut scratch: Vec<(NodeId, u64)> = Vec::new();
+        for &v in &sorted {
+            scratch.clear();
+            scratch.extend(
+                g.neighbor_slice(v)
+                    .iter()
+                    .filter(|&&(n, _)| self.eligible.contains(n) && !in_members(n))
+                    .copied(),
+            );
+            for i in 0..scratch.len() {
+                let (a, wa) = scratch[i];
+                for &(b, wb) in &scratch[i + 1..] {
+                    self.subtract(key(a, b), contribution(wa, wb));
+                }
+            }
+        }
+        for &v in &sorted {
+            self.eligible.remove(v);
+        }
+
+        let (m, internal) = g.contract(members);
+        self.eligible.grow(g.id_bound());
+
+        // Add the replacement node's via-contributions.
+        scratch.clear();
+        scratch.extend(
+            g.neighbor_slice(m)
+                .iter()
+                .filter(|&&(n, _)| self.eligible.contains(n))
+                .copied(),
+        );
+        for i in 0..scratch.len() {
+            let (a, wa) = scratch[i];
+            for &(b, wb) in &scratch[i + 1..] {
+                self.add(key(a, b), contribution(wa, wb));
+            }
+        }
+
+        self.maybe_compact();
+        (m, internal)
+    }
+
+    #[inline]
+    fn subtract(&mut self, k: u64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        let cur = self.current(k);
+        debug_assert!(cur >= w, "kernel count underflow");
+        self.overlay.insert(k, cur.saturating_sub(w));
+    }
+
+    #[inline]
+    fn add(&mut self, k: u64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        let cur = self.current(k);
+        self.overlay.insert(k, cur + w);
+    }
+
+    /// Rebuilds `base`/`rank` — folding the overlay in and dropping
+    /// retired pairs — once the overlay rivals the base or most eligible
+    /// endpoints have died, keeping query scans proportional to the live
+    /// table.
+    fn maybe_compact(&mut self) {
+        let bloated = self.overlay.len() * 2 >= self.base.len().max(2048);
+        let decimated =
+            self.base.len() >= 2048 && self.eligible.len() * 2 <= self.eligible_watermark;
+        if !bloated && !decimated {
+            return;
+        }
+        let mut patches: Vec<(u64, u64)> = self.overlay.drain().filter(|&(_, c)| c > 0).collect();
+        patches.sort_unstable_by_key(|&(k, _)| k);
+        let eligible = &self.eligible;
+        let live = |pk: u64| {
+            let (a, b) = unkey(pk);
+            eligible.contains(a) && eligible.contains(b)
+        };
+        // Merge the key-sorted base (minus overlaid keys) with the
+        // overlay patches; both streams are sorted, the result stays
+        // sorted.
+        let mut next: Vec<(u64, u64)> = Vec::with_capacity(self.base.len());
+        let mut pi = 0usize;
+        for &(pk, c) in &self.base {
+            while pi < patches.len() && patches[pi].0 < pk {
+                if live(patches[pi].0) {
+                    next.push(patches[pi]);
+                }
+                pi += 1;
+            }
+            if pi < patches.len() && patches[pi].0 == pk {
+                continue; // patched entry is emitted by the loop above
+            }
+            if c > 0 && live(pk) {
+                next.push((pk, c));
+            }
+        }
+        for &p in &patches[pi..] {
+            if live(p.0) {
+                next.push(p);
+            }
+        }
+        self.base = next;
+        self.rank = rank_of(&self.base);
+        self.eligible_watermark = self.eligible.len();
+    }
+}
+
+#[inline]
+fn clamp32(c: u64) -> u32 {
+    c.min(u32::MAX as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::common_neighbor_min_weights;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Hub 0 → {1, 2, 3} with an extra 1–2 edge, weights 1.
+    fn star_plus_pair() -> WGraph {
+        let mut g = WGraph::new();
+        for _ in 0..4 {
+            g.add_node();
+        }
+        g.add_edge(n(0), n(1), 1);
+        g.add_edge(n(0), n(2), 1);
+        g.add_edge(n(0), n(3), 1);
+        g.add_edge(n(1), n(2), 1);
+        g
+    }
+
+    #[test]
+    fn bitset_round_trip() {
+        let mut s = NodeBitSet::with_bound(10);
+        assert!(s.is_empty());
+        s.insert(n(3));
+        s.insert(n(200)); // forces growth
+        assert!(s.contains(n(3)));
+        assert!(s.contains(n(200)));
+        assert!(!s.contains(n(4)));
+        assert_eq!(s.len(), 2);
+        s.remove(n(3));
+        assert!(!s.contains(n(3)));
+        s.remove(n(9999)); // out of range: no-op
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn build_matches_reference_counts() {
+        let g = star_plus_pair();
+        let kernel = CommonNeighborKernel::build_with_workers(&g, |_| true, 1);
+        assert_eq!(kernel.edges(), common_neighbor_min_weights(&g, |_| true));
+    }
+
+    #[test]
+    fn build_respects_endpoint_filter() {
+        let g = star_plus_pair();
+        let kernel = CommonNeighborKernel::build_with_workers(&g, |x| x != n(0), 2);
+        assert_eq!(
+            kernel.edges(),
+            common_neighbor_min_weights(&g, |x| x != n(0))
+        );
+        assert!(!kernel.is_eligible(n(0)));
+        assert_eq!(kernel.pair_count(n(0), n(1)), 0);
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let mut g = WGraph::new();
+        for _ in 0..40 {
+            g.add_node();
+        }
+        for i in 0..40u32 {
+            for j in (i + 1)..40 {
+                if (i * 31 + j * 17) % 5 == 0 {
+                    g.add_edge(n(i), n(j), 1 + ((i + j) % 3) as u64);
+                }
+            }
+        }
+        let one = CommonNeighborKernel::build_with_workers(&g, |_| true, 1);
+        let four = CommonNeighborKernel::build_with_workers(&g, |_| true, 4);
+        let many = CommonNeighborKernel::build_with_workers(&g, |_| true, 16);
+        assert_eq!(one.edges(), four.edges());
+        assert_eq!(one.edges(), many.edges());
+        assert_eq!(one.edges(), common_neighbor_min_weights(&g, |_| true));
+    }
+
+    #[test]
+    fn threshold_view_matches_filtered_recount() {
+        let g = star_plus_pair();
+        let kernel = CommonNeighborKernel::build(&g, |_| true);
+        for k in 1..4 {
+            let mut expect = common_neighbor_min_weights(&g, |_| true);
+            expect.retain(|e| e.count >= k);
+            assert_eq!(kernel.edges_at_least(k), expect, "level {k}");
+        }
+        assert_eq!(kernel.max_count(), 1);
+    }
+
+    #[test]
+    fn contract_keeps_counts_exact() {
+        // Figure-2 shape: two servers with three shared clients; after
+        // contracting the servers, the clients share a weight-2 group
+        // node.
+        let mut g = WGraph::new();
+        for _ in 0..5 {
+            g.add_node();
+        }
+        for c in 2..5 {
+            g.add_edge(n(0), n(c), 1);
+            g.add_edge(n(1), n(c), 1);
+        }
+        let mut kernel = CommonNeighborKernel::build(&g, |_| true);
+        assert_eq!(kernel.pair_count(n(2), n(3)), 2);
+
+        let (m, _) = kernel.contract(&mut g, &[n(0), n(1)]);
+        assert!(!kernel.is_eligible(m));
+        // Fresh recount on the mutated graph, with the same eligibility.
+        let fresh = common_neighbor_min_weights(&g, |x| x != m);
+        assert_eq!(kernel.edges(), fresh);
+        assert_eq!(kernel.pair_count(n(2), n(3)), 2);
+        assert_eq!(kernel.max_count(), 2);
+    }
+
+    #[test]
+    fn contract_singleton_preserves_surviving_counts() {
+        let mut g = star_plus_pair();
+        let mut kernel = CommonNeighborKernel::build(&g, |_| true);
+        let before = kernel.pair_count(n(1), n(2));
+        let (m, _) = kernel.contract(&mut g, &[n(3)]);
+        // Node 3 was a spoke; the surviving pair counts are unchanged
+        // because the replacement node carries identical edges.
+        assert_eq!(kernel.pair_count(n(1), n(2)), before);
+        let fresh = common_neighbor_min_weights(&g, |x| x != m);
+        assert_eq!(kernel.edges(), fresh);
+    }
+
+    #[test]
+    fn compaction_preserves_view() {
+        // Hub-heavy graph large enough to cross both compaction
+        // triggers: the pair table exceeds the 2048-entry floor, and
+        // batched contractions first bloat the overlay, then halve the
+        // eligible population.
+        let mut g = WGraph::new();
+        for _ in 0..80 {
+            g.add_node();
+        }
+        for h in 0..4u32 {
+            for v in 4..80u32 {
+                g.add_edge(n(h), n(v), 1 + ((h + v) % 3) as u64);
+            }
+        }
+        let mut kernel = CommonNeighborKernel::build_with_workers(&g, |_| true, 2);
+        assert!(kernel.edges().len() > 2048);
+
+        for batch in 0..12u32 {
+            let members: Vec<NodeId> = (0..5).map(|i| n(4 + batch * 5 + i)).collect();
+            kernel.contract(&mut g, &members);
+            let fresh = common_neighbor_min_weights(&g, |x| kernel.is_eligible(x));
+            assert_eq!(kernel.edges(), fresh, "after batch {batch}");
+            for k in 1..=kernel.max_count() + 1 {
+                let mut expect = fresh.clone();
+                expect.retain(|e| e.count >= k);
+                assert_eq!(kernel.edges_at_least(k), expect, "batch {batch} level {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_builds_empty_kernel() {
+        let g = WGraph::new();
+        let kernel = CommonNeighborKernel::build(&g, |_| true);
+        assert!(kernel.edges().is_empty());
+        assert_eq!(kernel.max_count(), 0);
+        assert_eq!(kernel.eligible_count(), 0);
+    }
+
+    #[test]
+    fn default_worker_count_is_positive() {
+        assert!(default_worker_count() >= 1);
+        assert!(default_worker_count() <= MAX_WORKERS);
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`common`] — common-neighbor counting (the *neighborhood graph* of
 //!   the paper), implemented by enumerating two-paths so the cost is
 //!   `Σ deg(v)²` rather than `|V|²`.
+//! * [`kernel`] — the [`CommonNeighborKernel`]: the same counts computed
+//!   **once** in parallel, served per similarity level by thresholding,
+//!   and maintained incrementally through graph contractions.
 //! * [`traversal`] — BFS/DFS orders and distance maps.
 //! * [`unionfind`] — a union-find used by components and by callers.
 //! * [`stats`] — degree and clustering statistics.
@@ -30,6 +33,7 @@ pub mod components;
 pub mod dot;
 pub mod id;
 pub mod kcore;
+pub mod kernel;
 pub mod simple;
 pub mod stats;
 pub mod traversal;
@@ -44,6 +48,7 @@ pub use common::{
 pub use components::{connected_components, largest_component};
 pub use id::NodeId;
 pub use kcore::{core_numbers, degeneracy, k_core};
+pub use kernel::{default_worker_count, CommonNeighborKernel, NodeBitSet, THREADS_ENV};
 pub use simple::SimpleGraph;
 pub use stats::{clustering_coefficient, DegreeStats};
 pub use unionfind::UnionFind;

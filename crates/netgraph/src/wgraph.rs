@@ -194,6 +194,20 @@ impl WGraph {
         self.adj(n).nbrs.iter().copied()
     }
 
+    /// Borrows the adjacency of `n` as a slice of `(neighbor, weight)`
+    /// pairs sorted by neighbor id — the zero-cost form of
+    /// [`WGraph::neighbors`] for hot paths (CSR snapshots, the
+    /// common-neighbor kernel) that would otherwise pay per-item iterator
+    /// overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a live node.
+    #[inline]
+    pub fn neighbor_slice(&self, n: NodeId) -> &[(NodeId, u64)] {
+        &self.adj(n).nbrs
+    }
+
     /// Degree (number of distinct neighbors) of `n`.
     ///
     /// # Panics
@@ -202,6 +216,17 @@ impl WGraph {
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
         self.adj(n).nbrs.len()
+    }
+
+    /// Total two-path count `Σ_v deg(v)·(deg(v)−1)/2` — the exact work a
+    /// full common-neighbor pass performs. Used to size scratch buffers
+    /// and to pick between counting strategies.
+    pub fn two_path_work(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|a| a.as_ref().map(|a| a.nbrs.len()))
+            .map(|d| d * d.saturating_sub(1) / 2)
+            .sum()
     }
 
     /// Sum of edge weights incident to `n`.

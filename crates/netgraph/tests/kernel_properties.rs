@@ -1,0 +1,110 @@
+//! Property-based tests of the common-neighbor kernel: on arbitrary
+//! weighted graphs the cached, parallel, incrementally-updated kernel
+//! must be indistinguishable from the straightforward recomputation it
+//! replaces.
+
+use netgraph::{common_neighbor_min_weights, CommonNeighborKernel, NodeId, WGraph};
+use proptest::prelude::*;
+
+const N: u32 = 20;
+
+/// Strategy: a random weighted undirected edge list over up to `N`
+/// nodes. Duplicate pairs are fine — their weights accumulate, which is
+/// exactly the regime where min-weight counting differs from plain
+/// common-neighbor counting.
+fn arb_weighted_edges(max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
+    prop::collection::vec((0..N, 0..N, 1u64..5), 0..max_edges)
+        .prop_map(|v| v.into_iter().filter(|(a, b, _)| a != b).collect())
+}
+
+fn weighted(edges: &[(u32, u32, u64)]) -> WGraph {
+    let mut g = WGraph::new();
+    g.add_nodes(N as usize);
+    for &(a, b, w) in edges {
+        g.add_edge(NodeId(a), NodeId(b), w);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The kernel's full view equals the reference recomputation.
+    #[test]
+    fn kernel_matches_reference_counts(edges in arb_weighted_edges(60)) {
+        let g = weighted(&edges);
+        let kernel = CommonNeighborKernel::build(&g, |_| true);
+        prop_assert_eq!(kernel.edges(), common_neighbor_min_weights(&g, |_| true));
+    }
+
+    /// Endpoint filtering at build time equals filtering the reference.
+    #[test]
+    fn kernel_respects_endpoint_filter(edges in arb_weighted_edges(60)) {
+        let g = weighted(&edges);
+        let ok = |x: NodeId| !x.0.is_multiple_of(3);
+        let kernel = CommonNeighborKernel::build(&g, ok);
+        prop_assert_eq!(kernel.edges(), common_neighbor_min_weights(&g, ok));
+        for v in 0..N {
+            prop_assert_eq!(kernel.is_eligible(NodeId(v)), ok(NodeId(v)));
+        }
+    }
+
+    /// Every thresholded view equals recomputing that level from
+    /// scratch — the property that lets the formation sweep serve all
+    /// k-levels from one build.
+    #[test]
+    fn threshold_views_match_per_level_recount(edges in arb_weighted_edges(60)) {
+        let g = weighted(&edges);
+        let kernel = CommonNeighborKernel::build(&g, |_| true);
+        let reference = common_neighbor_min_weights(&g, |_| true);
+        for k in 1..=kernel.max_count().saturating_add(1) {
+            let mut expect = reference.clone();
+            expect.retain(|e| e.count >= k);
+            prop_assert_eq!(kernel.edges_at_least(k), expect, "level {}", k);
+        }
+    }
+
+    /// Worker count is a throughput knob, never an output knob: 1, 2
+    /// and 8 workers produce identical tables.
+    #[test]
+    fn worker_count_never_changes_output(edges in arb_weighted_edges(80)) {
+        let g = weighted(&edges);
+        let serial = CommonNeighborKernel::build_with_workers(&g, |_| true, 1);
+        for workers in [2, 8] {
+            let parallel = CommonNeighborKernel::build_with_workers(&g, |_| true, workers);
+            prop_assert_eq!(serial.edges(), parallel.edges(), "{} workers", workers);
+            prop_assert_eq!(parallel.workers(), workers);
+        }
+    }
+
+    /// Incremental contraction equals tearing the kernel down and
+    /// rebuilding on the mutated graph — across a two-step contraction
+    /// sequence, the mode the formation sweep actually exercises.
+    #[test]
+    fn contraction_matches_fresh_rebuild(
+        edges in arb_weighted_edges(60),
+        first in prop::collection::btree_set(0u32..N, 1..5),
+        second in prop::collection::btree_set(0u32..N, 1..5),
+    ) {
+        let mut g = weighted(&edges);
+        let mut kernel = CommonNeighborKernel::build(&g, |_| true);
+
+        let members: Vec<NodeId> = first.iter().map(|&v| NodeId(v)).collect();
+        let (m1, _) = kernel.contract(&mut g, &members);
+        prop_assert!(!kernel.is_eligible(m1));
+        let fresh = common_neighbor_min_weights(&g, |x| kernel.is_eligible(x));
+        prop_assert_eq!(kernel.edges(), fresh, "after first contraction");
+
+        // Contract a second, disjoint set of surviving original nodes.
+        let members2: Vec<NodeId> = second
+            .iter()
+            .filter(|v| !first.contains(v))
+            .map(|&v| NodeId(v))
+            .collect();
+        if !members2.is_empty() {
+            kernel.contract(&mut g, &members2);
+            let fresh = common_neighbor_min_weights(&g, |x| kernel.is_eligible(x));
+            prop_assert_eq!(kernel.edges(), fresh, "after second contraction");
+        }
+    }
+}

@@ -13,4 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+# The kernel must be a pure throughput knob: its counts, the Engine's
+# classifications, and every correlation are identical at any worker
+# count. Exercised at 1, 2, and 8 workers.
+for t in 1 2 8; do
+  echo "==> kernel equivalence @ ROLECLASS_THREADS=$t"
+  ROLECLASS_THREADS=$t cargo test -q -p netgraph --test kernel_properties
+  ROLECLASS_THREADS=$t cargo test -q -p roleclass --test engine_equivalence
+done
+
 echo "CI OK"

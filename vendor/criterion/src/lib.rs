@@ -50,22 +50,28 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Measures `routine` repeatedly until the time box fills.
+    /// Measures `routine` repeatedly until the time box fills. Always
+    /// completes at least one timed iteration, so a routine slower than
+    /// the box still reports its cost instead of vanishing.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let deadline = Instant::now() + MEASURE_BOX;
         // Warmup: one untimed call so lazy initialization and cache
         // effects land outside the measurement.
         black_box(routine());
-        while Instant::now() < deadline {
+        loop {
             let start = Instant::now();
             black_box(routine());
             self.total += start.elapsed();
             self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
         }
     }
 
     /// Measures `routine` on fresh input from `setup`, excluding setup
-    /// time from the measurement.
+    /// time from the measurement. Like [`iter`][Self::iter], always
+    /// completes at least one timed iteration.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -73,12 +79,15 @@ impl Bencher {
     {
         let deadline = Instant::now() + MEASURE_BOX;
         black_box(routine(setup()));
-        while Instant::now() < deadline {
+        loop {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
             self.total += start.elapsed();
             self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
         }
     }
 }
