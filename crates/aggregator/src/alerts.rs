@@ -7,6 +7,7 @@
 //! talked to. [`NewNeighborDetector`] implements that check against a
 //! baseline grouping and its connection sets.
 
+use crate::checkpoint::{Recovery, RecoverySource};
 use crate::pipeline::RunRecord;
 use crate::policy::PolicyVerdict;
 use flow::{ConnectionSets, FlowRecord, HostAddr, TimeWindow};
@@ -70,6 +71,17 @@ pub enum AlertKind {
         /// Probes attached when the window ran.
         probes_total: usize,
     },
+    /// A restart could not read the primary checkpoint and fell back to
+    /// an older generation (or a fresh, empty history). Group ids may
+    /// have lost their anchor: labels and policies keyed on them deserve
+    /// a review.
+    CheckpointFallback {
+        /// The generation actually restored (`"backup"` or `"fresh"`).
+        source: String,
+        /// Why earlier generations were rejected, as recorded by
+        /// recovery.
+        notes: Vec<String>,
+    },
 }
 
 /// A full alert.
@@ -97,6 +109,26 @@ pub fn degraded_window_alert(run: &RunRecord) -> Option<Alert> {
             window: run.window,
             probes_delivered: run.health.probes_delivered(),
             probes_total: run.health.probes_total,
+        },
+    })
+}
+
+/// Surfaces a checkpoint-recovery fallback as an alert: restoring from
+/// the backup generation is a warning (the most recent window or two may
+/// be missing), restoring fresh is critical (the whole correlation
+/// anchor is gone — every group will be renumbered). Returns `None` for
+/// a clean primary load.
+pub fn checkpoint_fallback_alert(recovery: &Recovery) -> Option<Alert> {
+    let severity = match recovery.source {
+        RecoverySource::Primary => return None,
+        RecoverySource::Backup => Severity::Warning,
+        RecoverySource::Fresh => Severity::Critical,
+    };
+    Some(Alert {
+        severity,
+        kind: AlertKind::CheckpointFallback {
+            source: recovery.source.as_str().to_string(),
+            notes: recovery.notes.clone(),
         },
     })
 }
@@ -328,6 +360,39 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn checkpoint_fallback_alert_grades_by_source() {
+        let clean = Recovery {
+            runs: vec![],
+            source: RecoverySource::Primary,
+            notes: vec![],
+        };
+        assert!(checkpoint_fallback_alert(&clean).is_none());
+
+        let backup = Recovery {
+            runs: vec![],
+            source: RecoverySource::Backup,
+            notes: vec!["primary checkpoint unusable: corrupt".to_string()],
+        };
+        let a = checkpoint_fallback_alert(&backup).expect("backup fallback alerts");
+        assert_eq!(a.severity, Severity::Warning);
+        match &a.kind {
+            AlertKind::CheckpointFallback { source, notes } => {
+                assert_eq!(source, "backup");
+                assert_eq!(notes.len(), 1);
+            }
+            other => panic!("unexpected alert {other:?}"),
+        }
+
+        let fresh = Recovery {
+            runs: vec![],
+            source: RecoverySource::Fresh,
+            notes: vec![],
+        };
+        let a = checkpoint_fallback_alert(&fresh).unwrap();
+        assert_eq!(a.severity, Severity::Critical);
     }
 
     #[test]

@@ -70,6 +70,17 @@ pub enum RecoverySource {
     Fresh,
 }
 
+impl RecoverySource {
+    /// Stable lowercase name, used in alerts and telemetry labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoverySource::Primary => "primary",
+            RecoverySource::Backup => "backup",
+            RecoverySource::Fresh => "fresh",
+        }
+    }
+}
+
 /// Result of [`Checkpointer::load_or_recover`].
 #[derive(Debug)]
 pub struct Recovery {

@@ -34,11 +34,18 @@ pub mod profile;
 pub mod report;
 pub mod supervisor;
 
-pub use alerts::{degraded_window_alert, Alert, AlertKind, NewNeighborDetector, Severity};
+pub use alerts::{
+    checkpoint_fallback_alert, degraded_window_alert, Alert, AlertKind, NewNeighborDetector,
+    Severity,
+};
 pub use checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
 pub use labels::LabelStore;
-pub use pipeline::{Aggregator, AggregatorConfig, RunRecord, WindowHealth};
+pub use pipeline::{
+    Aggregator, AggregatorConfig, RunRecord, WindowHealth, AGGREGATOR_METRIC_NAMES,
+};
 pub use policy::{Policy, PolicyEngine, PolicyVerdict, Selector};
 pub use probe::{Probe, ProbeError, ReplayProbe};
 pub use profile::ProfileBuilder;
-pub use supervisor::{PollOutcome, ProbeHealth, ProbeStats, ProbeSupervisor, SupervisorConfig};
+pub use supervisor::{
+    PollOutcome, ProbeHealth, ProbeReport, ProbeStats, ProbeSupervisor, SupervisorConfig,
+};

@@ -14,14 +14,36 @@
 //! how complete its input was — downstream consumers (reports, alerts)
 //! use it to distinguish real role churn from artifacts of missing data.
 
-use crate::checkpoint::{CheckpointError, Checkpointer, Recovery};
+use crate::alerts::{checkpoint_fallback_alert, degraded_window_alert, Alert};
+use crate::checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
 use crate::probe::Probe;
-use crate::supervisor::{PollOutcome, ProbeHealth, ProbeStats, ProbeSupervisor, SupervisorConfig};
+use crate::supervisor::{PollOutcome, ProbeHealth, ProbeReport, ProbeSupervisor, SupervisorConfig};
 use flow::{ConnectionSets, ConnsetBuilder, FlowRecord, TimeWindow};
 use parking_lot::RwLock;
 use roleclass::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use telemetry::Recorder;
+
+/// Every metric the aggregator registers, in export (sorted) order. The
+/// workspace metric-name lint checks uniqueness and prefixing against
+/// this list.
+pub const AGGREGATOR_METRIC_NAMES: &[&str] = &[
+    "roleclass_aggregator_checkpoint_fallbacks_total",
+    "roleclass_aggregator_checkpoint_write_seconds",
+    "roleclass_aggregator_checkpoint_writes_total",
+    "roleclass_aggregator_cycles_total",
+    "roleclass_aggregator_degraded_windows_total",
+    "roleclass_aggregator_poll_failures_total",
+    "roleclass_aggregator_poll_seconds",
+    "roleclass_aggregator_poll_skips_total",
+    "roleclass_aggregator_probes_attached",
+    "roleclass_aggregator_quarantined_probes",
+    "roleclass_aggregator_records_accepted_total",
+    "roleclass_aggregator_records_dropped_total",
+    "roleclass_aggregator_recoveries_total",
+    "roleclass_aggregator_retries_total",
+];
 
 /// Aggregator configuration.
 #[derive(Clone, Debug)]
@@ -117,6 +139,11 @@ pub struct Aggregator {
     probes: Vec<ProbeSupervisor>,
     history: Arc<RwLock<Vec<RunRecord>>>,
     next_window_start: u64,
+    recorder: Option<Arc<Recorder>>,
+    /// Operational alerts raised by the aggregator itself (degraded
+    /// windows, checkpoint fallbacks), queued until a consumer drains
+    /// them with [`Aggregator::take_alerts`].
+    pending_alerts: Vec<Alert>,
 }
 
 impl Aggregator {
@@ -142,7 +169,40 @@ impl Aggregator {
             probes: Vec::new(),
             history: Arc::new(RwLock::new(Vec::new())),
             next_window_start: next,
+            recorder: None,
+            pending_alerts: Vec::new(),
         })
+    }
+
+    /// Attaches a telemetry recorder (builder style). The same recorder
+    /// is handed to the engine, so one cycle produces a single span tree
+    /// (`aggregator.run_cycle` → `engine.run_window` → `engine.form` →
+    /// `kernel.build`, …) and one registry covers every layer.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.set_recorder(Some(recorder));
+        self
+    }
+
+    /// Attaches or detaches the telemetry recorder (shared with the
+    /// engine).
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.engine.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Operational alerts raised so far and not yet taken.
+    pub fn pending_alerts(&self) -> &[Alert] {
+        &self.pending_alerts
+    }
+
+    /// Takes (and clears) the queued operational alerts.
+    pub fn take_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.pending_alerts)
     }
 
     /// Attaches a probe, wrapping it in the configured supervision.
@@ -156,19 +216,16 @@ impl Aggregator {
         self.probes.len()
     }
 
-    /// Health of every attached probe, by name.
-    pub fn probe_health(&self) -> Vec<(String, ProbeHealth)> {
+    /// Per-probe supervision snapshot: name, circuit-breaker health, and
+    /// lifetime counters for every attached probe, in attach order.
+    pub fn probe_reports(&self) -> Vec<ProbeReport> {
         self.probes
             .iter()
-            .map(|s| (s.name().to_string(), s.health()))
-            .collect()
-    }
-
-    /// Lifetime supervision counters of every attached probe, by name.
-    pub fn probe_stats(&self) -> Vec<(String, ProbeStats)> {
-        self.probes
-            .iter()
-            .map(|s| (s.name().to_string(), s.stats()))
+            .map(|s| ProbeReport {
+                name: s.name().to_string(),
+                health: s.health(),
+                stats: s.stats(),
+            })
             .collect()
     }
 
@@ -204,6 +261,9 @@ impl Aggregator {
     ///
     /// Returns the completed [`RunRecord`] (also appended to history).
     pub fn run_cycle(&mut self) -> RunRecord {
+        let recorder = self.recorder.clone();
+        let rec = recorder.as_deref();
+        let _cycle_span = telemetry::span(rec, "aggregator.run_cycle");
         let window = TimeWindow::new(
             self.next_window_start,
             self.next_window_start + self.config.window_ms,
@@ -215,36 +275,80 @@ impl Aggregator {
             ..WindowHealth::default()
         };
         let mut records: Vec<FlowRecord> = Vec::new();
-        for s in &mut self.probes {
-            match s.poll_window(window.start_ms, window.end_ms) {
-                PollOutcome::Delivered {
-                    records: delivered,
-                    retries,
-                } => {
-                    health.retries += retries as u64;
-                    records.extend(delivered);
+        {
+            let _poll_span = telemetry::span(rec, "aggregator.poll");
+            for s in &mut self.probes {
+                let started = rec.map(|_| std::time::Instant::now());
+                match s.poll_window(window.start_ms, window.end_ms) {
+                    PollOutcome::Delivered {
+                        records: delivered,
+                        retries,
+                    } => {
+                        health.retries += retries as u64;
+                        records.extend(delivered);
+                    }
+                    PollOutcome::Failed { error, retries } => {
+                        health.retries += retries as u64;
+                        health.probes_failed += 1;
+                        health.errors.push(format!("{}: {error}", s.name()));
+                    }
+                    PollOutcome::Skipped => {
+                        health.probes_skipped += 1;
+                    }
                 }
-                PollOutcome::Failed { error, retries } => {
-                    health.retries += retries as u64;
-                    health.probes_failed += 1;
-                    health.errors.push(format!("{}: {error}", s.name()));
-                }
-                PollOutcome::Skipped => {
-                    health.probes_skipped += 1;
+                if let (Some(r), Some(t0)) = (rec, started) {
+                    r.registry()
+                        .histogram(
+                            "roleclass_aggregator_poll_seconds",
+                            telemetry::DURATION_BUCKETS,
+                        )
+                        .observe(t0.elapsed().as_secs_f64());
                 }
             }
         }
-        let mut builder = ConnsetBuilder::new().min_flows(self.config.min_flows);
-        builder.add_records(records.iter());
-        let (connsets, build_stats) = builder.build_with_stats();
-        health.records_accepted = build_stats.kept_flows;
-        health.records_dropped = build_stats.dropped_flows;
+        let connsets = {
+            let _build_span = telemetry::span(rec, "aggregator.build");
+            let mut builder = ConnsetBuilder::new().min_flows(self.config.min_flows);
+            builder.add_records(records.iter());
+            let (connsets, build_stats) = builder.build_with_stats();
+            health.records_accepted = build_stats.kept_flows;
+            health.records_dropped = build_stats.dropped_flows;
+            connsets
+        };
 
         // The engine classifies, correlates against its retained
         // snapshot of the previous window, and keeps the new snapshot
         // warm for the next cycle ([`adopt_history`] re-anchors it when
-        // history is replaced wholesale).
+        // history is replaced wholesale). It shares this aggregator's
+        // recorder, so its spans nest under `aggregator.run_cycle`.
         let outcome = self.engine.run_window(&connsets);
+
+        if let Some(r) = rec {
+            let reg = r.registry();
+            reg.counter("roleclass_aggregator_cycles_total").inc();
+            reg.counter("roleclass_aggregator_poll_failures_total")
+                .add(health.probes_failed as u64);
+            reg.counter("roleclass_aggregator_poll_skips_total")
+                .add(health.probes_skipped as u64);
+            reg.counter("roleclass_aggregator_retries_total")
+                .add(health.retries);
+            reg.counter("roleclass_aggregator_records_accepted_total")
+                .add(health.records_accepted);
+            reg.counter("roleclass_aggregator_records_dropped_total")
+                .add(health.records_dropped);
+            if health.degraded() {
+                reg.counter("roleclass_aggregator_degraded_windows_total")
+                    .inc();
+            }
+            reg.gauge("roleclass_aggregator_probes_attached")
+                .set(self.probes.len() as i64);
+            reg.gauge("roleclass_aggregator_quarantined_probes").set(
+                self.probes
+                    .iter()
+                    .filter(|p| p.health() == ProbeHealth::Quarantined)
+                    .count() as i64,
+            );
+        }
 
         let record = RunRecord {
             window,
@@ -253,6 +357,9 @@ impl Aggregator {
             correlation: outcome.correlation,
             health,
         };
+        if let Some(alert) = degraded_window_alert(&record) {
+            self.pending_alerts.push(alert);
+        }
         self.history.write().push(record.clone());
         record
     }
@@ -338,7 +445,23 @@ impl Aggregator {
     /// write-then-rename; the previous checkpoint survives as the
     /// backup generation).
     pub fn checkpoint(&self, ck: &Checkpointer) -> Result<(), CheckpointError> {
-        ck.save(&self.history.read())
+        let rec = self.recorder.as_deref();
+        let _span = telemetry::span(rec, "aggregator.checkpoint");
+        let started = rec.map(|_| std::time::Instant::now());
+        let result = ck.save(&self.history.read());
+        if let (Some(r), Some(t0)) = (rec, started) {
+            let reg = r.registry();
+            if result.is_ok() {
+                reg.counter("roleclass_aggregator_checkpoint_writes_total")
+                    .inc();
+            }
+            reg.histogram(
+                "roleclass_aggregator_checkpoint_write_seconds",
+                telemetry::DURATION_BUCKETS,
+            )
+            .observe(t0.elapsed().as_secs_f64());
+        }
+        result
     }
 
     /// Restores history from the best available checkpoint generation —
@@ -347,8 +470,26 @@ impl Aggregator {
     /// with stable group ids across the restart. Never fails; the
     /// returned [`Recovery`] says which generation was used and why any
     /// earlier one was rejected.
+    /// A fallback past the primary generation is surfaced twice: as a
+    /// queued [`Alert`] (see [`Aggregator::take_alerts`]) and, when a
+    /// recorder is attached, on the
+    /// `roleclass_aggregator_checkpoint_fallbacks_total` counter.
     pub fn restore_from(&mut self, ck: &Checkpointer) -> Recovery {
+        let recorder = self.recorder.clone();
+        let rec = recorder.as_deref();
+        let _span = telemetry::span(rec, "aggregator.restore");
         let recovery = ck.load_or_recover();
+        if let Some(r) = rec {
+            let reg = r.registry();
+            reg.counter("roleclass_aggregator_recoveries_total").inc();
+            if recovery.source != RecoverySource::Primary {
+                reg.counter("roleclass_aggregator_checkpoint_fallbacks_total")
+                    .inc();
+            }
+        }
+        if let Some(alert) = checkpoint_fallback_alert(&recovery) {
+            self.pending_alerts.push(alert);
+        }
         self.adopt_history(recovery.runs.clone());
         recovery
     }
@@ -618,12 +759,119 @@ mod tests {
         // horizon, and the replay probe is exhausted after one window.
         let cycles = agg.drain();
         assert_eq!(cycles, 1);
-        let health = agg.probe_health();
-        assert!(health
+        let reports = agg.probe_reports();
+        assert!(reports
             .iter()
-            .any(|(n, h)| n == "liar" && *h == ProbeHealth::Quarantined));
-        assert!(health
+            .any(|r| r.name == "liar" && r.health == ProbeHealth::Quarantined));
+        assert!(reports
             .iter()
-            .any(|(n, h)| n == "good" && *h == ProbeHealth::Open));
+            .any(|r| r.name == "good" && r.health == ProbeHealth::Open));
+    }
+
+    #[test]
+    fn recorder_captures_cycle_spans_and_window_counters() {
+        let rec = Arc::new(telemetry::Recorder::new());
+        let mut agg = Aggregator::new(config()).with_recorder(Arc::clone(&rec));
+        let trace: Vec<FlowRecord> = day_trace(0, 3).into_iter().chain(day_trace(1, 3)).collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        let cycles = agg.drain();
+        assert_eq!(cycles, 2);
+
+        let reg = rec.registry();
+        assert_eq!(reg.counter("roleclass_aggregator_cycles_total").get(), 2);
+        assert_eq!(
+            reg.counter("roleclass_aggregator_records_accepted_total")
+                .get(),
+            36
+        );
+        assert_eq!(
+            reg.counter("roleclass_aggregator_poll_failures_total")
+                .get(),
+            0
+        );
+        assert_eq!(reg.gauge("roleclass_aggregator_probes_attached").get(), 1);
+        assert_eq!(
+            reg.gauge("roleclass_aggregator_quarantined_probes").get(),
+            0
+        );
+
+        // Every aggregator metric name used above is declared in the lint list.
+        for line in reg.prometheus_text().lines() {
+            if let Some(name) = line.split([' ', '{']).next() {
+                if name.starts_with("roleclass_aggregator_") {
+                    let base = name
+                        .trim_end_matches("_bucket")
+                        .trim_end_matches("_sum")
+                        .trim_end_matches("_count");
+                    assert!(
+                        AGGREGATOR_METRIC_NAMES.contains(&base),
+                        "{base} not declared"
+                    );
+                }
+            }
+        }
+
+        // Each cycle is one root span; the engine nests under it.
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        for cycle in &spans {
+            assert_eq!(cycle.name, "aggregator.run_cycle");
+            let kids: Vec<&str> = cycle.children.iter().map(|c| c.name.as_str()).collect();
+            assert_eq!(
+                kids,
+                ["aggregator.poll", "aggregator.build", "engine.run_window"]
+            );
+        }
+        // No degraded windows, so no degraded alerts were queued.
+        assert!(agg.pending_alerts().is_empty());
+    }
+
+    #[test]
+    fn restore_fallback_is_counted_and_alerted() {
+        use crate::alerts::{AlertKind, Severity};
+        use crate::checkpoint::Checkpointer;
+        use std::fs;
+
+        let dir =
+            std::env::temp_dir().join(format!("roleclass-agg-restore-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+
+        let mut agg = Aggregator::new(config());
+        agg.attach(Box::new(ReplayProbe::new("p0", day_trace(0, 3))));
+        agg.run_cycle();
+        agg.checkpoint(&ck).unwrap();
+        agg.run_cycle();
+        agg.checkpoint(&ck).unwrap();
+        // Chop the primary mid-payload: recovery must fall back.
+        let text = fs::read_to_string(ck.path()).unwrap();
+        fs::write(ck.path(), &text[..text.len() / 2]).unwrap();
+
+        let rec = Arc::new(telemetry::Recorder::new());
+        let mut fresh = Aggregator::new(config()).with_recorder(Arc::clone(&rec));
+        let recovery = fresh.restore_from(&ck);
+        assert_eq!(recovery.source, RecoverySource::Backup);
+
+        let reg = rec.registry();
+        assert_eq!(
+            reg.counter("roleclass_aggregator_recoveries_total").get(),
+            1
+        );
+        assert_eq!(
+            reg.counter("roleclass_aggregator_checkpoint_fallbacks_total")
+                .get(),
+            1
+        );
+        let alerts = fresh.take_alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].severity, Severity::Warning);
+        assert!(matches!(
+            &alerts[0].kind,
+            AlertKind::CheckpointFallback { source, .. } if source == "backup"
+        ));
+        // The queue drains exactly once.
+        assert!(fresh.pending_alerts().is_empty());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -94,6 +94,20 @@ pub struct ProbeStats {
     pub records_delivered: u64,
 }
 
+/// Snapshot of one supervised probe: its name, circuit-breaker health,
+/// and lifetime counters, bundled so callers (reports, `rcctl`, the
+/// telemetry export) get one named record per probe instead of parallel
+/// tuple lists.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeReport {
+    /// The probe's name.
+    pub name: String,
+    /// Current circuit-breaker state.
+    pub health: ProbeHealth,
+    /// Lifetime supervision counters.
+    pub stats: ProbeStats,
+}
+
 /// What happened when the supervisor was asked for one window.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PollOutcome {

@@ -142,14 +142,14 @@ fn flaky_probe_over_many_windows_keeps_correlation_continuity() {
     }
 
     // The flaky probe's lifetime accounting matches the window tally.
-    let stats = agg.probe_stats();
-    let (_, flaky_stats) = stats.iter().find(|(n, _)| n.contains("pod-b")).unwrap();
+    let reports = agg.probe_reports();
+    let flaky = reports.iter().find(|r| r.name.contains("pod-b")).unwrap();
     assert_eq!(
-        flaky_stats.windows_failed + flaky_stats.windows_skipped,
+        flaky.stats.windows_failed + flaky.stats.windows_skipped,
         degraded as u64
     );
     assert_eq!(
-        flaky_stats.windows_polled + flaky_stats.windows_skipped,
+        flaky.stats.windows_polled + flaky.stats.windows_skipped,
         WINDOWS
     );
 }
@@ -173,10 +173,10 @@ fn dead_probe_is_quarantined_and_the_rest_continue() {
     // Budget is 3 failed windows; everything after that is skipped.
     let skipped: usize = history.iter().map(|r| r.health.probes_skipped).sum();
     assert!(skipped > 0, "quarantine must kick in");
-    let health = agg.probe_health();
-    assert!(health
+    let reports = agg.probe_reports();
+    assert!(reports
         .iter()
-        .any(|(n, s)| n.contains("pod-b") && *s == ProbeHealth::Quarantined));
+        .any(|r| r.name.contains("pod-b") && r.health == ProbeHealth::Quarantined));
     // The healthy pod never noticed.
     for host in ALWAYS_PRESENT {
         let ids: Vec<_> = history

@@ -1,0 +1,135 @@
+//! Experiment `pipeline_stages` — per-stage wall-clock breakdown of the
+//! full probe → classify → correlate pipeline, measured through the
+//! telemetry registry rather than ad-hoc stopwatches.
+//!
+//! Replays a multi-window department-network trace through an
+//! [`Aggregator`] with a recorder attached, then prints:
+//!
+//! 1. the span tree of the last window (where the time goes, nested),
+//! 2. a per-stage table aggregated across all windows,
+//! 3. after a `===BENCH_PIPELINE_JSON===` marker, a JSON document with
+//!    the stage totals and the full registry snapshot —
+//!    `scripts/bench.sh` stores it as `BENCH_pipeline.json`.
+
+use aggregator::{Aggregator, AggregatorConfig, ReplayProbe, SupervisorConfig};
+use bench::{banner, quick_mode, render_table};
+use roleclass::Params;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use synthnet::{trace, ConnRule, Fanout, NetworkModel, RoleSpec};
+use telemetry::Recorder;
+
+const WINDOW_MS: u64 = 86_400_000; // one day, like the paper's traces
+
+/// A department-structured network with ~n hosts (the same shape the
+/// kernel and scaling benches use): 46-host departments around a small
+/// shared server core.
+fn department_network(n: usize) -> flow::ConnectionSets {
+    let mut m = NetworkModel::new();
+    let core = m.role(RoleSpec::servers("core", 4));
+    let dept_size = 46; // 43 workstations + 3 servers
+    let depts = (n / dept_size).max(1);
+    for d in 0..depts {
+        let ws = m.role(RoleSpec::clients(&format!("d{d}_ws"), 43));
+        let srv = m.role(RoleSpec::servers(&format!("d{d}_srv"), 3));
+        m.rule(ConnRule::new(ws, srv, Fanout::All));
+        m.rule(ConnRule::new(ws, core, Fanout::Exactly(2)));
+    }
+    m.generate(7).connsets
+}
+
+/// Expands the network into `windows` day-long trace segments so the
+/// pipeline exercises correlation between consecutive runs.
+fn multi_window_trace(cs: &flow::ConnectionSets, windows: u64) -> Vec<flow::FlowRecord> {
+    let mut records = Vec::new();
+    for w in 0..windows {
+        let opts = trace::TraceOptions {
+            start_ms: w * WINDOW_MS,
+            span_ms: WINDOW_MS,
+            ..trace::TraceOptions::default()
+        };
+        records.extend(trace::expand(cs, opts, 7 + w));
+    }
+    records
+}
+
+fn main() {
+    banner(
+        "pipeline_stages",
+        "per-stage pipeline breakdown via the telemetry registry",
+    );
+    let (hosts, windows) = if quick_mode() { (500, 2) } else { (5_000, 3) };
+    let cs = department_network(hosts);
+    let records = multi_window_trace(&cs, windows);
+    println!(
+        "department network: {} hosts, {} connections, {} windows, {} records\n",
+        cs.host_count(),
+        cs.connection_count(),
+        windows,
+        records.len()
+    );
+
+    let recorder = Arc::new(Recorder::new());
+    let mut agg = Aggregator::new(AggregatorConfig {
+        window_ms: WINDOW_MS,
+        origin_ms: 0,
+        params: Params::default(),
+        min_flows: 1,
+        supervisor: SupervisorConfig::immediate(),
+    })
+    .with_recorder(Arc::clone(&recorder));
+    agg.attach(Box::new(ReplayProbe::new("replay", records)));
+    let cycles = agg.drain();
+    assert_eq!(cycles as u64, windows, "trace must fill every window");
+
+    // Where the time went in the last window, nested.
+    let spans = recorder.spans();
+    println!("last window, span tree:");
+    print!(
+        "{}",
+        telemetry::render_span_tree(std::slice::from_ref(spans.last().expect("ran windows")))
+    );
+
+    // Aggregate every span name across all windows.
+    let mut totals: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    for root in &spans {
+        root.visit(&mut |n| {
+            let e = totals.entry(n.name.clone()).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += n.secs();
+        });
+    }
+    let rows: Vec<Vec<String>> = totals
+        .iter()
+        .map(|(name, (count, secs))| {
+            vec![
+                name.clone(),
+                count.to_string(),
+                format!("{:.3}", secs * 1e3),
+                format!("{:.3}", secs * 1e3 / *count as f64),
+            ]
+        })
+        .collect();
+    println!("\nall {windows} windows, aggregated:");
+    println!(
+        "{}",
+        render_table(&["stage", "count", "total ms", "mean ms"], &rows)
+    );
+
+    // Machine-readable tail for scripts/bench.sh.
+    let mut stages = String::new();
+    for (name, (count, secs)) in &totals {
+        if !stages.is_empty() {
+            stages.push(',');
+        }
+        stages.push_str(&format!(
+            "\"{name}\":{{\"count\":{count},\"total_secs\":{secs:.9}}}"
+        ));
+    }
+    println!("===BENCH_PIPELINE_JSON===");
+    println!(
+        "{{\"hosts\":{},\"windows\":{windows},\"stages\":{{{stages}}},\"metrics\":{}}}",
+        cs.host_count(),
+        recorder.registry().json_snapshot()
+    );
+}

@@ -1,6 +1,6 @@
 //! The public entry point: full two-phase role classification.
 
-use crate::formation::{form_groups_validated, FormationEvent, FormationResult};
+use crate::formation::{form_groups_validated, form_groups_with, FormationEvent, FormationResult};
 use crate::group::{GroupId, Grouping};
 use crate::merging::{merge_groups_validated, MergeEvent};
 use crate::params::{ParamError, Params};
@@ -97,6 +97,16 @@ pub(crate) fn classify_validated(cs: &ConnectionSets, params: &Params) -> Classi
     finish_classification(cs, form_groups_validated(cs, params), params)
 }
 
+/// [`classify_validated`] with an optional recorder threading telemetry
+/// through both phases. `None` is exactly the uninstrumented path.
+pub(crate) fn classify_with(
+    cs: &ConnectionSets,
+    params: &Params,
+    rec: Option<&telemetry::Recorder>,
+) -> Classification {
+    finish_classification_with(cs, form_groups_with(cs, params, rec), params, rec)
+}
+
 /// Merges a formation result and assembles the [`Classification`]
 /// (merge phase + the Figure 4 neighborhood summaries). Callers must
 /// have validated `params`.
@@ -105,8 +115,33 @@ pub(crate) fn finish_classification(
     formation: FormationResult,
     params: &Params,
 ) -> Classification {
+    finish_classification_with(cs, formation, params, None)
+}
+
+/// [`finish_classification`] with an optional recorder: emits the
+/// `engine.merge` span and the merge-phase metrics.
+pub(crate) fn finish_classification_with(
+    cs: &ConnectionSets,
+    formation: FormationResult,
+    params: &Params,
+    rec: Option<&telemetry::Recorder>,
+) -> Classification {
+    let _span = telemetry::span(rec, "engine.merge");
+    let started = rec.map(|_| std::time::Instant::now());
     let formation_trace = formation.trace.clone();
     let out = merge_groups_validated(cs, formation, params);
+    if let (Some(r), Some(t0)) = (rec, started) {
+        let reg = r.registry();
+        reg.counter("roleclass_engine_merges_total")
+            .add(out.merges.len() as u64);
+        reg.gauge("roleclass_engine_groups_final")
+            .set(out.grouping.group_count() as i64);
+        reg.histogram(
+            "roleclass_engine_merge_seconds",
+            telemetry::DURATION_BUCKETS,
+        )
+        .observe(t0.elapsed().as_secs_f64());
+    }
 
     let mut neighborhoods = Vec::with_capacity(out.grouping.group_count());
     for (idx, group) in out.grouping.groups().iter().enumerate() {

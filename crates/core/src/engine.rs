@@ -40,13 +40,30 @@
 //! );
 //! ```
 
-use crate::classify::{classify_validated, finish_classification, Classification};
+use crate::classify::{classify_with, finish_classification_with, Classification};
 use crate::correlate::{apply_correlation, correlate_validated, Correlation};
-use crate::formation::{form_groups_validated, FormationResult};
+use crate::formation::{form_groups_with, FormationResult};
 use crate::group::Grouping;
 use crate::merging::merge_groups_validated;
 use crate::params::{ParamError, Params};
 use flow::ConnectionSets;
+use std::sync::Arc;
+use telemetry::Recorder;
+
+/// Every metric the engine registers, in export (sorted) order. The
+/// workspace metric-name lint checks uniqueness and prefixing against
+/// this list.
+pub const ENGINE_METRIC_NAMES: &[&str] = &[
+    "roleclass_engine_correlate_seconds",
+    "roleclass_engine_form_seconds",
+    "roleclass_engine_groups_final",
+    "roleclass_engine_groups_formed",
+    "roleclass_engine_merge_seconds",
+    "roleclass_engine_merges_total",
+    "roleclass_engine_sweep_levels_total",
+    "roleclass_engine_sweep_rounds_total",
+    "roleclass_engine_windows_total",
+];
 
 /// What the engine remembers of a completed window: the connection sets
 /// it classified and the (correlated) grouping it produced. This is the
@@ -78,13 +95,38 @@ pub struct WindowOutcome {
 pub struct Engine {
     params: Params,
     prev: Option<EngineSnapshot>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Engine {
     /// Creates an engine, validating `params` once and for all.
     pub fn new(params: Params) -> Result<Self, ParamError> {
         params.validate()?;
-        Ok(Engine { params, prev: None })
+        Ok(Engine {
+            params,
+            prev: None,
+            recorder: None,
+        })
+    }
+
+    /// Attaches a telemetry recorder (builder style). Every subsequent
+    /// phase records spans (`engine.run_window` → `engine.classify` →
+    /// `engine.form`/`engine.merge`, plus `engine.correlate`) and metrics
+    /// into it; sharing one recorder between the engine and its caller
+    /// nests the engine's spans under the caller's.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches or detaches the telemetry recorder.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The validated parameters this engine runs with.
@@ -97,7 +139,7 @@ impl Engine {
         Formed {
             engine: self,
             cs,
-            result: form_groups_validated(cs, &self.params),
+            result: form_groups_with(cs, &self.params, self.recorder.as_deref()),
         }
     }
 
@@ -105,17 +147,25 @@ impl Engine {
     /// engine's cross-window state. Equivalent to
     /// [`classify`](crate::classify::classify) minus the re-validation.
     pub fn classify(&self, cs: &ConnectionSets) -> Classification {
-        classify_validated(cs, &self.params)
+        classify_with(cs, &self.params, self.recorder.as_deref())
     }
 
     /// Classifies `cs`, correlates against the previous window's
     /// snapshot (if any) so group ids stay stable, and retains the new
     /// snapshot for the next call.
     pub fn run_window(&mut self, cs: &ConnectionSets) -> WindowOutcome {
-        let classification = self.classify(cs);
+        let recorder = self.recorder.clone();
+        let rec = recorder.as_deref();
+        let _window_span = telemetry::span(rec, "engine.run_window");
+        let classification = {
+            let _s = telemetry::span(rec, "engine.classify");
+            self.classify(cs)
+        };
         let (grouping, correlation) = match &self.prev {
             None => (classification.grouping.clone(), None),
             Some(prev) => {
+                let _s = telemetry::span(rec, "engine.correlate");
+                let started = rec.map(|_| std::time::Instant::now());
                 let corr = correlate_validated(
                     &prev.connsets,
                     &prev.grouping,
@@ -123,12 +173,23 @@ impl Engine {
                     &classification.grouping,
                     &self.params,
                 );
+                if let (Some(r), Some(t0)) = (rec, started) {
+                    r.registry()
+                        .histogram(
+                            "roleclass_engine_correlate_seconds",
+                            telemetry::DURATION_BUCKETS,
+                        )
+                        .observe(t0.elapsed().as_secs_f64());
+                }
                 (
                     apply_correlation(&corr, &classification.grouping),
                     Some(corr),
                 )
             }
         };
+        if let Some(r) = rec {
+            r.registry().counter("roleclass_engine_windows_total").inc();
+        }
         self.prev = Some(EngineSnapshot {
             connsets: cs.clone(),
             grouping: grouping.clone(),
@@ -182,7 +243,12 @@ impl<'e> Formed<'e> {
         Merged {
             engine: self.engine,
             cs: self.cs,
-            classification: finish_classification(self.cs, self.result, &self.engine.params),
+            classification: finish_classification_with(
+                self.cs,
+                self.result,
+                &self.engine.params,
+                self.engine.recorder.as_deref(),
+            ),
         }
     }
 
@@ -290,6 +356,66 @@ mod tests {
         assert!(engine.previous().is_some());
         engine.reset();
         assert!(engine.previous().is_none());
+    }
+
+    #[test]
+    fn recorder_captures_window_span_tree_and_metrics() {
+        let cs = figure1();
+        let rec = Arc::new(Recorder::new());
+        let mut engine = Engine::new(Params::default())
+            .unwrap()
+            .with_recorder(Arc::clone(&rec));
+        engine.run_window(&cs);
+        engine.run_window(&cs);
+
+        let reg = rec.registry();
+        assert_eq!(reg.counter("roleclass_engine_windows_total").get(), 2);
+        assert!(reg.counter("roleclass_engine_sweep_levels_total").get() >= 2);
+        assert!(reg.gauge("roleclass_engine_groups_final").get() >= 1);
+        // Both engine and kernel metrics land on the shared registry,
+        // and every name is declared for the lint.
+        for name in reg.names() {
+            assert!(
+                ENGINE_METRIC_NAMES.contains(&name.as_str())
+                    || netgraph::KERNEL_METRIC_NAMES.contains(&name.as_str()),
+                "{name} not declared"
+            );
+        }
+
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "engine.run_window");
+        let first: Vec<&str> = spans[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(first, ["engine.classify"]);
+        // The second window correlates against the first.
+        let second: Vec<&str> = spans[1].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(second, ["engine.classify", "engine.correlate"]);
+        // classify nests form (with the kernel build inside) and merge.
+        let classify: Vec<&str> = spans[0].children[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(classify, ["engine.form", "engine.merge"]);
+        assert_eq!(
+            spans[0].children[0].children[0].children[0].name,
+            "kernel.build"
+        );
+    }
+
+    #[test]
+    fn recorder_does_not_change_results() {
+        let cs = figure1();
+        let params = Params::default().with_s_lo(90.0).with_s_hi(95.0);
+        let mut plain = Engine::new(params).unwrap();
+        let mut traced = Engine::new(params)
+            .unwrap()
+            .with_recorder(Arc::new(Recorder::new()));
+        for _ in 0..2 {
+            let a = plain.run_window(&cs);
+            let b = traced.run_window(&cs);
+            assert_eq!(a.grouping.groups(), b.grouping.groups());
+        }
     }
 
     #[test]

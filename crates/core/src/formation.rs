@@ -312,17 +312,41 @@ pub fn try_form_groups(
 
 /// The kernel-backed sweep. Callers must have validated `params`.
 pub(crate) fn form_groups_validated(cs: &ConnectionSets, params: &Params) -> FormationResult {
+    form_groups_with(cs, params, None)
+}
+
+/// [`form_groups_validated`] with an optional recorder: emits the
+/// `engine.form` span (with the kernel's build phases nested inside),
+/// counts productive sweep levels and fixpoint rounds, and times the
+/// phase. With `None` the sweep is exactly the uninstrumented one.
+pub(crate) fn form_groups_with(
+    cs: &ConnectionSets,
+    params: &Params,
+    rec: Option<&telemetry::Recorder>,
+) -> FormationResult {
+    let _span = telemetry::span(rec, "engine.form");
+    let started = rec.map(|_| std::time::Instant::now());
+    let mut levels = 0u64;
+    let mut rounds = 0u64;
+
     let mut st = State::init(cs);
     // One full parallel counting pass; every level below reads the
     // cached table, and every contraction patches it in place.
-    st.kernel = Some(CommonNeighborKernel::build(&st.g, |_| true));
+    st.kernel = Some(CommonNeighborKernel::build_with_telemetry(
+        &st.g,
+        |_| true,
+        netgraph::default_worker_count(),
+        rec,
+    ));
 
     let mut k = cs.max_degree() as u32;
     while k >= 1 && !st.ungrouped_hosts().is_empty() {
+        levels += 1;
         // Inner fixpoint at this level: contraction can only *raise*
         // common-neighbor weights (group nodes aggregate edges), so new
         // k-edges may appear after each round of group formation.
         loop {
+            rounds += 1;
             let strong: Vec<(NodeId, NodeId)> = st
                 .kernel
                 .as_ref()
@@ -360,7 +384,19 @@ pub(crate) fn form_groups_validated(cs: &ConnectionSets, params: &Params) -> For
         }
         k = next;
     }
-    st.finish()
+    let result = st.finish();
+    if let (Some(r), Some(t0)) = (rec, started) {
+        let reg = r.registry();
+        reg.counter("roleclass_engine_sweep_levels_total")
+            .add(levels);
+        reg.counter("roleclass_engine_sweep_rounds_total")
+            .add(rounds);
+        reg.gauge("roleclass_engine_groups_formed")
+            .set(result.groups.len() as i64);
+        reg.histogram("roleclass_engine_form_seconds", telemetry::DURATION_BUCKETS)
+            .observe(t0.elapsed().as_secs_f64());
+    }
+    result
 }
 
 /// The pre-kernel formation implementation: recomputes the full

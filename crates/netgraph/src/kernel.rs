@@ -37,6 +37,89 @@ use crate::common::{key, unkey, CommonNeighborEdge};
 use crate::id::NodeId;
 use crate::wgraph::WGraph;
 use std::collections::HashMap;
+use std::time::Instant;
+use telemetry::{Recorder, Registry};
+
+/// Every metric the kernel registers, in export (sorted) order. The
+/// workspace metric-name lint checks uniqueness and prefixing against
+/// this list.
+pub const KERNEL_METRIC_NAMES: &[&str] = &[
+    "roleclass_kernel_base_pairs",
+    "roleclass_kernel_build_seconds",
+    "roleclass_kernel_builds_total",
+    "roleclass_kernel_compactions_total",
+    "roleclass_kernel_contract_seconds",
+    "roleclass_kernel_contractions_total",
+    "roleclass_kernel_overlay_entries",
+    "roleclass_kernel_singleton_contractions_total",
+    "roleclass_kernel_threshold_queries_total",
+    "roleclass_kernel_threshold_seconds",
+    "roleclass_kernel_worker_entries",
+    "roleclass_kernel_workers",
+];
+
+/// Pre-fetched handles for the kernel's metrics. Fetched once at build
+/// time and stored inside the kernel, so the hot query/contract paths
+/// touch only `Arc`-backed atomics — never the registry lock.
+#[derive(Clone, Debug)]
+pub struct KernelMetrics {
+    /// Kernel builds completed.
+    builds_total: telemetry::Counter,
+    /// Wall-clock seconds per full build (CSR + count + merge + rank).
+    build_seconds: telemetry::Histogram,
+    /// Entries in the base pair table after the latest build/compaction.
+    base_pairs: telemetry::Gauge,
+    /// Worker threads used by the latest build.
+    workers: telemetry::Gauge,
+    /// Aggregated entries emitted per worker run — the balance of the
+    /// Σ deg² partitioning shows up as the spread of this histogram.
+    worker_entries: telemetry::Histogram,
+    /// Contractions applied to the kernel (any member count).
+    contractions_total: telemetry::Counter,
+    /// Contractions that took the free singleton fast path.
+    singleton_contractions_total: telemetry::Counter,
+    /// Live entries in the mutation overlay.
+    overlay_entries: telemetry::Gauge,
+    /// Base/rank rebuilds triggered by overlay bloat or endpoint decay.
+    compactions_total: telemetry::Counter,
+    /// `edges_at_least` calls answered.
+    threshold_queries_total: telemetry::Counter,
+    /// Seconds per threshold query.
+    threshold_seconds: telemetry::Histogram,
+    /// Seconds per contraction (subtract + graph contract + re-add).
+    contract_seconds: telemetry::Histogram,
+}
+
+impl KernelMetrics {
+    /// Registers (or re-fetches) the kernel's metrics on `reg`.
+    pub fn register(reg: &Registry) -> Self {
+        KernelMetrics {
+            builds_total: reg.counter("roleclass_kernel_builds_total"),
+            build_seconds: reg.histogram(
+                "roleclass_kernel_build_seconds",
+                telemetry::DURATION_BUCKETS,
+            ),
+            base_pairs: reg.gauge("roleclass_kernel_base_pairs"),
+            workers: reg.gauge("roleclass_kernel_workers"),
+            worker_entries: reg
+                .histogram("roleclass_kernel_worker_entries", telemetry::SIZE_BUCKETS),
+            contractions_total: reg.counter("roleclass_kernel_contractions_total"),
+            singleton_contractions_total: reg
+                .counter("roleclass_kernel_singleton_contractions_total"),
+            overlay_entries: reg.gauge("roleclass_kernel_overlay_entries"),
+            compactions_total: reg.counter("roleclass_kernel_compactions_total"),
+            threshold_queries_total: reg.counter("roleclass_kernel_threshold_queries_total"),
+            threshold_seconds: reg.histogram(
+                "roleclass_kernel_threshold_seconds",
+                telemetry::DURATION_BUCKETS,
+            ),
+            contract_seconds: reg.histogram(
+                "roleclass_kernel_contract_seconds",
+                telemetry::DURATION_BUCKETS,
+            ),
+        }
+    }
+}
 
 /// Environment variable overriding the kernel's worker-thread count.
 ///
@@ -345,6 +428,10 @@ pub struct CommonNeighborKernel {
     /// cached pairs died, which triggers a compaction so scans stay
     /// proportional to the live table.
     eligible_watermark: usize,
+    /// Pre-fetched metric handles when the kernel was built with a
+    /// recorder attached; `None` keeps every instrumentation site a
+    /// branch-and-skip with no clock reads.
+    metrics: Option<KernelMetrics>,
 }
 
 impl CommonNeighborKernel {
@@ -363,14 +450,41 @@ impl CommonNeighborKernel {
     where
         F: Fn(NodeId) -> bool,
     {
+        Self::build_with_telemetry(g, endpoint_ok, workers, None)
+    }
+
+    /// [`build_with_workers`][Self::build_with_workers] with an optional
+    /// recorder. With `Some`, the build emits `kernel.build` spans
+    /// (csr/count/merge/rank phases) and the resulting kernel keeps
+    /// pre-fetched metric handles so queries, contractions, and
+    /// compactions record into the same registry for the rest of its
+    /// life. With `None` this is exactly `build_with_workers` — the
+    /// returned table is bit-identical either way.
+    pub fn build_with_telemetry<F>(
+        g: &WGraph,
+        endpoint_ok: F,
+        workers: usize,
+        rec: Option<&Recorder>,
+    ) -> Self
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let _build_span = telemetry::span(rec, "kernel.build");
+        let metrics = rec.map(|r| KernelMetrics::register(r.registry()));
+        let started = metrics.as_ref().map(|_| Instant::now());
+
         let workers = workers.clamp(1, MAX_WORKERS);
         let mut eligible = NodeBitSet::with_bound(g.id_bound());
         for n in g.nodes().filter(|&n| endpoint_ok(n)) {
             eligible.insert(n);
         }
-        let csr = Csr::snapshot(g);
+        let csr = {
+            let _s = telemetry::span(rec, "kernel.csr");
+            Csr::snapshot(g)
+        };
         let chunks = partition_rows(&csr, workers);
 
+        let count_span = telemetry::span(rec, "kernel.count");
         let partials: Vec<Vec<(u64, u64)>> = if chunks.len() <= 1 {
             chunks
                 .into_iter()
@@ -388,9 +502,27 @@ impl CommonNeighborKernel {
                     .collect()
             })
         };
+        drop(count_span);
+        if let Some(m) = &metrics {
+            m.workers.set(partials.len() as i64);
+            for run in &partials {
+                m.worker_entries.observe(run.len() as f64);
+            }
+        }
 
-        let base = merge_runs(partials);
-        let rank = rank_of(&base);
+        let base = {
+            let _s = telemetry::span(rec, "kernel.merge");
+            merge_runs(partials)
+        };
+        let rank = {
+            let _s = telemetry::span(rec, "kernel.rank");
+            rank_of(&base)
+        };
+        if let (Some(m), Some(t0)) = (&metrics, started) {
+            m.builds_total.inc();
+            m.base_pairs.set(base.len() as i64);
+            m.build_seconds.observe(t0.elapsed().as_secs_f64());
+        }
         let eligible_watermark = eligible.len();
         CommonNeighborKernel {
             base,
@@ -399,6 +531,7 @@ impl CommonNeighborKernel {
             eligible,
             workers,
             eligible_watermark,
+            metrics,
         }
     }
 
@@ -452,6 +585,7 @@ impl CommonNeighborKernel {
     /// cutoff, so only qualifying (plus overlaid) entries are visited;
     /// nothing is recounted.
     pub fn edges_at_least(&self, k: u32) -> Vec<CommonNeighborEdge> {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         let k = k.max(1);
         let cut = self
             .rank
@@ -482,6 +616,10 @@ impl CommonNeighborKernel {
             }
         }
         out.sort_unstable_by_key(|e| (e.a, e.b));
+        if let (Some(m), Some(t0)) = (&self.metrics, started) {
+            m.threshold_queries_total.inc();
+            m.threshold_seconds.observe(t0.elapsed().as_secs_f64());
+        }
         out
     }
 
@@ -532,6 +670,7 @@ impl CommonNeighborKernel {
     ///
     /// Panics under the same conditions as [`WGraph::contract`].
     pub fn contract(&mut self, g: &mut WGraph, members: &[NodeId]) -> (NodeId, u64) {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         // Singleton fast path: the replacement node inherits the
         // member's edges verbatim, so its via-contribution to every
         // surviving pair is *identical* to the member's — the count
@@ -544,6 +683,7 @@ impl CommonNeighborKernel {
             let (m, internal) = g.contract(members);
             self.eligible.grow(g.id_bound());
             self.maybe_compact();
+            self.note_contract(started, true);
             return (m, internal);
         }
 
@@ -593,7 +733,20 @@ impl CommonNeighborKernel {
         }
 
         self.maybe_compact();
+        self.note_contract(started, false);
         (m, internal)
+    }
+
+    /// Records a finished contraction on the attached metrics, if any.
+    fn note_contract(&self, started: Option<Instant>, singleton: bool) {
+        if let (Some(m), Some(t0)) = (&self.metrics, started) {
+            m.contractions_total.inc();
+            if singleton {
+                m.singleton_contractions_total.inc();
+            }
+            m.overlay_entries.set(self.overlay.len() as i64);
+            m.contract_seconds.observe(t0.elapsed().as_secs_f64());
+        }
     }
 
     #[inline]
@@ -660,6 +813,10 @@ impl CommonNeighborKernel {
         self.base = next;
         self.rank = rank_of(&self.base);
         self.eligible_watermark = self.eligible.len();
+        if let Some(m) = &self.metrics {
+            m.compactions_total.inc();
+            m.base_pairs.set(self.base.len() as i64);
+        }
     }
 }
 
@@ -840,5 +997,43 @@ mod tests {
     fn default_worker_count_is_positive() {
         assert!(default_worker_count() >= 1);
         assert!(default_worker_count() <= MAX_WORKERS);
+    }
+
+    #[test]
+    fn telemetry_build_is_bit_identical_and_records() {
+        let mut g = star_plus_pair();
+        let rec = Recorder::new();
+        let plain = CommonNeighborKernel::build_with_workers(&g, |_| true, 2);
+        let mut traced = CommonNeighborKernel::build_with_telemetry(&g, |_| true, 2, Some(&rec));
+        assert_eq!(plain.edges(), traced.edges());
+
+        traced.contract(&mut g, &[n(3)]);
+        let _ = traced.edges_at_least(1);
+
+        let reg = rec.registry();
+        assert_eq!(reg.counter("roleclass_kernel_builds_total").get(), 1);
+        assert_eq!(reg.counter("roleclass_kernel_contractions_total").get(), 1);
+        assert_eq!(
+            reg.counter("roleclass_kernel_singleton_contractions_total")
+                .get(),
+            1
+        );
+        assert!(
+            reg.counter("roleclass_kernel_threshold_queries_total")
+                .get()
+                >= 1
+        );
+        // Every registered name is declared in the lint list.
+        for name in reg.names() {
+            assert!(KERNEL_METRIC_NAMES.contains(&name.as_str()), "{name}");
+        }
+        // The build span tree has the phase children.
+        let spans = rec.spans();
+        assert_eq!(spans[0].name, "kernel.build");
+        let phases: Vec<&str> = spans[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            phases,
+            ["kernel.csr", "kernel.count", "kernel.merge", "kernel.rank"]
+        );
     }
 }

@@ -48,7 +48,10 @@ pub use common::{
 pub use components::{connected_components, largest_component};
 pub use id::NodeId;
 pub use kcore::{core_numbers, degeneracy, k_core};
-pub use kernel::{default_worker_count, CommonNeighborKernel, NodeBitSet, THREADS_ENV};
+pub use kernel::{
+    default_worker_count, CommonNeighborKernel, KernelMetrics, NodeBitSet, KERNEL_METRIC_NAMES,
+    THREADS_ENV,
+};
 pub use simple::SimpleGraph;
 pub use stats::{clustering_coefficient, DegreeStats};
 pub use unionfind::UnionFind;

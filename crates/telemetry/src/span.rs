@@ -1,0 +1,176 @@
+//! Hierarchical spans: RAII timer guards that assemble into a tree.
+
+use crate::Recorder;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed span: a name, a monotonic duration, and the spans that
+/// completed inside it.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// The span's name (dot-separated taxonomy, e.g. `engine.form`).
+    pub name: String,
+    /// Wall-clock time between open and close.
+    pub duration: Duration,
+    /// Child spans, in completion order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Duration in seconds.
+    pub fn secs(&self) -> f64 {
+        self.duration.as_secs_f64()
+    }
+
+    /// Depth-first walk over this node and all descendants.
+    pub fn visit(&self, f: &mut impl FnMut(&SpanNode)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// An open span frame on the recorder's stack.
+#[derive(Debug)]
+struct Frame {
+    name: String,
+    start: Instant,
+    children: Vec<SpanNode>,
+}
+
+/// The per-recorder span state: a stack of open frames plus the
+/// completed root spans.
+#[derive(Debug, Default)]
+pub(crate) struct SpanLog {
+    stack: Vec<Frame>,
+    pub(crate) roots: Vec<SpanNode>,
+}
+
+/// RAII guard for an open span; dropping it closes the span. Obtained
+/// from [`Recorder::span`] or [`crate::span`]; the disabled variant
+/// (from a `None` recorder) does nothing on construction or drop.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span<'r> {
+    rec: Option<&'r Recorder>,
+}
+
+impl Span<'_> {
+    pub(crate) fn disabled() -> Self {
+        Span { rec: None }
+    }
+}
+
+pub(crate) fn open<'r>(rec: &'r Recorder, log: &Mutex<SpanLog>, name: String) -> Span<'r> {
+    let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+    log.stack.push(Frame {
+        name,
+        start: Instant::now(),
+        children: Vec::new(),
+    });
+    Span { rec: Some(rec) }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec else { return };
+        let mut log = rec.span_log().lock().unwrap_or_else(|e| e.into_inner());
+        let Some(frame) = log.stack.pop() else { return };
+        let node = SpanNode {
+            duration: frame.start.elapsed(),
+            name: frame.name,
+            children: frame.children,
+        };
+        match log.stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => log.roots.push(node),
+        }
+    }
+}
+
+/// Renders span trees as indented text, one line per span with its
+/// duration in milliseconds:
+///
+/// ```text
+/// aggregator.run_cycle                       12.402ms
+///   engine.run_window                        11.016ms
+///     engine.form                             8.933ms
+/// ```
+pub fn render_span_tree(roots: &[SpanNode]) -> String {
+    fn max_label(nodes: &[SpanNode], depth: usize, acc: &mut usize) {
+        for n in nodes {
+            *acc = (*acc).max(2 * depth + n.name.len());
+            max_label(&n.children, depth + 1, acc);
+        }
+    }
+    fn line(out: &mut String, n: &SpanNode, depth: usize, width: usize) {
+        use std::fmt::Write as _;
+        let label = format!("{:indent$}{}", "", n.name, indent = 2 * depth);
+        let _ = writeln!(
+            out,
+            "{label:<width$} {:>10.3}ms",
+            n.duration.as_secs_f64() * 1e3
+        );
+        for c in &n.children {
+            line(out, c, depth + 1, width);
+        }
+    }
+    let mut width = 0;
+    max_label(roots, 0, &mut width);
+    let mut out = String::new();
+    for n in roots {
+        line(&mut out, n, 0, width);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_walks_depth_first() {
+        let tree = SpanNode {
+            name: "a".into(),
+            duration: Duration::from_millis(3),
+            children: vec![
+                SpanNode {
+                    name: "b".into(),
+                    duration: Duration::from_millis(1),
+                    children: vec![],
+                },
+                SpanNode {
+                    name: "c".into(),
+                    duration: Duration::from_millis(1),
+                    children: vec![],
+                },
+            ],
+        };
+        let mut names = Vec::new();
+        tree.visit(&mut |n| names.push(n.name.clone()));
+        assert_eq!(names, ["a", "b", "c"]);
+        assert!(tree.secs() > 0.0);
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let roots = vec![SpanNode {
+            name: "root".into(),
+            duration: Duration::from_micros(1500),
+            children: vec![SpanNode {
+                name: "leaf_with_longer_name".into(),
+                duration: Duration::from_micros(500),
+                children: vec![],
+            }],
+        }];
+        let text = render_span_tree(&roots);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("root"));
+        assert!(lines[1].starts_with("  leaf_with_longer_name"));
+        assert!(lines[0].ends_with("ms"));
+        // Label column is padded to a shared width, so the duration
+        // columns line up and both lines have identical length.
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+}

@@ -1,0 +1,112 @@
+//! Export-format and concurrency guarantees of the registry.
+//!
+//! The golden test pins the Prometheus text format byte-for-byte: any
+//! drift in ordering, number formatting, or series naming is a breaking
+//! change for scrapers and must show up here.
+
+use telemetry::{Recorder, Registry};
+
+fn sample_registry() -> Registry {
+    let reg = Registry::new();
+    reg.counter("roleclass_engine_windows_total").add(3);
+    reg.gauge("roleclass_aggregator_probes_attached").set(2);
+    // Dyadic values: the sums are exact, so the goldens are too.
+    let h = reg.histogram("roleclass_engine_form_seconds", &[0.001, 0.1, 1.0]);
+    h.observe(0.25);
+    h.observe(0.25);
+    h.observe(0.5);
+    h.observe(2.5);
+    reg
+}
+
+#[test]
+fn golden_prometheus_text() {
+    let expected = "\
+# TYPE roleclass_aggregator_probes_attached gauge
+roleclass_aggregator_probes_attached 2
+# TYPE roleclass_engine_form_seconds histogram
+roleclass_engine_form_seconds_bucket{le=\"0.001\"} 0
+roleclass_engine_form_seconds_bucket{le=\"0.1\"} 0
+roleclass_engine_form_seconds_bucket{le=\"1\"} 3
+roleclass_engine_form_seconds_bucket{le=\"+Inf\"} 4
+roleclass_engine_form_seconds_sum 3.5
+roleclass_engine_form_seconds_count 4
+# TYPE roleclass_engine_windows_total counter
+roleclass_engine_windows_total 3
+";
+    assert_eq!(sample_registry().prometheus_text(), expected);
+}
+
+#[test]
+fn golden_json_snapshot() {
+    let expected = "{\"counters\":{\"roleclass_engine_windows_total\":3},\
+\"gauges\":{\"roleclass_aggregator_probes_attached\":2},\
+\"histograms\":{\"roleclass_engine_form_seconds\":{\"count\":4,\"sum\":3.5,\
+\"buckets\":[{\"le\":0.001,\"count\":0},{\"le\":0.1,\"count\":0},\
+{\"le\":1.0,\"count\":3},{\"le\":\"+Inf\",\"count\":4}]}}}";
+    assert_eq!(sample_registry().json_snapshot(), expected);
+}
+
+#[test]
+fn export_ordering_is_stable_across_registration_orders() {
+    let a = Registry::new();
+    a.counter("roleclass_x_b_total").inc();
+    a.counter("roleclass_x_a_total").inc();
+    let b = Registry::new();
+    b.counter("roleclass_x_a_total").inc();
+    b.counter("roleclass_x_b_total").inc();
+    assert_eq!(a.prometheus_text(), b.prometheus_text());
+    assert_eq!(a.json_snapshot(), b.json_snapshot());
+}
+
+#[test]
+fn exported_names_use_the_valid_charset() {
+    let reg = sample_registry();
+    for name in reg.names() {
+        assert!(!name.is_empty());
+        let mut chars = name.chars();
+        assert!(chars.next().unwrap().is_ascii_lowercase(), "{name}");
+        assert!(
+            chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "{name} has characters outside [a-z0-9_]"
+        );
+    }
+}
+
+#[test]
+fn registry_is_thread_safe() {
+    let rec = std::sync::Arc::new(Recorder::new());
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let rec = std::sync::Arc::clone(&rec);
+            scope.spawn(move || {
+                // Every thread registers the same names concurrently and
+                // hammers the shared atomics.
+                let c = rec.registry().counter("roleclass_test_ops_total");
+                let g = rec.registry().gauge("roleclass_test_last_thread");
+                let h = rec
+                    .registry()
+                    .histogram("roleclass_test_value", &[10.0, 1000.0]);
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.set(t as i64);
+                    h.observe((i % 100) as f64);
+                }
+            });
+        }
+    });
+    let reg = rec.registry();
+    assert_eq!(
+        reg.counter("roleclass_test_ops_total").get(),
+        (THREADS * PER_THREAD) as u64
+    );
+    let h = reg.histogram("roleclass_test_value", &[10.0, 1000.0]);
+    assert_eq!(h.count(), (THREADS * PER_THREAD) as u64);
+    // Each thread observes 0..=99 cyclically: sum = 4950 per 100 obs.
+    let expected_sum = (THREADS * (PER_THREAD / 100) * 4950) as f64;
+    assert!((h.sum() - expected_sum).abs() < 1e-6);
+    let g = reg.gauge("roleclass_test_last_thread").get();
+    assert!((0..THREADS as i64).contains(&g));
+}

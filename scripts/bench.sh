@@ -2,7 +2,10 @@
 # Runs the kernel benchmark suite and distills its output into
 # BENCH_kernel.json: one entry per criterion measurement (seconds per
 # iteration) plus the formation speedup ratios the PR's acceptance
-# criterion tracks. Run from anywhere; writes into the workspace root.
+# criterion tracks. Also replays the full pipeline with a telemetry
+# recorder attached and stores the per-stage breakdown as
+# BENCH_pipeline.json. Run from anywhere; writes into the workspace
+# root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,3 +56,15 @@ END {
 
 echo "==> wrote $OUT"
 cat "$OUT"
+
+# Per-stage pipeline breakdown, measured through the telemetry registry.
+# The binary prints a human-readable table, then the JSON document after
+# a marker line; keep the table on the terminal and store the JSON.
+PIPE_OUT="BENCH_pipeline.json"
+echo "==> cargo run --release -p bench --bin pipeline_stages"
+PIPE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$PIPE_RAW"' EXIT
+cargo run --release -q -p bench --bin pipeline_stages | tee "$PIPE_RAW"
+awk '/^===BENCH_PIPELINE_JSON===$/ { found = 1; next } found' "$PIPE_RAW" > "$PIPE_OUT"
+
+echo "==> wrote $PIPE_OUT"

@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+# Telemetry must stay a pure observer: registry/span unit suite, the
+# recorder-attached-vs-detached parity test, and the metric-name lint
+# (unique, snake_case, layer-prefixed).
+echo "==> telemetry suite + metric-name lint"
+cargo test -q -p telemetry
+cargo test -q --test telemetry_parity --test metric_names
+
 # The kernel must be a pure throughput knob: its counts, the Engine's
 # classifications, and every correlation are identical at any worker
 # count. Exercised at 1, 2, and 8 workers.

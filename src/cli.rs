@@ -11,14 +11,21 @@
 //! rcctl classify  --input flows.txt --snapshot today.json --dot groups.dot
 //! rcctl correlate --prev today.json --input tomorrow.txt --snapshot tomorrow.json
 //! rcctl diff      --prev today.json --curr tomorrow.json
+//! rcctl metrics   --input flows.txt --window-ms 86400000
 //! ```
+//!
+//! `classify` and `correlate` accept `--trace` to print the span tree
+//! of the run (per-stage wall-clock timings); `metrics` replays the
+//! trace through the full aggregator pipeline and prints the telemetry
+//! registry in Prometheus text format (or JSON with `--json`).
 
+use crate::aggregator::{Aggregator, AggregatorConfig, ReplayProbe, SupervisorConfig};
 use crate::flow::{netflow, pcap, rmon, textlog, ConnectionSets, ConnsetBuilder, FlowRecord};
-use crate::roleclass::{
-    apply_correlation, auto_k_hi_otsu, classify, correlate, diff_groupings, Grouping, Params,
-};
+use crate::roleclass::{auto_k_hi_otsu, diff_groupings, Engine, EngineSnapshot, Grouping, Params};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::Arc;
+use telemetry::Recorder;
 
 /// A saved classification snapshot: what `correlate` needs from the past.
 #[derive(Serialize, Deserialize)]
@@ -64,15 +71,25 @@ USAGE:
   rcctl classify  --input <FILE> [--format <FMT>] [--snapshot <OUT.json>]
                   [--dot <OUT.dot>] [--s-lo N] [--s-hi N] [--k-hi N]
                   [--alpha N] [--beta N] [--auto-k-hi] [--min-flows N]
+                  [--trace]
   rcctl correlate --prev <SNAP.json> --input <FILE> [--format <FMT>]
-                  [--snapshot <OUT.json>] [same tuning flags as classify]
+                  [--snapshot <OUT.json>] [--trace]
+                  [same tuning flags as classify]
   rcctl diff      --prev <SNAP.json> --curr <SNAP.json>
+  rcctl metrics   --input <FILE> [--format <FMT>] [--window-ms N]
+                  [--json] [--trace] [same tuning flags as classify]
 
 FORMATS (default: by file extension, falling back to text):
   text     whitespace/CSV flow log        (.txt, .log, .csv)
   netflow  NetFlow v5 binary export       (.nf, .netflow)
   pcap     libpcap capture                (.pcap, .cap)
   rmon     RMON2 matrix table dump        (.rmon)
+
+OBSERVABILITY:
+  --trace      print the span tree of the run with per-stage durations
+  metrics      replay the trace through the aggregator pipeline and print
+               the telemetry registry (Prometheus text; --json for JSON)
+  --window-ms  window length for metrics replay (default: whole trace)
 ";
 
 /// Parsed common options.
@@ -85,6 +102,9 @@ struct Options {
     curr: Option<String>,
     min_flows: u64,
     auto_k_hi: bool,
+    trace: bool,
+    json: bool,
+    window_ms: Option<u64>,
     params: Params,
 }
 
@@ -98,6 +118,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         curr: None,
         min_flows: 1,
         auto_k_hi: false,
+        trace: false,
+        json: false,
+        window_ms: None,
         params: Params::default(),
     };
     let mut it = args.iter();
@@ -115,6 +138,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--prev" => o.prev = Some(value("--prev")?),
             "--curr" => o.curr = Some(value("--curr")?),
             "--auto-k-hi" => o.auto_k_hi = true,
+            "--trace" => o.trace = true,
+            "--json" => o.json = true,
+            "--window-ms" => {
+                o.window_ms = Some(
+                    value("--window-ms")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--window-ms expects an integer"))?,
+                )
+            }
             "--min-flows" => {
                 o.min_flows = value("--min-flows")?
                     .parse()
@@ -245,6 +277,25 @@ fn render_grouping(out: &mut String, grouping: &Grouping) {
     }
 }
 
+/// Builds the classification engine, with a recorder attached when the
+/// user asked for `--trace`.
+fn build_engine(o: &Options) -> Result<(Engine, Option<Arc<Recorder>>), CliError> {
+    let mut engine = Engine::new(o.params).map_err(|e| CliError::usage(e.to_string()))?;
+    let recorder = o.trace.then(|| Arc::new(Recorder::new()));
+    if let Some(r) = &recorder {
+        engine.set_recorder(Some(Arc::clone(r)));
+    }
+    Ok((engine, recorder))
+}
+
+/// Appends the recorded span tree (if any) to the command output.
+fn append_trace(out: &mut String, recorder: Option<&Recorder>) {
+    if let Some(r) = recorder {
+        out.push_str("\ntrace:\n");
+        out.push_str(&r.render_spans());
+    }
+}
+
 /// Runs the CLI. Returns the text to print on stdout.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
@@ -269,7 +320,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if o.auto_k_hi {
                 o.params.k_hi = auto_k_hi_otsu(&cs).max(1);
             }
-            let result = classify(&cs, &o.params);
+            let (engine, recorder) = build_engine(&o)?;
+            let result = engine.classify(&cs);
             let mut out = String::new();
             render_grouping(&mut out, &result.grouping);
             if let Some(dot) = &o.dot {
@@ -287,6 +339,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 )?;
                 out.push_str(&format!("wrote {path}\n"));
             }
+            append_trace(&mut out, recorder.as_deref());
             Ok(out)
         }
         "correlate" => {
@@ -301,15 +354,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if o.auto_k_hi {
                 o.params.k_hi = auto_k_hi_otsu(&cs).max(1);
             }
-            let fresh = classify(&cs, &o.params);
-            let corr = correlate(
-                &prev.connsets,
-                &prev.grouping,
-                &cs,
-                &fresh.grouping,
-                &o.params,
-            );
-            let renamed = apply_correlation(&corr, &fresh.grouping);
+            let (mut engine, recorder) = build_engine(&o)?;
+            engine.set_previous(Some(EngineSnapshot {
+                connsets: prev.connsets,
+                grouping: prev.grouping.clone(),
+            }));
+            let outcome = engine.run_window(&cs);
+            let corr = outcome
+                .correlation
+                .expect("previous snapshot was set, so run_window correlates");
+            let renamed = outcome.grouping;
             let mut out = String::new();
             use std::fmt::Write as _;
             let _ = writeln!(
@@ -331,6 +385,68 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     },
                 )?;
                 out.push_str(&format!("wrote {path}\n"));
+            }
+            append_trace(&mut out, recorder.as_deref());
+            Ok(out)
+        }
+        "metrics" => {
+            let o = parse_options(rest)?;
+            let input = o
+                .input
+                .as_deref()
+                .ok_or_else(|| CliError::usage("--input is required"))?
+                .to_string();
+            let format = resolve_format(&input, o.format.as_deref());
+            let records = load_records(&input, &format)?;
+            if records.is_empty() {
+                return Err(CliError::runtime(format!("{input}: no flow records")));
+            }
+            let origin_ms = records.iter().map(|r| r.start_ms).min().unwrap_or(0);
+            let last_ms = records.iter().map(|r| r.start_ms).max().unwrap_or(0);
+            // Default: the whole trace in one window; --window-ms splits
+            // it so correlation (and its spans) run between windows.
+            let window_ms = o.window_ms.unwrap_or(last_ms - origin_ms + 1).max(1);
+            let recorder = Arc::new(Recorder::new());
+            let mut agg = Aggregator::try_new(AggregatorConfig {
+                window_ms,
+                origin_ms,
+                params: o.params,
+                min_flows: o.min_flows,
+                supervisor: SupervisorConfig::immediate(),
+            })
+            .map_err(|e| CliError::usage(e.to_string()))?
+            .with_recorder(Arc::clone(&recorder));
+            agg.attach(Box::new(ReplayProbe::new(&input, records)));
+            let windows = agg.drain();
+            let reports = agg.probe_reports();
+            if o.json {
+                let probes = serde_json::to_string(&reports)
+                    .map_err(|e| CliError::runtime(e.to_string()))?;
+                return Ok(format!(
+                    "{{\"windows\":{windows},\"metrics\":{},\"probes\":{probes}}}\n",
+                    recorder.registry().json_snapshot()
+                ));
+            }
+            let mut out = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "windows: {windows}");
+            for r in &reports {
+                let _ = writeln!(
+                    out,
+                    "probe {:<20} {:?}: polled={} failed={} skipped={} retries={} records={}",
+                    r.name,
+                    r.health,
+                    r.stats.windows_polled,
+                    r.stats.windows_failed,
+                    r.stats.windows_skipped,
+                    r.stats.retries,
+                    r.stats.records_delivered
+                );
+            }
+            out.push('\n');
+            out.push_str(&recorder.registry().prometheus_text());
+            if o.trace {
+                append_trace(&mut out, Some(&recorder));
             }
             Ok(out)
         }

@@ -20,3 +20,4 @@ pub use flow;
 pub use netgraph;
 pub use roleclass;
 pub use synthnet;
+pub use telemetry;

@@ -4,6 +4,7 @@
 use role_classification::cli::{run, Snapshot};
 use role_classification::flow::{netflow, pcap, rmon, textlog};
 use role_classification::synthnet::{scenarios, trace};
+use serde::value::Value;
 use std::path::{Path, PathBuf};
 
 fn args(list: &[&str]) -> Vec<String> {
@@ -131,6 +132,110 @@ fn auto_k_hi_flag_works() {
     let (flows, _) = &inputs[0];
     let out = run(&args(&["classify", "--input", flows, "--auto-k-hi"])).unwrap();
     assert!(out.contains("groups"));
+}
+
+#[test]
+fn trace_flag_appends_span_tree() {
+    let dir = workdir("trace");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let snap = dir.join("day1.json").to_string_lossy().into_owned();
+    let out = run(&args(&[
+        "classify",
+        "--input",
+        flows,
+        "--snapshot",
+        &snap,
+        "--trace",
+    ]))
+    .unwrap();
+    assert!(out.contains("trace:"));
+    assert!(out.contains("engine.form"));
+    assert!(out.contains("kernel.build"));
+    assert!(out.contains("ms"));
+
+    let out = run(&args(&[
+        "correlate",
+        "--prev",
+        &snap,
+        "--input",
+        flows,
+        "--trace",
+    ]))
+    .unwrap();
+    assert!(out.contains("engine.run_window"));
+    assert!(out.contains("engine.correlate"));
+}
+
+#[test]
+fn classify_output_is_identical_with_and_without_trace() {
+    let dir = workdir("traceparity");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let plain = run(&args(&["classify", "--input", flows])).unwrap();
+    let traced = run(&args(&["classify", "--input", flows, "--trace"])).unwrap();
+    // The grouping itself is bit-identical; --trace only appends.
+    assert!(traced.starts_with(&plain));
+    assert_ne!(plain, traced);
+}
+
+#[test]
+fn metrics_prints_registry_and_probe_reports() {
+    let dir = workdir("metrics");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let out = run(&args(&["metrics", "--input", flows])).unwrap();
+    assert!(out.contains("windows: 1"));
+    assert!(out.contains("Open"));
+    assert!(out.contains("roleclass_aggregator_cycles_total 1"));
+    assert!(out.contains("roleclass_engine_windows_total 1"));
+    assert!(out.contains("roleclass_kernel_builds_total"));
+    // Prometheus framing.
+    assert!(out.contains("# TYPE roleclass_aggregator_cycles_total counter"));
+
+    // Splitting into windows yields more cycles, and --trace adds spans.
+    let out = run(&args(&[
+        "metrics",
+        "--input",
+        flows,
+        "--window-ms",
+        "1000",
+        "--trace",
+    ]))
+    .unwrap();
+    assert!(!out.contains("windows: 1\n"));
+    assert!(out.contains("aggregator.run_cycle"));
+    assert!(out.contains("aggregator.poll"));
+}
+
+#[test]
+fn metrics_json_composes_registry_and_probes() {
+    let dir = workdir("metricsjson");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let out = run(&args(&["metrics", "--input", flows, "--json"])).unwrap();
+    let parsed: Value = serde_json::from_str(&out).unwrap();
+    let Value::Map(entries) = parsed else {
+        panic!("top level must be an object");
+    };
+    let get = |k: &str| &entries.iter().find(|(n, _)| n == k).unwrap().1;
+    assert!(matches!(get("windows"), Value::U64(1)));
+    // The registry snapshot groups metrics by kind.
+    let Value::Map(metrics) = get("metrics") else {
+        panic!("metrics must be an object");
+    };
+    assert!(metrics.iter().any(|(k, _)| k == "counters"));
+    assert!(metrics.iter().any(|(k, _)| k == "histograms"));
+    let Value::Seq(probes) = get("probes") else {
+        panic!("probes must be an array");
+    };
+    assert_eq!(probes.len(), 1);
+    let Value::Map(probe) = &probes[0] else {
+        panic!("probe report must be an object");
+    };
+    assert!(probe
+        .iter()
+        .any(|(k, v)| k == "health" && matches!(v, Value::Str(s) if s == "Open")));
 }
 
 #[test]

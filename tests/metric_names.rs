@@ -1,0 +1,62 @@
+//! Workspace-wide lint over the declared metric names: every layer's
+//! `*_METRIC_NAMES` list must be unique, snake_case, and prefixed with
+//! `roleclass_<layer>_` (DESIGN.md §7's naming convention).
+
+use role_classification::aggregator::AGGREGATOR_METRIC_NAMES;
+use role_classification::netgraph::KERNEL_METRIC_NAMES;
+use role_classification::roleclass::ENGINE_METRIC_NAMES;
+use std::collections::BTreeSet;
+
+fn layers() -> [(&'static str, &'static [&'static str]); 3] {
+    [
+        ("roleclass_kernel_", KERNEL_METRIC_NAMES),
+        ("roleclass_engine_", ENGINE_METRIC_NAMES),
+        ("roleclass_aggregator_", AGGREGATOR_METRIC_NAMES),
+    ]
+}
+
+#[test]
+fn metric_names_are_unique_across_layers() {
+    let mut seen = BTreeSet::new();
+    for (_, names) in layers() {
+        for name in names {
+            assert!(seen.insert(*name), "duplicate metric name {name}");
+        }
+    }
+    assert!(!seen.is_empty());
+}
+
+#[test]
+fn metric_names_are_snake_case_and_layer_prefixed() {
+    for (prefix, names) in layers() {
+        assert!(!names.is_empty(), "layer {prefix} declares no metrics");
+        for name in names {
+            assert!(
+                name.starts_with(prefix),
+                "{name} must start with its layer prefix {prefix}"
+            );
+            let mut chars = name.chars();
+            let first = chars.next().unwrap();
+            assert!(
+                first.is_ascii_lowercase(),
+                "{name} must start with a lowercase letter"
+            );
+            assert!(
+                chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name} must match [a-z][a-z0-9_]*"
+            );
+            assert!(!name.contains("__"), "{name} has a double underscore");
+            assert!(!name.ends_with('_'), "{name} ends with an underscore");
+        }
+    }
+}
+
+#[test]
+fn metric_name_lists_are_sorted() {
+    // Sorted lists keep the declarations greppable and diffs minimal.
+    for (_, names) in layers() {
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted.as_slice());
+    }
+}

@@ -1,0 +1,47 @@
+//! Attaching a telemetry recorder must be purely observational: the
+//! engine's window outcomes are bit-identical with and without one.
+
+use role_classification::roleclass::{Engine, Params};
+use role_classification::synthnet::{scenarios, trace};
+use role_classification::telemetry::Recorder;
+use std::sync::Arc;
+
+#[test]
+fn run_window_is_bit_identical_with_and_without_recorder() {
+    let params = Params::default().with_s_lo(90.0).with_s_hi(95.0);
+    let mut plain = Engine::new(params).unwrap();
+    let mut traced = Engine::new(params)
+        .unwrap()
+        .with_recorder(Arc::new(Recorder::new()));
+
+    // Two windows with different seeds: the second correlates against
+    // the first, so both the classify and correlate paths are compared.
+    let net = scenarios::figure1(4, 5);
+    for seed in [3u64, 4] {
+        let records = trace::expand(&net.connsets, trace::TraceOptions::default(), seed);
+        let mut builder = role_classification::flow::ConnsetBuilder::new();
+        builder.add_records(records.iter());
+        let cs = builder.build();
+
+        let a = plain.run_window(&cs);
+        let b = traced.run_window(&cs);
+        assert_eq!(a.grouping, b.grouping);
+        assert_eq!(a.classification.grouping, b.classification.grouping);
+        assert_eq!(a.correlation.is_some(), b.correlation.is_some());
+        // Correlation has no PartialEq; its serialized form is stable.
+        assert_eq!(
+            serde_json::to_string(&a.correlation).unwrap(),
+            serde_json::to_string(&b.correlation).unwrap()
+        );
+    }
+
+    // And the recorder actually observed the work it did not perturb.
+    let rec = traced.recorder().unwrap();
+    assert_eq!(
+        rec.registry()
+            .counter("roleclass_engine_windows_total")
+            .get(),
+        2
+    );
+    assert_eq!(rec.spans().len(), 2);
+}
