@@ -235,7 +235,7 @@ mod tests {
     use roleclass::Group;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     /// Baseline: eng {11,12} talks to mail {1}; sales-db {3} talks to
@@ -366,6 +366,7 @@ mod tests {
     fn checkpoint_fallback_alert_grades_by_source() {
         let clean = Recovery {
             runs: vec![],
+            table: flow::HostTable::new(),
             source: RecoverySource::Primary,
             notes: vec![],
         };
@@ -373,6 +374,7 @@ mod tests {
 
         let backup = Recovery {
             runs: vec![],
+            table: flow::HostTable::new(),
             source: RecoverySource::Backup,
             notes: vec!["primary checkpoint unusable: corrupt".to_string()],
         };
@@ -388,6 +390,7 @@ mod tests {
 
         let fresh = Recovery {
             runs: vec![],
+            table: flow::HostTable::new(),
             source: RecoverySource::Fresh,
             notes: vec![],
         };

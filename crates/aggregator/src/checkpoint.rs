@@ -5,8 +5,9 @@
 //! policies, and operator intuition. This module persists it as a
 //! *checkpoint file* with:
 //!
-//! * a **versioned header** (`roleclass-checkpoint v1`) so format drift
-//!   is detected instead of misparsed;
+//! * a **versioned header** (`roleclass-checkpoint v2`) so format drift
+//!   is detected instead of misparsed — v1 files (runs only, no identity
+//!   table) are still read, with the table rebuilt deterministically;
 //! * **atomic writes**: the new checkpoint is written to a temp file and
 //!   renamed over the old one, so a crash mid-write can never leave a
 //!   half-written primary;
@@ -17,6 +18,8 @@
 //!   as [`CheckpointError::Corrupt`], never a panic.
 
 use crate::pipeline::RunRecord;
+use flow::HostTable;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -24,8 +27,21 @@ use std::path::{Path, PathBuf};
 
 /// First header token; anything else is not a checkpoint file.
 const MAGIC: &str = "roleclass-checkpoint";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version: v2 adds the master [`HostTable`] so dense
+/// host ids survive restarts.
+const VERSION: u32 = 2;
+/// Oldest version this build still reads. v1 payloads are a bare run
+/// array; the identity table is rebuilt by re-interning run hosts in
+/// order, which reproduces the ids live ingestion assigned.
+const MIN_VERSION: u32 = 1;
+
+/// The v2 on-disk payload: the run history plus the master identity
+/// table that assigned each host its dense id.
+#[derive(Serialize, Deserialize)]
+struct CheckpointDoc {
+    table: HostTable,
+    runs: Vec<RunRecord>,
+}
 
 /// Why a checkpoint operation failed.
 #[derive(Debug)]
@@ -86,6 +102,9 @@ impl RecoverySource {
 pub struct Recovery {
     /// The recovered run history (empty for [`RecoverySource::Fresh`]).
     pub runs: Vec<RunRecord>,
+    /// The recovered master identity table (empty for
+    /// [`RecoverySource::Fresh`]; rebuilt from the runs for v1 files).
+    pub table: HostTable,
     /// Which generation supplied it.
     pub source: RecoverySource,
     /// Human-readable notes about anything that went wrong on the way
@@ -131,8 +150,32 @@ impl Checkpointer {
     ///
     /// A crash at any point leaves at least one intact generation on
     /// disk.
+    ///
+    /// The identity table is derived from the runs (each run's hosts
+    /// interned in order); use [`Checkpointer::save_with_table`] to
+    /// persist an aggregator's live master table, which may hold hosts
+    /// no retained run mentions.
     pub fn save(&self, runs: &[RunRecord]) -> Result<(), CheckpointError> {
-        let payload = serde_json::to_string(&runs.to_vec())
+        let mut table = HostTable::new();
+        for run in runs {
+            for h in run.connsets.hosts() {
+                table.intern(h);
+            }
+        }
+        self.save_with_table(runs, &table)
+    }
+
+    /// [`Checkpointer::save`] with an explicit master identity table.
+    pub fn save_with_table(
+        &self,
+        runs: &[RunRecord],
+        table: &HostTable,
+    ) -> Result<(), CheckpointError> {
+        let doc = CheckpointDoc {
+            table: table.clone(),
+            runs: runs.to_vec(),
+        };
+        let payload = serde_json::to_string(&doc)
             .map_err(|e| CheckpointError::Corrupt(format!("encode failed: {e}")))?;
         let tmp = self.temp_path();
         if let Some(dir) = self.path.parent() {
@@ -159,10 +202,16 @@ impl Checkpointer {
     /// Strictly loads the primary checkpoint. Errors on a missing file,
     /// a bad header, an unsupported version, or a malformed payload.
     pub fn load(&self) -> Result<Vec<RunRecord>, CheckpointError> {
+        Self::load_file(&self.path).map(|(runs, _)| runs)
+    }
+
+    /// Like [`Checkpointer::load`], but also returns the master identity
+    /// table (rebuilt from the runs when the file predates v2).
+    pub fn load_full(&self) -> Result<(Vec<RunRecord>, HostTable), CheckpointError> {
         Self::load_file(&self.path)
     }
 
-    fn load_file(path: &Path) -> Result<Vec<RunRecord>, CheckpointError> {
+    fn load_file(path: &Path) -> Result<(Vec<RunRecord>, HostTable), CheckpointError> {
         let text = fs::read_to_string(path)?;
         let Some((header, payload)) = text.split_once('\n') else {
             return Err(CheckpointError::Corrupt("missing header line".to_string()));
@@ -179,11 +228,38 @@ impl Checkpointer {
             .ok_or_else(|| {
                 CheckpointError::Corrupt(format!("unparsable version in header {header:?}"))
             })?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CheckpointError::BadVersion(version));
         }
-        serde_json::from_str(payload)
-            .map_err(|e| CheckpointError::Corrupt(format!("payload rejected: {e}")))
+        if version == 1 {
+            // v1: bare run array, no persisted table. Re-interning each
+            // run's hosts in order replays the intern sequence live
+            // ingestion performed, so the rebuilt ids match.
+            let runs: Vec<RunRecord> = serde_json::from_str(payload)
+                .map_err(|e| CheckpointError::Corrupt(format!("payload rejected: {e}")))?;
+            let mut table = HostTable::new();
+            for run in &runs {
+                for h in run.connsets.hosts() {
+                    table.intern(h);
+                }
+            }
+            return Ok((runs, table));
+        }
+        let doc: CheckpointDoc = serde_json::from_str(payload)
+            .map_err(|e| CheckpointError::Corrupt(format!("payload rejected: {e}")))?;
+        // Integrity: every host a run mentions must be in the table —
+        // a table/runs mismatch means the file was hand-edited or mixed
+        // from different generations.
+        for run in &doc.runs {
+            for h in run.connsets.hosts() {
+                if doc.table.get(h).is_none() {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "host {h} missing from identity table"
+                    )));
+                }
+            }
+        }
+        Ok((doc.runs, doc.table))
     }
 
     /// Loads the best available generation, never failing: primary if
@@ -193,9 +269,10 @@ impl Checkpointer {
     pub fn load_or_recover(&self) -> Recovery {
         let mut notes = Vec::new();
         match Self::load_file(&self.path) {
-            Ok(runs) => {
+            Ok((runs, table)) => {
                 return Recovery {
                     runs,
+                    table,
                     source: RecoverySource::Primary,
                     notes,
                 }
@@ -206,8 +283,9 @@ impl Checkpointer {
             Err(e) => notes.push(format!("primary checkpoint unusable: {e}")),
         }
         match Self::load_file(&self.backup_path()) {
-            Ok(runs) => Recovery {
+            Ok((runs, table)) => Recovery {
                 runs,
+                table,
                 source: RecoverySource::Backup,
                 notes,
             },
@@ -215,6 +293,7 @@ impl Checkpointer {
                 notes.push("backup checkpoint missing".to_string());
                 Recovery {
                     runs: Vec::new(),
+                    table: HostTable::new(),
                     source: RecoverySource::Fresh,
                     notes,
                 }
@@ -223,6 +302,7 @@ impl Checkpointer {
                 notes.push(format!("backup checkpoint unusable: {e}"));
                 Recovery {
                     runs: Vec::new(),
+                    table: HostTable::new(),
                     source: RecoverySource::Fresh,
                     notes,
                 }
@@ -257,7 +337,7 @@ mod tests {
         let mut trace = Vec::new();
         for d in 0..2u64 {
             for n in 2..5u32 {
-                let mut f = FlowRecord::pair(HostAddr(1), HostAddr(n));
+                let mut f = FlowRecord::pair(HostAddr::v4(1), HostAddr::v4(n));
                 f.start_ms = d * 1000;
                 trace.push(f);
             }
@@ -277,8 +357,8 @@ mod tests {
         assert_eq!(back.len(), runs.len());
         assert_eq!(back[0].window, runs[0].window);
         assert_eq!(
-            back[1].grouping.group_of(HostAddr(1)),
-            runs[1].grouping.group_of(HostAddr(1))
+            back[1].grouping.group_of(HostAddr::v4(1)),
+            runs[1].grouping.group_of(HostAddr::v4(1))
         );
         let _ = fs::remove_dir_all(&dir);
     }
@@ -291,7 +371,7 @@ mod tests {
         ck.save(&runs[..1]).unwrap();
         ck.save(&runs).unwrap();
         assert!(ck.backup_path().exists());
-        let backup = Checkpointer::load_file(&ck.backup_path()).unwrap();
+        let (backup, _) = Checkpointer::load_file(&ck.backup_path()).unwrap();
         assert_eq!(backup.len(), 1);
         assert_eq!(ck.load().unwrap().len(), 2);
         let _ = fs::remove_dir_all(&dir);
@@ -338,6 +418,66 @@ mod tests {
         let ck = Checkpointer::new(dir.join("history.ckpt"));
         fs::write(ck.path(), "roleclass-checkpoint v99\n[]").unwrap();
         assert!(matches!(ck.load(), Err(CheckpointError::BadVersion(99))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn host_table_round_trips_through_checkpoint() {
+        let dir = temp_dir("table");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        let runs = sample_runs();
+        // A live master table may know hosts no retained run mentions.
+        let mut master = flow::HostTable::new();
+        for run in &runs {
+            for h in run.connsets.hosts() {
+                master.intern(h);
+            }
+        }
+        let retired = master.intern(HostAddr::v4(0xDEAD));
+        ck.save_with_table(&runs, &master).unwrap();
+        let (back_runs, back_table) = ck.load_full().unwrap();
+        assert_eq!(back_runs.len(), runs.len());
+        assert_eq!(back_table.len(), master.len());
+        assert_eq!(back_table.get(HostAddr::v4(0xDEAD)), Some(retired));
+        for (id, addr) in master.iter() {
+            assert_eq!(back_table.get(addr), Some(id));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_checkpoints_still_load_with_rebuilt_table() {
+        let dir = temp_dir("v1");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        let runs = sample_runs();
+        // Hand-write a v1 file: bare run array, no table.
+        let payload = serde_json::to_string(&runs).unwrap();
+        fs::write(ck.path(), format!("roleclass-checkpoint v1\n{payload}")).unwrap();
+        let (back_runs, table) = ck.load_full().unwrap();
+        assert_eq!(back_runs.len(), runs.len());
+        // The rebuilt table covers every host the runs mention, densely.
+        let mut expected = flow::HostTable::new();
+        for run in &runs {
+            for h in run.connsets.hosts() {
+                expected.intern(h);
+            }
+        }
+        assert_eq!(table.len(), expected.len());
+        for (id, addr) in expected.iter() {
+            assert_eq!(table.get(addr), Some(id));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn table_runs_mismatch_is_corrupt() {
+        let dir = temp_dir("mismatch");
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+        let runs = sample_runs();
+        // A table that misses hosts the runs mention: rejected.
+        let empty = flow::HostTable::new();
+        ck.save_with_table(&runs, &empty).unwrap();
+        assert!(matches!(ck.load(), Err(CheckpointError::Corrupt(_))));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -18,7 +18,7 @@ use crate::alerts::{checkpoint_fallback_alert, degraded_window_alert, Alert};
 use crate::checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
 use crate::probe::Probe;
 use crate::supervisor::{PollOutcome, ProbeHealth, ProbeReport, ProbeSupervisor, SupervisorConfig};
-use flow::{ConnectionSets, ConnsetBuilder, FlowRecord, TimeWindow};
+use flow::{ConnectionSets, ConnsetBuilder, FlowRecord, HostTable, TimeWindow};
 use parking_lot::RwLock;
 use roleclass::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -138,6 +138,11 @@ pub struct Aggregator {
     engine: Engine,
     probes: Vec<ProbeSupervisor>,
     history: Arc<RwLock<Vec<RunRecord>>>,
+    /// Master identity table: every host ever observed, interned once.
+    /// Each window's connection sets are built against it, so a host
+    /// keeps one dense [`flow::HostId`] across windows, checkpoints, and
+    /// restarts.
+    host_table: HostTable,
     next_window_start: u64,
     recorder: Option<Arc<Recorder>>,
     /// Operational alerts raised by the aggregator itself (degraded
@@ -168,6 +173,7 @@ impl Aggregator {
             engine,
             probes: Vec::new(),
             history: Arc::new(RwLock::new(Vec::new())),
+            host_table: HostTable::new(),
             next_window_start: next,
             recorder: None,
             pending_alerts: Vec::new(),
@@ -240,6 +246,13 @@ impl Aggregator {
         self.history.read().last().map(|r| r.grouping.clone())
     }
 
+    /// The master identity table: every host observed in any window so
+    /// far, with the dense [`flow::HostId`] it will keep for the life of
+    /// this aggregator (and across checkpoint/restore).
+    pub fn host_table(&self) -> &HostTable {
+        &self.host_table
+    }
+
     /// Returns `true` while any probe still has data at or beyond the
     /// next window. Probes retired by a fatal error report an exhausted
     /// horizon, so a dead probe can never keep this `true` forever.
@@ -310,7 +323,9 @@ impl Aggregator {
             let _build_span = telemetry::span(rec, "aggregator.build");
             let mut builder = ConnsetBuilder::new().min_flows(self.config.min_flows);
             builder.add_records(records.iter());
-            let (connsets, build_stats) = builder.build_with_stats();
+            // Built against the master table, so hosts keep the dense id
+            // they were first assigned, across every window.
+            let (connsets, build_stats) = builder.build_with_telemetry(&mut self.host_table, rec);
             health.records_accepted = build_stats.kept_flows;
             health.records_dropped = build_stats.dropped_flows;
             connsets
@@ -427,7 +442,25 @@ impl Aggregator {
     /// the last one, and the engine's correlation anchor is re-pointed
     /// at it so group ids stay stable across the import. Returns the
     /// number of adopted runs.
+    ///
+    /// The master identity table is rebuilt by re-interning each run's
+    /// hosts in order — the same intern sequence live ingestion performed
+    /// (each window interns its member addresses sorted), so the rebuilt
+    /// [`flow::HostId`]s match the ones the original aggregator assigned.
     pub fn adopt_history(&mut self, runs: Vec<RunRecord>) -> usize {
+        let mut table = HostTable::new();
+        for run in &runs {
+            for h in run.connsets.hosts() {
+                table.intern(h);
+            }
+        }
+        self.adopt_history_with_table(runs, table)
+    }
+
+    /// [`Aggregator::adopt_history`] with an explicit identity table —
+    /// used on checkpoint restore, where the persisted master table may
+    /// be a superset of what the retained runs mention.
+    pub fn adopt_history_with_table(&mut self, runs: Vec<RunRecord>, table: HostTable) -> usize {
         if let Some(last) = runs.last() {
             self.next_window_start = last.window.end_ms;
         }
@@ -436,6 +469,7 @@ impl Aggregator {
                 connsets: r.connsets.clone(),
                 grouping: r.grouping.clone(),
             }));
+        self.host_table = table;
         let n = runs.len();
         *self.history.write() = runs;
         n
@@ -448,7 +482,7 @@ impl Aggregator {
         let rec = self.recorder.as_deref();
         let _span = telemetry::span(rec, "aggregator.checkpoint");
         let started = rec.map(|_| std::time::Instant::now());
-        let result = ck.save(&self.history.read());
+        let result = ck.save_with_table(&self.history.read(), &self.host_table);
         if let (Some(r), Some(t0)) = (rec, started) {
             let reg = r.registry();
             if result.is_ok() {
@@ -490,7 +524,7 @@ impl Aggregator {
         if let Some(alert) = checkpoint_fallback_alert(&recovery) {
             self.pending_alerts.push(alert);
         }
-        self.adopt_history(recovery.runs.clone());
+        self.adopt_history_with_table(recovery.runs.clone(), recovery.table.clone());
         recovery
     }
 }
@@ -502,7 +536,7 @@ mod tests {
     use flow::HostAddr;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     /// Builds a day of identical-structure flows for two client pods.
@@ -603,7 +637,7 @@ mod tests {
         let mut agg = Aggregator::new(config());
         let (pod_a, pod_b): (Vec<FlowRecord>, Vec<FlowRecord>) = day_trace(0, 3)
             .into_iter()
-            .partition(|r| r.src.0 < 20 && r.dst.0 < 20);
+            .partition(|r| r.src.as_u32() < 20 && r.dst.as_u32() < 20);
         agg.attach(Box::new(ReplayProbe::new("probe-a", pod_a)));
         agg.attach(Box::new(ReplayProbe::new("probe-b", pod_b)));
         let run = agg.run_cycle();
@@ -824,6 +858,63 @@ mod tests {
         }
         // No degraded windows, so no degraded alerts were queued.
         assert!(agg.pending_alerts().is_empty());
+    }
+
+    #[test]
+    fn host_ids_are_stable_across_cycles() {
+        let mut agg = Aggregator::new(config());
+        // Day 0 uses db host 3; day 1 swaps in db host 5 and a new pod
+        // member — old hosts must keep their ids, new hosts extend.
+        let trace: Vec<FlowRecord> = day_trace(0, 3).into_iter().chain(day_trace(1, 5)).collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        let first = agg.run_cycle();
+        let ids_before: Vec<_> = agg.host_table().iter().collect();
+        let second = agg.run_cycle();
+        // Every previously-assigned id is unchanged.
+        for (id, addr) in ids_before {
+            assert_eq!(agg.host_table().get(addr), Some(id));
+        }
+        // The new host got a fresh id past the old population.
+        assert!(agg.host_table().len() > first.connsets.host_count());
+        assert!(agg.host_table().get(h(5)).is_some());
+        // Each window's connsets share the master table identity.
+        assert_eq!(
+            second.connsets.table().get(h(11)),
+            agg.host_table().get(h(11))
+        );
+    }
+
+    #[test]
+    fn host_ids_survive_checkpoint_restore() {
+        use crate::checkpoint::Checkpointer;
+        use std::fs;
+
+        let dir = std::env::temp_dir().join(format!("roleclass-agg-ids-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+
+        let mut agg = Aggregator::new(config());
+        let trace: Vec<FlowRecord> = day_trace(0, 3).into_iter().chain(day_trace(1, 3)).collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        agg.drain();
+        agg.checkpoint(&ck).unwrap();
+        let ids_before: Vec<_> = agg.host_table().iter().collect();
+
+        let mut fresh = Aggregator::new(config());
+        fresh.attach(Box::new(ReplayProbe::new("p0", day_trace(2, 3))));
+        let recovery = fresh.restore_from(&ck);
+        assert_eq!(recovery.source, RecoverySource::Primary);
+        // The restored table is the persisted one, verbatim.
+        for &(id, addr) in &ids_before {
+            assert_eq!(fresh.host_table().get(addr), Some(id));
+        }
+        // And the next cycle keeps extending it without renumbering.
+        fresh.run_cycle();
+        for (id, addr) in ids_before {
+            assert_eq!(fresh.host_table().get(addr), Some(id));
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -171,7 +171,7 @@ mod tests {
     use roleclass::Group;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     /// Groups: 1 = eng {11, 12}, 2 = sales-db {3}, 3 = mail {1}.

@@ -111,7 +111,7 @@ mod tests {
     use flow::HostAddr;
 
     fn rec(t: u64) -> FlowRecord {
-        let mut f = FlowRecord::pair(HostAddr(1), HostAddr(2));
+        let mut f = FlowRecord::pair(HostAddr::v4(1), HostAddr::v4(2));
         f.start_ms = t;
         f
     }

@@ -90,7 +90,7 @@ mod tests {
     use super::*;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     fn window(pairs: &[(u32, u32)]) -> ConnectionSets {

@@ -82,7 +82,7 @@ mod tests {
     use roleclass::Params;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     fn run_once() -> RunRecord {

@@ -319,7 +319,7 @@ mod tests {
         fn poll(&mut self, _: u64, _: u64) -> Result<Vec<FlowRecord>, ProbeError> {
             let step = self.script.get(self.cursor).cloned().unwrap_or(Ok(0));
             self.cursor += 1;
-            step.map(|n| vec![FlowRecord::pair(HostAddr(1), HostAddr(2)); n])
+            step.map(|n| vec![FlowRecord::pair(HostAddr::v4(1), HostAddr::v4(2)); n])
         }
 
         fn horizon_ms(&self) -> Option<u64> {

@@ -17,7 +17,7 @@ const WINDOW_MS: u64 = 1000;
 const POD_FLOWS: u64 = 9;
 
 fn h(x: u32) -> HostAddr {
-    HostAddr(x)
+    HostAddr::v4(x)
 }
 
 /// Pod A: clients 11-13 -> servers 1, 2, 3. Present every window.
@@ -211,16 +211,16 @@ fn lossy_and_skewed_probes_do_not_break_structure() {
         // No invented structure: every edge is one of the pods' true
         // client-server pairs.
         for ((a, b), _) in run.connsets.pairs() {
-            let (c, s) = if a.0 > 20 || (11..=13).contains(&a.0) {
+            let (c, s) = if a.as_u32() > 20 || (11..=13).contains(&a.as_u32()) {
                 (a, b)
             } else {
                 (b, a)
             };
             assert!(
-                (11..=13).contains(&c.0) || (21..=23).contains(&c.0),
+                (11..=13).contains(&c.as_u32()) || (21..=23).contains(&c.as_u32()),
                 "unexpected client {c}"
             );
-            assert!([1, 2, 3, 4].contains(&s.0), "unexpected server {s}");
+            assert!([1, 2, 3, 4].contains(&s.as_u32()), "unexpected server {s}");
         }
     }
 

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 const WINDOW_MS: u64 = 1000;
 
 fn h(x: u32) -> HostAddr {
-    HostAddr(x)
+    HostAddr::v4(x)
 }
 
 /// One window of stable two-pod structure, shifted to window `w`.

@@ -1,0 +1,224 @@
+//! Experiment `dataplane_bench` — data-plane cost of one pipeline window.
+//!
+//! Measures the two phases the dense host-ID refactor targets, at 1k,
+//! 10k and 100k hosts:
+//!
+//! 1. **build** — turning one window of raw flow records into
+//!    [`flow::ConnectionSets`] through [`flow::ConnsetBuilder`];
+//! 2. **window** — one steady-state `Engine::run_window` over the built
+//!    sets (formation + merging + correlation against the previous
+//!    window).
+//!
+//! Prints a table, then after a `===BENCH_DATAPLANE_JSON===` marker a
+//! JSON document with the current numbers *and* the pre-refactor
+//! baseline recorded below — `scripts/bench.sh` stores it as
+//! `BENCH_dataplane.json`.
+
+use bench::{banner, quick_mode, render_table};
+use flow::ConnsetBuilder;
+use roleclass::{Engine, Params};
+use std::time::Instant;
+use synthnet::{trace, ConnRule, Fanout, NetworkModel, RoleSpec};
+
+const WINDOW_MS: u64 = 86_400_000; // one day, like the paper's traces
+
+/// Pre-refactor times, `(hosts, build_secs, window_secs)`, measured on
+/// this machine against the map-based `BTreeMap<HostAddr, BTreeSet<_>>`
+/// `ConnectionSets` (commit fa7a763, the parent of the dense data-plane
+/// refactor) with the same scenario shapes and seeds. Kept here so the
+/// improvement ships in the same PR as the refactor it measures.
+///
+/// The 100k-host end-to-end window is recorded as 0.0 (unmeasured): the
+/// pre-refactor run did not finish one window within an hour, the cost
+/// being in the classification algorithm both planes share. That is why
+/// the 100k row below measures the build phase only.
+const PRE_REFACTOR_BASELINE: [(usize, f64, f64); 3] = [
+    (1_000, 0.0051, 0.0506),
+    (10_000, 0.0798, 8.3346),
+    (100_000, 0.0, 0.0),
+];
+
+/// A department-structured network with ~n hosts: 46-host departments
+/// (43 workstations + 3 servers) around a shared server core that scales
+/// with the population, so no single host degenerates into a mega-hub.
+fn department_network(n: usize) -> flow::ConnectionSets {
+    let mut m = NetworkModel::new();
+    let core_count = (n / 500).max(4);
+    let core = m.role(RoleSpec::servers("core", core_count));
+    let dept_size = 46;
+    let depts = (n.saturating_sub(core_count) / dept_size).max(1);
+    for d in 0..depts {
+        let ws = m.role(RoleSpec::clients(&format!("d{d}_ws"), 43));
+        let srv = m.role(RoleSpec::servers(&format!("d{d}_srv"), 3));
+        m.rule(ConnRule::new(ws, srv, Fanout::All));
+        m.rule(ConnRule::new(ws, core, Fanout::Exactly(2)));
+    }
+    m.generate(7).connsets
+}
+
+/// One day-long trace window for `cs`, seeded per window index.
+fn window_records(cs: &flow::ConnectionSets, w: u64) -> Vec<flow::FlowRecord> {
+    let opts = trace::TraceOptions {
+        start_ms: w * WINDOW_MS,
+        span_ms: WINDOW_MS,
+        ..trace::TraceOptions::default()
+    };
+    trace::expand(cs, opts, 7 + w)
+}
+
+struct Measurement {
+    hosts: usize,
+    records: usize,
+    build_secs: f64,
+    window_secs: f64,
+}
+
+fn measure(n: usize, reps: usize, end_to_end: bool) -> Measurement {
+    let t = Instant::now();
+    let cs_model = department_network(n);
+    eprintln!(
+        "[{n}] model generated in {:.1}s ({} hosts, {} connections)",
+        t.elapsed().as_secs_f64(),
+        cs_model.host_count(),
+        cs_model.connection_count()
+    );
+    let t = Instant::now();
+    let warm = window_records(&cs_model, 0);
+    let records = window_records(&cs_model, 1);
+    eprintln!(
+        "[{n}] traces expanded in {:.1}s ({} records/window)",
+        t.elapsed().as_secs_f64(),
+        records.len()
+    );
+
+    // Build phase: records -> ConnectionSets, best of `reps`.
+    let mut build_secs = f64::INFINITY;
+    let mut built = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let mut b = ConnsetBuilder::new();
+        b.add_records(records.iter());
+        let cs = b.build();
+        build_secs = build_secs.min(t0.elapsed().as_secs_f64());
+        built = Some(cs);
+    }
+    let cs = built.expect("at least one build rep");
+
+    // Steady-state window: classify + correlate against a previous
+    // window (built untimed from the warm-up trace). Skipped for sizes
+    // where the window is dominated by the classification algorithm the
+    // data plane does not touch (see PRE_REFACTOR_BASELINE).
+    let mut window_secs = 0.0_f64;
+    if end_to_end {
+        let mut prev_b = ConnsetBuilder::new();
+        prev_b.add_records(warm.iter());
+        let prev_cs = prev_b.build();
+        window_secs = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut engine = Engine::new(Params::default()).expect("default params are valid");
+            engine.run_window(&prev_cs);
+            let t0 = Instant::now();
+            engine.run_window(&cs);
+            window_secs = window_secs.min(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    Measurement {
+        hosts: cs.host_count(),
+        records: records.len(),
+        build_secs,
+        window_secs,
+    }
+}
+
+fn main() {
+    banner(
+        "dataplane_bench",
+        "connset build + end-to-end window times across population sizes",
+    );
+    let sizes: &[(usize, usize, bool)] = if quick_mode() {
+        &[(1_000, 3, true), (10_000, 2, true)]
+    } else {
+        &[(1_000, 3, true), (10_000, 2, true), (100_000, 1, false)]
+    };
+
+    let mut results = Vec::new();
+    for &(n, reps, end_to_end) in sizes {
+        let m = measure(n, reps, end_to_end);
+        if end_to_end {
+            println!(
+                "{} hosts: build {:.1} ms, window {:.1} ms ({} records)",
+                m.hosts,
+                m.build_secs * 1e3,
+                m.window_secs * 1e3,
+                m.records
+            );
+        } else {
+            println!(
+                "{} hosts: build {:.1} ms, window skipped — classification-bound \
+                 at this size ({} records)",
+                m.hosts,
+                m.build_secs * 1e3,
+                m.records
+            );
+        }
+        results.push(m);
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|m| {
+            // Populations land slightly under their nominal size (46-host
+            // departments), so match the nearest baseline row.
+            let baseline = PRE_REFACTOR_BASELINE
+                .iter()
+                .min_by_key(|(h, _, _)| h.abs_diff(m.hosts));
+            let speedup = match baseline {
+                Some(&(_, _, w)) if w > 0.0 && m.window_secs > 0.0 => {
+                    format!("{:.2}x", w / m.window_secs)
+                }
+                _ => "-".to_string(),
+            };
+            let window = if m.window_secs > 0.0 {
+                format!("{:.3}", m.window_secs * 1e3)
+            } else {
+                "-".to_string()
+            };
+            vec![
+                m.hosts.to_string(),
+                m.records.to_string(),
+                format!("{:.3}", m.build_secs * 1e3),
+                window,
+                speedup,
+            ]
+        })
+        .collect();
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["hosts", "records", "build ms", "window ms", "vs baseline"],
+            &rows
+        )
+    );
+
+    let json_list = |items: &[(usize, f64, f64)]| {
+        items
+            .iter()
+            .map(|(h, b, w)| {
+                format!("{{\"hosts\":{h},\"build_secs\":{b:.6},\"window_secs\":{w:.6}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let current: Vec<(usize, f64, f64)> = results
+        .iter()
+        .map(|m| (m.hosts, m.build_secs, m.window_secs))
+        .collect();
+    println!("===BENCH_DATAPLANE_JSON===");
+    println!(
+        "{{\"pre_refactor_baseline\":[{}],\"current\":[{}]}}",
+        json_list(&PRE_REFACTOR_BASELINE),
+        json_list(&current)
+    );
+}

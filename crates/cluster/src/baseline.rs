@@ -11,7 +11,6 @@
 use flow::{ConnectionSets, HostAddr};
 use netgraph::NodeId;
 use netgraph::{connected_components, SimpleGraph};
-use std::collections::BTreeMap;
 
 /// Configuration for the threshold-components baseline.
 #[derive(Clone, Copy, Debug)]
@@ -32,21 +31,18 @@ pub fn similarity_components(
     cs: &ConnectionSets,
     config: &SimilarityComponentsConfig,
 ) -> Vec<Vec<HostAddr>> {
+    // Host rows in the columnar connection sets are already the dense
+    // node ids this graph wants.
     let hosts: Vec<HostAddr> = cs.hosts().collect();
-    let index: BTreeMap<HostAddr, u32> = hosts
-        .iter()
-        .enumerate()
-        .map(|(i, &h)| (h, i as u32))
-        .collect();
     let mut edges = Vec::new();
     for i in 0..hosts.len() {
         for j in (i + 1)..hosts.len() {
             if cs.similarity(hosts[i], hosts[j]) >= config.min_common.max(1) {
-                edges.push((NodeId(index[&hosts[i]]), NodeId(index[&hosts[j]])));
+                edges.push((NodeId(i as u32), NodeId(j as u32)));
             }
         }
     }
-    let g = SimpleGraph::from_edges(hosts.iter().map(|h| NodeId(index[h])), edges);
+    let g = SimpleGraph::from_edges((0..hosts.len()).map(|i| NodeId(i as u32)), edges);
     connected_components(&g)
         .into_iter()
         .map(|comp| comp.into_iter().map(|n| hosts[n.index()]).collect())
@@ -58,7 +54,7 @@ mod tests {
     use super::*;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     #[test]

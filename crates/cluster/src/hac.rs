@@ -48,8 +48,8 @@ fn jaccard_distance(cs: &ConnectionSets, a: HostAddr, b: HostAddr) -> f64 {
     if ca.is_empty() && cb.is_empty() {
         return 0.0;
     }
-    let inter = ca.intersection(cb).count() as f64;
-    let union = ca.union(cb).count() as f64;
+    let inter = cs.similarity(a, b) as f64;
+    let union = (ca.len() + cb.len()) as f64 - inter;
     1.0 - inter / union
 }
 
@@ -135,7 +135,7 @@ mod tests {
     use super::*;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     /// Two client pods with disjoint server sets.

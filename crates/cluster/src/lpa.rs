@@ -42,13 +42,15 @@ pub fn lpa_cluster(cs: &ConnectionSets, config: &LpaConfig) -> Vec<Vec<HostAddr>
     if n == 0 {
         return Vec::new();
     }
-    let index: BTreeMap<HostAddr, usize> = hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
-    let neighbors: Vec<Vec<usize>> = hosts
-        .iter()
-        .map(|&h| {
-            cs.neighbors(h)
-                .map(|s| s.iter().map(|n| index[n]).collect())
-                .unwrap_or_default()
+    // Host rows in the columnar connection sets are exactly the dense
+    // indices this algorithm wants — borrow the CSR adjacency directly.
+    let (offsets, csr_nbrs) = cs.csr();
+    let neighbors: Vec<Vec<usize>> = (0..n)
+        .map(|r| {
+            csr_nbrs[offsets[r] as usize..offsets[r + 1] as usize]
+                .iter()
+                .map(|&x| x as usize)
+                .collect()
         })
         .collect();
 
@@ -109,7 +111,7 @@ mod tests {
     use super::*;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     #[test]

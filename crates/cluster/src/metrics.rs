@@ -222,7 +222,7 @@ mod tests {
     use super::*;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     fn part(spec: &[&[u32]]) -> Vec<Vec<HostAddr>> {

@@ -12,7 +12,7 @@ fn arb_partition(n: usize, max_labels: usize) -> impl Strategy<Value = Vec<Vec<H
     prop::collection::vec(0..max_labels, n).prop_map(|labels| {
         let mut groups: std::collections::BTreeMap<usize, Vec<HostAddr>> = Default::default();
         for (i, &l) in labels.iter().enumerate() {
-            groups.entry(l).or_default().push(HostAddr(i as u32));
+            groups.entry(l).or_default().push(HostAddr::v4(i as u32));
         }
         groups.into_values().collect()
     })

@@ -115,7 +115,7 @@ mod tests {
     use flow::HostAddr;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     /// 20 clients with 3 connections each to a pool of 3 servers.

@@ -189,7 +189,7 @@ mod tests {
     use flow::HostAddr;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     fn figure1() -> ConnectionSets {

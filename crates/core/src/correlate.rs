@@ -106,7 +106,7 @@ fn build_views(
             let Some(nbrs) = cs.neighbors(m) else {
                 continue;
             };
-            for &n in nbrs {
+            for n in nbrs {
                 if !common.contains(&n) {
                     continue;
                 }
@@ -225,11 +225,11 @@ fn time_varying_similarity(
         // Closest previous-neighbor degree: inspect the nearest entries
         // on both sides of d_t.
         let above = prev_by_deg
-            .range((d_t, HostAddr(0))..)
+            .range((d_t, HostAddr::v4(0))..)
             .next()
             .map(|(&k, &v)| (k, v));
         let below = prev_by_deg
-            .range(..(d_t, HostAddr(0)))
+            .range(..(d_t, HostAddr::v4(0)))
             .next_back()
             .map(|(&k, &v)| (k, v));
         let pick = match (below, above) {
@@ -496,7 +496,7 @@ mod tests {
     use crate::classify::classify;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     /// Figure 1 network (M = N = 3), same layout as the other modules.

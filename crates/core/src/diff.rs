@@ -123,7 +123,7 @@ mod tests {
     use crate::group::Group;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     fn grouping(spec: &[(u32, &[u32])]) -> Grouping {

@@ -27,7 +27,7 @@
 //! let mut cs = ConnectionSets::new();
 //! for ws in [10u32, 11] {
 //!     for srv in [1u32, 2] {
-//!         cs.add_pair(HostAddr(ws), HostAddr(srv));
+//!         cs.add_pair(HostAddr::v4(ws), HostAddr::v4(srv));
 //!     }
 //! }
 //! let mut engine = Engine::new(Params::default()).expect("defaults are valid");
@@ -35,8 +35,8 @@
 //! let second = engine.run_window(&cs); // correlated: same ids
 //! assert!(second.correlation.is_some());
 //! assert_eq!(
-//!     first.grouping.group_of(HostAddr(10)),
-//!     second.grouping.group_of(HostAddr(10)),
+//!     first.grouping.group_of(HostAddr::v4(10)),
+//!     second.grouping.group_of(HostAddr::v4(10)),
 //! );
 //! ```
 
@@ -301,7 +301,7 @@ mod tests {
     use flow::HostAddr;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     fn figure1() -> ConnectionSets {

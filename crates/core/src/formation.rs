@@ -38,7 +38,7 @@ use netgraph::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Why a formation-phase group came into being.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,26 +119,25 @@ struct State {
     groups: Vec<ProtoGroup>,
     node_of_group: Vec<NodeId>,
     trace: Vec<FormationEvent>,
-    orig_degree: BTreeMap<HostAddr, usize>,
+    /// Pre-contraction degree of each host node, indexed by the node's
+    /// initial id (= the host's row in the connection sets).
+    orig_degree: Vec<usize>,
 }
 
 impl State {
     /// Builds the initial conn-graph state: one node per host, unit edge
     /// weights (one "connection" per communicating host pair).
+    ///
+    /// The connection sets' columnar layout is consumed directly: host
+    /// rows become node ids (rows are address-sorted, matching the
+    /// historical id assignment) and the borrowed CSR adjacency seeds the
+    /// graph without per-edge lookups.
     fn init(cs: &ConnectionSets) -> State {
-        let mut g = WGraph::with_capacity(cs.host_count());
-        let mut node_of_host: BTreeMap<HostAddr, NodeId> = BTreeMap::new();
-        let mut host_of_node: Vec<Option<HostAddr>> = Vec::with_capacity(cs.host_count());
-        for h in cs.hosts() {
-            let n = g.add_node();
-            node_of_host.insert(h, n);
-            host_of_node.push(Some(h));
-        }
-        for (a, b) in cs.edges() {
-            g.add_edge(node_of_host[&a], node_of_host[&b], 1);
-        }
-        let orig_degree: BTreeMap<HostAddr, usize> =
-            cs.hosts().map(|h| (h, cs.degree(h).unwrap_or(0))).collect();
+        let (offsets, nbrs) = cs.csr();
+        let g = WGraph::from_unit_csr(offsets, nbrs);
+        let host_of_node: Vec<Option<HostAddr>> =
+            cs.member_addrs().iter().map(|&h| Some(h)).collect();
+        let orig_degree: Vec<usize> = offsets.windows(2).map(|w| (w[1] - w[0]) as usize).collect();
         State {
             g,
             kernel: None,
@@ -191,7 +190,7 @@ impl State {
     fn bootstrap_next(&self, alpha: f64, k: u32) -> u32 {
         self.ungrouped_hosts()
             .iter()
-            .filter_map(|&n| bootstrap_trigger(alpha, self.orig_degree[&self.host(n)]))
+            .filter_map(|&n| bootstrap_trigger(alpha, self.orig_degree[n.index()]))
             .map(|t| t.min(k.saturating_sub(1)))
             .max()
             .unwrap_or(0)
@@ -202,7 +201,7 @@ impl State {
         let lonely: Vec<NodeId> = self
             .ungrouped_hosts()
             .into_iter()
-            .filter(|&n| (k as f64) < alpha * self.orig_degree[&self.host(n)] as f64)
+            .filter(|&n| (k as f64) < alpha * self.orig_degree[n.index()] as f64)
             .collect();
         for n in lonely {
             self.form_group(&[n], k, FormationKind::Bootstrap);
@@ -331,9 +330,14 @@ pub(crate) fn form_groups_with(
 
     let mut st = State::init(cs);
     // One full parallel counting pass; every level below reads the
-    // cached table, and every contraction patches it in place.
-    st.kernel = Some(CommonNeighborKernel::build_with_telemetry(
-        &st.g,
+    // cached table, and every contraction patches it in place. The
+    // kernel counts straight off the connection sets' borrowed CSR (at
+    // this point identical to `st.g`, which has not been contracted yet)
+    // instead of re-snapshotting the graph.
+    let (offsets, nbrs) = cs.csr();
+    st.kernel = Some(CommonNeighborKernel::build_from_unit_csr(
+        offsets,
+        nbrs,
         |_| true,
         netgraph::default_worker_count(),
         rec,
@@ -456,7 +460,7 @@ mod tests {
     use super::*;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     /// The Figure 1 network with M = N = 3:

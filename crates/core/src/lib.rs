@@ -36,14 +36,14 @@
 //! let mut cs = ConnectionSets::new();
 //! for ws in [10u32, 11] {
 //!     for srv in [1u32, 2] {
-//!         cs.add_pair(flow::HostAddr(ws), flow::HostAddr(srv));
+//!         cs.add_pair(flow::HostAddr::v4(ws), flow::HostAddr::v4(srv));
 //!     }
 //! }
 //! let result = classify(&cs, &Params::default());
 //! // ...end up in the same role group.
 //! assert_eq!(
-//!     result.grouping.group_of(flow::HostAddr(10)),
-//!     result.grouping.group_of(flow::HostAddr(11)),
+//!     result.grouping.group_of(flow::HostAddr::v4(10)),
+//!     result.grouping.group_of(flow::HostAddr::v4(11)),
 //! );
 //! ```
 

@@ -373,7 +373,7 @@ mod tests {
     use crate::formation::form_groups;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     /// Figure 1 network, M = N = 3 (see formation tests for the layout).

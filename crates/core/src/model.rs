@@ -25,12 +25,16 @@ pub fn similarity(cs: &ConnectionSets, h1: HostAddr, h2: HostAddr) -> usize {
 /// the group with which it has the strongest average similarity"
 /// meaningful. Returns 0.0 for an empty (or singleton-self) group.
 pub fn avg_similarity(cs: &ConnectionSets, h1: HostAddr, members: &[HostAddr]) -> f64 {
-    let others: Vec<HostAddr> = members.iter().copied().filter(|&m| m != h1).collect();
-    if others.is_empty() {
+    let mut sum = 0usize;
+    let mut count = 0usize;
+    for &m in members.iter().filter(|&&m| m != h1) {
+        sum += similarity(cs, h1, m);
+        count += 1;
+    }
+    if count == 0 {
         return 0.0;
     }
-    let sum: usize = others.iter().map(|&m| similarity(cs, h1, m)).sum();
-    sum as f64 / others.len() as f64
+    sum as f64 / count as f64
 }
 
 /// One violation of the `avg_similarity`-respecting property: a host
@@ -107,7 +111,7 @@ mod tests {
     use crate::params::Params;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     fn figure1() -> ConnectionSets {

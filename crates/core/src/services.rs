@@ -133,7 +133,7 @@ mod tests {
     use flow::Proto;
 
     fn h(x: u32) -> HostAddr {
-        HostAddr(x)
+        HostAddr::v4(x)
     }
 
     fn flow_to(dst: u32, port: u16) -> FlowRecord {

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use roleclass::{classify, form_groups, merge_groups, Grouping, Params};
 
 fn h(x: u32) -> HostAddr {
-    HostAddr(x)
+    HostAddr::v4(x)
 }
 
 /// Strategy: a random network.
@@ -115,7 +115,7 @@ proptest! {
             cs.neighbors(m)
                 .map(|nbrs| {
                     nbrs.iter()
-                        .filter_map(|&n| c.grouping.group_of(n))
+                        .filter_map(|n| c.grouping.group_of(n))
                         .collect()
                 })
                 .unwrap_or_default()

@@ -117,7 +117,7 @@ fn arb_connsets(max_hosts: u32, max_edges: usize) -> impl Strategy<Value = Conne
         let mut cs = ConnectionSets::new();
         for (a, b) in pairs {
             if a != b {
-                cs.add_pair(HostAddr(a), HostAddr(b));
+                cs.add_pair(HostAddr::v4(a), HostAddr::v4(b));
             }
         }
         cs
@@ -163,7 +163,7 @@ proptest! {
 #[test]
 fn reference_agrees_on_figure1() {
     let mut cs = ConnectionSets::new();
-    let h = HostAddr;
+    let h = HostAddr::v4;
     for s in [11u32, 12, 13] {
         cs.add_pair(h(s), h(1));
         cs.add_pair(h(s), h(2));

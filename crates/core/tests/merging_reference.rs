@@ -131,7 +131,7 @@ fn arb_connsets(max_hosts: u32, max_edges: usize) -> impl Strategy<Value = Conne
         let mut cs = ConnectionSets::new();
         for (a, b) in pairs {
             if a != b {
-                cs.add_pair(HostAddr(a), HostAddr(b));
+                cs.add_pair(HostAddr::v4(a), HostAddr::v4(b));
             }
         }
         cs

@@ -1,19 +1,35 @@
-//! IPv4 host addressing.
+//! Host addressing.
+//!
+//! IPv4 everywhere the paper's traces live, with IPv6 carried through
+//! the same opaque identifier so interning ([`crate::intern`]) and the
+//! dense data plane do not care which family an address came from.
 
 use crate::error::FlowError;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::str::FromStr;
 
-/// An IPv4 host address.
+/// A host address.
 ///
 /// The paper keys hosts by IP address (with the caveat that DHCP churn
 /// needs an external identity service, Section 5.1); we follow suit and
 /// treat [`HostAddr`] as the opaque, unique host identifier throughout
-/// the workspace.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct HostAddr(pub u32);
+/// the workspace. Ordering is total: all IPv4 addresses sort before all
+/// IPv6 addresses, numerically within each family.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HostAddr {
+    /// An IPv4 address (network-order `u32`).
+    V4(u32),
+    /// An IPv6 address (network-order `u128`).
+    V6(u128),
+}
 
-// Serialized as a dotted-quad string so it can key JSON maps and stays
+impl Default for HostAddr {
+    fn default() -> Self {
+        HostAddr::V4(0)
+    }
+}
+
+// Serialized as the display string so it can key JSON maps and stays
 // readable in persisted snapshots.
 impl Serialize for HostAddr {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
@@ -29,31 +45,61 @@ impl<'de> Deserialize<'de> for HostAddr {
 }
 
 impl HostAddr {
-    /// Builds an address from dotted-quad octets.
+    /// Builds an IPv4 address from its raw network-order value.
+    pub const fn v4(raw: u32) -> Self {
+        HostAddr::V4(raw)
+    }
+
+    /// Builds an IPv6 address from its raw network-order value.
+    pub const fn v6(raw: u128) -> Self {
+        HostAddr::V6(raw)
+    }
+
+    /// Builds an IPv4 address from dotted-quad octets.
     pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
-        HostAddr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+        HostAddr::V4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
     }
 
-    /// Returns the four octets, most significant first.
+    /// Builds an IPv6 address from its sixteen octets, most significant
+    /// first.
+    pub const fn from_v6_octets(o: [u8; 16]) -> Self {
+        HostAddr::V6(u128::from_be_bytes(o))
+    }
+
+    /// Returns `true` for an IPv4 address.
+    pub const fn is_v4(self) -> bool {
+        matches!(self, HostAddr::V4(_))
+    }
+
+    /// Returns the four IPv4 octets, most significant first.
+    ///
+    /// For IPv6 addresses this is the truncation of [`HostAddr::as_u32`];
+    /// callers emitting IPv4-only wire formats must scope out IPv6 first.
     pub const fn octets(self) -> [u8; 4] {
-        [
-            (self.0 >> 24) as u8,
-            (self.0 >> 16) as u8,
-            (self.0 >> 8) as u8,
-            self.0 as u8,
-        ]
+        let v = self.as_u32();
+        [(v >> 24) as u8, (v >> 16) as u8, (v >> 8) as u8, v as u8]
     }
 
-    /// Raw 32-bit value (network order interpretation).
+    /// Raw 32-bit value (network order interpretation). IPv6 addresses
+    /// truncate to their low 32 bits — lossy, for IPv4-only consumers
+    /// (legacy wire formats, hashing).
     pub const fn as_u32(self) -> u32 {
-        self.0
+        match self {
+            HostAddr::V4(v) => v,
+            HostAddr::V6(v) => v as u32,
+        }
     }
 }
 
 impl std::fmt::Display for HostAddr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let [a, b, c, d] = self.octets();
-        write!(f, "{a}.{b}.{c}.{d}")
+        match *self {
+            HostAddr::V4(_) => {
+                let [a, b, c, d] = self.octets();
+                write!(f, "{a}.{b}.{c}.{d}")
+            }
+            HostAddr::V6(v) => write!(f, "{}", std::net::Ipv6Addr::from(v.to_be_bytes())),
+        }
     }
 }
 
@@ -67,6 +113,12 @@ impl FromStr for HostAddr {
     type Err = FlowError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains(':') {
+            let v6: std::net::Ipv6Addr = s
+                .parse()
+                .map_err(|_| FlowError::BadAddress(s.to_string()))?;
+            return Ok(HostAddr::from_v6_octets(v6.octets()));
+        }
         let mut octets = [0u8; 4];
         let mut parts = s.split('.');
         for slot in &mut octets {
@@ -102,11 +154,12 @@ impl Cidr {
     ///
     /// # Panics
     ///
-    /// Panics if `prefix_len > 32`.
+    /// Panics if `prefix_len > 32` or `network` is not IPv4.
     pub fn new(network: HostAddr, prefix_len: u8) -> Self {
         assert!(prefix_len <= 32, "prefix length must be at most 32");
+        assert!(network.is_v4(), "CIDR scoping is IPv4-only");
         Cidr {
-            network: HostAddr(network.0 & Self::mask(prefix_len)),
+            network: HostAddr::v4(network.as_u32() & Self::mask(prefix_len)),
             prefix_len,
         }
     }
@@ -119,9 +172,13 @@ impl Cidr {
         }
     }
 
-    /// Returns `true` if `addr` lies inside this block.
+    /// Returns `true` if `addr` lies inside this block. IPv6 addresses
+    /// are never inside an IPv4 block.
     pub fn contains(&self, addr: HostAddr) -> bool {
-        (addr.0 & Self::mask(self.prefix_len)) == self.network.0
+        match addr {
+            HostAddr::V4(v) => (v & Self::mask(self.prefix_len)) == self.network.as_u32(),
+            HostAddr::V6(_) => false,
+        }
     }
 
     /// Number of addresses in the block.
@@ -150,6 +207,9 @@ impl FromStr for Cidr {
             .split_once('/')
             .ok_or_else(|| FlowError::BadAddress(s.to_string()))?;
         let network: HostAddr = net.parse()?;
+        if !network.is_v4() {
+            return Err(FlowError::BadAddress(s.to_string()));
+        }
         let prefix_len: u8 = len
             .parse()
             .map_err(|_| FlowError::BadAddress(s.to_string()))?;
@@ -184,6 +244,7 @@ mod tests {
         assert!("1.2.3.4.5".parse::<HostAddr>().is_err());
         assert!("1.2.3.256".parse::<HostAddr>().is_err());
         assert!("a.b.c.d".parse::<HostAddr>().is_err());
+        assert!(":::".parse::<HostAddr>().is_err());
     }
 
     #[test]
@@ -191,6 +252,25 @@ mod tests {
         let lo: HostAddr = "10.0.0.1".parse().unwrap();
         let hi: HostAddr = "10.0.1.0".parse().unwrap();
         assert!(lo < hi);
+    }
+
+    #[test]
+    fn v6_round_trips_and_sorts_after_v4() {
+        let a: HostAddr = "2001:db8::1".parse().unwrap();
+        assert!(!a.is_v4());
+        assert_eq!(a.to_string(), "2001:db8::1");
+        assert_eq!(a.to_string().parse::<HostAddr>().unwrap(), a);
+        // The whole IPv4 space sorts before the whole IPv6 space.
+        assert!(HostAddr::v4(u32::MAX) < HostAddr::v6(0));
+        assert!(HostAddr::v6(1) < HostAddr::v6(2));
+    }
+
+    #[test]
+    fn v6_serde_string_round_trip() {
+        let a = HostAddr::from_v6_octets([0xfe, 0x80, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: HostAddr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
     }
 
     #[test]
@@ -202,6 +282,12 @@ mod tests {
     }
 
     #[test]
+    fn cidr_never_contains_v6() {
+        let block: Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(!block.contains(HostAddr::v6(42)));
+    }
+
+    #[test]
     fn cidr_masks_host_bits() {
         let block = Cidr::new(HostAddr::from_octets(10, 0, 1, 77), 24);
         assert_eq!(block.network, HostAddr::from_octets(10, 0, 1, 0));
@@ -209,10 +295,10 @@ mod tests {
     }
 
     #[test]
-    fn cidr_zero_prefix_contains_all() {
-        let block = Cidr::new(HostAddr(0), 0);
-        assert!(block.contains(HostAddr(u32::MAX)));
-        assert!(block.contains(HostAddr(0)));
+    fn cidr_zero_prefix_contains_all_v4() {
+        let block = Cidr::new(HostAddr::v4(0), 0);
+        assert!(block.contains(HostAddr::v4(u32::MAX)));
+        assert!(block.contains(HostAddr::v4(0)));
     }
 
     #[test]
@@ -220,7 +306,7 @@ mod tests {
         let addr: HostAddr = "10.0.0.5".parse().unwrap();
         let block = Cidr::new(addr, 32);
         assert!(block.contains(addr));
-        assert!(!block.contains(HostAddr(addr.0 + 1)));
+        assert!(!block.contains(HostAddr::v4(addr.as_u32() + 1)));
         assert_eq!(block.size(), 1);
     }
 
@@ -229,5 +315,6 @@ mod tests {
         assert!("10.0.0.0/33".parse::<Cidr>().is_err());
         assert!("10.0.0.0".parse::<Cidr>().is_err());
         assert!("10.0.0.0/x".parse::<Cidr>().is_err());
+        assert!("2001:db8::/32".parse::<Cidr>().is_err());
     }
 }

@@ -39,7 +39,7 @@ impl Anonymizer {
         if self.next_offset >= self.target.size() {
             return None;
         }
-        let pseudo = HostAddr(self.target.network.0 + self.next_offset as u32);
+        let pseudo = HostAddr::v4(self.target.network.as_u32() + self.next_offset as u32);
         self.next_offset += 1;
         self.mapping.insert(real, pseudo);
         Some(pseudo)
@@ -95,11 +95,11 @@ mod tests {
     #[test]
     fn exhaustion_returns_none() {
         let mut a = Anonymizer::new("10.0.0.0/31".parse().unwrap());
-        assert!(a.map(HostAddr(1)).is_some());
-        assert!(a.map(HostAddr(2)).is_some());
-        assert!(a.map(HostAddr(3)).is_none());
+        assert!(a.map(HostAddr::v4(1)).is_some());
+        assert!(a.map(HostAddr::v4(2)).is_some());
+        assert!(a.map(HostAddr::v4(3)).is_none());
         // Already-mapped addresses still resolve.
-        assert!(a.map(HostAddr(1)).is_some());
+        assert!(a.map(HostAddr::v4(1)).is_some());
     }
 
     #[test]

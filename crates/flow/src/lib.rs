@@ -7,10 +7,14 @@
 //! from summary formats like RMON and NetFlow to packet-level sniffers
 //! like tcpdump". This crate provides that ingestion layer:
 //!
-//! * [`HostAddr`] / [`Cidr`] — IPv4 host addressing.
+//! * [`HostAddr`] / [`Cidr`] — host addressing (IPv4 first, IPv6 carried).
+//! * [`HostTable`] / [`HostId`] — dense host-identity interning; the
+//!   data plane downstream is keyed by `u32` ids, not address bytes.
 //! * [`FlowRecord`] — a normalized unidirectional flow observation.
 //! * [`ConnectionSets`] — the aggregation of flows into per-host neighbor
-//!   sets, with windowing, scoping, and noise filters.
+//!   sets (columnar, CSR-indexed), with windowing, scoping, and noise
+//!   filters. The retired map-based twin lives in [`reference`] as the
+//!   executable spec for parity tests.
 //! * [`netflow`] — a binary NetFlow v5 reader/writer.
 //! * [`pcap`] — a minimal pcap (Ethernet/IPv4/TCP+UDP) reader/writer,
 //!   standing in for tcpdump capture files.
@@ -25,16 +29,21 @@ pub mod addr;
 pub mod anonymize;
 pub mod connset;
 pub mod error;
+pub mod intern;
 pub mod netflow;
 pub mod pcap;
 pub mod record;
+pub mod reference;
 pub mod rmon;
 pub mod textlog;
 pub mod window;
 
 pub use addr::{Cidr, HostAddr};
 pub use anonymize::Anonymizer;
-pub use connset::{BuildStats, ConnectionSets, ConnsetBuilder, PairStats};
+pub use connset::{
+    BuildStats, ConnectionSets, ConnsetBuilder, Neighbors, PairStats, FLOW_METRIC_NAMES,
+};
 pub use error::FlowError;
+pub use intern::{HostId, HostTable};
 pub use record::{FlowRecord, Proto};
 pub use window::{TimeWindow, WindowedFlows};

@@ -100,8 +100,8 @@ pub fn parse_packet(data: &[u8]) -> Result<(V5Header, Vec<FlowRecord>), FlowErro
 
     let mut records = Vec::with_capacity(header.count as usize);
     for _ in 0..header.count {
-        let srcaddr = HostAddr(buf.get_u32());
-        let dstaddr = HostAddr(buf.get_u32());
+        let srcaddr = HostAddr::v4(buf.get_u32());
+        let dstaddr = HostAddr::v4(buf.get_u32());
         let _nexthop = buf.get_u32();
         let _input = buf.get_u16();
         let _output = buf.get_u16();
@@ -207,7 +207,8 @@ mod tests {
     fn sample_records(n: usize) -> Vec<FlowRecord> {
         (0..n)
             .map(|i| {
-                let mut f = FlowRecord::pair(HostAddr(100 + i as u32), HostAddr(200 + i as u32));
+                let mut f =
+                    FlowRecord::pair(HostAddr::v4(100 + i as u32), HostAddr::v4(200 + i as u32));
                 f.src_port = 1000 + i as u16;
                 f.dst_port = 80;
                 f.packets = 3 + i as u32;

@@ -144,8 +144,8 @@ fn parse_ethernet_ipv4(body: &[u8], ts_ms: u64) -> Option<FlowRecord> {
     }
     let total_len = u16::from_be_bytes([ip[2], ip[3]]) as u64;
     let proto_num = ip[9];
-    let src = HostAddr(u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]));
-    let dst = HostAddr(u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]));
+    let src = HostAddr::v4(u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]));
+    let dst = HostAddr::v4(u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]));
     let l4 = &ip[ihl..];
     let (src_port, dst_port) = match proto_num {
         6 | 17 => {
@@ -232,7 +232,8 @@ mod tests {
     fn sample(n: usize) -> Vec<FlowRecord> {
         (0..n)
             .map(|i| {
-                let mut f = FlowRecord::pair(HostAddr(10 + i as u32), HostAddr(20 + i as u32));
+                let mut f =
+                    FlowRecord::pair(HostAddr::v4(10 + i as u32), HostAddr::v4(20 + i as u32));
                 f.src_port = 4000 + i as u16;
                 f.dst_port = 443;
                 f.start_ms = 1_000 * (i as u64 + 1);

@@ -1,0 +1,278 @@
+//! The map-based connection sets, retained as the executable spec.
+//!
+//! This is the original `BTreeMap<HostAddr, BTreeSet<HostAddr>>`
+//! implementation of [`crate::ConnectionSets`], kept verbatim (mirroring
+//! the `form_groups_reference` pattern in `core`) so the dense columnar
+//! data plane has a simple, obviously-correct twin to be pinned against.
+//! Parity tests build both representations from identical inputs and
+//! assert accessor-by-accessor agreement; nothing outside tests should
+//! consume this module.
+//!
+//! This module is also the only place allowed to key containers by
+//! `HostAddr` — `scripts/ci.sh` lints new `BTreeMap<HostAddr` /
+//! `BTreeSet<HostAddr>` usage elsewhere in the workspace.
+
+use crate::addr::HostAddr;
+use crate::connset::PairStats;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The connection sets of a host population, map-based.
+///
+/// See [`crate::ConnectionSets`] for the production representation and
+/// the semantics both implementations share.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionSets {
+    sets: BTreeMap<HostAddr, BTreeSet<HostAddr>>,
+    #[serde(with = "pair_map")]
+    pairs: BTreeMap<(HostAddr, HostAddr), PairStats>,
+    #[serde(default)]
+    initiated: BTreeMap<HostAddr, u64>,
+    #[serde(default)]
+    accepted: BTreeMap<HostAddr, u64>,
+}
+
+/// Serde adapter: tuple-keyed maps are not representable in JSON, so the
+/// pair map round-trips as a vector of `(a, b, stats)` entries.
+mod pair_map {
+    use super::{BTreeMap, HostAddr, PairStats};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(HostAddr, HostAddr), PairStats>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(HostAddr, HostAddr, PairStats)> =
+            map.iter().map(|(&(a, b), &v)| (a, b, v)).collect();
+        entries.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<BTreeMap<(HostAddr, HostAddr), PairStats>, D::Error> {
+        let entries: Vec<(HostAddr, HostAddr, PairStats)> = Vec::deserialize(d)?;
+        Ok(entries.into_iter().map(|(a, b, v)| ((a, b), v)).collect())
+    }
+}
+
+impl ConnectionSets {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures `h` is present (with a possibly empty neighbor set).
+    pub fn add_host(&mut self, h: HostAddr) {
+        self.sets.entry(h).or_default();
+    }
+
+    /// Records an undirected connection between `a` and `b`, accumulating
+    /// `stats` onto the pair. Self-pairs are ignored.
+    pub fn add_connection(&mut self, a: HostAddr, b: HostAddr, stats: PairStats) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.sets.entry(lo).or_default().insert(hi);
+        self.sets.entry(hi).or_default().insert(lo);
+        let e = self.pairs.entry((lo, hi)).or_default();
+        e.flows += stats.flows;
+        e.packets += stats.packets;
+        e.bytes += stats.bytes;
+    }
+
+    /// Records a plain connection with unit flow stats.
+    pub fn add_pair(&mut self, a: HostAddr, b: HostAddr) {
+        self.add_connection(
+            a,
+            b,
+            PairStats {
+                flows: 1,
+                packets: 1,
+                bytes: 64,
+            },
+        );
+    }
+
+    /// Number of hosts (`|I|`).
+    pub fn host_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of undirected connections (host pairs).
+    pub fn connection_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if no hosts are present.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Returns `true` if `h` is a known host.
+    pub fn contains(&self, h: HostAddr) -> bool {
+        self.sets.contains_key(&h)
+    }
+
+    /// Iterates over all hosts in address order.
+    pub fn hosts(&self) -> impl Iterator<Item = HostAddr> + '_ {
+        self.sets.keys().copied()
+    }
+
+    /// The connection set `C(h)`, or `None` if `h` is unknown.
+    pub fn neighbors(&self, h: HostAddr) -> Option<&BTreeSet<HostAddr>> {
+        self.sets.get(&h)
+    }
+
+    /// `|C(h)|`, or `None` if `h` is unknown.
+    pub fn degree(&self, h: HostAddr) -> Option<usize> {
+        self.sets.get(&h).map(BTreeSet::len)
+    }
+
+    /// Returns `true` if `a` and `b` are connected.
+    pub fn connected(&self, a: HostAddr, b: HostAddr) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.pairs.contains_key(&(lo, hi))
+    }
+
+    /// Traffic totals between `a` and `b`, if connected.
+    pub fn pair_stats(&self, a: HostAddr, b: HostAddr) -> Option<PairStats> {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.pairs.get(&(lo, hi)).copied()
+    }
+
+    /// Iterates over all undirected pairs with their stats, in order.
+    pub fn pairs(&self) -> impl Iterator<Item = ((HostAddr, HostAddr), PairStats)> + '_ {
+        self.pairs.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Collects the undirected edge list.
+    pub fn edges(&self) -> Vec<(HostAddr, HostAddr)> {
+        self.pairs.keys().copied().collect()
+    }
+
+    /// The number of common neighbors `|C(a) ∩ C(b)|`.
+    pub fn similarity(&self, a: HostAddr, b: HostAddr) -> usize {
+        match (self.sets.get(&a), self.sets.get(&b)) {
+            (Some(ca), Some(cb)) => ca.intersection(cb).count(),
+            _ => 0,
+        }
+    }
+
+    /// Removes host `h` and all its connections. Returns `true` if the
+    /// host existed.
+    pub fn remove_host(&mut self, h: HostAddr) -> bool {
+        let Some(nbrs) = self.sets.remove(&h) else {
+            return false;
+        };
+        for n in nbrs {
+            if let Some(set) = self.sets.get_mut(&n) {
+                set.remove(&h);
+            }
+            let (lo, hi) = if h < n { (h, n) } else { (n, h) };
+            self.pairs.remove(&(lo, hi));
+        }
+        true
+    }
+
+    /// Restricts the host population to `keep`, dropping all other hosts
+    /// and their connections.
+    pub fn retain_hosts(&mut self, keep: &BTreeSet<HostAddr>) {
+        let to_remove: Vec<HostAddr> = self
+            .sets
+            .keys()
+            .copied()
+            .filter(|h| !keep.contains(h))
+            .collect();
+        for h in to_remove {
+            self.remove_host(h);
+        }
+    }
+
+    /// Hosts present here but not in `other`.
+    pub fn hosts_not_in(&self, other: &ConnectionSets) -> BTreeSet<HostAddr> {
+        self.hosts().filter(|h| !other.contains(*h)).collect()
+    }
+
+    /// Maximum connection-set size over all hosts, or 0 when empty.
+    pub fn max_degree(&self) -> usize {
+        self.sets.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Records directional flow counts for a host.
+    pub fn add_direction_counts(&mut self, h: HostAddr, initiated: u64, accepted: u64) {
+        if initiated > 0 {
+            *self.initiated.entry(h).or_insert(0) += initiated;
+        }
+        if accepted > 0 {
+            *self.accepted.entry(h).or_insert(0) += accepted;
+        }
+    }
+
+    /// Number of flows this host initiated.
+    pub fn initiated_flows(&self, h: HostAddr) -> u64 {
+        self.initiated.get(&h).copied().unwrap_or(0)
+    }
+
+    /// Number of flows this host accepted.
+    pub fn accepted_flows(&self, h: HostAddr) -> u64 {
+        self.accepted.get(&h).copied().unwrap_or(0)
+    }
+
+    /// Fraction of this host's flows that it accepted, in `[0, 1]`, or
+    /// `None` when no directional data was recorded.
+    pub fn server_ratio(&self, h: HostAddr) -> Option<f64> {
+        let i = self.initiated_flows(h);
+        let a = self.accepted_flows(h);
+        if i + a == 0 {
+            None
+        } else {
+            Some(a as f64 / (i + a) as f64)
+        }
+    }
+
+    /// Per-host `(initiated, accepted)` counts in address order, for
+    /// conversion into the columnar representation.
+    pub fn direction_counts(&self) -> Vec<(HostAddr, u64, u64)> {
+        let mut out: Vec<(HostAddr, u64, u64)> = Vec::new();
+        for (&h, &i) in &self.initiated {
+            out.push((h, i, 0));
+        }
+        for (&h, &a) in &self.accepted {
+            match out.binary_search_by_key(&h, |&(x, _, _)| x) {
+                Ok(pos) => out[pos].2 = a,
+                Err(pos) => out.insert(pos, (h, 0, a)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u32) -> HostAddr {
+        HostAddr::v4(x)
+    }
+
+    #[test]
+    fn spec_basics_still_hold() {
+        let mut cs = ConnectionSets::new();
+        cs.add_pair(h(1), h(2));
+        cs.add_pair(h(2), h(1));
+        assert!(cs.connected(h(1), h(2)));
+        assert_eq!(cs.pair_stats(h(1), h(2)).unwrap().flows, 2);
+        assert_eq!(cs.degree(h(1)), Some(1));
+        assert_eq!(cs.host_count(), 2);
+    }
+
+    #[test]
+    fn direction_counts_merge_both_maps() {
+        let mut cs = ConnectionSets::new();
+        cs.add_direction_counts(h(1), 3, 0);
+        cs.add_direction_counts(h(2), 0, 5);
+        cs.add_direction_counts(h(1), 0, 1);
+        assert_eq!(cs.direction_counts(), vec![(h(1), 3, 1), (h(2), 0, 5)]);
+    }
+}

@@ -1,10 +1,23 @@
 //! Property-based tests of the flow substrate.
 
-use flow::{Anonymizer, Cidr, ConnsetBuilder, FlowRecord, HostAddr, Proto, WindowedFlows};
+use flow::{
+    Anonymizer, Cidr, ConnsetBuilder, FlowRecord, HostAddr, HostId, HostTable, Proto, WindowedFlows,
+};
 use proptest::prelude::*;
 
 fn arb_addr() -> impl Strategy<Value = HostAddr> {
-    any::<u32>().prop_map(HostAddr)
+    any::<u32>().prop_map(HostAddr::v4)
+}
+
+/// Either family, so interning properties cover the full address space.
+fn arb_any_addr() -> impl Strategy<Value = HostAddr> {
+    (any::<bool>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(v4, lo, hi1, hi2)| {
+        if v4 {
+            HostAddr::v4(lo)
+        } else {
+            HostAddr::v6(((hi1 as u128) << 64) | hi2 as u128)
+        }
+    })
 }
 
 fn arb_record() -> impl Strategy<Value = FlowRecord> {
@@ -32,7 +45,10 @@ proptest! {
     fn cidr_contains_matches_prefix(a in arb_addr(), b in arb_addr(), len in 0u8..=32) {
         let block = Cidr::new(a, len);
         let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
-        prop_assert_eq!(block.contains(b), (a.0 & mask) == (b.0 & mask));
+        prop_assert_eq!(
+            block.contains(b),
+            (a.as_u32() & mask) == (b.as_u32() & mask)
+        );
     }
 
     /// Anonymization is injective and structure-preserving.
@@ -125,5 +141,69 @@ proptest! {
     #[test]
     fn proto_u8_round_trip(p in any::<u8>()) {
         prop_assert_eq!(Proto::from_ip_proto(p).ip_proto(), p);
+    }
+
+    /// Interning round-trips arbitrary IPv4/IPv6 addresses: every id maps
+    /// back to the address that produced it, ids are dense (0..n for n
+    /// distinct addresses), and the id space matches the distinct count.
+    #[test]
+    fn interning_round_trips_and_is_dense(
+        addrs in prop::collection::vec(arb_any_addr(), 0..120),
+    ) {
+        let mut table = HostTable::new();
+        let ids: Vec<HostId> = addrs.iter().map(|&a| table.intern(a)).collect();
+        for (&a, &id) in addrs.iter().zip(&ids) {
+            prop_assert_eq!(table.addr(id), a);
+            prop_assert_eq!(table.get(a), Some(id));
+        }
+        let distinct: std::collections::BTreeSet<HostAddr> = addrs.iter().copied().collect();
+        prop_assert_eq!(table.len(), distinct.len());
+        let mut seen: Vec<u32> = table.iter().map(|(id, _)| id.0).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..distinct.len() as u32).collect::<Vec<_>>());
+    }
+
+    /// Re-interning any permutation of already-known addresses returns the
+    /// originally issued ids and allocates nothing.
+    #[test]
+    fn interning_is_stable_under_reinsertion(
+        addrs in prop::collection::vec(arb_any_addr(), 1..80),
+        salt in any::<u64>(),
+    ) {
+        let mut table = HostTable::new();
+        let first: Vec<HostId> = addrs.iter().map(|&a| table.intern(a)).collect();
+        let before = table.len();
+        // Re-intern in a scrambled order.
+        let mut shuffled: Vec<(HostAddr, HostId)> =
+            addrs.iter().copied().zip(first.iter().copied()).collect();
+        shuffled.sort_by_key(|(a, _)| {
+            let mut x = match *a {
+                HostAddr::V4(v) => v as u128,
+                HostAddr::V6(v) => v,
+            };
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left((salt % 128) as u32);
+            x
+        });
+        for (a, id) in shuffled {
+            prop_assert_eq!(table.intern(a), id);
+        }
+        prop_assert_eq!(table.len(), before);
+    }
+
+    /// Checkpoint serialization is safe: a serde round trip reproduces
+    /// every issued id exactly.
+    #[test]
+    fn interning_survives_serialization(
+        addrs in prop::collection::vec(arb_any_addr(), 0..80),
+    ) {
+        let mut table = HostTable::new();
+        let ids: Vec<HostId> = addrs.iter().map(|&a| table.intern(a)).collect();
+        let json = serde_json::to_string(&table).expect("tables serialize");
+        let back: HostTable = serde_json::from_str(&json).expect("tables deserialize");
+        prop_assert_eq!(back.len(), table.len());
+        for (&a, &id) in addrs.iter().zip(&ids) {
+            prop_assert_eq!(back.get(a), Some(id));
+            prop_assert_eq!(back.addr(id), a);
+        }
     }
 }

@@ -46,7 +46,7 @@ proptest! {
         value in any::<u8>(),
     ) {
         let records: Vec<flow::FlowRecord> = (0..n_records)
-            .map(|i| flow::FlowRecord::pair(flow::HostAddr(i as u32), flow::HostAddr(1000)))
+            .map(|i| flow::FlowRecord::pair(flow::HostAddr::v4(i as u32), flow::HostAddr::v4(1000)))
             .collect();
         let mut bytes = netflow::write_stream(&records, 0);
         let pos = pos_seed % bytes.len();
@@ -63,7 +63,7 @@ proptest! {
     ) {
         let records: Vec<flow::FlowRecord> = (0..n_records)
             .map(|i| {
-                let mut f = flow::FlowRecord::pair(flow::HostAddr(i as u32), flow::HostAddr(7));
+                let mut f = flow::FlowRecord::pair(flow::HostAddr::v4(i as u32), flow::HostAddr::v4(7));
                 f.src_port = 1024;
                 f.dst_port = 80;
                 f
@@ -86,7 +86,7 @@ proptest! {
     #[test]
     fn netflow_truncation(n_records in 1usize..20, cut_seed in any::<usize>()) {
         let records: Vec<flow::FlowRecord> = (0..n_records)
-            .map(|i| flow::FlowRecord::pair(flow::HostAddr(i as u32), flow::HostAddr(9)))
+            .map(|i| flow::FlowRecord::pair(flow::HostAddr::v4(i as u32), flow::HostAddr::v4(9)))
             .collect();
         let bytes = netflow::write_stream(&records, 0);
         let cut = cut_seed % (bytes.len() + 1);
@@ -108,7 +108,7 @@ proptest! {
     fn pcap_truncation(n_records in 1usize..20, cut_seed in any::<usize>()) {
         let records: Vec<flow::FlowRecord> = (0..n_records)
             .map(|i| {
-                let mut f = flow::FlowRecord::pair(flow::HostAddr(i as u32), flow::HostAddr(9));
+                let mut f = flow::FlowRecord::pair(flow::HostAddr::v4(i as u32), flow::HostAddr::v4(9));
                 f.src_port = 1024;
                 f.dst_port = 80;
                 f

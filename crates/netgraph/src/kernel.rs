@@ -250,11 +250,37 @@ impl Csr {
     }
 }
 
+/// The adjacency the counting pass runs over: either the owned weighted
+/// snapshot of a [`WGraph`], or a caller-provided unit-weight CSR (such
+/// as `flow::ConnectionSets::csr()`) borrowed directly with no copy.
+#[derive(Clone, Copy)]
+enum CsrSource<'a> {
+    Weighted(&'a Csr),
+    Unit { offsets: &'a [u32], nbrs: &'a [u32] },
+}
+
+impl CsrSource<'_> {
+    fn row_count(&self) -> usize {
+        match *self {
+            CsrSource::Weighted(c) => c.row_count(),
+            CsrSource::Unit { offsets, .. } => offsets.len().saturating_sub(1),
+        }
+    }
+
+    #[inline]
+    fn degree(&self, i: usize) -> usize {
+        match *self {
+            CsrSource::Weighted(c) => c.offsets[i + 1] - c.offsets[i],
+            CsrSource::Unit { offsets, .. } => (offsets[i + 1] - offsets[i]) as usize,
+        }
+    }
+}
+
 /// Splits CSR rows into at most `workers` contiguous chunks of roughly
 /// equal two-path work (`Σ deg²/2` per chunk).
-fn partition_rows(csr: &Csr, workers: usize) -> Vec<std::ops::Range<usize>> {
+fn partition_rows(csr: &CsrSource<'_>, workers: usize) -> Vec<std::ops::Range<usize>> {
     let work_of = |i: usize| {
-        let d = csr.offsets[i + 1] - csr.offsets[i];
+        let d = csr.degree(i);
         d * d.saturating_sub(1) / 2
     };
     let total: usize = (0..csr.row_count()).map(work_of).sum();
@@ -285,8 +311,25 @@ fn contribution(wa: u64, wb: u64) -> u64 {
 
 /// One worker's pass over a contiguous range of via rows: emit every
 /// eligible two-path endpoint pair, then sort + run-length-aggregate so
-/// the merge touches each distinct key once per worker.
-fn count_chunk(csr: &Csr, eligible: &NodeBitSet, rows: std::ops::Range<usize>) -> Vec<(u64, u64)> {
+/// the merge touches each distinct key once per worker. Dispatches once
+/// per chunk to a weight-specialized loop — the unit path carries no
+/// per-element weight reads at all.
+fn count_chunk(
+    csr: &CsrSource<'_>,
+    eligible: &NodeBitSet,
+    rows: std::ops::Range<usize>,
+) -> Vec<(u64, u64)> {
+    match *csr {
+        CsrSource::Weighted(c) => count_chunk_weighted(c, eligible, rows),
+        CsrSource::Unit { offsets, nbrs } => count_chunk_unit(offsets, nbrs, eligible, rows),
+    }
+}
+
+fn count_chunk_weighted(
+    csr: &Csr,
+    eligible: &NodeBitSet,
+    rows: std::ops::Range<usize>,
+) -> Vec<(u64, u64)> {
     let mut scratch: Vec<(NodeId, u64)> = Vec::new();
     let mut entries: Vec<(u64, u64)> = Vec::new();
     for via in rows {
@@ -306,6 +349,40 @@ fn count_chunk(csr: &Csr, eligible: &NodeBitSet, rows: std::ops::Range<usize>) -
             }
         }
     }
+    aggregate_sorted(entries)
+}
+
+fn count_chunk_unit(
+    offsets: &[u32],
+    nbrs: &[u32],
+    eligible: &NodeBitSet,
+    rows: std::ops::Range<usize>,
+) -> Vec<(u64, u64)> {
+    let mut scratch: Vec<NodeId> = Vec::new();
+    let mut entries: Vec<(u64, u64)> = Vec::new();
+    for via in rows {
+        let row = &nbrs[offsets[via] as usize..offsets[via + 1] as usize];
+        scratch.clear();
+        scratch.extend(
+            row.iter()
+                .map(|&x| NodeId::from_index(x as usize))
+                .filter(|&n| eligible.contains(n)),
+        );
+        for i in 0..scratch.len() {
+            let a = scratch[i];
+            for &b in &scratch[i + 1..] {
+                // Unit weights: each shared neighbor contributes exactly
+                // 1, so the sum is the plain common-neighbor count.
+                entries.push((key(a, b), 1));
+            }
+        }
+    }
+    aggregate_sorted(entries)
+}
+
+/// Sorts emitted `(key, contribution)` entries and collapses runs of the
+/// same key into their sum.
+fn aggregate_sorted(mut entries: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
     entries.sort_unstable_by_key(|&(k, _)| k);
     let mut out: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
     for (k, w) in entries {
@@ -473,7 +550,6 @@ impl CommonNeighborKernel {
         let metrics = rec.map(|r| KernelMetrics::register(r.registry()));
         let started = metrics.as_ref().map(|_| Instant::now());
 
-        let workers = workers.clamp(1, MAX_WORKERS);
         let mut eligible = NodeBitSet::with_bound(g.id_bound());
         for n in g.nodes().filter(|&n| endpoint_ok(n)) {
             eligible.insert(n);
@@ -482,6 +558,65 @@ impl CommonNeighborKernel {
             let _s = telemetry::span(rec, "kernel.csr");
             Csr::snapshot(g)
         };
+        Self::finish_build(
+            CsrSource::Weighted(&csr),
+            eligible,
+            workers,
+            rec,
+            metrics,
+            started,
+        )
+    }
+
+    /// Builds the count table directly from a borrowed unit-weight CSR
+    /// (`offsets`/`nbrs` over dense row ids, as produced by
+    /// `flow::ConnectionSets::csr()`), with row `i` acting as node id
+    /// `i`. No graph snapshot is taken — the adjacency is read in place.
+    /// Equivalent to building from a [`WGraph`] holding the same edges
+    /// with weight 1 everywhere.
+    pub fn build_from_unit_csr<F>(
+        offsets: &[u32],
+        nbrs: &[u32],
+        endpoint_ok: F,
+        workers: usize,
+        rec: Option<&Recorder>,
+    ) -> Self
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let _build_span = telemetry::span(rec, "kernel.build");
+        let metrics = rec.map(|r| KernelMetrics::register(r.registry()));
+        let started = metrics.as_ref().map(|_| Instant::now());
+
+        let rows = offsets.len().saturating_sub(1);
+        let mut eligible = NodeBitSet::with_bound(rows);
+        for i in 0..rows {
+            let n = NodeId::from_index(i);
+            if endpoint_ok(n) {
+                eligible.insert(n);
+            }
+        }
+        Self::finish_build(
+            CsrSource::Unit { offsets, nbrs },
+            eligible,
+            workers,
+            rec,
+            metrics,
+            started,
+        )
+    }
+
+    /// The shared tail of every build entry: partition, count, merge,
+    /// rank, and record build metrics.
+    fn finish_build(
+        csr: CsrSource<'_>,
+        eligible: NodeBitSet,
+        workers: usize,
+        rec: Option<&Recorder>,
+        metrics: Option<KernelMetrics>,
+        started: Option<Instant>,
+    ) -> Self {
+        let workers = workers.clamp(1, MAX_WORKERS);
         let chunks = partition_rows(&csr, workers);
 
         let count_span = telemetry::span(rec, "kernel.count");
@@ -868,6 +1003,36 @@ mod tests {
         let g = star_plus_pair();
         let kernel = CommonNeighborKernel::build_with_workers(&g, |_| true, 1);
         assert_eq!(kernel.edges(), common_neighbor_min_weights(&g, |_| true));
+    }
+
+    #[test]
+    fn unit_csr_build_matches_graph_build() {
+        // star_plus_pair as a CSR: rows 0..4, sorted neighbor ids.
+        let offsets: &[u32] = &[0, 3, 5, 7, 8];
+        let nbrs: &[u32] = &[1, 2, 3, 0, 2, 0, 1, 0];
+        let g = star_plus_pair();
+        for workers in [1, 3] {
+            let from_csr =
+                CommonNeighborKernel::build_from_unit_csr(offsets, nbrs, |_| true, workers, None);
+            let from_graph = CommonNeighborKernel::build_with_workers(&g, |_| true, workers);
+            assert_eq!(from_csr.edges(), from_graph.edges());
+        }
+        // Endpoint filtering applies to the CSR path too.
+        let filtered =
+            CommonNeighborKernel::build_from_unit_csr(offsets, nbrs, |x| x != n(0), 2, None);
+        assert_eq!(
+            filtered.edges(),
+            common_neighbor_min_weights(&g, |x| x != n(0))
+        );
+    }
+
+    #[test]
+    fn unit_csr_build_handles_empty_inputs() {
+        let empty = CommonNeighborKernel::build_from_unit_csr(&[], &[], |_| true, 2, None);
+        assert!(empty.edges().is_empty());
+        let isolated =
+            CommonNeighborKernel::build_from_unit_csr(&[0, 0, 0], &[], |_| true, 2, None);
+        assert!(isolated.edges().is_empty());
     }
 
     #[test]

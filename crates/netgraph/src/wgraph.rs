@@ -48,6 +48,36 @@ impl WGraph {
         }
     }
 
+    /// Builds a unit-weight graph from a borrowed CSR adjacency
+    /// (`offsets`/`nbrs` over dense row ids with each row sorted
+    /// ascending, as produced by `flow::ConnectionSets::csr()`): row `i`
+    /// becomes node id `i`. Bulk path — no per-edge binary searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a row is unsorted or contains a
+    /// self-reference.
+    pub fn from_unit_csr(offsets: &[u32], nbrs: &[u32]) -> WGraph {
+        let n = offsets.len().saturating_sub(1);
+        let mut nodes = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = &nbrs[offsets[r] as usize..offsets[r + 1] as usize];
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "CSR row unsorted");
+            debug_assert!(!row.contains(&(r as u32)), "self-loop in CSR row");
+            nodes.push(Some(Adjacency {
+                nbrs: row
+                    .iter()
+                    .map(|&x| (NodeId::from_index(x as usize), 1))
+                    .collect(),
+            }));
+        }
+        WGraph {
+            nodes,
+            live_nodes: n,
+            edges: nbrs.len() / 2,
+        }
+    }
+
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::from_index(self.nodes.len());
@@ -350,6 +380,27 @@ mod tests {
             g.add_edge(w[0], w[1], 1);
         }
         (g, ids)
+    }
+
+    #[test]
+    fn from_unit_csr_matches_incremental_construction() {
+        // Triangle 0-1-2 plus isolated node 3.
+        let offsets: &[u32] = &[0, 2, 4, 6, 6];
+        let nbrs: &[u32] = &[1, 2, 0, 2, 0, 1];
+        let g = WGraph::from_unit_csr(offsets, nbrs);
+        let mut inc = WGraph::new();
+        let ids: Vec<_> = (0..4).map(|_| inc.add_node()).collect();
+        inc.add_edge(ids[0], ids[1], 1);
+        inc.add_edge(ids[0], ids[2], 1);
+        inc.add_edge(ids[1], ids[2], 1);
+        assert_eq!(g.node_count(), inc.node_count());
+        assert_eq!(g.edge_count(), inc.edge_count());
+        for i in 0..4 {
+            let id = NodeId::from_index(i);
+            assert_eq!(g.neighbor_slice(id), inc.neighbor_slice(id));
+        }
+        let empty = WGraph::from_unit_csr(&[], &[]);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -45,11 +45,11 @@ pub fn swap_hosts(net: &mut SyntheticNetwork, a: HostAddr, b: HostAddr) {
 fn swap_in_connsets(cs: &mut ConnectionSets, a: HostAddr, b: HostAddr) {
     let nbrs_a: Vec<HostAddr> = cs
         .neighbors(a)
-        .map(|s| s.iter().copied().collect())
+        .map(|s| s.iter().collect())
         .unwrap_or_default();
     let nbrs_b: Vec<HostAddr> = cs
         .neighbors(b)
-        .map(|s| s.iter().copied().collect())
+        .map(|s| s.iter().collect())
         .unwrap_or_default();
     // The mutual edge (if any) must be re-added exactly once — it is
     // visible from both endpoints' neighbor lists.
@@ -94,7 +94,7 @@ pub fn replace_host(net: &mut SyntheticNetwork, old: HostAddr, new: HostAddr) {
         .neighbors(old)
         .map(|s| {
             s.iter()
-                .map(|&n| (n, net.connsets.pair_stats(old, n).unwrap_or_default()))
+                .map(|n| (n, net.connsets.pair_stats(old, n).unwrap_or_default()))
                 .collect()
         })
         .unwrap_or_default();
@@ -140,7 +140,7 @@ pub fn add_host_like(net: &mut SyntheticNetwork, template: HostAddr, new: HostAd
     let nbrs: Vec<HostAddr> = net
         .connsets
         .neighbors(template)
-        .map(|s| s.iter().copied().collect())
+        .map(|s| s.iter().collect())
         .unwrap_or_default();
     net.connsets.add_host(new);
     for n in nbrs {
@@ -174,7 +174,7 @@ pub fn split_server(net: &mut SyntheticNetwork, old: HostAddr, new1: HostAddr, n
     let nbrs: Vec<HostAddr> = net
         .connsets
         .neighbors(old)
-        .map(|s| s.iter().copied().collect())
+        .map(|s| s.iter().collect())
         .unwrap_or_default();
     net.connsets.remove_host(old);
     net.connsets.add_host(new1);

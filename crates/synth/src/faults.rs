@@ -228,7 +228,7 @@ mod tests {
     fn trace(n: u64) -> Vec<FlowRecord> {
         (0..n)
             .map(|i| {
-                let mut f = FlowRecord::pair(HostAddr(1), HostAddr(2));
+                let mut f = FlowRecord::pair(HostAddr::v4(1), HostAddr::v4(2));
                 f.start_ms = i * 10;
                 f.end_ms = i * 10 + 5;
                 f

@@ -216,21 +216,21 @@ impl NetworkModel {
     /// seeded RNG.
     pub fn generate(&self, seed: u64) -> SyntheticNetwork {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut connsets = ConnectionSets::new();
         let mut truth = GroundTruth::default();
         let mut hosts_by_role: BTreeMap<String, Vec<HostAddr>> = BTreeMap::new();
         let mut role_hosts: Vec<Vec<HostAddr>> = Vec::with_capacity(self.roles.len());
 
+        let mut all_hosts: Vec<HostAddr> = Vec::with_capacity(self.host_count());
         let mut next = self.base_addr.as_u32();
         for spec in &self.roles {
             let mut hosts = Vec::with_capacity(spec.count);
             for _ in 0..spec.count {
-                let h = HostAddr(next);
+                let h = HostAddr::v4(next);
                 next += 1;
-                connsets.add_host(h);
                 truth.assign(h, &spec.name);
                 hosts.push(h);
             }
+            all_hosts.extend(hosts.iter().copied());
             hosts_by_role
                 .entry(spec.name.clone())
                 .or_default()
@@ -238,10 +238,15 @@ impl NetworkModel {
             role_hosts.push(hosts);
         }
 
+        // Collect every pair occurrence, then compact once: at tens of
+        // thousands of hosts the rules emit hundreds of thousands of
+        // pairs, and the bulk constructor turns them into the columnar
+        // layout in one sort instead of per-pair sorted inserts.
+        let mut pair_occurrences: Vec<(HostAddr, HostAddr)> = Vec::new();
         for rule in &self.rules {
-            let sources = role_hosts[rule.from].clone();
+            let sources = &role_hosts[rule.from];
             let targets = &role_hosts[rule.to];
-            for &src in &sources {
+            for &src in sources {
                 if rule.participation < 1.0 && rng.gen::<f64>() >= rule.participation {
                     continue;
                 }
@@ -249,31 +254,32 @@ impl NetworkModel {
                     Fanout::All => {
                         for &dst in targets {
                             if dst != src {
-                                connsets.add_pair(src, dst);
+                                pair_occurrences.push((src, dst));
                             }
                         }
                     }
                     Fanout::Bernoulli(p) => {
                         for &dst in targets {
                             if dst != src && rng.gen::<f64>() < p {
-                                connsets.add_pair(src, dst);
+                                pair_occurrences.push((src, dst));
                             }
                         }
                     }
                     Fanout::Exactly(n) => {
                         for dst in sample_excluding(&mut rng, targets, src, n) {
-                            connsets.add_pair(src, dst);
+                            pair_occurrences.push((src, dst));
                         }
                     }
                     Fanout::Range(lo, hi) => {
                         let n = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
                         for dst in sample_excluding(&mut rng, targets, src, n) {
-                            connsets.add_pair(src, dst);
+                            pair_occurrences.push((src, dst));
                         }
                     }
                 }
             }
         }
+        let connsets = ConnectionSets::from_pairs(all_hosts, pair_occurrences);
 
         SyntheticNetwork {
             connsets,

@@ -46,13 +46,13 @@ fn invariants(net: &SyntheticNetwork) {
     // Connection sets are symmetric and self-loop-free.
     for h in net.connsets.hosts() {
         let nbrs = net.connsets.neighbors(h).expect("host exists");
-        assert!(!nbrs.contains(&h));
-        for &n in nbrs {
+        assert!(!nbrs.contains(h));
+        for n in nbrs {
             assert!(net
                 .connsets
                 .neighbors(n)
                 .expect("neighbor exists")
-                .contains(&h));
+                .contains(h));
         }
     }
 }
@@ -85,11 +85,11 @@ proptest! {
         churn::swap_hosts(&mut net, hosts[0], hosts[1]);
         invariants(&net);
         // Replace one with a fresh address.
-        let fresh = HostAddr(0xFFFF_0001);
+        let fresh = HostAddr::v4(0xFFFF_0001);
         churn::replace_host(&mut net, hosts[2], fresh);
         invariants(&net);
         // Clone one.
-        churn::add_host_like(&mut net, fresh, HostAddr(0xFFFF_0002));
+        churn::add_host_like(&mut net, fresh, HostAddr::v4(0xFFFF_0002));
         invariants(&net);
         // Remove one.
         churn::remove_host(&mut net, hosts[3]);
@@ -125,7 +125,7 @@ proptest! {
             return Ok(());
         }
         let mut split = net.clone();
-        let (r1, r2) = (HostAddr(0xFFFF_0010), HostAddr(0xFFFF_0011));
+        let (r1, r2) = (HostAddr::v4(0xFFFF_0010), HostAddr::v4(0xFFFF_0011));
         churn::split_server(&mut split, server, r1, r2);
         let d1 = split.connsets.degree(r1).unwrap_or(0);
         let d2 = split.connsets.degree(r2).unwrap_or(0);

@@ -68,3 +68,15 @@ cargo run --release -q -p bench --bin pipeline_stages | tee "$PIPE_RAW"
 awk '/^===BENCH_PIPELINE_JSON===$/ { found = 1; next } found' "$PIPE_RAW" > "$PIPE_OUT"
 
 echo "==> wrote $PIPE_OUT"
+
+# Data-plane build + end-to-end window times at 1k/10k/100k hosts, with
+# the pre-refactor (map-based) baseline recorded inside the binary for
+# comparison. Same marker convention as the pipeline bench.
+DP_OUT="BENCH_dataplane.json"
+echo "==> cargo run --release -p bench --bin dataplane_bench"
+DP_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$PIPE_RAW" "$DP_RAW"' EXIT
+cargo run --release -q -p bench --bin dataplane_bench | tee "$DP_RAW"
+awk '/^===BENCH_DATAPLANE_JSON===$/ { found = 1; next } found' "$DP_RAW" > "$DP_OUT"
+
+echo "==> wrote $DP_OUT"

@@ -7,6 +7,23 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+# Data-plane lint: host-keyed ordered maps/sets must not reappear in the
+# hot path. The columnar plane keys everything by dense row/HostId;
+# flow::reference is the one allowed home of the map-based spec.
+# Boundary types (Grouping members, diffs, synth ground truth) keep
+# their BTree collections *of* HostAddr values, but no new code may key
+# a BTreeMap/BTreeSet container declaration on HostAddr outside the
+# allowlist below.
+echo "==> data-plane lint (no BTreeMap<HostAddr/BTreeSet<HostAddr outside flow::reference)"
+DATAPLANE_ALLOW='crates/flow/src/reference.rs|crates/flow/src/connset.rs|crates/flow/src/anonymize.rs|crates/core/src/group.rs|crates/core/src/diff.rs|crates/core/src/correlate.rs|crates/core/src/services.rs|crates/synth/src/model.rs|crates/cluster/src/metrics.rs|crates/aggregator/src/profile.rs|crates/aggregator/src/alerts.rs|crates/bench/src/bin/dataplane_bench.rs'
+if grep -rnE 'BTree(Map|Set)<HostAddr' crates/*/src --include='*.rs' \
+    | grep -vE "^($DATAPLANE_ALLOW):" ; then
+  echo "ERROR: new host-keyed BTree container outside the data-plane allowlist." >&2
+  echo "Use dense rows/HostId (flow::ConnectionSets) instead, or extend the" >&2
+  echo "allowlist in scripts/ci.sh with a justification." >&2
+  exit 1
+fi
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -3,12 +3,14 @@
 //! `roleclass_<layer>_` (DESIGN.md §7's naming convention).
 
 use role_classification::aggregator::AGGREGATOR_METRIC_NAMES;
+use role_classification::flow::FLOW_METRIC_NAMES;
 use role_classification::netgraph::KERNEL_METRIC_NAMES;
 use role_classification::roleclass::ENGINE_METRIC_NAMES;
 use std::collections::BTreeSet;
 
-fn layers() -> [(&'static str, &'static [&'static str]); 3] {
+fn layers() -> [(&'static str, &'static [&'static str]); 4] {
     [
+        ("roleclass_flow_", FLOW_METRIC_NAMES),
         ("roleclass_kernel_", KERNEL_METRIC_NAMES),
         ("roleclass_engine_", ENGINE_METRIC_NAMES),
         ("roleclass_aggregator_", AGGREGATOR_METRIC_NAMES),

@@ -13,7 +13,7 @@ fn arb_connsets(max_hosts: u32, max_edges: usize) -> impl Strategy<Value = Conne
         let mut cs = ConnectionSets::new();
         for (a, b) in pairs {
             if a != b {
-                cs.add_pair(HostAddr(a), HostAddr(b));
+                cs.add_pair(HostAddr::v4(a), HostAddr::v4(b));
             }
         }
         cs
@@ -34,8 +34,8 @@ fn arb_record() -> impl Strategy<Value = FlowRecord> {
         0u64..1_000_000,
     )
         .prop_map(|(s, d, p, sp, dp, pk, by, t0, dt)| FlowRecord {
-            src: HostAddr(s),
-            dst: HostAddr(d),
+            src: HostAddr::v4(s),
+            dst: HostAddr::v4(d),
             proto: match p {
                 0 => Proto::Tcp,
                 1 => Proto::Udp,
