@@ -84,6 +84,32 @@ pub enum AlertKind {
     },
 }
 
+impl Severity {
+    /// Stable lowercase label, for event fields and log lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+impl AlertKind {
+    /// Stable snake_case label of the variant, for event fields and log
+    /// lines (the structured payload stays in the serialized alert).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertKind::PolicyViolation(_) => "policy_violation",
+            AlertKind::NewGroupNeighbor { .. } => "new_group_neighbor",
+            AlertKind::UnknownHost { .. } => "unknown_host",
+            AlertKind::FanoutSpike { .. } => "fanout_spike",
+            AlertKind::DegradedWindow { .. } => "degraded_window",
+            AlertKind::CheckpointFallback { .. } => "checkpoint_fallback",
+        }
+    }
+}
+
 /// A full alert.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Alert {

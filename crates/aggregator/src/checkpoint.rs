@@ -136,6 +136,15 @@ impl Checkpointer {
         PathBuf::from(os)
     }
 
+    /// The event-journal path (`<path>.journal`) — where a
+    /// [`FlightRecorder`](crate::flight::FlightRecorder) co-located with
+    /// this checkpoint appends its JSONL event stream.
+    pub fn journal_path(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".journal");
+        PathBuf::from(os)
+    }
+
     fn temp_path(&self) -> PathBuf {
         let mut os = self.path.as_os_str().to_os_string();
         os.push(".tmp");

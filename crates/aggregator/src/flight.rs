@@ -1,0 +1,202 @@
+//! The durable flight recorder: a crash-safe JSONL journal of
+//! operational events, written alongside the checkpoint.
+//!
+//! The in-memory [`EventJournal`](telemetry::EventJournal) on the
+//! recorder answers "what happened recently" while the process lives;
+//! this module answers it after a crash. Every window-lifecycle, probe,
+//! alert, and checkpoint event the aggregator emits is appended here as
+//! one self-contained JSON line, flushed before the call returns.
+//!
+//! Crash safety comes from line atomicity rather than rename games (the
+//! journal is append-only, so the checkpoint's write-then-rename dance
+//! does not apply): a crash mid-write can only tear the *final* line,
+//! which then lacks its trailing newline and is skipped by
+//! [`read_journal_lines`]. Sequence numbers resume from the surviving
+//! complete lines, so post-restart events extend the same sequence.
+//!
+//! Write errors never propagate into the pipeline — losing a journal
+//! line must not fail a classification cycle — but they are counted
+//! ([`FlightRecorder::write_errors`]) so an operator can tell a quiet
+//! journal from a broken one.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+use telemetry::{Event, FieldValue};
+
+/// Appends aggregator events to a JSONL journal file. All methods take
+/// `&self` (the file handle is mutex-guarded, counters are atomic), so
+/// the recorder can be used from `&self` contexts like
+/// [`Aggregator::checkpoint`](crate::Aggregator::checkpoint).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    path: PathBuf,
+    file: Mutex<File>,
+    next_seq: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Opens (or creates) the journal at `path` in append mode. Sequence
+    /// numbering resumes after the complete lines already present, so a
+    /// restarted pipeline extends the journal instead of restarting it.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<FlightRecorder> {
+        let path = path.into();
+        let existing = match File::open(&path) {
+            Ok(mut f) => {
+                let mut text = String::new();
+                f.read_to_string(&mut text)?;
+                complete_lines(&text).count() as u64
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FlightRecorder {
+            path,
+            file: Mutex::new(file),
+            next_seq: AtomicU64::new(existing),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event (layer `aggregator`, wall-clock `ts_ns` since
+    /// the UNIX epoch) and flushes. IO errors are swallowed and counted:
+    /// journaling must never fail the pipeline.
+    pub fn append(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        let ts_ns = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let ev = Event {
+            ts_ns,
+            seq,
+            layer: "aggregator",
+            name,
+            fields,
+        };
+        let mut line = ev.to_json();
+        line.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .is_err()
+        {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of journal lines lost to IO errors so far.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The sequence number the next event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+}
+
+/// Iterator over the complete (newline-terminated) lines of a journal
+/// text; a torn final line without its `\n` is excluded.
+fn complete_lines(text: &str) -> impl Iterator<Item = &str> {
+    let end = text.rfind('\n').map_or(0, |i| i + 1);
+    text[..end].lines().filter(|l| !l.is_empty())
+}
+
+/// Reads the complete journal lines at `path`, skipping a torn final
+/// line (the only artifact a crash mid-append can leave). A missing
+/// journal reads as empty.
+pub fn read_journal_lines(path: impl AsRef<Path>) -> io::Result<Vec<String>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(complete_lines(&text).map(str::to_string).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("roleclass-flight-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("events.journal")
+    }
+
+    #[test]
+    fn appends_sequenced_jsonl() {
+        let path = temp_journal("seq");
+        let fr = FlightRecorder::open(&path).unwrap();
+        fr.append(
+            "roleclass_aggregator_window_started",
+            vec![("window_start_ms", 0u64.into())],
+        );
+        fr.append("roleclass_aggregator_window_classified", vec![]);
+        assert_eq!(fr.write_errors(), 0);
+        let lines = read_journal_lines(&path).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[1].contains("\"seq\":1"));
+        assert!(lines[0].contains("\"layer\":\"aggregator\""));
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn seq_resumes_across_reopen() {
+        let path = temp_journal("resume");
+        {
+            let fr = FlightRecorder::open(&path).unwrap();
+            fr.append("roleclass_aggregator_window_started", vec![]);
+            fr.append("roleclass_aggregator_window_classified", vec![]);
+        }
+        let fr = FlightRecorder::open(&path).unwrap();
+        assert_eq!(fr.next_seq(), 2);
+        fr.append("roleclass_aggregator_window_started", vec![]);
+        let lines = read_journal_lines(&path).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains("\"seq\":2"));
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_and_overwritten_seq_continues() {
+        let path = temp_journal("torn");
+        {
+            let fr = FlightRecorder::open(&path).unwrap();
+            fr.append("roleclass_aggregator_window_started", vec![]);
+            fr.append("roleclass_aggregator_window_classified", vec![]);
+        }
+        // Simulate a crash mid-append: a partial line with no newline.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"seq\":2,\"ts_ns\":12");
+        fs::write(&path, &text).unwrap();
+        assert_eq!(read_journal_lines(&path).unwrap().len(), 2);
+        // Reopening resumes from the complete lines only.
+        let fr = FlightRecorder::open(&path).unwrap();
+        assert_eq!(fr.next_seq(), 2);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_journal_reads_empty() {
+        let path = temp_journal("missing");
+        assert!(read_journal_lines(path.join("nope")).unwrap().is_empty());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+}

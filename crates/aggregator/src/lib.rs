@@ -26,6 +26,7 @@
 
 pub mod alerts;
 pub mod checkpoint;
+pub mod flight;
 pub mod labels;
 pub mod pipeline;
 pub mod policy;
@@ -39,9 +40,11 @@ pub use alerts::{
     Severity,
 };
 pub use checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
+pub use flight::{read_journal_lines, FlightRecorder};
 pub use labels::LabelStore;
 pub use pipeline::{
-    Aggregator, AggregatorConfig, RunRecord, WindowHealth, AGGREGATOR_METRIC_NAMES,
+    Aggregator, AggregatorConfig, RunRecord, WindowHealth, AGGREGATOR_EVENT_NAMES,
+    AGGREGATOR_METRIC_NAMES,
 };
 pub use policy::{Policy, PolicyEngine, PolicyVerdict, Selector};
 pub use probe::{Probe, ProbeError, ReplayProbe};

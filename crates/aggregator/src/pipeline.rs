@@ -16,6 +16,7 @@
 
 use crate::alerts::{checkpoint_fallback_alert, degraded_window_alert, Alert};
 use crate::checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
+use crate::flight::FlightRecorder;
 use crate::probe::Probe;
 use crate::supervisor::{PollOutcome, ProbeHealth, ProbeReport, ProbeSupervisor, SupervisorConfig};
 use flow::{ConnectionSets, ConnsetBuilder, FlowRecord, HostTable, TimeWindow};
@@ -23,7 +24,7 @@ use parking_lot::RwLock;
 use roleclass::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use telemetry::Recorder;
+use telemetry::{FieldValue, Recorder};
 
 /// Every metric the aggregator registers, in export (sorted) order. The
 /// workspace metric-name lint checks uniqueness and prefixing against
@@ -44,6 +45,44 @@ pub const AGGREGATOR_METRIC_NAMES: &[&str] = &[
     "roleclass_aggregator_recoveries_total",
     "roleclass_aggregator_retries_total",
 ];
+
+/// Every structured event the aggregator emits, in sorted order. The
+/// workspace event-name lint checks uniqueness and prefixing against
+/// this list; the same names appear in the in-memory journal and the
+/// durable flight-recorder journal.
+pub const AGGREGATOR_EVENT_NAMES: &[&str] = &[
+    "roleclass_aggregator_alert_raised",
+    "roleclass_aggregator_checkpoint_restored",
+    "roleclass_aggregator_checkpoint_written",
+    "roleclass_aggregator_probe_poll_failed",
+    "roleclass_aggregator_probe_poll_skipped",
+    "roleclass_aggregator_window_classified",
+    "roleclass_aggregator_window_started",
+];
+
+/// Sends one event to both observers: the in-memory journal on the
+/// recorder (for `/events` and `rcctl metrics`) and the durable flight
+/// recorder (for post-crash forensics). A free function rather than a
+/// method so call sites inside loops that hold `&mut self.probes` can
+/// still emit through disjoint field borrows. With neither observer
+/// attached the call sites skip field construction entirely, so the
+/// detached pipeline stays allocation-free.
+fn emit(
+    rec: Option<&Recorder>,
+    flight: Option<&FlightRecorder>,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+) {
+    match (rec, flight) {
+        (Some(r), Some(f)) => {
+            f.append(name, fields.clone());
+            r.events().record("aggregator", name, fields);
+        }
+        (Some(r), None) => r.events().record("aggregator", name, fields),
+        (None, Some(f)) => f.append(name, fields),
+        (None, None) => {}
+    }
+}
 
 /// Aggregator configuration.
 #[derive(Clone, Debug)]
@@ -145,6 +184,9 @@ pub struct Aggregator {
     host_table: HostTable,
     next_window_start: u64,
     recorder: Option<Arc<Recorder>>,
+    /// Durable event journal written alongside the checkpoint; `None`
+    /// keeps the pipeline free of any journaling IO.
+    flight: Option<FlightRecorder>,
     /// Operational alerts raised by the aggregator itself (degraded
     /// windows, checkpoint fallbacks), queued until a consumer drains
     /// them with [`Aggregator::take_alerts`].
@@ -176,6 +218,7 @@ impl Aggregator {
             host_table: HostTable::new(),
             next_window_start: next,
             recorder: None,
+            flight: None,
             pending_alerts: Vec::new(),
         })
     }
@@ -199,6 +242,26 @@ impl Aggregator {
     /// The attached telemetry recorder, if any.
     pub fn recorder(&self) -> Option<&Arc<Recorder>> {
         self.recorder.as_ref()
+    }
+
+    /// Attaches a durable flight recorder (builder style). Every event
+    /// the aggregator emits is also appended to its JSONL journal, so
+    /// the decision trail survives a crash; conventionally opened at
+    /// [`Checkpointer::journal_path`] so journal and checkpoint live
+    /// side by side.
+    pub fn with_flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.set_flight_recorder(Some(flight));
+        self
+    }
+
+    /// Attaches or detaches the durable flight recorder.
+    pub fn set_flight_recorder(&mut self, flight: Option<FlightRecorder>) {
+        self.flight = flight;
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
     }
 
     /// Operational alerts raised so far and not yet taken.
@@ -283,6 +346,24 @@ impl Aggregator {
         );
         self.next_window_start = window.end_ms;
 
+        // With neither observer attached, every `if observing` block is
+        // skipped before its fields vec is built: the detached cycle
+        // performs no event allocation at all.
+        let flight = self.flight.as_ref();
+        let observing = rec.is_some() || flight.is_some();
+        if observing {
+            emit(
+                rec,
+                flight,
+                "roleclass_aggregator_window_started",
+                vec![
+                    ("window_start_ms", window.start_ms.into()),
+                    ("window_end_ms", window.end_ms.into()),
+                    ("probes", self.probes.len().into()),
+                ],
+            );
+        }
+
         let mut health = WindowHealth {
             probes_total: self.probes.len(),
             ..WindowHealth::default()
@@ -303,10 +384,30 @@ impl Aggregator {
                     PollOutcome::Failed { error, retries } => {
                         health.retries += retries as u64;
                         health.probes_failed += 1;
+                        if observing {
+                            emit(
+                                rec,
+                                flight,
+                                "roleclass_aggregator_probe_poll_failed",
+                                vec![
+                                    ("probe", s.name().into()),
+                                    ("error", error.to_string().into()),
+                                    ("retries", (retries as u64).into()),
+                                ],
+                            );
+                        }
                         health.errors.push(format!("{}: {error}", s.name()));
                     }
                     PollOutcome::Skipped => {
                         health.probes_skipped += 1;
+                        if observing {
+                            emit(
+                                rec,
+                                flight,
+                                "roleclass_aggregator_probe_poll_skipped",
+                                vec![("probe", s.name().into())],
+                            );
+                        }
                     }
                 }
                 if let (Some(r), Some(t0)) = (rec, started) {
@@ -372,7 +473,35 @@ impl Aggregator {
             correlation: outcome.correlation,
             health,
         };
+        if observing {
+            emit(
+                rec,
+                flight,
+                "roleclass_aggregator_window_classified",
+                vec![
+                    ("window_start_ms", record.window.start_ms.into()),
+                    ("window_end_ms", record.window.end_ms.into()),
+                    ("hosts", record.grouping.host_count().into()),
+                    ("groups", record.grouping.group_count().into()),
+                    ("records_accepted", record.health.records_accepted.into()),
+                    ("records_dropped", record.health.records_dropped.into()),
+                    ("degraded", record.health.degraded().into()),
+                    ("correlated", record.correlation.is_some().into()),
+                ],
+            );
+        }
         if let Some(alert) = degraded_window_alert(&record) {
+            if observing {
+                emit(
+                    rec,
+                    flight,
+                    "roleclass_aggregator_alert_raised",
+                    vec![
+                        ("severity", alert.severity.label().into()),
+                        ("kind", alert.kind.label().into()),
+                    ],
+                );
+            }
             self.pending_alerts.push(alert);
         }
         self.history.write().push(record.clone());
@@ -495,6 +624,18 @@ impl Aggregator {
             )
             .observe(t0.elapsed().as_secs_f64());
         }
+        let flight = self.flight.as_ref();
+        if rec.is_some() || flight.is_some() {
+            emit(
+                rec,
+                flight,
+                "roleclass_aggregator_checkpoint_written",
+                vec![
+                    ("runs", self.history.read().len().into()),
+                    ("ok", result.is_ok().into()),
+                ],
+            );
+        }
         result
     }
 
@@ -521,7 +662,31 @@ impl Aggregator {
                     .inc();
             }
         }
+        let flight = self.flight.as_ref();
+        let observing = rec.is_some() || flight.is_some();
+        if observing {
+            emit(
+                rec,
+                flight,
+                "roleclass_aggregator_checkpoint_restored",
+                vec![
+                    ("source", recovery.source.as_str().into()),
+                    ("runs", recovery.runs.len().into()),
+                ],
+            );
+        }
         if let Some(alert) = checkpoint_fallback_alert(&recovery) {
+            if observing {
+                emit(
+                    rec,
+                    flight,
+                    "roleclass_aggregator_alert_raised",
+                    vec![
+                        ("severity", alert.severity.label().into()),
+                        ("kind", alert.kind.label().into()),
+                    ],
+                );
+            }
             self.pending_alerts.push(alert);
         }
         self.adopt_history_with_table(recovery.runs.clone(), recovery.table.clone());
@@ -858,6 +1023,100 @@ mod tests {
         }
         // No degraded windows, so no degraded alerts were queued.
         assert!(agg.pending_alerts().is_empty());
+    }
+
+    /// Object-field lookup on the vendored JSON value model.
+    fn field<'a>(v: &'a serde::value::Value, key: &str) -> &'a serde::value::Value {
+        match v {
+            serde::value::Value::Map(m) => {
+                &m.iter().find(|(k, _)| k == key).expect("missing field").1
+            }
+            other => panic!("expected object, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn cycle_events_are_declared_and_dual_journaled() {
+        use crate::flight::read_journal_lines;
+        use serde::value::Value;
+        use std::fs;
+
+        let dir = std::env::temp_dir().join(format!("roleclass-agg-events-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ck = Checkpointer::new(dir.join("history.ckpt"));
+
+        let rec = Arc::new(telemetry::Recorder::new());
+        let mut agg = Aggregator::new(config())
+            .with_recorder(Arc::clone(&rec))
+            .with_flight_recorder(FlightRecorder::open(ck.journal_path()).unwrap());
+        agg.attach(Box::new(ReplayProbe::new("good", day_trace(0, 3))));
+        agg.attach(Box::new(DownProbe));
+        agg.run_cycle();
+        agg.checkpoint(&ck).unwrap();
+
+        // The shared journal carries engine-layer decision events too;
+        // the aggregator's own events are the `aggregator` layer.
+        let events: Vec<_> = rec
+            .events()
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.layer == "aggregator")
+            .collect();
+        assert!(!events.is_empty());
+        for ev in &events {
+            assert!(
+                AGGREGATOR_EVENT_NAMES.contains(&ev.name),
+                "{} not declared",
+                ev.name
+            );
+        }
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"roleclass_aggregator_window_started"));
+        assert!(names.contains(&"roleclass_aggregator_probe_poll_failed"));
+        assert!(names.contains(&"roleclass_aggregator_window_classified"));
+        assert!(names.contains(&"roleclass_aggregator_alert_raised"));
+        assert!(names.contains(&"roleclass_aggregator_checkpoint_written"));
+
+        // The durable journal carries the same events, as parseable
+        // JSONL, alongside the checkpoint.
+        let lines = read_journal_lines(ck.journal_path()).unwrap();
+        assert_eq!(lines.len(), events.len());
+        for (line, ev) in lines.iter().zip(&events) {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(field(&v, "name"), &Value::Str(ev.name.to_string()));
+            assert_eq!(field(&v, "layer"), &Value::Str("aggregator".to_string()));
+        }
+        assert_eq!(agg.flight_recorder().unwrap().write_errors(), 0);
+
+        // A restarted aggregator reopens the journal and extends it;
+        // the restore itself is journaled.
+        let mut fresh = Aggregator::new(config())
+            .with_flight_recorder(FlightRecorder::open(ck.journal_path()).unwrap());
+        let recovery = fresh.restore_from(&ck);
+        assert_eq!(recovery.source, RecoverySource::Primary);
+        let lines = read_journal_lines(ck.journal_path()).unwrap();
+        assert_eq!(lines.len(), events.len() + 1);
+        let last: Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+        assert_eq!(
+            field(&last, "name"),
+            &Value::Str("roleclass_aggregator_checkpoint_restored".to_string())
+        );
+        assert_eq!(
+            field(field(&last, "fields"), "source"),
+            &Value::Str("primary".to_string())
+        );
+        assert_eq!(field(&last, "seq"), &Value::U64(events.len() as u64));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detached_cycle_emits_no_events() {
+        let mut agg = Aggregator::new(config());
+        agg.attach(Box::new(ReplayProbe::new("p0", day_trace(0, 3))));
+        agg.run_cycle();
+        assert!(agg.recorder().is_none());
+        assert!(agg.flight_recorder().is_none());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::formation::{form_groups_validated, form_groups_with, FormationEvent, FormationResult};
 use crate::group::{GroupId, Grouping};
-use crate::merging::{merge_groups_validated, MergeEvent};
+use crate::merging::{merge_groups_with, MergeEvent};
 use crate::params::{ParamError, Params};
 use flow::ConnectionSets;
 use serde::{Deserialize, Serialize};
@@ -129,7 +129,7 @@ pub(crate) fn finish_classification_with(
     let _span = telemetry::span(rec, "engine.merge");
     let started = rec.map(|_| std::time::Instant::now());
     let formation_trace = formation.trace.clone();
-    let out = merge_groups_validated(cs, formation, params);
+    let out = merge_groups_with(cs, formation, params, rec);
     if let (Some(r), Some(t0)) = (rec, started) {
         let reg = r.registry();
         reg.counter("roleclass_engine_merges_total")

@@ -349,6 +349,22 @@ pub(crate) fn correlate_validated(
     curr_grouping: &Grouping,
     params: &Params,
 ) -> Correlation {
+    correlate_with_events(prev_cs, prev_grouping, curr_cs, curr_grouping, params, None)
+}
+
+/// [`correlate_validated`] with an optional recorder: emits one
+/// provenance event per id decision — `id_carried` (with the matching
+/// rule that fired and its score), `id_minted` for new groups, and
+/// `id_retired` for vanished ones. With `None` the phase is exactly the
+/// uninstrumented one.
+pub(crate) fn correlate_with_events(
+    prev_cs: &ConnectionSets,
+    prev_grouping: &Grouping,
+    curr_cs: &ConnectionSets,
+    curr_grouping: &Grouping,
+    params: &Params,
+    rec: Option<&telemetry::Recorder>,
+) -> Correlation {
     let mut out = Correlation {
         added_hosts: curr_cs.hosts_not_in(prev_cs),
         removed_hosts: prev_cs.hosts_not_in(curr_cs),
@@ -417,6 +433,18 @@ pub(crate) fn correlate_validated(
         prev_taken[pi] = true;
         out.id_map.insert(curr_views[ci].id, prev_views[pi].id);
         out.scores.insert((curr_views[ci].id, prev_views[pi].id), s);
+        if let Some(r) = rec {
+            r.events().record(
+                "engine",
+                "roleclass_engine_id_carried",
+                vec![
+                    ("curr", u64::from(curr_views[ci].id.0).into()),
+                    ("prev", u64::from(prev_views[pi].id.0).into()),
+                    ("score", s.into()),
+                    ("rule", "time_varying".into()),
+                ],
+            );
+        }
     }
 
     // 4. Step 2: leftover groups correlate through their (already
@@ -448,6 +476,18 @@ pub(crate) fn correlate_validated(
         prev_taken[pi] = true;
         out.id_map.insert(curr_views[ci].id, prev_views[pi].id);
         out.scores.insert((curr_views[ci].id, prev_views[pi].id), s);
+        if let Some(r) = rec {
+            r.events().record(
+                "engine",
+                "roleclass_engine_id_carried",
+                vec![
+                    ("curr", u64::from(curr_views[ci].id.0).into()),
+                    ("prev", u64::from(prev_views[pi].id.0).into()),
+                    ("score", s.into()),
+                    ("rule", "neighbor_groups".into()),
+                ],
+            );
+        }
     }
 
     // 5. Leftovers. (Current groups whose every member is a new host
@@ -456,12 +496,32 @@ pub(crate) fn correlate_validated(
     for g in curr_grouping.groups() {
         if !out.id_map.contains_key(&g.id) {
             out.new_groups.push(g.id);
+            if let Some(r) = rec {
+                r.events().record(
+                    "engine",
+                    "roleclass_engine_id_minted",
+                    vec![
+                        ("group", u64::from(g.id.0).into()),
+                        ("members", g.members.len().into()),
+                    ],
+                );
+            }
         }
     }
     let matched_prev: BTreeSet<GroupId> = out.id_map.values().copied().collect();
     for g in prev_grouping.groups() {
         if !matched_prev.contains(&g.id) {
             out.vanished_groups.push(g.id);
+            if let Some(r) = rec {
+                r.events().record(
+                    "engine",
+                    "roleclass_engine_id_retired",
+                    vec![
+                        ("group", u64::from(g.id.0).into()),
+                        ("members", g.members.len().into()),
+                    ],
+                );
+            }
         }
     }
     out

@@ -41,7 +41,7 @@
 //! ```
 
 use crate::classify::{classify_with, finish_classification_with, Classification};
-use crate::correlate::{apply_correlation, correlate_validated, Correlation};
+use crate::correlate::{apply_correlation, correlate_with_events, Correlation};
 use crate::formation::{form_groups_with, FormationResult};
 use crate::group::Grouping;
 use crate::merging::merge_groups_validated;
@@ -63,6 +63,17 @@ pub const ENGINE_METRIC_NAMES: &[&str] = &[
     "roleclass_engine_sweep_levels_total",
     "roleclass_engine_sweep_rounds_total",
     "roleclass_engine_windows_total",
+];
+
+/// Every provenance event the engine emits, in sorted order. Same
+/// `roleclass_<layer>_<name>` convention and workspace lint as the
+/// metric names.
+pub const ENGINE_EVENT_NAMES: &[&str] = &[
+    "roleclass_engine_host_grouped",
+    "roleclass_engine_id_carried",
+    "roleclass_engine_id_minted",
+    "roleclass_engine_id_retired",
+    "roleclass_engine_merge_considered",
 ];
 
 /// What the engine remembers of a completed window: the connection sets
@@ -166,12 +177,13 @@ impl Engine {
             Some(prev) => {
                 let _s = telemetry::span(rec, "engine.correlate");
                 let started = rec.map(|_| std::time::Instant::now());
-                let corr = correlate_validated(
+                let corr = correlate_with_events(
                     &prev.connsets,
                     &prev.grouping,
                     cs,
                     &classification.grouping,
                     &self.params,
+                    rec,
                 );
                 if let (Some(r), Some(t0)) = (rec, started) {
                     r.registry()
@@ -280,12 +292,13 @@ impl Merged<'_> {
     /// (use [`Engine::run_window`] when the engine should manage the
     /// snapshot itself).
     pub fn correlate_with(&self, prev: &EngineSnapshot) -> Correlation {
-        correlate_validated(
+        correlate_with_events(
             &prev.connsets,
             &prev.grouping,
             self.cs,
             &self.classification.grouping,
             &self.engine.params,
+            self.engine.recorder.as_deref(),
         )
     }
 
@@ -401,6 +414,43 @@ mod tests {
             spans[0].children[0].children[0].children[0].name,
             "kernel.build"
         );
+    }
+
+    #[test]
+    fn recorder_captures_decision_events() {
+        let cs = figure1();
+        let rec = Arc::new(Recorder::new());
+        let mut engine = Engine::new(Params::default())
+            .unwrap()
+            .with_recorder(Arc::clone(&rec));
+        engine.run_window(&cs);
+        engine.run_window(&cs);
+
+        let events = rec.events().snapshot();
+        assert!(!events.is_empty());
+        for ev in &events {
+            assert!(
+                ENGINE_EVENT_NAMES.contains(&ev.name),
+                "{} not declared in ENGINE_EVENT_NAMES",
+                ev.name
+            );
+            assert_eq!(ev.layer, "engine");
+        }
+        // Every host gets a host_grouped event per window.
+        let grouped = events
+            .iter()
+            .filter(|e| e.name == "roleclass_engine_host_grouped")
+            .count();
+        assert_eq!(grouped, 2 * cs.host_count());
+        // The default params merge figure1 down to two groups, so the
+        // merge phase considered at least one pair...
+        assert!(events
+            .iter()
+            .any(|e| e.name == "roleclass_engine_merge_considered"));
+        // ...and the identical second window carries every id.
+        assert!(events
+            .iter()
+            .any(|e| e.name == "roleclass_engine_id_carried"));
     }
 
     #[test]

@@ -389,6 +389,32 @@ pub(crate) fn form_groups_with(
         k = next;
     }
     let result = st.finish();
+    if let Some(r) = rec {
+        // Provenance: one `host_grouped` event per host, emitted post-hoc
+        // from the trace (trace index == group index: `form_group` pushes
+        // both in lockstep), so the sweep itself stays untouched.
+        for (group, ev) in result.trace.iter().enumerate() {
+            let kind = match ev.kind {
+                FormationKind::Bcc => "bcc",
+                FormationKind::Bootstrap => "bootstrap",
+                FormationKind::Leftover => "leftover",
+            };
+            for &host in &ev.members {
+                r.events().record(
+                    "engine",
+                    "roleclass_engine_host_grouped",
+                    vec![
+                        ("host", host.to_string().into()),
+                        ("group", group.into()),
+                        ("k", ev.k.into()),
+                        ("bcc_size", ev.members.len().into()),
+                        ("bootstrap", (ev.kind == FormationKind::Bootstrap).into()),
+                        ("kind", kind.into()),
+                    ],
+                );
+            }
+        }
+    }
     if let (Some(r), Some(t0)) = (rec, started) {
         let reg = r.registry();
         reg.counter("roleclass_engine_sweep_levels_total")

@@ -63,7 +63,9 @@ pub use autotune::{auto_k_hi_kcore, auto_k_hi_otsu, auto_params};
 pub use classify::{classify, try_classify, Classification, GroupNeighborhood};
 pub use correlate::{apply_correlation, correlate, try_correlate, Correlation};
 pub use diff::{diff_groupings, GroupingDiff};
-pub use engine::{Engine, EngineSnapshot, Formed, Merged, WindowOutcome, ENGINE_METRIC_NAMES};
+pub use engine::{
+    Engine, EngineSnapshot, Formed, Merged, WindowOutcome, ENGINE_EVENT_NAMES, ENGINE_METRIC_NAMES,
+};
 pub use formation::{
     form_groups, form_groups_reference, try_form_groups, FormationEvent, FormationKind,
     FormationResult,

@@ -219,6 +219,21 @@ pub(crate) fn merge_groups_validated(
     formation: FormationResult,
     params: &Params,
 ) -> MergeOutcome {
+    merge_groups_with(cs, formation, params, None)
+}
+
+/// [`merge_groups_validated`] with an optional recorder: emits one
+/// `merge_considered` provenance event per genuinely considered pair —
+/// accepted *and* rejected, with the Figure 3 gate that decided it. Pops
+/// that die on liveness or staleness (the lazy-heap bookkeeping, not the
+/// algorithm) emit nothing. With `None` the phase is exactly the
+/// uninstrumented one.
+pub(crate) fn merge_groups_with(
+    cs: &ConnectionSets,
+    formation: FormationResult,
+    params: &Params,
+    rec: Option<&telemetry::Recorder>,
+) -> MergeOutcome {
     let mut g = formation.graph;
     let mut info: HashMap<NodeId, GroupInfo> = HashMap::new();
     for (idx, pg) in formation.groups.iter().enumerate() {
@@ -282,10 +297,42 @@ pub(crate) fn merge_groups_validated(
                 continue;
             }
             let (ia, ib) = (&info[&a], &info[&b]);
-            if !meets_connection_req(params.beta, ia.avg_conns(), ib.avg_conns()) {
+            let conn_ok = meets_connection_req(params.beta, ia.avg_conns(), ib.avg_conns());
+            let sim_ok = meets_similarity_req(params, ia.k, ib.k, current);
+            if let Some(r) = rec {
+                let k_gate_hi = ia.k.max(ib.k) >= params.k_hi;
+                let verdict = if !conn_ok {
+                    "rejected_connection"
+                } else if !sim_ok {
+                    "rejected_similarity"
+                } else {
+                    "merged"
+                };
+                r.events().record(
+                    "engine",
+                    "roleclass_engine_merge_considered",
+                    vec![
+                        ("left", ia.members[0].to_string().into()),
+                        ("right", ib.members[0].to_string().into()),
+                        ("left_size", ia.members.len().into()),
+                        ("right_size", ib.members.len().into()),
+                        ("left_k", ia.k.into()),
+                        ("right_k", ib.k.into()),
+                        ("similarity", current.into()),
+                        ("gate", if k_gate_hi { "s_hi" } else { "s_lo" }.into()),
+                        (
+                            "threshold",
+                            if k_gate_hi { params.s_hi } else { params.s_lo }.into(),
+                        ),
+                        ("connection_req", conn_ok.into()),
+                        ("verdict", verdict.into()),
+                    ],
+                );
+            }
+            if !conn_ok {
                 continue;
             }
-            if !meets_similarity_req(params, ia.k, ib.k, current) {
+            if !sim_ok {
                 continue;
             }
             best = Some(((a, b), current));

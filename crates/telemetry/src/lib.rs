@@ -46,11 +46,13 @@
 //! assert!(rec.registry().prometheus_text().contains("roleclass_kernel_builds_total 1"));
 //! ```
 
+mod events;
 mod registry;
 mod span;
 
+pub use events::{Event, EventJournal, FieldValue, DEFAULT_EVENT_CAPACITY};
 pub use registry::{Counter, Gauge, Histogram, Registry};
-pub use span::{render_span_tree, Span, SpanNode};
+pub use span::{render_span_tree, span_tree_json, Span, SpanNode};
 
 use std::sync::Mutex;
 
@@ -71,6 +73,7 @@ pub const SIZE_BUCKETS: &[f64] = &[1e2, 1e3, 1e4, 1e5, 1e6, 1e7];
 pub struct Recorder {
     registry: Registry,
     spans: Mutex<span::SpanLog>,
+    events: EventJournal,
 }
 
 impl Default for Recorder {
@@ -86,17 +89,30 @@ impl std::fmt::Debug for Recorder {
 }
 
 impl Recorder {
-    /// A fresh recorder with an empty registry and no spans.
+    /// A fresh recorder with an empty registry, no spans, and an event
+    /// journal of [`DEFAULT_EVENT_CAPACITY`].
     pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A fresh recorder whose event journal retains at most `capacity`
+    /// events (oldest evicted first).
+    pub fn with_event_capacity(capacity: usize) -> Self {
         Recorder {
             registry: Registry::new(),
             spans: Mutex::new(span::SpanLog::default()),
+            events: EventJournal::new(capacity),
         }
     }
 
     /// The metrics registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The structured event journal — the in-memory flight recorder.
+    pub fn events(&self) -> &EventJournal {
+        &self.events
     }
 
     /// Opens a span as a child of the innermost span still open on this

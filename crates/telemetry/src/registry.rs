@@ -164,6 +164,7 @@ impl Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 /// Returns `true` for names matching the workspace convention
@@ -245,6 +246,20 @@ impl Registry {
         )
     }
 
+    /// Attaches Prometheus `# HELP` text to `name`. Optional: metrics
+    /// without help text export exactly as before (no `# HELP` line), so
+    /// existing byte-pinned output is unaffected until a caller opts in.
+    pub fn set_help(&self, name: &str, help: &str) {
+        assert!(
+            valid_name(name),
+            "invalid metric name {name:?}: expected [a-z][a-z0-9_]*"
+        );
+        self.help
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), help.to_string());
+    }
+
     /// All registered names, sorted.
     pub fn names(&self) -> Vec<String> {
         self.metrics
@@ -267,8 +282,12 @@ impl Registry {
     /// histograms.
     pub fn prometheus_text(&self) -> String {
         use std::fmt::Write as _;
+        let help = self.help.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let mut out = String::new();
         for (name, metric) in self.snapshot() {
+            if let Some(h) = help.get(&name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help_text(h));
+            }
             let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
             match metric {
                 Metric::Counter(c) => {
@@ -284,7 +303,11 @@ impl Registry {
                         } else {
                             format!("{le}")
                         };
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {cum}",
+                            escape_label_value(&le)
+                        );
                     }
                     let _ = writeln!(out, "{name}_sum {}", h.sum());
                     let _ = writeln!(out, "{name}_count {}", h.count());
@@ -359,10 +382,26 @@ impl Registry {
     }
 }
 
+/// Escapes metric help text per the Prometheus exposition format:
+/// backslash and line feed only (`\\` and `\n`).
+fn escape_help_text(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the Prometheus exposition format:
+/// backslash, double quote, and line feed. Our only label today is `le`
+/// (numeric, never escaped in practice), but the export goes through
+/// this unconditionally so new labels can't silently ship unescaped.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 /// Formats an `f64` so the output is valid JSON and stable: plain `{}`
 /// display, with a `.0` appended to integral values so they stay floats
 /// on the way back in.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     let s = format!("{v}");
     if s.contains(['.', 'e', 'E']) {
         s
@@ -447,6 +486,30 @@ mod tests {
         assert!(json.find("\"a_total\"").unwrap() < json.find("\"b_total\"").unwrap());
         assert!(json.contains("\"z_gauge\":-2"));
         assert_eq!(json, reg.json_snapshot());
+    }
+
+    #[test]
+    fn help_lines_appear_only_when_set() {
+        let reg = Registry::new();
+        reg.counter("with_help_total").inc();
+        reg.counter("without_help_total");
+        reg.set_help("with_help_total", "counts things\nacross \\ lines");
+        let text = reg.prometheus_text();
+        assert!(text.contains("# HELP with_help_total counts things\\nacross \\\\ lines\n"));
+        assert!(!text.contains("# HELP without_help_total"));
+        // HELP precedes TYPE for the annotated metric.
+        assert!(
+            text.find("# HELP with_help_total").unwrap()
+                < text.find("# TYPE with_help_total").unwrap()
+        );
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("+Inf"), "+Inf");
+        assert_eq!(escape_label_value("0.5"), "0.5");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_help_text("a\\b\nc"), "a\\\\b\\nc");
     }
 
     #[test]

@@ -124,6 +124,39 @@ pub fn render_span_tree(roots: &[SpanNode]) -> String {
     out
 }
 
+/// Renders span trees as a JSON array, preserving nesting:
+///
+/// ```json
+/// [{"name":"engine.run_window","secs":0.011,"children":[...]}]
+/// ```
+///
+/// Span names are free-form strings (dots allowed), so they go through
+/// full JSON escaping.
+pub fn span_tree_json(roots: &[SpanNode]) -> String {
+    fn node(out: &mut String, n: &SpanNode) {
+        out.push_str("{\"name\":\"");
+        crate::events::escape_json_into(out, &n.name);
+        out.push_str("\",\"secs\":");
+        out.push_str(&crate::registry::fmt_f64(n.secs()));
+        out.push_str(",\"children\":");
+        list(out, &n.children);
+        out.push('}');
+    }
+    fn list(out: &mut String, nodes: &[SpanNode]) {
+        out.push('[');
+        for (i, n) in nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            node(out, n);
+        }
+        out.push(']');
+    }
+    let mut out = String::new();
+    list(&mut out, roots);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +183,24 @@ mod tests {
         tree.visit(&mut |n| names.push(n.name.clone()));
         assert_eq!(names, ["a", "b", "c"]);
         assert!(tree.secs() > 0.0);
+    }
+
+    #[test]
+    fn json_preserves_nesting_and_escapes() {
+        let roots = vec![SpanNode {
+            name: "outer \"q\"".into(),
+            duration: Duration::from_millis(2),
+            children: vec![SpanNode {
+                name: "inner".into(),
+                duration: Duration::from_millis(1),
+                children: vec![],
+            }],
+        }];
+        let json = span_tree_json(&roots);
+        assert!(json.starts_with("[{\"name\":\"outer \\\"q\\\"\",\"secs\":0.002"));
+        assert!(json.contains("\"children\":[{\"name\":\"inner\""));
+        assert!(json.ends_with("]"));
+        assert_eq!(span_tree_json(&[]), "[]");
     }
 
     #[test]

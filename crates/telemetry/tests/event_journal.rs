@@ -1,0 +1,94 @@
+//! Integration tests of the event journal: JSON round-trips through a
+//! real parser, and ring-buffer eviction holds under arbitrary load.
+
+use proptest::prelude::*;
+use serde::value::Value;
+use telemetry::{EventJournal, FieldValue};
+
+/// Object-field lookup on the vendored JSON value model.
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    match v {
+        Value::Map(m) => &m.iter().find(|(k, _)| k == key).expect("missing field").1,
+        other => panic!("expected object, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn events_round_trip_through_a_json_parser() {
+    let j = EventJournal::new(16);
+    j.record(
+        "engine",
+        "roleclass_test_all_field_types",
+        vec![
+            ("count", FieldValue::U64(u64::MAX)),
+            ("delta", FieldValue::I64(-42)),
+            ("score", FieldValue::F64(87.5)),
+            ("whole", FieldValue::F64(3.0)),
+            ("degraded", FieldValue::Bool(true)),
+            ("host", FieldValue::Str("10.0.0.1".to_string())),
+            ("tricky", FieldValue::Str("a\"b\\c\nd\te\u{1}".to_string())),
+        ],
+    );
+    let jsonl = j.to_jsonl();
+    let line = jsonl.lines().next().unwrap();
+    let v: Value = serde_json::from_str(line).expect("journal line must be valid JSON");
+    assert_eq!(field(&v, "seq"), &Value::U64(0));
+    assert_eq!(field(&v, "layer"), &Value::Str("engine".to_string()));
+    assert_eq!(
+        field(&v, "name"),
+        &Value::Str("roleclass_test_all_field_types".to_string())
+    );
+    let fields = field(&v, "fields");
+    assert_eq!(field(fields, "count"), &Value::U64(u64::MAX));
+    assert_eq!(field(fields, "delta"), &Value::I64(-42));
+    assert_eq!(field(fields, "score"), &Value::F64(87.5));
+    assert_eq!(field(fields, "whole"), &Value::F64(3.0));
+    assert_eq!(field(fields, "degraded"), &Value::Bool(true));
+    assert_eq!(field(fields, "host"), &Value::Str("10.0.0.1".to_string()));
+    assert_eq!(
+        field(fields, "tricky"),
+        &Value::Str("a\"b\\c\nd\te\u{1}".to_string())
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any load, the ring keeps exactly the newest `capacity`
+    /// events, in order, with dense sequence numbers and an accurate
+    /// drop count.
+    #[test]
+    fn ring_evicts_oldest_first(capacity in 1usize..64, total in 0usize..200) {
+        let j = EventJournal::new(capacity);
+        for _ in 0..total {
+            j.record("engine", "roleclass_test_event", vec![]);
+        }
+        let kept = total.min(capacity);
+        prop_assert_eq!(j.len(), kept);
+        prop_assert_eq!(j.dropped(), (total - kept) as u64);
+        let snapshot = j.snapshot();
+        let seqs: Vec<u64> = snapshot.iter().map(|e| e.seq).collect();
+        let expected: Vec<u64> = ((total - kept) as u64..total as u64).collect();
+        prop_assert_eq!(seqs, expected, "newest events survive, oldest evicted");
+        // Timestamps are monotone within the ring.
+        for w in snapshot.windows(2) {
+            prop_assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    /// `tail(n)` is always the suffix of `snapshot()`.
+    #[test]
+    fn tail_is_a_snapshot_suffix(capacity in 1usize..32, total in 0usize..64, n in 0usize..40) {
+        let j = EventJournal::new(capacity);
+        for _ in 0..total {
+            j.record("engine", "roleclass_test_event", vec![]);
+        }
+        let all = j.snapshot();
+        let tail = j.tail(n);
+        let want = &all[all.len().saturating_sub(n)..];
+        prop_assert_eq!(tail.len(), want.len());
+        for (a, b) in tail.iter().zip(want) {
+            prop_assert_eq!(a.seq, b.seq);
+        }
+    }
+}

@@ -48,6 +48,38 @@ fn golden_json_snapshot() {
 }
 
 #[test]
+fn exposition_conformance_help_type_and_inf_bucket() {
+    // Prometheus exposition format: when help is set, the `# HELP` line
+    // precedes `# TYPE`, with `\` and newline escaped; the histogram
+    // always ends in a `+Inf` bucket equal to its count.
+    let reg = sample_registry();
+    reg.set_help(
+        "roleclass_engine_windows_total",
+        "Completed windows.\nOne per cycle \\ run.",
+    );
+    let text = reg.prometheus_text();
+    let lines: Vec<&str> = text.lines().collect();
+    let help_idx = lines
+        .iter()
+        .position(|l| l.starts_with("# HELP roleclass_engine_windows_total"))
+        .expect("HELP line present once help is set");
+    assert_eq!(
+        lines[help_idx],
+        "# HELP roleclass_engine_windows_total Completed windows.\\nOne per cycle \\\\ run."
+    );
+    assert_eq!(
+        lines[help_idx + 1],
+        "# TYPE roleclass_engine_windows_total counter"
+    );
+    // Only the metric with help set emits a HELP line; the golden test
+    // above stays byte-exact for help-less registries.
+    assert_eq!(lines.iter().filter(|l| l.starts_with("# HELP")).count(), 1);
+    // The +Inf bucket closes every histogram and equals its count.
+    assert!(text.contains("roleclass_engine_form_seconds_bucket{le=\"+Inf\"} 4"));
+    assert!(text.contains("roleclass_engine_form_seconds_count 4"));
+}
+
+#[test]
 fn export_ordering_is_stable_across_registration_orders() {
     let a = Registry::new();
     a.counter("roleclass_x_b_total").inc();

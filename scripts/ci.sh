@@ -30,12 +30,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace -q
 
-# Telemetry must stay a pure observer: registry/span unit suite, the
-# recorder-attached-vs-detached parity test, and the metric-name lint
-# (unique, snake_case, layer-prefixed).
-echo "==> telemetry suite + metric-name lint"
+# Telemetry must stay a pure observer: registry/span/event unit suites
+# (incl. the Prometheus exposition conformance and event-journal ring
+# property tests), the recorder-attached-vs-detached parity test, the
+# metric/event-name lint (unique, snake_case, layer-prefixed), and the
+# end-to-end decision-provenance test (every declared event type fires
+# and every flight-recorder journal line parses).
+echo "==> telemetry suite + name lint + provenance coverage"
 cargo test -q -p telemetry
-cargo test -q --test telemetry_parity --test metric_names
+cargo test -q --test telemetry_parity --test metric_names --test event_journal
 
 # The kernel must be a pure throughput knob: its counts, the Engine's
 # classifications, and every correlation are identical at any worker

@@ -17,11 +17,25 @@
 //! `classify` and `correlate` accept `--trace` to print the span tree
 //! of the run (per-stage wall-clock timings); `metrics` replays the
 //! trace through the full aggregator pipeline and prints the telemetry
-//! registry in Prometheus text format (or JSON with `--json`).
+//! registry in Prometheus text format (or JSON with `--json`);
+//! `explain` replays a capture and prints the full decision chain for
+//! one host; `serve` replays and then exposes `/metrics`, `/events`,
+//! and `/healthz` over HTTP:
+//!
+//! ```text
+//! rcctl explain --input flows.txt --host 10.0.0.11 --window-ms 86400000
+//! rcctl serve   --input flows.txt --addr 127.0.0.1:7878
+//! ```
 
-use crate::aggregator::{Aggregator, AggregatorConfig, ReplayProbe, SupervisorConfig};
-use crate::flow::{netflow, pcap, rmon, textlog, ConnectionSets, ConnsetBuilder, FlowRecord};
+use crate::aggregator::{
+    Aggregator, AggregatorConfig, ProbeReport, ReplayProbe, SupervisorConfig, WindowHealth,
+};
+use crate::explain::explain_host;
+use crate::flow::{
+    netflow, pcap, rmon, textlog, ConnectionSets, ConnsetBuilder, FlowRecord, HostAddr,
+};
 use crate::roleclass::{auto_k_hi_otsu, diff_groupings, Engine, EngineSnapshot, Grouping, Params};
+use crate::serve::{Server, ServerState};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::Arc;
@@ -78,6 +92,11 @@ USAGE:
   rcctl diff      --prev <SNAP.json> --curr <SNAP.json>
   rcctl metrics   --input <FILE> [--format <FMT>] [--window-ms N]
                   [--json] [--trace] [same tuning flags as classify]
+  rcctl explain   --input <FILE> --host <ADDR> [--format <FMT>]
+                  [--window-ms N] [same tuning flags as classify]
+  rcctl serve     --input <FILE> [--format <FMT>] [--window-ms N]
+                  [--addr <IP:PORT>] [--addr-file <FILE>]
+                  [--max-requests N] [same tuning flags as classify]
 
 FORMATS (default: by file extension, falling back to text):
   text     whitespace/CSV flow log        (.txt, .log, .csv)
@@ -88,8 +107,19 @@ FORMATS (default: by file extension, falling back to text):
 OBSERVABILITY:
   --trace      print the span tree of the run with per-stage durations
   metrics      replay the trace through the aggregator pipeline and print
-               the telemetry registry (Prometheus text; --json for JSON)
-  --window-ms  window length for metrics replay (default: whole trace)
+               the telemetry registry (Prometheus text; --json for JSON
+               including metrics, spans, and probe reports)
+  explain      replay the capture and print the full decision chain for
+               one host: formation (k and mechanism), every merge its
+               group was considered for (score, S^hi/S^lo gate verdict,
+               connection requirement), and group-id lineage per window
+  serve        replay the capture, then serve GET /metrics (Prometheus
+               text), /events (journal as JSONL; ?tail=N), and /healthz
+               (last window's health) until --max-requests is reached
+  --window-ms  window length for replay commands (default: whole trace)
+  --addr       listen address for serve (default 127.0.0.1:7878; port 0
+               picks an ephemeral port)
+  --addr-file  write the actually-bound address to a file (for scripts)
 ";
 
 /// Parsed common options.
@@ -105,6 +135,10 @@ struct Options {
     trace: bool,
     json: bool,
     window_ms: Option<u64>,
+    host: Option<String>,
+    addr: Option<String>,
+    addr_file: Option<String>,
+    max_requests: Option<u64>,
     params: Params,
 }
 
@@ -121,6 +155,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         trace: false,
         json: false,
         window_ms: None,
+        host: None,
+        addr: None,
+        addr_file: None,
+        max_requests: None,
         params: Params::default(),
     };
     let mut it = args.iter();
@@ -140,6 +178,16 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--auto-k-hi" => o.auto_k_hi = true,
             "--trace" => o.trace = true,
             "--json" => o.json = true,
+            "--host" => o.host = Some(value("--host")?),
+            "--addr" => o.addr = Some(value("--addr")?),
+            "--addr-file" => o.addr_file = Some(value("--addr-file")?),
+            "--max-requests" => {
+                o.max_requests = Some(
+                    value("--max-requests")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--max-requests expects an integer"))?,
+                )
+            }
             "--window-ms" => {
                 o.window_ms = Some(
                     value("--window-ms")?
@@ -296,6 +344,82 @@ fn append_trace(out: &mut String, recorder: Option<&Recorder>) {
     }
 }
 
+/// Result of replaying a capture through the full aggregator pipeline
+/// with a recorder attached — shared by `metrics` and `serve`.
+struct Replay {
+    recorder: Arc<Recorder>,
+    windows: usize,
+    reports: Vec<ProbeReport>,
+    health: Option<WindowHealth>,
+}
+
+/// Replays `--input` through the aggregator, windowed by `--window-ms`
+/// (default: the whole trace as one window).
+fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
+    let input = o
+        .input
+        .as_deref()
+        .ok_or_else(|| CliError::usage("--input is required"))?
+        .to_string();
+    let format = resolve_format(&input, o.format.as_deref());
+    let records = load_records(&input, &format)?;
+    if records.is_empty() {
+        return Err(CliError::runtime(format!("{input}: no flow records")));
+    }
+    let origin_ms = records.iter().map(|r| r.start_ms).min().unwrap_or(0);
+    let last_ms = records.iter().map(|r| r.start_ms).max().unwrap_or(0);
+    let window_ms = o.window_ms.unwrap_or(last_ms - origin_ms + 1).max(1);
+    let recorder = Arc::new(Recorder::new());
+    let mut agg = Aggregator::try_new(AggregatorConfig {
+        window_ms,
+        origin_ms,
+        params: o.params,
+        min_flows: o.min_flows,
+        supervisor: SupervisorConfig::immediate(),
+    })
+    .map_err(|e| CliError::usage(e.to_string()))?
+    .with_recorder(Arc::clone(&recorder));
+    agg.attach(Box::new(ReplayProbe::new(&input, records)));
+    let windows = agg.drain();
+    let reports = agg.probe_reports();
+    let health = agg.history().read().last().map(|r| r.health.clone());
+    Ok(Replay {
+        recorder,
+        windows,
+        reports,
+        health,
+    })
+}
+
+/// Splits a capture into per-window connection sets for `explain`.
+fn window_connsets(o: &Options) -> Result<Vec<ConnectionSets>, CliError> {
+    let input = o
+        .input
+        .as_deref()
+        .ok_or_else(|| CliError::usage("--input is required"))?;
+    let format = resolve_format(input, o.format.as_deref());
+    let records = load_records(input, &format)?;
+    if records.is_empty() {
+        return Err(CliError::runtime(format!("{input}: no flow records")));
+    }
+    let origin_ms = records.iter().map(|r| r.start_ms).min().unwrap_or(0);
+    let last_ms = records.iter().map(|r| r.start_ms).max().unwrap_or(0);
+    let window_ms = o.window_ms.unwrap_or(last_ms - origin_ms + 1).max(1);
+    let count = ((last_ms - origin_ms) / window_ms + 1) as usize;
+    let mut buckets: Vec<Vec<&FlowRecord>> = vec![Vec::new(); count];
+    for r in &records {
+        buckets[((r.start_ms - origin_ms) / window_ms) as usize].push(r);
+    }
+    Ok(buckets
+        .into_iter()
+        .map(|bucket| {
+            let mut builder = ConnsetBuilder::new().min_flows(o.min_flows);
+            builder.add_records(bucket);
+            builder.build()
+        })
+        .collect())
+}
+
 /// Runs the CLI. Returns the text to print on stdout.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
@@ -391,40 +515,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "metrics" => {
             let o = parse_options(rest)?;
-            let input = o
-                .input
-                .as_deref()
-                .ok_or_else(|| CliError::usage("--input is required"))?
-                .to_string();
-            let format = resolve_format(&input, o.format.as_deref());
-            let records = load_records(&input, &format)?;
-            if records.is_empty() {
-                return Err(CliError::runtime(format!("{input}: no flow records")));
-            }
-            let origin_ms = records.iter().map(|r| r.start_ms).min().unwrap_or(0);
-            let last_ms = records.iter().map(|r| r.start_ms).max().unwrap_or(0);
-            // Default: the whole trace in one window; --window-ms splits
-            // it so correlation (and its spans) run between windows.
-            let window_ms = o.window_ms.unwrap_or(last_ms - origin_ms + 1).max(1);
-            let recorder = Arc::new(Recorder::new());
-            let mut agg = Aggregator::try_new(AggregatorConfig {
-                window_ms,
-                origin_ms,
-                params: o.params,
-                min_flows: o.min_flows,
-                supervisor: SupervisorConfig::immediate(),
-            })
-            .map_err(|e| CliError::usage(e.to_string()))?
-            .with_recorder(Arc::clone(&recorder));
-            agg.attach(Box::new(ReplayProbe::new(&input, records)));
-            let windows = agg.drain();
-            let reports = agg.probe_reports();
+            let replay = replay_pipeline(&o)?;
+            let Replay {
+                recorder,
+                windows,
+                reports,
+                ..
+            } = replay;
             if o.json {
                 let probes = serde_json::to_string(&reports)
                     .map_err(|e| CliError::runtime(e.to_string()))?;
                 return Ok(format!(
-                    "{{\"windows\":{windows},\"metrics\":{},\"probes\":{probes}}}\n",
-                    recorder.registry().json_snapshot()
+                    "{{\"windows\":{windows},\"metrics\":{},\"spans\":{},\"probes\":{probes}}}\n",
+                    recorder.registry().json_snapshot(),
+                    telemetry::span_tree_json(&recorder.spans()),
                 ));
             }
             let mut out = String::new();
@@ -449,6 +553,46 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 append_trace(&mut out, Some(&recorder));
             }
             Ok(out)
+        }
+        "explain" => {
+            let mut o = parse_options(rest)?;
+            let host: HostAddr = o
+                .host
+                .as_deref()
+                .ok_or_else(|| CliError::usage("--host is required"))?
+                .parse()
+                .map_err(|e| CliError::usage(format!("--host: {e}")))?;
+            let windows = window_connsets(&o)?;
+            if o.auto_k_hi {
+                o.params.k_hi = auto_k_hi_otsu(&windows[0]).max(1);
+            }
+            Ok(explain_host(&windows, host, o.params))
+        }
+        "serve" => {
+            let o = parse_options(rest)?;
+            let replay = replay_pipeline(&o)?;
+            let state = ServerState {
+                recorder: replay.recorder,
+                windows: replay.windows,
+                health: replay.health,
+            };
+            let addr = o.addr.as_deref().unwrap_or("127.0.0.1:7878");
+            let server = Server::bind(addr, state)
+                .map_err(|e| CliError::runtime(format!("bind {addr}: {e}")))?;
+            let bound = server
+                .local_addr()
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            if let Some(path) = &o.addr_file {
+                std::fs::write(path, bound.to_string())
+                    .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+            }
+            // Announce before blocking in the accept loop; the final
+            // return value only prints after the server stops.
+            println!("serving http://{bound} (/metrics /events /healthz)");
+            let served = server
+                .run(o.max_requests)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            Ok(format!("served {served} request(s)\n"))
         }
         "diff" => {
             let o = parse_options(rest)?;

@@ -13,6 +13,8 @@
 //! * [`aggregator`] — the probe/aggregator monitoring system.
 
 pub mod cli;
+pub mod explain;
+pub mod serve;
 
 pub use aggregator;
 pub use cluster;

@@ -1,0 +1,249 @@
+//! The `rcctl serve` HTTP endpoint: metrics, events, and health over a
+//! zero-dependency `std::net` listener.
+//!
+//! Serves three read-only views of one pipeline run:
+//!
+//! * `GET /metrics` — the telemetry registry in Prometheus exposition
+//!   format (`text/plain; version=0.0.4`), scrapeable as-is.
+//! * `GET /events` — the in-memory event journal as JSONL
+//!   (`application/x-ndjson`), one structured event per line;
+//!   `?tail=N` limits the response to the newest `N` events.
+//! * `GET /healthz` — the [`WindowHealth`] of the last completed cycle
+//!   as JSON, `503` until a cycle has completed.
+//!
+//! The server is deliberately minimal: blocking accept loop, one
+//! request per connection (`Connection: close`), request line plus
+//! drained headers, GET only. That keeps it inside the standard
+//! library while still being a conformant scrape target.
+
+use crate::aggregator::WindowHealth;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::Recorder;
+
+/// What the server exposes: a recorder (metrics registry + event
+/// journal) and the outcome of the replayed pipeline.
+pub struct ServerState {
+    /// Recorder whose registry backs `/metrics` and whose journal backs
+    /// `/events`.
+    pub recorder: Arc<Recorder>,
+    /// Number of completed classification windows.
+    pub windows: usize,
+    /// Input health of the last completed window, if any.
+    pub health: Option<WindowHealth>,
+}
+
+/// A bound listener ready to serve [`ServerState`].
+pub struct Server {
+    listener: TcpListener,
+    state: ServerState,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`; port `0` picks an ephemeral
+    /// port, readable back via [`Server::local_addr`]).
+    pub fn bind(addr: &str, state: ServerState) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, state })
+    }
+
+    /// The actually-bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves requests until `max_requests` have been answered (forever
+    /// when `None`). Returns the number of requests served. Per-request
+    /// IO errors are counted as served-but-failed rather than aborting
+    /// the loop: a malformed client must not take the endpoint down.
+    pub fn run(self, max_requests: Option<u64>) -> io::Result<u64> {
+        let mut served = 0u64;
+        for stream in self.listener.incoming() {
+            if let Ok(s) = stream {
+                let _ = handle(s, &self.state);
+                served += 1;
+            }
+            if max_requests.is_some_and(|max| served >= max) {
+                break;
+            }
+        }
+        Ok(served)
+    }
+}
+
+/// Extracts `tail=N` from a query string.
+fn tail_param(query: &str) -> Option<usize> {
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("tail="))
+        .and_then(|v| v.parse().ok())
+}
+
+fn handle(stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    // Drain the request headers; routing only needs the request line.
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 || h == "\r\n" || h == "\n" {
+            break;
+        }
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                state.recorder.registry().prometheus_text(),
+            ),
+            "/events" => {
+                let events = match query.and_then(tail_param) {
+                    Some(n) => state.recorder.events().tail(n),
+                    None => state.recorder.events().snapshot(),
+                };
+                let mut body = String::new();
+                for e in &events {
+                    body.push_str(&e.to_json());
+                    body.push('\n');
+                }
+                ("200 OK", "application/x-ndjson", body)
+            }
+            "/healthz" => match &state.health {
+                Some(h) => {
+                    let health = serde_json::to_string(h).unwrap_or_else(|_| "{}".to_string());
+                    let status_word = if h.degraded() { "degraded" } else { "ok" };
+                    (
+                        "200 OK",
+                        "application/json",
+                        format!(
+                            "{{\"status\":\"{status_word}\",\"windows\":{},\"health\":{health}}}\n",
+                            state.windows
+                        ),
+                    )
+                }
+                None => (
+                    "503 Service Unavailable",
+                    "application/json",
+                    "{\"status\":\"no completed cycles\"}\n".to_string(),
+                ),
+            },
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics, /events, /healthz\n".to_string(),
+            ),
+        }
+    };
+
+    let mut out = stream;
+    write!(
+        out,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    out.write_all(body.as_bytes())?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn request(addr: SocketAddr, target: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        resp
+    }
+
+    fn test_state() -> ServerState {
+        let recorder = Arc::new(Recorder::new());
+        recorder.registry().counter("roleclass_test_total").inc();
+        recorder
+            .events()
+            .record("engine", "roleclass_engine_host_grouped", vec![]);
+        recorder
+            .events()
+            .record("aggregator", "roleclass_aggregator_window_started", vec![]);
+        ServerState {
+            recorder,
+            windows: 1,
+            health: Some(WindowHealth {
+                probes_total: 1,
+                ..WindowHealth::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn serves_metrics_events_health_and_404() {
+        let server = Server::bind("127.0.0.1:0", test_state()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run(Some(5)).unwrap());
+
+        let metrics = request(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("roleclass_test_total 1"));
+
+        let events = request(addr, "/events");
+        assert!(events.contains("application/x-ndjson"));
+        assert!(events.contains("\"name\":\"roleclass_engine_host_grouped\""));
+        assert!(events.contains("\"name\":\"roleclass_aggregator_window_started\""));
+
+        let tail = request(addr, "/events?tail=1");
+        assert!(!tail.contains("roleclass_engine_host_grouped"));
+        assert!(tail.contains("roleclass_aggregator_window_started"));
+
+        let health = request(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"));
+        assert!(health.contains("\"status\":\"ok\""));
+        assert!(health.contains("\"windows\":1"));
+        assert!(health.contains("\"probes_total\":1"));
+
+        let missing = request(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        assert_eq!(t.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn healthz_is_503_before_first_cycle() {
+        let state = ServerState {
+            recorder: Arc::new(Recorder::new()),
+            windows: 0,
+            health: None,
+        };
+        let server = Server::bind("127.0.0.1:0", state).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run(Some(2)).unwrap());
+        let health = request(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 503"));
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405"));
+        t.join().unwrap();
+    }
+}

@@ -239,6 +239,110 @@ fn metrics_json_composes_registry_and_probes() {
 }
 
 #[test]
+fn explain_prints_decision_chain_across_windows() {
+    let dir = workdir("explain");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    // Same deterministic scenario as write_inputs: look up a real host.
+    let net = scenarios::figure1(3, 3);
+    let host = net.role_hosts("sales")[0].to_string();
+    let out = run(&args(&[
+        "explain",
+        "--input",
+        flows,
+        "--host",
+        &host,
+        "--window-ms",
+        "43200000",
+        "--s-lo",
+        "90",
+        "--s-hi",
+        "95",
+    ]))
+    .unwrap();
+    assert!(out.contains(&format!("decision chain for host {host}")));
+    assert!(out.contains("window 0:"));
+    assert!(out.contains("window 1:"));
+    assert!(out.contains("formation: grouped at k="));
+    assert!(out.contains("merge vs group of"));
+    assert!(out.contains("assigned fresh"));
+    assert!(out.contains("result: group"));
+
+    let err = run(&args(&["explain", "--input", flows])).unwrap_err();
+    assert_eq!(err.code, 2);
+    assert!(err.message.contains("--host"));
+    let err = run(&args(&[
+        "explain",
+        "--input",
+        flows,
+        "--host",
+        "not-an-addr",
+    ]))
+    .unwrap_err();
+    assert_eq!(err.code, 2);
+}
+
+#[test]
+fn serve_answers_metrics_events_and_health() {
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    let dir = workdir("serve");
+    let inputs = write_inputs(&dir);
+    let flows = inputs[0].0.clone();
+    let addr_file = dir.join("addr.txt");
+    let addr_file_arg = addr_file.to_string_lossy().into_owned();
+    let t = std::thread::spawn(move || {
+        run(&args(&[
+            "serve",
+            "--input",
+            &flows,
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            &addr_file_arg,
+            "--max-requests",
+            "3",
+        ]))
+        .unwrap()
+    });
+    // The server writes its ephemeral address before accepting.
+    let mut addr = String::new();
+    for _ in 0..500 {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if !s.is_empty() {
+                addr = s;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(!addr.is_empty(), "server never wrote its address");
+
+    let get = |path: &str| {
+        let mut s = TcpStream::connect(addr.trim()).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        resp
+    };
+    let metrics = get("/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+    assert!(metrics.contains("roleclass_aggregator_cycles_total 1"));
+    let events = get("/events");
+    assert!(events.contains("application/x-ndjson"));
+    assert!(events.contains("\"name\":\"roleclass_aggregator_window_started\""));
+    assert!(events.contains("\"name\":\"roleclass_engine_host_grouped\""));
+    let health = get("/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"));
+    assert!(health.contains("\"status\":\"ok\""));
+    assert!(health.contains("\"windows\":1"));
+
+    let summary = t.join().unwrap();
+    assert!(summary.contains("served 3 request(s)"));
+}
+
+#[test]
 fn missing_file_is_runtime_error() {
     let err = run(&args(&["classify", "--input", "/nonexistent/flows.txt"])).unwrap_err();
     assert_eq!(err.code, 1);

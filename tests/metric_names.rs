@@ -1,11 +1,12 @@
-//! Workspace-wide lint over the declared metric names: every layer's
-//! `*_METRIC_NAMES` list must be unique, snake_case, and prefixed with
-//! `roleclass_<layer>_` (DESIGN.md §7's naming convention).
+//! Workspace-wide lint over the declared metric and event names: every
+//! layer's `*_METRIC_NAMES` / `*_EVENT_NAMES` list must be unique,
+//! snake_case, and prefixed with `roleclass_<layer>_` (DESIGN.md §7's
+//! naming convention).
 
-use role_classification::aggregator::AGGREGATOR_METRIC_NAMES;
+use role_classification::aggregator::{AGGREGATOR_EVENT_NAMES, AGGREGATOR_METRIC_NAMES};
 use role_classification::flow::FLOW_METRIC_NAMES;
 use role_classification::netgraph::KERNEL_METRIC_NAMES;
-use role_classification::roleclass::ENGINE_METRIC_NAMES;
+use role_classification::roleclass::{ENGINE_EVENT_NAMES, ENGINE_METRIC_NAMES};
 use std::collections::BTreeSet;
 
 fn layers() -> [(&'static str, &'static [&'static str]); 4] {
@@ -17,12 +18,26 @@ fn layers() -> [(&'static str, &'static [&'static str]); 4] {
     ]
 }
 
+fn event_layers() -> [(&'static str, &'static [&'static str]); 2] {
+    [
+        ("roleclass_engine_", ENGINE_EVENT_NAMES),
+        ("roleclass_aggregator_", AGGREGATOR_EVENT_NAMES),
+    ]
+}
+
+/// Every declared name, metric or event, across every layer.
+fn all_declarations() -> Vec<(&'static str, &'static [&'static str])> {
+    layers().into_iter().chain(event_layers()).collect()
+}
+
 #[test]
-fn metric_names_are_unique_across_layers() {
+fn metric_and_event_names_are_unique_across_layers() {
+    // Metrics and events share one namespace: an event named after a
+    // metric would make journal greps and dashboards ambiguous.
     let mut seen = BTreeSet::new();
-    for (_, names) in layers() {
+    for (_, names) in all_declarations() {
         for name in names {
-            assert!(seen.insert(*name), "duplicate metric name {name}");
+            assert!(seen.insert(*name), "duplicate declared name {name}");
         }
     }
     assert!(!seen.is_empty());
@@ -30,8 +45,8 @@ fn metric_names_are_unique_across_layers() {
 
 #[test]
 fn metric_names_are_snake_case_and_layer_prefixed() {
-    for (prefix, names) in layers() {
-        assert!(!names.is_empty(), "layer {prefix} declares no metrics");
+    for (prefix, names) in all_declarations() {
+        assert!(!names.is_empty(), "layer {prefix} declares no names");
         for name in names {
             assert!(
                 name.starts_with(prefix),
@@ -56,7 +71,7 @@ fn metric_names_are_snake_case_and_layer_prefixed() {
 #[test]
 fn metric_name_lists_are_sorted() {
     // Sorted lists keep the declarations greppable and diffs minimal.
-    for (_, names) in layers() {
+    for (_, names) in all_declarations() {
         let mut sorted = names.to_vec();
         sorted.sort_unstable();
         assert_eq!(names, sorted.as_slice());

@@ -1,7 +1,7 @@
 //! Attaching a telemetry recorder must be purely observational: the
 //! engine's window outcomes are bit-identical with and without one.
 
-use role_classification::roleclass::{Engine, Params};
+use role_classification::roleclass::{Engine, Params, ENGINE_EVENT_NAMES};
 use role_classification::synthnet::{scenarios, trace};
 use role_classification::telemetry::Recorder;
 use std::sync::Arc;
@@ -44,4 +44,26 @@ fn run_window_is_bit_identical_with_and_without_recorder() {
         2
     );
     assert_eq!(rec.spans().len(), 2);
+
+    // Decision provenance rides the same recorder: the journal is
+    // populated, every event name is declared, and the sequence is
+    // dense — yet none of it changed the outcomes compared above.
+    let events = rec.events().snapshot();
+    assert!(!events.is_empty(), "provenance events were recorded");
+    for (i, ev) in events.iter().enumerate() {
+        assert_eq!(ev.layer, "engine");
+        assert!(
+            ENGINE_EVENT_NAMES.contains(&ev.name),
+            "{} is not a declared engine event",
+            ev.name
+        );
+        assert_eq!(ev.seq, i as u64);
+    }
+    // Both windows left formation traces; the second window correlated.
+    assert!(events
+        .iter()
+        .any(|e| e.name == "roleclass_engine_host_grouped"));
+    assert!(events
+        .iter()
+        .any(|e| e.name == "roleclass_engine_id_carried"));
 }
