@@ -68,10 +68,23 @@ impl FlightRecorder {
         &self.path
     }
 
-    /// Appends one event (layer `aggregator`, wall-clock `ts_ns` since
-    /// the UNIX epoch) and flushes. IO errors are swallowed and counted:
-    /// journaling must never fail the pipeline.
+    /// Appends one event in the `aggregator` layer. See
+    /// [`FlightRecorder::append_in_layer`].
     pub fn append(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        self.append_in_layer("aggregator", name, fields);
+    }
+
+    /// Appends one event (wall-clock `ts_ns` since the UNIX epoch) under
+    /// an explicit layer — the transport listener journals its
+    /// `probe_session_*` provenance here as layer `transport` — and
+    /// flushes. IO errors are swallowed and counted: journaling must
+    /// never fail the pipeline.
+    pub fn append_in_layer(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
         let ts_ns = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
@@ -80,7 +93,7 @@ impl FlightRecorder {
         let ev = Event {
             ts_ns,
             seq,
-            layer: "aggregator",
+            layer,
             name,
             fields,
         };
@@ -190,6 +203,24 @@ mod tests {
         // Reopening resumes from the complete lines only.
         let fr = FlightRecorder::open(&path).unwrap();
         assert_eq!(fr.next_seq(), 2);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn layers_share_one_sequence() {
+        let path = temp_journal("layers");
+        let fr = FlightRecorder::open(&path).unwrap();
+        fr.append("roleclass_aggregator_window_started", vec![]);
+        fr.append_in_layer(
+            "transport",
+            "roleclass_transport_probe_session_opened",
+            vec![("session", 1u64.into())],
+        );
+        let lines = read_journal_lines(&path).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"layer\":\"aggregator\""));
+        assert!(lines[1].contains("\"layer\":\"transport\""));
+        assert!(lines[1].contains("\"seq\":1"));
         let _ = fs::remove_dir_all(path.parent().unwrap());
     }
 

@@ -23,6 +23,9 @@
 //!   flapping probe cannot stall or crash a classification cycle.
 //! * [`checkpoint`] — crash-safe, versioned persistence of the run
 //!   history, so correlation (and thus group ids) survives restarts.
+//! * [`transport`] — the probe→aggregator wire: a length-prefixed frame
+//!   protocol with per-probe sessions, heartbeat liveness, and
+//!   resume-from-last-acked-seq, feeding the same supervisor machinery.
 
 pub mod alerts;
 pub mod checkpoint;
@@ -34,6 +37,7 @@ pub mod probe;
 pub mod profile;
 pub mod report;
 pub mod supervisor;
+pub mod transport;
 
 pub use alerts::{
     checkpoint_fallback_alert, degraded_window_alert, Alert, AlertKind, NewNeighborDetector,
@@ -51,4 +55,8 @@ pub use probe::{Probe, ProbeError, ReplayProbe};
 pub use profile::ProfileBuilder;
 pub use supervisor::{
     PollOutcome, ProbeHealth, ProbeReport, ProbeStats, ProbeSupervisor, SupervisorConfig,
+};
+pub use transport::{
+    ProbeSender, SenderStats, TransportConfig, TransportError, WireListener, WireProbe,
+    TRANSPORT_EVENT_NAMES, TRANSPORT_METRIC_NAMES,
 };

@@ -185,8 +185,10 @@ pub struct Aggregator {
     next_window_start: u64,
     recorder: Option<Arc<Recorder>>,
     /// Durable event journal written alongside the checkpoint; `None`
-    /// keeps the pipeline free of any journaling IO.
-    flight: Option<FlightRecorder>,
+    /// keeps the pipeline free of any journaling IO. Held in an [`Arc`]
+    /// so a [`transport::WireListener`](crate::transport::WireListener)
+    /// can journal its session provenance into the same file.
+    flight: Option<Arc<FlightRecorder>>,
     /// Operational alerts raised by the aggregator itself (degraded
     /// windows, checkpoint fallbacks), queued until a consumer drains
     /// them with [`Aggregator::take_alerts`].
@@ -256,12 +258,27 @@ impl Aggregator {
 
     /// Attaches or detaches the durable flight recorder.
     pub fn set_flight_recorder(&mut self, flight: Option<FlightRecorder>) {
-        self.flight = flight;
+        self.flight = flight.map(Arc::new);
+    }
+
+    /// Attaches an already-shared flight recorder (builder style), so
+    /// the aggregator and a wire listener journal into one file with a
+    /// single sequence.
+    pub fn with_shared_flight_recorder(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
     }
 
     /// The attached flight recorder, if any.
     pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
-        self.flight.as_ref()
+        self.flight.as_deref()
+    }
+
+    /// A shareable handle to the attached flight recorder, if any —
+    /// what a [`transport::WireListener`](crate::transport::WireListener)
+    /// takes to dual-journal transport events.
+    pub fn shared_flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.clone()
     }
 
     /// Operational alerts raised so far and not yet taken.
@@ -349,7 +366,7 @@ impl Aggregator {
         // With neither observer attached, every `if observing` block is
         // skipped before its fields vec is built: the detached cycle
         // performs no event allocation at all.
-        let flight = self.flight.as_ref();
+        let flight = self.flight.as_deref();
         let observing = rec.is_some() || flight.is_some();
         if observing {
             emit(
@@ -624,7 +641,7 @@ impl Aggregator {
             )
             .observe(t0.elapsed().as_secs_f64());
         }
-        let flight = self.flight.as_ref();
+        let flight = self.flight.as_deref();
         if rec.is_some() || flight.is_some() {
             emit(
                 rec,
@@ -662,7 +679,7 @@ impl Aggregator {
                     .inc();
             }
         }
-        let flight = self.flight.as_ref();
+        let flight = self.flight.as_deref();
         let observing = rec.is_some() || flight.is_some();
         if observing {
             emit(

@@ -1,0 +1,196 @@
+//! Robustness fuzzing for the transport frame codec: whatever bytes
+//! arrive on the wire, decoding must return a *classified*
+//! [`FrameError`] — never panic, never allocate unbounded, and never
+//! report I/O for a pure buffer parse. Mirrors the contract the flow
+//! parsers already carry (`crates/flow/tests/parser_robustness.rs`).
+
+use aggregator::transport::frame::{
+    checksum, Frame, FrameError, FrameType, Hello, WindowPayload, HEADER_LEN, MAGIC,
+};
+use flow::wirefmt;
+use proptest::prelude::*;
+
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Buffer decoding may fail only with structural variants; `Io` belongs
+/// to `read_frame` on a real socket.
+fn assert_classified(e: &FrameError) {
+    assert!(
+        !matches!(e, FrameError::Io(_)),
+        "buffer decode returned an I/O error: {e}"
+    );
+}
+
+/// A valid frame assembled from fuzz inputs.
+fn sample_frame(kind_seed: u8, session: u64, seq: u64, payload: Vec<u8>) -> Frame {
+    let kind = FrameType::from_u8(1 + kind_seed % 8).expect("1..=8 are all valid frame types");
+    Frame {
+        kind,
+        session,
+        seq,
+        payload,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_of_arbitrary_bytes_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..4096)
+    ) {
+        if let Err(e) = Frame::decode(&bytes, MAX_PAYLOAD) {
+            assert_classified(&e);
+        }
+        // The typed payload decoders face the same hostile bytes.
+        let _ = Hello::from_payload(&bytes);
+        if let Err(e) = WindowPayload::decode_batch(&bytes) {
+            assert_classified(&e);
+        }
+        if let Err(e) = WindowPayload::decode_end(&bytes) {
+            assert_classified(&e);
+        }
+        if let Err(e) = wirefmt::decode_batch(&bytes) {
+            assert!(
+                matches!(
+                    e,
+                    flow::FlowError::Truncated { .. } | flow::FlowError::BadFormat { .. }
+                ),
+                "batch decode returned an unclassified error: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips(
+        kind_seed in any::<u8>(),
+        session in any::<u64>(),
+        seq in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = sample_frame(kind_seed, session, seq, payload);
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes, MAX_PAYLOAD).expect("own encoding decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded.kind, frame.kind);
+        prop_assert_eq!(decoded.session, frame.session);
+        prop_assert_eq!(decoded.seq, frame.seq);
+        prop_assert_eq!(decoded.payload, frame.payload);
+    }
+
+    /// A cut anywhere inside a valid frame is reported as `Truncated`
+    /// (with the bytes still needed), never any other class: the prefix
+    /// WAS valid.
+    #[test]
+    fn truncation_is_always_classified_truncated(
+        kind_seed in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        cut_seed in any::<usize>(),
+    ) {
+        let bytes = sample_frame(kind_seed, 7, 9, payload).encode();
+        let cut = cut_seed % bytes.len(); // strictly short of a full frame
+        match Frame::decode(&bytes[..cut], MAX_PAYLOAD) {
+            Err(FrameError::Truncated { needed, available, .. }) => {
+                prop_assert!(available < needed);
+                prop_assert!(needed <= bytes.len());
+            }
+            other => prop_assert!(false, "cut frame gave {other:?}"),
+        }
+    }
+
+    /// Any single corrupted byte yields a clean decode or a classified
+    /// error. Payload corruption specifically must be *caught* — that
+    /// is what the checksum is for.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        kind_seed in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let frame = sample_frame(kind_seed, 3, 4, payload);
+        let mut bytes = frame.encode();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor; // xor with non-zero: the byte really changes
+        match Frame::decode(&bytes, MAX_PAYLOAD) {
+            Ok((decoded, _)) => {
+                // Only header fields outside the checksummed payload can
+                // change silently (session/seq/type bytes).
+                prop_assert!(pos < HEADER_LEN);
+                prop_assert_eq!(decoded.payload, frame.payload);
+            }
+            Err(e) => {
+                assert_classified(&e);
+                if pos >= HEADER_LEN {
+                    prop_assert!(
+                        matches!(e, FrameError::ChecksumMismatch { .. }),
+                        "payload corruption must be a checksum failure, got {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Garbage prepended to a stream is rejected at the magic check
+    /// whenever the first two bytes cannot open a frame.
+    #[test]
+    fn garbage_prefix_is_rejected_up_front(
+        prefix in prop::collection::vec(any::<u8>(), 2..64),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = prefix.clone();
+        bytes.extend(sample_frame(3, 1, 2, payload).encode());
+        let magic = u16::from_be_bytes([bytes[0], bytes[1]]);
+        match Frame::decode(&bytes, MAX_PAYLOAD) {
+            Err(FrameError::BadMagic(m)) => {
+                prop_assert!(magic != MAGIC);
+                prop_assert_eq!(m, magic);
+            }
+            Err(e) => assert_classified(&e),
+            Ok(_) => prop_assert!(magic == MAGIC),
+        }
+    }
+
+    /// Oversized length claims are rejected *before* any allocation:
+    /// a 4 GiB claim in a 28-byte header must not reserve 4 GiB.
+    #[test]
+    fn oversized_claims_never_allocate(len in any::<u32>(), seed in any::<u64>()) {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend(MAGIC.to_be_bytes());
+        header.push(1); // version
+        header.push(3); // Batch
+        header.extend(seed.to_be_bytes()); // session
+        header.extend(seed.to_be_bytes()); // seq
+        header.extend(len.to_be_bytes());
+        header.extend(checksum(&[]).to_be_bytes());
+        match Frame::decode(&header, 1024) {
+            Err(FrameError::Oversized { len: l, max }) => {
+                prop_assert_eq!(l, len);
+                prop_assert_eq!(max, 1024);
+                prop_assert!(len > 1024);
+            }
+            Err(e) => {
+                assert_classified(&e);
+                prop_assert!(len <= 1024, "small claim misreported: {e}");
+            }
+            Ok(_) => prop_assert!(len == 0),
+        }
+    }
+
+    /// Record-batch corruption: flip one byte of a valid batch payload;
+    /// decoding returns records or a classified error, never panics.
+    #[test]
+    fn batch_corruption_is_classified(
+        n in 1usize..20,
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let records: Vec<flow::FlowRecord> = (0..n)
+            .map(|i| flow::FlowRecord::pair(flow::HostAddr::v4(i as u32), flow::HostAddr::v4(99)))
+            .collect();
+        let mut bytes = wirefmt::encode_batch(&records);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        let _ = wirefmt::decode_batch(&bytes);
+    }
+}

@@ -11,6 +11,7 @@
 //!    the stage totals and the full registry snapshot —
 //!    `scripts/bench.sh` stores it as `BENCH_pipeline.json`.
 
+use aggregator::transport::{stream_records, TransportConfig, WireListener};
 use aggregator::{Aggregator, AggregatorConfig, ReplayProbe, SupervisorConfig};
 use bench::{banner, quick_mode, render_table};
 use roleclass::Params;
@@ -78,7 +79,7 @@ fn main() {
         supervisor: SupervisorConfig::immediate(),
     })
     .with_recorder(Arc::clone(&recorder));
-    agg.attach(Box::new(ReplayProbe::new("replay", records)));
+    agg.attach(Box::new(ReplayProbe::new("replay", records.clone())));
     let cycles = agg.drain();
     assert_eq!(cycles as u64, windows, "trace must fill every window");
 
@@ -148,6 +149,72 @@ fn main() {
         detached_secs, attached_secs
     );
 
+    // Wire transport overhead: the same trace replayed once in-process
+    // and once over loopback TCP through the frame protocol. The wire
+    // run is allowed to cost time, never correctness — outcomes must be
+    // identical window for window.
+    let config = AggregatorConfig {
+        window_ms: WINDOW_MS,
+        origin_ms: 0,
+        params: Params::default(),
+        min_flows: 1,
+        supervisor: SupervisorConfig::immediate(),
+    };
+    let fingerprint = |agg: &Aggregator| -> Vec<String> {
+        let history = agg.history();
+        let history = history.read();
+        history
+            .iter()
+            .map(|r| format!("{:?}|{:?}|{:?}", r.window, r.grouping, r.correlation))
+            .collect()
+    };
+    let t0 = std::time::Instant::now();
+    let mut in_process = Aggregator::new(config.clone());
+    in_process.attach(Box::new(ReplayProbe::new("probe", records.clone())));
+    assert_eq!(in_process.drain() as u64, windows);
+    let in_process_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let listener = WireListener::bind("127.0.0.1:0", TransportConfig::default(), None, None)
+        .expect("bind loopback listener");
+    let addr = listener.local_addr();
+    let wire_records = records.clone();
+    let sender = std::thread::spawn(move || {
+        stream_records(
+            addr,
+            "probe",
+            &wire_records,
+            0,
+            WINDOW_MS,
+            TransportConfig::default(),
+        )
+    });
+    let mut wire = Aggregator::new(config);
+    wire.attach(Box::new(listener.probe("probe")));
+    for _ in 0..windows {
+        let run = wire.run_cycle();
+        assert!(
+            !run.health.degraded(),
+            "loopback wire run must stay healthy"
+        );
+    }
+    let stats = sender
+        .join()
+        .expect("sender thread")
+        .expect("clean loopback stream");
+    let wire_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        fingerprint(&in_process),
+        fingerprint(&wire),
+        "wire outcomes must be identical to the in-process run"
+    );
+    let wire_overhead_pct = (wire_secs / in_process_secs - 1.0) * 100.0;
+    println!(
+        "transport overhead over {windows} windows: in-process {in_process_secs:.3}s, \
+loopback TCP {wire_secs:.3}s ({wire_overhead_pct:+.1}%), {} frame(s), {} byte(s), {} retransmit(s)",
+        stats.frames_sent, stats.bytes_sent, stats.retransmits
+    );
+
     // Machine-readable tail for scripts/bench.sh.
     let mut stages = String::new();
     for (name, (count, secs)) in &totals {
@@ -162,8 +229,14 @@ fn main() {
     println!(
         "{{\"hosts\":{},\"windows\":{windows},\"stages\":{{{stages}}},\
 \"provenance\":{{\"detached_secs\":{detached_secs:.9},\"attached_secs\":{attached_secs:.9},\
-\"overhead_pct\":{overhead_pct:.3},\"events_recorded\":{events_recorded}}},\"metrics\":{}}}",
+\"overhead_pct\":{overhead_pct:.3},\"events_recorded\":{events_recorded}}},\
+\"transport\":{{\"in_process_secs\":{in_process_secs:.9},\"wire_secs\":{wire_secs:.9},\
+\"overhead_pct\":{wire_overhead_pct:.3},\"frames_sent\":{},\"bytes_sent\":{},\
+\"retransmits\":{},\"outcomes_identical\":true}},\"metrics\":{}}}",
         cs.host_count(),
+        stats.frames_sent,
+        stats.bytes_sent,
+        stats.retransmits,
         recorder.registry().json_snapshot()
     );
 }

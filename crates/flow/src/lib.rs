@@ -22,6 +22,8 @@
 //!   paper lists first).
 //! * [`textlog`] — a whitespace/CSV text format for hand-written and
 //!   generated traces.
+//! * [`wirefmt`] — the binary batch encoding of flow records carried by
+//!   the probe→aggregator wire transport.
 //! * [`anonymize`] — a consistent address pseudonymizer (the paper's
 //!   BigCompany dataset was anonymized the same way).
 
@@ -37,6 +39,7 @@ pub mod reference;
 pub mod rmon;
 pub mod textlog;
 pub mod window;
+pub mod wirefmt;
 
 pub use addr::{Cidr, HostAddr};
 pub use anonymize::Anonymizer;

@@ -1,0 +1,247 @@
+//! Binary wire format for flow-record batches.
+//!
+//! The probe→aggregator transport (see `aggregator::transport`) ships
+//! windows of [`FlowRecord`]s as frame payloads; this module is the
+//! payload encoding. It is a fixed big-endian layout — no
+//! self-description, no varints — so a record decodes with pure slice
+//! arithmetic and the decoder can bound allocations before reading a
+//! single record.
+//!
+//! Per record:
+//!
+//! ```text
+//! src addr   1 tag byte (4|6) + 4 or 16 address bytes
+//! dst addr   1 tag byte (4|6) + 4 or 16 address bytes
+//! proto      u8 (IP protocol number)
+//! src_port   u16
+//! dst_port   u16
+//! packets    u32
+//! bytes      u64
+//! start_ms   u64
+//! end_ms     u64
+//! ```
+//!
+//! A batch is a `u32` record count followed by that many records. Like
+//! the NetFlow/pcap readers, the decoder returns classified
+//! [`FlowError`]s (`Truncated` / `BadFormat`) on any malformed input —
+//! it never panics and never allocates proportionally to a length field
+//! it has not validated against the bytes actually present.
+
+use crate::addr::HostAddr;
+use crate::error::FlowError;
+use crate::record::{FlowRecord, Proto};
+
+/// Smallest possible encoded record: two IPv4 addresses plus the fixed
+/// fields. Used to sanity-bound a batch's count against the bytes
+/// actually available.
+pub const MIN_RECORD_LEN: usize = 5 + 5 + 1 + 2 + 2 + 4 + 8 + 8 + 8;
+
+/// Address family tag for IPv4.
+const TAG_V4: u8 = 4;
+/// Address family tag for IPv6.
+const TAG_V6: u8 = 6;
+
+/// Appends one address to `out`.
+fn encode_addr(addr: HostAddr, out: &mut Vec<u8>) {
+    match addr {
+        HostAddr::V4(v) => {
+            out.push(TAG_V4);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        HostAddr::V6(v) => {
+            out.push(TAG_V6);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+    }
+}
+
+/// Reads `N` bytes at `*pos`, advancing it.
+fn take<const N: usize>(
+    buf: &[u8],
+    pos: &mut usize,
+    context: &'static str,
+) -> Result<[u8; N], FlowError> {
+    let Some(chunk) = buf.get(*pos..*pos + N) else {
+        return Err(FlowError::Truncated {
+            context,
+            needed: N,
+            available: buf.len().saturating_sub(*pos),
+        });
+    };
+    *pos += N;
+    let mut out = [0u8; N];
+    out.copy_from_slice(chunk);
+    Ok(out)
+}
+
+/// Decodes one address at `*pos`.
+fn decode_addr(buf: &[u8], pos: &mut usize) -> Result<HostAddr, FlowError> {
+    let [tag] = take::<1>(buf, pos, "wirefmt address tag")?;
+    match tag {
+        TAG_V4 => Ok(HostAddr::v4(u32::from_be_bytes(take::<4>(
+            buf,
+            pos,
+            "wirefmt v4 address",
+        )?))),
+        TAG_V6 => Ok(HostAddr::v6(u128::from_be_bytes(take::<16>(
+            buf,
+            pos,
+            "wirefmt v6 address",
+        )?))),
+        other => Err(FlowError::BadFormat {
+            context: "wirefmt address tag",
+            detail: format!("unknown family tag {other}"),
+        }),
+    }
+}
+
+/// Appends one encoded record to `out`.
+pub fn encode_record(r: &FlowRecord, out: &mut Vec<u8>) {
+    encode_addr(r.src, out);
+    encode_addr(r.dst, out);
+    out.push(r.proto.ip_proto());
+    out.extend_from_slice(&r.src_port.to_be_bytes());
+    out.extend_from_slice(&r.dst_port.to_be_bytes());
+    out.extend_from_slice(&r.packets.to_be_bytes());
+    out.extend_from_slice(&r.bytes.to_be_bytes());
+    out.extend_from_slice(&r.start_ms.to_be_bytes());
+    out.extend_from_slice(&r.end_ms.to_be_bytes());
+}
+
+/// Decodes one record at `*pos`, advancing it past the record.
+pub fn decode_record(buf: &[u8], pos: &mut usize) -> Result<FlowRecord, FlowError> {
+    let src = decode_addr(buf, pos)?;
+    let dst = decode_addr(buf, pos)?;
+    let [proto] = take::<1>(buf, pos, "wirefmt proto")?;
+    let src_port = u16::from_be_bytes(take::<2>(buf, pos, "wirefmt src_port")?);
+    let dst_port = u16::from_be_bytes(take::<2>(buf, pos, "wirefmt dst_port")?);
+    let packets = u32::from_be_bytes(take::<4>(buf, pos, "wirefmt packets")?);
+    let bytes = u64::from_be_bytes(take::<8>(buf, pos, "wirefmt bytes")?);
+    let start_ms = u64::from_be_bytes(take::<8>(buf, pos, "wirefmt start_ms")?);
+    let end_ms = u64::from_be_bytes(take::<8>(buf, pos, "wirefmt end_ms")?);
+    Ok(FlowRecord {
+        src,
+        dst,
+        proto: Proto::from_ip_proto(proto),
+        src_port,
+        dst_port,
+        packets,
+        bytes,
+        start_ms,
+        end_ms,
+    })
+}
+
+/// Encodes a batch: `u32` count, then each record.
+pub fn encode_batch(records: &[FlowRecord]) -> Vec<u8> {
+    // Records are mostly-IPv4 in practice; reserving at the v4 size
+    // avoids the big reallocation steps without overshooting much.
+    let mut out = Vec::with_capacity(4 + records.len() * MIN_RECORD_LEN);
+    out.extend_from_slice(&(records.len() as u32).to_be_bytes());
+    for r in records {
+        encode_record(r, &mut out);
+    }
+    out
+}
+
+/// Decodes a batch produced by [`encode_batch`]. The declared count is
+/// validated against the bytes present *before* any allocation, and
+/// trailing garbage after the last record is rejected — a batch is a
+/// complete payload, not a prefix.
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<FlowRecord>, FlowError> {
+    let mut pos = 0usize;
+    let count = u32::from_be_bytes(take::<4>(buf, &mut pos, "wirefmt batch count")?) as usize;
+    let available = buf.len() - pos;
+    if count.saturating_mul(MIN_RECORD_LEN) > available {
+        return Err(FlowError::Truncated {
+            context: "wirefmt batch body",
+            needed: count.saturating_mul(MIN_RECORD_LEN),
+            available,
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(decode_record(buf, &mut pos)?);
+    }
+    if pos != buf.len() {
+        return Err(FlowError::BadFormat {
+            context: "wirefmt batch body",
+            detail: format!("{} trailing bytes after {count} records", buf.len() - pos),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FlowRecord> {
+        let mut a = FlowRecord::pair(HostAddr::v4(0x0a000001), HostAddr::v4(0x0a000002));
+        a.src_port = 40001;
+        a.dst_port = 443;
+        a.packets = 17;
+        a.bytes = 4096;
+        a.start_ms = 1_000;
+        a.end_ms = 1_500;
+        let mut b = FlowRecord::pair(
+            HostAddr::from_v6_octets([0xfe; 16]),
+            HostAddr::v4(0x0a0000ff),
+        );
+        b.proto = Proto::Udp;
+        b.start_ms = 2_000;
+        b.end_ms = 2_001;
+        let mut c = FlowRecord::pair(HostAddr::v4(1), HostAddr::from_v6_octets([1; 16]));
+        c.proto = Proto::Other(89);
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let records = sample();
+        let bytes = encode_batch(&records);
+        assert_eq!(decode_batch(&bytes).unwrap(), records);
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn truncation_is_classified() {
+        let bytes = encode_batch(&sample());
+        for cut in [0, 3, 4, 10, bytes.len() - 1] {
+            match decode_batch(&bytes[..cut]) {
+                Err(FlowError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn huge_count_is_rejected_before_allocation() {
+        let mut bytes = encode_batch(&sample());
+        bytes[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(FlowError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_family_tag_is_classified() {
+        let mut bytes = encode_batch(&sample());
+        bytes[4] = 9; // first record's src family tag
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(FlowError::BadFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_batch(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(FlowError::BadFormat { .. })
+        ));
+    }
+}

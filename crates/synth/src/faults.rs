@@ -10,10 +10,17 @@
 //! that supervised ingestion (retry, quarantine, degraded-window
 //! classification) keeps the correlation chain intact under fire.
 
+use aggregator::transport::frame::{self, FrameType};
 use aggregator::{Probe, ProbeError};
 use flow::FlowRecord;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A probe that fails polls at a seeded, configurable rate.
 ///
@@ -219,6 +226,314 @@ impl<P: Probe> Probe for ClockSkewProbe<P> {
     }
 }
 
+/// Per-frame fault probabilities and schedules for a [`WireFaultProxy`].
+///
+/// Faults that lose or repeat data (`drop`, `dup`, `reorder`,
+/// `truncate`) apply only to *sequenced* frames (`Batch`/`WindowEnd`) —
+/// exactly the frames the transport's go-back-N discipline must
+/// recover; mangling the handshake would only test reconnect dialing,
+/// which `truncate` already forces. Timing faults (`delay`, `split`)
+/// apply to every frame. All decisions come from one seeded RNG per
+/// connection, so a given `(seed, schedule)` replays bit for bit.
+#[derive(Clone, Debug)]
+pub struct WireFaultPlan {
+    /// Seed for the per-connection RNGs (connection `i` derives its own
+    /// stream, so reconnects see fresh but deterministic schedules).
+    pub seed: u64,
+    /// Probability a sequenced frame is silently dropped (the sender's
+    /// ack-silence retransmission must recover it).
+    pub drop_prob: f64,
+    /// Probability a sequenced frame is delivered twice (the listener's
+    /// sequence cursor must dedup it).
+    pub dup_prob: f64,
+    /// Probability a sequenced frame is held and delivered *after* the
+    /// next frame (the listener re-acks the gap; go-back-N refills it).
+    pub reorder_prob: f64,
+    /// Probability a frame is delayed by [`WireFaultPlan::delay`].
+    pub delay_prob: f64,
+    /// How long a delayed frame is held.
+    pub delay: Duration,
+    /// Probability a frame's bytes are written in two chunks with a
+    /// pause between (stream reassembly across partial reads).
+    pub split_prob: f64,
+    /// Probability a sequenced frame is cut mid-bytes and the
+    /// connection closed (the sender must reconnect and resume).
+    pub truncate_prob: f64,
+    /// After this many sequenced frames have been *forwarded* (summed
+    /// over all connections), eat every subsequent frame: the
+    /// permanent-loss schedule. `None` disables the black hole.
+    pub blackhole_after: Option<u64>,
+}
+
+impl WireFaultPlan {
+    /// A transparent proxy: no faults at all.
+    pub fn clean(seed: u64) -> WireFaultPlan {
+        WireFaultPlan {
+            seed,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::from_millis(5),
+            split_prob: 0.0,
+            truncate_prob: 0.0,
+            blackhole_after: None,
+        }
+    }
+
+    /// The chaos-suite schedule: every fault class enabled at rates
+    /// high enough to fire in a short run but low enough that the
+    /// sender's bounded retransmission/reconnect budgets hold.
+    pub fn chaos(seed: u64) -> WireFaultPlan {
+        WireFaultPlan {
+            seed,
+            drop_prob: 0.10,
+            dup_prob: 0.10,
+            reorder_prob: 0.08,
+            delay_prob: 0.10,
+            delay: Duration::from_millis(2),
+            split_prob: 0.15,
+            truncate_prob: 0.04,
+            blackhole_after: None,
+        }
+    }
+
+    /// A schedule that delivers `n` sequenced frames and then goes
+    /// permanently dark — the unrecoverable-loss scenario.
+    pub fn blackhole(seed: u64, n: u64) -> WireFaultPlan {
+        WireFaultPlan {
+            blackhole_after: Some(n),
+            ..WireFaultPlan::clean(seed)
+        }
+    }
+}
+
+/// What the proxy did to the frames that passed through it.
+#[derive(Debug, Default)]
+pub struct WireFaultCounters {
+    /// Frames read off probe connections.
+    pub frames: AtomicU64,
+    /// Sequenced frames silently discarded.
+    pub dropped: AtomicU64,
+    /// Sequenced frames delivered twice.
+    pub duplicated: AtomicU64,
+    /// Sequenced frames delivered out of order.
+    pub reordered: AtomicU64,
+    /// Frames delayed before delivery.
+    pub delayed: AtomicU64,
+    /// Frames written in two chunks.
+    pub split: AtomicU64,
+    /// Sequenced frames cut mid-bytes (connection closed).
+    pub truncated: AtomicU64,
+    /// Frames eaten by the permanent black hole.
+    pub blackholed: AtomicU64,
+}
+
+/// A deterministic fault-injecting TCP proxy for the probe→aggregator
+/// wire protocol.
+///
+/// Sits between a [`ProbeSender`](aggregator::ProbeSender) and a
+/// [`WireListener`](aggregator::WireListener), parses the frame stream,
+/// and re-emits it with seeded drops, duplicates, reorders, delays,
+/// split writes, and truncate-then-close cuts — the wire-level faults
+/// the transport's sessions must absorb without losing or
+/// double-counting a record. The listener→probe direction (acks) is
+/// pumped verbatim.
+pub struct WireFaultProxy {
+    local: SocketAddr,
+    counters: Arc<WireFaultCounters>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl WireFaultProxy {
+    /// Starts a proxy on an ephemeral local port, forwarding to
+    /// `upstream` under `plan`.
+    pub fn spawn(
+        upstream: impl ToSocketAddrs,
+        plan: WireFaultPlan,
+    ) -> std::io::Result<WireFaultProxy> {
+        let upstream = upstream
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let counters = Arc::new(WireFaultCounters::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::new(AtomicU64::new(0));
+
+        let accept_counters = Arc::clone(&counters);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_idx: u64 = 0;
+            while !accept_shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        conn_idx += 1;
+                        // Each connection gets its own deterministic
+                        // stream: reconnects replay a *different* but
+                        // reproducible schedule.
+                        let rng = StdRng::seed_from_u64(
+                            plan.seed ^ conn_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        let plan = plan.clone();
+                        let counters = Arc::clone(&accept_counters);
+                        let forwarded = Arc::clone(&forwarded);
+                        std::thread::spawn(move || {
+                            let _ = forward_connection(
+                                client, upstream, plan, rng, &counters, &forwarded,
+                            );
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(WireFaultProxy {
+            local,
+            counters,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address probes should dial instead of the listener's.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The fault tallies so far.
+    pub fn counters(&self) -> &WireFaultCounters {
+        &self.counters
+    }
+
+    /// Stops accepting new connections (existing ones drain on their
+    /// own when either side closes).
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WireFaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Proxies one probe connection: client→upstream through the fault
+/// schedule, upstream→client (the ack stream) verbatim.
+fn forward_connection(
+    mut client: TcpStream,
+    upstream_addr: SocketAddr,
+    plan: WireFaultPlan,
+    mut rng: StdRng,
+    counters: &WireFaultCounters,
+    forwarded: &AtomicU64,
+) -> std::io::Result<()> {
+    let mut upstream = TcpStream::connect(upstream_addr)?;
+    client.set_nodelay(true)?;
+    upstream.set_nodelay(true)?;
+
+    // Ack pump: bytes from the listener back to the probe, untouched.
+    // Ends when either socket closes; errors just end the pump.
+    let mut ack_src = upstream.try_clone()?;
+    let mut ack_dst = client.try_clone()?;
+    let pump = std::thread::spawn(move || {
+        let mut buf = [0u8; 4096];
+        while let Ok(n) = ack_src.read(&mut buf) {
+            if n == 0 || ack_dst.write_all(&buf[..n]).is_err() {
+                break;
+            }
+        }
+    });
+
+    // A reordered frame waits here until the next frame has been sent.
+    let mut held: Option<Vec<u8>> = None;
+    let result = loop {
+        let frame = match frame::read_frame(&mut client, u32::MAX) {
+            Ok(f) => f,
+            Err(_) => break Ok(()), // client closed or spoke garbage: done
+        };
+        counters.frames.fetch_add(1, Ordering::Relaxed);
+        let sequenced = matches!(frame.kind, FrameType::Batch | FrameType::WindowEnd);
+        let bytes = frame.encode();
+
+        if let Some(limit) = plan.blackhole_after {
+            let seen = if sequenced {
+                forwarded.fetch_add(1, Ordering::Relaxed)
+            } else {
+                forwarded.load(Ordering::Relaxed)
+            };
+            if seen >= limit {
+                counters.blackholed.fetch_add(1, Ordering::Relaxed);
+                continue; // eat it, keep reading: permanent loss
+            }
+        }
+
+        if sequenced && rng.gen_bool(plan.drop_prob) {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if sequenced && held.is_none() && rng.gen_bool(plan.reorder_prob) {
+            counters.reordered.fetch_add(1, Ordering::Relaxed);
+            held = Some(bytes);
+            continue; // delivered after the next frame
+        }
+        if sequenced && rng.gen_bool(plan.truncate_prob) && bytes.len() > 1 {
+            counters.truncated.fetch_add(1, Ordering::Relaxed);
+            let cut = rng.gen_range(1..bytes.len());
+            let _ = upstream.write_all(&bytes[..cut]);
+            break Ok(()); // close both directions mid-frame
+        }
+        if rng.gen_bool(plan.delay_prob) {
+            counters.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(plan.delay);
+        }
+        if rng.gen_bool(plan.split_prob) && bytes.len() > 1 {
+            counters.split.fetch_add(1, Ordering::Relaxed);
+            let cut = rng.gen_range(1..bytes.len());
+            if upstream.write_all(&bytes[..cut]).is_err() {
+                break Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            if upstream.write_all(&bytes[cut..]).is_err() {
+                break Ok(());
+            }
+        } else if upstream.write_all(&bytes).is_err() {
+            break Ok(());
+        }
+        if sequenced && rng.gen_bool(plan.dup_prob) {
+            counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            if upstream.write_all(&bytes).is_err() {
+                break Ok(());
+            }
+        }
+        if let Some(h) = held.take() {
+            if upstream.write_all(&h).is_err() {
+                break Ok(());
+            }
+        }
+    };
+    // Release a frame still held at stream end, then close both sides
+    // so the ack pump unblocks.
+    if let Some(h) = held.take() {
+        let _ = upstream.write_all(&h);
+    }
+    let _ = upstream.shutdown(std::net::Shutdown::Both);
+    let _ = client.shutdown(std::net::Shutdown::Both);
+    let _ = pump.join();
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +600,27 @@ mod tests {
         assert!(got.len() > 100);
         // Every record is one of the originals.
         assert!(got.iter().all(|r| r.start_ms % 10 == 0));
+    }
+
+    #[test]
+    fn clean_wire_proxy_is_transparent() {
+        let cfg = aggregator::TransportConfig::fast();
+        let listener =
+            aggregator::WireListener::bind("127.0.0.1:0", cfg.clone(), None, None).unwrap();
+        let mut probe = listener.probe("p");
+        let proxy = WireFaultProxy::spawn(listener.local_addr(), WireFaultPlan::clean(1)).unwrap();
+
+        let records = trace(20);
+        let addr = proxy.local_addr();
+        let sent = records.clone();
+        let sender = std::thread::spawn(move || {
+            aggregator::transport::stream_records(addr, "p", &sent, 0, 1000, cfg).unwrap()
+        });
+        assert_eq!(probe.poll(0, 1000).unwrap(), records);
+        let stats = sender.join().unwrap();
+        assert_eq!(stats.retransmits, 0, "a clean proxy forces no recovery");
+        assert!(proxy.counters().frames.load(Ordering::Relaxed) > 0);
+        assert_eq!(proxy.counters().dropped.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   exercising the ingestion pipeline end to end.
 //! * [`faults`] — seeded fault-injection probe wrappers (flaky,
 //!   truncating, duplicating, clock-skewed) for chaos-testing the
-//!   aggregator's supervised ingestion.
+//!   aggregator's supervised ingestion, plus [`faults::WireFaultProxy`],
+//!   a deterministic TCP proxy that injects wire-level faults (drop,
+//!   duplicate, reorder, delay, split, truncate, black hole) into the
+//!   probe→aggregator frame protocol.
 
 pub mod churn;
 pub mod faults;
@@ -28,5 +31,8 @@ pub mod model;
 pub mod scenarios;
 pub mod trace;
 
-pub use faults::{ClockSkewProbe, DuplicatingProbe, FlakyProbe, TruncatingProbe};
+pub use faults::{
+    ClockSkewProbe, DuplicatingProbe, FlakyProbe, TruncatingProbe, WireFaultCounters,
+    WireFaultPlan, WireFaultProxy,
+};
 pub use model::{ConnRule, Fanout, GroundTruth, NetworkModel, RoleSpec, SyntheticNetwork};

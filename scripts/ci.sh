@@ -40,6 +40,16 @@ echo "==> telemetry suite + name lint + provenance coverage"
 cargo test -q -p telemetry
 cargo test -q --test telemetry_parity --test metric_names --test event_journal
 
+# Wire transport must shrug off a hostile network: the chaos suite runs
+# the loopback-TCP pipeline through the deterministic fault proxy on a
+# fixed seed matrix ([11, 23, 47], pinned inside the test) — lossy runs
+# must produce outcomes bit-identical to the in-process baseline, and a
+# blackholed probe must degrade the window and quarantine, never hang.
+# The codec property tests fuzz the frame parser the same way the flow
+# parsers are fuzzed.
+echo "==> wire chaos suite (fixed seed matrix) + frame codec properties"
+cargo test -q -p aggregator --test wire_chaos --test frame_codec_properties
+
 # The kernel must be a pure throughput knob: its counts, the Engine's
 # classifications, and every correlation are identical at any worker
 # count. Exercised at 1, 2, and 8 workers.

@@ -26,9 +26,19 @@
 //! rcctl explain --input flows.txt --host 10.0.0.11 --window-ms 86400000
 //! rcctl serve   --input flows.txt --addr 127.0.0.1:7878
 //! ```
+//!
+//! `ingest listen` and `probe send` split the same pipeline across a
+//! TCP wire: the listener classifies windows streamed to it over the
+//! framed transport, the sender replays a capture into a listener:
+//!
+//! ```text
+//! rcctl ingest listen --addr 127.0.0.1:7879 --probe edge --window-ms 1000
+//! rcctl probe send    --input flows.txt --to 127.0.0.1:7879 --probe edge --window-ms 1000
+//! ```
 
 use crate::aggregator::{
-    Aggregator, AggregatorConfig, ProbeReport, ReplayProbe, SupervisorConfig, WindowHealth,
+    transport::stream_records, Aggregator, AggregatorConfig, ProbeReport, ReplayProbe,
+    SupervisorConfig, TransportConfig, WindowHealth, WireListener,
 };
 use crate::explain::explain_host;
 use crate::flow::{
@@ -97,6 +107,11 @@ USAGE:
   rcctl serve     --input <FILE> [--format <FMT>] [--window-ms N]
                   [--addr <IP:PORT>] [--addr-file <FILE>]
                   [--max-requests N] [same tuning flags as classify]
+  rcctl ingest listen --probe <NAME> [--addr <IP:PORT>] [--addr-file <FILE>]
+                  [--window-ms N] [--origin-ms N] [--max-windows N]
+                  [same tuning flags as classify]
+  rcctl probe send --input <FILE> --to <IP:PORT> [--probe <NAME>]
+                  [--format <FMT>] [--window-ms N] [--origin-ms N]
 
 FORMATS (default: by file extension, falling back to text):
   text     whitespace/CSV flow log        (.txt, .log, .csv)
@@ -120,6 +135,20 @@ OBSERVABILITY:
   --addr       listen address for serve (default 127.0.0.1:7878; port 0
                picks an ephemeral port)
   --addr-file  write the actually-bound address to a file (for scripts)
+
+WIRE INGESTION (the probe→aggregator transport):
+  ingest listen  accept framed flow-record streams over TCP, classify
+                 each completed window, and print the run summary; stops
+                 when every probe session ends (or after --max-windows)
+  probe send     replay a capture into a listener, window by window,
+                 with acknowledged go-back-N delivery
+  --probe        probe/session name (must match on both ends; default
+                 \"probe\")
+  --to           listener address for probe send
+  --origin-ms    start of the first window (default 0; must match on
+                 both ends)
+  --max-windows  listener hard stop after N windows (guards against a
+                 sender that never finishes its session)
 ";
 
 /// Parsed common options.
@@ -139,6 +168,10 @@ struct Options {
     addr: Option<String>,
     addr_file: Option<String>,
     max_requests: Option<u64>,
+    to: Option<String>,
+    probe_name: Option<String>,
+    origin_ms: Option<u64>,
+    max_windows: Option<u64>,
     params: Params,
 }
 
@@ -159,6 +192,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         addr: None,
         addr_file: None,
         max_requests: None,
+        to: None,
+        probe_name: None,
+        origin_ms: None,
+        max_windows: None,
         params: Params::default(),
     };
     let mut it = args.iter();
@@ -181,6 +218,22 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--host" => o.host = Some(value("--host")?),
             "--addr" => o.addr = Some(value("--addr")?),
             "--addr-file" => o.addr_file = Some(value("--addr-file")?),
+            "--to" => o.to = Some(value("--to")?),
+            "--probe" => o.probe_name = Some(value("--probe")?),
+            "--origin-ms" => {
+                o.origin_ms = Some(
+                    value("--origin-ms")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--origin-ms expects an integer"))?,
+                )
+            }
+            "--max-windows" => {
+                o.max_windows = Some(
+                    value("--max-windows")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--max-windows expects an integer"))?,
+                )
+            }
             "--max-requests" => {
                 o.max_requests = Some(
                     value("--max-requests")?
@@ -566,7 +619,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if o.auto_k_hi {
                 o.params.k_hi = auto_k_hi_otsu(&windows[0]).max(1);
             }
-            Ok(explain_host(&windows, host, o.params))
+            explain_host(&windows, host, o.params).map_err(|e| CliError::usage(e.to_string()))
         }
         "serve" => {
             let o = parse_options(rest)?;
@@ -594,6 +647,131 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| CliError::runtime(e.to_string()))?;
             Ok(format!("served {served} request(s)\n"))
         }
+        "probe" => match rest.split_first() {
+            Some((sub, rest)) if sub == "send" => {
+                let o = parse_options(rest)?;
+                let input = o
+                    .input
+                    .as_deref()
+                    .ok_or_else(|| CliError::usage("--input is required"))?;
+                let format = resolve_format(input, o.format.as_deref());
+                let records = load_records(input, &format)?;
+                if records.is_empty() {
+                    return Err(CliError::runtime(format!("{input}: no flow records")));
+                }
+                let to =
+                    o.to.as_deref()
+                        .ok_or_else(|| CliError::usage("--to is required"))?;
+                use std::net::ToSocketAddrs as _;
+                let addr = to
+                    .to_socket_addrs()
+                    .map_err(|e| CliError::usage(format!("--to {to}: {e}")))?
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("--to {to}: no address")))?;
+                let probe = o.probe_name.as_deref().unwrap_or("probe");
+                let origin_ms = o.origin_ms.unwrap_or(0);
+                let window_ms = o.window_ms.unwrap_or(86_400_000).max(1);
+                let stats = stream_records(
+                    addr,
+                    probe,
+                    &records,
+                    origin_ms,
+                    window_ms,
+                    TransportConfig::default(),
+                )
+                .map_err(|e| CliError::runtime(format!("send to {to}: {e}")))?;
+                Ok(format!(
+                    "sent {} record(s) in {} window(s) as probe {probe:?}: \
+                     {} frame(s), {} retransmit(s), {} reconnect(s), {} byte(s)\n",
+                    stats.records_sent,
+                    stats.windows_sent,
+                    stats.frames_sent,
+                    stats.retransmits,
+                    stats.reconnects,
+                    stats.bytes_sent
+                ))
+            }
+            _ => Err(CliError::usage(format!(
+                "probe requires the send subcommand\n\n{USAGE}"
+            ))),
+        },
+        "ingest" => match rest.split_first() {
+            Some((sub, rest)) if sub == "listen" => {
+                let o = parse_options(rest)?;
+                let probe = o.probe_name.as_deref().unwrap_or("probe").to_string();
+                let addr = o.addr.as_deref().unwrap_or("127.0.0.1:7879");
+                let window_ms = o.window_ms.unwrap_or(86_400_000).max(1);
+                let recorder = Arc::new(Recorder::new());
+                let listener = WireListener::bind(
+                    addr,
+                    TransportConfig::default(),
+                    Some(Arc::clone(&recorder)),
+                    None,
+                )
+                .map_err(|e| CliError::runtime(format!("bind {addr}: {e}")))?;
+                let bound = listener.local_addr();
+                if let Some(path) = &o.addr_file {
+                    std::fs::write(path, bound.to_string())
+                        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+                }
+                // Announce before blocking on the first window.
+                println!("ingesting on {bound} (probe {probe:?})");
+                let mut agg = Aggregator::try_new(AggregatorConfig {
+                    window_ms,
+                    origin_ms: o.origin_ms.unwrap_or(0),
+                    params: o.params,
+                    min_flows: o.min_flows,
+                    supervisor: SupervisorConfig::immediate(),
+                })
+                .map_err(|e| CliError::usage(e.to_string()))?
+                .with_recorder(Arc::clone(&recorder));
+                agg.attach(Box::new(listener.probe(&probe)));
+                let cap = o.max_windows.unwrap_or(u64::MAX);
+                let mut windows: u64 = 0;
+                while windows < cap && agg.has_pending_data() {
+                    agg.run_cycle();
+                    windows += 1;
+                }
+                let mut out = String::new();
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "windows: {windows}");
+                {
+                    let history = agg.history();
+                    let history = history.read();
+                    for run in history.iter() {
+                        let _ = writeln!(
+                            out,
+                            "window [{}, {}): {} host(s) in {} group(s), {} record(s), {}",
+                            run.window.start_ms,
+                            run.window.end_ms,
+                            run.grouping.host_count(),
+                            run.grouping.group_count(),
+                            run.health.records_accepted,
+                            if run.health.degraded() {
+                                "degraded"
+                            } else {
+                                "healthy"
+                            }
+                        );
+                    }
+                }
+                for r in &agg.probe_reports() {
+                    let _ = writeln!(
+                        out,
+                        "probe {:<20} {:?}: polled={} failed={} records={}",
+                        r.name,
+                        r.health,
+                        r.stats.windows_polled,
+                        r.stats.windows_failed,
+                        r.stats.records_delivered
+                    );
+                }
+                Ok(out)
+            }
+            _ => Err(CliError::usage(format!(
+                "ingest requires the listen subcommand\n\n{USAGE}"
+            ))),
+        },
         "diff" => {
             let o = parse_options(rest)?;
             let prev = load_snapshot(

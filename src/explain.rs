@@ -20,7 +20,7 @@
 //! from what the engine actually did.
 
 use crate::flow::{ConnectionSets, HostAddr};
-use crate::roleclass::{Engine, FormationKind, Params};
+use crate::roleclass::{Engine, FormationKind, ParamError, Params};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use telemetry::{Event, FieldValue, Recorder};
@@ -128,10 +128,16 @@ fn merge_chain(
 
 /// Replays `windows` through the engine and renders the decision chain
 /// for `host`: formation, every merge consideration, and group-id
-/// lineage, per window.
-pub fn explain_host(windows: &[ConnectionSets], host: HostAddr, params: Params) -> String {
+/// lineage, per window. Invalid `params` are reported as the error
+/// text, not a panic, so callers that skipped validation still get a
+/// classified failure.
+pub fn explain_host(
+    windows: &[ConnectionSets],
+    host: HostAddr,
+    params: Params,
+) -> Result<String, ParamError> {
     let recorder = Arc::new(Recorder::new());
-    let mut engine = Engine::new(params).expect("params validated by caller");
+    let mut engine = Engine::new(params)?;
     engine.set_recorder(Some(Arc::clone(&recorder)));
 
     let mut out = String::new();
@@ -222,7 +228,7 @@ pub fn explain_host(windows: &[ConnectionSets], host: HostAddr, params: Params) 
             .map_or(0, |g| g.k);
         let _ = writeln!(out, "  result: group {published} (K={k})");
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -256,7 +262,7 @@ mod tests {
     #[test]
     fn explains_formation_merges_and_lineage_across_windows() {
         let windows = vec![figure1(), figure1()];
-        let out = explain_host(&windows, h(11), params());
+        let out = explain_host(&windows, h(11), params()).unwrap();
         assert!(out.contains("decision chain for host 0.0.0.11"));
         assert!(out.contains("window 0:"));
         assert!(out.contains("window 1:"));
@@ -270,7 +276,7 @@ mod tests {
     #[test]
     fn unobserved_host_is_reported_per_window() {
         let windows = vec![figure1()];
-        let out = explain_host(&windows, h(99), params());
+        let out = explain_host(&windows, h(99), params()).unwrap();
         assert!(out.contains("not observed in this window"));
     }
 
@@ -284,7 +290,8 @@ mod tests {
             &windows,
             h(11),
             Params::default().with_s_lo(99.0).with_s_hi(99.5),
-        );
+        )
+        .unwrap();
         // Either the host's group had merges rejected, or no merge was
         // considered at all — both must render without panicking.
         assert!(out.contains("window 0:"));

@@ -15,13 +15,43 @@
 //! request per connection (`Connection: close`), request line plus
 //! drained headers, GET only. That keeps it inside the standard
 //! library while still being a conformant scrape target.
+//!
+//! It is also defensive: every connection gets a read *and* write
+//! deadline (a half-open client cannot park the accept loop), and the
+//! request line plus headers are capped at
+//! [`ServerConfig::max_header_bytes`] — an oversized request is
+//! answered `431` instead of buffered without bound. GETs carry no
+//! body, so the header cap bounds the whole request.
 
 use crate::aggregator::WindowHealth;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 use telemetry::Recorder;
+
+/// Per-connection limits for the HTTP listener.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Deadline for reading the request (request line + headers). A
+    /// client that connects and goes silent is dropped when it expires.
+    pub read_timeout: Duration,
+    /// Deadline for writing the response.
+    pub write_timeout: Duration,
+    /// Upper bound on request line + headers; beyond it the request is
+    /// answered `431 Request Header Fields Too Large`.
+    pub max_header_bytes: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_header_bytes: 8192,
+        }
+    }
+}
 
 /// What the server exposes: a recorder (metrics registry + event
 /// journal) and the outcome of the replayed pipeline.
@@ -39,14 +69,26 @@ pub struct ServerState {
 pub struct Server {
     listener: TcpListener,
     state: ServerState,
+    config: ServerConfig,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7878`; port `0` picks an ephemeral
-    /// port, readable back via [`Server::local_addr`]).
+    /// port, readable back via [`Server::local_addr`]) with default
+    /// [`ServerConfig`] limits.
     pub fn bind(addr: &str, state: ServerState) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, state })
+        Ok(Server {
+            listener,
+            state,
+            config: ServerConfig::default(),
+        })
+    }
+
+    /// Replaces the per-connection limits.
+    pub fn with_config(mut self, config: ServerConfig) -> Server {
+        self.config = config;
+        self
     }
 
     /// The actually-bound address (resolves an ephemeral port).
@@ -62,7 +104,7 @@ impl Server {
         let mut served = 0u64;
         for stream in self.listener.incoming() {
             if let Ok(s) = stream {
-                let _ = handle(s, &self.state);
+                let _ = handle(s, &self.state, &self.config);
                 served += 1;
             }
             if max_requests.is_some_and(|max| served >= max) {
@@ -81,15 +123,31 @@ fn tail_param(query: &str) -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
-fn handle(stream: TcpStream, state: &ServerState) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let mut reader = BufReader::new(&stream);
+fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    // The cap rides on the reader itself, so no single header line (or
+    // an endless header stream) can buffer more than max_header_bytes.
+    let mut reader = BufReader::new((&stream).take(config.max_header_bytes));
     let mut line = String::new();
     reader.read_line(&mut line)?;
+    if line.is_empty() {
+        // Half-open client: connected, sent nothing, closed (or the
+        // read deadline fired as an error before this). Nothing to
+        // answer.
+        return Ok(());
+    }
     // Drain the request headers; routing only needs the request line.
+    let mut truncated = !line.ends_with('\n');
     loop {
         let mut h = String::new();
-        if reader.read_line(&mut h)? == 0 || h == "\r\n" || h == "\n" {
+        if reader.read_line(&mut h)? == 0 {
+            // EOF before the blank line: either the client half-closed
+            // mid-headers or the size cap swallowed the rest.
+            truncated = reader.get_ref().limit() == 0;
+            break;
+        }
+        if h == "\r\n" || h == "\n" {
             break;
         }
     }
@@ -101,7 +159,16 @@ fn handle(stream: TcpStream, state: &ServerState) -> io::Result<()> {
         None => (target, None),
     };
 
-    let (status, content_type, body) = if method != "GET" {
+    let (status, content_type, body) = if truncated {
+        (
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            format!(
+                "request line + headers exceed {} bytes\n",
+                config.max_header_bytes
+            ),
+        )
+    } else if method != "GET" {
         (
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
@@ -153,14 +220,31 @@ fn handle(stream: TcpStream, state: &ServerState) -> io::Result<()> {
         }
     };
 
-    let mut out = stream;
+    drop(reader);
+    let mut out = &stream;
     write!(
         out,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     )?;
     out.write_all(body.as_bytes())?;
-    out.flush()
+    out.flush()?;
+    if truncated {
+        // Closing with unread request bytes in the receive buffer turns
+        // into an RST that can eat the 431 before the client reads it.
+        // Drain what the client already sent — bounded, and still under
+        // the read deadline — so the close is orderly.
+        let mut scratch = [0u8; 4096];
+        let mut budget: u64 = 1 << 20;
+        let mut r = &stream;
+        while budget > 0 {
+            match r.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => budget = budget.saturating_sub(n as u64),
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -225,6 +309,73 @@ mod tests {
         assert!(missing.starts_with("HTTP/1.1 404"));
 
         assert_eq!(t.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn half_open_connection_cannot_park_the_listener() {
+        let server = Server::bind("127.0.0.1:0", test_state())
+            .unwrap()
+            .with_config(ServerConfig {
+                read_timeout: Duration::from_millis(100),
+                ..ServerConfig::default()
+            });
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run(Some(3)).unwrap());
+
+        // Two hostile clients: one connects and goes silent, one sends
+        // half a request line and stalls. Each costs the server at most
+        // the read deadline.
+        let silent = TcpStream::connect(addr).unwrap();
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        write!(stalled, "GET /met").unwrap();
+
+        // A well-behaved request still gets served afterwards.
+        let metrics = request(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        drop(silent);
+        drop(stalled);
+        assert_eq!(t.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn oversized_headers_are_431_not_buffered() {
+        let server = Server::bind("127.0.0.1:0", test_state())
+            .unwrap()
+            .with_config(ServerConfig {
+                max_header_bytes: 256,
+                ..ServerConfig::default()
+            });
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run(Some(2)).unwrap());
+
+        // One huge header line blowing straight past the cap. Half-close
+        // after writing so the server's drain sees EOF promptly.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "GET /metrics HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(4096)
+        )
+        .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 431"), "{resp}");
+
+        // An endless stream of small headers is cut off the same way.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /metrics HTTP/1.1\r\n").unwrap();
+        for i in 0..200 {
+            if write!(s, "X-H{i}: v\r\n").is_err() {
+                break; // server already hung up on us
+            }
+        }
+        let _ = write!(s, "\r\n");
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        assert!(resp.starts_with("HTTP/1.1 431"), "{resp}");
+        t.join().unwrap();
     }
 
     #[test]

@@ -366,3 +366,49 @@ fn malformed_snapshot_is_runtime_error() {
     .unwrap_err();
     assert_eq!(err.code, 1);
 }
+
+#[test]
+fn probe_send_streams_into_ingest_listen() {
+    let dir = workdir("wire");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let addr_file = dir.join("listener.addr");
+
+    // The listener blocks until the probe session ends, so it runs in a
+    // thread; --addr-file hands the ephemeral port back to the sender.
+    let af = addr_file.to_string_lossy().into_owned();
+    let listener = std::thread::spawn(move || {
+        run(&args(&[
+            "ingest",
+            "listen",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            &af,
+            "--probe",
+            "edge",
+            "--max-windows",
+            "3",
+        ]))
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !addr_file.exists() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let addr = std::fs::read_to_string(&addr_file).expect("listener never wrote its address");
+
+    let sent = run(&args(&[
+        "probe", "send", "--input", flows, "--to", &addr, "--probe", "edge",
+    ]))
+    .unwrap();
+    assert!(sent.contains("window(s) as probe \"edge\""), "{sent}");
+    assert!(sent.contains("0 retransmit(s)"), "{sent}");
+
+    let out = listener.join().unwrap().unwrap();
+    // Figure-1 population, classified from the wire exactly as
+    // `classify` would from the file: all 10 hosts, healthy window.
+    assert!(out.contains("10 host(s)"), "{out}");
+    assert!(out.contains("healthy"), "{out}");
+    assert!(!out.contains("degraded"), "{out}");
+    assert!(out.contains("probe edge"), "{out}");
+}

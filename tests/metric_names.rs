@@ -3,25 +3,29 @@
 //! snake_case, and prefixed with `roleclass_<layer>_` (DESIGN.md §7's
 //! naming convention).
 
-use role_classification::aggregator::{AGGREGATOR_EVENT_NAMES, AGGREGATOR_METRIC_NAMES};
+use role_classification::aggregator::{
+    AGGREGATOR_EVENT_NAMES, AGGREGATOR_METRIC_NAMES, TRANSPORT_EVENT_NAMES, TRANSPORT_METRIC_NAMES,
+};
 use role_classification::flow::FLOW_METRIC_NAMES;
 use role_classification::netgraph::KERNEL_METRIC_NAMES;
 use role_classification::roleclass::{ENGINE_EVENT_NAMES, ENGINE_METRIC_NAMES};
 use std::collections::BTreeSet;
 
-fn layers() -> [(&'static str, &'static [&'static str]); 4] {
+fn layers() -> [(&'static str, &'static [&'static str]); 5] {
     [
         ("roleclass_flow_", FLOW_METRIC_NAMES),
         ("roleclass_kernel_", KERNEL_METRIC_NAMES),
         ("roleclass_engine_", ENGINE_METRIC_NAMES),
         ("roleclass_aggregator_", AGGREGATOR_METRIC_NAMES),
+        ("roleclass_transport_", TRANSPORT_METRIC_NAMES),
     ]
 }
 
-fn event_layers() -> [(&'static str, &'static [&'static str]); 2] {
+fn event_layers() -> [(&'static str, &'static [&'static str]); 3] {
     [
         ("roleclass_engine_", ENGINE_EVENT_NAMES),
         ("roleclass_aggregator_", AGGREGATOR_EVENT_NAMES),
+        ("roleclass_transport_", TRANSPORT_EVENT_NAMES),
     ]
 }
 
