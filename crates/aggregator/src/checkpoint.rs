@@ -326,7 +326,6 @@ mod tests {
     use crate::pipeline::{Aggregator, AggregatorConfig, WindowHealth};
     use crate::probe::ReplayProbe;
     use flow::{FlowRecord, HostAddr};
-    use roleclass::Params;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("roleclass-ckpt-{tag}-{}", std::process::id()));
@@ -339,7 +338,6 @@ mod tests {
         let mut agg = Aggregator::new(AggregatorConfig {
             window_ms: 1000,
             origin_ms: 0,
-            params: Params::default(),
             min_flows: 1,
             ..AggregatorConfig::default()
         });

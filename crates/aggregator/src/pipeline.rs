@@ -91,8 +91,11 @@ pub struct AggregatorConfig {
     pub window_ms: u64,
     /// Time of the first window's start.
     pub origin_ms: u64,
-    /// Algorithm parameters.
-    pub params: Params,
+    /// Engine configuration: algorithm parameters plus execution
+    /// knobs (worker counts, kernel pruning). The recorder attachment
+    /// is managed by [`Aggregator::with_recorder`], not through this
+    /// config.
+    pub engine: EngineConfig,
     /// Minimum flow count per pair (noise filter) applied when building
     /// connection sets.
     pub min_flows: u64,
@@ -107,7 +110,7 @@ impl Default for AggregatorConfig {
         AggregatorConfig {
             window_ms: 86_400_000, // one day, like the paper's traces
             origin_ms: 0,
-            params: Params::default(),
+            engine: EngineConfig::default(),
             min_flows: 1,
             supervisor: SupervisorConfig::immediate(),
         }
@@ -200,7 +203,7 @@ impl Aggregator {
     ///
     /// # Panics
     ///
-    /// Panics if `config.params` fail validation; use
+    /// Panics if the configured parameters fail validation; use
     /// [`Aggregator::try_new`] when the parameters come from user
     /// configuration.
     pub fn new(config: AggregatorConfig) -> Self {
@@ -210,7 +213,7 @@ impl Aggregator {
     /// Creates an aggregator with no probes, rejecting invalid
     /// [`Params`] instead of panicking later mid-cycle.
     pub fn try_new(config: AggregatorConfig) -> Result<Self, ParamError> {
-        let engine = Engine::new(config.params)?;
+        let engine = Engine::from_config(config.engine.clone())?;
         let next = config.origin_ms;
         Ok(Aggregator {
             config,
@@ -748,7 +751,7 @@ mod tests {
             window_ms: 1000,
             origin_ms: 0,
             // Keep formation-phase groups: more structure to correlate.
-            params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+            engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
             min_flows: 1,
             supervisor: SupervisorConfig::immediate(),
         }
@@ -757,7 +760,7 @@ mod tests {
     #[test]
     fn try_new_rejects_invalid_params() {
         let mut cfg = config();
-        cfg.params = Params {
+        cfg.engine.params = Params {
             s_lo: 90.0,
             s_hi: 80.0,
             ..Params::default()

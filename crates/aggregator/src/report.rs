@@ -79,7 +79,7 @@ mod tests {
     use crate::pipeline::{Aggregator, AggregatorConfig};
     use crate::probe::ReplayProbe;
     use flow::{FlowRecord, HostAddr};
-    use roleclass::Params;
+    use roleclass::{EngineConfig, Params};
 
     fn h(x: u32) -> HostAddr {
         HostAddr::v4(x)
@@ -97,7 +97,7 @@ mod tests {
         let mut agg = Aggregator::new(AggregatorConfig {
             window_ms: 1000,
             origin_ms: 0,
-            params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+            engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
             min_flows: 1,
             ..AggregatorConfig::default()
         });

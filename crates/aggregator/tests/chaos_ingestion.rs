@@ -8,7 +8,7 @@
 
 use aggregator::{Aggregator, AggregatorConfig, ProbeHealth, ReplayProbe, SupervisorConfig};
 use flow::{FlowRecord, HostAddr};
-use roleclass::Params;
+use roleclass::{EngineConfig, Params};
 use synthnet::{ClockSkewProbe, DuplicatingProbe, FlakyProbe, TruncatingProbe};
 
 const WINDOWS: u64 = 6;
@@ -50,7 +50,7 @@ fn config() -> AggregatorConfig {
         window_ms: WINDOW_MS,
         origin_ms: 0,
         // Formation-phase parameters: more groups, more structure.
-        params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+        engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
     }

@@ -6,7 +6,7 @@ use aggregator::{
     Aggregator, AggregatorConfig, Checkpointer, RecoverySource, ReplayProbe, SupervisorConfig,
 };
 use flow::{FlowRecord, HostAddr};
-use roleclass::Params;
+use roleclass::{EngineConfig, Params};
 use std::fs;
 use std::path::PathBuf;
 
@@ -40,7 +40,7 @@ fn config() -> AggregatorConfig {
     AggregatorConfig {
         window_ms: WINDOW_MS,
         origin_ms: 0,
-        params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+        engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
     }

@@ -22,7 +22,7 @@ use aggregator::{
     TransportError, WireListener,
 };
 use flow::{FlowRecord, HostAddr};
-use roleclass::Params;
+use roleclass::{EngineConfig, Params};
 use std::sync::Arc;
 use std::time::Duration;
 use synthnet::{WireFaultPlan, WireFaultProxy};
@@ -60,7 +60,7 @@ fn config() -> AggregatorConfig {
     AggregatorConfig {
         window_ms: WINDOW_MS,
         origin_ms: 0,
-        params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+        engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
     }

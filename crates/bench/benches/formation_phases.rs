@@ -3,14 +3,14 @@
 //! time goes (the paper only reports end-to-end numbers).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use roleclass::{classify, correlate, form_groups, merge_groups, Params};
+use roleclass::{try_classify, try_correlate, try_form_groups, try_merge_groups, Params};
 use synthnet::{churn, scenarios};
 
 fn bench_formation(c: &mut Criterion) {
     let net = scenarios::mazu(42);
     let params = Params::default();
     c.bench_function("formation_mazu", |b| {
-        b.iter(|| form_groups(&net.connsets, &params))
+        b.iter(|| try_form_groups(&net.connsets, &params).unwrap())
     });
 }
 
@@ -19,8 +19,8 @@ fn bench_merging(c: &mut Criterion) {
     let params = Params::default();
     c.bench_function("merging_mazu", |b| {
         b.iter_batched(
-            || form_groups(&net.connsets, &params),
-            |formation| merge_groups(&net.connsets, formation, &params),
+            || try_form_groups(&net.connsets, &params).unwrap(),
+            |formation| try_merge_groups(&net.connsets, formation, &params).unwrap(),
             criterion::BatchSize::SmallInput,
         )
     });
@@ -29,21 +29,22 @@ fn bench_merging(c: &mut Criterion) {
 fn bench_correlation(c: &mut Criterion) {
     let params = Params::default();
     let before = scenarios::mazu(42);
-    let g_before = classify(&before.connsets, &params).grouping;
+    let g_before = try_classify(&before.connsets, &params).unwrap().grouping;
     let mut after = before.clone();
     let unix_mail = before.host("unix_mail");
     let exchange = before.host("ms_exchange");
     churn::swap_hosts(&mut after, unix_mail, exchange);
-    let g_after = classify(&after.connsets, &params).grouping;
+    let g_after = try_classify(&after.connsets, &params).unwrap().grouping;
     c.bench_function("correlate_mazu_swap", |b| {
         b.iter(|| {
-            correlate(
+            try_correlate(
                 &before.connsets,
                 &g_before,
                 &after.connsets,
                 &g_after,
                 &params,
             )
+            .unwrap()
         })
     });
 }

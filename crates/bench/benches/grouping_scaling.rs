@@ -6,7 +6,7 @@
 //! doubling sizes; the Criterion report exposes the growth curve.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use roleclass::{classify, Params};
+use roleclass::{try_classify, Params};
 use synthnet::{ConnRule, Fanout, NetworkModel, RoleSpec};
 
 /// A department-structured network with ~n hosts.
@@ -30,7 +30,7 @@ fn bench_scaling(c: &mut Criterion) {
     for &n in &[250usize, 500, 1000, 2000] {
         let cs = department_network(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &cs, |b, cs| {
-            b.iter(|| classify(cs, &Params::default()))
+            b.iter(|| try_classify(cs, &Params::default()).unwrap())
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn bench_scaling(c: &mut Criterion) {
 fn bench_mazu_end_to_end(c: &mut Criterion) {
     let net = synthnet::scenarios::mazu(42);
     c.bench_function("classify_mazu_110", |b| {
-        b.iter(|| classify(&net.connsets, &Params::default()))
+        b.iter(|| try_classify(&net.connsets, &Params::default()).unwrap())
     });
 }
 

@@ -9,6 +9,7 @@
 //! cost this PR removes; its output is the `formation_speedup/<n>`
 //! lines `scripts/bench.sh` collects into `BENCH_kernel.json`.
 
+use bench::workers_from_env;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netgraph::{CommonNeighborKernel, NodeId, WGraph};
 use roleclass::form_groups_reference;
@@ -17,6 +18,15 @@ use std::time::Instant;
 use synthnet::{ConnRule, Fanout, NetworkModel, RoleSpec};
 
 const SIZES: [usize; 2] = [1_000, 10_000];
+
+/// Worker count for this run: `ROLECLASS_THREADS` (parsed at the bench
+/// layer), else one per core — the same resolution `EngineConfig` uses.
+fn engine_workers() -> usize {
+    match workers_from_env() {
+        0 => netgraph::default_worker_count(),
+        n => n,
+    }
+}
 
 /// A department-structured network with ~n hosts (the same shape the
 /// `grouping_scaling` bench uses): 46-host departments around a small
@@ -54,7 +64,7 @@ fn bench_build(c: &mut Criterion) {
     for &n in &SIZES {
         let g = conn_graph(&department_network(n));
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| CommonNeighborKernel::build(g, |_| true))
+            b.iter(|| CommonNeighborKernel::build_with_workers(g, |_| true, engine_workers()))
         });
     }
     group.finish();
@@ -64,7 +74,7 @@ fn bench_threshold_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_threshold_sweep");
     for &n in &SIZES {
         let g = conn_graph(&department_network(n));
-        let kernel = CommonNeighborKernel::build(&g, |_| true);
+        let kernel = CommonNeighborKernel::build_with_workers(&g, |_| true, engine_workers());
         group.bench_with_input(BenchmarkId::from_parameter(n), &kernel, |b, kernel| {
             b.iter(|| {
                 let mut total = 0usize;
@@ -82,7 +92,7 @@ fn bench_contraction_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_contraction_update");
     for &n in &SIZES {
         let g = conn_graph(&department_network(n));
-        let kernel = CommonNeighborKernel::build(&g, |_| true);
+        let kernel = CommonNeighborKernel::build_with_workers(&g, |_| true, engine_workers());
         // One department's workstations: the role allocator hands out
         // the 4 core servers first, then 43 clients per department.
         let members: Vec<NodeId> = (4..47).map(|i| NodeId(i as u32)).collect();
@@ -106,7 +116,7 @@ fn bench_formation_speedup(_c: &mut Criterion) {
     for &n in &SIZES {
         let cs = department_network(n);
         let t0 = Instant::now();
-        let fast = form_groups(&cs, &params);
+        let fast = try_form_groups(&cs, &params).unwrap();
         let kernel_secs = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
         let slow = form_groups_reference(&cs, &params);

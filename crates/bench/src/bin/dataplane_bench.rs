@@ -7,18 +7,26 @@
 //!    [`flow::ConnectionSets`] through [`flow::ConnsetBuilder`];
 //! 2. **window** — one steady-state `Engine::run_window` over the built
 //!    sets (formation + merging + correlation against the previous
-//!    window).
+//!    window), with a telemetry recorder attached so every row carries
+//!    its per-stage breakdown.
+//!
+//! The 100k-host window runs end to end since pruned neighbor counting
+//! landed; before that it did not finish within an hour (see
+//! [`PRE_REFACTOR_BASELINE`]).
 //!
 //! Prints a table, then after a `===BENCH_DATAPLANE_JSON===` marker a
 //! JSON document with the current numbers *and* the pre-refactor
 //! baseline recorded below — `scripts/bench.sh` stores it as
 //! `BENCH_dataplane.json`.
 
-use bench::{banner, quick_mode, render_table};
+use bench::{banner, quick_mode, render_table, workers_from_env};
 use flow::ConnsetBuilder;
-use roleclass::{Engine, Params};
+use roleclass::{Engine, EngineConfig, Params, PruneMode};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 use synthnet::{trace, ConnRule, Fanout, NetworkModel, RoleSpec};
+use telemetry::Recorder;
 
 const WINDOW_MS: u64 = 86_400_000; // one day, like the paper's traces
 
@@ -30,8 +38,7 @@ const WINDOW_MS: u64 = 86_400_000; // one day, like the paper's traces
 ///
 /// The 100k-host end-to-end window is recorded as 0.0 (unmeasured): the
 /// pre-refactor run did not finish one window within an hour, the cost
-/// being in the classification algorithm both planes share. That is why
-/// the 100k row below measures the build phase only.
+/// being in the unpruned common-neighbor count over every host pair.
 const PRE_REFACTOR_BASELINE: [(usize, f64, f64); 3] = [
     (1_000, 0.0051, 0.0506),
     (10_000, 0.0798, 8.3346),
@@ -71,9 +78,23 @@ struct Measurement {
     records: usize,
     build_secs: f64,
     window_secs: f64,
+    /// Per-stage seconds inside the timed window (span name -> secs),
+    /// from the telemetry recorder of the fastest rep.
+    stages: BTreeMap<String, f64>,
 }
 
-fn measure(n: usize, reps: usize, end_to_end: bool) -> Measurement {
+/// Flattens the last `engine.run_window` span tree into name -> secs.
+fn window_stages(rec: &Recorder) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(root) = rec.spans().last() {
+        root.visit(&mut |n| {
+            *out.entry(n.name.clone()).or_insert(0.0) += n.secs();
+        });
+    }
+    out
+}
+
+fn measure(n: usize, reps: usize, cfg: &EngineConfig) -> Measurement {
     let t = Instant::now();
     let cs_model = department_network(n);
     eprintln!(
@@ -105,22 +126,27 @@ fn measure(n: usize, reps: usize, end_to_end: bool) -> Measurement {
     let cs = built.expect("at least one build rep");
 
     // Steady-state window: classify + correlate against a previous
-    // window (built untimed from the warm-up trace). Skipped for sizes
-    // where the window is dominated by the classification algorithm the
-    // data plane does not touch (see PRE_REFACTOR_BASELINE).
-    let mut window_secs = 0.0_f64;
-    if end_to_end {
-        let mut prev_b = ConnsetBuilder::new();
-        prev_b.add_records(warm.iter());
-        let prev_cs = prev_b.build();
-        window_secs = f64::INFINITY;
-        for _ in 0..reps.max(1) {
-            let mut engine = Engine::new(Params::default()).expect("default params are valid");
-            engine.run_window(&prev_cs);
-            let t0 = Instant::now();
-            engine.run_window(&cs);
-            window_secs = window_secs.min(t0.elapsed().as_secs_f64());
+    // window (built untimed from the warm-up trace), recorder attached
+    // for the per-stage breakdown. Best of `reps`.
+    let mut prev_b = ConnsetBuilder::new();
+    prev_b.add_records(warm.iter());
+    let prev_cs = prev_b.build();
+    let mut window_secs = f64::INFINITY;
+    let mut stages = BTreeMap::new();
+    for _ in 0..reps.max(1) {
+        let rec = Arc::new(Recorder::new());
+        let mut engine = Engine::from_config(cfg.clone())
+            .expect("bench config is valid")
+            .with_recorder(Arc::clone(&rec));
+        engine.run_window(&prev_cs);
+        let t0 = Instant::now();
+        engine.run_window(&cs);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < window_secs {
+            window_secs = secs;
+            stages = window_stages(&rec);
         }
+        eprintln!("[{n}] window in {secs:.1}s");
     }
 
     Measurement {
@@ -128,6 +154,7 @@ fn measure(n: usize, reps: usize, end_to_end: bool) -> Measurement {
         records: records.len(),
         build_secs,
         window_secs,
+        stages,
     }
 }
 
@@ -136,32 +163,29 @@ fn main() {
         "dataplane_bench",
         "connset build + end-to-end window times across population sizes",
     );
-    let sizes: &[(usize, usize, bool)] = if quick_mode() {
-        &[(1_000, 3, true), (10_000, 2, true)]
+    let cfg = EngineConfig::new(Params::default()).with_workers(workers_from_env());
+    let workers = cfg.resolved_kernel_workers();
+    let prune = match cfg.prune {
+        PruneMode::Auto => "auto",
+        PruneMode::Off => "off",
+    };
+    println!("engine: {workers} worker(s), prune {prune}\n");
+    let sizes: &[(usize, usize)] = if quick_mode() {
+        &[(1_000, 3), (10_000, 2)]
     } else {
-        &[(1_000, 3, true), (10_000, 2, true), (100_000, 1, false)]
+        &[(1_000, 3), (10_000, 2), (100_000, 1)]
     };
 
     let mut results = Vec::new();
-    for &(n, reps, end_to_end) in sizes {
-        let m = measure(n, reps, end_to_end);
-        if end_to_end {
-            println!(
-                "{} hosts: build {:.1} ms, window {:.1} ms ({} records)",
-                m.hosts,
-                m.build_secs * 1e3,
-                m.window_secs * 1e3,
-                m.records
-            );
-        } else {
-            println!(
-                "{} hosts: build {:.1} ms, window skipped — classification-bound \
-                 at this size ({} records)",
-                m.hosts,
-                m.build_secs * 1e3,
-                m.records
-            );
-        }
+    for &(n, reps) in sizes {
+        let m = measure(n, reps, &cfg);
+        println!(
+            "{} hosts: build {:.1} ms, window {:.1} ms ({} records)",
+            m.hosts,
+            m.build_secs * 1e3,
+            m.window_secs * 1e3,
+            m.records
+        );
         results.push(m);
     }
 
@@ -179,16 +203,11 @@ fn main() {
                 }
                 _ => "-".to_string(),
             };
-            let window = if m.window_secs > 0.0 {
-                format!("{:.3}", m.window_secs * 1e3)
-            } else {
-                "-".to_string()
-            };
             vec![
                 m.hosts.to_string(),
                 m.records.to_string(),
                 format!("{:.3}", m.build_secs * 1e3),
-                window,
+                format!("{:.3}", m.window_secs * 1e3),
                 speedup,
             ]
         })
@@ -202,23 +221,28 @@ fn main() {
         )
     );
 
-    let json_list = |items: &[(usize, f64, f64)]| {
-        items
-            .iter()
-            .map(|(h, b, w)| {
-                format!("{{\"hosts\":{h},\"build_secs\":{b:.6},\"window_secs\":{w:.6}}}")
-            })
-            .collect::<Vec<_>>()
-            .join(",")
-    };
-    let current: Vec<(usize, f64, f64)> = results
+    let baseline_json = PRE_REFACTOR_BASELINE
         .iter()
-        .map(|m| (m.hosts, m.build_secs, m.window_secs))
-        .collect();
+        .map(|(h, b, w)| format!("{{\"hosts\":{h},\"build_secs\":{b:.6},\"window_secs\":{w:.6}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let current_json = results
+        .iter()
+        .map(|m| {
+            let stages = m
+                .stages
+                .iter()
+                .map(|(name, secs)| format!("\"{name}\":{secs:.9}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"hosts\":{},\"build_secs\":{:.6},\"window_secs\":{:.6},\
+\"workers\":{workers},\"prune\":\"{prune}\",\"stages\":{{{stages}}}}}",
+                m.hosts, m.build_secs, m.window_secs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     println!("===BENCH_DATAPLANE_JSON===");
-    println!(
-        "{{\"pre_refactor_baseline\":[{}],\"current\":[{}]}}",
-        json_list(&PRE_REFACTOR_BASELINE),
-        json_list(&current)
-    );
+    println!("{{\"pre_refactor_baseline\":[{baseline_json}],\"current\":[{current_json}]}}");
 }

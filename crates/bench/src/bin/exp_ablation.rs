@@ -8,7 +8,7 @@
 
 use bench::{banner, render_table};
 use cluster::metrics;
-use roleclass::{classify, Params, SimilarityVariant};
+use roleclass::{try_classify, Params, SimilarityVariant};
 use synthnet::scenarios;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
     let mut rows = Vec::new();
     for alpha in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let params = Params::default().with_alpha(alpha);
-        let c = classify(&net.connsets, &params);
+        let c = try_classify(&net.connsets, &params).expect("valid params");
         let r = metrics::rand_statistic(&truth, &c.grouping.as_partition());
         rows.push(vec![
             format!("{alpha:.1}"),
@@ -37,7 +37,7 @@ fn main() {
     let mut rows = Vec::new();
     for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let params = Params::default().with_beta(beta);
-        let c = classify(&net.connsets, &params);
+        let c = try_classify(&net.connsets, &params).expect("valid params");
         let r = metrics::rand_statistic(&truth, &c.grouping.as_partition());
         rows.push(vec![
             format!("{beta:.2}"),
@@ -57,7 +57,7 @@ fn main() {
             similarity: variant,
             ..Params::default()
         };
-        let c = classify(&net.connsets, &params);
+        let c = try_classify(&net.connsets, &params).expect("valid params");
         let r = metrics::rand_statistic(&truth, &c.grouping.as_partition());
         rows.push(vec![
             name.to_string(),

@@ -7,7 +7,7 @@
 
 use bench::{banner, quick_mode, render_table};
 use cluster::metrics;
-use roleclass::{auto_k_hi_kcore, auto_k_hi_otsu, classify, Params};
+use roleclass::{auto_k_hi_kcore, auto_k_hi_otsu, try_classify, Params};
 use synthnet::scenarios;
 
 fn main() {
@@ -29,7 +29,8 @@ fn main() {
             ("otsu", otsu.max(1)),
             ("k-core", kcore.max(1)),
         ] {
-            let c = classify(&net.connsets, &Params::default().with_k_hi(k_hi));
+            let c = try_classify(&net.connsets, &Params::default().with_k_hi(k_hi))
+                .expect("valid params");
             let part = c.grouping.as_partition();
             rows.push(vec![
                 label.to_string(),

@@ -8,7 +8,7 @@
 //! bootstrap rule at `k = 1`.
 
 use bench::{banner, render_table};
-use roleclass::{form_groups, FormationKind, Params};
+use roleclass::{try_form_groups, FormationKind, Params};
 use synthnet::scenarios;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
         net.connsets.connection_count()
     );
 
-    let formation = form_groups(&net.connsets, &Params::default());
+    let formation = try_form_groups(&net.connsets, &Params::default()).expect("valid params");
     let mut rows = Vec::new();
     for ev in &formation.trace {
         let members: Vec<String> = ev

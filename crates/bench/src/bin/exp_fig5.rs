@@ -10,7 +10,7 @@
 
 use bench::{banner, render_table};
 use flow::HostAddr;
-use roleclass::{apply_correlation, classify, correlate, Params};
+use roleclass::{apply_correlation, try_classify, try_correlate, Params};
 use std::collections::BTreeMap;
 use synthnet::{churn, scenarios};
 
@@ -18,7 +18,7 @@ fn main() {
     banner("fig5_correlation", "Figure 5 (role correlation scenario)");
     let params = Params::default();
     let original = scenarios::mazu(42);
-    let before = classify(&original.connsets, &params);
+    let before = try_classify(&original.connsets, &params).expect("valid params");
 
     // Apply the paper's four changes.
     let mut changed = original.clone();
@@ -43,14 +43,15 @@ fn main() {
     churn::add_host_like(&mut changed, template_eng, new_eng);
     println!("change 4: added new eng machine {new_eng}\n");
 
-    let after = classify(&changed.connsets, &params);
-    let corr = correlate(
+    let after = try_classify(&changed.connsets, &params).expect("valid params");
+    let corr = try_correlate(
         &original.connsets,
         &before.grouping,
         &changed.connsets,
         &after.grouping,
         &params,
-    );
+    )
+    .expect("valid params");
     let renamed = apply_correlation(&corr, &after.grouping);
 
     println!(

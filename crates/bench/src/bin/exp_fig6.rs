@@ -6,7 +6,7 @@
 //! groups (70→90 on BigCompany). Pass `--quick` to sweep Mazu only.
 
 use bench::{banner, quick_mode, render_table};
-use roleclass::{classify, Params};
+use roleclass::{try_classify, Params};
 use synthnet::scenarios;
 
 fn sweep(name: &str, net: &synthnet::SyntheticNetwork) -> Vec<(f64, usize)> {
@@ -17,7 +17,7 @@ fn sweep(name: &str, net: &synthnet::SyntheticNetwork) -> Vec<(f64, usize)> {
         let params = Params::default()
             .with_s_lo(s_lo)
             .with_s_hi(99.5_f64.max(s_lo + 0.4));
-        let c = classify(&net.connsets, &params);
+        let c = try_classify(&net.connsets, &params).expect("valid params");
         out.push((s_lo, c.grouping.group_count()));
         eprintln!(
             "[{name}] S^lo = {s_lo:>4}: {} groups",

@@ -8,14 +8,14 @@
 //! Pass `--quick` to sweep Mazu only.
 
 use bench::{banner, quick_mode, render_table};
-use roleclass::{classify, Params};
+use roleclass::{try_classify, Params};
 use synthnet::scenarios;
 
 fn sweep(name: &str, net: &synthnet::SyntheticNetwork) -> Vec<(u32, usize)> {
     let mut out = Vec::new();
     for k_hi in 0..=12u32 {
         let params = Params::default().with_k_hi(k_hi);
-        let c = classify(&net.connsets, &params);
+        let c = try_classify(&net.connsets, &params).expect("valid params");
         out.push((k_hi, c.grouping.group_count()));
         eprintln!(
             "[{name}] K^hi = {k_hi:>2}: {} groups",

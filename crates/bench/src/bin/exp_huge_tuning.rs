@@ -9,7 +9,7 @@
 //! on a single core.
 
 use cluster::metrics;
-use roleclass::{auto_k_hi_otsu, classify, Params};
+use roleclass::{auto_k_hi_otsu, try_classify, Params};
 use std::collections::BTreeMap;
 use synthnet::scenarios;
 
@@ -19,8 +19,9 @@ fn main() {
     let otsu = auto_k_hi_otsu(&net.connsets);
     println!("otsu K^hi = {otsu} (default 7)");
     for (label, k_hi) in [("default(7)", 7u32), ("auto-otsu", otsu.max(1))] {
-        let (c, secs) =
-            bench::timed(|| classify(&net.connsets, &Params::default().with_k_hi(k_hi)));
+        let (c, secs) = bench::timed(|| {
+            try_classify(&net.connsets, &Params::default().with_k_hi(k_hi)).expect("valid params")
+        });
         let mut by_size: BTreeMap<usize, usize> = BTreeMap::new();
         for g in c.grouping.groups() {
             *by_size.entry(g.len()).or_default() += 1;

@@ -8,7 +8,7 @@
 
 use bench::{banner, render_table};
 use cluster::metrics;
-use roleclass::{classify, Params};
+use roleclass::{try_classify, Params};
 use synthnet::scenarios;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
     let mut groups = Vec::new();
     for seed in 0..10u64 {
         let net = scenarios::mazu(seed);
-        let c = classify(&net.connsets, &Params::default());
+        let c = try_classify(&net.connsets, &Params::default()).expect("valid params");
         let r = metrics::rand_statistic(&net.truth.partition(), &c.grouping.as_partition());
         let ari = metrics::adjusted_rand_index(&net.truth.partition(), &c.grouping.as_partition());
         rows.push(vec![

@@ -15,7 +15,7 @@
 //! the HugeCompany row.
 
 use bench::{banner, quick_mode, render_table, timed};
-use roleclass::{classify, Params};
+use roleclass::{try_classify, Params};
 use synthnet::scenarios;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
 
     for (name, net, paper_groups, paper_secs) in nets {
         let hosts = net.host_count();
-        let (c, secs) = timed(|| classify(&net.connsets, &params));
+        let (c, secs) = timed(|| try_classify(&net.connsets, &params).expect("valid params"));
         measured.push((hosts, secs));
         rows.push(vec![
             name.to_string(),

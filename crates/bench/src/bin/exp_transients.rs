@@ -13,7 +13,7 @@ use cluster::metrics;
 use flow::{ConnectionSets, HostAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use roleclass::{classify, Params};
+use roleclass::{try_classify, Params};
 use synthnet::scenarios;
 
 /// One day of observed connections: the stable network plus one
@@ -39,7 +39,7 @@ fn noisy_day(stable: &ConnectionSets, day: u64, n_targets: usize) -> ConnectionS
 }
 
 fn rand_of(cs: &ConnectionSets, truth: &[Vec<HostAddr>]) -> (usize, f64) {
-    let c = classify(cs, &Params::default());
+    let c = try_classify(cs, &Params::default()).expect("valid params");
     (
         c.grouping.group_count(),
         metrics::rand_statistic(truth, &c.grouping.as_partition()),

@@ -13,8 +13,8 @@
 
 use aggregator::transport::{stream_records, TransportConfig, WireListener};
 use aggregator::{Aggregator, AggregatorConfig, ReplayProbe, SupervisorConfig};
-use bench::{banner, quick_mode, render_table};
-use roleclass::Params;
+use bench::{banner, quick_mode, render_table, workers_from_env};
+use roleclass::{EngineConfig, Params, PruneMode};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use synthnet::{trace, ConnRule, Fanout, NetworkModel, RoleSpec};
@@ -60,6 +60,13 @@ fn main() {
         "per-stage pipeline breakdown via the telemetry registry",
     );
     let (hosts, windows) = if quick_mode() { (500, 2) } else { (5_000, 3) };
+    let engine_cfg = EngineConfig::new(Params::default()).with_workers(workers_from_env());
+    let workers = engine_cfg.resolved_kernel_workers();
+    let prune = match engine_cfg.prune {
+        PruneMode::Auto => "auto",
+        PruneMode::Off => "off",
+    };
+    println!("engine: {workers} worker(s), prune {prune}");
     let cs = department_network(hosts);
     let records = multi_window_trace(&cs, windows);
     println!(
@@ -74,7 +81,7 @@ fn main() {
     let mut agg = Aggregator::new(AggregatorConfig {
         window_ms: WINDOW_MS,
         origin_ms: 0,
-        params: Params::default(),
+        engine: engine_cfg.clone(),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
     })
@@ -120,9 +127,9 @@ fn main() {
     // Decision-provenance overhead: the same connection sets through a
     // detached engine and a recorder-attached one. Attaching must not
     // perturb the outcomes and should cost a few percent at most.
-    let mut plain = roleclass::Engine::new(Params::default()).unwrap();
+    let mut plain = roleclass::Engine::from_config(engine_cfg.clone()).unwrap();
     let prov_rec = Arc::new(Recorder::new());
-    let mut traced = roleclass::Engine::new(Params::default())
+    let mut traced = roleclass::Engine::from_config(engine_cfg.clone())
         .unwrap()
         .with_recorder(Arc::clone(&prov_rec));
     // One untimed window each warms caches and seeds correlation, then
@@ -156,7 +163,7 @@ fn main() {
     let config = AggregatorConfig {
         window_ms: WINDOW_MS,
         origin_ms: 0,
-        params: Params::default(),
+        engine: engine_cfg.clone(),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
     };
@@ -227,7 +234,7 @@ loopback TCP {wire_secs:.3}s ({wire_overhead_pct:+.1}%), {} frame(s), {} byte(s)
     }
     println!("===BENCH_PIPELINE_JSON===");
     println!(
-        "{{\"hosts\":{},\"windows\":{windows},\"stages\":{{{stages}}},\
+        "{{\"hosts\":{},\"windows\":{windows},\"workers\":{workers},\"prune\":\"{prune}\",\"stages\":{{{stages}}},\
 \"provenance\":{{\"detached_secs\":{detached_secs:.9},\"attached_secs\":{attached_secs:.9},\
 \"overhead_pct\":{overhead_pct:.3},\"events_recorded\":{events_recorded}}},\
 \"transport\":{{\"in_process_secs\":{in_process_secs:.9},\"wire_secs\":{wire_secs:.9},\

@@ -64,6 +64,18 @@ pub fn banner(id: &str, paper_artifact: &str) {
     println!("=== {id} — reproduces {paper_artifact} ===");
 }
 
+/// Engine worker-count override for the benchmark binaries: the
+/// `ROLECLASS_THREADS` environment variable, parsed here at the binary
+/// layer (the engine crates never read the environment — they take the
+/// count through `roleclass::EngineConfig`). 0 means auto (one worker
+/// per CPU core). Worker count never changes results, only throughput.
+pub fn workers_from_env() -> usize {
+    std::env::var("ROLECLASS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// The classify-and-report opener most experiment binaries start with:
 /// runs the full classification on a synthetic network, prints the
 /// standard `<name>: H hosts -> G groups in S s (note)` line, and
@@ -77,7 +89,8 @@ pub fn classify_report(
     params: &roleclass::Params,
     paper_note: &str,
 ) -> (roleclass::Classification, f64) {
-    let (c, secs) = timed(|| roleclass::classify(&net.connsets, params));
+    let (c, secs) =
+        timed(|| roleclass::try_classify(&net.connsets, params).expect("invalid parameters"));
     let note = if paper_note.is_empty() {
         String::new()
     } else {

@@ -1,5 +1,6 @@
 //! The public entry point: full two-phase role classification.
 
+use crate::config::EngineConfig;
 use crate::formation::{form_groups_validated, form_groups_with, FormationEvent, FormationResult};
 use crate::group::{GroupId, Grouping};
 use crate::merging::{merge_groups_with, MergeEvent};
@@ -10,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// Per-group neighborhood summary, the information Figure 4 of the paper
 /// renders for each group: which groups it communicates with and the
 /// average number of connections per member to each.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GroupNeighborhood {
     /// The group.
     pub id: GroupId,
@@ -81,6 +82,7 @@ impl Classification {
 /// # Panics
 ///
 /// Panics if `params` fail [`Params::validate`].
+#[deprecated(note = "use try_classify (or Engine, which validates once)")]
 pub fn classify(cs: &ConnectionSets, params: &Params) -> Classification {
     try_classify(cs, params).expect("invalid parameters")
 }
@@ -97,14 +99,15 @@ pub(crate) fn classify_validated(cs: &ConnectionSets, params: &Params) -> Classi
     finish_classification(cs, form_groups_validated(cs, params), params)
 }
 
-/// [`classify_validated`] with an optional recorder threading telemetry
-/// through both phases. `None` is exactly the uninstrumented path.
+/// [`classify_validated`] with explicit execution knobs and an optional
+/// recorder threading telemetry through both phases. `None` is exactly
+/// the uninstrumented path.
 pub(crate) fn classify_with(
     cs: &ConnectionSets,
-    params: &Params,
+    cfg: &EngineConfig,
     rec: Option<&telemetry::Recorder>,
 ) -> Classification {
-    finish_classification_with(cs, form_groups_with(cs, params, rec), params, rec)
+    finish_classification_with(cs, form_groups_with(cs, cfg, rec), cfg, rec)
 }
 
 /// Merges a formation result and assembles the [`Classification`]
@@ -115,21 +118,22 @@ pub(crate) fn finish_classification(
     formation: FormationResult,
     params: &Params,
 ) -> Classification {
-    finish_classification_with(cs, formation, params, None)
+    finish_classification_with(cs, formation, &EngineConfig::new(*params), None)
 }
 
-/// [`finish_classification`] with an optional recorder: emits the
-/// `engine.merge` span and the merge-phase metrics.
+/// [`finish_classification`] with explicit execution knobs and an
+/// optional recorder: emits the `engine.merge` span and the merge-phase
+/// metrics.
 pub(crate) fn finish_classification_with(
     cs: &ConnectionSets,
     formation: FormationResult,
-    params: &Params,
+    cfg: &EngineConfig,
     rec: Option<&telemetry::Recorder>,
 ) -> Classification {
     let _span = telemetry::span(rec, "engine.merge");
     let started = rec.map(|_| std::time::Instant::now());
     let formation_trace = formation.trace.clone();
-    let out = merge_groups_with(cs, formation, params, rec);
+    let out = merge_groups_with(cs, formation, cfg, rec);
     if let (Some(r), Some(t0)) = (rec, started) {
         let reg = r.registry();
         reg.counter("roleclass_engine_merges_total")
@@ -190,6 +194,11 @@ mod tests {
 
     fn h(x: u32) -> HostAddr {
         HostAddr::v4(x)
+    }
+
+    // Shadows the deprecated panicking wrapper for the tests below.
+    fn classify(cs: &ConnectionSets, params: &Params) -> Classification {
+        try_classify(cs, params).unwrap()
     }
 
     fn figure1() -> ConnectionSets {

@@ -311,6 +311,7 @@ fn neighbor_group_similarity(
 /// # Panics
 ///
 /// Panics if `params` fail validation.
+#[deprecated(note = "use try_correlate (or Engine::run_window, which validates once)")]
 pub fn correlate(
     prev_cs: &ConnectionSets,
     prev_grouping: &Grouping,
@@ -553,10 +554,25 @@ pub fn apply_correlation(corr: &Correlation, curr: &Grouping) -> Grouping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::classify::classify;
+    use crate::classify::{try_classify, Classification};
 
     fn h(x: u32) -> HostAddr {
         HostAddr::v4(x)
+    }
+
+    // Shadow the deprecated panicking wrappers for the tests below.
+    fn classify(cs: &ConnectionSets, params: &Params) -> Classification {
+        try_classify(cs, params).unwrap()
+    }
+
+    fn correlate(
+        prev_cs: &ConnectionSets,
+        prev_grouping: &Grouping,
+        curr_cs: &ConnectionSets,
+        curr_grouping: &Grouping,
+        params: &Params,
+    ) -> Correlation {
+        try_correlate(prev_cs, prev_grouping, curr_cs, curr_grouping, params).unwrap()
     }
 
     /// Figure 1 network (M = N = 3), same layout as the other modules.

@@ -1,9 +1,10 @@
 //! The reusable classification engine: validate once, stage the phases,
 //! keep warm state across observation windows.
 //!
-//! The free functions ([`classify`](crate::classify::classify),
-//! [`form_groups`](crate::formation::form_groups), …) re-validate
-//! parameters on every call and forget everything between calls. A
+//! The free functions ([`try_classify`](crate::classify::try_classify),
+//! [`try_form_groups`](crate::formation::try_form_groups), …)
+//! re-validate parameters on every call and forget everything between
+//! calls. A
 //! long-running pipeline classifying one window per day wants the
 //! opposite shape, which is what [`Engine`] provides:
 //!
@@ -41,10 +42,11 @@
 //! ```
 
 use crate::classify::{classify_with, finish_classification_with, Classification};
+use crate::config::EngineConfig;
 use crate::correlate::{apply_correlation, correlate_with_events, Correlation};
 use crate::formation::{form_groups_with, FormationResult};
 use crate::group::Grouping;
-use crate::merging::merge_groups_validated;
+use crate::merging::merge_groups_with;
 use crate::params::{ParamError, Params};
 use flow::ConnectionSets;
 use std::sync::Arc;
@@ -104,19 +106,28 @@ pub struct WindowOutcome {
 /// docs](self) for the design.
 #[derive(Clone, Debug)]
 pub struct Engine {
-    params: Params,
+    config: EngineConfig,
     prev: Option<EngineSnapshot>,
     recorder: Option<Arc<Recorder>>,
 }
 
 impl Engine {
-    /// Creates an engine, validating `params` once and for all.
+    /// Creates an engine with default execution knobs, validating
+    /// `params` once and for all.
     pub fn new(params: Params) -> Result<Self, ParamError> {
-        params.validate()?;
+        Engine::from_config(EngineConfig::new(params))
+    }
+
+    /// Creates an engine from a full [`EngineConfig`] (parameters plus
+    /// worker counts, prune mode, and recorder attachment), validating
+    /// once and for all.
+    pub fn from_config(mut config: EngineConfig) -> Result<Self, ParamError> {
+        config.validate()?;
+        let recorder = config.take_recorder();
         Ok(Engine {
-            params,
+            config,
             prev: None,
-            recorder: None,
+            recorder,
         })
     }
 
@@ -142,7 +153,13 @@ impl Engine {
 
     /// The validated parameters this engine runs with.
     pub fn params(&self) -> &Params {
-        &self.params
+        &self.config.params
+    }
+
+    /// The full configuration this engine runs with (the recorder
+    /// attachment lives on the engine itself; see [`Engine::recorder`]).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Runs the formation phase over `cs`, returning the staged result.
@@ -150,15 +167,16 @@ impl Engine {
         Formed {
             engine: self,
             cs,
-            result: form_groups_with(cs, &self.params, self.recorder.as_deref()),
+            result: form_groups_with(cs, &self.config, self.recorder.as_deref()),
         }
     }
 
     /// Full two-phase classification of one window, without touching the
     /// engine's cross-window state. Equivalent to
-    /// [`classify`](crate::classify::classify) minus the re-validation.
+    /// [`try_classify`](crate::classify::try_classify) minus the
+    /// re-validation.
     pub fn classify(&self, cs: &ConnectionSets) -> Classification {
-        classify_with(cs, &self.params, self.recorder.as_deref())
+        classify_with(cs, &self.config, self.recorder.as_deref())
     }
 
     /// Classifies `cs`, correlates against the previous window's
@@ -182,7 +200,7 @@ impl Engine {
                     &prev.grouping,
                     cs,
                     &classification.grouping,
-                    &self.params,
+                    &self.config.params,
                     rec,
                 );
                 if let (Some(r), Some(t0)) = (rec, started) {
@@ -258,7 +276,7 @@ impl<'e> Formed<'e> {
             classification: finish_classification_with(
                 self.cs,
                 self.result,
-                &self.engine.params,
+                &self.engine.config,
                 self.engine.recorder.as_deref(),
             ),
         }
@@ -270,7 +288,7 @@ impl<'e> Formed<'e> {
     ///
     /// [`MergeOutcome`-level]: crate::merging::MergeOutcome
     pub fn merge_outcome(self) -> crate::merging::MergeOutcome {
-        merge_groups_validated(self.cs, self.result, &self.engine.params)
+        merge_groups_with(self.cs, self.result, &self.engine.config, None)
     }
 }
 
@@ -297,7 +315,7 @@ impl Merged<'_> {
             &prev.grouping,
             self.cs,
             &self.classification.grouping,
-            &self.engine.params,
+            &self.engine.config.params,
             self.engine.recorder.as_deref(),
         )
     }
@@ -349,7 +367,7 @@ mod tests {
         let staged = engine.form(&cs);
         assert!(!staged.result().trace.is_empty());
         let c = staged.merge().finish();
-        let legacy = crate::classify::classify(&cs, &Params::default());
+        let legacy = crate::classify::try_classify(&cs, &Params::default()).unwrap();
         assert_eq!(c.grouping.groups(), legacy.grouping.groups());
         assert_eq!(c.formation_trace.len(), legacy.formation_trace.len());
     }

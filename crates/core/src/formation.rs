@@ -29,6 +29,7 @@
 //! the executable specification the kernel path is tested (and
 //! benchmarked) against.
 
+use crate::config::{EngineConfig, PruneMode};
 use crate::group::{Group, GroupId, Grouping};
 use crate::params::{ParamError, Params, TieBreak};
 use flow::{ConnectionSets, HostAddr};
@@ -295,6 +296,7 @@ fn assign_bccs(st: &mut State, strong: Vec<(NodeId, NodeId)>, k: u32, tie_break:
 /// # Panics
 ///
 /// Panics if `params` fail validation.
+#[deprecated(note = "use try_form_groups (or Engine::form, which validates once)")]
 pub fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
     try_form_groups(cs, params).expect("invalid parameters")
 }
@@ -309,20 +311,25 @@ pub fn try_form_groups(
     Ok(form_groups_validated(cs, params))
 }
 
-/// The kernel-backed sweep. Callers must have validated `params`.
+/// The kernel-backed sweep with default execution knobs. Callers must
+/// have validated `params`.
 pub(crate) fn form_groups_validated(cs: &ConnectionSets, params: &Params) -> FormationResult {
-    form_groups_with(cs, params, None)
+    form_groups_with(cs, &EngineConfig::new(*params), None)
 }
 
-/// [`form_groups_validated`] with an optional recorder: emits the
-/// `engine.form` span (with the kernel's build phases nested inside),
-/// counts productive sweep levels and fixpoint rounds, and times the
-/// phase. With `None` the sweep is exactly the uninstrumented one.
+/// [`form_groups_validated`] with explicit execution knobs
+/// ([`EngineConfig`]) and an optional recorder: emits the `engine.form`
+/// span (with the kernel's build phases nested inside), counts
+/// productive sweep levels and fixpoint rounds, and times the phase.
+/// With `None` the sweep is exactly the uninstrumented one. The
+/// config's worker count and prune mode never change the output — only
+/// how fast it is computed.
 pub(crate) fn form_groups_with(
     cs: &ConnectionSets,
-    params: &Params,
+    cfg: &EngineConfig,
     rec: Option<&telemetry::Recorder>,
 ) -> FormationResult {
+    let params = &cfg.params;
     let _span = telemetry::span(rec, "engine.form");
     let started = rec.map(|_| std::time::Instant::now());
     let mut levels = 0u64;
@@ -334,14 +341,39 @@ pub(crate) fn form_groups_with(
     // kernel counts straight off the connection sets' borrowed CSR (at
     // this point identical to `st.g`, which has not been contracted yet)
     // instead of re-snapshotting the graph.
+    //
+    // Prune floors (`PruneMode::Auto`): host `h` leaves the candidate
+    // pool no later than its bootstrap trigger (step 2e fires at the
+    // first level processed at or below it, and the first processed
+    // level ≤ the trigger is the trigger itself, by the level-jump
+    // rule), so `h` is never an eligible pair endpoint at any level
+    // below `trigger(h)` — that level is a sound per-host floor. A pair
+    // whose count upper bound cannot reach the larger of its two floors
+    // can therefore never enter a BCC round, and — because the kernel's
+    // level-jump oracle is always dominated by the pending bootstrap
+    // triggers for such pairs — never shifts the sweep either.
     let (offsets, nbrs) = cs.csr();
-    st.kernel = Some(CommonNeighborKernel::build_from_unit_csr(
-        offsets,
-        nbrs,
-        |_| true,
-        netgraph::default_worker_count(),
-        rec,
-    ));
+    let workers = cfg.resolved_kernel_workers();
+    st.kernel = Some(match cfg.prune {
+        PruneMode::Auto => {
+            let floors: Vec<u32> = st
+                .orig_degree
+                .iter()
+                .map(|&d| bootstrap_trigger(params.alpha, d).unwrap_or(1))
+                .collect();
+            CommonNeighborKernel::build_from_unit_csr_pruned(
+                offsets,
+                nbrs,
+                |_| true,
+                workers,
+                &floors,
+                rec,
+            )
+        }
+        PruneMode::Off => {
+            CommonNeighborKernel::build_from_unit_csr(offsets, nbrs, |_| true, workers, rec)
+        }
+    });
 
     let mut k = cs.max_degree() as u32;
     while k >= 1 && !st.ungrouped_hosts().is_empty() {
@@ -487,6 +519,11 @@ mod tests {
 
     fn h(x: u32) -> HostAddr {
         HostAddr::v4(x)
+    }
+
+    // Shadows the deprecated panicking wrapper for the tests below.
+    fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
+        try_form_groups(cs, params).unwrap()
     }
 
     /// The Figure 1 network with M = N = 3:

@@ -4,21 +4,28 @@
 //! Classification of Hosts within Enterprise Networks Based on Connection
 //! Patterns"* (Tan, Poletto, Guttag, Kaashoek — USENIX ATC 2003):
 //!
-//! * the **grouping algorithm** ([`classify()`][classify::classify]) — partitions a network's
-//!   hosts into role groups from nothing but their connection sets, in
-//!   two phases: BCC-based [`formation`] over the k-neighborhood graph,
-//!   then similarity-gated [`merging`];
-//! * the **correlation algorithm** ([`correlate()`][correlate::correlate]) — matches the group
-//!   ids of two runs taken at different times so that stable logical
-//!   roles keep stable ids through host arrivals, removals, role swaps,
-//!   and server replacement.
+//! * the **grouping algorithm** ([`try_classify()`][classify::try_classify]) — partitions a
+//!   network's hosts into role groups from nothing but their connection
+//!   sets, in two phases: BCC-based [`formation`] over the
+//!   k-neighborhood graph, then similarity-gated [`merging`];
+//! * the **correlation algorithm** ([`try_correlate()`][correlate::try_correlate]) — matches the
+//!   group ids of two runs taken at different times so that stable
+//!   logical roles keep stable ids through host arrivals, removals, role
+//!   swaps, and server replacement.
 //!
 //! For long-running pipelines, the [`engine`] module wraps both
 //! algorithms behind a reusable [`Engine`](engine::Engine): parameters
 //! are validated once at construction (every entry point also has a
 //! fallible `try_*` twin returning [`ParamError`]), the phases are
 //! staged (`form → merge → correlate_with`), and cross-window state is
-//! retained so successive windows keep stable group ids.
+//! retained so successive windows keep stable group ids. Execution
+//! knobs — worker counts, kernel pruning, recorder attachment — live in
+//! the typed [`EngineConfig`](config::EngineConfig), built at the edge
+//! and passed to [`Engine::from_config`](engine::Engine::from_config);
+//! nothing in this crate reads environment variables.
+//!
+//! The panicking wrappers (`classify`, `form_groups`, `merge_groups`,
+//! `correlate`) are deprecated in favor of the `try_*` family.
 //!
 //! Supporting modules: [`params`] (all tunables, with the paper's
 //! defaults), [`group`] (partition types), [`diff`] (partition change
@@ -30,7 +37,7 @@
 //!
 //! ```
 //! use flow::ConnectionSets;
-//! use roleclass::{classify, Params};
+//! use roleclass::{try_classify, Params};
 //!
 //! // Two workstations that talk to the same two servers...
 //! let mut cs = ConnectionSets::new();
@@ -39,7 +46,7 @@
 //!         cs.add_pair(flow::HostAddr::v4(ws), flow::HostAddr::v4(srv));
 //!     }
 //! }
-//! let result = classify(&cs, &Params::default());
+//! let result = try_classify(&cs, &Params::default()).expect("valid params");
 //! // ...end up in the same role group.
 //! assert_eq!(
 //!     result.grouping.group_of(flow::HostAddr::v4(10)),
@@ -49,6 +56,7 @@
 
 pub mod autotune;
 pub mod classify;
+pub mod config;
 pub mod correlate;
 pub mod diff;
 pub mod engine;
@@ -60,18 +68,26 @@ pub mod params;
 pub mod services;
 
 pub use autotune::{auto_k_hi_kcore, auto_k_hi_otsu, auto_params};
-pub use classify::{classify, try_classify, Classification, GroupNeighborhood};
-pub use correlate::{apply_correlation, correlate, try_correlate, Correlation};
+#[allow(deprecated)]
+pub use classify::classify;
+pub use classify::{try_classify, Classification, GroupNeighborhood};
+pub use config::{EngineConfig, PruneMode};
+#[allow(deprecated)]
+pub use correlate::correlate;
+pub use correlate::{apply_correlation, try_correlate, Correlation};
 pub use diff::{diff_groupings, GroupingDiff};
 pub use engine::{
     Engine, EngineSnapshot, Formed, Merged, WindowOutcome, ENGINE_EVENT_NAMES, ENGINE_METRIC_NAMES,
 };
+#[allow(deprecated)]
+pub use formation::form_groups;
 pub use formation::{
-    form_groups, form_groups_reference, try_form_groups, FormationEvent, FormationKind,
-    FormationResult,
+    form_groups_reference, try_form_groups, FormationEvent, FormationKind, FormationResult,
 };
 pub use group::{Group, GroupId, Grouping};
-pub use merging::{merge_groups, try_merge_groups, MergeEvent, MergeOutcome};
+#[allow(deprecated)]
+pub use merging::merge_groups;
+pub use merging::{try_merge_groups, MergeEvent, MergeOutcome};
 pub use model::{avg_similarity, avg_similarity_violations, s_min_violations, similarity};
 pub use params::{ParamError, Params, SimilarityVariant, TieBreak};
 
@@ -81,15 +97,25 @@ pub use params::{ParamError, Params, SimilarityVariant, TieBreak};
 /// use roleclass::prelude::*;
 /// ```
 ///
-/// brings in the [`Engine`] and its stage types, the free classification
-/// functions in both panicking and fallible (`try_*`) form, and the
-/// parameter/result types they exchange.
+/// brings in the [`Engine`], its stage types and [`EngineConfig`], the
+/// fallible (`try_*`) classification functions — plus their deprecated
+/// panicking forms, for the transition — and the parameter/result types
+/// they exchange.
 pub mod prelude {
-    pub use crate::classify::{classify, try_classify, Classification, GroupNeighborhood};
-    pub use crate::correlate::{apply_correlation, correlate, try_correlate, Correlation};
+    #[allow(deprecated)]
+    pub use crate::classify::classify;
+    pub use crate::classify::{try_classify, Classification, GroupNeighborhood};
+    pub use crate::config::{EngineConfig, PruneMode};
+    #[allow(deprecated)]
+    pub use crate::correlate::correlate;
+    pub use crate::correlate::{apply_correlation, try_correlate, Correlation};
     pub use crate::engine::{Engine, EngineSnapshot, Formed, Merged, WindowOutcome};
-    pub use crate::formation::{form_groups, try_form_groups, FormationResult};
+    #[allow(deprecated)]
+    pub use crate::formation::form_groups;
+    pub use crate::formation::{try_form_groups, FormationResult};
     pub use crate::group::{Group, GroupId, Grouping};
-    pub use crate::merging::{merge_groups, try_merge_groups, MergeOutcome};
+    #[allow(deprecated)]
+    pub use crate::merging::merge_groups;
+    pub use crate::merging::{try_merge_groups, MergeOutcome};
     pub use crate::params::{ParamError, Params, SimilarityVariant, TieBreak};
 }

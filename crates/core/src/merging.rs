@@ -17,13 +17,60 @@
 //! pair qualifies. The merged group's `K` becomes the minimum connection
 //! count over its members.
 
+use crate::config::EngineConfig;
 use crate::formation::FormationResult;
 use crate::group::{Group, GroupId, Grouping};
 use crate::params::{ParamError, Params, SimilarityVariant};
 use flow::{ConnectionSets, HostAddr};
 use netgraph::{NodeId, WGraph};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Multiply-xor hasher for the node-id-keyed maps on the merge hot
+/// path. The maps' iteration order is never observed (heap pop order is
+/// a total order over the entries themselves), so hash quality affects
+/// only speed — and for 4-byte ids the default SipHash costs more than
+/// the lookup it guards.
+#[derive(Default)]
+struct NodeHasher(u64);
+
+impl std::hash::Hasher for NodeHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+impl NodeHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type NodeMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<NodeHasher>>;
 
 /// Total order over non-negative similarities via the IEEE-754 bit
 /// trick (monotone for non-negative floats), for heap keying.
@@ -61,7 +108,7 @@ impl GroupInfo {
 }
 
 /// One merge performed by the algorithm, for tracing and ablation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MergeEvent {
     /// Members of the first group at merge time.
     pub left: Vec<HostAddr>,
@@ -92,39 +139,72 @@ pub struct MergeOutcome {
 /// normalizations.
 fn similarity(
     g: &WGraph,
-    info: &HashMap<NodeId, GroupInfo>,
+    info: &NodeMap<NodeId, GroupInfo>,
+    wdeg: &[u64],
     variant: SimilarityVariant,
     x: NodeId,
     y: NodeId,
 ) -> f64 {
-    let tx = g.weighted_degree(x) as f64;
-    let ty = g.weighted_degree(y) as f64;
+    let tx = wdeg[x.index()] as f64;
+    let ty = wdeg[y.index()] as f64;
     if tx == 0.0 || ty == 0.0 {
         return 0.0;
     }
-    // Merge the sorted adjacency lists to find common neighbors.
-    let mut ix = g.neighbors(x).peekable();
-    let mut iy = g.neighbors(y).peekable();
+    let sx = g.neighbor_slice(x);
+    let sy = g.neighbor_slice(y);
+    let (nx, ny) = (sx.len() as f64, sy.len() as f64);
+    let term = |wa: u64, wb: u64| -> f64 {
+        let (wa, wb) = (wa as f64, wb as f64);
+        match variant {
+            SimilarityVariant::Normalized => (wa / tx).min(wb / ty),
+            SimilarityVariant::Literal => (wa / nx).min(wb / ny),
+        }
+    };
+    // Intersect the sorted adjacency lists. Either strategy visits the
+    // common neighbors in ascending id order, so the floating-point
+    // accumulation sequence — and hence the result, to the last bit —
+    // is the same; the choice is purely a cost model (a linear merge
+    // for comparable degrees, probing the larger list for lopsided
+    // ones, e.g. a small group against a hub).
     let mut acc = 0.0f64;
-    let (nx, ny) = (g.degree(x) as f64, g.degree(y) as f64);
-    while let (Some(&(a, wa)), Some(&(b, wb))) = (ix.peek(), iy.peek()) {
-        match a.cmp(&b) {
-            std::cmp::Ordering::Less => {
-                ix.next();
+    let (small, big, small_is_x) = if sx.len() <= sy.len() {
+        (sx, sy, true)
+    } else {
+        (sy, sx, false)
+    };
+    if small.len() * 8 < big.len() {
+        for &(via, ws) in small {
+            if via == x || via == y {
+                continue;
             }
-            std::cmp::Ordering::Greater => {
-                iy.next();
+            if let Ok(i) = big.binary_search_by_key(&via, |&(n, _)| n) {
+                let wb = big[i].1;
+                acc += if small_is_x {
+                    term(ws, wb)
+                } else {
+                    term(wb, ws)
+                };
             }
-            std::cmp::Ordering::Equal => {
-                if a != x && a != y {
-                    let (wa, wb) = (wa as f64, wb as f64);
-                    acc += match variant {
-                        SimilarityVariant::Normalized => (wa / tx).min(wb / ty),
-                        SimilarityVariant::Literal => (wa / nx).min(wb / ny),
-                    };
+        }
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < small.len() && j < big.len() {
+            let (a, ws) = small[i];
+            let (b, wb) = big[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if a != x && a != y {
+                        acc += if small_is_x {
+                            term(ws, wb)
+                        } else {
+                            term(wb, ws)
+                        };
+                    }
+                    i += 1;
+                    j += 1;
                 }
-                ix.next();
-                iy.next();
             }
         }
     }
@@ -166,20 +246,6 @@ fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     }
 }
 
-/// Enumerates candidate pairs touching `x`: every node sharing at least
-/// one neighbor with `x` (only such pairs can have non-zero similarity).
-fn candidates_of(g: &WGraph, x: NodeId) -> BTreeSet<(NodeId, NodeId)> {
-    let mut out = BTreeSet::new();
-    for (via, _) in g.neighbors(x) {
-        for (y, _) in g.neighbors(via) {
-            if y != x {
-                out.insert(pair_key(x, y));
-            }
-        }
-    }
-    out
-}
-
 /// Runs the merging phase on a formation result.
 ///
 /// `cs` must be the same connection sets the formation ran on (original
@@ -194,6 +260,7 @@ fn candidates_of(g: &WGraph, x: NodeId) -> BTreeSet<(NodeId, NodeId)> {
 /// # Panics
 ///
 /// Panics if `params` fail validation.
+#[deprecated(note = "use try_merge_groups (or Engine, which validates once)")]
 pub fn merge_groups(
     cs: &ConnectionSets,
     formation: FormationResult,
@@ -213,13 +280,57 @@ pub fn try_merge_groups(
     Ok(merge_groups_validated(cs, formation, params))
 }
 
-/// The merging phase proper. Callers must have validated `params`.
+/// The merging phase proper, with default execution knobs. Callers must
+/// have validated `params`.
 pub(crate) fn merge_groups_validated(
     cs: &ConnectionSets,
     formation: FormationResult,
     params: &Params,
 ) -> MergeOutcome {
-    merge_groups_with(cs, formation, params, None)
+    merge_groups_with(cs, formation, &EngineConfig::new(*params), None)
+}
+
+/// Scores every pair's similarity, splitting the (sorted, deduplicated)
+/// pair list into contiguous chunks across scoped worker threads.
+/// Each score is a pure function of the shared immutable graph and
+/// group table, and chunk results are concatenated in chunk order, so
+/// the output is bit-identical at any worker count.
+fn score_pairs(
+    g: &WGraph,
+    info: &NodeMap<NodeId, GroupInfo>,
+    wdeg: &[u64],
+    variant: SimilarityVariant,
+    pairs: &[(NodeId, NodeId)],
+    workers: usize,
+) -> Vec<f64> {
+    // Don't spin up threads for workloads where the spawn overhead
+    // dominates; the cutoff cannot change the result, only the split.
+    const MIN_PAIRS_PER_WORKER: usize = 128;
+    let workers = workers.clamp(1, (pairs.len() / MIN_PAIRS_PER_WORKER).max(1));
+    if workers == 1 {
+        return pairs
+            .iter()
+            .map(|&(x, y)| similarity(g, info, wdeg, variant, x, y))
+            .collect();
+    }
+    let chunk = pairs.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(pairs.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    part.iter()
+                        .map(|&(x, y)| similarity(g, info, wdeg, variant, x, y))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("merge scoring worker panicked"));
+        }
+    });
+    out
 }
 
 /// [`merge_groups_validated`] with an optional recorder: emits one
@@ -231,11 +342,12 @@ pub(crate) fn merge_groups_validated(
 pub(crate) fn merge_groups_with(
     cs: &ConnectionSets,
     formation: FormationResult,
-    params: &Params,
+    cfg: &EngineConfig,
     rec: Option<&telemetry::Recorder>,
 ) -> MergeOutcome {
+    let params = &cfg.params;
     let mut g = formation.graph;
-    let mut info: HashMap<NodeId, GroupInfo> = HashMap::new();
+    let mut info: NodeMap<NodeId, GroupInfo> = NodeMap::default();
     for (idx, pg) in formation.groups.iter().enumerate() {
         let degs: Vec<u32> = pg
             .members
@@ -255,28 +367,105 @@ pub(crate) fn merge_groups_with(
 
     // All candidate similarities, computed once and then maintained
     // incrementally: a merge only perturbs pairs involving the merged
-    // node or its neighbors. Selection runs through a lazy max-heap —
+    // node or its neighbors. The initial pass — by far the largest
+    // batch — is scored across worker threads over the deduplicated,
+    // sorted pair list. Selection runs through a lazy max-heap —
     // entries are invalidated by value mismatch against `sims` (the
     // source of truth) rather than removed, keeping each merge near
     // O(affected · log). Ties break toward the smallest node pair, the
     // same order a full ascending scan would produce.
-    let mut sims: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
-    let mut heap: BinaryHeap<(OrdSim, Reverse<(NodeId, NodeId)>)> = BinaryHeap::new();
-    let all_nodes: Vec<NodeId> = g.nodes().collect();
-    for &x in &all_nodes {
-        for pair in candidates_of(&g, x) {
-            if let std::collections::btree_map::Entry::Vacant(slot) = sims.entry(pair) {
-                let s = similarity(&g, &info, params.similarity, pair.0, pair.1);
-                slot.insert(s);
-                if s > 0.0 {
-                    heap.push((OrdSim::new(s), Reverse(pair)));
+    let pairs: Vec<(NodeId, NodeId)> = {
+        let _s = telemetry::span(rec, "merge.candidates");
+        let mut pairs = Vec::new();
+        for x in g.nodes() {
+            for (via, _) in g.neighbors(x) {
+                for (y, _) in g.neighbors(via) {
+                    if y > x {
+                        pairs.push((x, y));
+                    }
                 }
             }
         }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    };
+    // Weighted degrees, computed once and extended per merge:
+    // contraction leaves every survivor's weighted degree intact
+    // (parallel edges into the merged node sum), so only the merged
+    // node itself ever needs a fresh entry. Node ids are dense u32
+    // indices, so a flat vector (dead slots simply unread) beats any
+    // map on this path.
+    let mut wdeg: Vec<u64> = {
+        let cap = g.nodes().map(|n| n.index() + 1).max().unwrap_or(0);
+        let mut w = vec![0u64; cap];
+        for n in g.nodes() {
+            w[n.index()] = g.weighted_degree(n);
+        }
+        w
+    };
+    let scores = {
+        let _s = telemetry::span(rec, "merge.score");
+        score_pairs(
+            &g,
+            &info,
+            &wdeg,
+            params.similarity,
+            &pairs,
+            cfg.resolved_merge_workers(),
+        )
+    };
+    let mut sims: NodeMap<(NodeId, NodeId), f64> =
+        NodeMap::with_capacity_and_hasher(pairs.len(), Default::default());
+    let mut heap_init: Vec<(OrdSim, Reverse<(NodeId, NodeId)>)> = Vec::with_capacity(pairs.len());
+    for (&pair, &s) in pairs.iter().zip(scores.iter()) {
+        sims.insert(pair, s);
+        if s > 0.0 {
+            heap_init.push((OrdSim::new(s), Reverse(pair)));
+        }
     }
+    // Heapify in one pass; pop order is fully determined by the
+    // `(OrdSim, Reverse(pair))` total order, so construction strategy
+    // cannot change the merge sequence.
+    let mut heap: BinaryHeap<(OrdSim, Reverse<(NodeId, NodeId)>)> = BinaryHeap::from(heap_init);
 
     let mut merges = Vec::new();
+    // Reused per-merge scratch. The `(m, y)` sweep accumulates into a
+    // node-indexed array guarded by a generation stamp (one bump per
+    // merge clears it in O(1)); `touched` remembers which slots to
+    // read back. The neighbor-pair pass accumulates into a dense
+    // `|N(m)|²` matrix keyed by each endpoint's position in the sorted
+    // neighbor list, via (via, position, weight) incidence triples.
+    let mut sweep_acc: Vec<f64> = vec![0.0; wdeg.len()];
+    let mut sweep_stamp: Vec<u32> = vec![0; wdeg.len()];
+    let mut stamp: u32 = 0;
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut byvia: Vec<(NodeId, u32, u64)> = Vec::new();
+    let mut mat: Vec<f64> = Vec::new();
+    let mut ts: Vec<f64> = Vec::new();
+    let _agglomerate_span = telemetry::span(rec, "merge.agglomerate");
+    // Lazy invalidation piles dead and superseded entries up in the
+    // heap (every rescore pushes, nothing removes). When the heap
+    // outgrows twice its size after the last sweep, compact: one linear
+    // pass keeps exactly the entries a pop would act on — live
+    // endpoints, value still current — and re-heapifies. The survivors
+    // pop in the same total order as before, and the dropped entries
+    // would have been silently discarded at pop time, so compaction is
+    // invisible to both the merge sequence and the provenance stream;
+    // it only converts millions of cache-hostile `O(log n)` discard
+    // pops into an amortized linear scan.
+    let mut compact_at = (2 * heap.len()).max(1 << 20);
     loop {
+        if heap.len() > compact_at {
+            let mut entries = heap.into_vec();
+            entries.retain(|&(osim, Reverse((a, b)))| {
+                g.contains_node(a)
+                    && g.contains_node(b)
+                    && sims.get(&(a, b)).map(|&s| OrdSim::new(s)) == Some(osim)
+            });
+            heap = BinaryHeap::from(entries);
+            compact_at = (2 * heap.len()).max(1 << 20);
+        }
         // Pop until a live, current, eligible pair surfaces. Discarding
         // ineligible entries is sound: for a surviving pair with an
         // unchanged similarity, both eligibility inputs (average member
@@ -348,6 +537,12 @@ pub(crate) fn merge_groups_with(
             similarity: sim,
         });
         let (m, _internal) = g.contract(&[a, b]);
+        if wdeg.len() <= m.index() {
+            wdeg.resize(m.index() + 1, 0);
+            sweep_acc.resize(m.index() + 1, 0.0);
+            sweep_stamp.resize(m.index() + 1, 0);
+        }
+        wdeg[m.index()] = g.weighted_degree(m);
         let mut members = ia.members;
         members.extend(ib.members);
         members.sort_unstable();
@@ -364,27 +559,151 @@ pub(crate) fn merge_groups_with(
             },
         );
 
-        // Drop stale entries and recompute everything that can have
-        // changed: pairs touching the merged node or any of its
-        // neighbors (whose adjacency, and under the literal variant
-        // neighbor counts, changed). Heap entries for dropped or changed
-        // pairs die lazily on pop.
-        sims.retain(|&(x, y), _| x != a && x != b && y != a && y != b);
-        let mut dirty_nodes: BTreeSet<NodeId> = g.neighbors(m).map(|(n, _)| n).collect();
-        dirty_nodes.insert(m);
-        let mut dirty_pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-        for &x in &dirty_nodes {
-            dirty_pairs.extend(candidates_of(&g, x));
-        }
-        for pair in dirty_pairs {
-            let s = similarity(&g, &info, params.similarity, pair.0, pair.1);
-            let changed = sims.get(&pair) != Some(&s);
-            sims.insert(pair, s);
-            if s > 0.0 && changed {
-                heap.push((OrdSim::new(s), Reverse(pair)));
+        // Entries for pairs touching the contracted nodes stay in
+        // `sims` but are unreachable: every heap pop checks liveness
+        // first, and `WGraph::contract` allocates fresh node ids (never
+        // reused), so a dead key can never alias a future pair. Leaving
+        // them avoids a full-map sweep per merge — the sweep made the
+        // loop quadratic in the candidate count and dominated large
+        // windows. Recompute everything that can have changed; heap
+        // entries for changed pairs die lazily on pop.
+        match params.similarity {
+            SimilarityVariant::Normalized => {
+                // Contraction leaves every survivor's weighted degree
+                // intact (parallel edges into the merged node sum), so a
+                // normalized similarity only moves when a contribution
+                // routed *via* the merged node appears or changes: the
+                // dirty set is exactly pairs involving `m` plus pairs
+                // with both endpoints adjacent to `m`.
+                //
+                // All `(m, y)` similarities come from one sweep over the
+                // two-hop neighborhood of `m`: walking `via ∈ N(m)` in
+                // ascending id order and crediting each `y ∈ N(via)`
+                // accumulates every `y`'s terms in ascending
+                // common-neighbor order — the exact addition sequence
+                // `similarity` performs — so the values are
+                // bit-identical to per-pair recomputation at a fraction
+                // of the cost (the sweep touches each two-hop edge
+                // once instead of re-merging adjacency lists per pair).
+                let tm = wdeg[m.index()] as f64;
+                stamp += 1;
+                touched.clear();
+                for &(via, wm) in g.neighbor_slice(m) {
+                    let rm = wm as f64 / tm;
+                    for &(y, wy) in g.neighbor_slice(via) {
+                        if y == m {
+                            continue;
+                        }
+                        let yi = y.index();
+                        if sweep_stamp[yi] != stamp {
+                            sweep_stamp[yi] = stamp;
+                            sweep_acc[yi] = 0.0;
+                            touched.push(y);
+                        }
+                        sweep_acc[yi] += rm.min(wy as f64 / wdeg[yi] as f64);
+                    }
+                }
+                for &y in &touched {
+                    let pair = pair_key(m, y);
+                    let s = (100.0 * sweep_acc[y.index()]).clamp(0.0, 100.0);
+                    // `pair` involves the freshly allocated `m`, so it
+                    // cannot already be in `sims`: always push.
+                    sims.insert(pair, s);
+                    if s > 0.0 {
+                        heap.push((OrdSim::new(s), Reverse(pair)));
+                    }
+                }
+                // Pairs with both endpoints in `N(m)` — every one has
+                // `m` as a common neighbor, so all of them need fresh
+                // values. Rather than re-intersecting adjacency lists
+                // per pair (ruinous when `N(m)` holds hub groups that
+                // every merge touches again), invert by common
+                // neighbor: each `via` adjacent to two or more members
+                // of `N(m)` credits all of its pairs in one pass,
+                // accumulating into the `|N(m)|²` matrix (a hot few
+                // kilobytes for typical merges, versus a hash lookup
+                // per term). Triples carry each endpoint's position in
+                // the ascending neighbor list, so sorting by
+                // (via, position) and walking via groups in ascending
+                // id order accumulates each pair's terms in ascending
+                // common-neighbor order — again the exact `similarity`
+                // addition sequence.
+                let nbrs: Vec<NodeId> = g.neighbors(m).map(|(n, _)| n).collect();
+                let n = nbrs.len();
+                ts.clear();
+                ts.extend(nbrs.iter().map(|&x| wdeg[x.index()] as f64));
+                mat.clear();
+                mat.resize(n * n, 0.0);
+                byvia.clear();
+                for (xi, &x) in nbrs.iter().enumerate() {
+                    for &(via, w) in g.neighbor_slice(x) {
+                        byvia.push((via, xi as u32, w));
+                    }
+                }
+                byvia.sort_unstable_by_key(|&(v, xi, _)| (v, xi));
+                let mut i = 0;
+                while i < byvia.len() {
+                    let v = byvia[i].0;
+                    let mut j = i;
+                    while j < byvia.len() && byvia[j].0 == v {
+                        j += 1;
+                    }
+                    for p in i..j {
+                        let (_, xi, wx) = byvia[p];
+                        let rx = wx as f64 / ts[xi as usize];
+                        let row = xi as usize * n;
+                        for &(_, yi, wy) in byvia.iter().take(j).skip(p + 1) {
+                            mat[row + yi as usize] += rx.min(wy as f64 / ts[yi as usize]);
+                        }
+                    }
+                    i = j;
+                }
+                // Every pair shares at least `m` itself, so the whole
+                // upper triangle holds fresh values.
+                for xi in 0..n {
+                    for yi in xi + 1..n {
+                        let pair = (nbrs[xi], nbrs[yi]);
+                        let s = (100.0 * mat[xi * n + yi]).clamp(0.0, 100.0);
+                        let changed = sims.get(&pair) != Some(&s);
+                        sims.insert(pair, s);
+                        if s > 0.0 && changed {
+                            heap.push((OrdSim::new(s), Reverse(pair)));
+                        }
+                    }
+                }
+            }
+            SimilarityVariant::Literal => {
+                // The literal variant divides by unweighted degrees and
+                // per-member connection counts, which shift for every
+                // neighbor of the merged node — recompute the full
+                // two-hop neighborhood.
+                let mut dirty_nodes: Vec<NodeId> = g.neighbors(m).map(|(n, _)| n).collect();
+                dirty_nodes.push(m);
+                let mut dp: Vec<(NodeId, NodeId)> = Vec::new();
+                for &x in &dirty_nodes {
+                    for (via, _) in g.neighbors(x) {
+                        for (y, _) in g.neighbors(via) {
+                            if y != x {
+                                dp.push(pair_key(x, y));
+                            }
+                        }
+                    }
+                }
+                dp.sort_unstable();
+                dp.dedup();
+                for pair in dp {
+                    let s = similarity(&g, &info, &wdeg, params.similarity, pair.0, pair.1);
+                    let changed = sims.get(&pair) != Some(&s);
+                    sims.insert(pair, s);
+                    if s > 0.0 && changed {
+                        heap.push((OrdSim::new(s), Reverse(pair)));
+                    }
+                }
             }
         }
     }
+
+    drop(_agglomerate_span);
 
     // Assemble the final grouping: ids by descending size then members.
     let mut final_nodes: Vec<NodeId> = g.nodes().collect();
@@ -417,10 +736,23 @@ pub(crate) fn merge_groups_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::formation::form_groups;
+    use crate::formation::try_form_groups;
 
     fn h(x: u32) -> HostAddr {
         HostAddr::v4(x)
+    }
+
+    // Shadow the deprecated panicking wrappers for the tests below.
+    fn form_groups(cs: &ConnectionSets, params: &Params) -> FormationResult {
+        try_form_groups(cs, params).unwrap()
+    }
+
+    fn merge_groups(
+        cs: &ConnectionSets,
+        formation: FormationResult,
+        params: &Params,
+    ) -> MergeOutcome {
+        try_merge_groups(cs, formation, params).unwrap()
     }
 
     /// Figure 1 network, M = N = 3 (see formation tests for the layout).
@@ -558,7 +890,7 @@ mod tests {
         let cs = figure1();
         let formation = form_groups(&cs, &Params::default());
         let g = &formation.graph;
-        let mut info = HashMap::new();
+        let mut info: NodeMap<NodeId, GroupInfo> = NodeMap::default();
         for (idx, pg) in formation.groups.iter().enumerate() {
             let degs: Vec<u32> = pg
                 .members
@@ -576,14 +908,18 @@ mod tests {
             );
         }
         let nodes: Vec<NodeId> = g.nodes().collect();
+        let mut wdeg = vec![0u64; nodes.iter().map(|n| n.index() + 1).max().unwrap_or(0)];
+        for &n in &nodes {
+            wdeg[n.index()] = g.weighted_degree(n);
+        }
         for variant in [SimilarityVariant::Normalized, SimilarityVariant::Literal] {
             for &x in &nodes {
                 for &y in &nodes {
                     if x == y {
                         continue;
                     }
-                    let sxy = similarity(g, &info, variant, x, y);
-                    let syx = similarity(g, &info, variant, y, x);
+                    let sxy = similarity(g, &info, &wdeg, variant, x, y);
+                    let syx = similarity(g, &info, &wdeg, variant, y, x);
                     assert!((sxy - syx).abs() < 1e-9, "asymmetric similarity");
                     assert!((0.0..=100.0).contains(&sxy));
                 }

@@ -107,7 +107,7 @@ pub fn s_min_violations(cs: &ConnectionSets, grouping: &Grouping, s_min: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::classify::classify;
+    use crate::classify::try_classify;
     use crate::params::Params;
 
     fn h(x: u32) -> HostAddr {
@@ -165,7 +165,7 @@ mod tests {
         // singletons and nothing else.
         let cs = figure1();
         let p = Params::default().with_s_lo(90.0).with_s_hi(95.0);
-        let c = classify(&cs, &p);
+        let c = try_classify(&cs, &p).unwrap();
         let violations = avg_similarity_violations(&cs, &c.grouping);
         let offenders: Vec<HostAddr> = violations.iter().map(|v| v.host).collect();
         assert_eq!(offenders, vec![h(3), h(4)]);
@@ -180,7 +180,7 @@ mod tests {
     fn s_min_check_flags_weak_members() {
         let cs = figure1();
         let p = Params::default().with_s_lo(90.0).with_s_hi(95.0);
-        let c = classify(&cs, &p);
+        let c = try_classify(&cs, &p).unwrap();
         // Every multi-host group member shares >= 2 neighbors on average.
         assert!(s_min_violations(&cs, &c.grouping, 2.0).is_empty());
         // An absurd S_min flags everyone in multi-host groups.

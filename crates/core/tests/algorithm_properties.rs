@@ -3,7 +3,24 @@
 
 use flow::{ConnectionSets, HostAddr};
 use proptest::prelude::*;
-use roleclass::{classify, form_groups, merge_groups, Grouping, Params};
+use roleclass::{
+    try_classify, try_form_groups, try_merge_groups, Classification, FormationResult, Grouping,
+    MergeOutcome, Params,
+};
+
+// Local shims over the fallible entry points (the panicking wrappers
+// are deprecated).
+fn classify(cs: &ConnectionSets, p: &Params) -> Classification {
+    try_classify(cs, p).unwrap()
+}
+
+fn form_groups(cs: &ConnectionSets, p: &Params) -> FormationResult {
+    try_form_groups(cs, p).unwrap()
+}
+
+fn merge_groups(cs: &ConnectionSets, formation: FormationResult, p: &Params) -> MergeOutcome {
+    try_merge_groups(cs, formation, p).unwrap()
+}
 
 fn h(x: u32) -> HostAddr {
     HostAddr::v4(x)

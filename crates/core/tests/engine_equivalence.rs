@@ -1,7 +1,8 @@
 //! End-to-end equivalence: the kernel-backed [`Engine`] must reproduce
-//! the legacy free-function pipeline bit for bit on every synthetic
-//! scenario, at whatever worker count `ROLECLASS_THREADS` selects (the
-//! CI matrix runs this file at 1, 2 and 8 workers).
+//! the recompute-per-level reference pipeline bit for bit on every
+//! synthetic scenario, at every worker count and prune setting. The
+//! worker matrix runs in-process here via [`EngineConfig`] (CI invokes
+//! this file once; no environment variables involved).
 
 use roleclass::prelude::*;
 use roleclass::{form_groups_reference, FormationKind, FormationResult};
@@ -58,7 +59,7 @@ fn engine_classify_matches_legacy_classify() {
             let engine = Engine::new(params).unwrap();
             let via_engine = engine.classify(&cs);
             let via_stages = engine.form(&cs).merge().finish();
-            let legacy = classify(&cs, &params);
+            let legacy = try_classify(&cs, &params).unwrap();
             assert_eq!(via_engine.grouping, legacy.grouping, "{name} grouping");
             assert_eq!(
                 via_stages.grouping, legacy.grouping,
@@ -90,9 +91,9 @@ fn run_window_matches_manual_correlation_path() {
         let second = engine.run_window(&cs);
 
         // Manual path: classify both windows, correlate, rename.
-        let c1 = classify(&cs, &params);
-        let c2 = classify(&cs, &params);
-        let corr = correlate(&cs, &c1.grouping, &cs, &c2.grouping, &params);
+        let c1 = try_classify(&cs, &params).unwrap();
+        let c2 = try_classify(&cs, &params).unwrap();
+        let corr = try_correlate(&cs, &c1.grouping, &cs, &c2.grouping, &params).unwrap();
         let renamed = apply_correlation(&corr, &c2.grouping);
         assert_eq!(first.grouping, c1.grouping, "{name} window 1");
         assert_eq!(second.grouping, renamed, "{name} window 2");
@@ -101,6 +102,65 @@ fn run_window_matches_manual_correlation_path() {
             Some(&corr.id_map),
             "{name} id map"
         );
+    }
+}
+
+/// The worker matrix: classification is bit-identical at 1, 2 and 8
+/// workers, for both the kernel and merge phases, with pruning on or
+/// off. This is the determinism guarantee `EngineConfig` documents —
+/// worker count and prune mode are performance knobs, never semantics.
+#[test]
+fn classification_is_bit_identical_across_worker_matrix() {
+    for (name, cs) in scenario_connsets() {
+        for params in param_grid() {
+            let baseline = Engine::new(params).unwrap().classify(&cs);
+            for workers in [1usize, 2, 8] {
+                for prune in [PruneMode::Auto, PruneMode::Off] {
+                    let cfg = EngineConfig::new(params)
+                        .with_workers(workers)
+                        .with_prune(prune);
+                    let c = Engine::from_config(cfg).unwrap().classify(&cs);
+                    assert_eq!(
+                        c.grouping, baseline.grouping,
+                        "{name} grouping @ workers={workers} prune={prune:?}"
+                    );
+                    assert_eq!(
+                        c.merge_trace, baseline.merge_trace,
+                        "{name} merge trace @ workers={workers} prune={prune:?}"
+                    );
+                    assert_eq!(
+                        c.neighborhoods, baseline.neighborhoods,
+                        "{name} neighborhoods @ workers={workers} prune={prune:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Correlated group ids across windows are also invariant under the
+/// worker matrix: two engines configured differently must hand out the
+/// same stable ids window after window.
+#[test]
+fn correlation_ids_are_stable_across_worker_matrix() {
+    let params = Params::default().with_s_lo(90.0).with_s_hi(95.0);
+    for (name, cs) in scenario_connsets() {
+        let mut baseline = Engine::new(params).unwrap();
+        let b1 = baseline.run_window(&cs);
+        let b2 = baseline.run_window(&cs);
+        for workers in [2usize, 8] {
+            let cfg = EngineConfig::new(params).with_workers(workers);
+            let mut engine = Engine::from_config(cfg).unwrap();
+            let w1 = engine.run_window(&cs);
+            let w2 = engine.run_window(&cs);
+            assert_eq!(w1.grouping, b1.grouping, "{name} window 1 @ {workers}");
+            assert_eq!(w2.grouping, b2.grouping, "{name} window 2 @ {workers}");
+            assert_eq!(
+                w2.correlation.as_ref().map(|c| &c.id_map),
+                b2.correlation.as_ref().map(|c| &c.id_map),
+                "{name} id map @ {workers}"
+            );
+        }
     }
 }
 

@@ -8,7 +8,13 @@
 use flow::{ConnectionSets, HostAddr};
 use netgraph::{biconnected_components, common_neighbor_min_weights, NodeId, SimpleGraph, WGraph};
 use proptest::prelude::*;
-use roleclass::{form_groups, Params};
+use roleclass::{try_form_groups, FormationResult, Params};
+
+// Local shim over the fallible entry point (the panicking wrapper is
+// deprecated).
+fn form_groups(cs: &ConnectionSets, p: &Params) -> FormationResult {
+    try_form_groups(cs, p).unwrap()
+}
 use std::collections::{BTreeSet, HashSet};
 
 /// Literal reference implementation: k from k_max down to 1, step 1.

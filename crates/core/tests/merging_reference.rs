@@ -9,7 +9,19 @@
 use flow::{ConnectionSets, HostAddr};
 use netgraph::{NodeId, WGraph};
 use proptest::prelude::*;
-use roleclass::{form_groups, merge_groups, Params, SimilarityVariant};
+use roleclass::{
+    try_form_groups, try_merge_groups, FormationResult, MergeOutcome, Params, SimilarityVariant,
+};
+
+// Local shims over the fallible entry points (the panicking wrappers
+// are deprecated).
+fn form_groups(cs: &ConnectionSets, p: &Params) -> FormationResult {
+    try_form_groups(cs, p).unwrap()
+}
+
+fn merge_groups(cs: &ConnectionSets, formation: FormationResult, p: &Params) -> MergeOutcome {
+    try_merge_groups(cs, formation, p).unwrap()
+}
 use std::collections::{BTreeSet, HashMap};
 
 /// Naive reference for the merging phase. Mirrors the Figure 3

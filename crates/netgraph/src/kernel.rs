@@ -6,12 +6,21 @@
 //! pair of eligible nodes whose weighted common-neighbor count clears
 //! `k`. Recomputing the full count table per level costs
 //! `O(levels · Σ deg(v)²)`; this module instead computes the table once
-//! (in parallel — each worker emits a sorted, aggregated run and the
-//! runs are merged sequentially, no hashing), keeps it in a flat
-//! key-sorted vector with a descending-count rank index so each level
-//! is answered by a binary-searched prefix walk, and exploits a
-//! locality property of contraction to keep the table current through
-//! a small mutation overlay:
+//! with a row-centric pass: each worker owns a contiguous ascending
+//! range of endpoint rows and, for row `a`, accumulates the
+//! contributions of every two-path `a–via–b` (`b > a`) into a
+//! per-partner accumulator — a fixed-stride `u64` bitset tracks touched
+//! partners for high-degree rows (walked in word order, which emits the
+//! row already key-sorted), while low-degree rows collect into a small
+//! vector that is sort-aggregated. Because row ranges are disjoint and
+//! ascending, concatenating the workers' runs yields the globally
+//! key-sorted table with no merge and no global sort. Pairs whose
+//! count upper bound (the smaller weighted degree) falls below a
+//! caller-supplied per-endpoint prune floor are never materialized at
+//! all. The table is kept in a flat key-sorted vector with a
+//! descending-count rank index so each level is answered by a
+//! binary-searched prefix walk, and a locality property of contraction
+//! keeps the table current through a small mutation overlay:
 //!
 //! **Invalidation rule.** Contracting a member set `M` into a fresh node
 //! `m` changes the via-contribution of exactly two kinds of nodes: the
@@ -51,6 +60,7 @@ pub const KERNEL_METRIC_NAMES: &[&str] = &[
     "roleclass_kernel_contract_seconds",
     "roleclass_kernel_contractions_total",
     "roleclass_kernel_overlay_entries",
+    "roleclass_kernel_pruned_paths_total",
     "roleclass_kernel_singleton_contractions_total",
     "roleclass_kernel_threshold_queries_total",
     "roleclass_kernel_threshold_seconds",
@@ -80,6 +90,8 @@ pub struct KernelMetrics {
     singleton_contractions_total: telemetry::Counter,
     /// Live entries in the mutation overlay.
     overlay_entries: telemetry::Gauge,
+    /// Two-path contributions suppressed by the prune floors at build.
+    pruned_paths: telemetry::Counter,
     /// Base/rank rebuilds triggered by overlay bloat or endpoint decay.
     compactions_total: telemetry::Counter,
     /// `edges_at_least` calls answered.
@@ -107,6 +119,7 @@ impl KernelMetrics {
             singleton_contractions_total: reg
                 .counter("roleclass_kernel_singleton_contractions_total"),
             overlay_entries: reg.gauge("roleclass_kernel_overlay_entries"),
+            pruned_paths: reg.counter("roleclass_kernel_pruned_paths_total"),
             compactions_total: reg.counter("roleclass_kernel_compactions_total"),
             threshold_queries_total: reg.counter("roleclass_kernel_threshold_queries_total"),
             threshold_seconds: reg.histogram(
@@ -121,30 +134,19 @@ impl KernelMetrics {
     }
 }
 
-/// Environment variable overriding the kernel's worker-thread count.
-///
-/// Parsed as a positive integer; anything else falls back to
-/// [`std::thread::available_parallelism`].
-pub const THREADS_ENV: &str = "ROLECLASS_THREADS";
-
-/// Upper bound on worker threads — beyond this the merge cost dominates
-/// any conceivable speedup on the per-via pass.
+/// Upper bound on worker threads — beyond this the coordination cost
+/// dominates any conceivable speedup on the per-row pass.
 const MAX_WORKERS: usize = 64;
 
-/// Resolves the worker count: the `ROLECLASS_THREADS` override if set
-/// and valid, else the machine's available parallelism, clamped to
-/// `[1, 64]`.
+/// The machine's available parallelism, clamped to `[1, 64]`.
+///
+/// This is a hardware query only; worker-count *policy* (environment
+/// overrides, configuration) lives with the caller — typically a
+/// `roleclass::EngineConfig` resolved at the CLI layer.
 pub fn default_worker_count() -> usize {
-    let from_env = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1);
-    from_env
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
         .clamp(1, MAX_WORKERS)
 }
 
@@ -274,15 +276,98 @@ impl CsrSource<'_> {
             CsrSource::Unit { offsets, .. } => (offsets[i + 1] - offsets[i]) as usize,
         }
     }
+
+    /// Sum of row `i`'s edge weights — the upper bound on any pair
+    /// count with `i` as an endpoint. Saturating: an overflowed sum only
+    /// weakens the bound, never breaks it.
+    fn weighted_degree(&self, i: usize) -> u64 {
+        match *self {
+            CsrSource::Weighted(c) => {
+                let (lo, hi) = (c.offsets[i], c.offsets[i + 1]);
+                c.weights[lo..hi]
+                    .iter()
+                    .fold(0u64, |acc, &w| acc.saturating_add(w))
+            }
+            CsrSource::Unit { offsets, .. } => (offsets[i + 1] - offsets[i]) as u64,
+        }
+    }
+
+    /// Cost model of the per-row counting pass: row `i` walks every
+    /// neighbor's full row.
+    fn neighbor_degree_sum(&self, i: usize) -> usize {
+        match *self {
+            CsrSource::Weighted(c) => c.row(i).0.iter().map(|v| self.degree(v.index())).sum(),
+            CsrSource::Unit { offsets, nbrs } => nbrs[offsets[i] as usize..offsets[i + 1] as usize]
+                .iter()
+                .map(|&v| self.degree(v as usize))
+                .sum(),
+        }
+    }
+}
+
+/// Per-pair prune inputs, fixed at build time: one floor and one
+/// weighted degree per node row.
+///
+/// A pair `(a, b)` is *pruned* — never materialized, at build or on
+/// contraction — when `min(wdeg(a), wdeg(b)) < max(floor(a), floor(b))`:
+/// the pair's count can never reach the lowest level at which both
+/// endpoints are still queried. The bound is stable under contraction
+/// because a surviving node's weighted degree is invariant (edges to
+/// merged members re-attach to the group node with their weights
+/// summed) and group nodes are never eligible endpoints.
+#[derive(Clone, Debug)]
+struct PruneTable {
+    floors: Vec<u32>,
+    wdeg: Vec<u64>,
+}
+
+impl PruneTable {
+    /// Builds the table from caller floors + the CSR's weighted degrees,
+    /// or `None` when no floor exceeds 1 (floors of 0/1 can never prune:
+    /// any pair sharing a neighbor has both weighted degrees ≥ 1).
+    fn new(floors: &[u32], csr: &CsrSource<'_>) -> Option<PruneTable> {
+        if floors.iter().all(|&f| f <= 1) {
+            return None;
+        }
+        let wdeg = (0..csr.row_count())
+            .map(|i| csr.weighted_degree(i))
+            .collect();
+        Some(PruneTable {
+            floors: floors.to_vec(),
+            wdeg,
+        })
+    }
+
+    #[inline]
+    fn floor(&self, i: usize) -> u32 {
+        self.floors.get(i).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn wdeg_of(&self, i: usize) -> u64 {
+        self.wdeg.get(i).copied().unwrap_or(u64::MAX)
+    }
+
+    #[inline]
+    fn pruned(&self, a: usize, b: usize) -> bool {
+        let floor = self.floor(a).max(self.floor(b)) as u64;
+        self.wdeg_of(a).min(self.wdeg_of(b)) < floor
+    }
+
+    /// The row-hoisted half of [`pruned`][Self::pruned]: with row `a`
+    /// fixed, pair `(a, b)` is pruned iff
+    /// `min(wda, wdeg(b)) < max(fa, floor(b))`.
+    #[inline]
+    fn pruned_vs(&self, wda: u64, fa: u32, b: usize) -> bool {
+        self.wdeg_of(b).min(wda) < fa.max(self.floor(b)) as u64
+    }
 }
 
 /// Splits CSR rows into at most `workers` contiguous chunks of roughly
-/// equal two-path work (`Σ deg²/2` per chunk).
+/// equal counting work. The pass for row `a` visits every neighbor of
+/// every neighbor, so its cost is `Σ_{via ∈ N(a)} deg(via)`.
 fn partition_rows(csr: &CsrSource<'_>, workers: usize) -> Vec<std::ops::Range<usize>> {
-    let work_of = |i: usize| {
-        let d = csr.degree(i);
-        d * d.saturating_sub(1) / 2
-    };
+    let work_of = |i: usize| csr.neighbor_degree_sum(i);
     let total: usize = (0..csr.row_count()).map(work_of).sum();
     let target = total.div_ceil(workers.max(1)).max(1);
     let mut chunks = Vec::with_capacity(workers);
@@ -309,126 +394,201 @@ fn contribution(wa: u64, wb: u64) -> u64 {
     wa.min(wb).min(u32::MAX as u64)
 }
 
-/// One worker's pass over a contiguous range of via rows: emit every
-/// eligible two-path endpoint pair, then sort + run-length-aggregate so
-/// the merge touches each distinct key once per worker. Dispatches once
+/// Per-worker scratch for the row-centric counting pass: a dense
+/// contribution accumulator plus a fixed-stride `u64` bitset of touched
+/// partners (high-degree rows), and a small sort-aggregate vector
+/// (low-degree rows). Reused across the worker's rows, so the only
+/// per-row cost is what the row actually touches.
+struct RowScratch {
+    acc: Vec<u64>,
+    touched: Vec<u64>,
+    sparse: Vec<(u32, u64)>,
+}
+
+impl RowScratch {
+    fn new(bound: usize) -> RowScratch {
+        RowScratch {
+            acc: vec![0; bound],
+            touched: vec![0; bound.div_ceil(64)],
+            sparse: Vec::new(),
+        }
+    }
+
+    /// Walks the touched bitset in word order — ascending partner id —
+    /// emitting `(key(a, b), sum)` entries already key-sorted, and
+    /// clears the scratch behind itself. Partners are always `> a`, so
+    /// the walk starts at `a`'s word.
+    fn drain_dense(&mut self, a: usize, out: &mut Vec<(u64, u64)>) {
+        let an = NodeId::from_index(a);
+        for wi in (a / 64)..self.touched.len() {
+            let mut w = self.touched[wi];
+            if w == 0 {
+                continue;
+            }
+            self.touched[wi] = 0;
+            while w != 0 {
+                let b = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                out.push((key(an, NodeId::from_index(b)), self.acc[b]));
+                self.acc[b] = 0;
+            }
+        }
+    }
+
+    /// Sort-aggregates the sparse scratch and emits it key-sorted.
+    fn drain_sparse(&mut self, a: usize, out: &mut Vec<(u64, u64)>) {
+        let an = NodeId::from_index(a);
+        self.sparse.sort_unstable_by_key(|&(b, _)| b);
+        for (b, c) in self.sparse.drain(..) {
+            let k = key(an, NodeId::from_index(b as usize));
+            match out.last_mut() {
+                Some((lk, lc)) if *lk == k => *lc += c,
+                _ => out.push((k, c)),
+            }
+        }
+    }
+}
+
+/// One worker's pass over a contiguous ascending range of endpoint rows.
+/// For each eligible row `a`, every two-path `a–via–b` with `b > a` and
+/// `b` eligible contributes `min(w(a,via), w(via,b))` to the pair
+/// `(a, b)`; per-row emission is key-sorted, and rows ascend, so the
+/// returned run is key-sorted as a whole. Returns the run plus the
+/// number of contributions the prune floors suppressed. Dispatches once
 /// per chunk to a weight-specialized loop — the unit path carries no
 /// per-element weight reads at all.
 fn count_chunk(
     csr: &CsrSource<'_>,
     eligible: &NodeBitSet,
+    prune: Option<&PruneTable>,
     rows: std::ops::Range<usize>,
-) -> Vec<(u64, u64)> {
+) -> (Vec<(u64, u64)>, u64) {
     match *csr {
-        CsrSource::Weighted(c) => count_chunk_weighted(c, eligible, rows),
-        CsrSource::Unit { offsets, nbrs } => count_chunk_unit(offsets, nbrs, eligible, rows),
+        CsrSource::Weighted(c) => count_chunk_weighted(c, eligible, prune, rows),
+        CsrSource::Unit { offsets, nbrs } => count_chunk_unit(offsets, nbrs, eligible, prune, rows),
     }
 }
 
 fn count_chunk_weighted(
     csr: &Csr,
     eligible: &NodeBitSet,
+    prune: Option<&PruneTable>,
     rows: std::ops::Range<usize>,
-) -> Vec<(u64, u64)> {
-    let mut scratch: Vec<(NodeId, u64)> = Vec::new();
-    let mut entries: Vec<(u64, u64)> = Vec::new();
-    for via in rows {
-        let (nbrs, weights) = csr.row(via);
-        scratch.clear();
-        scratch.extend(
-            nbrs.iter()
-                .zip(weights)
-                .filter(|(n, _)| eligible.contains(**n))
-                .map(|(&n, &w)| (n, w)),
-        );
-        for i in 0..scratch.len() {
-            let (a, wa) = scratch[i];
-            for &(b, wb) in &scratch[i + 1..] {
-                // CSR rows are sorted by neighbor id, so a < b.
-                entries.push((key(a, b), contribution(wa, wb)));
+) -> (Vec<(u64, u64)>, u64) {
+    let mut scratch = RowScratch::new(csr.row_count());
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    let mut pruned_paths = 0u64;
+    for a in rows {
+        if !eligible.contains(NodeId::from_index(a)) {
+            continue;
+        }
+        let (fa, wda) = match prune {
+            Some(p) => (p.floor(a), p.wdeg_of(a)),
+            None => (0, u64::MAX),
+        };
+        let (a_nbrs, a_weights) = csr.row(a);
+        let work: usize = a_nbrs
+            .iter()
+            .map(|v| csr.offsets[v.index() + 1] - csr.offsets[v.index()])
+            .sum();
+        let dense = work >= scratch.touched.len().saturating_sub(a / 64);
+        for (&via, &wa) in a_nbrs.iter().zip(a_weights) {
+            let (v_nbrs, v_weights) = csr.row(via.index());
+            for (&b, &wb) in v_nbrs.iter().zip(v_weights) {
+                if b.index() <= a || !eligible.contains(b) {
+                    continue;
+                }
+                if let Some(p) = prune {
+                    if p.pruned_vs(wda, fa, b.index()) {
+                        pruned_paths += 1;
+                        continue;
+                    }
+                }
+                let c = contribution(wa, wb);
+                if dense {
+                    scratch.acc[b.index()] += c;
+                    scratch.touched[b.index() / 64] |= 1u64 << (b.index() % 64);
+                } else {
+                    scratch.sparse.push((b.0, c));
+                }
             }
         }
+        if dense {
+            scratch.drain_dense(a, &mut out);
+        } else {
+            scratch.drain_sparse(a, &mut out);
+        }
     }
-    aggregate_sorted(entries)
+    (out, pruned_paths)
 }
 
 fn count_chunk_unit(
     offsets: &[u32],
     nbrs: &[u32],
     eligible: &NodeBitSet,
+    prune: Option<&PruneTable>,
     rows: std::ops::Range<usize>,
-) -> Vec<(u64, u64)> {
-    let mut scratch: Vec<NodeId> = Vec::new();
-    let mut entries: Vec<(u64, u64)> = Vec::new();
-    for via in rows {
-        let row = &nbrs[offsets[via] as usize..offsets[via + 1] as usize];
-        scratch.clear();
-        scratch.extend(
-            row.iter()
-                .map(|&x| NodeId::from_index(x as usize))
-                .filter(|&n| eligible.contains(n)),
-        );
-        for i in 0..scratch.len() {
-            let a = scratch[i];
-            for &b in &scratch[i + 1..] {
+) -> (Vec<(u64, u64)>, u64) {
+    let bound = offsets.len().saturating_sub(1);
+    let mut scratch = RowScratch::new(bound);
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    let mut pruned_paths = 0u64;
+    let row = |i: usize| &nbrs[offsets[i] as usize..offsets[i + 1] as usize];
+    for a in rows {
+        if !eligible.contains(NodeId::from_index(a)) {
+            continue;
+        }
+        let (fa, wda) = match prune {
+            Some(p) => (p.floor(a), p.wdeg_of(a)),
+            None => (0, u64::MAX),
+        };
+        let a_row = row(a);
+        let work: usize = a_row.iter().map(|&v| row(v as usize).len()).sum();
+        let dense = work >= scratch.touched.len().saturating_sub(a / 64);
+        for &via in a_row {
+            for &b in row(via as usize) {
+                let bi = b as usize;
+                if bi <= a || !eligible.contains(NodeId::from_index(bi)) {
+                    continue;
+                }
+                if let Some(p) = prune {
+                    if p.pruned_vs(wda, fa, bi) {
+                        pruned_paths += 1;
+                        continue;
+                    }
+                }
                 // Unit weights: each shared neighbor contributes exactly
                 // 1, so the sum is the plain common-neighbor count.
-                entries.push((key(a, b), 1));
-            }
-        }
-    }
-    aggregate_sorted(entries)
-}
-
-/// Sorts emitted `(key, contribution)` entries and collapses runs of the
-/// same key into their sum.
-fn aggregate_sorted(mut entries: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
-    entries.sort_unstable_by_key(|&(k, _)| k);
-    let mut out: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
-    for (k, w) in entries {
-        match out.last_mut() {
-            Some((lk, lw)) if *lk == k => *lw += w,
-            _ => out.push((k, w)),
-        }
-    }
-    out
-}
-
-/// Merges the workers' sorted, per-run-aggregated outputs into one
-/// sorted table, summing contributions of keys that straddle runs.
-/// Purely sequential memory traffic — no hashing — which is what keeps
-/// the build linear-ish in the pair count. `u64` addition commutes, so
-/// the result is identical for any run split.
-fn merge_runs(mut runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
-    runs.retain(|r| !r.is_empty());
-    if runs.len() <= 1 {
-        return runs.pop().unwrap_or_default();
-    }
-    let mut out: Vec<(u64, u64)> = Vec::with_capacity(runs.iter().map(Vec::len).sum());
-    let mut idx = vec![0usize; runs.len()];
-    loop {
-        let mut min_key = u64::MAX;
-        let mut any = false;
-        for (r, run) in runs.iter().enumerate() {
-            if let Some(&(k, _)) = run.get(idx[r]) {
-                any = true;
-                min_key = min_key.min(k);
-            }
-        }
-        if !any {
-            return out;
-        }
-        let mut sum = 0u64;
-        for (r, run) in runs.iter().enumerate() {
-            if let Some(&(k, w)) = run.get(idx[r]) {
-                if k == min_key {
-                    sum += w;
-                    idx[r] += 1;
+                if dense {
+                    scratch.acc[bi] += 1;
+                    scratch.touched[bi / 64] |= 1u64 << (bi % 64);
+                } else {
+                    scratch.sparse.push((b, 1));
                 }
             }
         }
-        out.push((min_key, sum));
+        if dense {
+            scratch.drain_dense(a, &mut out);
+        } else {
+            scratch.drain_sparse(a, &mut out);
+        }
     }
+    (out, pruned_paths)
+}
+
+/// Concatenates the workers' runs into the base table. Row ranges are
+/// disjoint and ascending and every run is key-sorted, so this is pure
+/// sequential memory traffic — the key order is global by construction.
+fn concat_runs(runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+    for run in runs {
+        out.extend(run);
+    }
+    debug_assert!(
+        out.windows(2).all(|w| w[0].0 < w[1].0),
+        "worker runs must concatenate key-sorted"
+    );
+    out
 }
 
 /// Builds the descending-count rank index over `base`: a counting sort
@@ -500,6 +660,9 @@ pub struct CommonNeighborKernel {
     /// contracted neighborhoods.
     overlay: HashMap<u64, u64>,
     eligible: NodeBitSet,
+    /// Build-time prune floors, if any: pairs this table prunes were
+    /// never materialized and must stay unmaterialized on contraction.
+    prune: Option<PruneTable>,
     workers: usize,
     /// Eligible-endpoint count at the last rebuild; a halving means most
     /// cached pairs died, which triggers a compaction so scans stay
@@ -546,6 +709,28 @@ impl CommonNeighborKernel {
     where
         F: Fn(NodeId) -> bool,
     {
+        Self::build_pruned(g, endpoint_ok, workers, &[], rec)
+    }
+
+    /// [`build_with_telemetry`][Self::build_with_telemetry] with
+    /// per-node prune floors: `floors[i]` is the lowest level at which
+    /// node `i` will ever be queried as a pair endpoint (0 or 1 = no
+    /// floor). Pairs whose count upper bound — the smaller weighted
+    /// degree — cannot reach the larger of the two endpoint floors are
+    /// never materialized, at build or on contraction, and never appear
+    /// in any [`edges_at_least`][Self::edges_at_least] answer. Sound for
+    /// callers (like the formation sweep) that honor the floor contract;
+    /// with empty floors this is exactly `build_with_telemetry`.
+    pub fn build_pruned<F>(
+        g: &WGraph,
+        endpoint_ok: F,
+        workers: usize,
+        floors: &[u32],
+        rec: Option<&Recorder>,
+    ) -> Self
+    where
+        F: Fn(NodeId) -> bool,
+    {
         let _build_span = telemetry::span(rec, "kernel.build");
         let metrics = rec.map(|r| KernelMetrics::register(r.registry()));
         let started = metrics.as_ref().map(|_| Instant::now());
@@ -558,14 +743,9 @@ impl CommonNeighborKernel {
             let _s = telemetry::span(rec, "kernel.csr");
             Csr::snapshot(g)
         };
-        Self::finish_build(
-            CsrSource::Weighted(&csr),
-            eligible,
-            workers,
-            rec,
-            metrics,
-            started,
-        )
+        let source = CsrSource::Weighted(&csr);
+        let prune = PruneTable::new(floors, &source);
+        Self::finish_build(source, eligible, prune, workers, rec, metrics, started)
     }
 
     /// Builds the count table directly from a borrowed unit-weight CSR
@@ -584,6 +764,23 @@ impl CommonNeighborKernel {
     where
         F: Fn(NodeId) -> bool,
     {
+        Self::build_from_unit_csr_pruned(offsets, nbrs, endpoint_ok, workers, &[], rec)
+    }
+
+    /// [`build_from_unit_csr`][Self::build_from_unit_csr] with per-node
+    /// prune floors — see [`build_pruned`][Self::build_pruned] for the
+    /// floor contract.
+    pub fn build_from_unit_csr_pruned<F>(
+        offsets: &[u32],
+        nbrs: &[u32],
+        endpoint_ok: F,
+        workers: usize,
+        floors: &[u32],
+        rec: Option<&Recorder>,
+    ) -> Self
+    where
+        F: Fn(NodeId) -> bool,
+    {
         let _build_span = telemetry::span(rec, "kernel.build");
         let metrics = rec.map(|r| KernelMetrics::register(r.registry()));
         let started = metrics.as_ref().map(|_| Instant::now());
@@ -596,21 +793,17 @@ impl CommonNeighborKernel {
                 eligible.insert(n);
             }
         }
-        Self::finish_build(
-            CsrSource::Unit { offsets, nbrs },
-            eligible,
-            workers,
-            rec,
-            metrics,
-            started,
-        )
+        let source = CsrSource::Unit { offsets, nbrs };
+        let prune = PruneTable::new(floors, &source);
+        Self::finish_build(source, eligible, prune, workers, rec, metrics, started)
     }
 
-    /// The shared tail of every build entry: partition, count, merge,
-    /// rank, and record build metrics.
+    /// The shared tail of every build entry: partition, count,
+    /// concatenate, rank, and record build metrics.
     fn finish_build(
         csr: CsrSource<'_>,
         eligible: NodeBitSet,
+        prune: Option<PruneTable>,
         workers: usize,
         rec: Option<&Recorder>,
         metrics: Option<KernelMetrics>,
@@ -620,16 +813,17 @@ impl CommonNeighborKernel {
         let chunks = partition_rows(&csr, workers);
 
         let count_span = telemetry::span(rec, "kernel.count");
-        let partials: Vec<Vec<(u64, u64)>> = if chunks.len() <= 1 {
+        let prune_ref = prune.as_ref();
+        let partials: Vec<(Vec<(u64, u64)>, u64)> = if chunks.len() <= 1 {
             chunks
                 .into_iter()
-                .map(|r| count_chunk(&csr, &eligible, r))
+                .map(|r| count_chunk(&csr, &eligible, prune_ref, r))
                 .collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
-                    .map(|r| scope.spawn(|| count_chunk(&csr, &eligible, r)))
+                    .map(|r| scope.spawn(|| count_chunk(&csr, &eligible, prune_ref, r)))
                     .collect();
                 handles
                     .into_iter()
@@ -638,16 +832,18 @@ impl CommonNeighborKernel {
             })
         };
         drop(count_span);
+        let pruned_paths: u64 = partials.iter().map(|(_, p)| p).sum();
         if let Some(m) = &metrics {
             m.workers.set(partials.len() as i64);
-            for run in &partials {
+            for (run, _) in &partials {
                 m.worker_entries.observe(run.len() as f64);
             }
+            m.pruned_paths.add(pruned_paths);
         }
 
         let base = {
             let _s = telemetry::span(rec, "kernel.merge");
-            merge_runs(partials)
+            concat_runs(partials.into_iter().map(|(run, _)| run).collect())
         };
         let rank = {
             let _s = telemetry::span(rec, "kernel.rank");
@@ -664,6 +860,7 @@ impl CommonNeighborKernel {
             rank,
             overlay: HashMap::new(),
             eligible,
+            prune,
             workers,
             eligible_watermark,
             metrics,
@@ -725,6 +922,29 @@ impl CommonNeighborKernel {
         let cut = self
             .rank
             .partition_point(|&i| clamp32(self.base[i as usize].1) >= k);
+        // Full-table fast path: every base entry qualifies and nothing is
+        // overlaid, so walking `base` in storage order already yields the
+        // `(a, b)`-sorted answer — no rank indirection, no output sort.
+        // This is the k=1 materialization the formation sweep starts
+        // from, which on large graphs is most of the query volume.
+        if self.overlay.is_empty() && cut == self.rank.len() {
+            let mut out: Vec<CommonNeighborEdge> = Vec::with_capacity(self.base.len());
+            for &(pk, c) in &self.base {
+                let (a, b) = unkey(pk);
+                if self.eligible.contains(a) && self.eligible.contains(b) {
+                    out.push(CommonNeighborEdge {
+                        a,
+                        b,
+                        count: clamp32(c),
+                    });
+                }
+            }
+            if let (Some(m), Some(t0)) = (&self.metrics, started) {
+                m.threshold_queries_total.inc();
+                m.threshold_seconds.observe(t0.elapsed().as_secs_f64());
+            }
+            return out;
+        }
         let mut out: Vec<CommonNeighborEdge> = Vec::new();
         for &i in &self.rank[..cut] {
             let (pk, c) = self.base[i as usize];
@@ -829,6 +1049,8 @@ impl CommonNeighborKernel {
         // Subtract the members' via-contributions to surviving pairs.
         // Pairs with a member endpoint die wholesale (eligibility flips
         // below), so only eligible non-member neighbors matter here.
+        // Pruned pairs were never materialized, so their contributions
+        // must not be subtracted (or re-added below) either.
         let mut scratch: Vec<(NodeId, u64)> = Vec::new();
         for &v in &sorted {
             scratch.clear();
@@ -841,6 +1063,9 @@ impl CommonNeighborKernel {
             for i in 0..scratch.len() {
                 let (a, wa) = scratch[i];
                 for &(b, wb) in &scratch[i + 1..] {
+                    if self.is_pruned(a, b) {
+                        continue;
+                    }
                     self.subtract(key(a, b), contribution(wa, wb));
                 }
             }
@@ -863,6 +1088,9 @@ impl CommonNeighborKernel {
         for i in 0..scratch.len() {
             let (a, wa) = scratch[i];
             for &(b, wb) in &scratch[i + 1..] {
+                if self.is_pruned(a, b) {
+                    continue;
+                }
                 self.add(key(a, b), contribution(wa, wb));
             }
         }
@@ -870,6 +1098,15 @@ impl CommonNeighborKernel {
         self.maybe_compact();
         self.note_contract(started, false);
         (m, internal)
+    }
+
+    /// Whether the pair `(a, b)` is suppressed by the build-time prune
+    /// floors. Always `false` on unpruned kernels.
+    #[inline]
+    fn is_pruned(&self, a: NodeId, b: NodeId) -> bool {
+        self.prune
+            .as_ref()
+            .is_some_and(|p| p.pruned(a.index(), b.index()))
     }
 
     /// Records a finished contraction on the attached metrics, if any.
@@ -1146,6 +1383,95 @@ mod tests {
                 expect.retain(|e| e.count >= k);
                 assert_eq!(kernel.edges_at_least(k), expect, "batch {batch} level {k}");
             }
+        }
+    }
+
+    /// Hub 0 → spokes 1..=6 with weight(0,i) = i, so pair (i, j) has
+    /// count min(i, j) and spoke i has weighted degree i.
+    fn weighted_star() -> WGraph {
+        let mut g = WGraph::new();
+        for _ in 0..7 {
+            g.add_node();
+        }
+        for i in 1..7u32 {
+            g.add_edge(n(0), n(i), i as u64);
+        }
+        g
+    }
+
+    #[test]
+    fn trivial_floors_never_prune() {
+        let g = weighted_star();
+        let plain = CommonNeighborKernel::build_with_workers(&g, |_| true, 2);
+        let pruned =
+            CommonNeighborKernel::build_pruned(&g, |_| true, 2, &[1, 0, 1, 1, 1, 1, 1], None);
+        assert_eq!(plain.edges(), pruned.edges());
+    }
+
+    #[test]
+    fn pruned_build_suppresses_only_unreachable_pairs() {
+        let g = weighted_star();
+        // Every spoke floors at 3: pair (i, j) can count at most
+        // min(i, j), so pairs touching spokes 1 or 2 are pruned.
+        let floors = [0, 3, 3, 3, 3, 3, 3];
+        let kernel = CommonNeighborKernel::build_pruned(&g, |x| x != n(0), 2, &floors, None);
+        let reference = common_neighbor_min_weights(&g, |x| x != n(0));
+        // Below the floor the pruned view is a subset...
+        let surviving: Vec<_> = reference
+            .iter()
+            .filter(|e| e.a.0 >= 3 && e.b.0 >= 3)
+            .cloned()
+            .collect();
+        assert_eq!(kernel.edges(), surviving);
+        // ...and at any level the floors admit, the answers agree exactly:
+        // a pruned pair's count is below every such level by construction.
+        for k in 3..=7 {
+            let mut expect = reference.clone();
+            expect.retain(|e| e.count >= k);
+            assert_eq!(kernel.edges_at_least(k), expect, "level {k}");
+        }
+    }
+
+    #[test]
+    fn pruned_kernel_counts_pruned_paths() {
+        let g = weighted_star();
+        let rec = Recorder::new();
+        let floors = [0, 3, 3, 3, 3, 3, 3];
+        let _kernel = CommonNeighborKernel::build_pruned(&g, |x| x != n(0), 2, &floors, Some(&rec));
+        let pruned = rec
+            .registry()
+            .counter("roleclass_kernel_pruned_paths_total")
+            .get();
+        // Pairs {1,2}×{1..6} minus the (1,2) double-count: each pruned
+        // pair is one suppressed two-path through the hub.
+        assert_eq!(pruned, 9);
+    }
+
+    #[test]
+    fn pruned_kernel_stays_consistent_through_contraction() {
+        // Two servers sharing three clients, plus a leaf hanging off one
+        // client. The leaf's weighted degree is 1, so with floor 2
+        // everywhere its pairs are pruned — including pairs with the
+        // servers that a contraction later subtracts and re-adds.
+        let mut g = WGraph::new();
+        for _ in 0..6 {
+            g.add_node();
+        }
+        for c in 2..5 {
+            g.add_edge(n(0), n(c), 1);
+            g.add_edge(n(1), n(c), 1);
+        }
+        g.add_edge(n(2), n(5), 1);
+        let floors = [2u32; 6];
+        let mut kernel = CommonNeighborKernel::build_pruned(&g, |_| true, 2, &floors, None);
+
+        let (m, _) = kernel.contract(&mut g, &[n(0), n(1)]);
+        assert!(!kernel.is_eligible(m));
+        let fresh = common_neighbor_min_weights(&g, |x| kernel.is_eligible(x));
+        for k in 2..=3 {
+            let mut expect = fresh.clone();
+            expect.retain(|e| e.count >= k);
+            assert_eq!(kernel.edges_at_least(k), expect, "level {k}");
         }
     }
 

@@ -50,7 +50,6 @@ pub use id::NodeId;
 pub use kcore::{core_numbers, degeneracy, k_core};
 pub use kernel::{
     default_worker_count, CommonNeighborKernel, KernelMetrics, NodeBitSet, KERNEL_METRIC_NAMES,
-    THREADS_ENV,
 };
 pub use simple::SimpleGraph;
 pub use stats::{clustering_coefficient, DegreeStats};

@@ -6,6 +6,22 @@
 use netgraph::{common_neighbor_min_weights, CommonNeighborKernel, NodeId, WGraph};
 use proptest::prelude::*;
 
+/// Weighted degree per node id, the count upper bound the prune table
+/// compares floors against.
+fn weighted_degrees(g: &WGraph) -> Vec<u64> {
+    (0..N)
+        .map(|v| g.neighbors(NodeId(v)).map(|(_, w)| w).sum())
+        .collect()
+}
+
+/// Whether the prune contract removes pair `(a, b)` under `floors`:
+/// its count upper bound (the smaller weighted degree) cannot reach the
+/// larger endpoint floor.
+fn pair_pruned(wdeg: &[u64], floors: &[u32], a: NodeId, b: NodeId) -> bool {
+    let floor = floors[a.0 as usize].max(floors[b.0 as usize]) as u64;
+    wdeg[a.0 as usize].min(wdeg[b.0 as usize]) < floor
+}
+
 const N: u32 = 20;
 
 /// Strategy: a random weighted undirected edge list over up to `N`
@@ -74,6 +90,77 @@ proptest! {
             let parallel = CommonNeighborKernel::build_with_workers(&g, |_| true, workers);
             prop_assert_eq!(serial.edges(), parallel.edges(), "{} workers", workers);
             prop_assert_eq!(parallel.workers(), workers);
+        }
+    }
+
+    /// The pruned build is the unpruned build minus exactly the pairs
+    /// the floor contract says can never matter — at every threshold
+    /// level, for arbitrary floors. In particular, any pair queried at
+    /// a level reaching both endpoint floors is answered identically,
+    /// which is the soundness the formation sweep relies on.
+    #[test]
+    fn pruned_build_drops_exactly_the_contracted_pairs(
+        edges in arb_weighted_edges(60),
+        floors in prop::collection::vec(0u32..5, N as usize),
+    ) {
+        let g = weighted(&edges);
+        let wdeg = weighted_degrees(&g);
+        let full = CommonNeighborKernel::build(&g, |_| true);
+        let pruned = CommonNeighborKernel::build_pruned(&g, |_| true, 1, &floors, None);
+        for k in 1..=full.max_count().saturating_add(1) {
+            let mut expect = full.edges_at_least(k);
+            expect.retain(|e| !pair_pruned(&wdeg, &floors, e.a, e.b));
+            prop_assert_eq!(pruned.edges_at_least(k), expect, "level {}", k);
+        }
+    }
+
+    /// Floors of 0 and 1 can never prune anything: the pruned build is
+    /// bit-identical to the plain build.
+    #[test]
+    fn trivial_floors_prune_nothing(edges in arb_weighted_edges(60)) {
+        let g = weighted(&edges);
+        let floors = vec![1u32; N as usize];
+        let full = CommonNeighborKernel::build(&g, |_| true);
+        let pruned = CommonNeighborKernel::build_pruned(&g, |_| true, 1, &floors, None);
+        prop_assert_eq!(pruned.edges(), full.edges());
+    }
+
+    /// The prune set is stable under contraction: contracting a pruned
+    /// kernel equals building pruned from scratch on the mutated graph
+    /// (survivors keep their weighted degrees, so the same pairs stay
+    /// pruned).
+    #[test]
+    fn pruned_contraction_matches_pruned_rebuild(
+        edges in arb_weighted_edges(60),
+        floors in prop::collection::vec(0u32..5, N as usize),
+        members in prop::collection::btree_set(0u32..N, 1..5),
+    ) {
+        let mut g = weighted(&edges);
+        let mut kernel = CommonNeighborKernel::build_pruned(&g, |_| true, 1, &floors, None);
+        let members: Vec<NodeId> = members.iter().map(|&v| NodeId(v)).collect();
+        let (m, _) = kernel.contract(&mut g, &members);
+        let fresh = CommonNeighborKernel::build_pruned(
+            &g,
+            |x| x != m && !members.contains(&x),
+            1,
+            &floors,
+            None,
+        );
+        prop_assert_eq!(kernel.edges(), fresh.edges(), "after contraction");
+    }
+
+    /// Worker count never changes a pruned build either.
+    #[test]
+    fn pruned_worker_count_never_changes_output(
+        edges in arb_weighted_edges(80),
+        floors in prop::collection::vec(0u32..5, N as usize),
+    ) {
+        let g = weighted(&edges);
+        let serial = CommonNeighborKernel::build_pruned(&g, |_| true, 1, &floors, None);
+        for workers in [2, 8] {
+            let parallel =
+                CommonNeighborKernel::build_pruned(&g, |_| true, workers, &floors, None);
+            prop_assert_eq!(serial.edges(), parallel.edges(), "{} workers", workers);
         }
     }
 

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example asset_discovery`
 
 use role_classification::cluster::metrics;
-use role_classification::roleclass::{classify, Params};
+use role_classification::roleclass::{try_classify, Params};
 use role_classification::synthnet::scenarios;
 use std::collections::BTreeMap;
 
@@ -22,7 +22,7 @@ fn main() {
         net.host_count()
     );
 
-    let result = classify(&net.connsets, &Params::default());
+    let result = try_classify(&net.connsets, &Params::default()).expect("valid params");
     println!(
         "-> {} role groups (a {}x reduction in objects to review)\n",
         result.grouping.group_count(),

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example netflow_ingest`
 
 use role_classification::flow::{netflow, pcap, ConnsetBuilder};
-use role_classification::roleclass::{classify, Params};
+use role_classification::roleclass::{try_classify, Params};
 use role_classification::synthnet::{scenarios, trace};
 
 fn main() {
@@ -57,7 +57,7 @@ fn main() {
     println!("netflow and pcap paths reconstruct identical connection sets");
 
     let params = Params::default().with_s_lo(90.0).with_s_hi(95.0);
-    let result = classify(&cs_netflow, &params);
+    let result = try_classify(&cs_netflow, &params).expect("valid params");
     println!(
         "\nclassified into {} groups (expected 5 for Figure 1):",
         result.grouping.group_count()

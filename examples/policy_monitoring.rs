@@ -13,7 +13,7 @@ use role_classification::aggregator::{
     Aggregator, AggregatorConfig, NewNeighborDetector, Policy, PolicyEngine, ReplayProbe, Selector,
 };
 use role_classification::flow::FlowRecord;
-use role_classification::roleclass::Params;
+use role_classification::roleclass::{EngineConfig, Params};
 use role_classification::synthnet::{scenarios, trace};
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
     let mut agg = Aggregator::new(AggregatorConfig {
         window_ms: 86_400_000,
         origin_ms: 0,
-        params: Params::default(),
+        engine: EngineConfig::new(Params::default()),
         min_flows: 1,
         ..AggregatorConfig::default()
     });

@@ -4,7 +4,7 @@
 
 use role_classification::flow::textlog;
 use role_classification::flow::ConnsetBuilder;
-use role_classification::roleclass::{classify, Params};
+use role_classification::roleclass::{try_classify, Params};
 
 fn main() {
     // A tiny enterprise: three sales workstations and three engineering
@@ -54,7 +54,7 @@ fn main() {
     // Keep the formation-phase structure visible (high S^lo): the five
     // textbook groups of the paper's Figure 1.
     let params = Params::default().with_s_lo(90.0).with_s_hi(95.0);
-    let result = classify(&connsets, &params);
+    let result = try_classify(&connsets, &params).expect("valid params");
 
     println!("\n{} role groups:", result.grouping.group_count());
     for g in result.grouping.groups() {

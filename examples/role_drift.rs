@@ -10,7 +10,7 @@
 
 use role_classification::flow::HostAddr;
 use role_classification::roleclass::{
-    apply_correlation, classify, correlate, diff_groupings, Params,
+    apply_correlation, diff_groupings, try_classify, try_correlate, Params,
 };
 use role_classification::synthnet::{churn, scenarios};
 
@@ -22,7 +22,9 @@ fn main() {
 
     // Day 0 baseline.
     let mut prev_cs = net.connsets.clone();
-    let mut prev_grouping = classify(&prev_cs, &params).grouping;
+    let mut prev_grouping = try_classify(&prev_cs, &params)
+        .expect("valid params")
+        .grouping;
     println!(
         "day 0: {} hosts, {} groups",
         prev_cs.host_count(),
@@ -64,14 +66,15 @@ fn main() {
         println!("\n{label}");
         mutate(&mut net);
         let curr_cs = net.connsets.clone();
-        let classified = classify(&curr_cs, &params);
-        let corr = correlate(
+        let classified = try_classify(&curr_cs, &params).expect("valid params");
+        let corr = try_correlate(
             &prev_cs,
             &prev_grouping,
             &curr_cs,
             &classified.grouping,
             &params,
-        );
+        )
+        .expect("valid params");
         let renamed = apply_correlation(&corr, &classified.grouping);
         println!(
             "  {} groups ({} correlated to yesterday, {} new, {} vanished)",

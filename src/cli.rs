@@ -44,7 +44,10 @@ use crate::explain::explain_host;
 use crate::flow::{
     netflow, pcap, rmon, textlog, ConnectionSets, ConnsetBuilder, FlowRecord, HostAddr,
 };
-use crate::roleclass::{auto_k_hi_otsu, diff_groupings, Engine, EngineSnapshot, Grouping, Params};
+use crate::roleclass::{
+    auto_k_hi_otsu, diff_groupings, Engine, EngineConfig, EngineSnapshot, Grouping, Params,
+    PruneMode,
+};
 use crate::serve::{Server, ServerState};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -95,7 +98,7 @@ USAGE:
   rcctl classify  --input <FILE> [--format <FMT>] [--snapshot <OUT.json>]
                   [--dot <OUT.dot>] [--s-lo N] [--s-hi N] [--k-hi N]
                   [--alpha N] [--beta N] [--auto-k-hi] [--min-flows N]
-                  [--trace]
+                  [--workers N] [--no-prune] [--trace]
   rcctl correlate --prev <SNAP.json> --input <FILE> [--format <FMT>]
                   [--snapshot <OUT.json>] [--trace]
                   [same tuning flags as classify]
@@ -136,6 +139,13 @@ OBSERVABILITY:
                picks an ephemeral port)
   --addr-file  write the actually-bound address to a file (for scripts)
 
+ENGINE TUNING (results are bit-identical across all settings):
+  --workers N  worker threads for the kernel and merge phases (default:
+               the ROLECLASS_THREADS environment variable, else one per
+               CPU core)
+  --no-prune   disable common-neighbor pair pruning in the counting
+               kernel (diagnostic; pruning never changes results)
+
 WIRE INGESTION (the probe→aggregator transport):
   ingest listen  accept framed flow-record streams over TCP, classify
                  each completed window, and print the run summary; stops
@@ -173,6 +183,28 @@ struct Options {
     origin_ms: Option<u64>,
     max_windows: Option<u64>,
     params: Params,
+    /// Worker threads for the kernel and merge phases. `--workers` wins;
+    /// absent that, the `ROLECLASS_THREADS` environment variable is
+    /// consulted **here, once** (libraries never read the environment);
+    /// absent both, the machine decides.
+    workers: Option<usize>,
+    /// `--no-prune` turns kernel pair pruning off.
+    no_prune: bool,
+}
+
+impl Options {
+    /// The engine configuration every subcommand runs with: tuning
+    /// parameters plus execution knobs, resolved from flags and the
+    /// `ROLECLASS_THREADS` fallback.
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::new(self.params)
+            .with_workers(self.workers.unwrap_or(0))
+            .with_prune(if self.no_prune {
+                PruneMode::Off
+            } else {
+                PruneMode::Auto
+            })
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -197,6 +229,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         origin_ms: None,
         max_windows: None,
         params: Params::default(),
+        workers: None,
+        no_prune: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -278,7 +312,25 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| CliError::usage("--beta expects a number"))?
             }
+            "--workers" => {
+                o.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--workers expects an integer"))?,
+                )
+            }
+            "--no-prune" => o.no_prune = true,
             other => return Err(CliError::usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    if o.workers.is_none() {
+        // The env var survives as a CLI-layer fallback only; nothing in
+        // the libraries reads the environment.
+        if let Ok(v) = std::env::var("ROLECLASS_THREADS") {
+            o.workers = Some(
+                v.parse()
+                    .map_err(|_| CliError::usage("ROLECLASS_THREADS must be an integer"))?,
+            );
         }
     }
     o.params
@@ -332,15 +384,55 @@ fn load_records(path: &str, format: &str) -> Result<Vec<FlowRecord>, CliError> {
     }
 }
 
-fn load_connsets(o: &Options) -> Result<ConnectionSets, CliError> {
+/// A capture loaded through the shared `--input`/`--format` surface,
+/// with the time bounds every windowed subcommand derives.
+struct LoadedTrace {
+    input: String,
+    records: Vec<FlowRecord>,
+    /// Start of the earliest record (0 on an empty trace).
+    origin_ms: u64,
+    /// Start of the latest record (0 on an empty trace).
+    last_ms: u64,
+}
+
+impl LoadedTrace {
+    /// `--window-ms`, defaulting to one window spanning the whole trace.
+    fn window_ms(&self, o: &Options) -> u64 {
+        o.window_ms
+            .unwrap_or(self.last_ms - self.origin_ms + 1)
+            .max(1)
+    }
+}
+
+/// Loads `--input` in its (resolved) format — the parsing block every
+/// record-consuming subcommand shares. `require_records` distinguishes
+/// the replay commands (which cannot window an empty trace) from plain
+/// `info`/`classify`.
+fn load_trace(o: &Options, require_records: bool) -> Result<LoadedTrace, CliError> {
     let input = o
         .input
         .as_deref()
-        .ok_or_else(|| CliError::usage("--input is required"))?;
-    let format = resolve_format(input, o.format.as_deref());
-    let records = load_records(input, &format)?;
+        .ok_or_else(|| CliError::usage("--input is required"))?
+        .to_string();
+    let format = resolve_format(&input, o.format.as_deref());
+    let records = load_records(&input, &format)?;
+    if require_records && records.is_empty() {
+        return Err(CliError::runtime(format!("{input}: no flow records")));
+    }
+    let origin_ms = records.iter().map(|r| r.start_ms).min().unwrap_or(0);
+    let last_ms = records.iter().map(|r| r.start_ms).max().unwrap_or(0);
+    Ok(LoadedTrace {
+        input,
+        records,
+        origin_ms,
+        last_ms,
+    })
+}
+
+fn load_connsets(o: &Options) -> Result<ConnectionSets, CliError> {
+    let trace = load_trace(o, false)?;
     let mut builder = ConnsetBuilder::new().min_flows(o.min_flows);
-    builder.add_records(records.iter());
+    builder.add_records(trace.records.iter());
     Ok(builder.build())
 }
 
@@ -381,7 +473,8 @@ fn render_grouping(out: &mut String, grouping: &Grouping) {
 /// Builds the classification engine, with a recorder attached when the
 /// user asked for `--trace`.
 fn build_engine(o: &Options) -> Result<(Engine, Option<Arc<Recorder>>), CliError> {
-    let mut engine = Engine::new(o.params).map_err(|e| CliError::usage(e.to_string()))?;
+    let mut engine =
+        Engine::from_config(o.engine_config()).map_err(|e| CliError::usage(e.to_string()))?;
     let recorder = o.trace.then(|| Arc::new(Recorder::new()));
     if let Some(r) = &recorder {
         engine.set_recorder(Some(Arc::clone(r)));
@@ -409,30 +502,19 @@ struct Replay {
 /// Replays `--input` through the aggregator, windowed by `--window-ms`
 /// (default: the whole trace as one window).
 fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
-    let input = o
-        .input
-        .as_deref()
-        .ok_or_else(|| CliError::usage("--input is required"))?
-        .to_string();
-    let format = resolve_format(&input, o.format.as_deref());
-    let records = load_records(&input, &format)?;
-    if records.is_empty() {
-        return Err(CliError::runtime(format!("{input}: no flow records")));
-    }
-    let origin_ms = records.iter().map(|r| r.start_ms).min().unwrap_or(0);
-    let last_ms = records.iter().map(|r| r.start_ms).max().unwrap_or(0);
-    let window_ms = o.window_ms.unwrap_or(last_ms - origin_ms + 1).max(1);
+    let trace = load_trace(o, true)?;
+    let window_ms = trace.window_ms(o);
     let recorder = Arc::new(Recorder::new());
     let mut agg = Aggregator::try_new(AggregatorConfig {
         window_ms,
-        origin_ms,
-        params: o.params,
+        origin_ms: trace.origin_ms,
+        engine: o.engine_config(),
         min_flows: o.min_flows,
         supervisor: SupervisorConfig::immediate(),
     })
     .map_err(|e| CliError::usage(e.to_string()))?
     .with_recorder(Arc::clone(&recorder));
-    agg.attach(Box::new(ReplayProbe::new(&input, records)));
+    agg.attach(Box::new(ReplayProbe::new(&trace.input, trace.records)));
     let windows = agg.drain();
     let reports = agg.probe_reports();
     let health = agg.history().read().last().map(|r| r.health.clone());
@@ -446,21 +528,12 @@ fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
 
 /// Splits a capture into per-window connection sets for `explain`.
 fn window_connsets(o: &Options) -> Result<Vec<ConnectionSets>, CliError> {
-    let input = o
-        .input
-        .as_deref()
-        .ok_or_else(|| CliError::usage("--input is required"))?;
-    let format = resolve_format(input, o.format.as_deref());
-    let records = load_records(input, &format)?;
-    if records.is_empty() {
-        return Err(CliError::runtime(format!("{input}: no flow records")));
-    }
-    let origin_ms = records.iter().map(|r| r.start_ms).min().unwrap_or(0);
-    let last_ms = records.iter().map(|r| r.start_ms).max().unwrap_or(0);
-    let window_ms = o.window_ms.unwrap_or(last_ms - origin_ms + 1).max(1);
-    let count = ((last_ms - origin_ms) / window_ms + 1) as usize;
+    let trace = load_trace(o, true)?;
+    let window_ms = trace.window_ms(o);
+    let origin_ms = trace.origin_ms;
+    let count = ((trace.last_ms - origin_ms) / window_ms + 1) as usize;
     let mut buckets: Vec<Vec<&FlowRecord>> = vec![Vec::new(); count];
-    for r in &records {
+    for r in &trace.records {
         buckets[((r.start_ms - origin_ms) / window_ms) as usize].push(r);
     }
     Ok(buckets
@@ -650,15 +723,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "probe" => match rest.split_first() {
             Some((sub, rest)) if sub == "send" => {
                 let o = parse_options(rest)?;
-                let input = o
-                    .input
-                    .as_deref()
-                    .ok_or_else(|| CliError::usage("--input is required"))?;
-                let format = resolve_format(input, o.format.as_deref());
-                let records = load_records(input, &format)?;
-                if records.is_empty() {
-                    return Err(CliError::runtime(format!("{input}: no flow records")));
-                }
+                let trace = load_trace(&o, true)?;
                 let to =
                     o.to.as_deref()
                         .ok_or_else(|| CliError::usage("--to is required"))?;
@@ -674,7 +739,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let stats = stream_records(
                     addr,
                     probe,
-                    &records,
+                    &trace.records,
                     origin_ms,
                     window_ms,
                     TransportConfig::default(),
@@ -719,7 +784,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let mut agg = Aggregator::try_new(AggregatorConfig {
                     window_ms,
                     origin_ms: o.origin_ms.unwrap_or(0),
-                    params: o.params,
+                    engine: o.engine_config(),
                     min_flows: o.min_flows,
                     supervisor: SupervisorConfig::immediate(),
                 })

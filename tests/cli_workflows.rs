@@ -412,3 +412,83 @@ fn probe_send_streams_into_ingest_listen() {
     assert!(!out.contains("degraded"), "{out}");
     assert!(out.contains("probe edge"), "{out}");
 }
+
+#[test]
+fn worker_and_prune_flags_do_not_change_results() {
+    let dir = workdir("tuning");
+    let inputs = write_inputs(&dir);
+    let (path, _) = &inputs[0];
+    let baseline = run(&args(&[
+        "classify", "--input", path, "--s-lo", "90", "--s-hi", "95",
+    ]))
+    .unwrap();
+    // The engine guarantees bit-identical output for any worker count
+    // and with pruning disabled; the CLI must only route the knobs.
+    for extra in [
+        &["--workers", "1"][..],
+        &["--workers", "2"][..],
+        &["--workers", "8"][..],
+        &["--no-prune"][..],
+        &["--workers", "2", "--no-prune"][..],
+    ] {
+        let mut argv = args(&["classify", "--input", path, "--s-lo", "90", "--s-hi", "95"]);
+        argv.extend(extra.iter().map(|s| s.to_string()));
+        assert_eq!(run(&argv).unwrap(), baseline, "flags: {extra:?}");
+    }
+}
+
+#[test]
+fn workers_flag_rejects_non_integers() {
+    let dir = workdir("badworkers");
+    let inputs = write_inputs(&dir);
+    let (path, _) = &inputs[0];
+    let err = run(&args(&["classify", "--input", path, "--workers", "many"])).unwrap_err();
+    assert_eq!(err.code, 2);
+    assert!(err.message.contains("--workers"), "{}", err.message);
+}
+
+#[test]
+fn tuning_flags_parse_on_every_subcommand() {
+    let dir = workdir("tuning-all");
+    let inputs = write_inputs(&dir);
+    let (path, _) = &inputs[0];
+    let snap = dir.join("snap.json").to_string_lossy().into_owned();
+    run(&args(&[
+        "classify",
+        "--input",
+        path,
+        "--snapshot",
+        &snap,
+        "--workers",
+        "2",
+        "--no-prune",
+    ]))
+    .unwrap();
+    run(&args(&[
+        "correlate",
+        "--prev",
+        &snap,
+        "--input",
+        path,
+        "--workers",
+        "2",
+        "--no-prune",
+    ]))
+    .unwrap();
+    run(&args(&[
+        "metrics",
+        "--input",
+        path,
+        "--workers",
+        "2",
+        "--no-prune",
+    ]))
+    .unwrap();
+}
+
+#[test]
+fn usage_documents_engine_tuning() {
+    let usage = run(&args(&["help"])).unwrap();
+    assert!(usage.contains("--workers"), "{usage}");
+    assert!(usage.contains("--no-prune"), "{usage}");
+}

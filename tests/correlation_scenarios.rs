@@ -1,14 +1,31 @@
 //! Integration tests for the Figure 5 correlation scenario and the
 //! Section 5.1 hard cases, on the full Mazu network.
 
-use role_classification::flow::HostAddr;
+use role_classification::flow::{ConnectionSets, HostAddr};
 use role_classification::roleclass::{
-    apply_correlation, classify, correlate, diff_groupings, Params,
+    apply_correlation, diff_groupings, try_classify, try_correlate, Classification, Correlation,
+    Grouping, Params,
 };
 use role_classification::synthnet::{churn, scenarios};
 
 fn params() -> Params {
     Params::default()
+}
+
+// Local shims over the fallible entry points (the panicking wrappers
+// are deprecated).
+fn classify(cs: &ConnectionSets, p: &Params) -> Classification {
+    try_classify(cs, p).unwrap()
+}
+
+fn correlate(
+    prev_cs: &ConnectionSets,
+    prev_g: &Grouping,
+    curr_cs: &ConnectionSets,
+    curr_g: &Grouping,
+    p: &Params,
+) -> Correlation {
+    try_correlate(prev_cs, prev_g, curr_cs, curr_g, p).unwrap()
 }
 
 #[test]

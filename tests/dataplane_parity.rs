@@ -9,9 +9,25 @@
 //! workloads; a seeded op script exercises the mutators.
 
 use flow::{reference, ConnectionSets, HostAddr, PairStats};
-use roleclass::{classify, correlate, Params};
+use roleclass::{try_classify, try_correlate, Classification, Correlation, Grouping, Params};
 use std::collections::BTreeSet;
 use synthnet::{churn, scenarios, SyntheticNetwork};
+
+// Local shims over the fallible entry points (the panicking wrappers
+// are deprecated).
+fn classify(cs: &ConnectionSets, p: &Params) -> Classification {
+    try_classify(cs, p).unwrap()
+}
+
+fn correlate(
+    prev_cs: &ConnectionSets,
+    prev_g: &Grouping,
+    curr_cs: &ConnectionSets,
+    curr_g: &Grouping,
+    p: &Params,
+) -> Correlation {
+    try_correlate(prev_cs, prev_g, curr_cs, curr_g, p).unwrap()
+}
 
 /// Rebuilds the map-based spec from scratch so the two representations
 /// share only their logical content, not their construction path.

@@ -8,7 +8,7 @@ use role_classification::aggregator::{
     ProbeError, RecoverySource, ReplayProbe, SupervisorConfig, AGGREGATOR_EVENT_NAMES,
 };
 use role_classification::flow::{FlowRecord, HostAddr};
-use role_classification::roleclass::{Params, ENGINE_EVENT_NAMES};
+use role_classification::roleclass::{EngineConfig, Params, ENGINE_EVENT_NAMES};
 use role_classification::telemetry::Recorder;
 use serde::value::Value;
 use std::collections::BTreeSet;
@@ -81,7 +81,7 @@ fn degraded_pipeline_produces_every_declared_event_type() {
     let mut agg = Aggregator::try_new(AggregatorConfig {
         window_ms: 1000,
         origin_ms: 0,
-        params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+        engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
     })
@@ -102,7 +102,7 @@ fn degraded_pipeline_produces_every_declared_event_type() {
     let mut fresh = Aggregator::try_new(AggregatorConfig {
         window_ms: 1000,
         origin_ms: 0,
-        params: Params::default().with_s_lo(90.0).with_s_hi(95.0),
+        engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
     })

@@ -2,7 +2,20 @@
 //! EXPERIMENTS.md for the measured-vs-paper numbers).
 
 use role_classification::cluster::metrics;
-use role_classification::roleclass::{classify, form_groups, FormationKind, Params};
+use role_classification::flow::ConnectionSets;
+use role_classification::roleclass::{
+    try_classify, try_form_groups, Classification, FormationKind, FormationResult, Params,
+};
+
+// Local shims over the fallible entry points (the panicking wrappers
+// are deprecated).
+fn classify(cs: &ConnectionSets, p: &Params) -> Classification {
+    try_classify(cs, p).unwrap()
+}
+
+fn form_groups(cs: &ConnectionSets, p: &Params) -> FormationResult {
+    try_form_groups(cs, p).unwrap()
+}
 use role_classification::synthnet::scenarios;
 
 #[test]

@@ -7,7 +7,7 @@ use role_classification::aggregator::{
     ReplayProbe, Selector,
 };
 use role_classification::flow::{netflow, pcap, ConnsetBuilder, FlowRecord};
-use role_classification::roleclass::{classify, Params};
+use role_classification::roleclass::{try_classify, EngineConfig, Params};
 use role_classification::synthnet::{scenarios, trace};
 
 /// Formation-preserving parameters (more groups, more structure).
@@ -55,7 +55,7 @@ fn aggregator_produces_stable_grouping_over_days() {
     let mut agg = Aggregator::new(AggregatorConfig {
         window_ms: 86_400_000,
         origin_ms: 0,
-        params: params(),
+        engine: EngineConfig::new(params()),
         min_flows: 1,
         ..AggregatorConfig::default()
     });
@@ -89,7 +89,7 @@ fn aggregator_produces_stable_grouping_over_days() {
 #[test]
 fn policy_and_anomaly_detection_fire_on_role_deviation() {
     let net = scenarios::mazu(42);
-    let c = classify(&net.connsets, &params());
+    let c = try_classify(&net.connsets, &params()).unwrap();
 
     let eng = net.role_hosts("eng")[0];
     let exch = net.host("ms_exchange");
@@ -125,7 +125,7 @@ fn service_refinement_splits_mixed_servers() {
     // Figure 1: Mail and Web end up in one group; port data splits them
     // (the paper's Section 8 extension).
     let net = scenarios::figure1(3, 3);
-    let c = classify(&net.connsets, &params());
+    let c = try_classify(&net.connsets, &params()).unwrap();
     let mail = net.host("mail");
     let web = net.host("web");
     assert_eq!(c.grouping.group_of(mail), c.grouping.group_of(web));

@@ -5,7 +5,30 @@ use proptest::prelude::*;
 use role_classification::flow::{
     netflow, pcap, textlog, ConnectionSets, FlowRecord, HostAddr, Proto,
 };
-use role_classification::roleclass::{classify, correlate, form_groups, Params};
+use role_classification::roleclass::{
+    try_classify, try_correlate, try_form_groups, Classification, Correlation, FormationResult,
+    Grouping, Params,
+};
+
+// Local shims over the fallible entry points (the panicking wrappers
+// are deprecated).
+fn classify(cs: &ConnectionSets, p: &Params) -> Classification {
+    try_classify(cs, p).unwrap()
+}
+
+fn form_groups(cs: &ConnectionSets, p: &Params) -> FormationResult {
+    try_form_groups(cs, p).unwrap()
+}
+
+fn correlate(
+    prev_cs: &ConnectionSets,
+    prev_g: &Grouping,
+    curr_cs: &ConnectionSets,
+    curr_g: &Grouping,
+    p: &Params,
+) -> Correlation {
+    try_correlate(prev_cs, prev_g, curr_cs, curr_g, p).unwrap()
+}
 
 /// Strategy: an arbitrary small connection-set structure.
 fn arb_connsets(max_hosts: u32, max_edges: usize) -> impl Strategy<Value = ConnectionSets> {
