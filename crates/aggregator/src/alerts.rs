@@ -11,6 +11,7 @@ use crate::checkpoint::{Recovery, RecoverySource};
 use crate::pipeline::RunRecord;
 use crate::policy::PolicyVerdict;
 use flow::{ConnectionSets, FlowRecord, HostAddr, TimeWindow};
+use roleclass::stability::GroupStability;
 use roleclass::{GroupId, Grouping};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -82,6 +83,30 @@ pub enum AlertKind {
         /// recovery.
         notes: Vec<String>,
     },
+    /// A persistent role group's membership backbone collapsed: most of
+    /// its previous members left in one window. Either the role really
+    /// is dissolving (server migration, pod re-platform) or the
+    /// correlation carried the id onto the wrong group — both deserve an
+    /// operator's eye before group-keyed policies misfire.
+    ///
+    /// Ratios are carried in permille (`u32`) so the alert stays `Eq`
+    /// and hashable like every other kind; divide by 1000 for the score.
+    RoleChurn {
+        /// The affected window.
+        window: TimeWindow,
+        /// The collapsing group id.
+        group: GroupId,
+        /// Consecutive windows the id had survived, including this one.
+        persistence: u64,
+        /// Previous-window members still present.
+        retained: usize,
+        /// Previous-window member count.
+        prev_members: usize,
+        /// Backbone score in permille (`retained / prev_members`).
+        backbone_permille: u32,
+        /// The policy threshold that was crossed, in permille.
+        threshold_permille: u32,
+    },
 }
 
 impl Severity {
@@ -106,6 +131,7 @@ impl AlertKind {
             AlertKind::FanoutSpike { .. } => "fanout_spike",
             AlertKind::DegradedWindow { .. } => "degraded_window",
             AlertKind::CheckpointFallback { .. } => "checkpoint_fallback",
+            AlertKind::RoleChurn { .. } => "role_churn",
         }
     }
 }
@@ -155,6 +181,76 @@ pub fn checkpoint_fallback_alert(recovery: &Recovery) -> Option<Alert> {
         kind: AlertKind::CheckpointFallback {
             source: recovery.source.as_str().to_string(),
             notes: recovery.notes.clone(),
+        },
+    })
+}
+
+/// Policy for [`AlertKind::RoleChurn`]: when does a group's backbone
+/// score count as collapsed, and how far back does per-host churn look.
+///
+/// Lives on [`AggregatorConfig`](crate::AggregatorConfig); the
+/// aggregator evaluates it against every window's
+/// [`WindowStability`](roleclass::stability::WindowStability) row with
+/// hysteresis — one alert per collapse episode, re-armed once the
+/// group's backbone recovers above the threshold.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPolicy {
+    /// Alert when a qualifying group's backbone drops *below* this
+    /// fraction of previous members retained.
+    pub backbone_alert_threshold: f64,
+    /// Only groups that have persisted at least this many consecutive
+    /// windows qualify (fresh groups have no backbone to lose).
+    pub min_persistence: u64,
+    /// Only groups with at least this many previous-window members
+    /// qualify — a two-host group losing one member is not a collapse.
+    pub min_prev_members: usize,
+    /// Sliding horizon (observed windows) for per-host churn counting.
+    pub horizon: usize,
+}
+
+impl Default for ChurnPolicy {
+    fn default() -> Self {
+        ChurnPolicy {
+            backbone_alert_threshold: 0.5,
+            min_persistence: 2,
+            min_prev_members: 3,
+            horizon: roleclass::DEFAULT_CHURN_HORIZON,
+        }
+    }
+}
+
+impl ChurnPolicy {
+    /// `true` when `g` qualifies and its backbone is below the
+    /// threshold — the raw per-window condition, before hysteresis.
+    pub fn collapsed(&self, g: &GroupStability) -> bool {
+        g.persistence >= self.min_persistence
+            && g.prev_members >= self.min_prev_members
+            && g.backbone < self.backbone_alert_threshold
+    }
+}
+
+/// Surfaces a collapsed backbone score as a warning alert. Returns
+/// `None` when the group does not qualify or its backbone holds. The
+/// aggregator adds hysteresis on top (one alert per collapse episode);
+/// calling this directly re-alerts every window the condition holds.
+pub fn role_churn_alert(
+    policy: &ChurnPolicy,
+    window: TimeWindow,
+    g: &GroupStability,
+) -> Option<Alert> {
+    if !policy.collapsed(g) {
+        return None;
+    }
+    Some(Alert {
+        severity: Severity::Warning,
+        kind: AlertKind::RoleChurn {
+            window,
+            group: g.group,
+            persistence: g.persistence,
+            retained: g.retained,
+            prev_members: g.prev_members,
+            backbone_permille: (g.backbone * 1000.0).round() as u32,
+            threshold_permille: (policy.backbone_alert_threshold * 1000.0).round() as u32,
         },
     })
 }
@@ -428,5 +524,44 @@ mod tests {
     fn severity_orders() {
         assert!(Severity::Info < Severity::Warning);
         assert!(Severity::Warning < Severity::Critical);
+    }
+
+    #[test]
+    fn role_churn_alert_fires_only_on_qualified_collapse() {
+        let policy = ChurnPolicy::default();
+        let window = TimeWindow::new(0, 1000);
+        let mut g = GroupStability {
+            group: GroupId(7),
+            persistence: 3,
+            members: 4,
+            retained: 1,
+            prev_members: 10,
+            backbone: 0.1,
+        };
+        let a = role_churn_alert(&policy, window, &g).expect("collapse alerts");
+        assert_eq!(a.severity, Severity::Warning);
+        assert_eq!(a.kind.label(), "role_churn");
+        match a.kind {
+            AlertKind::RoleChurn {
+                group,
+                backbone_permille,
+                threshold_permille,
+                ..
+            } => {
+                assert_eq!(group, GroupId(7));
+                assert_eq!(backbone_permille, 100);
+                assert_eq!(threshold_permille, 500);
+            }
+            _ => unreachable!(),
+        }
+        // A healthy backbone, a fresh group, and a tiny group are quiet.
+        g.backbone = 0.9;
+        assert!(role_churn_alert(&policy, window, &g).is_none());
+        g.backbone = 0.1;
+        g.persistence = 1;
+        assert!(role_churn_alert(&policy, window, &g).is_none());
+        g.persistence = 3;
+        g.prev_members = 2;
+        assert!(role_churn_alert(&policy, window, &g).is_none());
     }
 }

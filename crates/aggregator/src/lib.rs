@@ -40,8 +40,8 @@ pub mod supervisor;
 pub mod transport;
 
 pub use alerts::{
-    checkpoint_fallback_alert, degraded_window_alert, Alert, AlertKind, NewNeighborDetector,
-    Severity,
+    checkpoint_fallback_alert, degraded_window_alert, role_churn_alert, Alert, AlertKind,
+    ChurnPolicy, NewNeighborDetector, Severity,
 };
 pub use checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
 pub use flight::{read_journal_lines, FlightRecorder};

@@ -14,7 +14,9 @@
 //! how complete its input was — downstream consumers (reports, alerts)
 //! use it to distinguish real role churn from artifacts of missing data.
 
-use crate::alerts::{checkpoint_fallback_alert, degraded_window_alert, Alert};
+use crate::alerts::{
+    checkpoint_fallback_alert, degraded_window_alert, role_churn_alert, Alert, ChurnPolicy,
+};
 use crate::checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
 use crate::flight::FlightRecorder;
 use crate::probe::Probe;
@@ -23,8 +25,9 @@ use flow::{ConnectionSets, ConnsetBuilder, FlowRecord, HostTable, TimeWindow};
 use parking_lot::RwLock;
 use roleclass::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::sync::Arc;
-use telemetry::{FieldValue, Recorder};
+use telemetry::{FieldValue, Recorder, TimeseriesRing};
 
 /// Every metric the aggregator registers, in export (sorted) order. The
 /// workspace metric-name lint checks uniqueness and prefixing against
@@ -73,16 +76,35 @@ fn emit(
     name: &'static str,
     fields: Vec<(&'static str, FieldValue)>,
 ) {
+    emit_in_layer(rec, flight, "aggregator", name, fields);
+}
+
+/// [`emit`] with an explicit journal layer — the stability observatory
+/// dual-journals its `roleclass_stability_*` events under the
+/// `stability` layer through the same two observers.
+fn emit_in_layer(
+    rec: Option<&Recorder>,
+    flight: Option<&FlightRecorder>,
+    layer: &'static str,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+) {
     match (rec, flight) {
         (Some(r), Some(f)) => {
-            f.append(name, fields.clone());
-            r.events().record("aggregator", name, fields);
+            f.append_in_layer(layer, name, fields.clone());
+            r.events().record(layer, name, fields);
         }
-        (Some(r), None) => r.events().record("aggregator", name, fields),
-        (None, Some(f)) => f.append(name, fields),
+        (Some(r), None) => r.events().record(layer, name, fields),
+        (None, Some(f)) => f.append_in_layer(layer, name, fields),
         (None, None) => {}
     }
 }
+
+/// Buckets for backbone scores (fractions in `[0, 1]`).
+const SCORE_BUCKETS: &[f64] = &[0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
+/// Buckets for persistence streaks (windows survived).
+const PERSISTENCE_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// Aggregator configuration.
 #[derive(Clone, Debug)]
@@ -103,6 +125,10 @@ pub struct AggregatorConfig {
     /// default retries without sleeping, which suits replay pipelines;
     /// deployments polling live devices should set a real backoff.
     pub supervisor: SupervisorConfig,
+    /// Role-churn alerting policy: when a persistent group's membership
+    /// backbone collapses below the threshold, the cycle queues an
+    /// [`AlertKind::RoleChurn`](crate::alerts::AlertKind::RoleChurn).
+    pub churn: ChurnPolicy,
 }
 
 impl Default for AggregatorConfig {
@@ -113,6 +139,7 @@ impl Default for AggregatorConfig {
             engine: EngineConfig::default(),
             min_flows: 1,
             supervisor: SupervisorConfig::immediate(),
+            churn: ChurnPolicy::default(),
         }
     }
 }
@@ -193,9 +220,23 @@ pub struct Aggregator {
     /// can journal its session provenance into the same file.
     flight: Option<Arc<FlightRecorder>>,
     /// Operational alerts raised by the aggregator itself (degraded
-    /// windows, checkpoint fallbacks), queued until a consumer drains
-    /// them with [`Aggregator::take_alerts`].
+    /// windows, checkpoint fallbacks, role churn), queued until a
+    /// consumer drains them with [`Aggregator::take_alerts`].
     pending_alerts: Vec<Alert>,
+    /// Cross-window stability scoring over the published groupings.
+    /// Runs every cycle, attached or detached — it feeds alerts and the
+    /// CLI, not just telemetry — so outcomes stay bit-identical.
+    stability: StabilityTracker,
+    /// One [`WindowStability`] row per completed cycle, in window order.
+    stability_history: Vec<WindowStability>,
+    /// Bounded per-window ring of stability metric snapshots, fed after
+    /// every cycle; `rcctl serve` streams it on `/stability?follow`.
+    timeseries: Arc<TimeseriesRing>,
+    /// Groups currently in the collapsed state — the hysteresis that
+    /// makes [`AlertKind::RoleChurn`](crate::alerts::AlertKind::RoleChurn)
+    /// fire once per collapse episode instead of every window the
+    /// backbone stays low.
+    churn_alerted: BTreeSet<GroupId>,
 }
 
 impl Aggregator {
@@ -215,6 +256,7 @@ impl Aggregator {
     pub fn try_new(config: AggregatorConfig) -> Result<Self, ParamError> {
         let engine = Engine::from_config(config.engine.clone())?;
         let next = config.origin_ms;
+        let stability = StabilityTracker::new(config.churn.horizon);
         Ok(Aggregator {
             config,
             engine,
@@ -225,6 +267,10 @@ impl Aggregator {
             recorder: None,
             flight: None,
             pending_alerts: Vec::new(),
+            stability,
+            stability_history: Vec::new(),
+            timeseries: Arc::new(TimeseriesRing::default()),
+            churn_alerted: BTreeSet::new(),
         })
     }
 
@@ -292,6 +338,37 @@ impl Aggregator {
     /// Takes (and clears) the queued operational alerts.
     pub fn take_alerts(&mut self) -> Vec<Alert> {
         std::mem::take(&mut self.pending_alerts)
+    }
+
+    /// The stability tracker scoring cross-window group persistence,
+    /// membership backbone, and per-host churn. Updated every cycle,
+    /// attached or detached.
+    pub fn stability_tracker(&self) -> &StabilityTracker {
+        &self.stability
+    }
+
+    /// One [`WindowStability`] row per completed cycle, in window order —
+    /// the replayable record behind `rcctl stability` and `/stability`.
+    pub fn stability_history(&self) -> &[WindowStability] {
+        &self.stability_history
+    }
+
+    /// Per-host churn table (group-id flips over the sliding horizon),
+    /// sorted most-churned first.
+    pub fn churn_table(&self) -> Vec<HostChurn> {
+        self.stability.churn_table()
+    }
+
+    /// Churn summary for one host, if it has ever been observed.
+    pub fn host_churn(&self, h: flow::HostAddr) -> Option<HostChurn> {
+        self.stability.host_churn(h)
+    }
+
+    /// Shared handle to the bounded stability timeseries ring — one
+    /// [`telemetry::MetricFrame`] per completed cycle. `rcctl serve`
+    /// streams it on `/stability?follow`.
+    pub fn timeseries(&self) -> Arc<TimeseriesRing> {
+        Arc::clone(&self.timeseries)
     }
 
     /// Attaches a probe, wrapping it in the configured supervision.
@@ -459,6 +536,134 @@ impl Aggregator {
         // recorder, so its spans nest under `aggregator.run_cycle`.
         let outcome = self.engine.run_window(&connsets);
 
+        // Stability scoring runs every cycle, attached or detached: it
+        // feeds the churn alerts and the CLI/HTTP surfaces, not just
+        // telemetry, and running it unconditionally keeps detached and
+        // attached pipelines bit-identical by construction. No new span
+        // is opened here — the cycle's child-span shape is pinned by
+        // tests — so the cost is tracked on
+        // `roleclass_stability_update_seconds` instead.
+        let stab_t0 = std::time::Instant::now();
+        let stab = self.stability.observe(&outcome.grouping);
+        let stab_elapsed = stab_t0.elapsed();
+
+        // Hysteresis: a collapsed group alerts once per episode. The id
+        // stays latched while its backbone remains below the threshold
+        // and re-arms when the group recovers or retires.
+        let mut churn_alerts: Vec<Alert> = Vec::new();
+        for g in &stab.groups {
+            if self.config.churn.collapsed(g) {
+                if self.churn_alerted.insert(g.group) {
+                    churn_alerts.extend(role_churn_alert(&self.config.churn, window, g));
+                }
+            } else {
+                self.churn_alerted.remove(&g.group);
+            }
+        }
+        let current: BTreeSet<GroupId> = stab.groups.iter().map(|g| g.group).collect();
+        self.churn_alerted.retain(|g| current.contains(g));
+
+        if let Some(r) = rec {
+            let reg = r.registry();
+            reg.counter("roleclass_stability_windows_total").inc();
+            reg.counter("roleclass_stability_role_churn_alerts_total")
+                .add(churn_alerts.len() as u64);
+            reg.gauge("roleclass_stability_churned_hosts")
+                .set(stab.churned_hosts as i64);
+            reg.gauge("roleclass_stability_groups_new")
+                .set(stab.new_groups as i64);
+            reg.gauge("roleclass_stability_groups_retired")
+                .set(stab.retired_groups as i64);
+            reg.gauge("roleclass_stability_groups_tracked")
+                .set(stab.groups.len() as i64);
+            let backbone = reg.histogram("roleclass_stability_backbone_score", SCORE_BUCKETS);
+            let persistence = reg.histogram(
+                "roleclass_stability_persistence_windows",
+                PERSISTENCE_BUCKETS,
+            );
+            for g in &stab.groups {
+                persistence.observe(g.persistence as f64);
+                if g.persistence >= 2 {
+                    backbone.observe(g.backbone);
+                }
+            }
+            reg.histogram(
+                "roleclass_stability_update_seconds",
+                telemetry::DURATION_BUCKETS,
+            )
+            .observe(stab_elapsed.as_secs_f64());
+        }
+        if observing {
+            emit_in_layer(
+                rec,
+                flight,
+                "stability",
+                "roleclass_stability_window_scored",
+                vec![
+                    ("window_start_ms", window.start_ms.into()),
+                    ("hosts", stab.hosts.into()),
+                    ("churned_hosts", stab.churned_hosts.into()),
+                    ("groups_new", stab.new_groups.into()),
+                    ("groups_retired", stab.retired_groups.into()),
+                    ("backbone_min", stab.backbone_min.into()),
+                    ("backbone_mean", stab.backbone_mean.into()),
+                ],
+            );
+            for g in stab.groups.iter().filter(|g| g.persistence >= 2) {
+                emit_in_layer(
+                    rec,
+                    flight,
+                    "stability",
+                    "roleclass_stability_group_scored",
+                    vec![
+                        ("group", u64::from(g.group.0).into()),
+                        ("persistence", g.persistence.into()),
+                        ("members", g.members.into()),
+                        ("retained", g.retained.into()),
+                        ("backbone", g.backbone.into()),
+                    ],
+                );
+            }
+        }
+        // The ring is always fed — it is bounded, cheap, and what the
+        // live `/stability?follow` stream replays.
+        self.timeseries.record(
+            stab.window,
+            vec![
+                ("roleclass_stability_backbone_mean", stab.backbone_mean),
+                ("roleclass_stability_backbone_min", stab.backbone_min),
+                (
+                    "roleclass_stability_churned_hosts",
+                    stab.churned_hosts as f64,
+                ),
+                ("roleclass_stability_groups_new", stab.new_groups as f64),
+                (
+                    "roleclass_stability_groups_retired",
+                    stab.retired_groups as f64,
+                ),
+                (
+                    "roleclass_stability_groups_tracked",
+                    stab.groups.len() as f64,
+                ),
+                ("roleclass_stability_hosts", stab.hosts as f64),
+            ],
+        );
+        self.stability_history.push(stab);
+        for alert in churn_alerts {
+            if observing {
+                emit(
+                    rec,
+                    flight,
+                    "roleclass_aggregator_alert_raised",
+                    vec![
+                        ("severity", alert.severity.label().into()),
+                        ("kind", alert.kind.label().into()),
+                    ],
+                );
+            }
+            self.pending_alerts.push(alert);
+        }
+
         if let Some(r) = rec {
             let reg = r.registry();
             reg.counter("roleclass_aggregator_cycles_total").inc();
@@ -619,6 +824,29 @@ impl Aggregator {
                 grouping: r.grouping.clone(),
             }));
         self.host_table = table;
+        // Rebuild the stability state by replaying the adopted groupings
+        // in order — the same observations live ingestion would have
+        // made. The replay is silent: no alerts are queued and nothing
+        // is journaled (the original run already did both), but the
+        // hysteresis latch is reconstructed so a group that was already
+        // collapsed at checkpoint time does not re-alert on restore.
+        self.stability = StabilityTracker::new(self.config.churn.horizon);
+        self.stability_history.clear();
+        self.timeseries.take();
+        self.churn_alerted.clear();
+        for run in &runs {
+            let stab = self.stability.observe(&run.grouping);
+            for g in &stab.groups {
+                if self.config.churn.collapsed(g) {
+                    self.churn_alerted.insert(g.group);
+                } else {
+                    self.churn_alerted.remove(&g.group);
+                }
+            }
+            let current: BTreeSet<GroupId> = stab.groups.iter().map(|g| g.group).collect();
+            self.churn_alerted.retain(|g| current.contains(g));
+            self.stability_history.push(stab);
+        }
         let n = runs.len();
         *self.history.write() = runs;
         n
@@ -754,6 +982,7 @@ mod tests {
             engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
             min_flows: 1,
             supervisor: SupervisorConfig::immediate(),
+            ..AggregatorConfig::default()
         }
     }
 
@@ -1076,20 +1305,23 @@ mod tests {
         agg.checkpoint(&ck).unwrap();
 
         // The shared journal carries engine-layer decision events too;
-        // the aggregator's own events are the `aggregator` layer.
+        // the aggregator's own events are the `aggregator` layer, the
+        // stability observatory's the `stability` layer — both are
+        // dual-journaled.
         let events: Vec<_> = rec
             .events()
             .snapshot()
             .into_iter()
-            .filter(|e| e.layer == "aggregator")
+            .filter(|e| e.layer == "aggregator" || e.layer == "stability")
             .collect();
         assert!(!events.is_empty());
         for ev in &events {
-            assert!(
-                AGGREGATOR_EVENT_NAMES.contains(&ev.name),
-                "{} not declared",
-                ev.name
-            );
+            let declared: &[&str] = match ev.layer {
+                "aggregator" => AGGREGATOR_EVENT_NAMES,
+                "stability" => roleclass::STABILITY_EVENT_NAMES,
+                other => panic!("unexpected layer {other}"),
+            };
+            assert!(declared.contains(&ev.name), "{} not declared", ev.name);
         }
         let names: Vec<&str> = events.iter().map(|e| e.name).collect();
         assert!(names.contains(&"roleclass_aggregator_window_started"));
@@ -1097,6 +1329,7 @@ mod tests {
         assert!(names.contains(&"roleclass_aggregator_window_classified"));
         assert!(names.contains(&"roleclass_aggregator_alert_raised"));
         assert!(names.contains(&"roleclass_aggregator_checkpoint_written"));
+        assert!(names.contains(&"roleclass_stability_window_scored"));
 
         // The durable journal carries the same events, as parseable
         // JSONL, alongside the checkpoint.
@@ -1105,7 +1338,7 @@ mod tests {
         for (line, ev) in lines.iter().zip(&events) {
             let v: Value = serde_json::from_str(line).unwrap();
             assert_eq!(field(&v, "name"), &Value::Str(ev.name.to_string()));
-            assert_eq!(field(&v, "layer"), &Value::Str("aggregator".to_string()));
+            assert_eq!(field(&v, "layer"), &Value::Str(ev.layer.to_string()));
         }
         assert_eq!(agg.flight_recorder().unwrap().write_errors(), 0);
 
@@ -1194,6 +1427,58 @@ mod tests {
             assert_eq!(fresh.host_table().get(addr), Some(id));
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stability_rows_accumulate_with_history() {
+        let mut agg = Aggregator::new(config());
+        let trace: Vec<FlowRecord> = (0..3).flat_map(|d| day_trace(d, 3)).collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        agg.drain();
+        let rows = agg.stability_history();
+        assert_eq!(rows.len(), 3);
+        // A structurally stable network: every surviving group keeps its
+        // full backbone and persistence counts up each window.
+        let last = rows.last().unwrap();
+        assert_eq!(last.churned_hosts, 0);
+        assert_eq!(last.backbone_min, 1.0);
+        assert!(last.groups.iter().all(|g| g.persistence == 3));
+        // The churn table covers every host, with zero flips.
+        let table = agg.churn_table();
+        assert_eq!(table.len(), 10);
+        assert!(table.iter().all(|c| c.flips == 0));
+        assert_eq!(agg.host_churn(h(11)).unwrap().windows, 3);
+        assert!(agg.host_churn(h(99)).is_none());
+        // The timeseries ring has one frame per cycle, in window order.
+        let frames = agg.timeseries().snapshot();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[2].window, 2);
+        let hosts = frames[2]
+            .values
+            .iter()
+            .find(|(n, _)| *n == "roleclass_stability_hosts")
+            .unwrap()
+            .1;
+        assert_eq!(hosts, 10.0);
+        // No churn on a stable network: no RoleChurn alert queued.
+        assert!(agg.pending_alerts().is_empty());
+    }
+
+    #[test]
+    fn adopt_history_replays_stability_silently() {
+        let mut agg = Aggregator::new(config());
+        let trace: Vec<FlowRecord> = (0..3).flat_map(|d| day_trace(d, 3)).collect();
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        agg.drain();
+        let json = agg.export_history().unwrap();
+
+        let mut agg2 = Aggregator::new(config());
+        assert_eq!(agg2.import_history(&json).unwrap(), 3);
+        // The rebuilt stability history matches the live one row for row,
+        // and the silent replay queued no alerts.
+        assert_eq!(agg2.stability_history(), agg.stability_history());
+        assert_eq!(agg2.churn_table(), agg.churn_table());
+        assert!(agg2.pending_alerts().is_empty());
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn config() -> AggregatorConfig {
         engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
+        ..AggregatorConfig::default()
     }
 }
 

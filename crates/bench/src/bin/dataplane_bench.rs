@@ -1,7 +1,7 @@
 //! Experiment `dataplane_bench` — data-plane cost of one pipeline window.
 //!
 //! Measures the two phases the dense host-ID refactor targets, at 1k,
-//! 10k and 100k hosts:
+//! 5k, 10k and 100k hosts:
 //!
 //! 1. **build** — turning one window of raw flow records into
 //!    [`flow::ConnectionSets`] through [`flow::ConnsetBuilder`];
@@ -171,9 +171,9 @@ fn main() {
     };
     println!("engine: {workers} worker(s), prune {prune}\n");
     let sizes: &[(usize, usize)] = if quick_mode() {
-        &[(1_000, 3), (10_000, 2)]
+        &[(1_000, 3), (5_000, 2), (10_000, 2)]
     } else {
-        &[(1_000, 3), (10_000, 2), (100_000, 1)]
+        &[(1_000, 3), (5_000, 2), (10_000, 2), (100_000, 1)]
     };
 
     let mut results = Vec::new();

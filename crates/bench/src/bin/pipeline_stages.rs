@@ -84,6 +84,7 @@ fn main() {
         engine: engine_cfg.clone(),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
+        ..AggregatorConfig::default()
     })
     .with_recorder(Arc::clone(&recorder));
     agg.attach(Box::new(ReplayProbe::new("replay", records.clone())));
@@ -166,6 +167,7 @@ fn main() {
         engine: engine_cfg.clone(),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
+        ..AggregatorConfig::default()
     };
     let fingerprint = |agg: &Aggregator| -> Vec<String> {
         let history = agg.history();
@@ -222,6 +224,42 @@ loopback TCP {wire_secs:.3}s ({wire_overhead_pct:+.1}%), {} frame(s), {} byte(s)
         stats.frames_sent, stats.bytes_sent, stats.retransmits
     );
 
+    // Stability observatory overhead: the tracker scores every cycle
+    // whether or not a recorder is attached, so the detached in-process
+    // run above must have produced bit-identical stability rows, and
+    // the per-cycle update must stay marginal next to the window time.
+    assert_eq!(
+        fingerprint(&in_process),
+        fingerprint(&agg),
+        "stability scoring must not perturb outcomes"
+    );
+    assert_eq!(
+        in_process.stability_history(),
+        agg.stability_history(),
+        "stability rows must be identical detached vs attached"
+    );
+    let stability_secs = recorder
+        .registry()
+        .histogram(
+            "roleclass_stability_update_seconds",
+            telemetry::DURATION_BUCKETS,
+        )
+        .sum();
+    let window_total_secs = totals
+        .get("engine.run_window")
+        .map(|(_, secs)| *secs)
+        .expect("window spans recorded");
+    let stability_overhead_pct = stability_secs / window_total_secs * 100.0;
+    let stability_rows = agg.stability_history().len();
+    assert!(
+        stability_overhead_pct <= 3.0,
+        "stability update must stay within 3% of window time, got {stability_overhead_pct:.2}%"
+    );
+    println!(
+        "stability overhead over {stability_rows} window(s): update {stability_secs:.6}s \
+vs window {window_total_secs:.3}s ({stability_overhead_pct:.2}%), rows identical detached vs attached"
+    );
+
     // Machine-readable tail for scripts/bench.sh.
     let mut stages = String::new();
     for (name, (count, secs)) in &totals {
@@ -239,7 +277,10 @@ loopback TCP {wire_secs:.3}s ({wire_overhead_pct:+.1}%), {} frame(s), {} byte(s)
 \"overhead_pct\":{overhead_pct:.3},\"events_recorded\":{events_recorded}}},\
 \"transport\":{{\"in_process_secs\":{in_process_secs:.9},\"wire_secs\":{wire_secs:.9},\
 \"overhead_pct\":{wire_overhead_pct:.3},\"frames_sent\":{},\"bytes_sent\":{},\
-\"retransmits\":{},\"outcomes_identical\":true}},\"metrics\":{}}}",
+\"retransmits\":{},\"outcomes_identical\":true}},\
+\"stability\":{{\"update_secs\":{stability_secs:.9},\"window_secs\":{window_total_secs:.9},\
+\"overhead_pct\":{stability_overhead_pct:.3},\"rows\":{stability_rows},\
+\"outcomes_identical\":true}},\"metrics\":{}}}",
         cs.host_count(),
         stats.frames_sent,
         stats.bytes_sent,

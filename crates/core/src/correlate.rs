@@ -356,8 +356,12 @@ pub(crate) fn correlate_validated(
 /// [`correlate_validated`] with an optional recorder: emits one
 /// provenance event per id decision — `id_carried` (with the matching
 /// rule that fired and its score), `id_minted` for new groups, and
-/// `id_retired` for vanished ones. With `None` the phase is exactly the
-/// uninstrumented one.
+/// `id_retired` for vanished ones — plus per-phase introspection: spans
+/// for each internal phase (`correlate.restrict`, `.h_same`, `.views`,
+/// `.step1`, `.step2`, `.finalize`, nested under the caller's
+/// `engine.correlate` span) and counters for candidate pairs examined,
+/// similarity evaluations run, and ids carried/minted/retired. With
+/// `None` the phase is exactly the uninstrumented one.
 pub(crate) fn correlate_with_events(
     prev_cs: &ConnectionSets,
     prev_grouping: &Grouping,
@@ -372,20 +376,31 @@ pub(crate) fn correlate_with_events(
         ..Correlation::default()
     };
 
+    // Phase counters, folded into the registry once at the end so the
+    // hot loops stay branch-light. They tally regardless of attachment
+    // (plain integer adds) — outcomes are identical either way.
+    let mut candidate_pairs = 0u64;
+    let mut similarity_evals = 0u64;
+
     // 1. Restrict both snapshots to the common host population.
+    let restrict_span = telemetry::span(rec, "correlate.restrict");
     let common: BTreeSet<HostAddr> = curr_cs.hosts().filter(|h| prev_cs.contains(*h)).collect();
     let mut prev_r = prev_cs.clone();
     prev_r.retain_hosts(&common);
     let mut curr_r = curr_cs.clone();
     curr_r.retain_hosts(&common);
+    drop(restrict_span);
 
     // 2. H_same: identical restricted connection sets.
+    let h_same_span = telemetry::span(rec, "correlate.h_same");
     for &h in &common {
         if prev_r.neighbors(h) == curr_r.neighbors(h) {
             out.h_same.insert(h);
         }
     }
+    drop(h_same_span);
 
+    let views_span = telemetry::span(rec, "correlate.views");
     let curr_views = build_views(curr_cs, &common, curr_grouping);
     let prev_views = build_views(prev_cs, &common, prev_grouping);
 
@@ -402,8 +417,10 @@ pub(crate) fn correlate_with_events(
             prev_index.entry(n).or_default().insert(i);
         }
     }
+    drop(views_span);
 
     // 3. Step 1: greedy best-first matching on time-varying similarity.
+    let step1_span = telemetry::span(rec, "correlate.step1");
     let mut scored: Vec<(f64, usize, usize)> = Vec::new();
     for (ci, cv) in curr_views.iter().enumerate() {
         let mut cand: BTreeSet<usize> = BTreeSet::new();
@@ -413,10 +430,12 @@ pub(crate) fn correlate_with_events(
             }
         }
         for pi in cand {
+            candidate_pairs += 1;
             let pv = &prev_views[pi];
             if !within(params.t_hi, cv.avg_conns, pv.avg_conns) {
                 continue;
             }
+            similarity_evals += 1;
             let s = time_varying_similarity(cv, pv, &curr_r, &prev_r, &out.h_same, params.t_hi);
             if s >= params.s_corr {
                 scored.push((s, ci, pi));
@@ -447,9 +466,11 @@ pub(crate) fn correlate_with_events(
             );
         }
     }
+    drop(step1_span);
 
     // 4. Step 2: leftover groups correlate through their (already
     // correlated) neighbor groups.
+    let step2_span = telemetry::span(rec, "correlate.step2");
     let mut scored2: Vec<(f64, usize, usize)> = Vec::new();
     for (ci, cv) in curr_views.iter().enumerate() {
         if curr_taken[ci] {
@@ -459,9 +480,11 @@ pub(crate) fn correlate_with_events(
             if prev_taken[pi] {
                 continue;
             }
+            candidate_pairs += 1;
             if !within(params.t_hi, cv.avg_conns, pv.avg_conns) {
                 continue;
             }
+            similarity_evals += 1;
             let s = neighbor_group_similarity(cv, pv, curr_grouping, prev_grouping, &out.id_map);
             if s >= params.s_corr {
                 scored2.push((s, ci, pi));
@@ -491,9 +514,12 @@ pub(crate) fn correlate_with_events(
         }
     }
 
+    drop(step2_span);
+
     // 5. Leftovers. (Current groups whose every member is a new host
     // never made it into `curr_views` and are new by definition; viewed
     // but unmatched groups are new as well.)
+    let finalize_span = telemetry::span(rec, "correlate.finalize");
     for g in curr_grouping.groups() {
         if !out.id_map.contains_key(&g.id) {
             out.new_groups.push(g.id);
@@ -524,6 +550,21 @@ pub(crate) fn correlate_with_events(
                 );
             }
         }
+    }
+    drop(finalize_span);
+
+    if let Some(r) = rec {
+        let reg = r.registry();
+        reg.counter("roleclass_engine_correlate_candidates_total")
+            .add(candidate_pairs);
+        reg.counter("roleclass_engine_correlate_similarity_evals_total")
+            .add(similarity_evals);
+        reg.counter("roleclass_engine_ids_carried_total")
+            .add(out.id_map.len() as u64);
+        reg.counter("roleclass_engine_ids_minted_total")
+            .add(out.new_groups.len() as u64);
+        reg.counter("roleclass_engine_ids_retired_total")
+            .add(out.vanished_groups.len() as u64);
     }
     out
 }

@@ -56,10 +56,15 @@ use telemetry::Recorder;
 /// workspace metric-name lint checks uniqueness and prefixing against
 /// this list.
 pub const ENGINE_METRIC_NAMES: &[&str] = &[
+    "roleclass_engine_correlate_candidates_total",
     "roleclass_engine_correlate_seconds",
+    "roleclass_engine_correlate_similarity_evals_total",
     "roleclass_engine_form_seconds",
     "roleclass_engine_groups_final",
     "roleclass_engine_groups_formed",
+    "roleclass_engine_ids_carried_total",
+    "roleclass_engine_ids_minted_total",
+    "roleclass_engine_ids_retired_total",
     "roleclass_engine_merge_seconds",
     "roleclass_engine_merges_total",
     "roleclass_engine_sweep_levels_total",

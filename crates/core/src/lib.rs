@@ -29,9 +29,10 @@
 //!
 //! Supporting modules: [`params`] (all tunables, with the paper's
 //! defaults), [`group`] (partition types), [`diff`] (partition change
-//! reports, the paper's property 4), and [`services`] (the
+//! reports, the paper's property 4), [`services`] (the
 //! port/protocol-aware refinement sketched in the paper's Sections 2
-//! and 8).
+//! and 8), and [`stability`] (cross-window persistence/backbone/churn
+//! scoring over the published group ids).
 //!
 //! # Quick start
 //!
@@ -66,6 +67,7 @@ pub mod merging;
 pub mod model;
 pub mod params;
 pub mod services;
+pub mod stability;
 
 pub use autotune::{auto_k_hi_kcore, auto_k_hi_otsu, auto_params};
 #[allow(deprecated)]
@@ -90,6 +92,10 @@ pub use merging::merge_groups;
 pub use merging::{try_merge_groups, MergeEvent, MergeOutcome};
 pub use model::{avg_similarity, avg_similarity_violations, s_min_violations, similarity};
 pub use params::{ParamError, Params, SimilarityVariant, TieBreak};
+pub use stability::{
+    GroupStability, HostChurn, StabilityTracker, WindowStability, DEFAULT_CHURN_HORIZON,
+    STABILITY_EVENT_NAMES, STABILITY_METRIC_NAMES,
+};
 
 /// One-stop imports for typical pipeline code.
 ///
@@ -118,4 +124,5 @@ pub mod prelude {
     pub use crate::merging::merge_groups;
     pub use crate::merging::{try_merge_groups, MergeOutcome};
     pub use crate::params::{ParamError, Params, SimilarityVariant, TieBreak};
+    pub use crate::stability::{GroupStability, HostChurn, StabilityTracker, WindowStability};
 }

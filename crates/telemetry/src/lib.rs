@@ -49,10 +49,12 @@
 mod events;
 mod registry;
 mod span;
+mod timeseries;
 
 pub use events::{Event, EventJournal, FieldValue, DEFAULT_EVENT_CAPACITY};
 pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use span::{render_span_tree, span_tree_json, Span, SpanNode};
+pub use timeseries::{MetricFrame, TimeseriesRing, DEFAULT_TIMESERIES_CAPACITY};
 
 use std::sync::Mutex;
 

@@ -19,12 +19,15 @@
 //! trace through the full aggregator pipeline and prints the telemetry
 //! registry in Prometheus text format (or JSON with `--json`);
 //! `explain` replays a capture and prints the full decision chain for
-//! one host; `serve` replays and then exposes `/metrics`, `/events`,
-//! and `/healthz` over HTTP:
+//! one host; `stability` prints the role-stability observatory
+//! (per-group persistence/backbone, per-host churn); `serve` replays
+//! and then exposes `/metrics`, `/events`, `/stability`, and
+//! `/healthz` over HTTP:
 //!
 //! ```text
-//! rcctl explain --input flows.txt --host 10.0.0.11 --window-ms 86400000
-//! rcctl serve   --input flows.txt --addr 127.0.0.1:7878
+//! rcctl explain   --input flows.txt --host 10.0.0.11 --window-ms 86400000
+//! rcctl stability --input flows.txt --window-ms 86400000 --host 10.0.0.11
+//! rcctl serve     --input flows.txt --addr 127.0.0.1:7878
 //! ```
 //!
 //! `ingest listen` and `probe send` split the same pipeline across a
@@ -45,14 +48,15 @@ use crate::flow::{
     netflow, pcap, rmon, textlog, ConnectionSets, ConnsetBuilder, FlowRecord, HostAddr,
 };
 use crate::roleclass::{
-    auto_k_hi_otsu, diff_groupings, Engine, EngineConfig, EngineSnapshot, Grouping, Params,
-    PruneMode,
+    auto_k_hi_otsu, diff_groupings, Engine, EngineConfig, EngineSnapshot, GroupId, Grouping,
+    HostChurn, Params, PruneMode, WindowStability,
 };
 use crate::serve::{Server, ServerState};
+use crate::stability_report;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::Arc;
-use telemetry::Recorder;
+use telemetry::{Recorder, TimeseriesRing};
 
 /// A saved classification snapshot: what `correlate` needs from the past.
 #[derive(Serialize, Deserialize)]
@@ -107,6 +111,9 @@ USAGE:
                   [--json] [--trace] [same tuning flags as classify]
   rcctl explain   --input <FILE> --host <ADDR> [--format <FMT>]
                   [--window-ms N] [same tuning flags as classify]
+  rcctl stability --input <FILE> [--format <FMT>] [--window-ms N]
+                  [--host <ADDR>] [--group <ID>] [--json]
+                  [same tuning flags as classify]
   rcctl serve     --input <FILE> [--format <FMT>] [--window-ms N]
                   [--addr <IP:PORT>] [--addr-file <FILE>]
                   [--max-requests N] [same tuning flags as classify]
@@ -131,9 +138,16 @@ OBSERVABILITY:
                one host: formation (k and mechanism), every merge its
                group was considered for (score, S^hi/S^lo gate verdict,
                connection requirement), and group-id lineage per window
+  stability    replay the capture windowed and print the stability
+               observatory: per-window churn summary, per-group
+               persistence/backbone (--group narrows to one id and adds
+               its trajectory), and per-host group-id flips (--host
+               narrows to one host); --json for machine-readable rows
   serve        replay the capture, then serve GET /metrics (Prometheus
-               text), /events (journal as JSONL; ?tail=N), and /healthz
-               (last window's health) until --max-requests is reached
+               text), /events (journal as JSONL; ?tail=N), /stability
+               (per-window stability rows; ?follow streams the metric
+               ring as NDJSON), and /healthz (last window's health)
+               until --max-requests is reached
   --window-ms  window length for replay commands (default: whole trace)
   --addr       listen address for serve (default 127.0.0.1:7878; port 0
                picks an ephemeral port)
@@ -175,6 +189,7 @@ struct Options {
     json: bool,
     window_ms: Option<u64>,
     host: Option<String>,
+    group: Option<String>,
     addr: Option<String>,
     addr_file: Option<String>,
     max_requests: Option<u64>,
@@ -221,6 +236,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         json: false,
         window_ms: None,
         host: None,
+        group: None,
         addr: None,
         addr_file: None,
         max_requests: None,
@@ -250,6 +266,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--trace" => o.trace = true,
             "--json" => o.json = true,
             "--host" => o.host = Some(value("--host")?),
+            "--group" => o.group = Some(value("--group")?),
             "--addr" => o.addr = Some(value("--addr")?),
             "--addr-file" => o.addr_file = Some(value("--addr-file")?),
             "--to" => o.to = Some(value("--to")?),
@@ -497,6 +514,12 @@ struct Replay {
     windows: usize,
     reports: Vec<ProbeReport>,
     health: Option<WindowHealth>,
+    /// One stability row per completed window, in window order.
+    stability: Vec<WindowStability>,
+    /// Per-host churn table, most churned first.
+    churn: Vec<HostChurn>,
+    /// The aggregator's stability timeseries ring (shared handle).
+    timeseries: Arc<TimeseriesRing>,
 }
 
 /// Replays `--input` through the aggregator, windowed by `--window-ms`
@@ -511,6 +534,7 @@ fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
         engine: o.engine_config(),
         min_flows: o.min_flows,
         supervisor: SupervisorConfig::immediate(),
+        ..AggregatorConfig::default()
     })
     .map_err(|e| CliError::usage(e.to_string()))?
     .with_recorder(Arc::clone(&recorder));
@@ -523,6 +547,9 @@ fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
         windows,
         reports,
         health,
+        stability: agg.stability_history().to_vec(),
+        churn: agg.churn_table(),
+        timeseries: agg.timeseries(),
     })
 }
 
@@ -694,6 +721,40 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             explain_host(&windows, host, o.params).map_err(|e| CliError::usage(e.to_string()))
         }
+        "stability" => {
+            let o = parse_options(rest)?;
+            let host: Option<HostAddr> = o
+                .host
+                .as_deref()
+                .map(|h| h.parse())
+                .transpose()
+                .map_err(|e| CliError::usage(format!("--host: {e}")))?;
+            let group: Option<GroupId> = o
+                .group
+                .as_deref()
+                .map(|g| g.parse::<u32>().map(GroupId))
+                .transpose()
+                .map_err(|_| CliError::usage("--group expects a numeric group id"))?;
+            let replay = replay_pipeline(&o)?;
+            if o.json {
+                let rows = serde_json::to_string(&replay.stability)
+                    .map_err(|e| CliError::runtime(e.to_string()))?;
+                let churn = serde_json::to_string(&replay.churn)
+                    .map_err(|e| CliError::runtime(e.to_string()))?;
+                return Ok(format!(
+                    "{{\"windows\":{},\"rows\":{rows},\"churn\":{churn}}}\n",
+                    replay.windows
+                ));
+            }
+            let mut out = String::new();
+            stability_report::render_windows(&mut out, &replay.stability);
+            stability_report::render_groups(&mut out, &replay.stability, group);
+            if let Some(id) = group {
+                stability_report::render_group_trajectory(&mut out, &replay.stability, id);
+            }
+            stability_report::render_churn(&mut out, &replay.churn, host);
+            Ok(out)
+        }
         "serve" => {
             let o = parse_options(rest)?;
             let replay = replay_pipeline(&o)?;
@@ -701,6 +762,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 recorder: replay.recorder,
                 windows: replay.windows,
                 health: replay.health,
+                stability: replay.stability,
+                timeseries: replay.timeseries,
             };
             let addr = o.addr.as_deref().unwrap_or("127.0.0.1:7878");
             let server = Server::bind(addr, state)
@@ -714,7 +777,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             // Announce before blocking in the accept loop; the final
             // return value only prints after the server stops.
-            println!("serving http://{bound} (/metrics /events /healthz)");
+            println!("serving http://{bound} (/metrics /events /stability /healthz)");
             let served = server
                 .run(o.max_requests)
                 .map_err(|e| CliError::runtime(e.to_string()))?;
@@ -787,6 +850,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     engine: o.engine_config(),
                     min_flows: o.min_flows,
                     supervisor: SupervisorConfig::immediate(),
+                    ..AggregatorConfig::default()
                 })
                 .map_err(|e| CliError::usage(e.to_string()))?
                 .with_recorder(Arc::clone(&recorder));

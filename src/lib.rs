@@ -15,6 +15,7 @@
 pub mod cli;
 pub mod explain;
 pub mod serve;
+pub mod stability_report;
 
 pub use aggregator;
 pub use cluster;

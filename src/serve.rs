@@ -1,15 +1,23 @@
 //! The `rcctl serve` HTTP endpoint: metrics, events, and health over a
 //! zero-dependency `std::net` listener.
 //!
-//! Serves three read-only views of one pipeline run:
+//! Serves four read-only views of one pipeline run:
 //!
 //! * `GET /metrics` — the telemetry registry in Prometheus exposition
 //!   format (`text/plain; version=0.0.4`), scrapeable as-is.
 //! * `GET /events` — the in-memory event journal as JSONL
 //!   (`application/x-ndjson`), one structured event per line;
 //!   `?tail=N` limits the response to the newest `N` events.
+//! * `GET /stability` — the stability observatory: a JSON snapshot of
+//!   per-window [`WindowStability`] rows (`?tail=N` keeps the newest
+//!   `N`), or with `?follow` the bounded timeseries ring as NDJSON,
+//!   one metric frame per completed window.
 //! * `GET /healthz` — the [`WindowHealth`] of the last completed cycle
 //!   as JSON, `503` until a cycle has completed.
+//!
+//! `/events` and `/stability` share one query-string parser: a
+//! malformed `tail`, an unknown parameter, or `follow` on an endpoint
+//! that cannot stream is an explicit `400`, never silently ignored.
 //!
 //! The server is deliberately minimal: blocking accept loop, one
 //! request per connection (`Connection: close`), request line plus
@@ -24,11 +32,12 @@
 //! body, so the header cap bounds the whole request.
 
 use crate::aggregator::WindowHealth;
+use crate::roleclass::WindowStability;
 use std::io::{self, BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
-use telemetry::Recorder;
+use telemetry::{Recorder, TimeseriesRing};
 
 /// Per-connection limits for the HTTP listener.
 #[derive(Clone, Debug)]
@@ -63,6 +72,12 @@ pub struct ServerState {
     pub windows: usize,
     /// Input health of the last completed window, if any.
     pub health: Option<WindowHealth>,
+    /// One stability row per completed window, in window order — the
+    /// `/stability` snapshot body.
+    pub stability: Vec<WindowStability>,
+    /// The aggregator's bounded stability timeseries ring — the
+    /// `/stability?follow` NDJSON stream.
+    pub timeseries: Arc<TimeseriesRing>,
 }
 
 /// A bound listener ready to serve [`ServerState`].
@@ -115,12 +130,56 @@ impl Server {
     }
 }
 
-/// Extracts `tail=N` from a query string.
-fn tail_param(query: &str) -> Option<usize> {
-    query
-        .split('&')
-        .find_map(|kv| kv.strip_prefix("tail="))
-        .and_then(|v| v.parse().ok())
+/// Query parameters understood by `/events` and `/stability`.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct QueryParams {
+    /// `tail=N`: keep only the newest `N` items.
+    tail: Option<usize>,
+    /// `follow` (or `follow=1`/`follow=true`): stream the timeseries
+    /// ring as NDJSON instead of the JSON snapshot.
+    follow: bool,
+}
+
+/// Parses the shared query-string surface. Anything malformed — a
+/// non-numeric `tail`, a `follow` with an unrecognized value, an unknown
+/// parameter — is an `Err` the caller answers with an explicit `400`,
+/// so a typo'd scrape fails loudly instead of silently returning the
+/// un-filtered body.
+fn query_params(query: Option<&str>) -> Result<QueryParams, String> {
+    let mut p = QueryParams::default();
+    let Some(query) = query else { return Ok(p) };
+    for kv in query.split('&').filter(|kv| !kv.is_empty()) {
+        let (key, value) = match kv.split_once('=') {
+            Some((k, v)) => (k, Some(v)),
+            None => (kv, None),
+        };
+        match key {
+            "tail" => {
+                let v = value.ok_or("tail requires a value, e.g. tail=100")?;
+                p.tail = Some(
+                    v.parse()
+                        .map_err(|_| format!("tail={v:?} is not an unsigned integer"))?,
+                );
+            }
+            "follow" => match value {
+                None | Some("") | Some("1") | Some("true") => p.follow = true,
+                Some(other) => {
+                    return Err(format!("follow={other:?} (expected follow, 1, or true)"))
+                }
+            },
+            other => return Err(format!("unknown query parameter {other:?}")),
+        }
+    }
+    Ok(p)
+}
+
+/// The `400` every malformed query is answered with.
+fn bad_request(msg: impl Into<String>) -> (&'static str, &'static str, String) {
+    (
+        "400 Bad Request",
+        "text/plain; charset=utf-8",
+        format!("{}\n", msg.into()),
+    )
 }
 
 fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::Result<()> {
@@ -181,18 +240,52 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
                 "text/plain; version=0.0.4; charset=utf-8",
                 state.recorder.registry().prometheus_text(),
             ),
-            "/events" => {
-                let events = match query.and_then(tail_param) {
-                    Some(n) => state.recorder.events().tail(n),
-                    None => state.recorder.events().snapshot(),
-                };
-                let mut body = String::new();
-                for e in &events {
-                    body.push_str(&e.to_json());
-                    body.push('\n');
+            "/events" => match query_params(query) {
+                Err(msg) => bad_request(msg),
+                Ok(p) if p.follow => {
+                    bad_request("follow is not supported on /events; use /stability?follow")
                 }
-                ("200 OK", "application/x-ndjson", body)
-            }
+                Ok(p) => {
+                    let events = match p.tail {
+                        Some(n) => state.recorder.events().tail(n),
+                        None => state.recorder.events().snapshot(),
+                    };
+                    let mut body = String::new();
+                    for e in &events {
+                        body.push_str(&e.to_json());
+                        body.push('\n');
+                    }
+                    ("200 OK", "application/x-ndjson", body)
+                }
+            },
+            "/stability" => match query_params(query) {
+                Err(msg) => bad_request(msg),
+                Ok(p) if p.follow => {
+                    let frames = match p.tail {
+                        Some(n) => state.timeseries.tail(n),
+                        None => state.timeseries.snapshot(),
+                    };
+                    let mut body = String::new();
+                    for f in &frames {
+                        f.write_json(&mut body);
+                        body.push('\n');
+                    }
+                    ("200 OK", "application/x-ndjson", body)
+                }
+                Ok(p) => {
+                    let rows = &state.stability;
+                    let rows = match p.tail {
+                        Some(n) => &rows[rows.len().saturating_sub(n)..],
+                        None => &rows[..],
+                    };
+                    let rows = serde_json::to_string(rows).unwrap_or_else(|_| "[]".to_string());
+                    (
+                        "200 OK",
+                        "application/json",
+                        format!("{{\"windows\":{},\"rows\":{rows}}}\n", state.windows),
+                    )
+                }
+            },
             "/healthz" => match &state.health {
                 Some(h) => {
                     let health = serde_json::to_string(h).unwrap_or_else(|_| "{}".to_string());
@@ -215,7 +308,7 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /metrics, /events, /healthz\n".to_string(),
+                "not found; try /metrics, /events, /stability, /healthz\n".to_string(),
             ),
         }
     };
@@ -269,6 +362,8 @@ mod tests {
         recorder
             .events()
             .record("aggregator", "roleclass_aggregator_window_started", vec![]);
+        let timeseries = Arc::new(TimeseriesRing::default());
+        timeseries.record(0, vec![("roleclass_stability_hosts", 10.0)]);
         ServerState {
             recorder,
             windows: 1,
@@ -276,6 +371,17 @@ mod tests {
                 probes_total: 1,
                 ..WindowHealth::default()
             }),
+            stability: vec![WindowStability {
+                window: 0,
+                hosts: 10,
+                churned_hosts: 0,
+                new_groups: 3,
+                retired_groups: 0,
+                backbone_min: 1.0,
+                backbone_mean: 1.0,
+                groups: Vec::new(),
+            }],
+            timeseries,
         }
     }
 
@@ -307,8 +413,61 @@ mod tests {
 
         let missing = request(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
+        assert!(missing.contains("/stability"));
 
         assert_eq!(t.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn stability_snapshot_follow_and_explicit_400s() {
+        let server = Server::bind("127.0.0.1:0", test_state()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run(Some(7)).unwrap());
+
+        let snap = request(addr, "/stability");
+        assert!(snap.starts_with("HTTP/1.1 200 OK"), "{snap}");
+        assert!(snap.contains("application/json"));
+        assert!(snap.contains("\"windows\":1"));
+        assert!(snap.contains("\"backbone_mean\":1.0"));
+
+        // tail=0 keeps no rows but still answers with the envelope.
+        let empty = request(addr, "/stability?tail=0");
+        assert!(empty.contains("\"rows\":[]"));
+
+        let follow = request(addr, "/stability?follow");
+        assert!(follow.starts_with("HTTP/1.1 200 OK"), "{follow}");
+        assert!(follow.contains("application/x-ndjson"));
+        assert!(follow.contains("\"roleclass_stability_hosts\":10.0"));
+
+        // The shared parser rejects malformed queries on both endpoints.
+        let bad = request(addr, "/stability?tail=abc");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = request(addr, "/events?tail=");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = request(addr, "/events?follow");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = request(addr, "/stability?wat=1");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn query_params_parse_and_reject() {
+        assert_eq!(query_params(None).unwrap(), QueryParams::default());
+        assert_eq!(query_params(Some("")).unwrap(), QueryParams::default());
+        assert_eq!(
+            query_params(Some("tail=5&follow")).unwrap(),
+            QueryParams {
+                tail: Some(5),
+                follow: true
+            }
+        );
+        assert!(query_params(Some("follow=true")).unwrap().follow);
+        assert!(query_params(Some("follow=1")).unwrap().follow);
+        assert!(query_params(Some("tail=-1")).is_err());
+        assert!(query_params(Some("tail")).is_err());
+        assert!(query_params(Some("follow=no")).is_err());
+        assert!(query_params(Some("depth=2")).is_err());
     }
 
     #[test]
@@ -384,6 +543,8 @@ mod tests {
             recorder: Arc::new(Recorder::new()),
             windows: 0,
             health: None,
+            stability: Vec::new(),
+            timeseries: Arc::new(TimeseriesRing::default()),
         };
         let server = Server::bind("127.0.0.1:0", state).unwrap();
         let addr = server.local_addr().unwrap();

@@ -1,0 +1,209 @@
+//! Text rendering for `rcctl stability`: per-group persistence/backbone
+//! tables and per-host churn tables over a replayed trace.
+//!
+//! The data comes straight from the aggregator's
+//! [`StabilityTracker`](crate::roleclass::StabilityTracker) replay — the
+//! same rows `/stability` serves as JSON — so what the operator reads in
+//! the terminal and what a dashboard scrapes are one computation.
+
+use crate::flow::HostAddr;
+use crate::roleclass::{GroupId, HostChurn, WindowStability};
+use std::fmt::Write as _;
+
+/// Renders the window-by-window stability summary.
+pub fn render_windows(out: &mut String, rows: &[WindowStability]) {
+    let _ = writeln!(
+        out,
+        "{:>6} {:>6} {:>7} {:>4} {:>7} {:>13} {:>14}",
+        "window", "hosts", "churned", "new", "retired", "backbone_min", "backbone_mean"
+    );
+    for w in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>7} {:>4} {:>7} {:>13.3} {:>14.3}",
+            w.window,
+            w.hosts,
+            w.churned_hosts,
+            w.new_groups,
+            w.retired_groups,
+            w.backbone_min,
+            w.backbone_mean
+        );
+    }
+}
+
+/// Renders the per-group persistence/backbone table for the last window,
+/// optionally restricted to one group id.
+pub fn render_groups(out: &mut String, rows: &[WindowStability], only: Option<GroupId>) {
+    let Some(last) = rows.last() else {
+        out.push_str("no completed windows\n");
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "\ngroups in window {} (persistence = consecutive windows the id survived):",
+        last.window
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>11} {:>7} {:>8} {:>12} {:>8}",
+        "group", "persistence", "members", "retained", "prev_members", "backbone"
+    );
+    let mut shown = 0usize;
+    for g in &last.groups {
+        if only.is_some_and(|id| id != g.group) {
+            continue;
+        }
+        shown += 1;
+        let _ = writeln!(
+            out,
+            "{:>6} {:>11} {:>7} {:>8} {:>12} {:>8.3}",
+            g.group.to_string(),
+            g.persistence,
+            g.members,
+            g.retained,
+            g.prev_members,
+            g.backbone
+        );
+    }
+    if shown == 0 {
+        if let Some(id) = only {
+            let _ = writeln!(out, "group {id} not present in the last window");
+        }
+    }
+}
+
+/// Renders one group's persistence/backbone trajectory across every
+/// observed window — what `--group` adds on top of the last-window row.
+pub fn render_group_trajectory(out: &mut String, rows: &[WindowStability], id: GroupId) {
+    let _ = writeln!(out, "\ngroup {id} across windows:");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>11} {:>7} {:>8} {:>8}",
+        "window", "persistence", "members", "retained", "backbone"
+    );
+    let mut seen = false;
+    for w in rows {
+        for g in &w.groups {
+            if g.group == id {
+                seen = true;
+                let _ = writeln!(
+                    out,
+                    "{:>6} {:>11} {:>7} {:>8} {:>8.3}",
+                    w.window, g.persistence, g.members, g.retained, g.backbone
+                );
+            }
+        }
+    }
+    if !seen {
+        let _ = writeln!(out, "group {id} never published");
+    }
+}
+
+/// Renders the per-host churn table (flips over the sliding horizon),
+/// optionally restricted to one host.
+pub fn render_churn(out: &mut String, table: &[HostChurn], only: Option<HostAddr>) {
+    let _ = writeln!(
+        out,
+        "\nhost churn (group-id flips over the sliding horizon), most churned first:"
+    );
+    let _ = writeln!(
+        out,
+        "{:>18} {:>6} {:>8} {:>6}",
+        "host", "flips", "windows", "group"
+    );
+    let mut shown = 0usize;
+    for c in table {
+        if only.is_some_and(|h| h != c.host) {
+            continue;
+        }
+        shown += 1;
+        let _ = writeln!(
+            out,
+            "{:>18} {:>6} {:>8} {:>6}",
+            c.host.to_string(),
+            c.flips,
+            c.windows,
+            c.group.to_string()
+        );
+    }
+    if shown == 0 {
+        if let Some(h) = only {
+            let _ = writeln!(out, "host {h} never observed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roleclass::GroupStability;
+
+    fn row(window: u64) -> WindowStability {
+        WindowStability {
+            window,
+            hosts: 4,
+            churned_hosts: 1,
+            new_groups: 0,
+            retired_groups: 0,
+            backbone_min: 0.5,
+            backbone_mean: 0.75,
+            groups: vec![
+                GroupStability {
+                    group: GroupId(1),
+                    persistence: window + 1,
+                    members: 2,
+                    retained: 1,
+                    prev_members: 2,
+                    backbone: 0.5,
+                },
+                GroupStability {
+                    group: GroupId(2),
+                    persistence: window + 1,
+                    members: 2,
+                    retained: 2,
+                    prev_members: 2,
+                    backbone: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_window_group_and_churn_tables() {
+        let rows = vec![row(0), row(1)];
+        let mut out = String::new();
+        render_windows(&mut out, &rows);
+        render_groups(&mut out, &rows, None);
+        render_group_trajectory(&mut out, &rows, GroupId(1));
+        let churn = vec![HostChurn {
+            host: HostAddr::v4(10),
+            flips: 2,
+            windows: 2,
+            group: GroupId(1),
+        }];
+        render_churn(&mut out, &churn, None);
+        assert!(out.contains("backbone_mean"));
+        assert!(out.contains("persistence"));
+        assert!(out.contains("0.750"));
+        assert!(out.contains("group 1 across windows"));
+        assert!(out.contains("0.0.0.10"));
+    }
+
+    #[test]
+    fn filters_report_absences() {
+        let rows = vec![row(0)];
+        let mut out = String::new();
+        render_groups(&mut out, &rows, Some(GroupId(9)));
+        assert!(out.contains("group 9 not present"));
+        let mut out = String::new();
+        render_group_trajectory(&mut out, &rows, GroupId(9));
+        assert!(out.contains("group 9 never published"));
+        let mut out = String::new();
+        render_churn(&mut out, &[], Some(HostAddr::v4(99)));
+        assert!(out.contains("never observed"));
+        let mut out = String::new();
+        render_groups(&mut out, &[], None);
+        assert!(out.contains("no completed windows"));
+    }
+}

@@ -302,7 +302,7 @@ fn serve_answers_metrics_events_and_health() {
             "--addr-file",
             &addr_file_arg,
             "--max-requests",
-            "3",
+            "5",
         ]))
         .unwrap()
     });
@@ -337,9 +337,67 @@ fn serve_answers_metrics_events_and_health() {
     assert!(health.starts_with("HTTP/1.1 200 OK"));
     assert!(health.contains("\"status\":\"ok\""));
     assert!(health.contains("\"windows\":1"));
+    let stability = get("/stability");
+    assert!(stability.starts_with("HTTP/1.1 200 OK"));
+    assert!(stability.contains("\"windows\":1"));
+    assert!(stability.contains("\"backbone_mean\""));
+    let follow = get("/stability?follow");
+    assert!(follow.contains("application/x-ndjson"));
+    assert!(follow.contains("roleclass_stability_hosts"));
 
     let summary = t.join().unwrap();
-    assert!(summary.contains("served 3 request(s)"));
+    assert!(summary.contains("served 5 request(s)"));
+}
+
+#[test]
+fn stability_reports_persistence_and_churn() {
+    let dir = workdir("stability");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let common = ["--window-ms", "1000", "--s-lo", "90", "--s-hi", "95"];
+
+    let mut full = vec!["stability", "--input", flows.as_str()];
+    full.extend_from_slice(&common);
+    let out = run(&args(&full)).unwrap();
+    // A structurally stable replay: per-window summary, per-group
+    // persistence table, and an all-zero churn table.
+    assert!(out.contains("backbone_mean"), "{out}");
+    assert!(out.contains("persistence"), "{out}");
+    assert!(out.contains("host churn"), "{out}");
+
+    // --host narrows the churn table to one host.
+    let net = scenarios::figure1(3, 3);
+    let host = net.role_hosts("sales")[0].to_string();
+    let mut by_host = vec!["stability", "--input", flows.as_str(), "--host", &host];
+    by_host.extend_from_slice(&common);
+    let out = run(&args(&by_host)).unwrap();
+    assert!(out.contains(&host), "{out}");
+
+    // --group narrows the group table and adds the id's trajectory.
+    let mut by_group = vec!["stability", "--input", flows.as_str(), "--group", "0"];
+    by_group.extend_from_slice(&common);
+    let out = run(&args(&by_group)).unwrap();
+    assert!(out.contains("group 0 across windows"), "{out}");
+
+    // A malformed --group is a usage error, and --json parses.
+    let err = run(&args(&["stability", "--input", flows, "--group", "pod"])).unwrap_err();
+    assert_eq!(err.code, 2);
+    let mut json_args = vec!["stability", "--input", flows.as_str(), "--json"];
+    json_args.extend_from_slice(&common);
+    let out = run(&args(&json_args)).unwrap();
+    let parsed: Value = serde_json::from_str(out.trim()).unwrap();
+    let Value::Map(entries) = parsed else {
+        panic!("expected a JSON object");
+    };
+    let get = |k: &str| &entries.iter().find(|(key, _)| key == k).unwrap().1;
+    let Value::Seq(rows) = get("rows") else {
+        panic!("rows must be an array");
+    };
+    assert!(matches!(get("windows"), Value::U64(n) if *n as usize == rows.len()));
+    let Value::Seq(churn) = get("churn") else {
+        panic!("churn must be an array");
+    };
+    assert_eq!(churn.len(), 10);
 }
 
 #[test]

@@ -8,7 +8,9 @@ use role_classification::aggregator::{
     ProbeError, RecoverySource, ReplayProbe, SupervisorConfig, AGGREGATOR_EVENT_NAMES,
 };
 use role_classification::flow::{FlowRecord, HostAddr};
-use role_classification::roleclass::{EngineConfig, Params, ENGINE_EVENT_NAMES};
+use role_classification::roleclass::{
+    EngineConfig, Params, ENGINE_EVENT_NAMES, STABILITY_EVENT_NAMES,
+};
 use role_classification::telemetry::Recorder;
 use serde::value::Value;
 use std::collections::BTreeSet;
@@ -84,6 +86,7 @@ fn degraded_pipeline_produces_every_declared_event_type() {
         engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
+        ..AggregatorConfig::default()
     })
     .unwrap()
     .with_recorder(Arc::clone(&recorder))
@@ -105,6 +108,7 @@ fn degraded_pipeline_produces_every_declared_event_type() {
         engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
         min_flows: 1,
         supervisor: SupervisorConfig::immediate(),
+        ..AggregatorConfig::default()
     })
     .unwrap()
     .with_recorder(Arc::clone(&recorder))
@@ -112,10 +116,15 @@ fn degraded_pipeline_produces_every_declared_event_type() {
     let recovery = fresh.restore_from(&ck);
     assert_eq!(recovery.source, RecoverySource::Primary);
 
-    // Every declared event type, engine and aggregator alike, occurred.
+    // Every declared event type — engine, aggregator, and stability
+    // alike — occurred.
     let events = recorder.events().snapshot();
     let seen: BTreeSet<&str> = events.iter().map(|e| e.name).collect();
-    for name in ENGINE_EVENT_NAMES.iter().chain(AGGREGATOR_EVENT_NAMES) {
+    for name in ENGINE_EVENT_NAMES
+        .iter()
+        .chain(AGGREGATOR_EVENT_NAMES)
+        .chain(STABILITY_EVENT_NAMES)
+    {
         assert!(seen.contains(name), "event type {name} never emitted");
     }
     // And nothing undeclared was emitted.
@@ -123,23 +132,31 @@ fn degraded_pipeline_produces_every_declared_event_type() {
         let declared = match ev.layer {
             "engine" => ENGINE_EVENT_NAMES.contains(&ev.name),
             "aggregator" => AGGREGATOR_EVENT_NAMES.contains(&ev.name),
+            "stability" => STABILITY_EVENT_NAMES.contains(&ev.name),
             other => panic!("unexpected layer {other}"),
         };
         assert!(declared, "{} not declared for layer {}", ev.name, ev.layer);
     }
 
     // Every durable journal line parses as JSON with a declared
-    // aggregator event name and a dense sequence.
+    // aggregator or stability event name and a dense sequence.
     let lines = read_journal_lines(ck.journal_path()).unwrap();
     assert!(!lines.is_empty());
     for (i, line) in lines.iter().enumerate() {
         let v: Value = serde_json::from_str(line).expect("journal line must parse");
         assert_eq!(field(&v, "seq"), &Value::U64(i as u64));
-        assert_eq!(field(&v, "layer"), &Value::Str("aggregator".to_string()));
+        let Value::Str(layer) = field(&v, "layer") else {
+            panic!("layer must be a string");
+        };
         let Value::Str(name) = field(&v, "name") else {
             panic!("name must be a string");
         };
-        assert!(AGGREGATOR_EVENT_NAMES.contains(&name.as_str()));
+        let declared = match layer.as_str() {
+            "aggregator" => AGGREGATOR_EVENT_NAMES.contains(&name.as_str()),
+            "stability" => STABILITY_EVENT_NAMES.contains(&name.as_str()),
+            other => panic!("unexpected journal layer {other}"),
+        };
+        assert!(declared, "{name} not declared for journal layer {layer}");
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -8,23 +8,27 @@ use role_classification::aggregator::{
 };
 use role_classification::flow::FLOW_METRIC_NAMES;
 use role_classification::netgraph::KERNEL_METRIC_NAMES;
-use role_classification::roleclass::{ENGINE_EVENT_NAMES, ENGINE_METRIC_NAMES};
+use role_classification::roleclass::{
+    ENGINE_EVENT_NAMES, ENGINE_METRIC_NAMES, STABILITY_EVENT_NAMES, STABILITY_METRIC_NAMES,
+};
 use std::collections::BTreeSet;
 
-fn layers() -> [(&'static str, &'static [&'static str]); 5] {
+fn layers() -> [(&'static str, &'static [&'static str]); 6] {
     [
         ("roleclass_flow_", FLOW_METRIC_NAMES),
         ("roleclass_kernel_", KERNEL_METRIC_NAMES),
         ("roleclass_engine_", ENGINE_METRIC_NAMES),
         ("roleclass_aggregator_", AGGREGATOR_METRIC_NAMES),
+        ("roleclass_stability_", STABILITY_METRIC_NAMES),
         ("roleclass_transport_", TRANSPORT_METRIC_NAMES),
     ]
 }
 
-fn event_layers() -> [(&'static str, &'static [&'static str]); 3] {
+fn event_layers() -> [(&'static str, &'static [&'static str]); 4] {
     [
         ("roleclass_engine_", ENGINE_EVENT_NAMES),
         ("roleclass_aggregator_", AGGREGATOR_EVENT_NAMES),
+        ("roleclass_stability_", STABILITY_EVENT_NAMES),
         ("roleclass_transport_", TRANSPORT_EVENT_NAMES),
     ]
 }

@@ -1,7 +1,13 @@
 //! Attaching a telemetry recorder must be purely observational: the
-//! engine's window outcomes are bit-identical with and without one.
+//! engine's window outcomes — and the aggregator's stability rows —
+//! are bit-identical with and without one.
 
-use role_classification::roleclass::{Engine, Params, ENGINE_EVENT_NAMES};
+use role_classification::aggregator::{
+    Aggregator, AggregatorConfig, ReplayProbe, SupervisorConfig,
+};
+use role_classification::roleclass::{
+    Engine, EngineConfig, Params, ENGINE_EVENT_NAMES, STABILITY_METRIC_NAMES,
+};
 use role_classification::synthnet::{scenarios, trace};
 use role_classification::telemetry::Recorder;
 use std::sync::Arc;
@@ -66,4 +72,79 @@ fn run_window_is_bit_identical_with_and_without_recorder() {
     assert!(events
         .iter()
         .any(|e| e.name == "roleclass_engine_id_carried"));
+}
+
+#[test]
+fn stability_rows_are_bit_identical_with_and_without_recorder() {
+    let config = || AggregatorConfig {
+        window_ms: 1000,
+        origin_ms: 0,
+        engine: EngineConfig::new(Params::default().with_s_lo(90.0).with_s_hi(95.0)),
+        min_flows: 1,
+        supervisor: SupervisorConfig::immediate(),
+        ..AggregatorConfig::default()
+    };
+    let net = scenarios::figure1(4, 5);
+    let probe = || {
+        let records: Vec<_> = (0..3u64)
+            .flat_map(|day| {
+                let mut r = trace::expand(&net.connsets, trace::TraceOptions::default(), day + 7);
+                for f in &mut r {
+                    f.start_ms = day * 1000 + f.start_ms % 1000;
+                }
+                r
+            })
+            .collect();
+        ReplayProbe::new("p0", records)
+    };
+
+    let mut plain = Aggregator::new(config());
+    plain.attach(Box::new(probe()));
+    plain.drain();
+
+    let rec = Arc::new(Recorder::new());
+    let mut traced = Aggregator::new(config()).with_recorder(Arc::clone(&rec));
+    traced.attach(Box::new(probe()));
+    traced.drain();
+
+    // The groupings, the stability rows, the churn tables, and the
+    // timeseries frames (modulo wall-clock timestamps) all match.
+    {
+        let a = plain.history();
+        let b = traced.history();
+        let (a, b) = (a.read(), b.read());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.grouping, y.grouping);
+        }
+    }
+    assert_eq!(plain.stability_history(), traced.stability_history());
+    assert_eq!(plain.churn_table(), traced.churn_table());
+    let (fa, fb) = (
+        plain.timeseries().snapshot(),
+        traced.timeseries().snapshot(),
+    );
+    assert_eq!(fa.len(), fb.len());
+    for (x, y) in fa.iter().zip(fb.iter()) {
+        assert_eq!(x.window, y.window);
+        assert_eq!(x.values, y.values);
+    }
+
+    // The attached run registered its stability metrics, all declared.
+    let reg = rec.registry();
+    assert_eq!(reg.counter("roleclass_stability_windows_total").get(), 3);
+    for line in reg.prometheus_text().lines() {
+        if let Some(name) = line.split([' ', '{']).next() {
+            if name.starts_with("roleclass_stability_") {
+                let base = name
+                    .trim_end_matches("_bucket")
+                    .trim_end_matches("_sum")
+                    .trim_end_matches("_count");
+                assert!(
+                    STABILITY_METRIC_NAMES.contains(&base),
+                    "{base} not declared"
+                );
+            }
+        }
+    }
 }
