@@ -22,8 +22,9 @@ use flow::HostTable;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use storage::{AppendLogBackend, NamespaceProfile, StorageBackend, StorageError};
 
 /// First header token; anything else is not a checkpoint file.
 const MAGIC: &str = "roleclass-checkpoint";
@@ -75,6 +76,16 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+impl From<StorageError> for CheckpointError {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::Io(e) => CheckpointError::Io(e),
+            StorageError::Corrupt(why) => CheckpointError::Corrupt(why),
+            other => CheckpointError::Corrupt(other.to_string()),
+        }
+    }
+}
+
 /// Where a recovered history came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecoverySource {
@@ -112,16 +123,81 @@ pub struct Recovery {
     pub notes: Vec<String>,
 }
 
-/// Writes and reads checkpoint files for a run history.
+/// Writes and reads checkpoint generations for a run history.
+///
+/// Persistence goes through a [`StorageBackend`] snapshot namespace:
+/// each save appends one generation (encoded header + payload), the
+/// backend keeps the newest `generations` of them, and recovery scans
+/// newest → oldest for the first parseable one. The path-based
+/// constructor opens an [`AppendLogBackend`] rooted at the path's
+/// parent, which reproduces the historical on-disk layout exactly:
+/// primary at `<path>`, previous generation at `<path>.bak`, in-flight
+/// writes at `<path>.tmp`.
 #[derive(Clone, Debug)]
 pub struct Checkpointer {
     path: PathBuf,
+    ns: String,
+    backend: Option<Arc<dyn StorageBackend>>,
+    generations: u64,
 }
 
 impl Checkpointer {
     /// A checkpointer rooted at `path` (e.g. `state/history.ckpt`).
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Checkpointer { path: path.into() }
+        let path = path.into();
+        let ns = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "history.ckpt".to_string());
+        Checkpointer {
+            path,
+            ns,
+            backend: None,
+            generations: 2,
+        }
+    }
+
+    /// A checkpointer storing generations in namespace `ns` of a shared
+    /// backend (the [`StorageStack`](crate::store::StorageStack) wiring).
+    pub fn with_backend(backend: Arc<dyn StorageBackend>, ns: impl Into<String>) -> Self {
+        let ns = ns.into();
+        Checkpointer {
+            path: PathBuf::from(&ns),
+            ns,
+            backend: Some(backend),
+            generations: 2,
+        }
+    }
+
+    /// Overrides how many generations the backend retains (minimum 1;
+    /// the default 2 is the historical primary + `.bak` pair).
+    pub fn with_generations(mut self, generations: u64) -> Self {
+        self.generations = generations.max(1);
+        self
+    }
+
+    /// The backend handle serving this checkpointer. The path-based
+    /// constructor opens a fresh [`AppendLogBackend`] per operation so
+    /// files modified behind its back (crash simulations, external
+    /// corruption) are re-discovered, exactly as the direct-fs
+    /// implementation behaved.
+    fn store(&self) -> Result<Arc<dyn StorageBackend>, CheckpointError> {
+        if let Some(b) = &self.backend {
+            return Ok(Arc::clone(b));
+        }
+        let parent = match self.path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        };
+        Ok(Arc::new(AppendLogBackend::new(parent)?))
+    }
+
+    /// Opens the namespace and returns the backend, defining the
+    /// snapshot profile idempotently.
+    fn open_ns(&self) -> Result<Arc<dyn StorageBackend>, CheckpointError> {
+        let b = self.store()?;
+        b.define(&self.ns, NamespaceProfile::snapshot(self.generations))?;
+        Ok(b)
     }
 
     /// The primary checkpoint path.
@@ -145,20 +221,12 @@ impl Checkpointer {
         PathBuf::from(os)
     }
 
-    fn temp_path(&self) -> PathBuf {
-        let mut os = self.path.as_os_str().to_os_string();
-        os.push(".tmp");
-        PathBuf::from(os)
-    }
-
-    /// Atomically persists `runs`:
-    ///
-    /// 1. encode header + payload into `<path>.tmp` and flush it,
-    /// 2. demote the current primary (if any) to `<path>.bak`,
-    /// 3. rename the temp file onto the primary path.
-    ///
-    /// A crash at any point leaves at least one intact generation on
-    /// disk.
+    /// Atomically persists `runs` as a new checkpoint generation. The
+    /// backend's snapshot contract does the heavy lifting: the payload
+    /// is staged, fsynced, and renamed into place (parent directory
+    /// fsynced too), the previous generation is demoted rather than
+    /// destroyed, and a crash at any point leaves at least one intact
+    /// generation on disk.
     ///
     /// The identity table is derived from the runs (each run's hosts
     /// interned in order); use [`Checkpointer::save_with_table`] to
@@ -186,42 +254,43 @@ impl Checkpointer {
         };
         let payload = serde_json::to_string(&doc)
             .map_err(|e| CheckpointError::Corrupt(format!("encode failed: {e}")))?;
-        let tmp = self.temp_path();
-        if let Some(dir) = self.path.parent() {
-            if !dir.as_os_str().is_empty() {
-                fs::create_dir_all(dir)?;
-            }
-        }
-        {
-            let mut f = fs::File::create(&tmp)?;
-            writeln!(f, "{MAGIC} v{VERSION}")?;
-            f.write_all(payload.as_bytes())?;
-            f.sync_all()?;
-        }
-        if self.path.exists() {
-            // Best-effort demotion: the primary becomes the backup.
-            // Losing this rename is tolerable (the temp file is intact);
-            // the subsequent rename is the commit point.
-            let _ = fs::rename(&self.path, self.backup_path());
-        }
-        fs::rename(&tmp, &self.path)?;
+        let bytes = format!("{MAGIC} v{VERSION}\n{payload}").into_bytes();
+        let b = self.open_ns()?;
+        b.append(&self.ns, 0, &bytes)?;
         Ok(())
     }
 
-    /// Strictly loads the primary checkpoint. Errors on a missing file,
-    /// a bad header, an unsupported version, or a malformed payload.
+    /// Strictly loads the newest (primary) checkpoint generation.
+    /// Errors on a missing generation, a bad header, an unsupported
+    /// version, or a malformed payload.
     pub fn load(&self) -> Result<Vec<RunRecord>, CheckpointError> {
-        Self::load_file(&self.path).map(|(runs, _)| runs)
+        self.load_full().map(|(runs, _)| runs)
     }
 
     /// Like [`Checkpointer::load`], but also returns the master identity
     /// table (rebuilt from the runs when the file predates v2).
     pub fn load_full(&self) -> Result<(Vec<RunRecord>, HostTable), CheckpointError> {
-        Self::load_file(&self.path)
+        let b = self.open_ns()?;
+        match b.latest(&self.ns)? {
+            Some(rec) => Self::parse_payload(&rec.value),
+            None => Err(CheckpointError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no checkpoint generation",
+            ))),
+        }
     }
 
+    /// Parses one raw checkpoint file (used directly by tests that poke
+    /// at a specific generation on disk).
+    #[cfg_attr(not(test), allow(dead_code))]
     fn load_file(path: &Path) -> Result<(Vec<RunRecord>, HostTable), CheckpointError> {
-        let text = fs::read_to_string(path)?;
+        Self::parse_payload(&fs::read(path)?)
+    }
+
+    /// Decodes header + payload bytes into runs and identity table.
+    fn parse_payload(bytes: &[u8]) -> Result<(Vec<RunRecord>, HostTable), CheckpointError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| CheckpointError::Corrupt("checkpoint is not UTF-8".to_string()))?;
         let Some((header, payload)) = text.split_once('\n') else {
             return Err(CheckpointError::Corrupt("missing header line".to_string()));
         };
@@ -271,51 +340,51 @@ impl Checkpointer {
         Ok((doc.runs, doc.table))
     }
 
-    /// Loads the best available generation, never failing: primary if
-    /// intact, else backup, else an empty history. Corruption is
+    /// Loads the best available generation, never failing: the newest
+    /// intact one wins (primary), older ones are fallbacks (backup),
+    /// and with none usable the history starts empty. Corruption is
     /// reported in [`Recovery::notes`] rather than as an error, so a
     /// restarting aggregator always comes up.
     pub fn load_or_recover(&self) -> Recovery {
         let mut notes = Vec::new();
-        match Self::load_file(&self.path) {
-            Ok((runs, table)) => {
-                return Recovery {
-                    runs,
-                    table,
-                    source: RecoverySource::Primary,
-                    notes,
-                }
-            }
-            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                notes.push("primary checkpoint missing".to_string());
-            }
-            Err(e) => notes.push(format!("primary checkpoint unusable: {e}")),
-        }
-        match Self::load_file(&self.backup_path()) {
-            Ok((runs, table)) => Recovery {
-                runs,
-                table,
-                source: RecoverySource::Backup,
-                notes,
-            },
-            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                notes.push("backup checkpoint missing".to_string());
-                Recovery {
-                    runs: Vec::new(),
-                    table: HostTable::new(),
-                    source: RecoverySource::Fresh,
-                    notes,
-                }
-            }
+        let gens = match self
+            .open_ns()
+            .and_then(|b| b.scan(&self.ns, 0, u64::MAX).map_err(CheckpointError::from))
+        {
+            Ok(gens) => gens,
             Err(e) => {
-                notes.push(format!("backup checkpoint unusable: {e}"));
-                Recovery {
-                    runs: Vec::new(),
-                    table: HostTable::new(),
-                    source: RecoverySource::Fresh,
-                    notes,
-                }
+                notes.push(format!("checkpoint store unreadable: {e}"));
+                Vec::new()
             }
+        };
+        if gens.is_empty() {
+            notes.push("primary checkpoint missing".to_string());
+        }
+        // Newest generation first: index 0 is the primary, everything
+        // older is a backup.
+        for (i, rec) in gens.iter().rev().enumerate() {
+            let tier = if i == 0 { "primary" } else { "backup" };
+            match Self::parse_payload(&rec.value) {
+                Ok((runs, table)) => {
+                    return Recovery {
+                        runs,
+                        table,
+                        source: if i == 0 {
+                            RecoverySource::Primary
+                        } else {
+                            RecoverySource::Backup
+                        },
+                        notes,
+                    }
+                }
+                Err(e) => notes.push(format!("{tier} checkpoint unusable: {e}")),
+            }
+        }
+        Recovery {
+            runs: Vec::new(),
+            table: HostTable::new(),
+            source: RecoverySource::Fresh,
+            notes,
         }
     }
 }

@@ -23,6 +23,10 @@
 //!   flapping probe cannot stall or crash a classification cycle.
 //! * [`checkpoint`] — crash-safe, versioned persistence of the run
 //!   history, so correlation (and thus group ids) survives restarts.
+//! * [`store`] — the pluggable storage stack: checkpointer, flight
+//!   recorder, and per-window run history sharing one
+//!   [`storage::StorageBackend`], which is what powers time-travel
+//!   queries (`rcctl explain --at`) and the `/history` endpoint.
 //! * [`transport`] — the probe→aggregator wire: a length-prefixed frame
 //!   protocol with per-probe sessions, heartbeat liveness, and
 //!   resume-from-last-acked-seq, feeding the same supervisor machinery.
@@ -36,6 +40,7 @@ pub mod policy;
 pub mod probe;
 pub mod profile;
 pub mod report;
+pub mod store;
 pub mod supervisor;
 pub mod transport;
 
@@ -53,6 +58,7 @@ pub use pipeline::{
 pub use policy::{Policy, PolicyEngine, PolicyVerdict, Selector};
 pub use probe::{Probe, ProbeError, ReplayProbe};
 pub use profile::ProfileBuilder;
+pub use store::{RunStore, RunSummary, StorageStack, STORAGE_EVENT_NAMES, STORAGE_METRIC_NAMES};
 pub use supervisor::{
     PollOutcome, ProbeHealth, ProbeReport, ProbeStats, ProbeSupervisor, SupervisorConfig,
 };

@@ -20,6 +20,7 @@ use crate::alerts::{
 use crate::checkpoint::{CheckpointError, Checkpointer, Recovery, RecoverySource};
 use crate::flight::FlightRecorder;
 use crate::probe::Probe;
+use crate::store::RunStore;
 use crate::supervisor::{PollOutcome, ProbeHealth, ProbeReport, ProbeSupervisor, SupervisorConfig};
 use flow::{ConnectionSets, ConnsetBuilder, FlowRecord, HostTable, TimeWindow};
 use parking_lot::RwLock;
@@ -237,6 +238,11 @@ pub struct Aggregator {
     /// fire once per collapse episode instead of every window the
     /// backbone stays low.
     churn_alerted: BTreeSet<GroupId>,
+    /// Durable per-window run history; `None` keeps cycles free of any
+    /// storage IO. When attached, every classified window is appended
+    /// (keyed by its start timestamp) and the store's retention policy
+    /// runs after each append, so disk stays bounded.
+    run_store: Option<Arc<RunStore>>,
 }
 
 impl Aggregator {
@@ -271,6 +277,7 @@ impl Aggregator {
             stability_history: Vec::new(),
             timeseries: Arc::new(TimeseriesRing::default()),
             churn_alerted: BTreeSet::new(),
+            run_store: None,
         })
     }
 
@@ -328,6 +335,25 @@ impl Aggregator {
     /// takes to dual-journal transport events.
     pub fn shared_flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
         self.flight.clone()
+    }
+
+    /// Attaches a durable per-window run store (builder style). Every
+    /// classified window is appended to it, keyed by the window's start
+    /// timestamp, and its retention policy is applied after each append
+    /// — the storage behind `rcctl explain --at` and `/history`.
+    pub fn with_run_store(mut self, store: Arc<RunStore>) -> Self {
+        self.run_store = Some(store);
+        self
+    }
+
+    /// Attaches or detaches the run store.
+    pub fn set_run_store(&mut self, store: Option<Arc<RunStore>>) {
+        self.run_store = store;
+    }
+
+    /// The attached run store, if any.
+    pub fn run_store(&self) -> Option<&Arc<RunStore>> {
+        self.run_store.as_ref()
     }
 
     /// Operational alerts raised so far and not yet taken.
@@ -730,7 +756,78 @@ impl Aggregator {
             self.pending_alerts.push(alert);
         }
         self.history.write().push(record.clone());
+        self.persist_run(&record);
         record
+    }
+
+    /// Appends one classified window to the attached run store (if
+    /// any), applies its retention policy, and threads both through
+    /// telemetry: `roleclass_storage_*` counters on the registry plus
+    /// `storage`-layer events in the journals. Storage failures are
+    /// deliberately swallowed — durability problems must not fail a
+    /// classification cycle — and surface through the backend's own
+    /// error reporting on the next explicit checkpoint instead.
+    fn persist_run(&self, record: &RunRecord) {
+        let Some(store) = self.run_store.as_ref() else {
+            return;
+        };
+        let rec = self.recorder.as_deref();
+        let flight = self.flight.as_deref();
+        let observing = rec.is_some() || flight.is_some();
+        if let Ok(Some(bytes)) = store.record(record) {
+            if let Some(r) = rec {
+                let reg = r.registry();
+                reg.counter("roleclass_storage_appends_total").inc();
+                reg.counter("roleclass_storage_bytes_appended_total")
+                    .add(bytes);
+            }
+            if observing {
+                emit_in_layer(
+                    rec,
+                    flight,
+                    "storage",
+                    "roleclass_storage_history_recorded",
+                    vec![
+                        ("window_start_ms", record.window.start_ms.into()),
+                        ("bytes", bytes.into()),
+                        ("backend", store.backend().name().into()),
+                    ],
+                );
+            }
+        }
+        if let Ok(pruned) = store.prune() {
+            if !pruned.is_empty() {
+                self.note_prune("runs", pruned);
+            }
+        }
+    }
+
+    /// Counts and journals one retention prune (from the run store or
+    /// the flight journal).
+    fn note_prune(&self, target: &'static str, pruned: storage::Pruned) {
+        let rec = self.recorder.as_deref();
+        let flight = self.flight.as_deref();
+        if let Some(r) = rec {
+            let reg = r.registry();
+            reg.counter("roleclass_storage_prunes_total").inc();
+            reg.counter("roleclass_storage_prune_records_total")
+                .add(pruned.records);
+            reg.counter("roleclass_storage_prune_bytes_total")
+                .add(pruned.bytes);
+        }
+        if rec.is_some() || flight.is_some() {
+            emit_in_layer(
+                rec,
+                flight,
+                "storage",
+                "roleclass_storage_retention_pruned",
+                vec![
+                    ("target", target.into()),
+                    ("records", pruned.records.into()),
+                    ("bytes", pruned.bytes.into()),
+                ],
+            );
+        }
     }
 
     /// Runs cycles until no probe has pending data; returns the number
@@ -883,6 +980,15 @@ impl Aggregator {
                     ("ok", result.is_ok().into()),
                 ],
             );
+        }
+        // The checkpoint is the natural durability beat: bound the
+        // flight journal's growth here, counting what was dropped.
+        if let Some(f) = self.flight.as_deref() {
+            if let Ok(pruned) = f.prune() {
+                if !pruned.is_empty() {
+                    self.note_prune("journal", pruned);
+                }
+            }
         }
         result
     }

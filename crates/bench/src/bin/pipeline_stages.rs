@@ -12,11 +12,12 @@
 //!    `scripts/bench.sh` stores it as `BENCH_pipeline.json`.
 
 use aggregator::transport::{stream_records, TransportConfig, WireListener};
-use aggregator::{Aggregator, AggregatorConfig, ReplayProbe, SupervisorConfig};
+use aggregator::{Aggregator, AggregatorConfig, ReplayProbe, StorageStack, SupervisorConfig};
 use bench::{banner, quick_mode, render_table, workers_from_env};
 use roleclass::{EngineConfig, Params, PruneMode};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use storage::{BackendKind, StorageConfig};
 use synthnet::{trace, ConnRule, Fanout, NetworkModel, RoleSpec};
 use telemetry::Recorder;
 
@@ -198,7 +199,7 @@ fn main() {
             TransportConfig::default(),
         )
     });
-    let mut wire = Aggregator::new(config);
+    let mut wire = Aggregator::new(config.clone());
     wire.attach(Box::new(listener.probe("probe")));
     for _ in 0..windows {
         let run = wire.run_cycle();
@@ -260,6 +261,60 @@ loopback TCP {wire_secs:.3}s ({wire_overhead_pct:+.1}%), {} frame(s), {} byte(s)
 vs window {window_total_secs:.3}s ({stability_overhead_pct:.2}%), rows identical detached vs attached"
     );
 
+    // Storage-stack overhead: the same trace with the full persistence
+    // stack attached (per-window run history, durable flight journal,
+    // end-of-run checkpoint), once per backend. Persistence may cost
+    // time, never correctness — every backend's run history and
+    // groupings must be bit-identical to the plain in-process run.
+    let base_fp = fingerprint(&in_process);
+    let mut storage_json = String::new();
+    for kind in [
+        BackendKind::Memory,
+        BackendKind::AppendLog,
+        BackendKind::Segment,
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "roleclass-bench-store-{:?}-{}",
+            kind,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store_cfg = StorageConfig::new(dir.to_string_lossy().into_owned()).with_backend(kind);
+        let stack = StorageStack::open(&store_cfg).expect("open storage stack");
+        let t2 = std::time::Instant::now();
+        let mut stored = Aggregator::new(config.clone())
+            .with_shared_flight_recorder(Arc::clone(stack.recorder()))
+            .with_run_store(Arc::clone(stack.runs()));
+        stored.attach(Box::new(ReplayProbe::new("probe", records.clone())));
+        assert_eq!(stored.drain() as u64, windows);
+        stored
+            .checkpoint(stack.checkpointer())
+            .expect("cut checkpoint");
+        stack.flush().expect("flush storage");
+        let stored_secs = t2.elapsed().as_secs_f64();
+        assert_eq!(
+            base_fp,
+            fingerprint(&stored),
+            "storage backend {kind:?} must not perturb outcomes"
+        );
+        let retained = stack.runs().len().expect("count retained windows");
+        assert_eq!(retained, windows, "every window must be retained");
+        let name = stack.backend().name();
+        let store_overhead_pct = (stored_secs / in_process_secs - 1.0) * 100.0;
+        println!(
+            "storage overhead ({name}): plain {in_process_secs:.3}s, with stack \
+{stored_secs:.3}s ({store_overhead_pct:+.1}%), {retained} window(s) retained, outcomes identical"
+        );
+        if !storage_json.is_empty() {
+            storage_json.push(',');
+        }
+        storage_json.push_str(&format!(
+            "\"{name}\":{{\"secs\":{stored_secs:.9},\"overhead_pct\":{store_overhead_pct:.3},\
+\"retained_windows\":{retained},\"outcomes_identical\":true}}"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // Machine-readable tail for scripts/bench.sh.
     let mut stages = String::new();
     for (name, (count, secs)) in &totals {
@@ -280,7 +335,7 @@ vs window {window_total_secs:.3}s ({stability_overhead_pct:.2}%), rows identical
 \"retransmits\":{},\"outcomes_identical\":true}},\
 \"stability\":{{\"update_secs\":{stability_secs:.9},\"window_secs\":{window_total_secs:.9},\
 \"overhead_pct\":{stability_overhead_pct:.3},\"rows\":{stability_rows},\
-\"outcomes_identical\":true}},\"metrics\":{}}}",
+\"outcomes_identical\":true}},\"storage\":{{{storage_json}}},\"metrics\":{}}}",
         cs.host_count(),
         stats.frames_sent,
         stats.bytes_sent,

@@ -1,0 +1,575 @@
+//! The append-log backend: today's flat-file behavior expressed as
+//! trait operations.
+//!
+//! * **Log namespaces** live at `<root>/<ns>` as one record per line:
+//!   `k=<key> c=<fnv1a-hex> <payload>` with `\`, LF and CR escaped in
+//!   the payload, so JSON payloads stay greppable. Appends are flushed
+//!   per line; a crash can tear only the final line, which is dropped
+//!   on open. Files written before this format existed (bare JSONL
+//!   flight journals) are still read: a line without the `k=` prefix
+//!   is a legacy record whose key is its position.
+//! * **Snapshot namespaces** are the classic generation pair: the
+//!   newest payload verbatim at `<root>/<ns>`, older generations at
+//!   `<ns>.bak`, `<ns>.bak2`, … Each append writes a temp file, fsyncs
+//!   it, demotes the chain, renames into place, and fsyncs the
+//!   directory — the missing directory fsync was the durability hole
+//!   in the old hand-rolled path. Generation *order* is durable; key
+//!   numerals are reassigned on open.
+
+use crate::{
+    fnv1a, sync_dir, validate_ns, BatchEntry, NamespaceKind, NamespaceProfile, Pruned, Record,
+    Result, StorageBackend, StorageError,
+};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One parsed log record's location in the file.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    offset: u64,
+    line_len: u32,
+    payload_len: u32,
+}
+
+#[derive(Debug)]
+struct LogState {
+    file: File,
+    file_len: u64,
+    slots: BTreeMap<u64, Slot>,
+}
+
+#[derive(Debug)]
+struct SnapState {
+    /// Retained generations oldest → newest: `(key, age)` where age 0
+    /// is the bare primary file, 1 is `.bak`, 2 is `.bak2`, … Ages are
+    /// strictly decreasing (the newest generation is the primary), but
+    /// not necessarily contiguous — a crash between the demotion
+    /// rename and the final rename leaves `.bak` without a primary.
+    gens: Vec<(u64, usize)>,
+    next_gen: u64,
+}
+
+#[derive(Debug)]
+enum NsState {
+    Log(LogState),
+    Snapshot(SnapState),
+}
+
+#[derive(Debug)]
+struct Namespace {
+    profile: NamespaceProfile,
+    state: NsState,
+}
+
+/// The flat-file [`StorageBackend`]. See the module docs.
+#[derive(Debug)]
+pub struct AppendLogBackend {
+    root: PathBuf,
+    spaces: Mutex<BTreeMap<String, Namespace>>,
+}
+
+fn escape(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len());
+    for &b in payload {
+        match b {
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            _ => out.push(b),
+        }
+    }
+    out
+}
+
+fn unescape(line: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(line.len());
+    let mut it = line.iter();
+    while let Some(&b) = it.next() {
+        if b != b'\\' {
+            out.push(b);
+            continue;
+        }
+        match it.next() {
+            Some(b'\\') => out.push(b'\\'),
+            Some(b'n') => out.push(b'\n'),
+            Some(b'r') => out.push(b'\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Decodes one complete journal line as written by an
+/// [`AppendLogBackend`] log namespace: a keyed `k=.. c=.. <payload>`
+/// line yields its unescaped payload, a legacy bare line passes through
+/// verbatim. Returns `None` for a mangled keyed line or a payload that
+/// is not UTF-8 — callers on best-effort read paths skip those.
+pub fn decode_line_payload(line: &str) -> Option<String> {
+    let (_, payload) = decode_line(line.as_bytes()).ok()?;
+    String::from_utf8(payload).ok()
+}
+
+fn encode_line(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut line = format!("k={key} c={:08x} ", fnv1a(payload)).into_bytes();
+    line.extend_from_slice(&escape(payload));
+    line.push(b'\n');
+    line
+}
+
+/// Decodes one complete line (without its newline). `None` payload
+/// means the line is in the legacy bare format.
+fn decode_line(line: &[u8]) -> std::result::Result<(Option<u64>, Vec<u8>), String> {
+    if !line.starts_with(b"k=") {
+        // Legacy record: the whole line is the payload.
+        return Ok((None, line.to_vec()));
+    }
+    let text_end = line.len();
+    let key_end = line[..text_end]
+        .iter()
+        .position(|&b| b == b' ')
+        .ok_or("missing key terminator")?;
+    let key: u64 = std::str::from_utf8(&line[2..key_end])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or("unparsable key")?;
+    let rest = &line[key_end + 1..];
+    if !rest.starts_with(b"c=") {
+        return Err("missing checksum field".to_string());
+    }
+    let crc_end = rest
+        .iter()
+        .position(|&b| b == b' ')
+        .ok_or("missing checksum terminator")?;
+    let crc = u32::from_str_radix(
+        std::str::from_utf8(&rest[2..crc_end]).map_err(|_| "bad checksum encoding")?,
+        16,
+    )
+    .map_err(|_| "bad checksum encoding")?;
+    let payload = unescape(&rest[crc_end + 1..]).ok_or("bad escape sequence")?;
+    if fnv1a(&payload) != crc {
+        return Err(format!("checksum mismatch for key {key}"));
+    }
+    Ok((Some(key), payload))
+}
+
+impl AppendLogBackend {
+    /// Opens (creating) the backend rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<AppendLogBackend> {
+        let root = dir.into();
+        fs::create_dir_all(&root)?;
+        Ok(AppendLogBackend {
+            root,
+            spaces: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The backing directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn log_path(&self, ns: &str) -> PathBuf {
+        self.root.join(ns)
+    }
+
+    fn gen_path(&self, ns: &str, age: usize) -> PathBuf {
+        // age 0 = primary, 1 = .bak, 2 = .bak2, ...
+        let mut os = self.root.join(ns).into_os_string();
+        match age {
+            0 => {}
+            1 => os.push(".bak"),
+            n => os.push(format!(".bak{n}")),
+        }
+        PathBuf::from(os)
+    }
+
+    fn tmp_path(&self, ns: &str) -> PathBuf {
+        let mut os = self.root.join(ns).into_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    }
+
+    /// Parses an existing log file, dropping a torn final line.
+    fn open_log(&self, ns: &str) -> Result<LogState> {
+        let path = self.log_path(ns);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let complete = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let mut slots = BTreeMap::new();
+        let mut offset = 0u64;
+        let mut last_key: Option<u64> = None;
+        let mut saw_formatted = false;
+        while (offset as usize) < complete {
+            let start = offset as usize;
+            let rel_end = bytes[start..complete].iter().position(|&b| b == b'\n');
+            let end = start + rel_end.unwrap(); // complete ends at a newline
+            let line = &bytes[start..end];
+            let line_len = (end + 1 - start) as u32;
+            if !line.is_empty() {
+                let (key, payload) = decode_line(line).map_err(|why| {
+                    StorageError::Corrupt(format!("{ns} at byte {offset}: {why}"))
+                })?;
+                // Legacy bare lines are only valid as a file prefix: a
+                // journal written before keyed records was all-legacy,
+                // and upgrades append keyed lines after it. A bare line
+                // *following* a keyed one is a mangled keyed record.
+                if key.is_none() && saw_formatted {
+                    return Err(StorageError::Corrupt(format!(
+                        "{ns} at byte {offset}: bare line after keyed records"
+                    )));
+                }
+                saw_formatted |= key.is_some();
+                let key = key.unwrap_or_else(|| last_key.map_or(0, |k| k + 1));
+                if let Some(last) = last_key {
+                    if key <= last {
+                        return Err(StorageError::Corrupt(format!(
+                            "{ns}: key {key} after {last} is not ascending"
+                        )));
+                    }
+                }
+                last_key = Some(key);
+                slots.insert(
+                    key,
+                    Slot {
+                        offset,
+                        line_len,
+                        payload_len: payload.len() as u32,
+                    },
+                );
+            }
+            offset += u64::from(line_len);
+        }
+        // Reopen for appending past the complete prefix. A torn tail is
+        // truncated away so the next record starts on a line boundary.
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
+        file.set_len(complete as u64)?;
+        let mut state = LogState {
+            file,
+            file_len: complete as u64,
+            slots,
+        };
+        use std::io::Seek;
+        state.file.seek(std::io::SeekFrom::End(0))?;
+        Ok(state)
+    }
+
+    /// Discovers existing snapshot generations, oldest → newest.
+    fn open_snapshot(&self, ns: &str) -> Result<SnapState> {
+        let _ = fs::remove_file(self.tmp_path(ns));
+        let mut ages = Vec::new();
+        for age in 0usize..64 {
+            if self.gen_path(ns, age).exists() {
+                ages.push(age);
+            }
+        }
+        // ages is ascending (newest first); generations are keyed
+        // oldest → newest, so the deepest age gets key 0.
+        let count = ages.len() as u64;
+        let gens = ages
+            .into_iter()
+            .rev()
+            .zip(0u64..)
+            .map(|(age, key)| (key, age))
+            .collect();
+        Ok(SnapState {
+            gens,
+            next_gen: count,
+        })
+    }
+
+    fn read_log_record(&self, ns: &str, slot: Slot) -> Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = File::open(self.log_path(ns))?;
+        f.seek(SeekFrom::Start(slot.offset))?;
+        let mut line = vec![0u8; slot.line_len as usize];
+        f.read_exact(&mut line)?;
+        let line = &line[..line.len().saturating_sub(1)]; // strip newline
+        let (_, payload) =
+            decode_line(line).map_err(|why| StorageError::Corrupt(format!("{ns}: {why}")))?;
+        Ok(payload)
+    }
+
+    fn snapshot_value(&self, ns: &str, snap: &SnapState, key: u64) -> Result<Option<Vec<u8>>> {
+        let Some(&(_, age)) = snap.gens.iter().find(|&&(k, _)| k == key) else {
+            return Ok(None);
+        };
+        match fs::read(self.gen_path(ns, age)) {
+            Ok(v) => Ok(Some(v)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn with_ns<T>(&self, ns: &str, f: impl FnOnce(&mut Namespace) -> Result<T>) -> Result<T> {
+        let mut spaces = self.spaces.lock().unwrap_or_else(|e| e.into_inner());
+        let space = spaces
+            .get_mut(ns)
+            .ok_or_else(|| StorageError::UnknownNamespace(ns.to_string()))?;
+        f(space)
+    }
+
+    fn append_locked(
+        &self,
+        ns: &str,
+        space: &mut Namespace,
+        key: u64,
+        value: &[u8],
+    ) -> Result<u64> {
+        match &mut space.state {
+            NsState::Log(log) => {
+                if let Some((&last, _)) = log.slots.iter().next_back() {
+                    if key <= last {
+                        return Err(StorageError::NonMonotonicKey {
+                            ns: ns.to_string(),
+                            key,
+                            last,
+                        });
+                    }
+                }
+                let line = encode_line(key, value);
+                log.file.write_all(&line)?;
+                log.file.flush()?;
+                log.slots.insert(
+                    key,
+                    Slot {
+                        offset: log.file_len,
+                        line_len: line.len() as u32,
+                        payload_len: value.len() as u32,
+                    },
+                );
+                log.file_len += line.len() as u64;
+                Ok(key)
+            }
+            NsState::Snapshot(snap) => {
+                fs::create_dir_all(&self.root)?;
+                let tmp = self.tmp_path(ns);
+                {
+                    let mut f = File::create(&tmp)?;
+                    f.write_all(value)?;
+                    f.sync_all()?;
+                }
+                let cap = space
+                    .profile
+                    .retention
+                    .max_records
+                    .unwrap_or(u64::MAX)
+                    .max(1);
+                // Demote the chain oldest-first (deepest age first) so
+                // each rename lands on a free or about-to-drop name.
+                let mut demoted = Vec::with_capacity(snap.gens.len() + 1);
+                for &(gen_key, age) in &snap.gens {
+                    let from = self.gen_path(ns, age);
+                    if (age as u64 + 1) >= cap {
+                        let _ = fs::remove_file(&from);
+                    } else {
+                        let _ = fs::rename(&from, self.gen_path(ns, age + 1));
+                        demoted.push((gen_key, age + 1));
+                    }
+                }
+                fs::rename(&tmp, self.gen_path(ns, 0))?;
+                sync_dir(&self.root)?;
+                let key = snap.next_gen;
+                snap.next_gen += 1;
+                demoted.push((key, 0));
+                snap.gens = demoted;
+                Ok(key)
+            }
+        }
+    }
+}
+
+impl StorageBackend for AppendLogBackend {
+    fn name(&self) -> &'static str {
+        "appendlog"
+    }
+
+    fn define(&self, ns: &str, profile: NamespaceProfile) -> Result<()> {
+        validate_ns(ns)?;
+        let mut spaces = self.spaces.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(space) = spaces.get_mut(ns) {
+            if space.profile.kind != profile.kind {
+                return Err(StorageError::InvalidNamespace(format!(
+                    "{ns:?} is {:?}, redefined as {:?}",
+                    space.profile.kind, profile.kind
+                )));
+            }
+            space.profile = profile;
+            return Ok(());
+        }
+        let state = match profile.kind {
+            NamespaceKind::Log => NsState::Log(self.open_log(ns)?),
+            NamespaceKind::Snapshot => NsState::Snapshot(self.open_snapshot(ns)?),
+        };
+        spaces.insert(ns.to_string(), Namespace { profile, state });
+        Ok(())
+    }
+
+    fn append(&self, ns: &str, key: u64, value: &[u8]) -> Result<u64> {
+        let mut spaces = self.spaces.lock().unwrap_or_else(|e| e.into_inner());
+        let space = spaces
+            .get_mut(ns)
+            .ok_or_else(|| StorageError::UnknownNamespace(ns.to_string()))?;
+        self.append_locked(ns, space, key, value)
+    }
+
+    fn commit(&self, batch: &[BatchEntry]) -> Result<()> {
+        let mut spaces = self.spaces.lock().unwrap_or_else(|e| e.into_inner());
+        for entry in batch {
+            let space = spaces
+                .get_mut(&entry.ns)
+                .ok_or_else(|| StorageError::UnknownNamespace(entry.ns.clone()))?;
+            self.append_locked(&entry.ns, space, entry.key, &entry.value)?;
+        }
+        Ok(())
+    }
+
+    fn get(&self, ns: &str, key: u64) -> Result<Option<Vec<u8>>> {
+        self.with_ns(ns, |space| match &space.state {
+            NsState::Log(log) => match log.slots.get(&key) {
+                Some(&slot) => Ok(Some(self.read_log_record(ns, slot)?)),
+                None => Ok(None),
+            },
+            NsState::Snapshot(snap) => self.snapshot_value(ns, snap, key),
+        })
+    }
+
+    fn scan(&self, ns: &str, lo: u64, hi: u64) -> Result<Vec<Record>> {
+        self.with_ns(ns, |space| match &space.state {
+            NsState::Log(log) => {
+                let mut out = Vec::new();
+                for (&key, &slot) in log.slots.range(lo..=hi) {
+                    out.push(Record {
+                        key,
+                        value: self.read_log_record(ns, slot)?,
+                    });
+                }
+                Ok(out)
+            }
+            NsState::Snapshot(snap) => {
+                let mut out = Vec::new();
+                for &(key, _) in &snap.gens {
+                    if (lo..=hi).contains(&key) {
+                        if let Some(value) = self.snapshot_value(ns, snap, key)? {
+                            out.push(Record { key, value });
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        })
+    }
+
+    fn latest(&self, ns: &str) -> Result<Option<Record>> {
+        self.with_ns(ns, |space| match &space.state {
+            NsState::Log(log) => match log.slots.iter().next_back() {
+                Some((&key, &slot)) => Ok(Some(Record {
+                    key,
+                    value: self.read_log_record(ns, slot)?,
+                })),
+                None => Ok(None),
+            },
+            NsState::Snapshot(snap) => match snap.gens.last() {
+                Some(&(key, _)) => Ok(self
+                    .snapshot_value(ns, snap, key)?
+                    .map(|value| Record { key, value })),
+                None => Ok(None),
+            },
+        })
+    }
+
+    fn len(&self, ns: &str) -> Result<u64> {
+        self.with_ns(ns, |space| match &space.state {
+            NsState::Log(log) => Ok(log.slots.len() as u64),
+            NsState::Snapshot(snap) => Ok(snap.gens.len() as u64),
+        })
+    }
+
+    fn retain(&self, ns: &str) -> Result<Pruned> {
+        let mut spaces = self.spaces.lock().unwrap_or_else(|e| e.into_inner());
+        let space = spaces
+            .get_mut(ns)
+            .ok_or_else(|| StorageError::UnknownNamespace(ns.to_string()))?;
+        match &mut space.state {
+            NsState::Snapshot(_) => Ok(Pruned::default()), // cap applied on append
+            NsState::Log(log) => {
+                let sizes: Vec<(u64, u64)> = log
+                    .slots
+                    .iter()
+                    .map(|(&k, s)| (k, u64::from(s.payload_len)))
+                    .collect();
+                let Some(cut) = space.profile.retention.cutoff(&sizes) else {
+                    return Ok(Pruned::default());
+                };
+                let survivors: Vec<u64> = log.slots.range(cut..).map(|(&k, _)| k).collect();
+                if survivors.len() == log.slots.len() {
+                    return Ok(Pruned::default());
+                }
+                // Rewrite the file with only the surviving records,
+                // atomically (tmp + fsync + rename + dir fsync).
+                let mut kept = Vec::new();
+                for &k in &survivors {
+                    let slot = log.slots[&k];
+                    kept.push((k, self.read_log_record(ns, slot)?));
+                }
+                let tmp = self.tmp_path(ns);
+                let mut new_len = 0u64;
+                let mut new_slots = BTreeMap::new();
+                {
+                    let mut f = File::create(&tmp)?;
+                    for (k, payload) in &kept {
+                        let line = encode_line(*k, payload);
+                        f.write_all(&line)?;
+                        new_slots.insert(
+                            *k,
+                            Slot {
+                                offset: new_len,
+                                line_len: line.len() as u32,
+                                payload_len: payload.len() as u32,
+                            },
+                        );
+                        new_len += line.len() as u64;
+                    }
+                    f.sync_all()?;
+                }
+                fs::rename(&tmp, self.log_path(ns))?;
+                sync_dir(&self.root)?;
+                let mut pruned = Pruned::default();
+                for (&k, slot) in &log.slots {
+                    if k < cut {
+                        pruned.records += 1;
+                        pruned.bytes += u64::from(slot.payload_len);
+                    }
+                }
+                let file = OpenOptions::new().append(true).open(self.log_path(ns))?;
+                *log = LogState {
+                    file,
+                    file_len: new_len,
+                    slots: new_slots,
+                };
+                Ok(pruned)
+            }
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        let mut spaces = self.spaces.lock().unwrap_or_else(|e| e.into_inner());
+        for space in spaces.values_mut() {
+            if let NsState::Log(log) = &mut space.state {
+                log.file.flush()?;
+                log.file.sync_all()?;
+            }
+        }
+        sync_dir(&self.root)?;
+        Ok(())
+    }
+}

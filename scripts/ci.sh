@@ -47,6 +47,18 @@ echo "==> telemetry suite + name lint + provenance coverage"
 cargo test -q -p telemetry
 cargo test -q --test telemetry_parity --test metric_names --test event_journal
 
+# The storage layer must honor its durability contract on every
+# backend: the shared conformance suite pins memory/appendlog/segment
+# to one behavioral spec, the crash suite tears the tail off live files
+# and requires recovery to lose at most the final record, and the
+# schedules proptest drives random append/flush/crash/reopen
+# interleavings against an in-memory model. The aggregator-side
+# round-trip (checkpoint + journal + run history sharing one backend)
+# rides in the crate test below.
+echo "==> storage backend conformance + crash-recovery + schedules"
+cargo test -q -p storage
+cargo test -q -p aggregator --test crash_recovery
+
 # Wire transport must shrug off a hostile network: the chaos suite runs
 # the loopback-TCP pipeline through the deterministic fault proxy on a
 # fixed seed matrix ([11, 23, 47], pinned inside the test) — lossy runs

@@ -40,10 +40,10 @@
 //! ```
 
 use crate::aggregator::{
-    transport::stream_records, Aggregator, AggregatorConfig, ProbeReport, ReplayProbe,
-    SupervisorConfig, TransportConfig, WindowHealth, WireListener,
+    transport::stream_records, Aggregator, AggregatorConfig, ProbeReport, ReplayProbe, RunStore,
+    StorageStack, SupervisorConfig, TransportConfig, WindowHealth, WireListener,
 };
-use crate::explain::explain_host;
+use crate::explain::{explain_host, explain_host_labeled};
 use crate::flow::{
     netflow, pcap, rmon, textlog, ConnectionSets, ConnsetBuilder, FlowRecord, HostAddr,
 };
@@ -53,6 +53,7 @@ use crate::roleclass::{
 };
 use crate::serve::{Server, ServerState};
 use crate::stability_report;
+use crate::storage::{BackendKind, StorageConfig};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::Arc;
@@ -108,15 +109,19 @@ USAGE:
                   [same tuning flags as classify]
   rcctl diff      --prev <SNAP.json> --curr <SNAP.json>
   rcctl metrics   --input <FILE> [--format <FMT>] [--window-ms N]
-                  [--json] [--trace] [same tuning flags as classify]
+                  [--json] [--trace] [--state <DIR>] [--store <BACKEND>]
+                  [same tuning flags as classify]
   rcctl explain   --input <FILE> --host <ADDR> [--format <FMT>]
                   [--window-ms N] [same tuning flags as classify]
+  rcctl explain   --host <ADDR> --state <DIR> [--store <BACKEND>]
+                  [--at <MS>] [same tuning flags as classify]
   rcctl stability --input <FILE> [--format <FMT>] [--window-ms N]
                   [--host <ADDR>] [--group <ID>] [--json]
                   [same tuning flags as classify]
   rcctl serve     --input <FILE> [--format <FMT>] [--window-ms N]
                   [--addr <IP:PORT>] [--addr-file <FILE>]
-                  [--max-requests N] [same tuning flags as classify]
+                  [--max-requests N] [--state <DIR>] [--store <BACKEND>]
+                  [same tuning flags as classify]
   rcctl ingest listen --probe <NAME> [--addr <IP:PORT>] [--addr-file <FILE>]
                   [--window-ms N] [--origin-ms N] [--max-windows N]
                   [same tuning flags as classify]
@@ -146,9 +151,24 @@ OBSERVABILITY:
   serve        replay the capture, then serve GET /metrics (Prometheus
                text), /events (journal as JSONL; ?tail=N), /stability
                (per-window stability rows; ?follow streams the metric
-               ring as NDJSON), and /healthz (last window's health)
+               ring as NDJSON), /history (retained window summaries;
+               ?at=MS returns the full run current at that instant;
+               requires --state), and /healthz (last window's health)
                until --max-requests is reached
   --window-ms  window length for replay commands (default: whole trace)
+
+DURABLE STORAGE AND TIME TRAVEL:
+  --state      root directory of the storage stack. metrics/serve
+               persist every classified window there (run history,
+               flight journal, checkpoint), with disk bounded by the
+               backend's retention policy; explain replays windows back
+               out of it instead of reading a capture
+  --store      backend serving --state: memory | appendlog | segment
+               (default segment: indexed append-only segments with
+               compaction and retention)
+  --at         explain only: time-travel target in ms. Replays the
+               retained windows up to the one current at that instant
+               and prints the decision chain as it stood then
   --addr       listen address for serve (default 127.0.0.1:7878; port 0
                picks an ephemeral port)
   --addr-file  write the actually-bound address to a file (for scripts)
@@ -190,6 +210,14 @@ struct Options {
     window_ms: Option<u64>,
     host: Option<String>,
     group: Option<String>,
+    /// `--state <DIR>`: root of the durable storage stack (run history,
+    /// flight journal, checkpoints). Absent, nothing is persisted.
+    state: Option<String>,
+    /// `--store <BACKEND>`: which [`BackendKind`] serves `--state`.
+    store: Option<String>,
+    /// `--at <MS>`: the instant to time-travel to (explain replays the
+    /// retained windows up to the one current at this timestamp).
+    at: Option<u64>,
     addr: Option<String>,
     addr_file: Option<String>,
     max_requests: Option<u64>,
@@ -237,6 +265,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         window_ms: None,
         host: None,
         group: None,
+        state: None,
+        store: None,
+        at: None,
         addr: None,
         addr_file: None,
         max_requests: None,
@@ -267,6 +298,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--json" => o.json = true,
             "--host" => o.host = Some(value("--host")?),
             "--group" => o.group = Some(value("--group")?),
+            "--state" => o.state = Some(value("--state")?),
+            "--store" => o.store = Some(value("--store")?),
+            "--at" => {
+                o.at = Some(
+                    value("--at")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--at expects a timestamp in ms"))?,
+                )
+            }
             "--addr" => o.addr = Some(value("--addr")?),
             "--addr-file" => o.addr_file = Some(value("--addr-file")?),
             "--to" => o.to = Some(value("--to")?),
@@ -507,6 +547,34 @@ fn append_trace(out: &mut String, recorder: Option<&Recorder>) {
     }
 }
 
+/// The [`StorageConfig`] described by `--state`/`--store`, if any.
+/// `--store` alone is a usage error: a backend choice without a root
+/// directory persists nothing, which is never what the user meant.
+fn storage_config(o: &Options) -> Result<Option<StorageConfig>, CliError> {
+    let Some(state) = o.state.as_deref() else {
+        if o.store.is_some() {
+            return Err(CliError::usage("--store requires --state <DIR>"));
+        }
+        return Ok(None);
+    };
+    let mut config = StorageConfig::new(state);
+    if let Some(name) = o.store.as_deref() {
+        let kind = BackendKind::parse(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown storage backend {name:?} (expected memory|appendlog|segment)"
+            ))
+        })?;
+        config = config.with_backend(kind);
+    }
+    Ok(Some(config))
+}
+
+/// Opens the storage stack at `--state` (creating the directory tree).
+fn open_stack(config: &StorageConfig) -> Result<StorageStack, CliError> {
+    StorageStack::open(config)
+        .map_err(|e| CliError::runtime(format!("storage at {}: {e}", config.root)))
+}
+
 /// Result of replaying a capture through the full aggregator pipeline
 /// with a recorder attached — shared by `metrics` and `serve`.
 struct Replay {
@@ -520,14 +588,25 @@ struct Replay {
     churn: Vec<HostChurn>,
     /// The aggregator's stability timeseries ring (shared handle).
     timeseries: Arc<TimeseriesRing>,
+    /// The durable run history, when `--state` was given — what serve's
+    /// `/history` endpoint answers from.
+    runs: Option<Arc<RunStore>>,
 }
 
 /// Replays `--input` through the aggregator, windowed by `--window-ms`
-/// (default: the whole trace as one window).
+/// (default: the whole trace as one window). With `--state`, the full
+/// storage stack rides along: every window lands in the run history,
+/// every event in the durable flight journal, and a checkpoint is cut
+/// at the end, so later `explain --at` / `serve` invocations can time
+/// travel into this run.
 fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
     let trace = load_trace(o, true)?;
     let window_ms = trace.window_ms(o);
     let recorder = Arc::new(Recorder::new());
+    let stack = match storage_config(o)? {
+        Some(config) => Some(open_stack(&config)?),
+        None => None,
+    };
     let mut agg = Aggregator::try_new(AggregatorConfig {
         window_ms,
         origin_ms: trace.origin_ms,
@@ -538,10 +617,26 @@ fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
     })
     .map_err(|e| CliError::usage(e.to_string()))?
     .with_recorder(Arc::clone(&recorder));
+    if let Some(stack) = &stack {
+        agg = agg
+            .with_shared_flight_recorder(Arc::clone(stack.recorder()))
+            .with_run_store(Arc::clone(stack.runs()));
+    }
     agg.attach(Box::new(ReplayProbe::new(&trace.input, trace.records)));
     let windows = agg.drain();
     let reports = agg.probe_reports();
     let health = agg.history().read().last().map(|r| r.health.clone());
+    let runs = match &stack {
+        Some(stack) => {
+            agg.checkpoint(stack.checkpointer())
+                .map_err(|e| CliError::runtime(format!("checkpoint: {e}")))?;
+            stack
+                .flush()
+                .map_err(|e| CliError::runtime(format!("storage flush: {e}")))?;
+            Some(Arc::clone(stack.runs()))
+        }
+        None => None,
+    };
     Ok(Replay {
         recorder,
         windows,
@@ -550,6 +645,7 @@ fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
         stability: agg.stability_history().to_vec(),
         churn: agg.churn_table(),
         timeseries: agg.timeseries(),
+        runs,
     })
 }
 
@@ -715,6 +811,55 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::usage("--host is required"))?
                 .parse()
                 .map_err(|e| CliError::usage(format!("--host: {e}")))?;
+            // Time travel: with --state the windows come from the
+            // retained run history, not a fresh capture. The replay
+            // includes every retained window up to the target so the
+            // id-lineage chain is the one the store actually observed.
+            if let Some(config) = storage_config(&o)? {
+                let stack = open_stack(&config)?;
+                let cutoff = o.at.unwrap_or(u64::MAX);
+                let runs = stack
+                    .runs()
+                    .all()
+                    .map_err(|e| CliError::runtime(format!("run history: {e}")))?;
+                let total = runs.len();
+                let runs: Vec<_> = runs
+                    .into_iter()
+                    .filter(|r| r.window.start_ms <= cutoff)
+                    .collect();
+                if runs.is_empty() {
+                    return Err(CliError::runtime(match o.at {
+                        Some(at) if total > 0 => {
+                            format!("no retained window starts at or before {at} ms")
+                        }
+                        _ => format!("{}: run history is empty", config.root),
+                    }));
+                }
+                if o.auto_k_hi {
+                    o.params.k_hi = auto_k_hi_otsu(&runs[0].connsets).max(1);
+                }
+                let labeled: Vec<(String, &ConnectionSets)> = runs
+                    .iter()
+                    .map(|r| {
+                        (
+                            format!("window [{}, {})", r.window.start_ms, r.window.end_ms),
+                            &r.connsets,
+                        )
+                    })
+                    .collect();
+                let header = format!(
+                    "replaying {} retained window(s) from the {} store at {}\n",
+                    labeled.len(),
+                    stack.backend().name(),
+                    config.root
+                );
+                return explain_host_labeled(&labeled, host, o.params)
+                    .map(|out| format!("{header}{out}"))
+                    .map_err(|e| CliError::usage(e.to_string()));
+            }
+            if o.at.is_some() {
+                return Err(CliError::usage("--at requires --state <DIR>"));
+            }
             let windows = window_connsets(&o)?;
             if o.auto_k_hi {
                 o.params.k_hi = auto_k_hi_otsu(&windows[0]).max(1);
@@ -764,6 +909,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 health: replay.health,
                 stability: replay.stability,
                 timeseries: replay.timeseries,
+                history: replay.runs,
             };
             let addr = o.addr.as_deref().unwrap_or("127.0.0.1:7878");
             let server = Server::bind(addr, state)
@@ -777,7 +923,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             // Announce before blocking in the accept loop; the final
             // return value only prints after the server stops.
-            println!("serving http://{bound} (/metrics /events /stability /healthz)");
+            println!("serving http://{bound} (/metrics /events /stability /history /healthz)");
             let served = server
                 .run(o.max_requests)
                 .map_err(|e| CliError::runtime(e.to_string()))?;

@@ -136,16 +136,33 @@ pub fn explain_host(
     host: HostAddr,
     params: Params,
 ) -> Result<String, ParamError> {
+    let labeled: Vec<(String, &ConnectionSets)> = windows
+        .iter()
+        .enumerate()
+        .map(|(w, cs)| (format!("window {w}"), cs))
+        .collect();
+    explain_host_labeled(&labeled, host, params)
+}
+
+/// [`explain_host`] with caller-chosen window labels — what the
+/// time-travel path uses to print real window bounds (`window
+/// [0, 1000)`) instead of replay indices when the windows come from a
+/// retained run history rather than a fresh capture split.
+pub fn explain_host_labeled(
+    windows: &[(String, &ConnectionSets)],
+    host: HostAddr,
+    params: Params,
+) -> Result<String, ParamError> {
     let recorder = Arc::new(Recorder::new());
     let mut engine = Engine::new(params)?;
     engine.set_recorder(Some(Arc::clone(&recorder)));
 
     let mut out = String::new();
     let _ = writeln!(out, "decision chain for host {host}:");
-    for (w, cs) in windows.iter().enumerate() {
+    for (label, cs) in windows.iter() {
         let outcome = engine.run_window(cs);
         let events = recorder.events().take();
-        let _ = writeln!(out, "\nwindow {w}:");
+        let _ = writeln!(out, "\n{label}:");
         let raw = outcome.classification.grouping.group_of(host);
         let published = outcome.grouping.group_of(host);
         let (Some(raw), Some(published)) = (raw, published) else {

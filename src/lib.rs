@@ -11,6 +11,8 @@
 //! * [`synthnet`] — synthetic enterprise networks with ground truth.
 //! * [`cluster`] — baselines and cluster-validation metrics.
 //! * [`aggregator`] — the probe/aggregator monitoring system.
+//! * [`storage`] — the pluggable storage backends behind checkpoints,
+//!   the flight journal, and time-travel run history.
 
 pub mod cli;
 pub mod explain;
@@ -22,5 +24,6 @@ pub use cluster;
 pub use flow;
 pub use netgraph;
 pub use roleclass;
+pub use storage;
 pub use synthnet;
 pub use telemetry;

@@ -12,6 +12,10 @@
 //!   per-window [`WindowStability`] rows (`?tail=N` keeps the newest
 //!   `N`), or with `?follow` the bounded timeseries ring as NDJSON,
 //!   one metric frame per completed window.
+//! * `GET /history` — the durable run history: one [`RunSummary`] per
+//!   retained window (`?tail=N` keeps the newest `N`), or with `?at=MS`
+//!   the full run record current at that instant — the time-travel
+//!   query. Answers `503` unless the pipeline ran with `--state`.
 //! * `GET /healthz` — the [`WindowHealth`] of the last completed cycle
 //!   as JSON, `503` until a cycle has completed.
 //!
@@ -31,7 +35,7 @@
 //! answered `431` instead of buffered without bound. GETs carry no
 //! body, so the header cap bounds the whole request.
 
-use crate::aggregator::WindowHealth;
+use crate::aggregator::{RunStore, RunSummary, WindowHealth};
 use crate::roleclass::WindowStability;
 use std::io::{self, BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -78,6 +82,9 @@ pub struct ServerState {
     /// The aggregator's bounded stability timeseries ring — the
     /// `/stability?follow` NDJSON stream.
     pub timeseries: Arc<TimeseriesRing>,
+    /// The durable run history behind `/history`, when the pipeline ran
+    /// with a storage stack attached; `None` answers `503`.
+    pub history: Option<Arc<RunStore>>,
 }
 
 /// A bound listener ready to serve [`ServerState`].
@@ -130,7 +137,8 @@ impl Server {
     }
 }
 
-/// Query parameters understood by `/events` and `/stability`.
+/// Query parameters understood by `/events`, `/stability`, and
+/// `/history`.
 #[derive(Debug, Default, PartialEq, Eq)]
 struct QueryParams {
     /// `tail=N`: keep only the newest `N` items.
@@ -138,6 +146,9 @@ struct QueryParams {
     /// `follow` (or `follow=1`/`follow=true`): stream the timeseries
     /// ring as NDJSON instead of the JSON snapshot.
     follow: bool,
+    /// `at=MS`: time-travel target for `/history` — return the full
+    /// run record current at that instant.
+    at: Option<u64>,
 }
 
 /// Parses the shared query-string surface. Anything malformed — a
@@ -167,6 +178,13 @@ fn query_params(query: Option<&str>) -> Result<QueryParams, String> {
                     return Err(format!("follow={other:?} (expected follow, 1, or true)"))
                 }
             },
+            "at" => {
+                let v = value.ok_or("at requires a timestamp, e.g. at=86400000")?;
+                p.at = Some(
+                    v.parse()
+                        .map_err(|_| format!("at={v:?} is not a millisecond timestamp"))?,
+                );
+            }
             other => return Err(format!("unknown query parameter {other:?}")),
         }
     }
@@ -180,6 +198,72 @@ fn bad_request(msg: impl Into<String>) -> (&'static str, &'static str, String) {
         "text/plain; charset=utf-8",
         format!("{}\n", msg.into()),
     )
+}
+
+/// The `/history` body: run summaries (optionally tailed), or with
+/// `at=MS` the full run record current at that instant. A pipeline run
+/// without `--state` has no durable history, which is a `503` (the
+/// endpoint exists, the storage stack just isn't attached), and a
+/// backend read error is surfaced the same way rather than masked as
+/// an empty history.
+fn history_response(state: &ServerState, p: &QueryParams) -> (&'static str, &'static str, String) {
+    let unavailable = |msg: String| {
+        (
+            "503 Service Unavailable",
+            "application/json",
+            format!("{{\"error\":{}}}\n", json_string(&msg)),
+        )
+    };
+    let Some(history) = &state.history else {
+        return unavailable("no storage stack attached; run with --state <DIR>".to_string());
+    };
+    if let Some(at) = p.at {
+        return match history.at_or_before(at) {
+            Err(e) => unavailable(format!("run history: {e}")),
+            Ok(None) => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                format!("no retained window starts at or before {at} ms\n"),
+            ),
+            Ok(Some(run)) => match serde_json::to_string(&run) {
+                Err(e) => unavailable(format!("run history: {e}")),
+                Ok(body) => ("200 OK", "application/json", format!("{body}\n")),
+            },
+        };
+    }
+    match history.summaries() {
+        Err(e) => unavailable(format!("run history: {e}")),
+        Ok(all) => {
+            let retained = all.len();
+            let kept: &[RunSummary] = match p.tail {
+                Some(n) => &all[retained.saturating_sub(n)..],
+                None => &all[..],
+            };
+            let rows = serde_json::to_string(kept).unwrap_or_else(|_| "[]".to_string());
+            (
+                "200 OK",
+                "application/json",
+                format!("{{\"retained\":{retained},\"history\":{rows}}}\n"),
+            )
+        }
+    }
+}
+
+/// Minimal JSON string escaping for error bodies.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::Result<()> {
@@ -245,6 +329,9 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
                 Ok(p) if p.follow => {
                     bad_request("follow is not supported on /events; use /stability?follow")
                 }
+                Ok(p) if p.at.is_some() => {
+                    bad_request("at is not supported on /events; use /history?at=MS")
+                }
                 Ok(p) => {
                     let events = match p.tail {
                         Some(n) => state.recorder.events().tail(n),
@@ -260,6 +347,9 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
             },
             "/stability" => match query_params(query) {
                 Err(msg) => bad_request(msg),
+                Ok(p) if p.at.is_some() => {
+                    bad_request("at is not supported on /stability; use /history?at=MS")
+                }
                 Ok(p) if p.follow => {
                     let frames = match p.tail {
                         Some(n) => state.timeseries.tail(n),
@@ -286,6 +376,13 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
                     )
                 }
             },
+            "/history" => match query_params(query) {
+                Err(msg) => bad_request(msg),
+                Ok(p) if p.follow => {
+                    bad_request("follow is not supported on /history; use /stability?follow")
+                }
+                Ok(p) => history_response(state, &p),
+            },
             "/healthz" => match &state.health {
                 Some(h) => {
                     let health = serde_json::to_string(h).unwrap_or_else(|_| "{}".to_string());
@@ -308,7 +405,7 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /metrics, /events, /stability, /healthz\n".to_string(),
+                "not found; try /metrics, /events, /stability, /history, /healthz\n".to_string(),
             ),
         }
     };
@@ -382,7 +479,35 @@ mod tests {
                 groups: Vec::new(),
             }],
             timeseries,
+            history: None,
         }
+    }
+
+    /// A run store holding three one-second windows of real pipeline
+    /// output, on the in-memory backend.
+    fn test_history() -> Arc<RunStore> {
+        use crate::aggregator::{Aggregator, AggregatorConfig, ReplayProbe, StorageStack};
+        use crate::flow::{FlowRecord, HostAddr};
+        use crate::storage::StorageConfig;
+        let stack = StorageStack::open(&StorageConfig::memory()).unwrap();
+        let mut agg = Aggregator::new(AggregatorConfig {
+            window_ms: 1000,
+            origin_ms: 1000,
+            min_flows: 1,
+            ..AggregatorConfig::default()
+        })
+        .with_run_store(Arc::clone(stack.runs()));
+        let mut trace = Vec::new();
+        for w in 0..3u64 {
+            for n in 2..5u32 {
+                let mut f = FlowRecord::pair(HostAddr::v4(1), HostAddr::v4(n));
+                f.start_ms = 1000 + w * 1000;
+                trace.push(f);
+            }
+        }
+        agg.attach(Box::new(ReplayProbe::new("p0", trace)));
+        agg.drain();
+        Arc::clone(stack.runs())
     }
 
     #[test]
@@ -452,6 +577,54 @@ mod tests {
     }
 
     #[test]
+    fn history_answers_summaries_time_travel_and_503() {
+        // Without a storage stack, /history is explicitly unavailable.
+        let server = Server::bind("127.0.0.1:0", test_state()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run(Some(1)).unwrap());
+        let resp = request(addr, "/history");
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(resp.contains("--state"), "{resp}");
+        t.join().unwrap();
+
+        let state = ServerState {
+            history: Some(test_history()),
+            ..test_state()
+        };
+        let server = Server::bind("127.0.0.1:0", state).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run(Some(7)).unwrap());
+
+        let list = request(addr, "/history");
+        assert!(list.starts_with("HTTP/1.1 200 OK"), "{list}");
+        assert!(list.contains("\"retained\":3"), "{list}");
+        assert!(list.contains("\"window_start_ms\":3000"), "{list}");
+
+        // tail trims the list but reports the full retained count.
+        let tail = request(addr, "/history?tail=1");
+        assert!(!tail.contains("\"window_start_ms\":1000"), "{tail}");
+        assert!(tail.contains("\"retained\":3"), "{tail}");
+        assert!(tail.contains("\"window_start_ms\":3000"), "{tail}");
+
+        // at=MS time-travels to the run current at that instant.
+        let at = request(addr, "/history?at=1500");
+        assert!(at.starts_with("HTTP/1.1 200 OK"), "{at}");
+        assert!(at.contains("\"start_ms\":1000"), "{at}");
+        assert!(at.contains("\"grouping\""), "{at}");
+
+        // Before the first retained window: an explicit 404.
+        let missing = request(addr, "/history?at=500");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let bad = request(addr, "/history?follow");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = request(addr, "/events?at=5");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = request(addr, "/stability?at=5");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        t.join().unwrap();
+    }
+
+    #[test]
     fn query_params_parse_and_reject() {
         assert_eq!(query_params(None).unwrap(), QueryParams::default());
         assert_eq!(query_params(Some("")).unwrap(), QueryParams::default());
@@ -459,14 +632,18 @@ mod tests {
             query_params(Some("tail=5&follow")).unwrap(),
             QueryParams {
                 tail: Some(5),
-                follow: true
+                follow: true,
+                at: None
             }
         );
         assert!(query_params(Some("follow=true")).unwrap().follow);
         assert!(query_params(Some("follow=1")).unwrap().follow);
+        assert_eq!(query_params(Some("at=1500")).unwrap().at, Some(1500));
         assert!(query_params(Some("tail=-1")).is_err());
         assert!(query_params(Some("tail")).is_err());
         assert!(query_params(Some("follow=no")).is_err());
+        assert!(query_params(Some("at")).is_err());
+        assert!(query_params(Some("at=noon")).is_err());
         assert!(query_params(Some("depth=2")).is_err());
     }
 
@@ -545,6 +722,7 @@ mod tests {
             health: None,
             stability: Vec::new(),
             timeseries: Arc::new(TimeseriesRing::default()),
+            history: None,
         };
         let server = Server::bind("127.0.0.1:0", state).unwrap();
         let addr = server.local_addr().unwrap();

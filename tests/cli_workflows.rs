@@ -550,3 +550,182 @@ fn usage_documents_engine_tuning() {
     assert!(usage.contains("--workers"), "{usage}");
     assert!(usage.contains("--no-prune"), "{usage}");
 }
+
+#[test]
+fn usage_documents_storage_and_time_travel() {
+    let usage = run(&args(&["help"])).unwrap();
+    assert!(usage.contains("--state"), "{usage}");
+    assert!(usage.contains("--store"), "{usage}");
+    assert!(usage.contains("--at"), "{usage}");
+    assert!(usage.contains("/history"), "{usage}");
+}
+
+#[test]
+fn explain_time_travels_from_segment_store() {
+    let dir = workdir("timetravel");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+    let store = dir.join("store").to_string_lossy().into_owned();
+    let net = scenarios::figure1(3, 3);
+    let host = net.role_hosts("sales")[0].to_string();
+
+    // Populate the store: a windowed metrics replay persists every
+    // classified window into the segment backend.
+    let out = run(&args(&[
+        "metrics",
+        "--input",
+        flows,
+        "--window-ms",
+        "43200000",
+        "--state",
+        &store,
+        "--store",
+        "segment",
+        "--s-lo",
+        "90",
+        "--s-hi",
+        "95",
+    ]))
+    .unwrap();
+    assert!(!out.contains("windows: 0"), "{out}");
+
+    // Time travel: no capture file at all — the windows come back out
+    // of the store, labeled with their real bounds.
+    let replayed = run(&args(&[
+        "explain",
+        "--host",
+        &host,
+        "--state",
+        &store,
+        "--store",
+        "segment",
+        "--at",
+        "999999999999",
+        "--s-lo",
+        "90",
+        "--s-hi",
+        "95",
+    ]))
+    .unwrap();
+    assert!(
+        replayed.contains("retained window(s) from the segment store"),
+        "{replayed}"
+    );
+    assert!(
+        replayed.contains(&format!("decision chain for host {host}")),
+        "{replayed}"
+    );
+    assert!(replayed.contains("window ["), "{replayed}");
+    assert!(replayed.contains("formation: grouped at k="), "{replayed}");
+    assert!(replayed.contains("result: group"), "{replayed}");
+
+    // Without --at the full retained history replays identically.
+    let full = run(&args(&[
+        "explain", "--host", &host, "--state", &store, "--s-lo", "90", "--s-hi", "95",
+    ]))
+    .unwrap();
+    assert_eq!(full, replayed);
+
+    // A cutoff before the first retained window is a runtime error.
+    let err = run(&args(&[
+        "explain", "--host", &host, "--state", &store, "--at", "0",
+    ]))
+    .unwrap_err();
+    assert_eq!(err.code, 1);
+    assert!(
+        err.message.contains("no retained window"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
+fn storage_flag_misuse_is_a_usage_error() {
+    let dir = workdir("storeflags");
+    let inputs = write_inputs(&dir);
+    let (flows, _) = &inputs[0];
+
+    // --store without --state persists nothing: rejected.
+    let err = run(&args(&["metrics", "--input", flows, "--store", "segment"])).unwrap_err();
+    assert_eq!(err.code, 2);
+    assert!(err.message.contains("--state"), "{}", err.message);
+
+    // --at outside a store-backed explain: rejected.
+    let err = run(&args(&[
+        "explain", "--input", flows, "--host", "0.0.0.1", "--at", "5",
+    ]))
+    .unwrap_err();
+    assert_eq!(err.code, 2);
+    assert!(err.message.contains("--state"), "{}", err.message);
+
+    // An unknown backend name: rejected with the valid choices.
+    let store = dir.join("store").to_string_lossy().into_owned();
+    let err = run(&args(&[
+        "metrics", "--input", flows, "--state", &store, "--store", "floppy",
+    ]))
+    .unwrap_err();
+    assert_eq!(err.code, 2);
+    assert!(
+        err.message.contains("memory|appendlog|segment"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
+fn serve_exposes_history_from_the_store() {
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    let dir = workdir("servehistory");
+    let inputs = write_inputs(&dir);
+    let flows = inputs[0].0.clone();
+    let store = dir.join("store").to_string_lossy().into_owned();
+    let addr_file = dir.join("addr.txt");
+    let addr_file_arg = addr_file.to_string_lossy().into_owned();
+    let t = std::thread::spawn(move || {
+        run(&args(&[
+            "serve",
+            "--input",
+            &flows,
+            "--window-ms",
+            "43200000",
+            "--state",
+            &store,
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            &addr_file_arg,
+            "--max-requests",
+            "2",
+        ]))
+        .unwrap()
+    });
+    let mut addr = String::new();
+    for _ in 0..500 {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if !s.is_empty() {
+                addr = s;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(!addr.is_empty(), "server never wrote its address");
+
+    let get = |path: &str| {
+        let mut s = TcpStream::connect(addr.trim()).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        resp
+    };
+    let history = get("/history");
+    assert!(history.starts_with("HTTP/1.1 200 OK"), "{history}");
+    assert!(history.contains("\"retained\":"), "{history}");
+    assert!(history.contains("\"window_start_ms\":"), "{history}");
+    let at = get("/history?at=999999999999");
+    assert!(at.starts_with("HTTP/1.1 200 OK"), "{at}");
+    assert!(at.contains("\"grouping\""), "{at}");
+    t.join().unwrap();
+}

@@ -5,12 +5,14 @@
 
 use role_classification::aggregator::{
     read_journal_lines, Aggregator, AggregatorConfig, Checkpointer, FlightRecorder, Probe,
-    ProbeError, RecoverySource, ReplayProbe, SupervisorConfig, AGGREGATOR_EVENT_NAMES,
+    ProbeError, RecoverySource, ReplayProbe, RunStore, SupervisorConfig, AGGREGATOR_EVENT_NAMES,
+    STORAGE_EVENT_NAMES,
 };
 use role_classification::flow::{FlowRecord, HostAddr};
 use role_classification::roleclass::{
     EngineConfig, Params, ENGINE_EVENT_NAMES, STABILITY_EVENT_NAMES,
 };
+use role_classification::storage::{MemoryBackend, NamespaceProfile, Retention};
 use role_classification::telemetry::Recorder;
 use serde::value::Value;
 use std::collections::BTreeSet;
@@ -90,7 +92,18 @@ fn degraded_pipeline_produces_every_declared_event_type() {
     })
     .unwrap()
     .with_recorder(Arc::clone(&recorder))
-    .with_flight_recorder(FlightRecorder::open(ck.journal_path()).unwrap());
+    .with_flight_recorder(FlightRecorder::open(ck.journal_path()).unwrap())
+    // Run history with a two-window retention cap: over four windows,
+    // both storage event types (history_recorded + retention_pruned)
+    // must fire.
+    .with_run_store(Arc::new(
+        RunStore::open(
+            Arc::new(MemoryBackend::new()),
+            "runs",
+            NamespaceProfile::log(Retention::unbounded().keep_records(2)),
+        )
+        .unwrap(),
+    ));
 
     // Four windows; the structure churns after window 1, so correlation
     // carries, mints, and retires ids.
@@ -124,6 +137,7 @@ fn degraded_pipeline_produces_every_declared_event_type() {
         .iter()
         .chain(AGGREGATOR_EVENT_NAMES)
         .chain(STABILITY_EVENT_NAMES)
+        .chain(STORAGE_EVENT_NAMES)
     {
         assert!(seen.contains(name), "event type {name} never emitted");
     }
@@ -133,6 +147,7 @@ fn degraded_pipeline_produces_every_declared_event_type() {
             "engine" => ENGINE_EVENT_NAMES.contains(&ev.name),
             "aggregator" => AGGREGATOR_EVENT_NAMES.contains(&ev.name),
             "stability" => STABILITY_EVENT_NAMES.contains(&ev.name),
+            "storage" => STORAGE_EVENT_NAMES.contains(&ev.name),
             other => panic!("unexpected layer {other}"),
         };
         assert!(declared, "{} not declared for layer {}", ev.name, ev.layer);
@@ -154,6 +169,7 @@ fn degraded_pipeline_produces_every_declared_event_type() {
         let declared = match layer.as_str() {
             "aggregator" => AGGREGATOR_EVENT_NAMES.contains(&name.as_str()),
             "stability" => STABILITY_EVENT_NAMES.contains(&name.as_str()),
+            "storage" => STORAGE_EVENT_NAMES.contains(&name.as_str()),
             other => panic!("unexpected journal layer {other}"),
         };
         assert!(declared, "{name} not declared for journal layer {layer}");

@@ -4,7 +4,8 @@
 //! naming convention).
 
 use role_classification::aggregator::{
-    AGGREGATOR_EVENT_NAMES, AGGREGATOR_METRIC_NAMES, TRANSPORT_EVENT_NAMES, TRANSPORT_METRIC_NAMES,
+    AGGREGATOR_EVENT_NAMES, AGGREGATOR_METRIC_NAMES, STORAGE_EVENT_NAMES, STORAGE_METRIC_NAMES,
+    TRANSPORT_EVENT_NAMES, TRANSPORT_METRIC_NAMES,
 };
 use role_classification::flow::FLOW_METRIC_NAMES;
 use role_classification::netgraph::KERNEL_METRIC_NAMES;
@@ -13,7 +14,7 @@ use role_classification::roleclass::{
 };
 use std::collections::BTreeSet;
 
-fn layers() -> [(&'static str, &'static [&'static str]); 6] {
+fn layers() -> [(&'static str, &'static [&'static str]); 7] {
     [
         ("roleclass_flow_", FLOW_METRIC_NAMES),
         ("roleclass_kernel_", KERNEL_METRIC_NAMES),
@@ -21,15 +22,17 @@ fn layers() -> [(&'static str, &'static [&'static str]); 6] {
         ("roleclass_aggregator_", AGGREGATOR_METRIC_NAMES),
         ("roleclass_stability_", STABILITY_METRIC_NAMES),
         ("roleclass_transport_", TRANSPORT_METRIC_NAMES),
+        ("roleclass_storage_", STORAGE_METRIC_NAMES),
     ]
 }
 
-fn event_layers() -> [(&'static str, &'static [&'static str]); 4] {
+fn event_layers() -> [(&'static str, &'static [&'static str]); 5] {
     [
         ("roleclass_engine_", ENGINE_EVENT_NAMES),
         ("roleclass_aggregator_", AGGREGATOR_EVENT_NAMES),
         ("roleclass_stability_", STABILITY_EVENT_NAMES),
         ("roleclass_transport_", TRANSPORT_EVENT_NAMES),
+        ("roleclass_storage_", STORAGE_EVENT_NAMES),
     ]
 }
 
