@@ -243,6 +243,37 @@ pub struct Aggregator {
     /// (keyed by its start timestamp) and the store's retention policy
     /// runs after each append, so disk stays bounded.
     run_store: Option<Arc<RunStore>>,
+    /// Previous-cycle cumulative work/time totals behind the
+    /// `roleclass_profile_*` unit-cost series. Only advances on attached
+    /// cycles; detached cycles never read it.
+    profile_base: ProfileBaseline,
+}
+
+/// Cumulative registry totals as of the last attached cycle. The
+/// per-cycle work-normalized unit costs (`ns_per_candidate`,
+/// `ns_per_eval`, `ns_per_pop`, `ns_per_pair`) are deltas of stage
+/// seconds divided by deltas of the matching work counters; keeping the
+/// previous totals here makes each cycle one subtraction instead of a
+/// history scan.
+#[derive(Clone, Copy, Debug, Default)]
+struct ProfileBaseline {
+    correlate_secs: f64,
+    candidates: u64,
+    evals: u64,
+    merge_secs: f64,
+    heap_pops: u64,
+    kernel_secs: f64,
+}
+
+/// `delta_secs / delta_work` in nanoseconds per unit; zero when the
+/// cycle did no work of this kind (no correlation on the first window,
+/// say) so the series stays dense and plottable.
+fn unit_ns(delta_secs: f64, delta_work: u64) -> f64 {
+    if delta_work == 0 || delta_secs <= 0.0 {
+        0.0
+    } else {
+        delta_secs * 1e9 / delta_work as f64
+    }
 }
 
 impl Aggregator {
@@ -278,6 +309,7 @@ impl Aggregator {
             timeseries: Arc::new(TimeseriesRing::default()),
             churn_alerted: BTreeSet::new(),
             run_store: None,
+            profile_base: ProfileBaseline::default(),
         })
     }
 
@@ -463,6 +495,10 @@ impl Aggregator {
         let recorder = self.recorder.clone();
         let rec = recorder.as_deref();
         let _cycle_span = telemetry::span(rec, "aggregator.run_cycle");
+        // Allocation tallies at cycle start, for the per-cycle
+        // `roleclass_profile_cycle_alloc_*` delta. Attached cycles only:
+        // the detached path performs no profiling reads at all.
+        let cycle_alloc0 = rec.map(|_| telemetry::alloc_counters());
         let window = TimeWindow::new(
             self.next_window_start,
             self.next_window_start + self.config.window_ms,
@@ -653,27 +689,104 @@ impl Aggregator {
         }
         // The ring is always fed — it is bounded, cheap, and what the
         // live `/stability?follow` stream replays.
-        self.timeseries.record(
-            stab.window,
-            vec![
-                ("roleclass_stability_backbone_mean", stab.backbone_mean),
-                ("roleclass_stability_backbone_min", stab.backbone_min),
+        let mut frame_values = vec![
+            ("roleclass_stability_backbone_mean", stab.backbone_mean),
+            ("roleclass_stability_backbone_min", stab.backbone_min),
+            (
+                "roleclass_stability_churned_hosts",
+                stab.churned_hosts as f64,
+            ),
+            ("roleclass_stability_groups_new", stab.new_groups as f64),
+            (
+                "roleclass_stability_groups_retired",
+                stab.retired_groups as f64,
+            ),
+            (
+                "roleclass_stability_groups_tracked",
+                stab.groups.len() as f64,
+            ),
+            ("roleclass_stability_hosts", stab.hosts as f64),
+        ];
+        // Work-normalized unit costs: this cycle's stage seconds (from
+        // the `_seconds` histograms the stages observe) divided by this
+        // cycle's work counters. They exist only on attached cycles —
+        // detached runs take no timings to normalize — so the parity
+        // tests compare frames modulo the `roleclass_profile_` prefix.
+        if let (Some(r), Some(alloc0)) = (rec, cycle_alloc0) {
+            let reg = r.registry();
+            let correlate_secs = reg
+                .histogram(
+                    "roleclass_engine_correlate_seconds",
+                    telemetry::DURATION_BUCKETS,
+                )
+                .sum();
+            let candidates = reg
+                .counter("roleclass_engine_correlate_candidates_total")
+                .get();
+            let evals = reg
+                .counter("roleclass_engine_correlate_similarity_evals_total")
+                .get();
+            let merge_secs = reg
+                .histogram(
+                    "roleclass_engine_merge_seconds",
+                    telemetry::DURATION_BUCKETS,
+                )
+                .sum();
+            let heap_pops = reg.counter("roleclass_engine_merge_heap_pops_total").get();
+            let kernel_secs = reg
+                .histogram(
+                    "roleclass_kernel_build_seconds",
+                    telemetry::DURATION_BUCKETS,
+                )
+                .sum();
+            let base = self.profile_base;
+            let (bytes_now, allocs_now) = telemetry::alloc_counters();
+            let profile = [
                 (
-                    "roleclass_stability_churned_hosts",
-                    stab.churned_hosts as f64,
-                ),
-                ("roleclass_stability_groups_new", stab.new_groups as f64),
-                (
-                    "roleclass_stability_groups_retired",
-                    stab.retired_groups as f64,
+                    "roleclass_profile_correlate_ns_per_candidate",
+                    unit_ns(
+                        correlate_secs - base.correlate_secs,
+                        candidates - base.candidates,
+                    ),
                 ),
                 (
-                    "roleclass_stability_groups_tracked",
-                    stab.groups.len() as f64,
+                    "roleclass_profile_correlate_ns_per_eval",
+                    unit_ns(correlate_secs - base.correlate_secs, evals - base.evals),
                 ),
-                ("roleclass_stability_hosts", stab.hosts as f64),
-            ],
-        );
+                (
+                    "roleclass_profile_cycle_alloc_bytes",
+                    bytes_now.wrapping_sub(alloc0.0) as f64,
+                ),
+                (
+                    "roleclass_profile_cycle_allocs",
+                    allocs_now.wrapping_sub(alloc0.1) as f64,
+                ),
+                (
+                    "roleclass_profile_kernel_ns_per_pair",
+                    unit_ns(
+                        kernel_secs - base.kernel_secs,
+                        reg.gauge("roleclass_kernel_base_pairs").get().max(0) as u64,
+                    ),
+                ),
+                (
+                    "roleclass_profile_merge_ns_per_pop",
+                    unit_ns(merge_secs - base.merge_secs, heap_pops - base.heap_pops),
+                ),
+            ];
+            for (name, v) in profile {
+                reg.gauge(name).set(v as i64);
+                frame_values.push((name, v));
+            }
+            self.profile_base = ProfileBaseline {
+                correlate_secs,
+                candidates,
+                evals,
+                merge_secs,
+                heap_pops,
+                kernel_secs,
+            };
+        }
+        self.timeseries.record(stab.window, frame_values);
         self.stability_history.push(stab);
         for alert in churn_alerts {
             if observing {

@@ -25,8 +25,13 @@ use roleclass::{Engine, EngineConfig, Params, PruneMode};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
-use synthnet::{trace, ConnRule, Fanout, NetworkModel, RoleSpec};
+use synthnet::{scenarios, trace};
 use telemetry::Recorder;
+
+// Bench binaries install the counting allocator so span trees carry
+// allocation tallies; library code never does.
+#[global_allocator]
+static ALLOC: telemetry::CountingAlloc = telemetry::CountingAlloc::new();
 
 const WINDOW_MS: u64 = 86_400_000; // one day, like the paper's traces
 
@@ -36,31 +41,19 @@ const WINDOW_MS: u64 = 86_400_000; // one day, like the paper's traces
 /// refactor) with the same scenario shapes and seeds. Kept here so the
 /// improvement ships in the same PR as the refactor it measures.
 ///
-/// The 100k-host end-to-end window is recorded as 0.0 (unmeasured): the
-/// pre-refactor run did not finish one window within an hour, the cost
-/// being in the unpruned common-neighbor count over every host pair.
-const PRE_REFACTOR_BASELINE: [(usize, f64, f64); 3] = [
-    (1_000, 0.0051, 0.0506),
-    (10_000, 0.0798, 8.3346),
-    (100_000, 0.0, 0.0),
-];
+/// Only the populations the pre-refactor build could finish are listed:
+/// its 100k-host window did not complete within an hour (the cost being
+/// the unpruned common-neighbor count over every host pair), so there
+/// is no baseline row — current 100k rows print `-` in the comparison
+/// column rather than a fake speedup against 0.0.
+const PRE_REFACTOR_BASELINE: [(usize, f64, f64); 2] =
+    [(1_000, 0.0051, 0.0506), (10_000, 0.0798, 8.3346)];
 
-/// A department-structured network with ~n hosts: 46-host departments
-/// (43 workstations + 3 servers) around a shared server core that scales
-/// with the population, so no single host degenerates into a mega-hub.
+/// A department-structured network with ~n hosts (see
+/// [`scenarios::department`]), seeded as every revision of this bench
+/// has been.
 fn department_network(n: usize) -> flow::ConnectionSets {
-    let mut m = NetworkModel::new();
-    let core_count = (n / 500).max(4);
-    let core = m.role(RoleSpec::servers("core", core_count));
-    let dept_size = 46;
-    let depts = (n.saturating_sub(core_count) / dept_size).max(1);
-    for d in 0..depts {
-        let ws = m.role(RoleSpec::clients(&format!("d{d}_ws"), 43));
-        let srv = m.role(RoleSpec::servers(&format!("d{d}_srv"), 3));
-        m.rule(ConnRule::new(ws, srv, Fanout::All));
-        m.rule(ConnRule::new(ws, core, Fanout::Exactly(2)));
-    }
-    m.generate(7).connsets
+    scenarios::department(n, 7).connsets
 }
 
 /// One day-long trace window for `cs`, seeded per window index.
@@ -81,6 +74,9 @@ struct Measurement {
     /// Per-stage seconds inside the timed window (span name -> secs),
     /// from the telemetry recorder of the fastest rep.
     stages: BTreeMap<String, f64>,
+    /// Work counters for the timed window (name -> value), from the
+    /// same rep: what each stage's time divides by to get a unit cost.
+    counters: BTreeMap<&'static str, u64>,
 }
 
 /// Flattens the last `engine.run_window` span tree into name -> secs.
@@ -92,6 +88,33 @@ fn window_stages(rec: &Recorder) -> BTreeMap<String, f64> {
         });
     }
     out
+}
+
+/// Cumulative work counters on `rec`, keyed by the short names the
+/// bench JSON uses. `scripts/bench_check.sh` joins these against the
+/// matching stage times to compare ns-per-unit costs across runs.
+fn work_counters(rec: &Recorder) -> BTreeMap<&'static str, u64> {
+    let reg = rec.registry();
+    BTreeMap::from([
+        (
+            "correlate_candidates",
+            reg.counter("roleclass_engine_correlate_candidates_total")
+                .get(),
+        ),
+        (
+            "correlate_similarity_evals",
+            reg.counter("roleclass_engine_correlate_similarity_evals_total")
+                .get(),
+        ),
+        (
+            "merge_heap_pops",
+            reg.counter("roleclass_engine_merge_heap_pops_total").get(),
+        ),
+        (
+            "kernel_base_pairs",
+            reg.gauge("roleclass_kernel_base_pairs").get().max(0) as u64,
+        ),
+    ])
 }
 
 fn measure(n: usize, reps: usize, cfg: &EngineConfig) -> Measurement {
@@ -133,18 +156,30 @@ fn measure(n: usize, reps: usize, cfg: &EngineConfig) -> Measurement {
     let prev_cs = prev_b.build();
     let mut window_secs = f64::INFINITY;
     let mut stages = BTreeMap::new();
+    let mut counters = BTreeMap::new();
     for _ in 0..reps.max(1) {
         let rec = Arc::new(Recorder::new());
         let mut engine = Engine::from_config(cfg.clone())
             .expect("bench config is valid")
             .with_recorder(Arc::clone(&rec));
         engine.run_window(&prev_cs);
+        // The warm-up window bumped the work counters too; subtract its
+        // share so the emitted counters cover exactly the timed window.
+        let warm_counters = work_counters(&rec);
         let t0 = Instant::now();
         engine.run_window(&cs);
         let secs = t0.elapsed().as_secs_f64();
         if secs < window_secs {
             window_secs = secs;
             stages = window_stages(&rec);
+            counters = work_counters(&rec);
+            for (name, v) in &mut counters {
+                // `kernel_base_pairs` is a gauge (latest build), not a
+                // cumulative counter: no warm-up share to remove.
+                if *name != "kernel_base_pairs" {
+                    *v -= warm_counters[name];
+                }
+            }
         }
         eprintln!("[{n}] window in {secs:.1}s");
     }
@@ -155,6 +190,7 @@ fn measure(n: usize, reps: usize, cfg: &EngineConfig) -> Measurement {
         build_secs,
         window_secs,
         stages,
+        counters,
     }
 }
 
@@ -193,10 +229,14 @@ fn main() {
         .iter()
         .map(|m| {
             // Populations land slightly under their nominal size (46-host
-            // departments), so match the nearest baseline row.
+            // departments), so match the nearest baseline row — but only
+            // within half the nominal population, so sizes the baseline
+            // never measured (100k) print `-` instead of a cross-scale
+            // fiction.
             let baseline = PRE_REFACTOR_BASELINE
                 .iter()
-                .min_by_key(|(h, _, _)| h.abs_diff(m.hosts));
+                .min_by_key(|(h, _, _)| h.abs_diff(m.hosts))
+                .filter(|(h, _, _)| h.abs_diff(m.hosts) <= h / 2);
             let speedup = match baseline {
                 Some(&(_, _, w)) if w > 0.0 && m.window_secs > 0.0 => {
                     format!("{:.2}x", w / m.window_secs)
@@ -235,9 +275,16 @@ fn main() {
                 .map(|(name, secs)| format!("\"{name}\":{secs:.9}"))
                 .collect::<Vec<_>>()
                 .join(",");
+            let counters = m
+                .counters
+                .iter()
+                .map(|(name, v)| format!("\"{name}\":{v}"))
+                .collect::<Vec<_>>()
+                .join(",");
             format!(
                 "{{\"hosts\":{},\"build_secs\":{:.6},\"window_secs\":{:.6},\
-\"workers\":{workers},\"prune\":\"{prune}\",\"stages\":{{{stages}}}}}",
+\"workers\":{workers},\"prune\":\"{prune}\",\"stages\":{{{stages}}},\
+\"counters\":{{{counters}}}}}",
                 m.hosts, m.build_secs, m.window_secs
             )
         })

@@ -444,6 +444,12 @@ pub(crate) fn merge_groups_with(
     let mut mat: Vec<f64> = Vec::new();
     let mut ts: Vec<f64> = Vec::new();
     let _agglomerate_span = telemetry::span(rec, "merge.agglomerate");
+    // Heap pops — live, stale, and dead alike — are the work measure of
+    // the agglomeration loop: the profile layer divides merge wall time
+    // by this to get a ns/pop unit cost that stays comparable across
+    // window sizes. Tallied locally (one register add, no branch on the
+    // recorder) and folded into the registry once at the end.
+    let mut heap_pops: u64 = 0;
     // Lazy invalidation piles dead and superseded entries up in the
     // heap (every rescore pushes, nothing removes). When the heap
     // outgrows twice its size after the last sweep, compact: one linear
@@ -473,6 +479,7 @@ pub(crate) fn merge_groups_with(
         // replaces a node id and thus invalidates by liveness.
         let mut best: Option<((NodeId, NodeId), f64)> = None;
         while let Some((osim, Reverse((a, b)))) = heap.pop() {
+            heap_pops += 1;
             if !g.contains_node(a) || !g.contains_node(b) {
                 continue;
             }
@@ -704,6 +711,11 @@ pub(crate) fn merge_groups_with(
     }
 
     drop(_agglomerate_span);
+    if let Some(r) = rec {
+        r.registry()
+            .counter("roleclass_engine_merge_heap_pops_total")
+            .add(heap_pops);
+    }
 
     // Assemble the final grouping: ids by descending size then members.
     let mut final_nodes: Vec<NodeId> = g.nodes().collect();

@@ -317,6 +317,30 @@ pub fn datacenter(seed: u64) -> SyntheticNetwork {
     m.generate(seed)
 }
 
+/// A department-structured enterprise with ~`n` hosts: 46-host
+/// departments (43 workstations + 3 departmental servers) around a
+/// shared server core that scales with the population (one core server
+/// per 500 hosts), so no single host degenerates into a mega-hub.
+///
+/// This is the scale-sweep workload of `dataplane_bench` and the
+/// default scenario of `rcctl profile`: structurally uniform at any
+/// population, so per-stage costs stay comparable from 1k to 100k
+/// hosts.
+pub fn department(n: usize, seed: u64) -> SyntheticNetwork {
+    let mut m = NetworkModel::new();
+    let core_count = (n / 500).max(4);
+    let core = m.role(RoleSpec::servers("core", core_count));
+    let dept_size = 46;
+    let depts = (n.saturating_sub(core_count) / dept_size).max(1);
+    for d in 0..depts {
+        let ws = m.role(RoleSpec::clients(&format!("d{d}_ws"), 43));
+        let srv = m.role(RoleSpec::servers(&format!("d{d}_srv"), 3));
+        m.rule(ConnRule::new(ws, srv, Fanout::All));
+        m.rule(ConnRule::new(ws, core, Fanout::Exactly(2)));
+    }
+    m.generate(seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +442,19 @@ mod tests {
         let mon = net.role_hosts("monitor")[0];
         let deg = net.connsets.degree(mon).unwrap();
         assert!(deg >= 418, "monitor degree {deg} too small");
+    }
+
+    #[test]
+    fn department_structure() {
+        let net = department(1_000, 7);
+        // 2 core servers rounds up to the 4-minimum; 21 departments.
+        assert_eq!(net.host_count(), 4 + 21 * 46);
+        // Workstations reach all three of their department's servers.
+        for &w in &net.role_hosts("d0_ws")[..3] {
+            for &s in net.role_hosts("d0_srv") {
+                assert!(net.connsets.connected(w, s));
+            }
+        }
     }
 
     #[test]

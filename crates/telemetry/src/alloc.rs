@@ -1,0 +1,135 @@
+//! Allocation accounting: a counting `#[global_allocator]` wrapper plus
+//! the thread-local tallies spans snapshot for per-stage attribution.
+//!
+//! The wrapper is **opt-in per binary**: `rcctl` and the bench binaries
+//! install it, library code never does. When it is not installed the
+//! tallies stay at zero and every `alloc_bytes`/`allocs` column in the
+//! profile output renders as 0 — the span machinery itself does not
+//! care either way, it just records counter deltas.
+//!
+//! Attribution is per-thread by construction: the counters live in
+//! thread-local cells, and spans (which are documented as belonging to
+//! the single-threaded orchestration path) snapshot the cells of the
+//! thread that opened them. Allocations made by worker threads inside
+//! parallel sections are counted on *those* threads' cells and are
+//! therefore invisible to the orchestration-path spans — parallel
+//! stages under-report. That is deliberate: cross-thread attribution
+//! would need synchronization inside the allocator, which is exactly
+//! the kind of perturbation a profiler must not introduce.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+// Const-initialized `Cell<u64>`s: no lazy initialization and no
+// destructor, so reading or bumping them from inside `GlobalAlloc`
+// cannot recurse into the allocator or touch TLS teardown machinery.
+thread_local! {
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Cumulative `(bytes, allocations)` allocated by the current thread
+/// since it started, as counted by [`CountingAlloc`]. Monotonically
+/// non-decreasing; `(0, 0)` forever when no counting allocator is
+/// installed in the binary. Spans snapshot this at open and close and
+/// store the difference.
+pub fn alloc_counters() -> (u64, u64) {
+    let bytes = ALLOC_BYTES.try_with(Cell::get).unwrap_or(0);
+    let count = ALLOC_COUNT.try_with(Cell::get).unwrap_or(0);
+    (bytes, count)
+}
+
+fn note(bytes: usize) {
+    // `try_with`: TLS may be unavailable during thread teardown.
+    // Dropping a sample there is fine; panicking in the allocator is
+    // not.
+    let _ = ALLOC_BYTES.try_with(|b| b.set(b.get().wrapping_add(bytes as u64)));
+    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// A [`System`]-delegating allocator that counts successful allocations
+/// into the thread-local tallies read by [`alloc_counters`].
+///
+/// Install it in a **binary** (never a library):
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: telemetry::CountingAlloc = telemetry::CountingAlloc::new();
+/// ```
+///
+/// Counting rules: `alloc`/`alloc_zeroed` add the full requested size
+/// and one allocation; a growing `realloc` adds the growth and one
+/// allocation (the data move is what costs); shrinking `realloc` and
+/// `dealloc` add nothing — the tallies measure allocation pressure,
+/// not live bytes.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// The allocator value for the `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: pure delegation to `System`; the bookkeeping around it only
+// touches const-initialized thread-local `Cell<u64>`s, which cannot
+// allocate, deallocate, or unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            note(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && new_size > layout.size() {
+            note(new_size - layout.size());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the allocator, so the tallies
+    // stay at zero — which is itself the contract for library builds.
+    #[test]
+    fn counters_are_zero_without_installation() {
+        let (bytes, allocs) = alloc_counters();
+        let _v: Vec<u64> = (0..64).collect();
+        assert_eq!(alloc_counters(), (bytes, allocs));
+    }
+
+    #[test]
+    fn note_accumulates() {
+        let before = alloc_counters();
+        note(128);
+        note(64);
+        let after = alloc_counters();
+        assert_eq!(after.0 - before.0, 192);
+        assert_eq!(after.1 - before.1, 2);
+    }
+}

@@ -46,12 +46,18 @@
 //! assert!(rec.registry().prometheus_text().contains("roleclass_kernel_builds_total 1"));
 //! ```
 
+mod alloc;
 mod events;
+mod profile;
 mod registry;
 mod span;
 mod timeseries;
 
+pub use alloc::{alloc_counters, CountingAlloc};
 pub use events::{Event, EventJournal, FieldValue, DEFAULT_EVENT_CAPACITY};
+pub use profile::{
+    collapsed_stacks, parse_collapsed_line, ProfileEntry, ProfileTable, PROFILE_METRIC_NAMES,
+};
 pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use span::{render_span_tree, span_tree_json, Span, SpanNode};
 pub use timeseries::{MetricFrame, TimeseriesRing, DEFAULT_TIMESERIES_CAPACITY};
@@ -145,6 +151,20 @@ impl Recorder {
     /// per-span durations — the `rcctl --trace` output.
     pub fn render_spans(&self) -> String {
         render_span_tree(&self.spans())
+    }
+
+    /// Folds the completed span trees into an aggregated
+    /// [`ProfileTable`] (call counts, total/self wall time, min/max,
+    /// allocation columns).
+    pub fn profile(&self) -> ProfileTable {
+        ProfileTable::from_spans(&self.spans())
+    }
+
+    /// Renders the completed span trees as collapsed-stack lines rooted
+    /// at `roleclass`, ready for flamegraph tooling. See
+    /// [`collapsed_stacks`].
+    pub fn collapsed_spans(&self) -> String {
+        collapsed_stacks(&self.spans(), "roleclass")
     }
 
     pub(crate) fn span_log(&self) -> &Mutex<span::SpanLog> {

@@ -4,14 +4,21 @@ use crate::Recorder;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// One completed span: a name, a monotonic duration, and the spans that
-/// completed inside it.
+/// One completed span: a name, a monotonic duration, allocation
+/// tallies, and the spans that completed inside it.
 #[derive(Clone, Debug)]
 pub struct SpanNode {
     /// The span's name (dot-separated taxonomy, e.g. `engine.form`).
     pub name: String,
     /// Wall-clock time between open and close.
     pub duration: Duration,
+    /// Bytes allocated on the opening thread while the span was open
+    /// (inclusive of children). Zero unless the binary installs
+    /// [`crate::CountingAlloc`].
+    pub alloc_bytes: u64,
+    /// Allocations on the opening thread while the span was open
+    /// (inclusive of children). Zero without a counting allocator.
+    pub allocs: u64,
     /// Child spans, in completion order.
     pub children: Vec<SpanNode>,
 }
@@ -20,6 +27,30 @@ impl SpanNode {
     /// Duration in seconds.
     pub fn secs(&self) -> f64 {
         self.duration.as_secs_f64()
+    }
+
+    /// Exclusive (self) time: the duration minus the time covered by
+    /// direct children, clamped at zero against clock skew.
+    pub fn self_duration(&self) -> Duration {
+        let children: Duration = self.children.iter().map(|c| c.duration).sum();
+        self.duration.saturating_sub(children)
+    }
+
+    /// Exclusive time in seconds.
+    pub fn self_secs(&self) -> f64 {
+        self.self_duration().as_secs_f64()
+    }
+
+    /// Bytes allocated in this span but not in any child.
+    pub fn self_alloc_bytes(&self) -> u64 {
+        let children: u64 = self.children.iter().map(|c| c.alloc_bytes).sum();
+        self.alloc_bytes.saturating_sub(children)
+    }
+
+    /// Allocations made in this span but not in any child.
+    pub fn self_allocs(&self) -> u64 {
+        let children: u64 = self.children.iter().map(|c| c.allocs).sum();
+        self.allocs.saturating_sub(children)
     }
 
     /// Depth-first walk over this node and all descendants.
@@ -36,6 +67,10 @@ impl SpanNode {
 struct Frame {
     name: String,
     start: Instant,
+    /// Thread-local allocation tallies at open; the close computes the
+    /// inclusive delta. Plain zeros when no counting allocator is
+    /// installed, so the subtraction stays a harmless no-op.
+    start_alloc: (u64, u64),
     children: Vec<SpanNode>,
 }
 
@@ -66,6 +101,7 @@ pub(crate) fn open<'r>(rec: &'r Recorder, log: &Mutex<SpanLog>, name: String) ->
     log.stack.push(Frame {
         name,
         start: Instant::now(),
+        start_alloc: crate::alloc::alloc_counters(),
         children: Vec::new(),
     });
     Span { rec: Some(rec) }
@@ -76,9 +112,12 @@ impl Drop for Span<'_> {
         let Some(rec) = self.rec else { return };
         let mut log = rec.span_log().lock().unwrap_or_else(|e| e.into_inner());
         let Some(frame) = log.stack.pop() else { return };
+        let (bytes_now, allocs_now) = crate::alloc::alloc_counters();
         let node = SpanNode {
             duration: frame.start.elapsed(),
             name: frame.name,
+            alloc_bytes: bytes_now.wrapping_sub(frame.start_alloc.0),
+            allocs: allocs_now.wrapping_sub(frame.start_alloc.1),
             children: frame.children,
         };
         match log.stack.last_mut() {
@@ -138,6 +177,10 @@ pub fn span_tree_json(roots: &[SpanNode]) -> String {
         crate::events::escape_json_into(out, &n.name);
         out.push_str("\",\"secs\":");
         out.push_str(&crate::registry::fmt_f64(n.secs()));
+        out.push_str(&format!(
+            ",\"alloc_bytes\":{},\"allocs\":{}",
+            n.alloc_bytes, n.allocs
+        ));
         out.push_str(",\"children\":");
         list(out, &n.children);
         out.push('}');
@@ -158,27 +201,23 @@ pub fn span_tree_json(roots: &[SpanNode]) -> String {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+
+    /// Test-only constructor: a node with zero alloc tallies.
+    pub(crate) fn node(name: &str, ms: u64, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            duration: Duration::from_millis(ms),
+            alloc_bytes: 0,
+            allocs: 0,
+            children,
+        }
+    }
 
     #[test]
     fn visit_walks_depth_first() {
-        let tree = SpanNode {
-            name: "a".into(),
-            duration: Duration::from_millis(3),
-            children: vec![
-                SpanNode {
-                    name: "b".into(),
-                    duration: Duration::from_millis(1),
-                    children: vec![],
-                },
-                SpanNode {
-                    name: "c".into(),
-                    duration: Duration::from_millis(1),
-                    children: vec![],
-                },
-            ],
-        };
+        let tree = node("a", 3, vec![node("b", 1, vec![]), node("c", 1, vec![])]);
         let mut names = Vec::new();
         tree.visit(&mut |n| names.push(n.name.clone()));
         assert_eq!(names, ["a", "b", "c"]);
@@ -186,18 +225,34 @@ mod tests {
     }
 
     #[test]
+    fn self_time_excludes_children() {
+        let tree = node("a", 10, vec![node("b", 3, vec![]), node("c", 4, vec![])]);
+        assert_eq!(tree.self_duration(), Duration::from_millis(3));
+        // Clock skew (children summing past the parent) clamps to zero.
+        let skewed = node("a", 2, vec![node("b", 3, vec![])]);
+        assert_eq!(skewed.self_duration(), Duration::ZERO);
+    }
+
+    #[test]
+    fn self_allocs_exclude_children() {
+        let mut tree = node("a", 10, vec![node("b", 3, vec![])]);
+        tree.alloc_bytes = 100;
+        tree.allocs = 7;
+        tree.children[0].alloc_bytes = 60;
+        tree.children[0].allocs = 5;
+        assert_eq!(tree.self_alloc_bytes(), 40);
+        assert_eq!(tree.self_allocs(), 2);
+    }
+
+    #[test]
     fn json_preserves_nesting_and_escapes() {
-        let roots = vec![SpanNode {
-            name: "outer \"q\"".into(),
-            duration: Duration::from_millis(2),
-            children: vec![SpanNode {
-                name: "inner".into(),
-                duration: Duration::from_millis(1),
-                children: vec![],
-            }],
-        }];
+        let mut outer = node("outer \"q\"", 2, vec![node("inner", 1, vec![])]);
+        outer.alloc_bytes = 9;
+        outer.allocs = 2;
+        let roots = vec![outer];
         let json = span_tree_json(&roots);
         assert!(json.starts_with("[{\"name\":\"outer \\\"q\\\"\",\"secs\":0.002"));
+        assert!(json.contains("\"alloc_bytes\":9,\"allocs\":2"));
         assert!(json.contains("\"children\":[{\"name\":\"inner\""));
         assert!(json.ends_with("]"));
         assert_eq!(span_tree_json(&[]), "[]");
@@ -205,15 +260,11 @@ mod tests {
 
     #[test]
     fn render_aligns_columns() {
-        let roots = vec![SpanNode {
-            name: "root".into(),
-            duration: Duration::from_micros(1500),
-            children: vec![SpanNode {
-                name: "leaf_with_longer_name".into(),
-                duration: Duration::from_micros(500),
-                children: vec![],
-            }],
-        }];
+        let roots = vec![node(
+            "root",
+            1,
+            vec![node("leaf_with_longer_name", 1, vec![])],
+        )];
         let text = render_span_tree(&roots);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);

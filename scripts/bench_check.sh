@@ -56,6 +56,37 @@ def compare(label, name, committed, fresh):
         )
 
 
+# Per-unit costs: which stage time divides by which work counter. These
+# normalize away scenario-size drift, so they compare meaningfully even
+# where raw stage times are too small for the min_secs floor — the work
+# floor below keeps tiny denominators from amplifying noise instead.
+UNIT_COSTS = [
+    ("ns_per_candidate", "engine.correlate", "correlate_candidates"),
+    ("ns_per_eval", "engine.correlate", "correlate_similarity_evals"),
+    ("ns_per_pop", "merge.agglomerate", "merge_heap_pops"),
+    ("ns_per_pair", "kernel.count", "kernel_base_pairs"),
+]
+MIN_UNITS = 1000
+
+
+def compare_unit_costs(label, committed, fresh):
+    """Diffs ns-per-unit stage costs where both rows carry the counters."""
+    for name, stage, counter in UNIT_COSTS:
+        base_units = committed.get("counters", {}).get(counter, 0)
+        fresh_units = fresh.get("counters", {}).get(counter, 0)
+        base_secs = committed.get("stages", {}).get(stage, 0.0)
+        fresh_secs = fresh.get("stages", {}).get(stage, 0.0)
+        if min(base_units, fresh_units) < MIN_UNITS or base_secs <= 0.0 or fresh_secs <= 0.0:
+            continue
+        base_ns = base_secs * 1e9 / base_units
+        fresh_ns = fresh_secs * 1e9 / fresh_units
+        delta_pct = (fresh_ns / base_ns - 1.0) * 100.0
+        if delta_pct > threshold:
+            flagged.append(
+                f"{label} {name}: {base_ns:.0f}ns -> {fresh_ns:.0f}ns (+{delta_pct:.0f}%)"
+            )
+
+
 # Dataplane: match fresh rows to committed rows by nearest host count
 # (populations land slightly under their nominal size).
 dp_fresh = json.load(open(dp_fresh_path))
@@ -72,6 +103,7 @@ for row in dp_fresh["current"]:
     for stage, secs in row.get("stages", {}).items():
         if stage in base.get("stages", {}):
             compare(label, stage, base["stages"][stage], secs)
+    compare_unit_costs(label, base, row)
 
 # Pipeline: stage totals are comparable only when the scenario shape
 # (hosts and window count) matches the committed run.
@@ -89,6 +121,12 @@ if (pipe_fresh["hosts"], pipe_fresh["windows"]) == (
     if stab is not None and stab["overhead_pct"] > 3.0:
         flagged.append(
             f"pipeline stability overhead {stab['overhead_pct']:.2f}% exceeds the 3% budget"
+        )
+    prof = pipe_fresh.get("profile")
+    if prof is not None and prof["overhead_pct"] > prof.get("budget_pct", 5.0):
+        flagged.append(
+            f"pipeline profiler overhead {prof['overhead_pct']:.2f}% exceeds "
+            f"the {prof.get('budget_pct', 5.0):.0f}% budget"
         )
 else:
     print(

@@ -47,6 +47,16 @@ echo "==> telemetry suite + name lint + provenance coverage"
 cargo test -q -p telemetry
 cargo test -q --test telemetry_parity --test metric_names --test event_journal
 
+# Profiling must also stay a pure observer: the collapsed-stack
+# exporter round-trips hostile span names (`;`, spaces, unicode) under
+# proptest, profiler-attached outcomes are pinned bit-identical to
+# detached runs across worker counts (inside telemetry_parity above),
+# and the rcctl profile / serve /profile surfaces ride the facade's
+# unit tests.
+echo "==> profile suite (collapsed-stack round-trip + CLI/HTTP surfaces)"
+cargo test -q --test profile_collapsed
+cargo test -q -p role-classification --lib -- cli::tests serve::tests
+
 # The storage layer must honor its durability contract on every
 # backend: the shared conformance suite pins memory/appendlog/segment
 # to one behavioral spec, the crash suite tears the tail off live files

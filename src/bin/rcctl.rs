@@ -4,6 +4,12 @@
 
 use std::process::ExitCode;
 
+// The binary (never library code) installs the counting allocator so
+// `rcctl profile` span trees carry per-stage allocation tallies.
+#[global_allocator]
+static ALLOC: role_classification::telemetry::CountingAlloc =
+    role_classification::telemetry::CountingAlloc::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match role_classification::cli::run(&args) {

@@ -118,6 +118,9 @@ USAGE:
   rcctl stability --input <FILE> [--format <FMT>] [--window-ms N]
                   [--host <ADDR>] [--group <ID>] [--json]
                   [same tuning flags as classify]
+  rcctl profile   [--input <FILE> [--format <FMT>] [--window-ms N]]
+                  [--hosts N] [--windows N] [--collapsed <OUT.folded>]
+                  [--json] [same tuning flags as classify]
   rcctl serve     --input <FILE> [--format <FMT>] [--window-ms N]
                   [--addr <IP:PORT>] [--addr-file <FILE>]
                   [--max-requests N] [--state <DIR>] [--store <BACKEND>]
@@ -148,13 +151,26 @@ OBSERVABILITY:
                persistence/backbone (--group narrows to one id and adds
                its trajectory), and per-host group-id flips (--host
                narrows to one host); --json for machine-readable rows
+  profile      run a workload with the profiler attached and print the
+               aggregated span profile: per-stage call counts, total and
+               self (exclusive) wall time, min/max, and — in binaries
+               built with the counting allocator, like rcctl — bytes and
+               allocations attributed to each stage. The workload is
+               --input replayed window by window, or, without --input, a
+               synthetic department-structured network of --hosts hosts
+               (default 5000) over --windows windows (default 3).
+               --collapsed FILE writes flamegraph-ready collapsed-stack
+               lines (stage;stage;... self-microseconds); --json prints
+               the table as JSON
   serve        replay the capture, then serve GET /metrics (Prometheus
                text), /events (journal as JSONL; ?tail=N), /stability
                (per-window stability rows; ?follow streams the metric
                ring as NDJSON), /history (retained window summaries;
                ?at=MS returns the full run current at that instant;
-               requires --state), and /healthz (last window's health)
-               until --max-requests is reached
+               requires --state), /profile (aggregated span profile as
+               JSON; ?collapsed for flamegraph-ready stack lines), and
+               /healthz (last window's health) until --max-requests is
+               reached
   --window-ms  window length for replay commands (default: whole trace)
 
 DURABLE STORAGE AND TIME TRAVEL:
@@ -225,6 +241,14 @@ struct Options {
     probe_name: Option<String>,
     origin_ms: Option<u64>,
     max_windows: Option<u64>,
+    /// `--hosts N`: population of the synthetic profiling workload
+    /// (profile only, when no `--input` capture is given).
+    hosts: Option<usize>,
+    /// `--windows N`: how many windows the profiling workload runs.
+    windows: Option<u64>,
+    /// `--collapsed <FILE>`: write the span forest as collapsed-stack
+    /// lines (flamegraph input) to this file.
+    collapsed: Option<String>,
     params: Params,
     /// Worker threads for the kernel and merge phases. `--workers` wins;
     /// absent that, the `ROLECLASS_THREADS` environment variable is
@@ -275,6 +299,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         probe_name: None,
         origin_ms: None,
         max_windows: None,
+        hosts: None,
+        windows: None,
+        collapsed: None,
         params: Params::default(),
         workers: None,
         no_prune: false,
@@ -369,6 +396,21 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| CliError::usage("--beta expects a number"))?
             }
+            "--hosts" => {
+                o.hosts = Some(
+                    value("--hosts")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--hosts expects an integer"))?,
+                )
+            }
+            "--windows" => {
+                o.windows = Some(
+                    value("--windows")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--windows expects an integer"))?,
+                )
+            }
+            "--collapsed" => o.collapsed = Some(value("--collapsed")?),
             "--workers" => {
                 o.workers = Some(
                     value("--workers")?
@@ -649,6 +691,37 @@ fn replay_pipeline(o: &Options) -> Result<Replay, CliError> {
     })
 }
 
+/// The windows `rcctl profile` runs: the `--input` capture split by
+/// `--window-ms`, or, without one, a synthetic department-structured
+/// network sized by `--hosts` traced over `--windows` day-long windows.
+fn profile_windows(o: &Options) -> Result<Vec<ConnectionSets>, CliError> {
+    if o.input.is_some() {
+        if o.hosts.is_some() {
+            return Err(CliError::usage(
+                "--hosts sizes the synthetic workload and conflicts with --input",
+            ));
+        }
+        return window_connsets(o);
+    }
+    const DAY_MS: u64 = 86_400_000;
+    let hosts = o.hosts.unwrap_or(5_000);
+    let windows = o.windows.unwrap_or(3).max(1);
+    let model = crate::synthnet::scenarios::department(hosts, 7).connsets;
+    Ok((0..windows)
+        .map(|w| {
+            let opts = crate::synthnet::trace::TraceOptions {
+                start_ms: w * DAY_MS,
+                span_ms: DAY_MS,
+                ..crate::synthnet::trace::TraceOptions::default()
+            };
+            let records = crate::synthnet::trace::expand(&model, opts, 7 + w);
+            let mut builder = ConnsetBuilder::new().min_flows(o.min_flows);
+            builder.add_records(records.iter());
+            builder.build()
+        })
+        .collect())
+}
+
 /// Splits a capture into per-window connection sets for `explain`.
 fn window_connsets(o: &Options) -> Result<Vec<ConnectionSets>, CliError> {
     let trace = load_trace(o, true)?;
@@ -900,6 +973,46 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             stability_report::render_churn(&mut out, &replay.churn, host);
             Ok(out)
         }
+        "profile" => {
+            let o = parse_options(rest)?;
+            let windows = profile_windows(&o)?;
+            let recorder = Arc::new(Recorder::new());
+            let mut engine = Engine::from_config(o.engine_config())
+                .map_err(|e| CliError::usage(e.to_string()))?;
+            engine.set_recorder(Some(Arc::clone(&recorder)));
+            let mut hosts = 0;
+            for cs in &windows {
+                hosts = hosts.max(cs.host_count());
+                engine.run_window(cs);
+            }
+            let profile = recorder.profile();
+            let mut wrote = None;
+            if let Some(path) = &o.collapsed {
+                let folded = recorder.collapsed_spans();
+                std::fs::write(path, &folded)
+                    .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+                wrote = Some((path.clone(), folded.lines().count()));
+            }
+            if o.json {
+                return Ok(format!(
+                    "{{\"windows\":{},\"hosts\":{hosts},\"profile\":{}}}\n",
+                    windows.len(),
+                    profile.to_json()
+                ));
+            }
+            let mut out = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "profiled {} window(s) over {hosts} host(s)\n",
+                windows.len()
+            );
+            out.push_str(&profile.render());
+            if let Some((path, lines)) = wrote {
+                let _ = writeln!(out, "\nwrote {lines} collapsed stack line(s) to {path}");
+            }
+            Ok(out)
+        }
         "serve" => {
             let o = parse_options(rest)?;
             let replay = replay_pipeline(&o)?;
@@ -923,7 +1036,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             // Announce before blocking in the accept loop; the final
             // return value only prints after the server stops.
-            println!("serving http://{bound} (/metrics /events /stability /history /healthz)");
+            println!(
+                "serving http://{bound} (/metrics /events /stability /history /profile /healthz)"
+            );
             let served = server
                 .run(o.max_requests)
                 .map_err(|e| CliError::runtime(e.to_string()))?;
@@ -1110,6 +1225,49 @@ mod tests {
         // s_lo above s_hi violates the paper's constraint.
         let err = run(&args(&["classify", "--s-lo", "90", "--s-hi", "80"])).unwrap_err();
         assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn profile_renders_table_collapsed_and_json() {
+        let dir = std::env::temp_dir().join(format!("rcctl-profile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let folded = dir.join("out.folded");
+        let out = run(&args(&[
+            "profile",
+            "--hosts",
+            "300",
+            "--windows",
+            "2",
+            "--collapsed",
+            folded.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("profiled 2 window(s)"), "{out}");
+        for col in ["stage", "self ms", "alloc bytes", "allocs"] {
+            assert!(out.contains(col), "missing column {col:?} in {out}");
+        }
+        for stage in ["engine.run_window", "engine.classify", "engine.correlate"] {
+            assert!(out.contains(stage), "missing stage {stage:?} in {out}");
+        }
+        let text = std::fs::read_to_string(&folded).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let (frames, _) = telemetry::parse_collapsed_line(line).expect(line);
+            assert_eq!(frames[0], "roleclass");
+        }
+
+        let json = run(&args(&["profile", "--hosts", "300", "--json"])).unwrap();
+        assert!(json.contains("\"windows\":3"), "{json}");
+        assert!(json.contains("\"name\":\"engine.run_window\""), "{json}");
+        assert!(json.contains("\"self_secs\""), "{json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profile_hosts_conflicts_with_input() {
+        let err = run(&args(&["profile", "--input", "x.txt", "--hosts", "10"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--hosts"), "{}", err.message);
     }
 
     #[test]

@@ -16,12 +16,17 @@
 //!   retained window (`?tail=N` keeps the newest `N`), or with `?at=MS`
 //!   the full run record current at that instant — the time-travel
 //!   query. Answers `503` unless the pipeline ran with `--state`.
+//! * `GET /profile` — the aggregated span profile of the replayed run
+//!   (per-stage call counts, total/self wall time, allocation tallies)
+//!   as JSON, or with `?collapsed` the same spans as collapsed-stack
+//!   lines (`text/plain`) ready for flamegraph tooling.
 //! * `GET /healthz` — the [`WindowHealth`] of the last completed cycle
 //!   as JSON, `503` until a cycle has completed.
 //!
-//! `/events` and `/stability` share one query-string parser: a
-//! malformed `tail`, an unknown parameter, or `follow` on an endpoint
-//! that cannot stream is an explicit `400`, never silently ignored.
+//! `/events`, `/stability`, and `/profile` share one query-string
+//! parser: a malformed `tail`, an unknown parameter, or `follow` on an
+//! endpoint that cannot stream is an explicit `400`, never silently
+//! ignored.
 //!
 //! The server is deliberately minimal: blocking accept loop, one
 //! request per connection (`Connection: close`), request line plus
@@ -149,6 +154,9 @@ struct QueryParams {
     /// `at=MS`: time-travel target for `/history` — return the full
     /// run record current at that instant.
     at: Option<u64>,
+    /// `collapsed` (or `collapsed=1`/`collapsed=true`): answer
+    /// `/profile` with collapsed-stack lines instead of the JSON table.
+    collapsed: bool,
 }
 
 /// Parses the shared query-string surface. Anything malformed — a
@@ -185,6 +193,14 @@ fn query_params(query: Option<&str>) -> Result<QueryParams, String> {
                         .map_err(|_| format!("at={v:?} is not a millisecond timestamp"))?,
                 );
             }
+            "collapsed" => match value {
+                None | Some("") | Some("1") | Some("true") => p.collapsed = true,
+                Some(other) => {
+                    return Err(format!(
+                        "collapsed={other:?} (expected collapsed, 1, or true)"
+                    ))
+                }
+            },
             other => return Err(format!("unknown query parameter {other:?}")),
         }
     }
@@ -332,6 +348,9 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
                 Ok(p) if p.at.is_some() => {
                     bad_request("at is not supported on /events; use /history?at=MS")
                 }
+                Ok(p) if p.collapsed => {
+                    bad_request("collapsed is not supported on /events; use /profile?collapsed")
+                }
                 Ok(p) => {
                     let events = match p.tail {
                         Some(n) => state.recorder.events().tail(n),
@@ -349,6 +368,9 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
                 Err(msg) => bad_request(msg),
                 Ok(p) if p.at.is_some() => {
                     bad_request("at is not supported on /stability; use /history?at=MS")
+                }
+                Ok(p) if p.collapsed => {
+                    bad_request("collapsed is not supported on /stability; use /profile?collapsed")
                 }
                 Ok(p) if p.follow => {
                     let frames = match p.tail {
@@ -381,7 +403,32 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
                 Ok(p) if p.follow => {
                     bad_request("follow is not supported on /history; use /stability?follow")
                 }
+                Ok(p) if p.collapsed => {
+                    bad_request("collapsed is not supported on /history; use /profile?collapsed")
+                }
                 Ok(p) => history_response(state, &p),
+            },
+            "/profile" => match query_params(query) {
+                Err(msg) => bad_request(msg),
+                Ok(p) if p.follow => {
+                    bad_request("follow is not supported on /profile; use /stability?follow")
+                }
+                Ok(p) if p.at.is_some() => {
+                    bad_request("at is not supported on /profile; use /history?at=MS")
+                }
+                Ok(p) if p.tail.is_some() => {
+                    bad_request("tail is not supported on /profile (the table is aggregated)")
+                }
+                Ok(p) if p.collapsed => (
+                    "200 OK",
+                    "text/plain; charset=utf-8",
+                    state.recorder.collapsed_spans(),
+                ),
+                Ok(_) => (
+                    "200 OK",
+                    "application/json",
+                    format!("{}\n", state.recorder.profile().to_json()),
+                ),
             },
             "/healthz" => match &state.health {
                 Some(h) => {
@@ -405,7 +452,8 @@ fn handle(stream: TcpStream, state: &ServerState, config: &ServerConfig) -> io::
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /metrics, /events, /stability, /history, /healthz\n".to_string(),
+                "not found; try /metrics, /events, /stability, /history, /profile, /healthz\n"
+                    .to_string(),
             ),
         }
     };
@@ -452,6 +500,11 @@ mod tests {
 
     fn test_state() -> ServerState {
         let recorder = Arc::new(Recorder::new());
+        {
+            let outer = recorder.span("engine.run_window");
+            drop(recorder.span("engine.classify"));
+            drop(outer);
+        }
         recorder.registry().counter("roleclass_test_total").inc();
         recorder
             .events()
@@ -625,6 +678,41 @@ mod tests {
     }
 
     #[test]
+    fn profile_answers_table_collapsed_and_explicit_400s() {
+        let server = Server::bind("127.0.0.1:0", test_state()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run(Some(6)).unwrap());
+
+        let table = request(addr, "/profile");
+        assert!(table.starts_with("HTTP/1.1 200 OK"), "{table}");
+        assert!(table.contains("application/json"));
+        assert!(table.contains("\"name\":\"engine.run_window\""), "{table}");
+        assert!(table.contains("\"self_secs\""), "{table}");
+        assert!(table.contains("\"alloc_bytes\""), "{table}");
+
+        let collapsed = request(addr, "/profile?collapsed");
+        assert!(collapsed.starts_with("HTTP/1.1 200 OK"), "{collapsed}");
+        assert!(collapsed.contains("text/plain"));
+        let body = collapsed.split("\r\n\r\n").nth(1).unwrap();
+        for line in body.lines() {
+            let (frames, _) = telemetry::parse_collapsed_line(line).expect(line);
+            assert_eq!(frames[0], "roleclass");
+        }
+        assert!(body.contains("roleclass;engine.run_window"), "{body}");
+
+        // The shared strict parser rejects what /profile cannot answer.
+        let bad = request(addr, "/profile?follow");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = request(addr, "/profile?tail=3");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = request(addr, "/profile?at=5");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = request(addr, "/events?collapsed");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        t.join().unwrap();
+    }
+
+    #[test]
     fn query_params_parse_and_reject() {
         assert_eq!(query_params(None).unwrap(), QueryParams::default());
         assert_eq!(query_params(Some("")).unwrap(), QueryParams::default());
@@ -633,11 +721,15 @@ mod tests {
             QueryParams {
                 tail: Some(5),
                 follow: true,
-                at: None
+                at: None,
+                collapsed: false,
             }
         );
         assert!(query_params(Some("follow=true")).unwrap().follow);
         assert!(query_params(Some("follow=1")).unwrap().follow);
+        assert!(query_params(Some("collapsed")).unwrap().collapsed);
+        assert!(query_params(Some("collapsed=true")).unwrap().collapsed);
+        assert!(query_params(Some("collapsed=no")).is_err());
         assert_eq!(query_params(Some("at=1500")).unwrap().at, Some(1500));
         assert!(query_params(Some("tail=-1")).is_err());
         assert!(query_params(Some("tail")).is_err());

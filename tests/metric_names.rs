@@ -12,9 +12,10 @@ use role_classification::netgraph::KERNEL_METRIC_NAMES;
 use role_classification::roleclass::{
     ENGINE_EVENT_NAMES, ENGINE_METRIC_NAMES, STABILITY_EVENT_NAMES, STABILITY_METRIC_NAMES,
 };
+use role_classification::telemetry::PROFILE_METRIC_NAMES;
 use std::collections::BTreeSet;
 
-fn layers() -> [(&'static str, &'static [&'static str]); 7] {
+fn layers() -> [(&'static str, &'static [&'static str]); 8] {
     [
         ("roleclass_flow_", FLOW_METRIC_NAMES),
         ("roleclass_kernel_", KERNEL_METRIC_NAMES),
@@ -23,6 +24,7 @@ fn layers() -> [(&'static str, &'static [&'static str]); 7] {
         ("roleclass_stability_", STABILITY_METRIC_NAMES),
         ("roleclass_transport_", TRANSPORT_METRIC_NAMES),
         ("roleclass_storage_", STORAGE_METRIC_NAMES),
+        ("roleclass_profile_", PROFILE_METRIC_NAMES),
     ]
 }
 

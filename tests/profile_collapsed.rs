@@ -1,0 +1,163 @@
+//! Round-trip properties of the collapsed-stack exporter.
+//!
+//! The collapsed format is line-oriented with `;` separating frames and
+//! a space separating the stack from its value — so span names
+//! containing `;`, spaces, backslashes, control characters, or
+//! non-ASCII unicode must escape on the way out and parse back exactly.
+//! The property here is total: for an arbitrary two-level span forest
+//! with hostile names, every emitted line parses, and the parsed
+//! `(path, value)` multiset equals an independent self-time aggregation
+//! of the same forest.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use role_classification::telemetry::{
+    collapsed_stacks, parse_collapsed_line, ProfileTable, SpanNode,
+};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn node(name: String, ms: u64, children: Vec<SpanNode>) -> SpanNode {
+    SpanNode {
+        name,
+        duration: Duration::from_millis(ms),
+        alloc_bytes: 0,
+        allocs: 0,
+        children,
+    }
+}
+
+/// Splices format-hostile characters into a generated name, driven by
+/// the tag bits, so every run exercises `;`, space, `\`, control, and
+/// multibyte cases — not just when the base string strategy happens to
+/// produce them.
+fn decorate(base: &str, tag: u8) -> String {
+    let mut s = base.to_string();
+    if tag & 1 != 0 {
+        s.push(';');
+    }
+    if tag & 2 != 0 {
+        s.insert(0, ' ');
+    }
+    if tag & 4 != 0 {
+        s.push('\\');
+    }
+    if tag & 8 != 0 {
+        s.push('\n');
+    }
+    if tag & 16 != 0 {
+        s.push('é');
+    }
+    if tag & 32 != 0 {
+        s.push('\t');
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every line of the export parses back, and the parsed paths and
+    /// values reproduce an independently computed self-time account of
+    /// the forest — escaping is lossless end to end.
+    #[test]
+    fn collapsed_export_round_trips(
+        forest in prop::collection::vec(
+            (
+                "\\PC*",
+                any::<u8>(),
+                1u64..200,
+                prop::collection::vec(("\\PC*", any::<u8>(), 1u64..50), 0..4),
+            ),
+            0..6,
+        )
+    ) {
+        let roots: Vec<SpanNode> = forest
+            .iter()
+            .map(|(name, tag, ms, kids)| {
+                let children = kids
+                    .iter()
+                    .map(|(n, t, m)| node(decorate(n, *t), *m, vec![]))
+                    .collect();
+                node(decorate(name, *tag), *ms, children)
+            })
+            .collect();
+
+        // Independent expectation: self time in micros per distinct
+        // root-prefixed path, duplicates summed.
+        let mut expected: BTreeMap<Vec<String>, u64> = BTreeMap::new();
+        for r in &roots {
+            let path = vec!["roleclass".to_string(), r.name.clone()];
+            *expected.entry(path.clone()).or_insert(0) +=
+                r.self_duration().as_micros() as u64;
+            for c in &r.children {
+                let mut cp = path.clone();
+                cp.push(c.name.clone());
+                *expected.entry(cp).or_insert(0) += c.duration.as_micros() as u64;
+            }
+        }
+
+        let text = collapsed_stacks(&roots, "roleclass");
+        prop_assert_eq!(text.lines().count(), expected.len());
+        let mut parsed: BTreeMap<Vec<String>, u64> = BTreeMap::new();
+        for line in text.lines() {
+            let Some((frames, value)) = parse_collapsed_line(line) else {
+                return Err(TestCaseError::fail(format!("unparseable line {line:?}")));
+            };
+            prop_assert_eq!(&frames[0], "roleclass");
+            prop_assert!(
+                parsed.insert(frames, value).is_none(),
+                "duplicate path in {:?}",
+                line
+            );
+        }
+        prop_assert_eq!(parsed, expected);
+    }
+
+    /// The profile table conserves time on the same arbitrary forests:
+    /// summed self time equals summed root-inclusive time, and each
+    /// row's min/max/total are coherent.
+    #[test]
+    fn profile_table_conserves_self_time(
+        forest in prop::collection::vec(
+            (
+                "\\PC*",
+                any::<u8>(),
+                1u64..200,
+                prop::collection::vec(("\\PC*", any::<u8>(), 1u64..50), 0..4),
+            ),
+            0..6,
+        )
+    ) {
+        let roots: Vec<SpanNode> = forest
+            .iter()
+            .map(|(name, tag, ms, kids)| {
+                let children = kids
+                    .iter()
+                    .map(|(n, t, m)| node(decorate(n, *t), *m, vec![]))
+                    .collect();
+                node(decorate(name, *tag), *ms, children)
+            })
+            .collect();
+        let table = ProfileTable::from_spans(&roots);
+        let self_sum: Duration = table.entries.iter().map(|e| e.self_time).sum();
+        // Per root, self = max(0, dur − kids) and each child contributes
+        // its full duration, so the forest's self-time total is
+        // Σ max(dur, kids) — inclusive time plus the clamped overflow of
+        // any root whose (arbitrary) children exceed it.
+        let inclusive: Duration = roots.iter().map(|r| r.duration).sum();
+        let children_overflow: Duration = roots
+            .iter()
+            .map(|r| {
+                let kids: Duration = r.children.iter().map(|c| c.duration).sum();
+                kids.saturating_sub(r.duration)
+            })
+            .sum();
+        prop_assert_eq!(self_sum, inclusive + children_overflow);
+        for e in &table.entries {
+            prop_assert!(e.min <= e.max);
+            prop_assert!(e.self_time <= e.total);
+            prop_assert!(e.count >= 1);
+        }
+    }
+}

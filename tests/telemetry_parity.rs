@@ -74,6 +74,78 @@ fn run_window_is_bit_identical_with_and_without_recorder() {
         .any(|e| e.name == "roleclass_engine_id_carried"));
 }
 
+/// Profiler-attached vs detached classification outcomes, pinned
+/// bit-identical across worker counts. The profiling subsystem (span
+/// self-time, allocation snapshots, unit-cost series) rides the same
+/// recorder as plain telemetry; this pins that none of it perturbs the
+/// grouping at 1, 2, or 8 kernel/merge workers.
+#[test]
+fn profiler_attached_outcomes_identical_across_worker_counts() {
+    let params = Params::default().with_s_lo(90.0).with_s_hi(95.0);
+    let net = scenarios::figure1(6, 7);
+    let windows: Vec<_> = (0..3u64)
+        .map(|seed| {
+            let records = trace::expand(&net.connsets, trace::TraceOptions::default(), 11 + seed);
+            let mut builder = role_classification::flow::ConnsetBuilder::new();
+            builder.add_records(records.iter());
+            builder.build()
+        })
+        .collect();
+
+    let mut reference: Option<Vec<String>> = None;
+    for workers in [1usize, 2, 8] {
+        let config = EngineConfig::new(params).with_workers(workers);
+        let mut plain = Engine::from_config(config.clone()).unwrap();
+        let rec = Arc::new(Recorder::new());
+        let mut profiled = Engine::from_config(config)
+            .unwrap()
+            .with_recorder(Arc::clone(&rec));
+
+        let mut outcomes = Vec::new();
+        for cs in &windows {
+            let a = plain.run_window(cs);
+            let b = profiled.run_window(cs);
+            assert_eq!(a.grouping, b.grouping, "workers={workers}");
+            assert_eq!(
+                serde_json::to_string(&a.correlation).unwrap(),
+                serde_json::to_string(&b.correlation).unwrap(),
+                "workers={workers}"
+            );
+            outcomes.push(format!("{:?}|{:?}", a.grouping, a.correlation.is_some()));
+        }
+        // ... and the outcomes agree across worker counts too, so the
+        // profile rows below describe one single canonical run.
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(r) => assert_eq!(r, &outcomes, "workers={workers}"),
+        }
+
+        // The profiled run actually profiled: the aggregated table has
+        // the full window span set with coherent self times.
+        let profile = rec.profile();
+        for stage in ["engine.run_window", "engine.classify", "engine.correlate"] {
+            let e = profile
+                .get(stage)
+                .unwrap_or_else(|| panic!("{stage} missing"));
+            assert_eq!(
+                e.count as usize,
+                if stage == "engine.correlate" { 2 } else { 3 }
+            );
+            assert!(e.self_time <= e.total);
+            assert!(e.min <= e.max);
+        }
+        // Collapsed export parses back and its values (self micros)
+        // cover every line.
+        let collapsed = rec.collapsed_spans();
+        assert!(!collapsed.is_empty());
+        for line in collapsed.lines() {
+            let (frames, _) =
+                role_classification::telemetry::parse_collapsed_line(line).expect(line);
+            assert_eq!(frames[0], "roleclass");
+        }
+    }
+}
+
 #[test]
 fn stability_rows_are_bit_identical_with_and_without_recorder() {
     let config = || AggregatorConfig {
@@ -120,6 +192,9 @@ fn stability_rows_are_bit_identical_with_and_without_recorder() {
     }
     assert_eq!(plain.stability_history(), traced.stability_history());
     assert_eq!(plain.churn_table(), traced.churn_table());
+    // Frames match modulo the `roleclass_profile_` series: unit costs
+    // are derived from recorder stage timings, so they exist only on
+    // the attached side — everything else must be value-identical.
     let (fa, fb) = (
         plain.timeseries().snapshot(),
         traced.timeseries().snapshot(),
@@ -127,7 +202,30 @@ fn stability_rows_are_bit_identical_with_and_without_recorder() {
     assert_eq!(fa.len(), fb.len());
     for (x, y) in fa.iter().zip(fb.iter()) {
         assert_eq!(x.window, y.window);
-        assert_eq!(x.values, y.values);
+        let y_profile: Vec<&str> = y
+            .values
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|n| n.starts_with("roleclass_profile_"))
+            .collect();
+        assert_eq!(
+            y_profile,
+            role_classification::telemetry::PROFILE_METRIC_NAMES,
+            "attached frames carry every declared profile series"
+        );
+        let y_stripped: Vec<(&'static str, f64)> = y
+            .values
+            .iter()
+            .filter(|(n, _)| !n.starts_with("roleclass_profile_"))
+            .copied()
+            .collect();
+        assert_eq!(x.values, y_stripped);
+        assert!(
+            !x.values
+                .iter()
+                .any(|(n, _)| n.starts_with("roleclass_profile_")),
+            "detached frames never carry profile series"
+        );
     }
 
     // The attached run registered its stability metrics, all declared.
